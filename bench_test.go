@@ -1,0 +1,234 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (§7). Each benchmark runs its campaign at a laptop scale —
+// set -clfuzz.scale to enlarge — and logs the rendered table so that
+// `go test -bench=. -benchmem` reproduces the full evaluation.
+// EXPERIMENTS.md records paper-vs-measured shape for each artifact.
+package clfuzz_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"clfuzz/internal/benchmarks"
+	"clfuzz/internal/device"
+	"clfuzz/internal/exhibits"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/harness"
+	"clfuzz/internal/oracle"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+var benchScale = flag.Int("clfuzz.scale", 6, "campaign scale for the table benchmarks (kernels per mode / EMI bases)")
+
+// BenchmarkTable1 regenerates the Table 1 configuration classification:
+// 21 configurations against the 25% reliability threshold (§7.1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.ClassifyConfigurations(*benchScale, 7, 48, 0)
+		if i == 0 {
+			b.Log("\n" + harness.RenderTable1(rows))
+			matches := 0
+			for _, r := range rows {
+				if r.MatchesPaper {
+					matches++
+				}
+			}
+			b.ReportMetric(float64(matches), "paper-matches/21")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the Table 2 benchmark inventory.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, bench := range benchmarks.All() {
+			total += bench.LoC()
+		}
+		if i == 0 {
+			var s string
+			s = fmt.Sprintf("%-9s %-11s %8s %6s %4s\n", "Suite", "Benchmark", "Kernels", "LoC", "FP?")
+			for _, bench := range benchmarks.All() {
+				fp := "x"
+				if bench.PaperUsesFP {
+					fp = "X"
+				}
+				s += fmt.Sprintf("%-9s %-11s %8d %6d %4s\n", bench.Suite, bench.Name, bench.PaperKernels, bench.LoC(), fp)
+			}
+			b.Log("\nTable 2:\n" + s)
+			b.ReportMetric(float64(total), "kernel-loc")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the EMI-over-benchmarks campaign (§7.2):
+// per (benchmark, configuration), the worst outcome over EMI variants with
+// substitutions on and off.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t3 := harness.EMIBenchmarkCampaign(2, 11, 0)
+		if i == 0 {
+			b.Log("\n" + harness.RenderTable3(t3))
+			if len(t3.RacyExcluded) != 2 {
+				b.Errorf("expected spmv and myocyte excluded for races, got %v", t3.RacyExcluded)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the intensive CLsmith campaign (§7.3): per
+// mode and configuration-level, the w/bf/c/to/ok counts and the wrong-code
+// percentage.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t4 := harness.CLsmithCampaign(*benchScale, 13, 48, 0)
+		if i == 0 {
+			b.Log("\n" + harness.RenderTable4(t4))
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the CLsmith+EMI campaign (§7.4): per
+// configuration-level, base programs inducing wrong code, build failures,
+// crashes, timeouts, and stable bases, over the 40-variant pruning grid.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t5 := harness.EMICampaign(*benchScale/2+1, 17, 48, 0)
+		if i == 0 {
+			b.Log("\n" + harness.RenderTable5(t5))
+		}
+	}
+}
+
+// BenchmarkPruningStrategies regenerates the §7.4 strategy comparison:
+// defect-inducing variant counts attributed to the leaf, compound and lift
+// pruning probabilities (the paper found lift slightly less effective).
+func BenchmarkPruningStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t5 := harness.EMICampaign(*benchScale/2+1, 19, 48, 0)
+		if i == 0 {
+			b.Log("\n" + harness.RenderPruningComparison(t5))
+		}
+	}
+}
+
+// BenchmarkFigure1 verifies and renders the six Figure 1 bug exhibits
+// (below-threshold configurations).
+func BenchmarkFigure1(b *testing.B) {
+	benchFigure(b, 1)
+}
+
+// BenchmarkFigure2 verifies and renders the six Figure 2 bug exhibits
+// (above-threshold configurations).
+func BenchmarkFigure2(b *testing.B) {
+	benchFigure(b, 2)
+}
+
+func benchFigure(b *testing.B, fig int) {
+	for i := 0; i < b.N; i++ {
+		verified := 0
+		for _, e := range exhibits.All() {
+			if e.Figure != fig {
+				continue
+			}
+			if err := exhibits.Verify(e); err != nil {
+				b.Fatalf("exhibit %s: %v", e.ID, err)
+			}
+			verified++
+		}
+		if i == 0 {
+			b.ReportMetric(float64(verified), "exhibits-verified")
+		}
+	}
+}
+
+// ---- micro-benchmarks of the substrates ----
+
+// BenchmarkGenerate measures kernel generation throughput per mode.
+func BenchmarkGenerate(b *testing.B) {
+	for _, mode := range generator.Modes {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k := generator.Generate(generator.Options{Mode: mode, Seed: int64(i), MaxTotalThreads: 64})
+				if len(k.Src) == 0 {
+					b.Fatal("empty kernel")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures the full front end plus optimizer on a
+// generated ALL-mode kernel.
+func BenchmarkCompile(b *testing.B) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	ref := device.Reference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr := ref.Compile(k.Src, true)
+		if cr.Outcome != device.OK {
+			b.Fatal(cr.Msg)
+		}
+	}
+}
+
+// BenchmarkExecute measures NDRange execution of a compiled kernel.
+func BenchmarkExecute(b *testing.B) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	ref := device.Reference()
+	cr := ref.Compile(k.Src, true)
+	if cr.Outcome != device.OK {
+		b.Fatal(cr.Msg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args, result := k.Buffers()
+		rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{})
+		if rr.Outcome != device.OK {
+			b.Fatal(rr.Msg)
+		}
+	}
+}
+
+// BenchmarkParse measures the parser on generated source.
+func BenchmarkParse(b *testing.B) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	b.SetBytes(int64(len(k.Src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(k.Src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSema measures the type checker.
+func BenchmarkSema(b *testing.B) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := parser.Parse(k.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sema.Check(prog, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDifferentialTest measures one full differential test: one
+// kernel across the above-threshold configurations at both levels with
+// majority voting.
+func BenchmarkDifferentialTest(b *testing.B) {
+	cfgs := harness.AboveThresholdConfigs()
+	for i := 0; i < b.N; i++ {
+		k := generator.Generate(generator.Options{Mode: generator.ModeBasic, Seed: int64(1000 + i), MaxTotalThreads: 32})
+		c := harness.CaseFromKernel(k, "bench")
+		rs := harness.RunEverywhere(cfgs, c, 0)
+		_ = oracle.WrongCode(rs)
+	}
+}

@@ -1,0 +1,97 @@
+// Clemi performs the EMI operations of §5: injecting dead-by-construction
+// blocks into an existing kernel, and deriving pruned variants of a kernel
+// that already contains EMI blocks (leaf / compound / lift strategies).
+//
+// Usage:
+//
+//	clemi -inject -subs -seed 3 kernel.cl          # print injected kernel
+//	clemi -variants 8 -o /tmp/vars kernel.cl        # write pruned variants
+//	clemi -grid kernel.cl                           # all 40 grid variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/emi"
+	"clfuzz/internal/parser"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clemi: ")
+	inject := flag.Bool("inject", false, "inject EMI blocks into the kernel")
+	subs := flag.Bool("subs", false, "with -inject: alias free variables to host-kernel variables")
+	blocks := flag.Int("blocks", 2, "with -inject: number of EMI blocks")
+	variants := flag.Int("variants", 0, "derive N pruned variants (random strategies)")
+	grid := flag.Bool("grid", false, "derive the full 40-combination §7.4 pruning grid")
+	seed := flag.Int64("seed", 1, "random seed")
+	outDir := flag.String("o", "", "output directory for variants (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: clemi [flags] kernel.cl")
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := parser.Parse(string(srcBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *inject {
+		nsubs, err := emi.Inject(prog, emi.InjectOptions{Seed: *seed, Blocks: *blocks, Substitute: *subs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "injected %d block(s), %d substitution(s)\n", *blocks, nsubs)
+		fmt.Print(ast.Print(prog))
+		return
+	}
+
+	found := emi.FindBlocks(prog)
+	if len(found) == 0 {
+		log.Fatal("kernel contains no EMI blocks (use -inject first, or clsmith -emi)")
+	}
+	fmt.Fprintf(os.Stderr, "found %d EMI block(s)\n", len(found))
+
+	var opts []emi.PruneOpts
+	switch {
+	case *grid:
+		opts = emi.Grid()
+	case *variants > 0:
+		g := emi.Grid()
+		for i := 0; i < *variants; i++ {
+			po := g[(int(*seed)+i*7)%len(g)]
+			po.Seed = *seed + int64(i)
+			opts = append(opts, po)
+		}
+	default:
+		log.Fatal("specify -variants N or -grid (or -inject)")
+	}
+	for i, po := range opts {
+		po.Seed = *seed + int64(i)
+		v, err := emi.Prune(prog, po)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := ast.Print(v)
+		if *outDir == "" {
+			fmt.Printf("// variant %d: pleaf=%.1f pcompound=%.1f plift=%.1f\n%s\n", i, po.PLeaf, po.PCompound, po.PLift, out)
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		name := filepath.Join(*outDir, fmt.Sprintf("variant_%03d.cl", i))
+		if err := os.WriteFile(name, []byte(out), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(name)
+	}
+}

@@ -1,0 +1,81 @@
+// Clrun compiles and executes a kernel file on one simulated OpenCL
+// configuration (Table 1), at either optimization level, printing the
+// outcome and the result values — the per-test step of the paper's
+// campaigns.
+//
+// Usage:
+//
+//	clrun -config 12 -noopt -nd 64x1x1/16x1x1 kernel.cl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clrun: ")
+	cfgID := flag.Int("config", 0, "Table 1 configuration id (0 = defect-free reference)")
+	noopt := flag.Bool("noopt", false, "disable optimizations (-cl-opt-disable)")
+	ndFlag := flag.String("nd", "16x1x1/16x1x1", "NDRange as GXxGYxGZ/LXxLYxLZ")
+	races := flag.Bool("races", false, "enable the data race and barrier divergence checker")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: clrun [flags] kernel.cl")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nd, err := parseND(*ndFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := device.Reference()
+	if *cfgID != 0 {
+		cfg = device.ByID(*cfgID)
+		if cfg == nil {
+			log.Fatalf("unknown configuration %d", *cfgID)
+		}
+	}
+	c, err := harness.AutoCase(flag.Arg(0), string(src), nd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cr := cfg.Compile(c.Src, !*noopt)
+	if cr.Outcome != device.OK {
+		fmt.Printf("outcome: %s\n%s\n", cr.Outcome, cr.Msg)
+		os.Exit(1)
+	}
+	args, result := c.Buffers()
+	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{CheckRaces: *races})
+	fmt.Printf("outcome: %s\n", rr.Outcome)
+	if rr.Msg != "" {
+		fmt.Println(rr.Msg)
+	}
+	if rr.Outcome == device.OK {
+		strs := make([]string, len(rr.Output))
+		for i, v := range rr.Output {
+			strs[i] = fmt.Sprintf("%#x", v)
+		}
+		fmt.Println(strings.Join(strs, ","))
+	}
+}
+
+func parseND(s string) (exec.NDRange, error) {
+	var nd exec.NDRange
+	if _, err := fmt.Sscanf(s, "%dx%dx%d/%dx%dx%d",
+		&nd.Global[0], &nd.Global[1], &nd.Global[2],
+		&nd.Local[0], &nd.Local[1], &nd.Local[2]); err != nil {
+		return nd, fmt.Errorf("bad -nd %q: %v", s, err)
+	}
+	return nd, nd.Validate()
+}

@@ -1,0 +1,89 @@
+// Cltables regenerates every table and figure of the paper's evaluation:
+// Table 1 (configuration classification), Table 2 (benchmark inventory),
+// Table 3 (EMI over benchmarks), Table 4 (intensive CLsmith testing),
+// Table 5 (CLsmith+EMI) and the Figure 1/2 bug exhibits. The campaign
+// sizes scale with -scale; EXPERIMENTS.md records paper-vs-measured shape.
+//
+// Usage:
+//
+//	cltables -table 4 -scale 25
+//	cltables -figure 2
+//	cltables -all -scale 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clfuzz/internal/benchmarks"
+	"clfuzz/internal/exhibits"
+	"clfuzz/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cltables: ")
+	table := flag.Int("table", 0, "regenerate table 1-5")
+	figure := flag.Int("figure", 0, "regenerate figure 1 or 2 (bug exhibits)")
+	all := flag.Bool("all", false, "regenerate everything")
+	scale := flag.Int("scale", 10, "campaign size per unit (kernels per mode, EMI bases, ...)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	threads := flag.Int("threads", 64, "maximum thread count for generated kernels")
+	flag.Parse()
+
+	run := func(t int) {
+		switch t {
+		case 1:
+			rows := harness.ClassifyConfigurations(*scale, *seed, *threads, 0)
+			fmt.Println(harness.RenderTable1(rows))
+		case 2:
+			fmt.Println(renderTable2())
+		case 3:
+			t3 := harness.EMIBenchmarkCampaign(*scale/2+1, *seed, 0)
+			fmt.Println(harness.RenderTable3(t3))
+		case 4:
+			t4 := harness.CLsmithCampaign(*scale, *seed, *threads, 0)
+			fmt.Println(harness.RenderTable4(t4))
+		case 5:
+			t5 := harness.EMICampaign(*scale, *seed, *threads, 0)
+			fmt.Println(harness.RenderTable5(t5))
+			fmt.Println(harness.RenderPruningComparison(t5))
+		default:
+			log.Fatalf("no table %d", t)
+		}
+	}
+	switch {
+	case *all:
+		for t := 1; t <= 5; t++ {
+			run(t)
+		}
+		fmt.Println(exhibits.Render(1))
+		fmt.Println(exhibits.Render(2))
+	case *table != 0:
+		run(*table)
+	case *figure != 0:
+		fmt.Println(exhibits.Render(*figure))
+	default:
+		log.Fatal("specify -table N, -figure N or -all")
+	}
+}
+
+func renderTable2() string {
+	out := "Table 2. OpenCL benchmarks studied using EMI testing\n"
+	out += fmt.Sprintf("%-9s %-11s %-34s %8s %6s %4s %6s\n",
+		"Suite", "Benchmark", "Description", "Kernels", "LoC", "FP?", "race?")
+	for _, b := range benchmarks.All() {
+		fp := "x"
+		if b.PaperUsesFP {
+			fp = "X"
+		}
+		race := ""
+		if b.HasRace {
+			race = "RACE"
+		}
+		out += fmt.Sprintf("%-9s %-11s %-34s %8d %6d %4s %6s\n",
+			b.Suite, b.Name, b.Description, b.PaperKernels, b.LoC(), fp, race)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package clfuzz is a from-scratch Go reproduction of "Many-Core Compiler
+// Fuzzing" (Lidbury, Lascu, Chong, Donaldson; PLDI 2015): the CLsmith
+// random kernel generator with its six modes, dead-by-construction EMI
+// testing with the leaf/compound/lift pruning strategies, a majority-vote
+// differential testing oracle, and a full testing campaign against 21
+// simulated OpenCL configurations carrying the paper's documented bug
+// classes.
+//
+// The public surface of the repository is its commands (cmd/clsmith,
+// cmd/clrun, cmd/cldiff, cmd/clemi, cmd/cltables, cmd/clreduce), its
+// examples (examples/quickstart, examples/bughunt, examples/emibenchmark)
+// and the benchmark harness in bench_test.go, which regenerates every
+// table and figure of the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package clfuzz

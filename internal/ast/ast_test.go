@@ -1,0 +1,208 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/parser"
+)
+
+// TestCloneIndependence: mutating a clone must not affect the original.
+func TestCloneIndependence(t *testing.T) {
+	src := `
+struct S { int a; short b[3]; };
+
+int f(struct S *p, int x) {
+    for (int i = 0; i < 3; i++) { p->b[i] = (short)(x + i); }
+    return p->a;
+}
+
+kernel void entry(global ulong *out) {
+    struct S s = { 5, {1, 2, 3} };
+    out[get_linear_global_id()] = (ulong)f(&s, 2);
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ast.Print(prog)
+	cp := ast.CloneProgram(prog)
+	// Vandalize the clone thoroughly.
+	for _, fn := range cp.Funcs {
+		if fn.Body != nil {
+			fn.Body.Stmts = nil
+		}
+		fn.Name = fn.Name + "_mutated"
+	}
+	for _, g := range cp.Globals {
+		g.Name = "zz"
+	}
+	if after := ast.Print(prog); after != before {
+		t.Error("mutating a clone changed the original program")
+	}
+}
+
+// TestCloneEquality: a clone prints identically to its original.
+func TestCloneEquality(t *testing.T) {
+	src := `
+constant uint tbl[2] = {1, 2};
+kernel void entry(global ulong *out) {
+    int4 v = (int4)(1, 2, 3, 4);
+    uint y;
+    for (y = 0u; y < 4u; ++y) { v = v + (int4)(1); }
+    do { y--; } while (y > 1u);
+    out[get_linear_global_id()] = ((ulong)(v).w , (ulong)tbl[1]) + (ulong)y;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Print(ast.CloneProgram(prog)) != ast.Print(prog) {
+		t.Error("clone prints differently from the original")
+	}
+}
+
+// TestIntLitPrinting pins the literal forms the parser must recover.
+func TestIntLitPrinting(t *testing.T) {
+	cases := []struct {
+		val  uint64
+		typ  *cltypes.Scalar
+		want string
+	}{
+		{7, cltypes.TInt, "7"},
+		{0xffffffff, cltypes.TInt, "(-1)"}, // bit pattern prints signed
+		{7, cltypes.TUInt, "7u"},
+		{7, cltypes.TLong, "7L"},
+		{7, cltypes.TULong, "7UL"},
+		{200, cltypes.TChar, "((char)(-56))"},
+		{200, cltypes.TUChar, "((uchar)200)"},
+		{65535, cltypes.TUShort, "((ushort)65535)"},
+	}
+	for _, c := range cases {
+		got := ast.PrintExpr(ast.NewIntLit(c.val, c.typ))
+		if got != c.want {
+			t.Errorf("literal %d:%s prints %q, want %q", c.val, c.typ, got, c.want)
+		}
+		// And the parser recovers value + type.
+		e, err := parser.ParseExpr(got)
+		if err != nil {
+			t.Errorf("reparse %q: %v", got, err)
+			continue
+		}
+		val, typ := literalOf(e)
+		if cltypes.Trunc(val, c.typ) != cltypes.Trunc(c.val, c.typ) || !typ.Equal(c.typ) {
+			t.Errorf("%q reparsed as %d:%s", got, val, typ)
+		}
+	}
+}
+
+// literalOf unwraps casts around a literal (narrow types print as casts):
+// the value is the inner literal (negated for a unary minus), the type is
+// the outermost cast target when present.
+func literalOf(e ast.Expr) (uint64, cltypes.Type) {
+	var outer cltypes.Type
+	for {
+		switch ex := e.(type) {
+		case *ast.Cast:
+			if outer == nil {
+				outer = ex.To
+			}
+			e = ex.X
+		case *ast.Unary: // (-56) prints as unary minus on 56
+			if l, ok := ex.X.(*ast.IntLit); ok {
+				t := l.Type().(*cltypes.Scalar)
+				if outer == nil {
+					outer = t
+				}
+				return cltypes.Neg(l.Val, t), outer
+			}
+			return 0, cltypes.TVoid
+		case *ast.IntLit:
+			if outer == nil {
+				outer = ex.Type()
+			}
+			return ex.Val, outer
+		default:
+			return 0, cltypes.TVoid
+		}
+	}
+}
+
+// TestBinOpHelpers covers operator classification.
+func TestBinOpHelpers(t *testing.T) {
+	if !ast.LT.IsComparison() || ast.Add.IsComparison() {
+		t.Error("IsComparison misclassifies")
+	}
+	if !ast.LAnd.IsLogical() || ast.And.IsLogical() {
+		t.Error("IsLogical misclassifies")
+	}
+	if ast.AddAssign.BinOp() != ast.Add || ast.ShrAssign.BinOp() != ast.Shr {
+		t.Error("AssignOp.BinOp misclassifies")
+	}
+}
+
+// TestProgramAccessors covers kernel/function/struct lookup.
+func TestProgramAccessors(t *testing.T) {
+	src := `
+struct S { int a; };
+int f(void);
+int f(void) { return 1; }
+kernel void entry(global ulong *out) { out[0] = (ulong)f(); }
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Kernel() == nil || prog.Kernel().Name != "entry" {
+		t.Error("Kernel() lookup failed")
+	}
+	if prog.Func("f") == nil || prog.Func("f").Body == nil {
+		t.Error("Func() must return the definition, not the forward declaration")
+	}
+	if prog.StructByName("S") == nil || prog.StructByName("T") != nil {
+		t.Error("StructByName misbehaves")
+	}
+}
+
+// TestPrinterParenthesization: printed output is unambiguous enough that
+// reparsing preserves the evaluation structure (checked by fixpoint).
+func TestPrinterParenthesization(t *testing.T) {
+	exprs := []string{
+		"(1 + 2) * 3",
+		"1 + (2 * 3)",
+		"-(-5)",
+		"~(1 << 4)",
+		"(a , (b , c))",
+		"((a , b) , c)",
+	}
+	for _, s := range exprs {
+		e, err := parser.ParseExpr(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1 := ast.PrintExpr(e)
+		e2, err := parser.ParseExpr(p1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p1, err)
+		}
+		if p2 := ast.PrintExpr(e2); p1 != p2 {
+			t.Errorf("%q: print/parse not a fixpoint (%q vs %q)", s, p1, p2)
+		}
+	}
+}
+
+// TestPrintStmt covers the statement printer's standalone entry point.
+func TestPrintStmt(t *testing.T) {
+	prog, err := parser.Parse(`kernel void k(global ulong *out) { if (1) { out[0] = 2UL; } else { out[0] = 3UL; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ast.PrintStmt(prog.Kernel().Body.Stmts[0])
+	if !strings.Contains(s, "else") || !strings.Contains(s, "2UL") {
+		t.Errorf("PrintStmt output: %s", s)
+	}
+}

@@ -1,0 +1,394 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"clfuzz/internal/cltypes"
+)
+
+// Print renders the program as OpenCL C source. The output is fully
+// parenthesized (as CLsmith's is) so that it round-trips through the parser
+// without precedence ambiguity; an early CLsmith version produced ambiguous
+// vector expressions such as (int2)(1,2).y, which compilers disagreed on
+// (paper §6 "Front-end issues") — full parenthesization avoids that class
+// of ambiguity by construction.
+func Print(p *Program) string {
+	var pr printer
+	for _, s := range p.Structs {
+		pr.structDef(s)
+	}
+	for _, g := range p.Globals {
+		pr.varDecl(g)
+		pr.buf.WriteString(";\n")
+	}
+	if len(p.Globals) > 0 {
+		pr.buf.WriteByte('\n')
+	}
+	for _, f := range p.Funcs {
+		pr.funcDecl(f)
+	}
+	return pr.buf.String()
+}
+
+// PrintStmt renders a single statement (used by the EMI machinery and the
+// reducer when splicing fragments).
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.buf.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e)
+	return pr.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (pr *printer) nl() {
+	pr.buf.WriteByte('\n')
+	for i := 0; i < pr.indent; i++ {
+		pr.buf.WriteString("    ")
+	}
+}
+
+func (pr *printer) structDef(s *cltypes.StructT) {
+	kw := "struct"
+	if s.IsUnion {
+		kw = "union"
+	}
+	fmt.Fprintf(&pr.buf, "%s %s {\n", kw, s.Name)
+	for _, f := range s.Fields {
+		pr.buf.WriteString("    ")
+		if f.Volatile {
+			pr.buf.WriteString("volatile ")
+		}
+		pr.declarator(f.Type, f.Name, cltypes.Private)
+		pr.buf.WriteString(";\n")
+	}
+	pr.buf.WriteString("};\n\n")
+}
+
+// declarator prints a C declarator: base type, stars, name, array suffixes.
+func (pr *printer) declarator(t cltypes.Type, name string, space cltypes.AddrSpace) {
+	if s := space.String(); s != "" {
+		pr.buf.WriteString(s)
+		pr.buf.WriteByte(' ')
+	}
+	// Peel arrays (suffix syntax), then pointers (prefix stars).
+	var dims []int
+	base := t
+	for {
+		if at, ok := base.(*cltypes.Array); ok {
+			dims = append(dims, at.Len)
+			base = at.Elem
+			continue
+		}
+		break
+	}
+	stars := 0
+	var ptrSpaces []cltypes.AddrSpace
+	for {
+		if pt, ok := base.(*cltypes.Pointer); ok {
+			stars++
+			ptrSpaces = append(ptrSpaces, pt.Space)
+			base = pt.Elem
+			continue
+		}
+		break
+	}
+	// Pointee address space qualifies the base type in OpenCL C:
+	// `global int *p`. Nested pointer spaces beyond the innermost are
+	// not representable in the subset's printer; the generator only
+	// produces private intermediate pointers, whose qualifier is empty.
+	if stars > 0 {
+		if s := ptrSpaces[stars-1].String(); s != "" {
+			pr.buf.WriteString(s)
+			pr.buf.WriteByte(' ')
+		}
+	}
+	pr.buf.WriteString(base.String())
+	pr.buf.WriteByte(' ')
+	for i := 0; i < stars; i++ {
+		pr.buf.WriteByte('*')
+	}
+	pr.buf.WriteString(name)
+	for _, d := range dims {
+		fmt.Fprintf(&pr.buf, "[%d]", d)
+	}
+}
+
+func (pr *printer) varDecl(d *VarDecl) {
+	if d.Const {
+		pr.buf.WriteString("const ")
+	}
+	if d.Volatile {
+		pr.buf.WriteString("volatile ")
+	}
+	pr.declarator(d.Type, d.Name, d.Space)
+	if d.Init != nil {
+		pr.buf.WriteString(" = ")
+		pr.expr(d.Init)
+	}
+}
+
+func (pr *printer) funcDecl(f *FuncDecl) {
+	if f.IsKernel {
+		pr.buf.WriteString("kernel ")
+	}
+	pr.buf.WriteString(f.Ret.String())
+	pr.buf.WriteByte(' ')
+	pr.buf.WriteString(f.Name)
+	pr.buf.WriteByte('(')
+	for i, p := range f.Params {
+		if i > 0 {
+			pr.buf.WriteString(", ")
+		}
+		pr.declarator(p.Type, p.Name, cltypes.Private)
+	}
+	if len(f.Params) == 0 {
+		pr.buf.WriteString("void")
+	}
+	pr.buf.WriteByte(')')
+	if f.Body == nil {
+		pr.buf.WriteString(";\n\n")
+		return
+	}
+	pr.buf.WriteByte(' ')
+	pr.block(f.Body)
+	pr.buf.WriteString("\n\n")
+}
+
+func (pr *printer) block(b *Block) {
+	pr.buf.WriteByte('{')
+	pr.indent++
+	for _, s := range b.Stmts {
+		pr.nl()
+		pr.stmt(s)
+	}
+	pr.indent--
+	pr.nl()
+	pr.buf.WriteByte('}')
+}
+
+func (pr *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		pr.varDecl(st.Decl)
+		pr.buf.WriteByte(';')
+	case *ExprStmt:
+		pr.expr(st.X)
+		pr.buf.WriteByte(';')
+	case *Block:
+		pr.block(st)
+	case *If:
+		pr.buf.WriteString("if (")
+		pr.expr(st.Cond)
+		pr.buf.WriteString(") ")
+		pr.block(st.Then)
+		if st.Else != nil {
+			pr.buf.WriteString(" else ")
+			pr.stmt(st.Else)
+		}
+	case *For:
+		pr.buf.WriteString("for (")
+		switch init := st.Init.(type) {
+		case nil:
+			pr.buf.WriteByte(';')
+		case *DeclStmt:
+			pr.varDecl(init.Decl)
+			pr.buf.WriteByte(';')
+		case *ExprStmt:
+			pr.expr(init.X)
+			pr.buf.WriteByte(';')
+		case *Empty:
+			pr.buf.WriteByte(';')
+		default:
+			panic("ast: bad for-init statement")
+		}
+		pr.buf.WriteByte(' ')
+		if st.Cond != nil {
+			pr.expr(st.Cond)
+		}
+		pr.buf.WriteString("; ")
+		if st.Post != nil {
+			pr.expr(st.Post)
+		}
+		pr.buf.WriteString(") ")
+		pr.block(st.Body)
+	case *While:
+		pr.buf.WriteString("while (")
+		pr.expr(st.Cond)
+		pr.buf.WriteString(") ")
+		pr.block(st.Body)
+	case *DoWhile:
+		pr.buf.WriteString("do ")
+		pr.block(st.Body)
+		pr.buf.WriteString(" while (")
+		pr.expr(st.Cond)
+		pr.buf.WriteString(");")
+	case *Break:
+		pr.buf.WriteString("break;")
+	case *Continue:
+		pr.buf.WriteString("continue;")
+	case *Return:
+		if st.X == nil {
+			pr.buf.WriteString("return;")
+		} else {
+			pr.buf.WriteString("return ")
+			pr.expr(st.X)
+			pr.buf.WriteByte(';')
+		}
+	case *Empty:
+		pr.buf.WriteByte(';')
+	default:
+		panic(fmt.Sprintf("ast: unknown statement %T", s))
+	}
+}
+
+func (pr *printer) expr(e Expr) {
+	switch ex := e.(type) {
+	case *IntLit:
+		pr.intLit(ex)
+	case *VarRef:
+		pr.buf.WriteString(ex.Name)
+	case *Unary:
+		pr.buf.WriteByte('(')
+		switch ex.Op {
+		case PostInc, PostDec:
+			pr.expr(ex.X)
+			pr.buf.WriteString(ex.Op.String())
+		default:
+			pr.buf.WriteString(ex.Op.String())
+			pr.expr(ex.X)
+		}
+		pr.buf.WriteByte(')')
+	case *Binary:
+		pr.buf.WriteByte('(')
+		pr.expr(ex.L)
+		if ex.Op == Comma {
+			pr.buf.WriteString(" , ")
+		} else {
+			pr.buf.WriteByte(' ')
+			pr.buf.WriteString(ex.Op.String())
+			pr.buf.WriteByte(' ')
+		}
+		pr.expr(ex.R)
+		pr.buf.WriteByte(')')
+	case *AssignExpr:
+		pr.expr(ex.LHS)
+		pr.buf.WriteByte(' ')
+		pr.buf.WriteString(ex.Op.String())
+		pr.buf.WriteByte(' ')
+		pr.expr(ex.RHS)
+	case *Cond:
+		pr.buf.WriteByte('(')
+		pr.expr(ex.C)
+		pr.buf.WriteString(" ? ")
+		pr.expr(ex.T)
+		pr.buf.WriteString(" : ")
+		pr.expr(ex.F)
+		pr.buf.WriteByte(')')
+	case *Call:
+		pr.buf.WriteString(ex.Name)
+		pr.buf.WriteByte('(')
+		for i, a := range ex.Args {
+			if i > 0 {
+				pr.buf.WriteString(", ")
+			}
+			pr.expr(a)
+		}
+		pr.buf.WriteByte(')')
+	case *Index:
+		pr.expr(ex.Base)
+		pr.buf.WriteByte('[')
+		pr.expr(ex.Idx)
+		pr.buf.WriteByte(']')
+	case *Member:
+		pr.expr(ex.Base)
+		if ex.Arrow {
+			pr.buf.WriteString("->")
+		} else {
+			pr.buf.WriteByte('.')
+		}
+		pr.buf.WriteString(ex.Name)
+	case *Swizzle:
+		pr.buf.WriteByte('(')
+		pr.expr(ex.Base)
+		pr.buf.WriteByte(')')
+		pr.buf.WriteByte('.')
+		pr.buf.WriteString(ex.Sel)
+	case *VecLit:
+		fmt.Fprintf(&pr.buf, "((%s)(", ex.VT.String())
+		for i, el := range ex.Elems {
+			if i > 0 {
+				pr.buf.WriteString(", ")
+			}
+			pr.expr(el)
+		}
+		pr.buf.WriteString("))")
+	case *Cast:
+		pr.buf.WriteByte('(')
+		pr.buf.WriteByte('(')
+		pr.buf.WriteString(ex.To.String())
+		pr.buf.WriteByte(')')
+		pr.expr(ex.X)
+		pr.buf.WriteByte(')')
+	case *InitList:
+		pr.buf.WriteByte('{')
+		for i, el := range ex.Elems {
+			if i > 0 {
+				pr.buf.WriteString(", ")
+			}
+			pr.expr(el)
+		}
+		pr.buf.WriteByte('}')
+	default:
+		panic(fmt.Sprintf("ast: unknown expression %T", e))
+	}
+}
+
+// intLit prints a literal so the parser recovers the exact value and type:
+// int and long print in decimal (negative patterns via a parenthesized
+// minus), unsigned types print with u/UL suffixes, and narrow types print
+// as a cast of an int literal.
+func (pr *printer) intLit(l *IntLit) {
+	t, _ := l.Type().(*cltypes.Scalar)
+	if t == nil {
+		t = cltypes.TInt
+	}
+	switch t.K {
+	case cltypes.KindInt:
+		v := cltypes.AsInt64(l.Val, t)
+		if v < 0 {
+			fmt.Fprintf(&pr.buf, "(%d)", v)
+		} else {
+			fmt.Fprintf(&pr.buf, "%d", v)
+		}
+	case cltypes.KindUInt:
+		fmt.Fprintf(&pr.buf, "%du", cltypes.Trunc(l.Val, t))
+	case cltypes.KindLong:
+		v := cltypes.AsInt64(l.Val, t)
+		if v < 0 {
+			fmt.Fprintf(&pr.buf, "(%dL)", v)
+		} else {
+			fmt.Fprintf(&pr.buf, "%dL", v)
+		}
+	case cltypes.KindULong, cltypes.KindSizeT:
+		fmt.Fprintf(&pr.buf, "%dUL", cltypes.Trunc(l.Val, t))
+	default:
+		// Narrow types print as a cast of a signed decimal literal.
+		v := cltypes.AsInt64(l.Val, t)
+		if v < 0 {
+			fmt.Fprintf(&pr.buf, "((%s)(%d))", t.String(), v)
+		} else {
+			fmt.Fprintf(&pr.buf, "((%s)%d)", t.String(), v)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package benchmarks_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/benchmarks"
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/oracle"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+// TestBenchmarksCompileAndRun checks every port compiles on the reference
+// configuration and executes to completion at both optimization levels
+// with identical results.
+func TestBenchmarksCompileAndRun(t *testing.T) {
+	ref := device.Reference()
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			var outs [][]uint64
+			for _, optimize := range []bool{false, true} {
+				cr := ref.Compile(b.Src, optimize)
+				if cr.Outcome != device.OK {
+					t.Fatalf("compile (opt=%v): %s", optimize, cr.Msg)
+				}
+				args, result := b.MakeArgs()
+				rr := cr.Kernel.Run(b.ND, args, result, device.RunOptions{})
+				if rr.Outcome != device.OK {
+					t.Fatalf("run (opt=%v): %s %s", optimize, rr.Outcome, rr.Msg)
+				}
+				outs = append(outs, rr.Output)
+			}
+			if !b.HasRace && !oracle.Equal(outs[0], outs[1]) {
+				t.Errorf("optimization level changed the result of a race-free benchmark")
+			}
+		})
+	}
+}
+
+// TestBenchmarkRaces reproduces the §2.4 finding: the race checker flags
+// data races in the spmv and myocyte ports and in no other benchmark.
+// (The paper wasted significant reduction effort before discovering these
+// races; the checker finds them directly.)
+func TestBenchmarkRaces(t *testing.T) {
+	ref := device.Reference()
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cr := ref.Compile(b.Src, false)
+			if cr.Outcome != device.OK {
+				t.Fatalf("compile: %s", cr.Msg)
+			}
+			args, result := b.MakeArgs()
+			rr := cr.Kernel.Run(b.ND, args, result, device.RunOptions{CheckRaces: true})
+			raced := rr.Outcome == device.Crash && len(rr.Msg) >= 9 && rr.Msg[:9] == "data race"
+			if b.HasRace && !raced {
+				t.Errorf("expected the race checker to flag %s, got %s %q", b.Name, rr.Outcome, rr.Msg)
+			}
+			if !b.HasRace && rr.Outcome != device.OK {
+				t.Errorf("race checker rejected race-free benchmark %s: %s %q", b.Name, rr.Outcome, rr.Msg)
+			}
+		})
+	}
+}
+
+// TestTable2Static checks the Table 2 static columns of the ports.
+func TestTable2Static(t *testing.T) {
+	all := benchmarks.All()
+	if len(all) != 10 {
+		t.Fatalf("expected 10 benchmarks, have %d", len(all))
+	}
+	wantFP := map[string]bool{
+		"bfs": false, "cutcp": true, "lbm": true, "sad": false, "spmv": true,
+		"tpacf": true, "heartwall": true, "hotspot": true, "myocyte": true,
+		"pathfinder": false,
+	}
+	for _, b := range all {
+		if b.PaperUsesFP != wantFP[b.Name] {
+			t.Errorf("%s: FP column = %v, Table 2 says %v", b.Name, b.PaperUsesFP, wantFP[b.Name])
+		}
+		if b.LoC() < 10 {
+			t.Errorf("%s: suspiciously small port (%d LoC)", b.Name, b.LoC())
+		}
+		if prog, err := parser.Parse(b.Src); err != nil {
+			t.Errorf("%s: parse: %v", b.Name, err)
+		} else if _, err := sema.Check(prog, 0); err != nil {
+			t.Errorf("%s: sema: %v", b.Name, err)
+		}
+	}
+	if len(benchmarks.Racy()) != 2 {
+		t.Errorf("expected exactly spmv and myocyte to carry races")
+	}
+	if len(benchmarks.Clean()) != 8 {
+		t.Errorf("expected 8 clean benchmarks for Table 3")
+	}
+}
+
+// TestBenchmarkDeterminism runs every clean benchmark twice with fresh
+// buffers; results must agree (the §3.2 deterministic-output requirement).
+func TestBenchmarkDeterminism(t *testing.T) {
+	ref := device.Reference()
+	for _, b := range benchmarks.Clean() {
+		cr := ref.Compile(b.Src, true)
+		if cr.Outcome != device.OK {
+			t.Fatalf("%s: compile: %s", b.Name, cr.Msg)
+		}
+		var outs [][]uint64
+		for i := 0; i < 2; i++ {
+			args, result := b.MakeArgs()
+			rr := cr.Kernel.Run(b.ND, args, result, device.RunOptions{})
+			if rr.Outcome != device.OK {
+				t.Fatalf("%s: run %d: %s", b.Name, i, rr.Msg)
+			}
+			outs = append(outs, rr.Output)
+		}
+		if !oracle.Equal(outs[0], outs[1]) {
+			t.Errorf("%s: nondeterministic output", b.Name)
+		}
+	}
+}
+
+var _ = exec.NDRange{}

@@ -1,0 +1,199 @@
+package benchmarks
+
+import (
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/exec"
+)
+
+// Heartwall ports Rodinia heartwall: template tracking in ultrasound
+// frames. Each thread correlates one sample point's window against a
+// template; the original's 1060-line kernel reduces to its correlation
+// core here.
+func Heartwall() *Benchmark {
+	const pointsHW = 40
+	const win = 12
+	const frameHW = 256
+	b := &Benchmark{
+		Suite: "Rodinia", Name: "heartwall", Description: "Medical imaging",
+		PaperKernels: 1, PaperUsesFP: true,
+		ND: exec.NDRange{Global: [3]int{pointsHW, 1, 1}, Local: [3]int{8, 1, 1}},
+		Src: `
+kernel void entry(global ulong *out, global int *frame, global int *tmplt, global int *posx, int framelen, int winlen) {
+    size_t tid = get_linear_global_id();
+    int p = (int)tid;
+    int base = posx[p];
+    int bestscore = -2147483647;
+    int bestoff = 0;
+    for (int off = 0; off < 5; off++) {
+        int score = 0;
+        for (int i = 0; i < winlen; i++) {
+            int fi = ((base + off) + i) % framelen;
+            int fv = frame[fi];
+            int tv = tmplt[i];
+            score = (0 , safe_add(score, safe_mul(fv, tv)));
+            score = safe_sub(score, safe_div(safe_add(safe_mul(fv, fv), safe_mul(tv, tv)), 8));
+        }
+        if (score > bestscore) { bestscore = score; bestoff = off; }
+    }
+    out[tid] = (ulong)(uint)safe_add(safe_mul(bestoff, 65536), (int)(((uint)bestscore) & 65535u));
+}
+`,
+	}
+	b.MakeArgs = func() (exec.Args, *exec.Buffer) {
+		rng := lcg(77)
+		frame := exec.NewBuffer(cltypes.TInt, frameHW)
+		tmplt := exec.NewBuffer(cltypes.TInt, win)
+		posx := exec.NewBuffer(cltypes.TInt, pointsHW)
+		for i := 0; i < frameHW; i++ {
+			frame.SetScalar(i, uint64(rng.intn(64)))
+		}
+		for i := 0; i < win; i++ {
+			tmplt.SetScalar(i, uint64(rng.intn(64)))
+		}
+		for i := 0; i < pointsHW; i++ {
+			posx.SetScalar(i, uint64(rng.intn(frameHW)))
+		}
+		out := exec.NewBuffer(cltypes.TULong, pointsHW)
+		return exec.Args{
+			"out": {Buf: out}, "frame": {Buf: frame}, "tmplt": {Buf: tmplt},
+			"posx": {Buf: posx}, "framelen": {Scalar: frameHW}, "winlen": {Scalar: win},
+		}, out
+	}
+	return b
+}
+
+// Hotspot ports Rodinia hotspot: an iterative thermal stencil with a
+// local-memory tile and barrier synchronization within the work-group.
+func Hotspot() *Benchmark {
+	const cellsHS = 64
+	b := &Benchmark{
+		Suite: "Rodinia", Name: "hotspot", Description: "Thermal physics simulation",
+		PaperKernels: 1, PaperUsesFP: true,
+		ND: exec.NDRange{Global: [3]int{cellsHS, 1, 1}, Local: [3]int{cellsHS, 1, 1}},
+		Src: `
+kernel void entry(global ulong *out, global int *temp, global int *power, int ncells, int steps) {
+    local int tile[64];
+    size_t tid = get_linear_global_id();
+    int c = (int)tid;
+    tile[c] = (0 , temp[c]);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 0; s < steps; s++) {
+        int left = tile[((c + ncells) - 1) % ncells];
+        int right = tile[(c + 1) % ncells];
+        int self = tile[c];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        int delta = safe_div(safe_sub(safe_add(left, right), safe_mul(self, 2)), 4);
+        tile[c] = safe_add(safe_add(self, delta), safe_div(power[c], 16));
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[tid] = (ulong)(uint)tile[c];
+}
+`,
+	}
+	b.MakeArgs = func() (exec.Args, *exec.Buffer) {
+		rng := lcg(88)
+		temp := exec.NewBuffer(cltypes.TInt, cellsHS)
+		power := exec.NewBuffer(cltypes.TInt, cellsHS)
+		for i := 0; i < cellsHS; i++ {
+			temp.SetScalar(i, uint64(300+rng.intn(100)))
+			power.SetScalar(i, uint64(rng.intn(64)))
+		}
+		out := exec.NewBuffer(cltypes.TULong, cellsHS)
+		return exec.Args{
+			"out": {Buf: out}, "temp": {Buf: temp}, "power": {Buf: power},
+			"ncells": {Scalar: cellsHS}, "steps": {Scalar: 6},
+		}, out
+	}
+	return b
+}
+
+// Myocyte ports Rodinia myocyte: cardiac cell ODE integration. The port
+// preserves the data race the paper discovered (§2.4): each thread reads a
+// neighbour's rate entry while the neighbour may still be writing it — no
+// barrier separates the accesses.
+func Myocyte() *Benchmark {
+	const statesMC = 32
+	b := &Benchmark{
+		Suite: "Rodinia", Name: "myocyte", Description: "Medical simulation",
+		PaperKernels: 1, PaperUsesFP: true, HasRace: true,
+		ND: exec.NDRange{Global: [3]int{statesMC, 1, 1}, Local: [3]int{statesMC, 1, 1}},
+		Src: `
+kernel void entry(global ulong *out, global int *y, global int *params, global int *rates, int nstates, int steps) {
+    size_t tid = get_linear_global_id();
+    int s = (int)tid;
+    int state = y[s];
+    for (int it = 0; it < steps; it++) {
+        int coupling = rates[(s + 1) % nstates];
+        rates[s] = safe_add(safe_mul(params[s], state), safe_div(coupling, 4));
+        state = safe_add(state, safe_div(rates[s], 8));
+    }
+    out[tid] = (ulong)(uint)state;
+}
+`,
+	}
+	b.MakeArgs = func() (exec.Args, *exec.Buffer) {
+		rng := lcg(99)
+		y := exec.NewBuffer(cltypes.TInt, statesMC)
+		params := exec.NewBuffer(cltypes.TInt, statesMC)
+		rates := exec.NewBuffer(cltypes.TInt, statesMC)
+		for i := 0; i < statesMC; i++ {
+			y.SetScalar(i, uint64(rng.intn(128)))
+			params.SetScalar(i, uint64(1+rng.intn(8)))
+		}
+		out := exec.NewBuffer(cltypes.TULong, statesMC)
+		return exec.Args{
+			"out": {Buf: out}, "y": {Buf: y}, "params": {Buf: params},
+			"rates": {Buf: rates}, "nstates": {Scalar: statesMC}, "steps": {Scalar: 5},
+		}, out
+	}
+	return b
+}
+
+// Pathfinder ports Rodinia pathfinder: dynamic-programming wavefront over
+// a cost grid, one row per step, with local-memory double buffering and
+// barriers.
+func Pathfinder() *Benchmark {
+	const colsPF = 64
+	const rowsPF = 8
+	b := &Benchmark{
+		Suite: "Rodinia", Name: "pathfinder", Description: "Dynamic programming",
+		PaperKernels: 1, PaperUsesFP: false,
+		ND: exec.NDRange{Global: [3]int{colsPF, 1, 1}, Local: [3]int{colsPF, 1, 1}},
+		Src: `
+kernel void entry(global ulong *out, global int *wall, int ncols, int nrows) {
+    local int src[64];
+    local int dst[64];
+    size_t tid = get_linear_global_id();
+    int j = (int)tid;
+    src[j] = wall[j];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int i = 1; i < nrows; i++) {
+        int center = (0 , src[j]);
+        int left = center;
+        int right = center;
+        if (j > 0) { left = src[j - 1]; }
+        if (j < (ncols - 1)) { right = src[j + 1]; }
+        int best = min(min(left, right), center);
+        dst[j] = safe_add(wall[safe_add(safe_mul(i, ncols), j)], best);
+        barrier(CLK_LOCAL_MEM_FENCE);
+        src[j] = dst[j];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[tid] = (ulong)(uint)src[j];
+}
+`,
+	}
+	b.MakeArgs = func() (exec.Args, *exec.Buffer) {
+		rng := lcg(111)
+		wall := exec.NewBuffer(cltypes.TInt, colsPF*rowsPF)
+		for i := 0; i < colsPF*rowsPF; i++ {
+			wall.SetScalar(i, uint64(rng.intn(32)))
+		}
+		out := exec.NewBuffer(cltypes.TULong, colsPF)
+		return exec.Args{
+			"out": {Buf: out}, "wall": {Buf: wall},
+			"ncols": {Scalar: colsPF}, "nrows": {Scalar: rowsPF},
+		}, out
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+// Package bugs defines the injected compiler-defect model. Each simulated
+// OpenCL configuration (internal/device) carries a Set of defect flags per
+// optimization level; the front end (internal/sema), the optimizer
+// (internal/opt) and the executor (internal/exec) consult the flags at the
+// code locations where the corresponding real-world defect manifested.
+//
+// Every flag models a bug class that the paper reports in §6 / Figures 1–2.
+// All triggers are deterministic — feature predicates on the program plus
+// content hashing for the "unpredictable" crash/ICE classes — so campaign
+// results are exactly reproducible while exhibiting the rate shape of the
+// paper's tables.
+package bugs
+
+// Set is a bitmask of injected defect flags.
+type Set uint64
+
+// Defect flags. The comment on each flag names the paper configuration(s)
+// that exhibited the modeled bug and the figure that documents it.
+const (
+	// FEIntSizeTMix rejects legal arithmetic mixing int and size_t
+	// operands ("invalid operands to binary expression ('int' and
+	// 'size_t')"). Intel Xeon, config 15±, §6 "Build failures".
+	FEIntSizeTMix Set = 1 << iota
+
+	// FEVectorLogicalReject rejects logical operations on vectors, which
+	// conformant implementations must support. Altera, configs 20/21, §6.
+	FEVectorLogicalReject
+
+	// FEVectorInStructICE raises an internal error when a vector type
+	// appears inside a struct. Altera, configs 20/21, Figure 1(c).
+	FEVectorInStructICE
+
+	// FECompileHangLoop sends the compiler into an unbounded loop for a
+	// for-loop of constant bound >= 197 whose body conditionally enters
+	// while(1). Intel HD Graphics, configs 7/8, Figure 1(e).
+	FECompileHangLoop
+
+	// FESlowStructBarrier makes compilation prohibitively slow when a
+	// sizable struct coexists with a barrier. Intel Xeon Phi, config 18,
+	// Figure 1(f).
+	FESlowStructBarrier
+
+	// FEICEAttr fails the build with LLVM attribute internal errors
+	// ("Wrong type for attribute zeroext"), hash-gated. NVIDIA older
+	// drivers, configs 1/2, §6 "Build failures".
+	FEICEAttr
+
+	// FEICEPass fails the build inside named optimization passes ("Intel
+	// OpenCL Vectorizer", "Intel OpenCL Barrier"), hash-gated. Intel CPU
+	// configs 12/13 with optimizations, §6.
+	FEICEPass
+
+	// FEICEBarrierHeavy fails builds of kernels that make extensive use
+	// of barriers, hash-gated. Intel i5, config 14 without optimizations
+	// (Table 4: high bf for BARRIER/ATOMIC REDUCTION/ALL).
+	FEICEBarrierHeavy
+
+	// WCStructCharFirst miscompiles any struct whose leading char field is
+	// followed by a larger member: the char field reads as zero. AMD
+	// configs 5/6/16 with optimizations, Figure 1(a).
+	WCStructCharFirst
+
+	// WCStructCopyNx1 drops an array element during struct assignment,
+	// but only when the x grid dimension is 1 and optimizations are off.
+	// Anonymous GPU configs 10/11, Figure 1(b).
+	WCStructCopyNx1
+
+	// WCStructDeep miscompiles (hash-gated) struct assignments for
+	// structs containing nested aggregates. Intel HD Graphics configs
+	// 7/8 and older anonymous drivers 10/11, §6 "Problems with structs".
+	WCStructDeep
+
+	// WCStructPtrWriteBarrier loses stores performed through a pointer-
+	// to-struct parameter once a barrier has executed. Anonymous CPU
+	// config 17, Figure 1(d).
+	WCStructPtrWriteBarrier
+
+	// WCUnionInit initializes only the first two bytes of a union whose
+	// members include a struct with a leading short field; the remaining
+	// bytes read as ones. NVIDIA configs 1–4 without optimizations,
+	// Figure 2(a).
+	WCUnionInit
+
+	// WCRotateConstFold constant-folds rotate() with literal arguments to
+	// an all-ones pattern. Intel i5 config 14±, Figure 2(b).
+	WCRotateConstFold
+
+	// WCBarrierFwdDecl miscompiles kernels that call a forward-declared
+	// function after a barrier: non-leader threads lose stores through
+	// pointer parameters. Intel configs 12/13 without optimizations,
+	// Figure 2(c).
+	WCBarrierFwdDecl
+
+	// CrashBarrierFwdDecl crashes (segmentation fault) on the same
+	// trigger as WCBarrierFwdDecl. Intel configs 14/15 without
+	// optimizations, Figure 2(c).
+	CrashBarrierFwdDecl
+
+	// WCDeadLoopBarrier miscompiles a loop whose body is unreachable but
+	// contains a barrier: non-leader threads see the loop's induction
+	// assignment clobbered. Intel configs 14/15 without optimizations,
+	// Figure 2(d).
+	WCDeadLoopBarrier
+
+	// WCGroupIDExpr miscompiles comparisons whose operands involve the
+	// group id. Anonymous GPU config 9 with optimizations, Figure 2(e).
+	WCGroupIDExpr
+
+	// WCComma mishandles the comma operator: the pair evaluates to zero
+	// rather than to the right operand. Oclgrind config 19±, Figure 2(f).
+	WCComma
+
+	// WCSwizzleFold miscompiles constant folding of vector swizzles (off-
+	// by-one component). Models the optimization-sensitive vector wrong-
+	// code results of Intel configs 14/15 with optimizations (Table 4).
+	WCSwizzleFold
+
+	// CrashHash crashes at runtime for a hash-gated subset of kernels,
+	// modeling the unpredictable machine/driver crashes of §6 "Machine
+	// crashes". The per-configuration rate divisor is in device.Config.
+	CrashHash
+
+	// CrashBarrierHeavy crashes kernels that use barriers, hash-gated at
+	// a high rate. Intel configs 14/15 without optimizations (Table 4:
+	// ~40% crash rate in the barrier-heavy modes).
+	CrashBarrierHeavy
+
+	// BFHash fails the build for a hash-gated subset of kernels,
+	// modeling residual internal errors (Altera FPGA config 21: "the
+	// majority of tests either crashed or emitted an internal error").
+	BFHash
+
+	// SlowCompileHash compiles slowly for a hash-gated subset of kernels
+	// (observed as a timeout). Intel configs 12/13 with optimizations
+	// (Table 4: high to counts with optimizations on).
+	SlowCompileHash
+)
+
+// Has reports whether every flag in b is present in s.
+func (s Set) Has(b Set) bool { return s&b == b }
+
+// FNV-1a, used for all hash gating so that triggers are deterministic
+// functions of kernel source text.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash returns the FNV-1a hash of the kernel source, the seed for all
+// hash-gated defect triggers.
+func Hash(src string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Gate reports whether a hash-gated defect with the given rate divisor
+// fires for the kernel hash. A divisor d fires for roughly 1/d of kernels;
+// salt decorrelates distinct defects on the same kernel. A divisor of 0
+// never fires.
+func Gate(hash uint64, salt uint64, divisor uint64) bool {
+	if divisor == 0 {
+		return false
+	}
+	h := hash ^ (salt * prime64)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h%divisor == 0
+}

@@ -1,0 +1,74 @@
+package bugs_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clfuzz/internal/bugs"
+)
+
+// TestSetHas: bitmask membership.
+func TestSetHas(t *testing.T) {
+	s := bugs.WCComma | bugs.FEIntSizeTMix
+	if !s.Has(bugs.WCComma) || !s.Has(bugs.FEIntSizeTMix) {
+		t.Error("Has misses present flags")
+	}
+	if s.Has(bugs.WCRotateConstFold) {
+		t.Error("Has reports an absent flag")
+	}
+	if !s.Has(bugs.WCComma | bugs.FEIntSizeTMix) {
+		t.Error("Has must require every flag in the query")
+	}
+	if s.Has(bugs.WCComma | bugs.WCRotateConstFold) {
+		t.Error("Has must not report a partially present query")
+	}
+}
+
+// TestHashDeterministic: the source hash is a pure function with spread.
+func TestHashDeterministic(t *testing.T) {
+	a := bugs.Hash("kernel void k() {}")
+	b := bugs.Hash("kernel void k() {}")
+	c := bugs.Hash("kernel void k() { }")
+	if a != b {
+		t.Error("hash is not deterministic")
+	}
+	if a == c {
+		t.Error("hash ignores content")
+	}
+}
+
+// TestGateRate: a divisor-d gate fires for roughly 1/d of random inputs
+// (within generous tolerance), never for divisor 0, and different salts
+// decorrelate.
+func TestGateRate(t *testing.T) {
+	const n = 20000
+	for _, div := range []uint64{2, 4, 10, 25} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			h := bugs.Hash(string(rune(i)) + "salt-test")
+			if bugs.Gate(h, 0x1234, div) {
+				hits++
+			}
+		}
+		rate := float64(hits) / n
+		want := 1 / float64(div)
+		if rate < want*0.7 || rate > want*1.3 {
+			t.Errorf("divisor %d: rate %.4f, want ~%.4f", div, rate, want)
+		}
+	}
+	f := func(h uint64) bool { return !bugs.Gate(h, 1, 0) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("divisor 0 fired: %v", err)
+	}
+	// Salt decorrelation: both gates firing together should be ~1/d².
+	both := 0
+	for i := 0; i < n; i++ {
+		h := bugs.Hash(string(rune(i)) + "decorrelate")
+		if bugs.Gate(h, 1, 4) && bugs.Gate(h, 2, 4) {
+			both++
+		}
+	}
+	if rate := float64(both) / n; rate > 0.15 {
+		t.Errorf("salted gates correlate: joint rate %.4f", rate)
+	}
+}

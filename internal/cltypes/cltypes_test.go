@@ -1,0 +1,326 @@
+package cltypes_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clfuzz/internal/cltypes"
+)
+
+var scalarTypes = []*cltypes.Scalar{
+	cltypes.TChar, cltypes.TUChar, cltypes.TShort, cltypes.TUShort,
+	cltypes.TInt, cltypes.TUInt, cltypes.TLong, cltypes.TULong,
+}
+
+// TestTruncSExtRoundTrip: Trunc(SExt(v)) is the identity on truncated
+// values, for every scalar type.
+func TestTruncSExtRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		for _, ty := range scalarTypes {
+			tv := cltypes.Trunc(v, ty)
+			if cltypes.Trunc(cltypes.SExt(tv, ty), ty) != tv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddCommutes: wrapping addition commutes and associates in every
+// type.
+func TestAddCommutes(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		for _, ty := range scalarTypes {
+			if cltypes.Add(a, b, ty) != cltypes.Add(b, a, ty) {
+				return false
+			}
+			if cltypes.Add(cltypes.Add(a, b, ty), c, ty) != cltypes.Add(a, cltypes.Add(b, c, ty), ty) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubInverse: a - b + b == a (wrapping).
+func TestSubInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		for _, ty := range scalarTypes {
+			if cltypes.Add(cltypes.Sub(a, b, ty), b, ty) != cltypes.Trunc(a, ty) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNegDouble: -(-a) == a.
+func TestNegDouble(t *testing.T) {
+	f := func(a uint64) bool {
+		for _, ty := range scalarTypes {
+			if cltypes.Neg(cltypes.Neg(a, ty), ty) != cltypes.Trunc(a, ty) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDivSafeTotal: Div never panics and is the safe-math fallback (the
+// first operand) exactly when C division would be undefined.
+func TestDivSafeTotal(t *testing.T) {
+	f := func(a, b uint64) bool {
+		for _, ty := range scalarTypes {
+			got := cltypes.Div(a, b, ty)
+			if !cltypes.DivDefined(a, b, ty) {
+				if got != cltypes.Trunc(a, ty) {
+					return false
+				}
+			}
+			_ = cltypes.Mod(a, b, ty)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRotateInverse: rotating left by k then by width-k restores the
+// value; rotate is total for any shift amount.
+func TestRotateInverse(t *testing.T) {
+	f := func(a uint64, k uint8) bool {
+		for _, ty := range scalarTypes {
+			w := uint64(ty.Bits)
+			sh := uint64(k) % w
+			r1 := cltypes.Rotate(a, sh, ty)
+			r2 := cltypes.Rotate(r1, w-sh, ty)
+			if r2 != cltypes.Trunc(a, ty) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRotateIdentity is the Figure 2(b) fact: rotate(x, 0) == x.
+func TestRotateIdentity(t *testing.T) {
+	if got := cltypes.Rotate(1, 0, cltypes.TUInt); got != 1 {
+		t.Errorf("rotate(1,0) = %d, want 1 (Figure 2(b) expected value)", got)
+	}
+}
+
+// TestClampProperties: the result is always within [lo, hi] when lo <= hi.
+func TestClampProperties(t *testing.T) {
+	f := func(x, a, b uint64) bool {
+		for _, ty := range scalarTypes {
+			lo, hi := a, b
+			if cltypes.CmpLT(hi, lo, ty) == 1 {
+				lo, hi = hi, lo
+			}
+			c := cltypes.Clamp(x, lo, hi, ty)
+			if cltypes.CmpLT(c, lo, ty) == 1 || cltypes.CmpLT(hi, c, ty) == 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinMax: min/max select an operand and order correctly.
+func TestMinMax(t *testing.T) {
+	f := func(a, b uint64) bool {
+		for _, ty := range scalarTypes {
+			mn, mx := cltypes.Min(a, b, ty), cltypes.Max(a, b, ty)
+			ta, tb := cltypes.Trunc(a, ty), cltypes.Trunc(b, ty)
+			if (mn != ta && mn != tb) || (mx != ta && mx != tb) {
+				return false
+			}
+			if cltypes.CmpLT(mx, mn, ty) == 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddSatSaturates: saturating addition never wraps: for unsigned
+// types the result is >= both operands.
+func TestAddSatSaturates(t *testing.T) {
+	f := func(a, b uint64) bool {
+		for _, ty := range scalarTypes {
+			if ty.Signed {
+				continue
+			}
+			s := cltypes.AddSat(a, b, ty)
+			if cltypes.CmpLT(s, a, ty) == 1 || cltypes.CmpLT(s, b, ty) == 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHAddAverage: hadd(a,b) == floor((a+b)/2) computed without overflow,
+// verified against 128-bit-free arithmetic for unsigned types.
+func TestHAddAverage(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ty := cltypes.TUInt
+		ta, tb := cltypes.Trunc(a, ty), cltypes.Trunc(b, ty)
+		want := (ta + tb) / 2 // fits in uint64 for 32-bit operands
+		return cltypes.HAdd(a, b, ty) == cltypes.Trunc(want, ty)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMulHi32 cross-checks mul_hi against the full 64-bit product for
+// 32-bit types.
+func TestMulHi32(t *testing.T) {
+	f := func(a, b uint32) bool {
+		got := cltypes.MulHi(uint64(a), uint64(b), cltypes.TUInt)
+		want := (uint64(a) * uint64(b)) >> 32
+		if got != want {
+			return false
+		}
+		sg := cltypes.MulHi(uint64(a), uint64(b), cltypes.TInt)
+		sw := uint64(int64(int32(a))*int64(int32(b))>>32) & 0xffffffff
+		return sg == sw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftsSafe: shifts are total and match plain shifts on defined
+// inputs.
+func TestShiftsSafe(t *testing.T) {
+	f := func(a uint64, k uint8) bool {
+		ty := cltypes.TUInt
+		sh := uint64(k)
+		got := cltypes.Shl(a, sh, ty, cltypes.TUInt)
+		if sh < 32 {
+			want := cltypes.Trunc(cltypes.Trunc(a, ty)<<sh, ty)
+			if got != want {
+				return false
+			}
+		} else if got != cltypes.Trunc(a, ty) {
+			return false // safe fallback
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUsualArith spot-checks C99 usual arithmetic conversions.
+func TestUsualArith(t *testing.T) {
+	cases := []struct {
+		a, b, want *cltypes.Scalar
+	}{
+		{cltypes.TChar, cltypes.TChar, cltypes.TInt},     // promotion
+		{cltypes.TShort, cltypes.TUShort, cltypes.TInt},  // both promote to int
+		{cltypes.TInt, cltypes.TUInt, cltypes.TUInt},     // unsigned wins at equal rank
+		{cltypes.TUInt, cltypes.TLong, cltypes.TLong},    // long covers uint
+		{cltypes.TLong, cltypes.TULong, cltypes.TULong},  // unsigned wins
+		{cltypes.TInt, cltypes.TSizeT, cltypes.TSizeT},   // the config-15 mixing shape
+		{cltypes.TULong, cltypes.TSizeT, cltypes.TULong}, // same rank unsigned
+	}
+	for _, c := range cases {
+		if got := cltypes.UsualArith(c.a, c.b); got.Kind() != c.want.Kind() {
+			t.Errorf("UsualArith(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestStructLayout checks padding-sensitive sizes (the layout the AMD and
+// NVIDIA defect models depend on).
+func TestStructLayout(t *testing.T) {
+	s := &cltypes.StructT{Name: "S", Fields: []cltypes.Field{
+		{Name: "a", Type: cltypes.TChar},
+		{Name: "b", Type: cltypes.TShort},
+	}}
+	if s.Size() != 4 {
+		t.Errorf("struct{char;short} size = %d, want 4 (1 pad byte + alignment)", s.Size())
+	}
+	u := &cltypes.StructT{Name: "U", IsUnion: true, Fields: []cltypes.Field{
+		{Name: "a", Type: cltypes.TUInt},
+		{Name: "b", Type: s},
+	}}
+	if u.Size() != 4 {
+		t.Errorf("union size = %d, want 4", u.Size())
+	}
+	arr := cltypes.ArrayOf(cltypes.ArrayOf(cltypes.TULong, 3), 2)
+	if arr.Size() != 48 {
+		t.Errorf("ulong[2][3] size = %d, want 48", arr.Size())
+	}
+	dims, elem := arr.Dims()
+	if len(dims) != 2 || dims[0] != 2 || dims[1] != 3 || !elem.Equal(cltypes.TULong) {
+		t.Errorf("Dims = %v %s", dims, elem)
+	}
+}
+
+// TestSwizzleIndices checks both selector syntaxes.
+func TestSwizzleIndices(t *testing.T) {
+	cases := []struct {
+		sel  string
+		want []int
+	}{
+		{"x", []int{0}}, {"y", []int{1}}, {"w", []int{3}},
+		{"xyzw", []int{0, 1, 2, 3}},
+		{"s0", []int{0}}, {"sf", []int{15}}, {"s03", []int{0, 3}},
+		{"q", nil}, {"", nil}, {"s", nil}, {"xq", nil},
+	}
+	for _, c := range cases {
+		got := cltypes.SwizzleIndices(c.sel)
+		if len(got) != len(c.want) {
+			t.Errorf("SwizzleIndices(%q) = %v, want %v", c.sel, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SwizzleIndices(%q) = %v, want %v", c.sel, got, c.want)
+			}
+		}
+	}
+}
+
+// TestVectorByName checks vector type name parsing.
+func TestVectorByName(t *testing.T) {
+	v, ok := cltypes.VectorByName("ushort8")
+	if !ok || v.Len != 8 || v.Elem.Kind() != cltypes.KindUShort {
+		t.Errorf("VectorByName(ushort8) = %v %v", v, ok)
+	}
+	if _, ok := cltypes.VectorByName("int3"); ok {
+		t.Error("int3 should be rejected (OpenCL 1.0 subset)")
+	}
+	if _, ok := cltypes.VectorByName("float4"); ok {
+		t.Error("float4 should be rejected (integer subset)")
+	}
+}

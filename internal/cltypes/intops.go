@@ -1,0 +1,350 @@
+package cltypes
+
+import "math/bits"
+
+// This file implements the well-defined two's complement integer semantics
+// of the OpenCL C subset. All scalar values are represented as uint64 bit
+// patterns truncated to the width of their type; signed values use two's
+// complement within that width (paper §3.1: widths are fixed and two's
+// complement is mandated, so bit-level operations are well-defined even on
+// signed data).
+
+// Trunc truncates v to the width of t (for bool, normalizes to 0/1).
+func Trunc(v uint64, t *Scalar) uint64 {
+	if t.K == KindBool {
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	if t.Bits >= 64 {
+		return v
+	}
+	return v & ((1 << uint(t.Bits)) - 1)
+}
+
+// SExt sign- or zero-extends the truncated value v of type t to a full
+// 64-bit pattern suitable for arithmetic at 64-bit width.
+func SExt(v uint64, t *Scalar) uint64 {
+	if t.Bits >= 64 || !t.Signed {
+		return Trunc(v, t)
+	}
+	v = Trunc(v, t)
+	sign := uint64(1) << uint(t.Bits-1)
+	if v&sign != 0 {
+		return v | ^((1 << uint(t.Bits)) - 1)
+	}
+	return v
+}
+
+// AsInt64 interprets the value v of type t as a Go int64.
+func AsInt64(v uint64, t *Scalar) int64 { return int64(SExt(v, t)) }
+
+// Convert converts value v of type from to type to, following the C
+// conversion rules (truncation for narrowing; sign/zero extension for
+// widening; bool normalization).
+func Convert(v uint64, from, to *Scalar) uint64 {
+	if to.K == KindBool {
+		if Trunc(v, from) != 0 {
+			return 1
+		}
+		return 0
+	}
+	return Trunc(SExt(v, from), to)
+}
+
+// Neg returns -v in type t (wrapping).
+func Neg(v uint64, t *Scalar) uint64 { return Trunc(-SExt(v, t), t) }
+
+// Not returns ~v in type t.
+func Not(v uint64, t *Scalar) uint64 { return Trunc(^SExt(v, t), t) }
+
+// LNot returns !v (1 if v is zero, else 0).
+func LNot(v uint64, t *Scalar) uint64 {
+	if Trunc(v, t) == 0 {
+		return 1
+	}
+	return 0
+}
+
+// Add returns a+b in type t (wrapping two's complement).
+func Add(a, b uint64, t *Scalar) uint64 { return Trunc(SExt(a, t)+SExt(b, t), t) }
+
+// Sub returns a-b in type t.
+func Sub(a, b uint64, t *Scalar) uint64 { return Trunc(SExt(a, t)-SExt(b, t), t) }
+
+// Mul returns a*b in type t.
+func Mul(a, b uint64, t *Scalar) uint64 { return Trunc(SExt(a, t)*SExt(b, t), t) }
+
+// DivDefined reports whether a/b is defined in type t (b nonzero, and not
+// MIN/-1 overflow for signed types).
+func DivDefined(a, b uint64, t *Scalar) bool {
+	if Trunc(b, t) == 0 {
+		return false
+	}
+	if t.Signed {
+		min := uint64(1) << uint(t.Bits-1)
+		if Trunc(a, t) == min && AsInt64(b, t) == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Div returns a/b in type t. The caller must ensure DivDefined; safe
+// wrappers in the generated programs guard division (Csmith "safe math").
+// When undefined it returns a, matching the safe_div macro semantics.
+func Div(a, b uint64, t *Scalar) uint64 {
+	if !DivDefined(a, b, t) {
+		return Trunc(a, t)
+	}
+	if t.Signed {
+		return Trunc(uint64(AsInt64(a, t)/AsInt64(b, t)), t)
+	}
+	return Trunc(Trunc(a, t)/Trunc(b, t), t)
+}
+
+// Mod returns a%b in type t with the same safe-math fallback as Div.
+func Mod(a, b uint64, t *Scalar) uint64 {
+	if !DivDefined(a, b, t) {
+		return Trunc(a, t)
+	}
+	if t.Signed {
+		return Trunc(uint64(AsInt64(a, t)%AsInt64(b, t)), t)
+	}
+	return Trunc(Trunc(a, t)%Trunc(b, t), t)
+}
+
+// ShlDefined reports whether a<<b is defined for type t under C99 rules.
+func ShlDefined(a, b uint64, t, bt *Scalar) bool {
+	sb := AsInt64(b, bt)
+	if sb < 0 || sb >= int64(t.Bits) {
+		return false
+	}
+	if t.Signed && AsInt64(a, t) < 0 {
+		return false
+	}
+	return true
+}
+
+// Shl returns a<<b in type t; when undefined it returns a (safe_lshift
+// semantics).
+func Shl(a, b uint64, t, bt *Scalar) uint64 {
+	if !ShlDefined(a, b, t, bt) {
+		return Trunc(a, t)
+	}
+	return Trunc(Trunc(a, t)<<uint(Trunc(b, bt)), t)
+}
+
+// ShrDefined reports whether a>>b is defined for type t.
+func ShrDefined(b uint64, t, bt *Scalar) bool {
+	sb := AsInt64(b, bt)
+	return sb >= 0 && sb < int64(t.Bits)
+}
+
+// Shr returns a>>b in type t (arithmetic shift for signed types); when
+// undefined it returns a.
+func Shr(a, b uint64, t, bt *Scalar) uint64 {
+	if !ShrDefined(b, t, bt) {
+		return Trunc(a, t)
+	}
+	sh := uint(Trunc(b, bt))
+	if t.Signed {
+		return Trunc(uint64(AsInt64(a, t)>>sh), t)
+	}
+	return Trunc(Trunc(a, t)>>sh, t)
+}
+
+// And returns a&b in type t.
+func And(a, b uint64, t *Scalar) uint64 { return Trunc(a&b, t) }
+
+// Or returns a|b in type t.
+func Or(a, b uint64, t *Scalar) uint64 { return Trunc(a|b, t) }
+
+// Xor returns a^b in type t.
+func Xor(a, b uint64, t *Scalar) uint64 { return Trunc(a^b, t) }
+
+// CmpLT returns 1 if a<b in type t, else 0.
+func CmpLT(a, b uint64, t *Scalar) uint64 {
+	if t.Signed {
+		if AsInt64(a, t) < AsInt64(b, t) {
+			return 1
+		}
+		return 0
+	}
+	if Trunc(a, t) < Trunc(b, t) {
+		return 1
+	}
+	return 0
+}
+
+// CmpLE returns 1 if a<=b in type t, else 0.
+func CmpLE(a, b uint64, t *Scalar) uint64 {
+	if Trunc(a, t) == Trunc(b, t) {
+		return 1
+	}
+	return CmpLT(a, b, t)
+}
+
+// CmpEQ returns 1 if a==b in type t, else 0.
+func CmpEQ(a, b uint64, t *Scalar) uint64 {
+	if Trunc(a, t) == Trunc(b, t) {
+		return 1
+	}
+	return 0
+}
+
+// Rotate implements the OpenCL rotate builtin: left-rotate the bits of a by
+// b places, modulo the width (paper §3.1: well-defined on signed data due to
+// two's complement).
+func Rotate(a, b uint64, t *Scalar) uint64 {
+	w := uint(t.Bits)
+	sh := uint(Trunc(b, t)) % w
+	av := Trunc(a, t)
+	if sh == 0 {
+		return av
+	}
+	return Trunc(av<<sh|av>>(w-sh), t)
+}
+
+// Clamp implements the OpenCL clamp builtin with defined inputs (min<=max);
+// the generator wraps it in safe_clamp which falls back to x when min>max
+// (the paper's safe_clamp macro).
+func Clamp(x, lo, hi uint64, t *Scalar) uint64 {
+	if CmpLT(x, lo, t) == 1 {
+		return Trunc(lo, t)
+	}
+	if CmpLT(hi, x, t) == 1 {
+		return Trunc(hi, t)
+	}
+	return Trunc(x, t)
+}
+
+// Min returns the smaller of a and b in type t.
+func Min(a, b uint64, t *Scalar) uint64 {
+	if CmpLT(a, b, t) == 1 {
+		return Trunc(a, t)
+	}
+	return Trunc(b, t)
+}
+
+// Max returns the larger of a and b in type t.
+func Max(a, b uint64, t *Scalar) uint64 {
+	if CmpLT(a, b, t) == 1 {
+		return Trunc(b, t)
+	}
+	return Trunc(a, t)
+}
+
+// Abs implements the OpenCL abs builtin: |x| returned as the unsigned type
+// of the same width, total even at MIN.
+func Abs(a uint64, t *Scalar) uint64 {
+	if !t.Signed {
+		return Trunc(a, t)
+	}
+	s := AsInt64(a, t)
+	if s < 0 {
+		return Trunc(uint64(-s), t)
+	}
+	return Trunc(a, t)
+}
+
+// AddSat implements the OpenCL add_sat builtin (saturating addition).
+func AddSat(a, b uint64, t *Scalar) uint64 {
+	if t.Signed {
+		sa, sb := AsInt64(a, t), AsInt64(b, t)
+		max := int64(1)<<uint(t.Bits-1) - 1
+		min := -int64(1) << uint(t.Bits-1)
+		sum := sa + sb
+		if t.Bits == 64 {
+			// Detect 64-bit overflow explicitly.
+			if sa > 0 && sb > 0 && sum < 0 {
+				return Trunc(uint64(max), t)
+			}
+			if sa < 0 && sb < 0 && sum >= 0 {
+				return Trunc(uint64(min), t)
+			}
+			return uint64(sum)
+		}
+		if sum > max {
+			sum = max
+		}
+		if sum < min {
+			sum = min
+		}
+		return Trunc(uint64(sum), t)
+	}
+	ua, ub := Trunc(a, t), Trunc(b, t)
+	sum, carry := bits.Add64(ua, ub, 0)
+	if t.Bits == 64 {
+		if carry != 0 {
+			return ^uint64(0)
+		}
+		return sum
+	}
+	lim := uint64(1)<<uint(t.Bits) - 1
+	if sum > lim {
+		return lim
+	}
+	return sum
+}
+
+// SubSat implements the OpenCL sub_sat builtin (saturating subtraction).
+func SubSat(a, b uint64, t *Scalar) uint64 {
+	if t.Signed {
+		return AddSat(a, Neg(b, t), t)
+	}
+	ua, ub := Trunc(a, t), Trunc(b, t)
+	if ub > ua {
+		return 0
+	}
+	return ua - ub
+}
+
+// HAdd implements the OpenCL hadd builtin: (a+b)>>1 without overflow.
+func HAdd(a, b uint64, t *Scalar) uint64 {
+	if t.Signed {
+		sa, sb := AsInt64(a, t), AsInt64(b, t)
+		return Trunc(uint64((sa>>1)+(sb>>1)+(sa&sb&1)), t)
+	}
+	ua, ub := Trunc(a, t), Trunc(b, t)
+	return Trunc((ua>>1)+(ub>>1)+(ua&ub&1), t)
+}
+
+// MulHi implements the OpenCL mul_hi builtin: the high half of the full
+// product of a and b.
+func MulHi(a, b uint64, t *Scalar) uint64 {
+	if t.Bits < 64 {
+		if t.Signed {
+			p := AsInt64(a, t) * AsInt64(b, t)
+			return Trunc(uint64(p>>uint(t.Bits)), t)
+		}
+		p := Trunc(a, t) * Trunc(b, t)
+		return Trunc(p>>uint(t.Bits), t)
+	}
+	if t.Signed {
+		hi, _ := bits.Mul64(SExt(a, t), SExt(b, t))
+		// Adjust for signedness (two's complement high multiply).
+		sa, sb := AsInt64(a, t), AsInt64(b, t)
+		if sa < 0 {
+			hi -= SExt(b, t)
+		}
+		if sb < 0 {
+			hi -= SExt(a, t)
+		}
+		return hi
+	}
+	hi, _ := bits.Mul64(a, b)
+	return hi
+}
+
+// Popcount implements the OpenCL popcount builtin.
+func Popcount(a uint64, t *Scalar) uint64 {
+	return uint64(bits.OnesCount64(Trunc(a, t)))
+}
+
+// Clz implements the OpenCL clz builtin (leading zeros within the width).
+func Clz(a uint64, t *Scalar) uint64 {
+	v := Trunc(a, t)
+	return uint64(bits.LeadingZeros64(v) - (64 - t.Bits))
+}

@@ -1,0 +1,516 @@
+// Package cltypes implements the OpenCL C subset type system used throughout
+// the fuzzer: the fixed-width integer scalar types mandated by the OpenCL
+// specification, vector types of lengths 2/4/8/16, structs, unions, arrays
+// and address-space-qualified pointers.
+//
+// OpenCL fixes the widths of the primitive types and mandates two's
+// complement representation for signed integers (paper §3.1), so all integer
+// values in this code base are carried as uint64 bit patterns truncated to
+// the width of their type; package cltypes also provides the arithmetic
+// helpers that implement the wrapping, well-defined semantics.
+package cltypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the categories of types in the subset.
+type Kind int
+
+// The type kinds.
+const (
+	KindBool Kind = iota
+	KindChar
+	KindUChar
+	KindShort
+	KindUShort
+	KindInt
+	KindUInt
+	KindLong
+	KindULong
+	KindSizeT
+	KindVector
+	KindStruct
+	KindUnion
+	KindArray
+	KindPointer
+	KindVoid
+)
+
+// AddrSpace is an OpenCL address space qualifier.
+type AddrSpace int
+
+// The four OpenCL memory spaces (paper §3.1). Private is the default.
+const (
+	Private AddrSpace = iota
+	Global
+	Local
+	Constant
+)
+
+// String returns the OpenCL C keyword for the address space, or the empty
+// string for the default (private) space.
+func (s AddrSpace) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case Local:
+		return "local"
+	case Constant:
+		return "constant"
+	default:
+		return ""
+	}
+}
+
+// Type is the interface implemented by all types in the subset.
+type Type interface {
+	Kind() Kind
+	// String renders the type as OpenCL C source.
+	String() string
+	// Size returns the storage size in bytes (used for layout-sensitive
+	// bug models such as struct padding miscompilations).
+	Size() int
+	// Equal reports structural type equality.
+	Equal(Type) bool
+}
+
+// Scalar is a fixed-width integer type. Bool is modeled as a 1-bit unsigned
+// scalar that stores 0 or 1.
+type Scalar struct {
+	K      Kind
+	Bits   int
+	Signed bool
+}
+
+// The singleton scalar types.
+var (
+	TBool   = &Scalar{KindBool, 1, false}
+	TChar   = &Scalar{KindChar, 8, true}
+	TUChar  = &Scalar{KindUChar, 8, false}
+	TShort  = &Scalar{KindShort, 16, true}
+	TUShort = &Scalar{KindUShort, 16, false}
+	TInt    = &Scalar{KindInt, 32, true}
+	TUInt   = &Scalar{KindUInt, 32, false}
+	TLong   = &Scalar{KindLong, 64, true}
+	TULong  = &Scalar{KindULong, 64, false}
+	TSizeT  = &Scalar{KindSizeT, 64, false}
+)
+
+// Kind implements Type.
+func (s *Scalar) Kind() Kind { return s.K }
+
+// String implements Type.
+func (s *Scalar) String() string {
+	switch s.K {
+	case KindBool:
+		return "bool"
+	case KindChar:
+		return "char"
+	case KindUChar:
+		return "uchar"
+	case KindShort:
+		return "short"
+	case KindUShort:
+		return "ushort"
+	case KindInt:
+		return "int"
+	case KindUInt:
+		return "uint"
+	case KindLong:
+		return "long"
+	case KindULong:
+		return "ulong"
+	case KindSizeT:
+		return "size_t"
+	}
+	return "?"
+}
+
+// Size implements Type.
+func (s *Scalar) Size() int {
+	if s.K == KindBool {
+		return 1
+	}
+	return s.Bits / 8
+}
+
+// Equal implements Type.
+func (s *Scalar) Equal(o Type) bool {
+	os, ok := o.(*Scalar)
+	return ok && os.K == s.K
+}
+
+// Vector is an OpenCL vector type such as int4 or ushort8.
+type Vector struct {
+	Elem *Scalar
+	Len  int
+}
+
+// VectorLens lists the vector lengths supported by the subset. OpenCL 1.0
+// supports 2, 4, 8 and 16 (length-3 vectors arrived in 1.1 and are omitted,
+// matching CLsmith).
+var VectorLens = []int{2, 4, 8, 16}
+
+// VecOf returns the vector type with the given element type and length.
+func VecOf(elem *Scalar, n int) *Vector { return &Vector{Elem: elem, Len: n} }
+
+// Kind implements Type.
+func (v *Vector) Kind() Kind { return KindVector }
+
+// String implements Type.
+func (v *Vector) String() string { return fmt.Sprintf("%s%d", v.Elem.String(), v.Len) }
+
+// Size implements Type.
+func (v *Vector) Size() int { return v.Elem.Size() * v.Len }
+
+// Equal implements Type.
+func (v *Vector) Equal(o Type) bool {
+	ov, ok := o.(*Vector)
+	return ok && ov.Len == v.Len && ov.Elem.Equal(v.Elem)
+}
+
+// Field is a struct or union member.
+type Field struct {
+	Name     string
+	Type     Type
+	Volatile bool
+}
+
+// StructT is a struct or union type. Union types set IsUnion.
+type StructT struct {
+	Name    string
+	Fields  []Field
+	IsUnion bool
+}
+
+// Kind implements Type.
+func (s *StructT) Kind() Kind {
+	if s.IsUnion {
+		return KindUnion
+	}
+	return KindStruct
+}
+
+// String implements Type.
+func (s *StructT) String() string {
+	if s.IsUnion {
+		return "union " + s.Name
+	}
+	return "struct " + s.Name
+}
+
+// Size implements Type. Struct layout uses natural alignment, matching the
+// OpenCL ABI rules closely enough for the padding-sensitive bug models.
+func (s *StructT) Size() int {
+	if s.IsUnion {
+		max := 0
+		for _, f := range s.Fields {
+			if sz := f.Type.Size(); sz > max {
+				max = sz
+			}
+		}
+		return max
+	}
+	off, maxAlign := 0, 1
+	for _, f := range s.Fields {
+		a := alignOf(f.Type)
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = roundUp(off, a)
+		off += f.Type.Size()
+	}
+	return roundUp(off, maxAlign)
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructT) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal implements Type. Struct types use name equality (the subset has no
+// anonymous struct types outside definitions).
+func (s *StructT) Equal(o Type) bool {
+	os, ok := o.(*StructT)
+	return ok && os.Name == s.Name && os.IsUnion == s.IsUnion
+}
+
+// Array is a constant-length array type. Multi-dimensional arrays are
+// arrays of arrays.
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+// ArrayOf returns the array type [n]elem.
+func ArrayOf(elem Type, n int) *Array { return &Array{Elem: elem, Len: n} }
+
+// Kind implements Type.
+func (a *Array) Kind() Kind { return KindArray }
+
+// String implements Type.
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem.String(), a.Len) }
+
+// Size implements Type.
+func (a *Array) Size() int { return a.Elem.Size() * a.Len }
+
+// Equal implements Type.
+func (a *Array) Equal(o Type) bool {
+	oa, ok := o.(*Array)
+	return ok && oa.Len == a.Len && oa.Elem.Equal(a.Elem)
+}
+
+// Dims flattens a possibly multi-dimensional array type into its dimension
+// list and ultimate element type.
+func (a *Array) Dims() (dims []int, elem Type) {
+	t := Type(a)
+	for {
+		at, ok := t.(*Array)
+		if !ok {
+			return dims, t
+		}
+		dims = append(dims, at.Len)
+		t = at.Elem
+	}
+}
+
+// Pointer is an address-space qualified pointer type.
+type Pointer struct {
+	Elem  Type
+	Space AddrSpace
+}
+
+// PtrTo returns a private-space pointer to elem.
+func PtrTo(elem Type) *Pointer { return &Pointer{Elem: elem, Space: Private} }
+
+// Kind implements Type.
+func (p *Pointer) Kind() Kind { return KindPointer }
+
+// String implements Type.
+func (p *Pointer) String() string {
+	var b strings.Builder
+	if s := p.Space.String(); s != "" {
+		b.WriteString(s)
+		b.WriteByte(' ')
+	}
+	b.WriteString(p.Elem.String())
+	b.WriteByte('*')
+	return b.String()
+}
+
+// Size implements Type. Pointers are modeled as 8 bytes.
+func (p *Pointer) Size() int { return 8 }
+
+// Equal implements Type. Address spaces must match: OpenCL 1.x pointers to
+// distinct address spaces are distinct types.
+func (p *Pointer) Equal(o Type) bool {
+	op, ok := o.(*Pointer)
+	return ok && op.Space == p.Space && op.Elem.Equal(p.Elem)
+}
+
+// Void is the void type (function returns only).
+type Void struct{}
+
+// TVoid is the singleton void type.
+var TVoid = &Void{}
+
+// Kind implements Type.
+func (*Void) Kind() Kind { return KindVoid }
+
+// String implements Type.
+func (*Void) String() string { return "void" }
+
+// Size implements Type.
+func (*Void) Size() int { return 0 }
+
+// Equal implements Type.
+func (*Void) Equal(o Type) bool { _, ok := o.(*Void); return ok }
+
+func alignOf(t Type) int {
+	switch tt := t.(type) {
+	case *Scalar:
+		return tt.Size()
+	case *Vector:
+		return tt.Size()
+	case *StructT:
+		a := 1
+		for _, f := range tt.Fields {
+			if fa := alignOf(f.Type); fa > a {
+				a = fa
+			}
+		}
+		return a
+	case *Array:
+		return alignOf(tt.Elem)
+	case *Pointer:
+		return 8
+	}
+	return 1
+}
+
+func roundUp(x, a int) int { return (x + a - 1) / a * a }
+
+// IsScalarInt reports whether t is an integer scalar (including bool and
+// size_t).
+func IsScalarInt(t Type) bool {
+	_, ok := t.(*Scalar)
+	return ok
+}
+
+// IsVector reports whether t is a vector type.
+func IsVector(t Type) bool {
+	_, ok := t.(*Vector)
+	return ok
+}
+
+// ScalarByName resolves an OpenCL C scalar type keyword.
+func ScalarByName(name string) (*Scalar, bool) {
+	switch name {
+	case "bool":
+		return TBool, true
+	case "char":
+		return TChar, true
+	case "uchar":
+		return TUChar, true
+	case "short":
+		return TShort, true
+	case "ushort":
+		return TUShort, true
+	case "int":
+		return TInt, true
+	case "uint":
+		return TUInt, true
+	case "long":
+		return TLong, true
+	case "ulong":
+		return TULong, true
+	case "size_t":
+		return TSizeT, true
+	}
+	return nil, false
+}
+
+// VectorByName resolves an OpenCL C vector type name such as "int4".
+func VectorByName(name string) (*Vector, bool) {
+	for _, base := range []string{"uchar", "ushort", "uint", "ulong", "char", "short", "int", "long"} {
+		if strings.HasPrefix(name, base) {
+			suffix := name[len(base):]
+			switch suffix {
+			case "2", "4", "8", "16":
+				elem, _ := ScalarByName(base)
+				n := 2
+				switch suffix {
+				case "4":
+					n = 4
+				case "8":
+					n = 8
+				case "16":
+					n = 16
+				}
+				return VecOf(elem, n), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// UsualArith implements the C99 usual arithmetic conversions restricted to
+// the OpenCL integer scalar types: both operands are converted to a common
+// type which is returned. Operands of rank below int are promoted to int.
+func UsualArith(a, b *Scalar) *Scalar {
+	a = Promote(a)
+	b = Promote(b)
+	if a.K == b.K {
+		return a
+	}
+	ra, rb := rank(a), rank(b)
+	if a.Signed == b.Signed {
+		if ra >= rb {
+			return a
+		}
+		return b
+	}
+	// Opposite signedness: unsigned wins at equal or higher rank.
+	us, ss := a, b
+	ru, rs := ra, rb
+	if b.Signed == false {
+		us, ss = b, a
+		ru, rs = rb, ra
+	}
+	if ru >= rs {
+		return us
+	}
+	// The signed type has higher rank and can represent all values of the
+	// unsigned type (true for our widths since rank gap implies width gap).
+	return ss
+}
+
+// Promote applies the C integer promotions: types narrower than int are
+// promoted to int; bool promotes to int.
+func Promote(s *Scalar) *Scalar {
+	if s.Bits < 32 || s.K == KindBool {
+		return TInt
+	}
+	return s
+}
+
+func rank(s *Scalar) int {
+	switch s.Bits {
+	case 1, 8:
+		return 1
+	case 16:
+		return 2
+	case 32:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// SwizzleIndices decodes an OpenCL vector component selector (x/y/z/w or
+// s0..sf numeric form) into component indices, or nil if malformed.
+func SwizzleIndices(sel string) []int {
+	if sel == "" {
+		return nil
+	}
+	if sel[0] == 's' || sel[0] == 'S' {
+		var out []int
+		for _, ch := range strings.ToLower(sel[1:]) {
+			switch {
+			case ch >= '0' && ch <= '9':
+				out = append(out, int(ch-'0'))
+			case ch >= 'a' && ch <= 'f':
+				out = append(out, int(ch-'a')+10)
+			default:
+				return nil
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+	var out []int
+	for _, ch := range sel {
+		switch ch {
+		case 'x':
+			out = append(out, 0)
+		case 'y':
+			out = append(out, 1)
+		case 'z':
+			out = append(out, 2)
+		case 'w':
+			out = append(out, 3)
+		default:
+			return nil
+		}
+	}
+	return out
+}

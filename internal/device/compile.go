@@ -1,0 +1,225 @@
+package device
+
+import (
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/opt"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+// Outcome classifies the result of compiling and running one test case,
+// matching the categories of Tables 3-5: success, build failure, runtime
+// crash, timeout.
+type Outcome int
+
+// Outcomes.
+const (
+	OK Outcome = iota
+	BuildFailure
+	Crash
+	Timeout
+)
+
+// String returns the table abbreviation of the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case BuildFailure:
+		return "bf"
+	case Crash:
+		return "c"
+	case Timeout:
+		return "to"
+	}
+	return "?"
+}
+
+// DefaultFuel is the per-thread evaluation step budget corresponding to
+// the paper's 60-second test timeout, before the configuration's fuel
+// factor is applied. It sits at the 98th percentile of the generated-
+// kernel step distribution, so a fuel-factor-1.0 configuration times out
+// on roughly 2% of kernels (the NVIDIA -cl-opt-disable rate of Table 4)
+// and the slow devices (factors near 0.25) on 15-20%.
+const DefaultFuel = int64(290_000)
+
+// CompileResult is the result of online compilation.
+type CompileResult struct {
+	Outcome Outcome
+	Msg     string
+	Kernel  *Kernel
+}
+
+// Kernel is a successfully compiled kernel, ready to run.
+type Kernel struct {
+	Config    *Config
+	Optimized bool
+	Prog      *ast.Program
+	Info      *sema.Info
+	Hash      uint64
+	level     Level
+}
+
+// Compile runs the configuration's online compiler on kernel source:
+// lexing/parsing, semantic analysis with the configuration's front-end
+// defects, the always-on front-end folds, and (unless disabled) the
+// optimization pipeline. The result is OK with a runnable Kernel, or a
+// build failure / compile timeout.
+func (c *Config) Compile(src string, optimize bool) CompileResult {
+	lvl := c.Level(optimize)
+	hash := bugs.Hash(src)
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return CompileResult{Outcome: BuildFailure, Msg: "parse error: " + err.Error()}
+	}
+	info, err := sema.Check(prog, lvl.Defects)
+	if err != nil {
+		return CompileResult{Outcome: BuildFailure, Msg: err.Error()}
+	}
+	// Compile-time defect triggers.
+	if lvl.Defects.Has(bugs.FECompileHangLoop) && info.HasHangPattern {
+		return CompileResult{Outcome: Timeout, Msg: "compiler entered an unbounded loop (Figure 1(e))"}
+	}
+	if lvl.Defects.Has(bugs.FESlowStructBarrier) && info.HasBarrier && info.MaxStructBytes > 64 {
+		return CompileResult{Outcome: Timeout, Msg: "prohibitively slow compilation of large struct with barrier (Figure 1(f))"}
+	}
+	if lvl.Defects.Has(bugs.FEICEAttr) && bugs.Gate(hash, saltICEAttr, lvl.BFDiv) {
+		return CompileResult{Outcome: BuildFailure, Msg: "internal error: Wrong type for attribute zeroext"}
+	}
+	if lvl.Defects.Has(bugs.FEICEPass) && bugs.Gate(hash, saltICEPass, lvl.BFDiv) {
+		return CompileResult{Outcome: BuildFailure, Msg: "internal error in pass 'Intel OpenCL Vectorizer': Instruction does not dominate all uses!"}
+	}
+	if lvl.Defects.Has(bugs.FEICEBarrierHeavy) && info.BarrierCount >= 2 && bugs.Gate(hash, saltICEBarrier, lvl.BFDiv) {
+		return CompileResult{Outcome: BuildFailure, Msg: "internal error in pass 'Intel OpenCL Barrier'"}
+	}
+	if lvl.Defects.Has(bugs.BFHash) && bugs.Gate(hash, saltBF, lvl.BFDiv) {
+		return CompileResult{Outcome: BuildFailure, Msg: "internal compiler error"}
+	}
+	if lvl.Defects.Has(bugs.SlowCompileHash) && bugs.Gate(hash, saltSlow, lvl.SlowDiv) {
+		return CompileResult{Outcome: Timeout, Msg: "compilation exceeded the test timeout"}
+	}
+	// Always-on front-end folds (host of the ±-level folding defects).
+	opt.EarlyFolds(prog, lvl.Defects, hash)
+	if optimize && !c.NoOptimizer {
+		opt.Optimize(prog, lvl.Defects)
+	}
+	return CompileResult{
+		Outcome: OK,
+		Kernel: &Kernel{
+			Config:    c,
+			Optimized: optimize,
+			Prog:      prog,
+			Info:      info,
+			Hash:      hash,
+			level:     lvl,
+		},
+	}
+}
+
+// RunResult is the result of executing a compiled kernel.
+type RunResult struct {
+	Outcome Outcome
+	Msg     string
+	// Output is the contents of the result buffer for OK outcomes (the
+	// comma-separated list CLsmith prints, as raw values).
+	Output []uint64
+}
+
+// RunOptions tunes kernel execution.
+type RunOptions struct {
+	// BaseFuel is the per-thread step budget before the configuration's
+	// fuel factor; DefaultFuel when zero.
+	BaseFuel int64
+	// CheckRaces enables the undefined-behaviour checker (off during
+	// campaigns, as on real devices; on for the reference configuration
+	// when hunting benchmark races).
+	CheckRaces bool
+}
+
+// Run executes the kernel over the NDRange. result names the output buffer
+// whose contents are reported (and corrupted by the residual-miscompilation
+// gates); it must also appear in args.
+func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro RunOptions) RunResult {
+	lvl := k.level
+	// Launch-time crash gates: the unpredictable machine/driver crashes
+	// of §6.
+	if lvl.Defects.Has(bugs.CrashHash) || lvl.CrashDiv != 0 {
+		if bugs.Gate(k.Hash, saltCrash, lvl.CrashDiv) {
+			return RunResult{Outcome: Crash, Msg: "device driver crash"}
+		}
+	}
+	if lvl.CrashBarrierDiv != 0 && k.Info.HasBarrier && bugs.Gate(k.Hash, saltCrashBar, lvl.CrashBarrierDiv) {
+		return RunResult{Outcome: Crash, Msg: "runtime crash in barrier-using kernel"}
+	}
+	fuel := ro.BaseFuel
+	if fuel <= 0 {
+		fuel = DefaultFuel
+	}
+	ff := lvl.FuelFactor
+	if ff <= 0 {
+		ff = 1
+	}
+	opts := exec.Options{
+		Defects:    lvl.Defects,
+		Hash:       k.Hash,
+		Fuel:       int64(float64(fuel) * ff),
+		CheckRaces: ro.CheckRaces,
+		HasFwdDecl: k.Info.HasFwdDecl,
+	}
+	err := exec.Run(k.Prog, nd, args, opts)
+	switch err.(type) {
+	case nil:
+	case *exec.TimeoutError:
+		return RunResult{Outcome: Timeout, Msg: err.Error()}
+	case *exec.CrashError:
+		return RunResult{Outcome: Crash, Msg: err.Error()}
+	case *exec.RaceError, *exec.DivergenceError:
+		// Undefined behaviour detected (only with CheckRaces); callers
+		// that enable checking inspect Msg.
+		return RunResult{Outcome: Crash, Msg: err.Error()}
+	default:
+		return RunResult{Outcome: Crash, Msg: err.Error()}
+	}
+	out := result.Scalars()
+	// Residual miscompilation gates: corrupt the first element, modeling
+	// a wrong-code defect not covered by a specific model.
+	if bugs.Gate(k.Hash, saltWrong, lvl.WrongDiv) && len(out) > 0 {
+		out[0] ^= 0x1
+	}
+	if k.Info.UsesVector && bugs.Gate(k.Hash, saltVecWrong, lvl.VecWrongDiv) && len(out) > 0 {
+		out[0] ^= 0x2
+	}
+	return RunResult{Outcome: OK, Output: out}
+}
+
+// GatesClean reports whether none of the configuration's hash-gated defect
+// triggers fire for the given source at the given optimization level. The
+// Figure 1/2 exhibit kernels tune their source text until the gates are
+// clean for every configuration they document, so that the documented
+// deterministic defect — not a coincidental hash-gated crash — is what a
+// run observes.
+func (c *Config) GatesClean(src string, optimize bool) bool {
+	lvl := c.Level(optimize)
+	h := bugs.Hash(src)
+	for _, g := range []struct {
+		salt uint64
+		div  uint64
+	}{
+		{saltCrash, lvl.CrashDiv},
+		{saltCrashBar, lvl.CrashBarrierDiv},
+		{saltBF, lvl.BFDiv},
+		{saltICEAttr, lvl.BFDiv},
+		{saltICEPass, lvl.BFDiv},
+		{saltICEBarrier, lvl.BFDiv},
+		{saltSlow, lvl.SlowDiv},
+		{saltWrong, lvl.WrongDiv},
+		{saltVecWrong, lvl.VecWrongDiv},
+	} {
+		if bugs.Gate(h, g.salt, g.div) {
+			return false
+		}
+	}
+	return true
+}

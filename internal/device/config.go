@@ -1,0 +1,372 @@
+// Package device models the 21 OpenCL (device, driver) configurations of
+// the paper's Table 1 as simulated compilers: each configuration is a
+// front-end quirk set, an optimization pipeline, an injected defect set per
+// optimization level, hash-gate divisors for the "unpredictable" crash and
+// internal-error classes, and a fuel budget factor that models relative
+// device speed (the source of the paper's timeout rates).
+//
+// Vendors anonymized in the paper remain anonymized here.
+package device
+
+import (
+	"fmt"
+
+	"clfuzz/internal/bugs"
+)
+
+// Type is the device category of Table 1.
+type Type int
+
+// Device categories.
+const (
+	GPU Type = iota
+	CPU
+	Accelerator
+	Emulator
+	FPGA
+)
+
+// String returns the Table 1 device-type label.
+func (t Type) String() string {
+	switch t {
+	case GPU:
+		return "GPU"
+	case CPU:
+		return "CPU"
+	case Accelerator:
+		return "Accelerator"
+	case Emulator:
+		return "Emulator"
+	case FPGA:
+		return "FPGA"
+	}
+	return "?"
+}
+
+// Level holds the defect model for one optimization setting of a
+// configuration.
+type Level struct {
+	// Defects are the armed defect flags.
+	Defects bugs.Set
+	// CrashDiv hash-gates runtime crashes (0 disables); a divisor d
+	// crashes roughly 1/d of kernels.
+	CrashDiv uint64
+	// CrashBarrierDiv hash-gates crashes of kernels that use barriers.
+	CrashBarrierDiv uint64
+	// BFDiv hash-gates residual internal-error build failures.
+	BFDiv uint64
+	// SlowDiv hash-gates prohibitively slow compilations (timeouts).
+	SlowDiv uint64
+	// WrongDiv hash-gates residual miscompilations that corrupt the
+	// result of the first work-item; it calibrates each configuration's
+	// wrong-code rate to the level observed in Table 4 beyond what the
+	// specific defect models produce.
+	WrongDiv uint64
+	// VecWrongDiv is WrongDiv restricted to kernels that use vector
+	// operations (the Oclgrind vector-sensitive rate of Table 4).
+	VecWrongDiv uint64
+	// FuelFactor scales the per-thread execution fuel; slower devices get
+	// less fuel and time out more often.
+	FuelFactor float64
+}
+
+// Config is one row of Table 1.
+type Config struct {
+	ID        int
+	SDK       string
+	Device    string
+	Driver    string
+	CLVersion string
+	OS        string
+	Type      Type
+	// PaperAboveThreshold is the paper's reliability classification
+	// (Table 1 final column), the reference value our Table 1
+	// reproduction is compared against.
+	PaperAboveThreshold bool
+	// NoOptimizer marks configurations that ignore the optimization flag
+	// (Oclgrind does not attempt to optimize kernels, §7.3).
+	NoOptimizer bool
+	// Opt and NoOpt are the defect models with optimizations enabled
+	// (the OpenCL default) and disabled (-cl-opt-disable).
+	Opt   Level
+	NoOpt Level
+}
+
+// Name returns a short display name for tables.
+func (c *Config) Name() string { return fmt.Sprintf("%d", c.ID) }
+
+// Level returns the defect model for the given optimization setting.
+func (c *Config) Level(optimize bool) Level {
+	if optimize {
+		return c.Opt
+	}
+	return c.NoOpt
+}
+
+// salts decorrelate the hash gates of distinct defect classes.
+const (
+	saltCrash      = 0xc0a1
+	saltCrashBar   = 0xc0a2
+	saltBF         = 0xbf01
+	saltSlow       = 0x510c
+	saltWrong      = 0x3c0f
+	saltVecWrong   = 0x3c1f
+	saltICEAttr    = 0x1cea
+	saltICEPass    = 0x1ceb
+	saltICEBarrier = 0x1cec
+)
+
+// All returns the 21 configurations of Table 1. The defect assignments
+// follow §6 and Figures 1-2; the hash-gate divisors are calibrated so that
+// campaign outcome rates have the shape of Tables 3-5.
+func All() []*Config {
+	nvidiaOld := func(id int, dev, drv, os string) *Config {
+		return &Config{
+			ID: id, SDK: "NVIDIA 6.5.19", Device: dev, Driver: drv,
+			CLVersion: "1.1", OS: os, Type: GPU, PaperAboveThreshold: true,
+			Opt: Level{
+				CrashDiv: 19, WrongDiv: 310, FuelFactor: 1.6,
+			},
+			NoOpt: Level{
+				Defects: bugs.WCUnionInit | bugs.FEICEAttr,
+				BFDiv:   25, CrashDiv: 28, WrongDiv: 1400, FuelFactor: 1.0,
+			},
+		}
+	}
+	nvidiaNew := func(id int, dev, drv string) *Config {
+		c := nvidiaOld(id, dev, drv, "RHEL Server 6.5")
+		c.SDK = "NVIDIA 7.0.28"
+		// 346.47 fixed the attribute ICEs we reported (§6), but Table 4
+		// still shows build failures without optimizations for 3-/4-;
+		// the union initialization bug persists.
+		return c
+	}
+	amdGPU := func(id int, dev string) *Config {
+		return &Config{
+			ID: id, SDK: "AMD 2.9-1", Device: dev, Driver: "Catalyst 14.9",
+			CLVersion: "1.2", OS: "Windows 7 Enterprise", Type: GPU,
+			PaperAboveThreshold: false,
+			Opt: Level{
+				Defects: bugs.WCStructCharFirst | bugs.BFHash,
+				BFDiv:   12, CrashDiv: 3, WrongDiv: 30, FuelFactor: 1.2,
+			},
+			NoOpt: Level{
+				CrashDiv: 3, WrongDiv: 18, FuelFactor: 1.0,
+			},
+		}
+	}
+	intelGPU := func(id int, dev, drv, os string) *Config {
+		return &Config{
+			ID: id, SDK: "Intel 4.6", Device: dev, Driver: drv,
+			CLVersion: "1.2", OS: os, Type: GPU, PaperAboveThreshold: false,
+			Opt: Level{
+				Defects: bugs.FECompileHangLoop | bugs.WCStructDeep | bugs.BFHash,
+				BFDiv:   20, CrashDiv: 3, WrongDiv: 25, FuelFactor: 1.2,
+			},
+			NoOpt: Level{
+				Defects:  bugs.FECompileHangLoop | bugs.WCStructDeep,
+				CrashDiv: 3, WrongDiv: 25, FuelFactor: 1.0,
+			},
+		}
+	}
+	anonOld := func(id int, drv string) *Config {
+		return &Config{
+			ID: id, SDK: "Anon. SDK 1", Device: "Anon. device 1", Driver: drv,
+			CLVersion: "1.1", OS: "Linux (anon. version)", Type: GPU,
+			PaperAboveThreshold: false,
+			Opt: Level{
+				Defects:  bugs.WCGroupIDExpr | bugs.WCStructDeep,
+				CrashDiv: 4, WrongDiv: 8, FuelFactor: 0.3,
+			},
+			NoOpt: Level{
+				Defects:  bugs.WCGroupIDExpr | bugs.WCStructDeep | bugs.WCStructCopyNx1,
+				CrashDiv: 4, WrongDiv: 8, FuelFactor: 0.25,
+			},
+		}
+	}
+	cfgs := []*Config{
+		nvidiaOld(1, "NVIDIA GeForce GTX Titan", "343.22", "Ubuntu 14.04.1 LTS"),
+		nvidiaOld(2, "NVIDIA GeForce GTX 770", "343.22", "Ubuntu 14.04.1 LTS"),
+		nvidiaNew(3, "NVIDIA Tesla M2050", "346.47"),
+		nvidiaNew(4, "NVIDIA Tesla K40c", "346.47"),
+		amdGPU(5, "AMD Radeon HD7970 GHz edition"),
+		amdGPU(6, "ATI Radeon HD 6570 650MHz"),
+		intelGPU(7, "Intel HD Graphics 4600", "10.18.10.3960", "Windows 7 Enterprise"),
+		intelGPU(8, "Intel HD Graphics 4000", "10.18.10.3412", "Windows 8.1 Pro"),
+		{
+			ID: 9, SDK: "Anon. SDK 1", Device: "Anon. device 1", Driver: "Anon. driver 1c",
+			CLVersion: "1.1", OS: "Linux (anon. version)", Type: GPU,
+			PaperAboveThreshold: true,
+			// Driver 1c fixed the struct copy bugs we reported, bringing
+			// the configuration above the threshold (§6); the group-id
+			// comparison bug of Figure 2(e) remains.
+			Opt: Level{
+				Defects:  bugs.WCGroupIDExpr,
+				CrashDiv: 55, WrongDiv: 58, FuelFactor: 0.3,
+			},
+			NoOpt: Level{
+				Defects:  bugs.WCGroupIDExpr,
+				CrashDiv: 34, WrongDiv: 62, FuelFactor: 0.25,
+			},
+		},
+		anonOld(10, "Anon. driver 1b"),
+		anonOld(11, "Anon. driver 1a"),
+		{
+			ID: 12, SDK: "Intel 4.6", Device: "Intel Core i7-4770 @ 3.40 GHz", Driver: "4.6.0.92",
+			CLVersion: "2.0", OS: "Windows 7 Enterprise", Type: CPU,
+			PaperAboveThreshold: true,
+			Opt: Level{
+				Defects: bugs.FEICEPass | bugs.SlowCompileHash,
+				BFDiv:   200, SlowDiv: 6, CrashDiv: 16, WrongDiv: 2000, FuelFactor: 1.4,
+			},
+			NoOpt: Level{
+				Defects:  bugs.WCBarrierFwdDecl,
+				CrashDiv: 12, WrongDiv: 480, FuelFactor: 1.0,
+			},
+		},
+		{
+			ID: 13, SDK: "Intel 4.6", Device: "Intel Core i7-4770 @ 3.40 GHz", Driver: "4.2.0.76",
+			CLVersion: "1.2", OS: "Windows 7 Enterprise", Type: CPU,
+			PaperAboveThreshold: true,
+			Opt: Level{
+				Defects: bugs.FEICEPass | bugs.SlowCompileHash,
+				BFDiv:   200, SlowDiv: 6, CrashDiv: 16, WrongDiv: 2400, FuelFactor: 1.4,
+			},
+			NoOpt: Level{
+				Defects:  bugs.WCBarrierFwdDecl,
+				CrashDiv: 12, WrongDiv: 480, FuelFactor: 1.0,
+			},
+		},
+		{
+			ID: 14, SDK: "Intel 4.6", Device: "Intel Core i5-3317U @ 1.70 GHz", Driver: "3.0.1.10878",
+			CLVersion: "1.2", OS: "Windows 8.1 Pro", Type: CPU,
+			PaperAboveThreshold: true,
+			Opt: Level{
+				Defects:  bugs.WCRotateConstFold | bugs.WCSwizzleFold,
+				CrashDiv: 42, WrongDiv: 105, FuelFactor: 0.9,
+			},
+			NoOpt: Level{
+				Defects: bugs.WCRotateConstFold | bugs.CrashBarrierFwdDecl |
+					bugs.CrashBarrierHeavy | bugs.FEICEBarrierHeavy | bugs.WCDeadLoopBarrier,
+				CrashBarrierDiv: 4, BFDiv: 50, CrashDiv: 200, WrongDiv: 800, FuelFactor: 0.8,
+			},
+		},
+		{
+			ID: 15, SDK: "Intel XE 2013 R20", Device: "Intel Xeon X5650 @ 2.67GHz", Driver: "1.2 build 56860",
+			CLVersion: "1.2", OS: "RHEL Server 6.5", Type: CPU,
+			PaperAboveThreshold: true,
+			Opt: Level{
+				Defects:  bugs.FEIntSizeTMix | bugs.WCSwizzleFold,
+				CrashDiv: 35, WrongDiv: 140, FuelFactor: 0.7,
+			},
+			NoOpt: Level{
+				Defects: bugs.FEIntSizeTMix | bugs.CrashBarrierFwdDecl |
+					bugs.CrashBarrierHeavy | bugs.WCDeadLoopBarrier,
+				CrashBarrierDiv: 3, CrashDiv: 500, WrongDiv: 1800, FuelFactor: 1.1,
+			},
+		},
+		{
+			ID: 16, SDK: "AMD 2.9-1", Device: "Intel Xeon E5-2609 v2 @ 2.50GHz", Driver: "Catalyst 14.9",
+			CLVersion: "1.2", OS: "Windows 7 Enterprise", Type: CPU,
+			PaperAboveThreshold: false,
+			// The AMD CPU compiler shares the Figure 1(a) struct defect
+			// with the AMD GPUs and adds further padding-related
+			// miscompilations (both reported to and confirmed by AMD, §6),
+			// keeping it below the reliability threshold.
+			Opt: Level{
+				Defects:  bugs.WCStructCharFirst,
+				CrashDiv: 30, WrongDiv: 4, FuelFactor: 1.2,
+			},
+			NoOpt: Level{
+				CrashDiv: 30, WrongDiv: 4, FuelFactor: 1.0,
+			},
+		},
+		{
+			ID: 17, SDK: "Anon. SDK 2", Device: "Anon. device 2", Driver: "Anon. driver 2",
+			CLVersion: "1.1", OS: "Linux (anon. verson)", Type: CPU,
+			PaperAboveThreshold: false,
+			Opt: Level{
+				Defects:  bugs.WCStructPtrWriteBarrier,
+				CrashDiv: 8, WrongDiv: 40, FuelFactor: 0.8,
+			},
+			NoOpt: Level{
+				Defects:  bugs.WCStructPtrWriteBarrier,
+				CrashDiv: 8, WrongDiv: 40, FuelFactor: 0.7,
+			},
+		},
+		{
+			ID: 18, SDK: "Intel XE 2013 R2", Device: "Intel Xeon Phi", Driver: "5889-14",
+			CLVersion: "1.2", OS: "RHEL Server 6.5", Type: Accelerator,
+			PaperAboveThreshold: false,
+			Opt: Level{
+				Defects:  bugs.FESlowStructBarrier,
+				CrashDiv: 40, WrongDiv: 300, FuelFactor: 0.6,
+			},
+			NoOpt: Level{
+				CrashDiv: 40, WrongDiv: 400, FuelFactor: 0.5,
+			},
+		},
+		{
+			ID: 19, SDK: "Intel 4.6", Device: "Oclgrind v14.5", Driver: "LLVM 3.2, SPIR 1.2",
+			CLVersion: "1.2", OS: "Ubuntu 14.04", Type: Emulator,
+			PaperAboveThreshold: true, NoOptimizer: true,
+			Opt: Level{
+				Defects:  bugs.WCComma,
+				CrashDiv: 2500, VecWrongDiv: 22, FuelFactor: 0.22,
+			},
+			NoOpt: Level{
+				Defects:  bugs.WCComma,
+				CrashDiv: 2500, VecWrongDiv: 22, FuelFactor: 0.22,
+			},
+		},
+		{
+			ID: 20, SDK: "Altera 14.0", Device: "Altera PCIe-385N D5 (Emulated)", Driver: "aoc 14.0 build 200",
+			CLVersion: "1.0", OS: "CentOS 6.5", Type: Emulator,
+			PaperAboveThreshold: false,
+			Opt: Level{
+				Defects: bugs.FEVectorInStructICE | bugs.FEVectorLogicalReject | bugs.BFHash,
+				BFDiv:   4, CrashDiv: 20, WrongDiv: 60, FuelFactor: 0.8,
+			},
+			NoOpt: Level{
+				Defects: bugs.FEVectorInStructICE | bugs.FEVectorLogicalReject | bugs.BFHash,
+				BFDiv:   4, CrashDiv: 20, WrongDiv: 60, FuelFactor: 0.8,
+			},
+		},
+		{
+			ID: 21, SDK: "Altera 14.0", Device: "Altera PCIe-385N D5", Driver: "aoc 14.0 build 200",
+			CLVersion: "1.0", OS: "CentOS 6.5", Type: FPGA,
+			PaperAboveThreshold: false,
+			Opt: Level{
+				Defects: bugs.FEVectorInStructICE | bugs.FEVectorLogicalReject | bugs.BFHash,
+				BFDiv:   2, CrashDiv: 3, WrongDiv: 60, FuelFactor: 0.6,
+			},
+			NoOpt: Level{
+				Defects: bugs.FEVectorInStructICE | bugs.FEVectorLogicalReject | bugs.BFHash,
+				BFDiv:   2, CrashDiv: 3, WrongDiv: 60, FuelFactor: 0.6,
+			},
+		},
+	}
+	return cfgs
+}
+
+// ByID returns the configuration with the given Table 1 id, or nil.
+func ByID(id int) *Config {
+	for _, c := range All() {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Reference returns a defect-free configuration used by hosts that need a
+// trustworthy executor (expected-output generation, race hunting, the
+// reducer's validity checks). It is not part of Table 1.
+func Reference() *Config {
+	return &Config{
+		ID: 0, SDK: "reference", Device: "reference interpreter", Driver: "clfuzz",
+		CLVersion: "1.2", OS: "any", Type: Emulator, PaperAboveThreshold: true,
+		Opt:   Level{FuelFactor: 4},
+		NoOpt: Level{FuelFactor: 4},
+	}
+}

@@ -1,0 +1,149 @@
+package emi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+)
+
+// buildBlock generates one dead-by-construction EMI block. Free variables
+// of the block body are either declared at its start (substitutions off)
+// or aliased to host-kernel variables (substitutions on); the returned
+// count is the number of substitutions performed. With substitutions the
+// block's computation operates on the kernel's own data, giving the
+// compiler the chance to (erroneously) optimize across the block boundary
+// (§5).
+func buildBlock(rng *rand.Rand, deadLen int, hosts []hostVar) (ast.Stmt, int) {
+	r1 := 1 + rng.Intn(deadLen-1)
+	r2 := rng.Intn(r1)
+	b := &blockGen{rng: rng}
+	// Choose the block's working variables: a mix of fresh locals and
+	// substituted host variables.
+	nvars := 2 + rng.Intn(3)
+	subs := 0
+	blk := &ast.Block{}
+	for i := 0; i < nvars; i++ {
+		if len(hosts) > 0 && rng.Intn(2) == 0 {
+			h := hosts[rng.Intn(len(hosts))]
+			if !b.has(h.name) {
+				b.vars = append(b.vars, hostVar{h.name, h.typ})
+				subs++
+				continue
+			}
+		}
+		name := fmt.Sprintf("emi_%d_%d", r1, i)
+		t := emiScalarPool[rng.Intn(len(emiScalarPool))]
+		// The initializer may only use previously introduced variables;
+		// register the new name afterwards so it cannot appear in its own
+		// initializer.
+		init := b.expr(t, 2)
+		b.vars = append(b.vars, hostVar{name, t})
+		blk.Stmts = append(blk.Stmts, &ast.DeclStmt{Decl: &ast.VarDecl{
+			Name: name, Type: t, Init: init,
+		}})
+	}
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		blk.Stmts = append(blk.Stmts, b.stmt(0, r1*16+i))
+	}
+	guard := &ast.Binary{Op: ast.LT,
+		L: &ast.Index{Base: ast.NewVarRef("dead"), Idx: ast.NewIntLit(uint64(r1), cltypes.TInt)},
+		R: &ast.Index{Base: ast.NewVarRef("dead"), Idx: ast.NewIntLit(uint64(r2), cltypes.TInt)},
+	}
+	return &ast.If{Cond: guard, Then: blk}, subs
+}
+
+var emiScalarPool = []*cltypes.Scalar{
+	cltypes.TChar, cltypes.TShort, cltypes.TInt, cltypes.TUInt, cltypes.TLong, cltypes.TULong,
+}
+
+type blockGen struct {
+	rng  *rand.Rand
+	vars []hostVar
+}
+
+func (b *blockGen) has(name string) bool {
+	for _, v := range b.vars {
+		if v.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *blockGen) pick() hostVar { return b.vars[b.rng.Intn(len(b.vars))] }
+
+func (b *blockGen) stmt(depth, salt int) ast.Stmt {
+	switch r := b.rng.Intn(10); {
+	case r < 4 || depth >= 2:
+		v := b.pick()
+		return &ast.ExprStmt{X: &ast.AssignExpr{Op: ast.Assign,
+			LHS: ast.NewVarRef(v.name), RHS: b.expr(v.typ, 2)}}
+	case r < 6:
+		v := b.pick()
+		ops := []ast.AssignOp{ast.AddAssign, ast.XorAssign, ast.OrAssign, ast.AndAssign}
+		return &ast.ExprStmt{X: &ast.AssignExpr{Op: ops[b.rng.Intn(len(ops))],
+			LHS: ast.NewVarRef(v.name), RHS: b.expr(v.typ, 1)}}
+	case r < 8:
+		then := &ast.Block{}
+		for i := 0; i < 1+b.rng.Intn(3); i++ {
+			then.Stmts = append(then.Stmts, b.stmt(depth+1, salt*3+i))
+		}
+		return &ast.If{Cond: b.expr(cltypes.TInt, 2), Then: then}
+	default:
+		// A counted loop, possibly with a break (leaf-prunable and the
+		// target of the lift strategy's jump stripping).
+		iv := fmt.Sprintf("emi_i_%d", salt)
+		body := &ast.Block{}
+		for i := 0; i < 1+b.rng.Intn(3); i++ {
+			body.Stmts = append(body.Stmts, b.stmt(depth+1, salt*5+i))
+		}
+		if b.rng.Intn(3) == 0 {
+			body.Stmts = append(body.Stmts, &ast.If{
+				Cond: &ast.Binary{Op: ast.GT, L: ast.NewVarRef(iv), R: ast.NewIntLit(2, cltypes.TInt)},
+				Then: &ast.Block{Stmts: []ast.Stmt{&ast.Break{}}},
+			})
+		}
+		return &ast.For{
+			Init: &ast.DeclStmt{Decl: &ast.VarDecl{Name: iv, Type: cltypes.TInt, Init: ast.NewIntLit(0, cltypes.TInt)}},
+			Cond: &ast.Binary{Op: ast.LT, L: ast.NewVarRef(iv), R: ast.NewIntLit(uint64(1+b.rng.Intn(8)), cltypes.TInt)},
+			Post: &ast.Unary{Op: ast.PostInc, X: ast.NewVarRef(iv)},
+			Body: body,
+		}
+	}
+}
+
+func (b *blockGen) expr(t *cltypes.Scalar, depth int) ast.Expr {
+	if depth <= 0 {
+		return b.leaf(t)
+	}
+	switch b.rng.Intn(6) {
+	case 0, 1:
+		name := []string{"safe_add", "safe_sub", "safe_mul", "safe_div"}[b.rng.Intn(4)]
+		c := &ast.Call{Name: name, Args: []ast.Expr{b.expr(t, depth-1), b.expr(t, depth-1)}}
+		return &ast.Cast{To: t, X: c}
+	case 2:
+		op := []ast.BinOp{ast.And, ast.Or, ast.Xor}[b.rng.Intn(3)]
+		return &ast.Cast{To: t, X: &ast.Binary{Op: op, L: b.expr(t, depth-1), R: b.expr(t, depth-1)}}
+	case 3:
+		op := []ast.BinOp{ast.LT, ast.GT, ast.EQ}[b.rng.Intn(3)]
+		return &ast.Cast{To: t, X: &ast.Binary{Op: op, L: b.expr(t, depth-1), R: b.expr(t, depth-1)}}
+	case 4:
+		return &ast.Cast{To: t, X: &ast.Unary{Op: ast.BitNot, X: b.expr(t, depth-1)}}
+	default:
+		return b.leaf(t)
+	}
+}
+
+func (b *blockGen) leaf(t *cltypes.Scalar) ast.Expr {
+	if len(b.vars) > 0 && b.rng.Intn(2) == 0 {
+		v := b.pick()
+		if v.typ.Equal(t) {
+			return ast.NewVarRef(v.name)
+		}
+		return &ast.Cast{To: t, X: ast.NewVarRef(v.name)}
+	}
+	return ast.NewIntLit(b.rng.Uint64()&0xffff, t)
+}

@@ -1,0 +1,354 @@
+// Package emi implements equivalence-modulo-inputs testing for OpenCL
+// (paper §5): locating dead-by-construction EMI blocks, deriving program
+// variants by pruning them with the leaf, compound and (novel) lift
+// strategies, and injecting EMI blocks into existing kernels with optional
+// free-variable substitution.
+package emi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+)
+
+// PruneOpts are the pruning probabilities of §5. Compound is applied
+// before lift, so lift runs at the adjusted probability
+// plift/(1-pcompound); Leaf+... the constraint PCompound+PLift <= 1 must
+// hold (enforced by Grid and validated by Prune).
+type PruneOpts struct {
+	PLeaf     float64
+	PCompound float64
+	PLift     float64
+	Seed      int64
+}
+
+// Grid enumerates the paper's §7.4 sweep: every combination of pleaf,
+// pcompound, plift over {0, 0.3, 0.6, 1} satisfying pcompound+plift <= 1 —
+// 40 combinations, i.e. 40 EMI variants per base program.
+func Grid() []PruneOpts {
+	vals := []float64{0, 0.3, 0.6, 1}
+	var out []PruneOpts
+	for _, pl := range vals {
+		for _, pc := range vals {
+			for _, pf := range vals {
+				if pc+pf <= 1 {
+					out = append(out, PruneOpts{PLeaf: pl, PCompound: pc, PLift: pf})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FindBlocks returns the EMI blocks of the program: conditionals of the
+// §5 shape if (dead[r1] < dead[r2]) {...} with literal indices r2 < r1.
+func FindBlocks(prog *ast.Program) []*ast.If {
+	var blocks []*ast.If
+	for _, f := range prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		walkStmts(f.Body, func(s ast.Stmt) {
+			if ifs, ok := s.(*ast.If); ok && IsEMIGuard(ifs.Cond) {
+				blocks = append(blocks, ifs)
+			}
+		})
+	}
+	return blocks
+}
+
+// IsEMIGuard reports whether the expression is a dead-by-construction EMI
+// guard: dead[r1] < dead[r2] with literal r2 < r1.
+func IsEMIGuard(e ast.Expr) bool {
+	bin, ok := e.(*ast.Binary)
+	if !ok || bin.Op != ast.LT {
+		return false
+	}
+	r1, ok1 := emiIndex(bin.L)
+	r2, ok2 := emiIndex(bin.R)
+	return ok1 && ok2 && r2 < r1
+}
+
+func emiIndex(e ast.Expr) (uint64, bool) {
+	idx, ok := e.(*ast.Index)
+	if !ok {
+		return 0, false
+	}
+	vr, ok := idx.Base.(*ast.VarRef)
+	if !ok || vr.Name != "dead" {
+		return 0, false
+	}
+	l, ok := idx.Idx.(*ast.IntLit)
+	if !ok {
+		return 0, false
+	}
+	return l.Val, true
+}
+
+// Prune derives an EMI variant: a deep copy of the program with the
+// contents of every EMI block pruned according to opts. The original
+// program is left untouched.
+func Prune(prog *ast.Program, opts PruneOpts) (*ast.Program, error) {
+	if opts.PCompound+opts.PLift > 1 {
+		return nil, fmt.Errorf("emi: pcompound+plift = %v > 1", opts.PCompound+opts.PLift)
+	}
+	cp := ast.CloneProgram(prog)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	p := &pruner{opts: opts, rng: rng}
+	for _, b := range FindBlocks(cp) {
+		p.pruneBlock(b.Then)
+	}
+	return cp, nil
+}
+
+// PruneAll returns the variant with every EMI block emptied (the paper's
+// "empty EMI block" used to compute expected outputs for the benchmarks,
+// §7.2).
+func PruneAll(prog *ast.Program) *ast.Program {
+	cp := ast.CloneProgram(prog)
+	for _, b := range FindBlocks(cp) {
+		b.Then.Stmts = nil
+	}
+	return cp
+}
+
+type pruner struct {
+	opts PruneOpts
+	rng  *rand.Rand
+}
+
+func (p *pruner) chance(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	return p.rng.Float64() < prob
+}
+
+// pruneBlock prunes the statements of an EMI block in place. For each
+// statement: compound statements are deleted with PCompound, then lifted
+// with the adjusted probability PLift/(1-PCompound); leaf statements
+// (other than declarations, whose deletion would break later uses) are
+// deleted with PLeaf; surviving compound statements recurse.
+func (p *pruner) pruneBlock(b *ast.Block) {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		out = append(out, p.pruneStmt(s)...)
+	}
+	b.Stmts = out
+}
+
+func (p *pruner) pruneStmt(s ast.Stmt) []ast.Stmt {
+	adjLift := p.opts.PLift
+	if p.opts.PCompound < 1 {
+		adjLift = p.opts.PLift / (1 - p.opts.PCompound)
+	}
+	switch st := s.(type) {
+	case *ast.If:
+		if p.chance(p.opts.PCompound) {
+			return nil
+		}
+		if p.chance(adjLift) {
+			// Lift: the conditional's children replace it — then-block
+			// statements followed by else-block statements (§5).
+			var out []ast.Stmt
+			p.pruneBlock(st.Then)
+			out = append(out, st.Then.Stmts...)
+			if eb, ok := st.Else.(*ast.Block); ok {
+				p.pruneBlock(eb)
+				out = append(out, eb.Stmts...)
+			} else if st.Else != nil {
+				out = append(out, p.pruneStmt(st.Else)...)
+			}
+			return out
+		}
+		p.pruneBlock(st.Then)
+		if eb, ok := st.Else.(*ast.Block); ok {
+			p.pruneBlock(eb)
+		}
+		return []ast.Stmt{st}
+	case *ast.For:
+		if p.chance(p.opts.PCompound) {
+			return nil
+		}
+		if p.chance(adjLift) {
+			// Lift: initializer then body, with outermost break/continue
+			// removed so the result remains syntactically valid (§5).
+			var out []ast.Stmt
+			if st.Init != nil {
+				out = append(out, st.Init)
+			}
+			p.pruneBlock(st.Body)
+			stripLoopJumps(st.Body)
+			out = append(out, st.Body.Stmts...)
+			return out
+		}
+		p.pruneBlock(st.Body)
+		return []ast.Stmt{st}
+	case *ast.While:
+		if p.chance(p.opts.PCompound) {
+			return nil
+		}
+		if p.chance(adjLift) {
+			p.pruneBlock(st.Body)
+			stripLoopJumps(st.Body)
+			return st.Body.Stmts
+		}
+		p.pruneBlock(st.Body)
+		return []ast.Stmt{st}
+	case *ast.DoWhile:
+		if p.chance(p.opts.PCompound) {
+			return nil
+		}
+		if p.chance(adjLift) {
+			p.pruneBlock(st.Body)
+			stripLoopJumps(st.Body)
+			return st.Body.Stmts
+		}
+		p.pruneBlock(st.Body)
+		return []ast.Stmt{st}
+	case *ast.Block:
+		if p.chance(p.opts.PCompound) {
+			return nil
+		}
+		p.pruneBlock(st)
+		return []ast.Stmt{st}
+	case *ast.DeclStmt:
+		// Declarations are not prunable leaves: deleting one would leave
+		// dangling references in later statements.
+		return []ast.Stmt{st}
+	default:
+		// Leaf statement: assignment, call, break, continue, empty.
+		if p.chance(p.opts.PLeaf) {
+			return nil
+		}
+		return []ast.Stmt{st}
+	}
+}
+
+// stripLoopJumps removes outermost break and continue statements from a
+// lifted loop body (nested loops keep theirs: those still bind correctly).
+func stripLoopJumps(b *ast.Block) {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ast.Break, *ast.Continue:
+			continue
+		case *ast.If:
+			stripLoopJumps(st.Then)
+			if eb, ok := st.Else.(*ast.Block); ok {
+				stripLoopJumps(eb)
+			}
+			out = append(out, st)
+		case *ast.Block:
+			stripLoopJumps(st)
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	b.Stmts = out
+}
+
+func walkStmts(s ast.Stmt, fn func(ast.Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch st := s.(type) {
+	case *ast.Block:
+		for _, inner := range st.Stmts {
+			walkStmts(inner, fn)
+		}
+	case *ast.If:
+		walkStmts(st.Then, fn)
+		walkStmts(st.Else, fn)
+	case *ast.For:
+		walkStmts(st.Init, fn)
+		walkStmts(st.Body, fn)
+	case *ast.While:
+		walkStmts(st.Body, fn)
+	case *ast.DoWhile:
+		walkStmts(st.Body, fn)
+	}
+}
+
+// ---- injection into existing kernels (§5 "Injecting into real-world
+// kernels", §7.2) ----
+
+// InjectOptions configures EMI injection into an existing kernel.
+type InjectOptions struct {
+	Seed int64
+	// Blocks is the number of EMI blocks to insert (the paper used one or
+	// two per benchmark).
+	Blocks int
+	// Substitute aliases free variables of the block to variables of the
+	// host kernel instead of declaring them locally (§5: substitutions
+	// give the compiler the opportunity to optimize across the block
+	// boundary).
+	Substitute bool
+	// DeadLen is the length of the dead array parameter (default 16).
+	DeadLen int
+}
+
+// Inject adds a `global int *dead` parameter to the kernel of prog and
+// inserts randomly generated EMI blocks at random top-level positions of
+// the kernel body. It returns the number of substitutions performed.
+func Inject(prog *ast.Program, opts InjectOptions) (int, error) {
+	k := prog.Kernel()
+	if k == nil || k.Body == nil {
+		return 0, fmt.Errorf("emi: program has no kernel to inject into")
+	}
+	if opts.DeadLen <= 1 {
+		opts.DeadLen = 16
+	}
+	if opts.Blocks <= 0 {
+		opts.Blocks = 1
+	}
+	hasDead := false
+	for _, p := range k.Params {
+		if p.Name == "dead" {
+			hasDead = true
+		}
+	}
+	if !hasDead {
+		k.Params = append(k.Params, ast.Param{
+			Name: "dead",
+			Type: &cltypes.Pointer{Elem: cltypes.TInt, Space: cltypes.Global},
+		})
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	subs := 0
+	for i := 0; i < opts.Blocks; i++ {
+		pos := rng.Intn(len(k.Body.Stmts) + 1)
+		// Substitution candidates: scalar variables declared at the top
+		// level of the kernel body before the insertion point, plus
+		// scalar parameters.
+		var hosts []hostVar
+		if opts.Substitute {
+			for _, p := range k.Params {
+				if st, ok := p.Type.(*cltypes.Scalar); ok {
+					hosts = append(hosts, hostVar{p.Name, st})
+				}
+			}
+			for _, s := range k.Body.Stmts[:pos] {
+				if ds, ok := s.(*ast.DeclStmt); ok && ds.Decl.Space == cltypes.Private {
+					if st, ok := ds.Decl.Type.(*cltypes.Scalar); ok {
+						hosts = append(hosts, hostVar{ds.Decl.Name, st})
+					}
+				}
+			}
+		}
+		blk, n := buildBlock(rng, opts.DeadLen, hosts)
+		subs += n
+		k.Body.Stmts = append(k.Body.Stmts[:pos],
+			append([]ast.Stmt{blk}, k.Body.Stmts[pos:]...)...)
+	}
+	return subs, nil
+}
+
+type hostVar struct {
+	name string
+	typ  *cltypes.Scalar
+}

@@ -1,0 +1,260 @@
+package emi_test
+
+import (
+	"strings"
+	"testing"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/device"
+	"clfuzz/internal/emi"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/oracle"
+	"clfuzz/internal/parser"
+)
+
+// TestGridShape reproduces the §7.4 sweep shape: every combination of
+// pleaf, pcompound, plift over {0, 0.3, 0.6, 1} with pcompound+plift <= 1
+// — 40 combinations (the paper's 40 variants per base).
+func TestGridShape(t *testing.T) {
+	grid := emi.Grid()
+	if len(grid) != 40 {
+		t.Fatalf("grid has %d combinations, the paper uses 40", len(grid))
+	}
+	seen := map[[3]float64]bool{}
+	for _, po := range grid {
+		if po.PCompound+po.PLift > 1 {
+			t.Errorf("combination %+v violates pcompound+plift <= 1", po)
+		}
+		key := [3]float64{po.PLeaf, po.PCompound, po.PLift}
+		if seen[key] {
+			t.Errorf("duplicate combination %+v", po)
+		}
+		seen[key] = true
+	}
+}
+
+// TestEquivalenceModuloInputs is the defining EMI property (§5): every
+// pruned variant of a kernel with dead-by-construction blocks computes the
+// same output as the base on the defect-free reference, for every grid
+// combination.
+func TestEquivalenceModuloInputs(t *testing.T) {
+	ref := device.Reference()
+	for seed := int64(0); seed < 4; seed++ {
+		k := generator.Generate(generator.Options{
+			Mode: generator.ModeAll, Seed: 7000 + seed, MaxTotalThreads: 32, EMIBlocks: 3,
+		})
+		base := runRef(t, ref, k.Src, k)
+		prog, err := parser.Parse(k.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(emi.FindBlocks(prog)) == 0 {
+			t.Fatalf("seed %d: generated kernel has no recognizable EMI blocks", seed)
+		}
+		for gi, po := range emi.Grid() {
+			po.Seed = seed*100 + int64(gi)
+			variant, err := emi.Prune(prog, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runRef(t, ref, ast.Print(variant), k)
+			if !oracle.Equal(base, got) {
+				t.Fatalf("seed %d grid %d (%+v): EMI variant changed the result on a defect-free compiler",
+					seed, gi, po)
+			}
+		}
+	}
+}
+
+func runRef(t *testing.T, ref *device.Config, src string, k *generator.Kernel) []uint64 {
+	t.Helper()
+	cr := ref.Compile(src, true)
+	if cr.Outcome != device.OK {
+		t.Fatalf("compile: %s\n%s", cr.Msg, src)
+	}
+	args, result := k.Buffers()
+	rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{})
+	if rr.Outcome != device.OK {
+		t.Fatalf("run: %s", rr.Msg)
+	}
+	return rr.Output
+}
+
+// TestPruneAllEmpties: PruneAll leaves the guards but no contents.
+func TestPruneAllEmpties(t *testing.T) {
+	k := generator.Generate(generator.Options{
+		Mode: generator.ModeBasic, Seed: 42, MaxTotalThreads: 16, EMIBlocks: 2,
+	})
+	prog, err := parser.Parse(k.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptied := emi.PruneAll(prog)
+	for _, b := range emi.FindBlocks(emptied) {
+		if len(b.Then.Stmts) != 0 {
+			t.Error("PruneAll left statements inside an EMI block")
+		}
+	}
+	// The original is untouched.
+	hadContent := false
+	for _, b := range emi.FindBlocks(prog) {
+		if len(b.Then.Stmts) > 0 {
+			hadContent = true
+		}
+	}
+	if !hadContent {
+		t.Error("original program was modified by PruneAll")
+	}
+}
+
+// TestFullPruning: pleaf=pcompound=1 removes every statement except
+// declarations (which anchor later uses).
+func TestFullPruning(t *testing.T) {
+	k := generator.Generate(generator.Options{
+		Mode: generator.ModeBasic, Seed: 4, MaxTotalThreads: 16, EMIBlocks: 2,
+	})
+	prog, err := parser.Parse(k.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := emi.Prune(prog, emi.PruneOpts{PLeaf: 1, PCompound: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range emi.FindBlocks(v) {
+		for _, s := range b.Then.Stmts {
+			if _, ok := s.(*ast.DeclStmt); !ok {
+				t.Errorf("full pruning left a %T", s)
+			}
+		}
+	}
+}
+
+// TestLiftStripsJumps: lifting a loop must remove its outermost break and
+// continue statements (§5) so the variant stays compilable.
+func TestLiftStripsJumps(t *testing.T) {
+	src := `
+kernel void entry(global ulong *result, global int *dead) {
+    int acc = 0;
+    if (dead[5] < dead[2]) {
+        for (int i = 0; i < 8; i++) {
+            acc += i;
+            if (i > 3) { break; }
+            for (int j = 0; j < 3; j++) {
+                if (j > 1) { continue; }
+                acc += j;
+            }
+        }
+    }
+    result[get_linear_global_id()] = (ulong)(uint)acc;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force lifting of every compound node.
+	v, err := emi.Prune(prog, emi.PruneOpts{PLift: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(v)
+	if strings.Contains(printed, "break") {
+		t.Errorf("lift left a dangling break:\n%s", printed)
+	}
+	// The lifted variant must still compile and agree with the base.
+	ref := device.Reference()
+	if cr := ref.Compile(printed, true); cr.Outcome != device.OK {
+		t.Fatalf("lifted variant does not compile: %s\n%s", cr.Msg, printed)
+	}
+}
+
+// TestAdjustedLiftProbability: with pcompound=0.6 and plift=0.4 the
+// effective lift probability is 1 (0.4/(1-0.6)), so every surviving
+// compound node must be lifted: no if/for may remain inside EMI blocks.
+func TestAdjustedLiftProbability(t *testing.T) {
+	k := generator.Generate(generator.Options{
+		Mode: generator.ModeBasic, Seed: 77, MaxTotalThreads: 16, EMIBlocks: 3,
+	})
+	prog, err := parser.Parse(k.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := emi.Prune(prog, emi.PruneOpts{PCompound: 0.6, PLift: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range emi.FindBlocks(v) {
+		for _, s := range b.Then.Stmts {
+			switch s.(type) {
+			case *ast.If, *ast.For, *ast.While, *ast.DoWhile:
+				t.Errorf("compound statement survived p'lift = 1: %T", s)
+			}
+		}
+	}
+	// And the constraint violation is reported.
+	if _, err := emi.Prune(prog, emi.PruneOpts{PCompound: 0.7, PLift: 0.5}); err == nil {
+		t.Error("pcompound+plift > 1 accepted")
+	}
+}
+
+// TestInjectSubstitution: injection with substitutions aliases free
+// variables to host-kernel variables; without, all variables are local.
+func TestInjectSubstitution(t *testing.T) {
+	src := `
+kernel void entry(global ulong *out) {
+    int hostvar = 3;
+    int other = 4;
+    out[get_linear_global_id()] = (ulong)(uint)(hostvar + other);
+}
+`
+	totalSubs := 0
+	for seed := int64(0); seed < 10; seed++ {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := emi.Inject(prog, emi.InjectOptions{Seed: seed, Blocks: 2, Substitute: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSubs += n
+		if len(emi.FindBlocks(prog)) == 0 {
+			t.Fatal("no EMI blocks after injection")
+		}
+		// The injected program must still compile on the reference.
+		if cr := device.Reference().Compile(ast.Print(prog), true); cr.Outcome != device.OK {
+			t.Fatalf("seed %d: injected kernel does not compile: %s", seed, cr.Msg)
+		}
+	}
+	if totalSubs == 0 {
+		t.Error("substitutions never happened across 10 seeds")
+	}
+	// Without substitution: zero substitutions, still compiles.
+	prog, _ := parser.Parse(src)
+	n, err := emi.Inject(prog, emi.InjectOptions{Seed: 5, Blocks: 1, Substitute: false})
+	if err != nil || n != 0 {
+		t.Errorf("subs-off injection reported %d substitutions (err %v)", n, err)
+	}
+}
+
+// TestGuardRecognition: only the §5 guard shape is treated as an EMI
+// block.
+func TestGuardRecognition(t *testing.T) {
+	src := `
+kernel void entry(global ulong *result, global int *dead) {
+    if (dead[3] < dead[1]) { result[0] = 1UL; }
+    if (dead[1] < dead[3]) { result[0] = 2UL; }
+    if (dead[3] > dead[1]) { result[0] = 3UL; }
+    result[get_linear_global_id()] = 0UL;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := emi.FindBlocks(prog)
+	if len(blocks) != 1 {
+		t.Fatalf("found %d EMI blocks, want exactly the dead[3] < dead[1] guard", len(blocks))
+	}
+}

@@ -1,0 +1,372 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+)
+
+func (t *thread) evalCall(ex *ast.Call) (Value, error) {
+	switch ex.Name {
+	case "get_global_id", "get_local_id", "get_group_id",
+		"get_global_size", "get_local_size", "get_num_groups":
+		dv, err := t.evalExpr(ex.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		dim := int(dv.Scalar)
+		return scalarValue(t.idBuiltin(ex.Name, dim), cltypes.TSizeT), nil
+	case "get_work_dim":
+		return scalarValue(3, cltypes.TUInt), nil
+	case "get_linear_global_id":
+		return scalarValue(uint64(t.gidLinear()), cltypes.TSizeT), nil
+	case "get_linear_local_id":
+		return scalarValue(uint64(t.lidLinear()), cltypes.TSizeT), nil
+	case "get_linear_group_id":
+		return scalarValue(uint64(t.groupLinear()), cltypes.TSizeT), nil
+	case "barrier":
+		fv, err := t.evalExpr(ex.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if t.group == nil {
+			return Value{}, fmt.Errorf("exec: barrier outside kernel execution")
+		}
+		tok := barrierToken{node: ex, iters: t.iterDigest()}
+		if err := t.group.bar.await(tok, fv.Scalar); err != nil {
+			return Value{}, err
+		}
+		t.barrierSeen = true
+		return Value{T: cltypes.TVoid}, nil
+	case "crc64":
+		c, err := t.evalExpr(ex.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := t.evalExpr(ex.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		vs := v.T.(*cltypes.Scalar)
+		return scalarValue(crcMix(c.Scalar, cltypes.SExt(v.Scalar, vs)), cltypes.TULong), nil
+	case "vcrc":
+		c, err := t.evalExpr(ex.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := t.evalExpr(ex.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		h := c.Scalar
+		for _, comp := range v.Vec {
+			h = crcMix(h, comp)
+		}
+		return scalarValue(h, cltypes.TULong), nil
+	}
+	if strings.HasPrefix(ex.Name, "atomic_") {
+		return t.evalAtomic(ex)
+	}
+	switch ex.Name {
+	case "safe_add", "safe_sub", "safe_mul", "safe_div", "safe_mod",
+		"safe_lshift", "safe_rshift", "safe_unary_minus", "safe_clamp",
+		"clamp", "rotate", "min", "max", "abs", "add_sat", "sub_sat",
+		"hadd", "mul_hi", "popcount", "clz":
+		return t.evalMath(ex)
+	}
+	if strings.HasPrefix(ex.Name, "convert_") {
+		v, err := t.evalExpr(ex.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		switch to := ex.Type().(type) {
+		case *cltypes.Scalar:
+			return convertScalar(v, to), nil
+		case *cltypes.Vector:
+			src := v.T.(*cltypes.Vector)
+			out := make([]uint64, to.Len)
+			for i, c := range v.Vec {
+				out[i] = cltypes.Convert(c, src.Elem, to.Elem)
+			}
+			return Value{T: to, Vec: out}, nil
+		}
+		return Value{}, fmt.Errorf("exec: bad convert result type")
+	}
+	return t.evalUserCall(ex)
+}
+
+// iterDigest hashes the loop iteration counters for barrier divergence
+// tokens.
+func (t *thread) iterDigest() uint64 {
+	h := uint64(14695981039346656037)
+	for _, it := range t.iterStack {
+		h ^= it
+		h *= 1099511628211
+	}
+	return h
+}
+
+// crcMix is the checksum combiner backing the crc64/vcrc builtins: a
+// 64-bit finalizer with good avalanche behaviour, so result mismatches
+// propagate to the final output the way CLsmith's CRC does.
+func crcMix(h, v uint64) uint64 {
+	h ^= v
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (t *thread) idBuiltin(name string, dim int) uint64 {
+	if dim < 0 || dim > 2 {
+		// Per the OpenCL specification, out-of-range dimensions yield 0
+		// for ids and 1 for sizes.
+		if strings.Contains(name, "size") || strings.Contains(name, "num_groups") {
+			return 1
+		}
+		return 0
+	}
+	switch name {
+	case "get_global_id":
+		return uint64(t.gid[dim])
+	case "get_local_id":
+		return uint64(t.lid[dim])
+	case "get_group_id":
+		return uint64(t.group.id[dim])
+	case "get_global_size":
+		return uint64(t.m.nd.Global[dim])
+	case "get_local_size":
+		return uint64(t.m.nd.Local[dim])
+	case "get_num_groups":
+		return uint64(t.m.nd.NumGroups()[dim])
+	}
+	return 0
+}
+
+func (t *thread) evalAtomic(ex *ast.Call) (Value, error) {
+	pv, err := t.evalExpr(ex.Args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	target := pv.Ptr.Target()
+	if target == nil {
+		return Value{}, &CrashError{Msg: "atomic on null pointer"}
+	}
+	st, ok := target.Typ.(*cltypes.Scalar)
+	if !ok {
+		return Value{}, fmt.Errorf("exec: atomic on non-scalar cell")
+	}
+	var operand, cmp uint64
+	if len(ex.Args) >= 2 {
+		ov, err := t.evalExpr(ex.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		os := ov.T.(*cltypes.Scalar)
+		operand = cltypes.Convert(ov.Scalar, os, st)
+	}
+	if len(ex.Args) == 3 {
+		cmp = operand
+		vv, err := t.evalExpr(ex.Args[2])
+		if err != nil {
+			return Value{}, err
+		}
+		vs := vv.T.(*cltypes.Scalar)
+		operand = cltypes.Convert(vv.Scalar, vs, st)
+	}
+	if err := t.noteAccess(target, true, true); err != nil {
+		return Value{}, err
+	}
+	t.m.atomicMu.Lock()
+	old := target.loadScalar()
+	var next uint64
+	switch ex.Name {
+	case "atomic_add":
+		next = cltypes.Add(old, operand, st)
+	case "atomic_sub":
+		next = cltypes.Sub(old, operand, st)
+	case "atomic_min":
+		next = cltypes.Min(old, operand, st)
+	case "atomic_max":
+		next = cltypes.Max(old, operand, st)
+	case "atomic_and":
+		next = cltypes.And(old, operand, st)
+	case "atomic_or":
+		next = cltypes.Or(old, operand, st)
+	case "atomic_xor":
+		next = cltypes.Xor(old, operand, st)
+	case "atomic_xchg":
+		next = operand
+	case "atomic_inc":
+		next = cltypes.Add(old, 1, st)
+	case "atomic_dec":
+		next = cltypes.Sub(old, 1, st)
+	case "atomic_cmpxchg":
+		if old == cmp {
+			next = operand
+		} else {
+			next = old
+		}
+	default:
+		t.m.atomicMu.Unlock()
+		return Value{}, fmt.Errorf("exec: unknown atomic %s", ex.Name)
+	}
+	target.storeScalar(next)
+	t.m.atomicMu.Unlock()
+	return scalarValue(old, st), nil
+}
+
+// evalMath implements the element-wise math builtins and the generator's
+// total safe-math wrappers.
+func (t *thread) evalMath(ex *ast.Call) (Value, error) {
+	args := make([]Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := t.evalExpr(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	rt := ex.Type()
+	if vt, ok := rt.(*cltypes.Vector); ok {
+		comps := make([][]uint64, len(args))
+		for i, a := range args {
+			c, err := vecComponents(a, vt)
+			if err != nil {
+				return Value{}, err
+			}
+			comps[i] = c
+		}
+		out := make([]uint64, vt.Len)
+		for i := range out {
+			vals := make([]uint64, len(args))
+			for j := range args {
+				vals[j] = comps[j][i]
+			}
+			out[i] = mathOp(ex.Name, vals, vt.Elem)
+		}
+		return Value{T: vt, Vec: out}, nil
+	}
+	st := rt.(*cltypes.Scalar)
+	vals := make([]uint64, len(args))
+	for i, a := range args {
+		as := a.T.(*cltypes.Scalar)
+		vals[i] = cltypes.Convert(a.Scalar, as, st)
+	}
+	return scalarValue(mathOp(ex.Name, vals, st), st), nil
+}
+
+// mathOp computes one scalar lane of a math builtin. All operations are
+// total: the safe_ wrappers implement the paper's safe-math macro
+// semantics (return the first operand when the raw operation would be
+// undefined).
+func mathOp(name string, v []uint64, t *cltypes.Scalar) uint64 {
+	switch name {
+	case "safe_add":
+		return cltypes.Add(v[0], v[1], t)
+	case "safe_sub":
+		return cltypes.Sub(v[0], v[1], t)
+	case "safe_mul":
+		return cltypes.Mul(v[0], v[1], t)
+	case "safe_div":
+		return cltypes.Div(v[0], v[1], t)
+	case "safe_mod":
+		return cltypes.Mod(v[0], v[1], t)
+	case "safe_lshift":
+		return cltypes.Shl(v[0], v[1], t, t)
+	case "safe_rshift":
+		return cltypes.Shr(v[0], v[1], t, t)
+	case "safe_unary_minus":
+		return cltypes.Neg(v[0], t)
+	case "safe_clamp":
+		// safe_clamp(x,min,max) == (min > max ? x : clamp(x,min,max)).
+		if cltypes.CmpLT(v[2], v[1], t) == 1 {
+			return cltypes.Trunc(v[0], t)
+		}
+		return cltypes.Clamp(v[0], v[1], v[2], t)
+	case "clamp":
+		return cltypes.Clamp(v[0], v[1], v[2], t)
+	case "rotate":
+		return cltypes.Rotate(v[0], v[1], t)
+	case "min":
+		return cltypes.Min(v[0], v[1], t)
+	case "max":
+		return cltypes.Max(v[0], v[1], t)
+	case "abs":
+		return cltypes.Abs(v[0], t)
+	case "add_sat":
+		return cltypes.AddSat(v[0], v[1], t)
+	case "sub_sat":
+		return cltypes.SubSat(v[0], v[1], t)
+	case "hadd":
+		return cltypes.HAdd(v[0], v[1], t)
+	case "mul_hi":
+		return cltypes.MulHi(v[0], v[1], t)
+	case "popcount":
+		return cltypes.Popcount(v[0], t)
+	case "clz":
+		return cltypes.Clz(v[0], t)
+	}
+	return 0
+}
+
+func (t *thread) evalUserCall(ex *ast.Call) (Value, error) {
+	f, ok := t.m.funcs[ex.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("exec: call to undefined function %q", ex.Name)
+	}
+	if t.depth >= 64 {
+		return Value{}, &CrashError{Msg: "call stack overflow"}
+	}
+	args := make([]Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := t.evalExpr(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	saved := t.env
+	frame := newEnv(nil)
+	frame.params = map[string]bool{}
+	for i, p := range f.Params {
+		c := NewCell(p.Type, cltypes.Private)
+		if err := storeCell(c, args[i]); err != nil {
+			t.env = saved
+			return Value{}, err
+		}
+		frame.vars[p.Name] = c
+		frame.params[p.Name] = true
+	}
+	t.env = frame
+	t.depth++
+	t.retVal = Value{T: cltypes.TVoid}
+	cf, err := t.execBlock(f.Body)
+	t.depth--
+	t.env = saved
+	if err != nil {
+		return Value{}, err
+	}
+	if cf == ctrlReturn {
+		ret := t.retVal
+		if rt, ok := f.Ret.(*cltypes.Scalar); ok {
+			if _, isS := ret.T.(*cltypes.Scalar); isS {
+				return convertScalar(ret, rt), nil
+			}
+		}
+		return ret, nil
+	}
+	if f.Ret.Equal(cltypes.TVoid) {
+		return Value{T: cltypes.TVoid}, nil
+	}
+	// Falling off the end of a value-returning function is undefined in C;
+	// our subset returns a zero value to stay total.
+	if rt, ok := f.Ret.(*cltypes.Scalar); ok {
+		return scalarValue(0, rt), nil
+	}
+	return Value{}, fmt.Errorf("exec: function %s fell off the end", f.Name)
+}

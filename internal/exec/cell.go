@@ -1,0 +1,277 @@
+// Package exec implements the OpenCL execution model for the subset: an
+// NDRange of work-items organized into work-groups, the four memory spaces,
+// collective barriers with fence semantics, read-modify-write atomics, and
+// a tree-walking evaluator with per-thread fuel accounting.
+//
+// The executor optionally checks the two undefined behaviours that matter
+// for compiler fuzzing — data races and barrier divergence (paper §3.1) —
+// which lets property tests verify that generated kernels are deterministic
+// by construction, and reproduces the paper's discovery of data races in
+// the Parboil spmv and Rodinia myocyte benchmarks (§2.4).
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"clfuzz/internal/cltypes"
+)
+
+// Cell is a storage location. Scalars hold their value in Val; vectors in
+// Vec; structs and arrays hold child cells; unions hold raw bytes so that
+// the layout-sensitive union defect models behave realistically. Pointer
+// cells hold a reference to another cell.
+type Cell struct {
+	Typ    cltypes.Type
+	Val    uint64   // scalar value (bit pattern truncated to width)
+	Vec    []uint64 // vector components
+	Kids   []*Cell  // struct fields / array elements
+	Bytes  []byte   // union backing store
+	Ptr    Ptr      // pointer value (zero value = null pointer)
+	Space  cltypes.AddrSpace
+	Shared bool // lives in global or local memory (visible across threads)
+}
+
+// NewCell allocates a zero-initialized cell tree for type t in the given
+// address space.
+func NewCell(t cltypes.Type, space cltypes.AddrSpace) *Cell {
+	shared := space == cltypes.Global || space == cltypes.Local
+	return newCell(t, space, shared)
+}
+
+func newCell(t cltypes.Type, space cltypes.AddrSpace, shared bool) *Cell {
+	c := &Cell{Typ: t, Space: space, Shared: shared}
+	switch tt := t.(type) {
+	case *cltypes.Scalar:
+	case *cltypes.Vector:
+		c.Vec = make([]uint64, tt.Len)
+	case *cltypes.StructT:
+		if tt.IsUnion {
+			c.Bytes = make([]byte, tt.Size())
+		} else {
+			c.Kids = make([]*Cell, len(tt.Fields))
+			for i, f := range tt.Fields {
+				c.Kids[i] = newCell(f.Type, space, shared)
+			}
+		}
+	case *cltypes.Array:
+		c.Kids = make([]*Cell, tt.Len)
+		for i := range c.Kids {
+			c.Kids[i] = newCell(tt.Elem, space, shared)
+		}
+	case *cltypes.Pointer:
+	default:
+		panic(fmt.Sprintf("exec: cannot allocate cell of type %T", t))
+	}
+	return c
+}
+
+// loadScalar reads the scalar value with the required visibility (atomic
+// load for shared cells, since racy kernels are legal inputs to the
+// fuzzer and must not corrupt the Go runtime).
+func (c *Cell) loadScalar() uint64 {
+	if c.Shared {
+		return atomic.LoadUint64(&c.Val)
+	}
+	return c.Val
+}
+
+func (c *Cell) storeScalar(v uint64) {
+	if c.Shared {
+		atomic.StoreUint64(&c.Val, v)
+		return
+	}
+	c.Val = v
+}
+
+func (c *Cell) loadVecElem(i int) uint64 {
+	if c.Shared {
+		return atomic.LoadUint64(&c.Vec[i])
+	}
+	return c.Vec[i]
+}
+
+func (c *Cell) storeVecElem(i int, v uint64) {
+	if c.Shared {
+		atomic.StoreUint64(&c.Vec[i], v)
+		return
+	}
+	c.Vec[i] = v
+}
+
+// Buffer is a host-allocated global memory array passed as a kernel
+// argument.
+type Buffer struct {
+	Elem  cltypes.Type
+	Cells []*Cell
+	Space cltypes.AddrSpace
+}
+
+// NewBuffer allocates a global buffer of n elements of type elem.
+func NewBuffer(elem cltypes.Type, n int) *Buffer {
+	b := &Buffer{Elem: elem, Space: cltypes.Global, Cells: make([]*Cell, n)}
+	for i := range b.Cells {
+		b.Cells[i] = NewCell(elem, cltypes.Global)
+	}
+	return b
+}
+
+// Fill sets every element of a scalar buffer to v.
+func (b *Buffer) Fill(v uint64) {
+	for _, c := range b.Cells {
+		c.storeScalar(v)
+	}
+}
+
+// SetScalar sets element i of a scalar buffer.
+func (b *Buffer) SetScalar(i int, v uint64) { b.Cells[i].storeScalar(v) }
+
+// Scalar returns element i of a scalar buffer.
+func (b *Buffer) Scalar(i int) uint64 { return b.Cells[i].loadScalar() }
+
+// Scalars returns the contents of a scalar buffer.
+func (b *Buffer) Scalars() []uint64 {
+	out := make([]uint64, len(b.Cells))
+	for i, c := range b.Cells {
+		out[i] = c.loadScalar()
+	}
+	return out
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return len(b.Cells) }
+
+// ---- byte encoding, used for union storage ----
+
+// encodeScalar stores a scalar of type t into buf (little-endian).
+func encodeScalar(buf []byte, v uint64, t *cltypes.Scalar) {
+	n := t.Size()
+	for i := 0; i < n; i++ {
+		buf[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// decodeScalar reads a scalar of type t from buf.
+func decodeScalar(buf []byte, t *cltypes.Scalar) uint64 {
+	n := t.Size()
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(buf[i]) << (8 * uint(i))
+	}
+	return cltypes.Trunc(v, t)
+}
+
+// structLayout returns the byte offset of each field of a (non-union)
+// struct under natural alignment.
+func structLayout(st *cltypes.StructT) []int {
+	offs := make([]int, len(st.Fields))
+	off := 0
+	for i, f := range st.Fields {
+		a := alignOf(f.Type)
+		off = (off + a - 1) / a * a
+		offs[i] = off
+		off += f.Type.Size()
+	}
+	return offs
+}
+
+func alignOf(t cltypes.Type) int {
+	switch tt := t.(type) {
+	case *cltypes.Scalar:
+		return tt.Size()
+	case *cltypes.Vector:
+		return tt.Size()
+	case *cltypes.StructT:
+		a := 1
+		for _, f := range tt.Fields {
+			if fa := alignOf(f.Type); fa > a {
+				a = fa
+			}
+		}
+		return a
+	case *cltypes.Array:
+		return alignOf(tt.Elem)
+	}
+	return 8
+}
+
+// encodeValue writes a Value of type t into buf. Pointers are not
+// supported inside unions (rejected by the generator and benchmarks).
+func encodeValue(buf []byte, v Value, t cltypes.Type) error {
+	switch tt := t.(type) {
+	case *cltypes.Scalar:
+		encodeScalar(buf, v.Scalar, tt)
+		return nil
+	case *cltypes.Vector:
+		es := tt.Elem.Size()
+		for i := 0; i < tt.Len; i++ {
+			encodeScalar(buf[i*es:], v.Vec[i], tt.Elem)
+		}
+		return nil
+	case *cltypes.StructT:
+		if tt.IsUnion {
+			copy(buf[:tt.Size()], v.Agg.Bytes)
+			return nil
+		}
+		offs := structLayout(tt)
+		for i, f := range tt.Fields {
+			fv, err := loadCell(v.Agg.Kids[i])
+			if err != nil {
+				return err
+			}
+			if err := encodeValue(buf[offs[i]:], fv, f.Type); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *cltypes.Array:
+		es := tt.Elem.Size()
+		for i := 0; i < tt.Len; i++ {
+			ev, err := loadCell(v.Agg.Kids[i])
+			if err != nil {
+				return err
+			}
+			if err := encodeValue(buf[i*es:], ev, tt.Elem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: cannot encode type %s into union storage", t)
+}
+
+// decodeInto reads a value of the cell's type from buf into the cell.
+func decodeInto(c *Cell, buf []byte) error {
+	switch tt := c.Typ.(type) {
+	case *cltypes.Scalar:
+		c.storeScalar(decodeScalar(buf, tt))
+		return nil
+	case *cltypes.Vector:
+		es := tt.Elem.Size()
+		for i := 0; i < tt.Len; i++ {
+			c.storeVecElem(i, decodeScalar(buf[i*es:], tt.Elem))
+		}
+		return nil
+	case *cltypes.StructT:
+		if tt.IsUnion {
+			copy(c.Bytes, buf[:tt.Size()])
+			return nil
+		}
+		offs := structLayout(tt)
+		for i := range tt.Fields {
+			if err := decodeInto(c.Kids[i], buf[offs[i]:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *cltypes.Array:
+		es := tt.Elem.Size()
+		for i := 0; i < tt.Len; i++ {
+			if err := decodeInto(c.Kids[i], buf[i*es:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: cannot decode type %s from union storage", c.Typ)
+}

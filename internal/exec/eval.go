@@ -1,0 +1,649 @@
+package exec
+
+import (
+	"fmt"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+	"clfuzz/internal/cltypes"
+)
+
+// thread is the execution state of one work-item.
+type thread struct {
+	m     *Machine
+	group *groupCtx
+	gid   [3]int
+	lid   [3]int
+
+	fuel        int64
+	env         *env
+	depth       int
+	barrierSeen bool
+	iterStack   []uint64
+	retVal      Value
+}
+
+type env struct {
+	parent *env
+	vars   map[string]*Cell
+	// params of the enclosing function frame, consulted by the barrier-
+	// related defect models.
+	params map[string]bool
+}
+
+func newEnv(parent *env) *env { return &env{parent: parent, vars: map[string]*Cell{}} }
+
+func (t *thread) lookup(name string) *Cell {
+	for e := t.env; e != nil; e = e.parent {
+		if c, ok := e.vars[name]; ok {
+			return c
+		}
+	}
+	return t.m.globals[name]
+}
+
+// isParam reports whether name is a parameter of the current function
+// frame.
+func (t *thread) isParam(name string) bool {
+	for e := t.env; e != nil; e = e.parent {
+		if e.params != nil {
+			return e.params[name]
+		}
+	}
+	return false
+}
+
+var errAborted = &CrashError{Msg: "aborted"}
+
+// step charges one fuel unit and polls for machine abort.
+func (t *thread) step() error {
+	t.fuel--
+	if t.fuel <= 0 {
+		return &TimeoutError{Where: "kernel execution"}
+	}
+	if t.fuel&255 == 0 && t.m.dead.Load() {
+		if err := t.m.err; err != nil {
+			return err
+		}
+		return errAborted
+	}
+	return nil
+}
+
+// control-flow result of statement execution.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+func (t *thread) runKernel() error {
+	t.env = newEnv(nil)
+	t.env.params = map[string]bool{}
+	for _, p := range t.m.kernel.Params {
+		arg := t.m.args[p.Name]
+		c := NewCell(p.Type, cltypes.Private)
+		if pt, ok := p.Type.(*cltypes.Pointer); ok {
+			if arg.Buf == nil {
+				return fmt.Errorf("exec: kernel argument %q requires a buffer", p.Name)
+			}
+			_ = pt
+			c.Ptr = Ptr{Slice: arg.Buf.Cells}
+		} else if s, ok := p.Type.(*cltypes.Scalar); ok {
+			c.Val = cltypes.Trunc(arg.Scalar, s)
+		} else {
+			return fmt.Errorf("exec: unsupported kernel parameter type %s", p.Type)
+		}
+		t.env.vars[p.Name] = c
+		t.env.params[p.Name] = true
+	}
+	_, err := t.execBlock(t.m.kernel.Body)
+	return err
+}
+
+func (t *thread) execBlock(b *ast.Block) (ctrl, error) {
+	// Lazy scope push: most blocks declare nothing, so the child
+	// environment (and its map allocation) is created only when the first
+	// declaration executes. Name resolution before that point is
+	// identical either way.
+	saved := t.env
+	pushed := false
+	defer func() { t.env = saved }()
+	for _, s := range b.Stmts {
+		if !pushed {
+			if _, isDecl := s.(*ast.DeclStmt); isDecl {
+				t.env = newEnv(saved)
+				pushed = true
+			}
+		}
+		c, err := t.execStmt(s)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (t *thread) execStmt(s ast.Stmt) (ctrl, error) {
+	if err := t.step(); err != nil {
+		return ctrlNone, err
+	}
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		return ctrlNone, t.execDecl(st.Decl)
+	case *ast.ExprStmt:
+		_, err := t.evalExpr(st.X)
+		return ctrlNone, err
+	case *ast.Block:
+		return t.execBlock(st)
+	case *ast.If:
+		cond, err := t.evalExpr(st.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if cond.isTrue() {
+			return t.execBlock(st.Then)
+		}
+		if st.Else != nil {
+			return t.execStmt(st.Else)
+		}
+		return ctrlNone, nil
+	case *ast.For:
+		return t.execFor(st)
+	case *ast.While:
+		return t.execLoop(nil, st.Cond, nil, st.Body, false)
+	case *ast.DoWhile:
+		return t.execLoop(nil, st.Cond, nil, st.Body, true)
+	case *ast.Break:
+		return ctrlBreak, nil
+	case *ast.Continue:
+		return ctrlContinue, nil
+	case *ast.Return:
+		if st.X != nil {
+			v, err := t.evalExpr(st.X)
+			if err != nil {
+				return ctrlNone, err
+			}
+			t.retVal = v
+		} else {
+			t.retVal = Value{T: cltypes.TVoid}
+		}
+		return ctrlReturn, nil
+	case *ast.Empty:
+		return ctrlNone, nil
+	}
+	return ctrlNone, fmt.Errorf("exec: unknown statement %T", s)
+}
+
+func (t *thread) execFor(st *ast.For) (ctrl, error) {
+	saved := t.env
+	t.env = newEnv(saved)
+	defer func() { t.env = saved }()
+	if st.Init != nil {
+		if _, err := t.execStmt(st.Init); err != nil {
+			return ctrlNone, err
+		}
+	}
+	c, err := t.execLoopBody(st, st.Cond, st.Post, st.Body, false)
+	if err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func (t *thread) execLoop(init ast.Stmt, cond ast.Expr, post ast.Expr, body *ast.Block, doFirst bool) (ctrl, error) {
+	return t.execLoopBody(nil, cond, post, body, doFirst)
+}
+
+// execLoopBody runs the shared loop protocol. forNode is non-nil for for
+// loops, enabling the Figure 2(d) dead-loop-with-barrier defect model.
+func (t *thread) execLoopBody(forNode *ast.For, cond ast.Expr, post ast.Expr, body *ast.Block, doFirst bool) (ctrl, error) {
+	t.iterStack = append(t.iterStack, 0)
+	defer func() { t.iterStack = t.iterStack[:len(t.iterStack)-1] }()
+	iterations := uint64(0)
+	for {
+		if !doFirst || iterations > 0 {
+			if cond != nil {
+				cv, err := t.evalExpr(cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !cv.isTrue() {
+					break
+				}
+			}
+		}
+		if err := t.step(); err != nil {
+			return ctrlNone, err
+		}
+		iterations++
+		t.iterStack[len(t.iterStack)-1] = iterations
+		c, err := t.execBlock(body)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c == ctrlBreak {
+			break
+		}
+		if c == ctrlReturn {
+			return ctrlReturn, nil
+		}
+		if post != nil {
+			if _, err := t.evalExpr(post); err != nil {
+				return ctrlNone, err
+			}
+		}
+		if doFirst && cond != nil && iterations > 0 {
+			cv, err := t.evalExpr(cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !cv.isTrue() {
+				break
+			}
+		}
+	}
+	// Figure 2(d): Intel configs 14-/15- miscompile a loop whose body is
+	// unreachable but contains a barrier; non-leader threads observe the
+	// loop's init assignment clobbered to 1.
+	if forNode != nil && iterations == 0 && t.m.opts.Defects.Has(bugs.WCDeadLoopBarrier) &&
+		t.lidLinear() != 0 && containsBarrier(forNode.Body) {
+		if es, ok := forNode.Init.(*ast.ExprStmt); ok {
+			if asn, ok := es.X.(*ast.AssignExpr); ok {
+				lv, err := t.evalLV(asn.LHS)
+				if err == nil {
+					if s, ok := lv.typ().(*cltypes.Scalar); ok {
+						_ = lv.store(scalarValue(1, s))
+					}
+				}
+			}
+		}
+	}
+	return ctrlNone, nil
+}
+
+// containsBarrier reports whether the statement tree issues a barrier.
+func containsBarrier(s ast.Stmt) bool {
+	found := false
+	var walkS func(ast.Stmt)
+	var walkE func(ast.Expr)
+	walkE = func(e ast.Expr) {
+		if e == nil || found {
+			return
+		}
+		switch ex := e.(type) {
+		case *ast.Call:
+			if ex.Name == "barrier" {
+				found = true
+				return
+			}
+			for _, a := range ex.Args {
+				walkE(a)
+			}
+		case *ast.Unary:
+			walkE(ex.X)
+		case *ast.Binary:
+			walkE(ex.L)
+			walkE(ex.R)
+		case *ast.AssignExpr:
+			walkE(ex.LHS)
+			walkE(ex.RHS)
+		case *ast.Cond:
+			walkE(ex.C)
+			walkE(ex.T)
+			walkE(ex.F)
+		case *ast.Index:
+			walkE(ex.Base)
+			walkE(ex.Idx)
+		case *ast.Member:
+			walkE(ex.Base)
+		case *ast.Swizzle:
+			walkE(ex.Base)
+		case *ast.VecLit:
+			for _, el := range ex.Elems {
+				walkE(el)
+			}
+		case *ast.Cast:
+			walkE(ex.X)
+		case *ast.InitList:
+			for _, el := range ex.Elems {
+				walkE(el)
+			}
+		}
+	}
+	walkS = func(s ast.Stmt) {
+		if s == nil || found {
+			return
+		}
+		switch st := s.(type) {
+		case *ast.DeclStmt:
+			walkE(st.Decl.Init)
+		case *ast.ExprStmt:
+			walkE(st.X)
+		case *ast.Block:
+			for _, inner := range st.Stmts {
+				walkS(inner)
+			}
+		case *ast.If:
+			walkE(st.Cond)
+			walkS(st.Then)
+			walkS(st.Else)
+		case *ast.For:
+			walkS(st.Init)
+			walkE(st.Cond)
+			walkE(st.Post)
+			walkS(st.Body)
+		case *ast.While:
+			walkE(st.Cond)
+			walkS(st.Body)
+		case *ast.DoWhile:
+			walkS(st.Body)
+			walkE(st.Cond)
+		case *ast.Return:
+			walkE(st.X)
+		}
+	}
+	walkS(s)
+	return found
+}
+
+func (t *thread) execDecl(d *ast.VarDecl) error {
+	if d.Space == cltypes.Local {
+		// Local-memory variables are allocated once per work-group and
+		// shared by its threads. OpenCL forbids initializers on them.
+		g := t.group
+		g.mu.Lock()
+		c, ok := g.local[d]
+		if !ok {
+			c = NewCell(d.Type, cltypes.Local)
+			g.local[d] = c
+		}
+		g.mu.Unlock()
+		t.env.vars[d.Name] = c
+		return nil
+	}
+	c := NewCell(d.Type, cltypes.Private)
+	if d.Init != nil {
+		v, err := t.evalInit(d.Type, d.Init)
+		if err != nil {
+			return err
+		}
+		if err := storeCell(c, v); err != nil {
+			return err
+		}
+	}
+	t.env.vars[d.Name] = c
+	return nil
+}
+
+// evalInit evaluates an initializer (possibly a braced aggregate list)
+// against the declared type, applying the struct- and union-initializer
+// defect models.
+func (t *thread) evalInit(typ cltypes.Type, init ast.Expr) (Value, error) {
+	il, ok := init.(*ast.InitList)
+	if !ok {
+		v, err := t.evalExpr(init)
+		if err != nil {
+			return Value{}, err
+		}
+		if s, ok := typ.(*cltypes.Scalar); ok {
+			if _, vok := v.T.(*cltypes.Scalar); vok {
+				return convertScalar(v, s), nil
+			}
+		}
+		return v, nil
+	}
+	c := newCell(typ, cltypes.Private, false)
+	switch tt := typ.(type) {
+	case *cltypes.Scalar:
+		if len(il.Elems) != 1 {
+			return Value{}, fmt.Errorf("exec: bad scalar initializer")
+		}
+		v, err := t.evalInit(typ, il.Elems[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return v, nil
+	case *cltypes.Array:
+		for i, el := range il.Elems {
+			v, err := t.evalInit(tt.Elem, el)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := storeCell(c.Kids[i], v); err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{T: typ, Agg: c}, nil
+	case *cltypes.StructT:
+		if tt.IsUnion {
+			if len(il.Elems) == 1 {
+				fv, err := t.evalInit(tt.Fields[0].Type, il.Elems[0])
+				if err != nil {
+					return Value{}, err
+				}
+				if fs, ok := tt.Fields[0].Type.(*cltypes.Scalar); ok {
+					if vs, vok := fv.T.(*cltypes.Scalar); vok {
+						fv = convertScalar(Value{T: vs, Scalar: fv.Scalar}, fs)
+					}
+				}
+				if err := encodeValue(c.Bytes, fv, tt.Fields[0].Type); err != nil {
+					return Value{}, err
+				}
+				// Figure 2(a): NVIDIA configurations without optimizations
+				// initialize only the first two bytes of a union containing
+				// a struct member with a small leading field; the remaining
+				// bytes read back as ones.
+				if t.m.opts.Defects.Has(bugs.WCUnionInit) && unionHasSmallLeadStruct(tt) {
+					for i := 2; i < len(c.Bytes) && i < tt.Fields[0].Type.Size(); i++ {
+						c.Bytes[i] = 0xff
+					}
+				}
+			}
+			return Value{T: typ, Agg: c}, nil
+		}
+		for i, el := range il.Elems {
+			fv, err := t.evalInit(tt.Fields[i].Type, el)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := storeCell(c.Kids[i], fv); err != nil {
+				return Value{}, err
+			}
+		}
+		// Figure 1(a): AMD configurations with optimizations miscompile any
+		// struct in which a char field is directly followed by a larger
+		// member — the char field reads as zero ("more generally these
+		// configurations appear to miscompile any struct that starts with
+		// char followed by a larger member", §6).
+		if t.m.opts.Defects.Has(bugs.WCStructCharFirst) {
+			for _, fi := range charFirstLargerFields(tt) {
+				c.Kids[fi].Val = 0
+			}
+		}
+		return Value{T: typ, Agg: c}, nil
+	}
+	return Value{}, fmt.Errorf("exec: bad initializer for %s", typ)
+}
+
+// charFirstLargerFields returns the indices of 1-byte scalar fields that
+// are directly followed by a larger member (the Figure 1(a) trigger shape,
+// generalized per §6 to any such adjacent pair).
+func charFirstLargerFields(st *cltypes.StructT) []int {
+	var out []int
+	for i := 0; i+1 < len(st.Fields); i++ {
+		f, ok := st.Fields[i].Type.(*cltypes.Scalar)
+		if ok && f.Size() == 1 && st.Fields[i+1].Type.Size() > 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// unionHasSmallLeadStruct reports the Figure 2(a) trigger shape: a union
+// whose first field is larger than the leading field of a struct member.
+func unionHasSmallLeadStruct(ut *cltypes.StructT) bool {
+	if len(ut.Fields) < 2 {
+		return false
+	}
+	lead := ut.Fields[0].Type.Size()
+	for _, f := range ut.Fields[1:] {
+		if st, ok := f.Type.(*cltypes.StructT); ok && !st.IsUnion && len(st.Fields) > 0 {
+			if st.Fields[0].Type.Size() < lead {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- lvalues ----
+
+func (t *thread) evalLV(e ast.Expr) (lval, error) {
+	switch ex := e.(type) {
+	case *ast.VarRef:
+		c := t.lookup(ex.Name)
+		if c == nil {
+			return lval{}, fmt.Errorf("exec: undefined variable %q", ex.Name)
+		}
+		return directLV(c), nil
+	case *ast.Unary:
+		if ex.Op == ast.Deref {
+			v, err := t.evalExpr(ex.X)
+			if err != nil {
+				return lval{}, err
+			}
+			target := v.Ptr.Target()
+			if target == nil {
+				return lval{}, &CrashError{Msg: "null or dangling pointer dereference"}
+			}
+			return directLV(target), nil
+		}
+	case *ast.Index:
+		iv, err := t.evalExpr(ex.Idx)
+		if err != nil {
+			return lval{}, err
+		}
+		is, ok := iv.T.(*cltypes.Scalar)
+		if !ok {
+			return lval{}, fmt.Errorf("exec: non-scalar index")
+		}
+		idx := int(cltypes.AsInt64(iv.Scalar, is))
+		if _, isPtr := ex.Base.Type().(*cltypes.Pointer); isPtr {
+			bv, err := t.evalExpr(ex.Base)
+			if err != nil {
+				return lval{}, err
+			}
+			target := bv.Ptr.At(idx).Target()
+			if target == nil {
+				return lval{}, &CrashError{Msg: "out-of-bounds buffer access"}
+			}
+			return directLV(target), nil
+		}
+		blv, err := t.evalLV(ex.Base)
+		if err != nil {
+			return lval{}, err
+		}
+		if blv.uField != nil || blv.vecIdx >= 0 {
+			return lval{}, fmt.Errorf("exec: cannot index a view lvalue")
+		}
+		if idx < 0 || idx >= len(blv.c.Kids) {
+			return lval{}, &CrashError{Msg: fmt.Sprintf("array index %d out of bounds [0,%d)", idx, len(blv.c.Kids))}
+		}
+		return directLV(blv.c.Kids[idx]), nil
+	case *ast.Member:
+		var base *Cell
+		if ex.Arrow {
+			bv, err := t.evalExpr(ex.Base)
+			if err != nil {
+				return lval{}, err
+			}
+			base = bv.Ptr.Target()
+			if base == nil {
+				return lval{}, &CrashError{Msg: "null pointer member access"}
+			}
+		} else {
+			blv, err := t.evalLV(ex.Base)
+			if err != nil {
+				return lval{}, err
+			}
+			if blv.uField != nil {
+				return lval{}, fmt.Errorf("exec: nested union member views unsupported")
+			}
+			base = blv.c
+		}
+		st, ok := base.Typ.(*cltypes.StructT)
+		if !ok {
+			return lval{}, fmt.Errorf("exec: member access on %s", base.Typ)
+		}
+		i := st.FieldIndex(ex.Name)
+		if i < 0 {
+			return lval{}, fmt.Errorf("exec: no field %q in %s", ex.Name, st)
+		}
+		if st.IsUnion {
+			return lval{c: base, uField: st.Fields[i].Type, vecIdx: -1}, nil
+		}
+		return directLV(base.Kids[i]), nil
+	case *ast.Swizzle:
+		blv, err := t.evalLV(ex.Base)
+		if err != nil {
+			return lval{}, err
+		}
+		idx := cltypes.SwizzleIndices(ex.Sel)
+		if len(idx) != 1 {
+			return lval{}, fmt.Errorf("exec: multi-component swizzle is not assignable")
+		}
+		if blv.uField != nil || blv.vecIdx >= 0 {
+			return lval{}, fmt.Errorf("exec: cannot swizzle a view lvalue")
+		}
+		return lval{c: blv.c, vecIdx: idx[0]}, nil
+	}
+	return lval{}, fmt.Errorf("exec: expression %T is not an lvalue", e)
+}
+
+// lvPtr converts an lvalue into a pointer value for AddrOf.
+func (t *thread) lvPtr(e ast.Expr) (Ptr, error) {
+	// &a[i] over an array or buffer yields a sliceable pointer so that
+	// subsequent subscripting works.
+	if ix, ok := e.(*ast.Index); ok {
+		iv, err := t.evalExpr(ix.Idx)
+		if err != nil {
+			return Ptr{}, err
+		}
+		is := iv.T.(*cltypes.Scalar)
+		idx := int(cltypes.AsInt64(iv.Scalar, is))
+		if _, isPtr := ix.Base.Type().(*cltypes.Pointer); isPtr {
+			bv, err := t.evalExpr(ix.Base)
+			if err != nil {
+				return Ptr{}, err
+			}
+			return bv.Ptr.At(idx), nil
+		}
+		blv, err := t.evalLV(ix.Base)
+		if err != nil {
+			return Ptr{}, err
+		}
+		if blv.c != nil && blv.uField == nil && blv.vecIdx < 0 {
+			if idx < 0 || idx >= len(blv.c.Kids) {
+				return Ptr{}, &CrashError{Msg: "address of out-of-bounds element"}
+			}
+			return Ptr{Slice: blv.c.Kids, Idx: idx}, nil
+		}
+		return Ptr{}, fmt.Errorf("exec: cannot take element address of view lvalue")
+	}
+	lv, err := t.evalLV(e)
+	if err != nil {
+		return Ptr{}, err
+	}
+	if lv.uField != nil || lv.vecIdx >= 0 {
+		return Ptr{}, fmt.Errorf("exec: cannot take the address of a union field or vector component")
+	}
+	// Arrays decay to element pointers.
+	if _, isArr := lv.c.Typ.(*cltypes.Array); isArr {
+		return Ptr{Slice: lv.c.Kids, Idx: 0}, nil
+	}
+	return Ptr{Cell: lv.c}, nil
+}

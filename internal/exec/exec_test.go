@@ -1,0 +1,365 @@
+package exec_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+// run compiles and executes src over the given NDRange with a ulong out
+// buffer, returning the buffer contents.
+func run(t *testing.T, src string, nd exec.NDRange, opts exec.Options) []uint64 {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog, 0)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	opts.HasFwdDecl = info.HasFwdDecl
+	out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+	args := exec.Args{"out": {Buf: out}}
+	if err := exec.Run(prog, nd, args, opts); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.Scalars()
+}
+
+func nd1(n, w int) exec.NDRange {
+	return exec.NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{w, 1, 1}}
+}
+
+func TestSimpleKernel(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    out[get_linear_global_id()] = (ulong)(1 + 2 * 3);
+}
+`
+	got := run(t, src, nd1(4, 2), exec.Options{})
+	for i, v := range got {
+		if v != 7 {
+			t.Errorf("out[%d] = %d, want 7", i, v)
+		}
+	}
+}
+
+func TestThreadIDs(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    out[get_linear_global_id()] = get_global_id(0) + 100UL * get_group_id(0) + 10000UL * get_local_id(0);
+}
+`
+	got := run(t, src, nd1(4, 2), exec.Options{})
+	want := []uint64{0, 10001, 102, 10103}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStructAndFunctionCall(t *testing.T) {
+	src := `
+struct S { char a; short b; };
+
+int f(struct S *p) {
+    return p->a + p->b;
+}
+
+kernel void k(global ulong *out) {
+    struct S s = { 1, 1 };
+    out[get_linear_global_id()] = (ulong)f(&s);
+}
+`
+	got := run(t, src, nd1(2, 2), exec.Options{})
+	for i, v := range got {
+		if v != 2 {
+			t.Errorf("out[%d] = %d, want 2", i, v)
+		}
+	}
+}
+
+func TestControlFlowAndLoops(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    int sum = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 5) { continue; }
+        if (i == 8) { break; }
+        sum += i;
+    }
+    int j = 0;
+    while (j < 4) { j++; }
+    do { j++; } while (j < 6);
+    out[get_linear_global_id()] = (ulong)(sum * 100 + j);
+}
+`
+	// sum = 0+1+2+3+4+6+7 = 23, j = 6.
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	if got[0] != 2306 {
+		t.Errorf("out[0] = %d, want 2306", got[0])
+	}
+}
+
+func TestVectorOperations(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    int4 v = (int4)(1, 2, 3, 4);
+    int4 w = (int4)(10);
+    int4 s = v + w;
+    int4 m = v * v;
+    out[get_linear_global_id()] = (ulong)(s.x + s.y + s.z + s.w) + 1000UL * (ulong)m.w;
+}
+`
+	// s = (11,12,13,14) sum 50; m.w = 16.
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	if got[0] != 16050 {
+		t.Errorf("out[0] = %d, want 16050", got[0])
+	}
+}
+
+func TestVectorComparisonMask(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    int2 a = (int2)(1, 5);
+    int2 b = (int2)(3, 3);
+    int2 m = a < b;
+    out[get_linear_global_id()] = (ulong)(uint)m.x + 1000UL * (ulong)(uint)m.y;
+}
+`
+	// m = (-1, 0): as uint, 0xffffffff and 0.
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	if got[0] != 0xffffffff {
+		t.Errorf("out[0] = %#x, want 0xffffffff", got[0])
+	}
+}
+
+func TestRotateBuiltin(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    uint2 r = rotate((uint2)(1, 1), (uint2)(0, 0));
+    out[get_linear_global_id()] = (ulong)r.x;
+}
+`
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	if got[0] != 1 {
+		t.Errorf("rotate((1,1),(0,0)).x = %d, want 1", got[0])
+	}
+}
+
+func TestBarrierCommunication(t *testing.T) {
+	// Threads exchange values through local memory across a barrier.
+	src := `
+kernel void k(global ulong *out) {
+    local uint A[4];
+    size_t lid = get_linear_local_id();
+    A[lid] = (uint)(lid + 1);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    uint got = A[(lid + 1) % 4];
+    out[get_linear_global_id()] = (ulong)got;
+}
+`
+	got := run(t, src, nd1(4, 4), exec.Options{CheckRaces: true})
+	want := []uint64{2, 3, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAtomicReduction(t *testing.T) {
+	src := `
+kernel void k(global ulong *out, global int *r) {
+    atomic_add(&r[0], 1);
+    barrier(CLK_GLOBAL_MEM_FENCE);
+    out[get_linear_global_id()] = 0UL;
+    if (get_linear_local_id() == 0UL) {
+        out[get_linear_global_id()] = (ulong)(uint)r[0];
+    }
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sema.Check(prog, 0); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	nd := nd1(8, 8)
+	out := exec.NewBuffer(cltypes.TULong, 8)
+	r := exec.NewBuffer(cltypes.TInt, 1)
+	args := exec.Args{"out": {Buf: out}, "r": {Buf: r}}
+	if err := exec.Run(prog, nd, args, exec.Options{CheckRaces: true}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Scalar(0) != 8 {
+		t.Errorf("reduction result = %d, want 8", out.Scalar(0))
+	}
+}
+
+func TestUnionPunning(t *testing.T) {
+	src := `
+struct S { short c; long d; };
+union U { uint a; struct S b; };
+
+kernel void k(global ulong *out) {
+    union U u = { 7u };
+    out[get_linear_global_id()] = (ulong)u.a;
+}
+`
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	if got[0] != 7 {
+		t.Errorf("u.a = %d, want 7", got[0])
+	}
+}
+
+func TestRaceDetection(t *testing.T) {
+	// All threads write the same local cell without synchronization.
+	src := `
+kernel void k(global ulong *out) {
+    local uint A[1];
+    A[0] = (uint)get_linear_local_id();
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_linear_global_id()] = (ulong)A[0];
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sema.Check(prog, 0); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	out := exec.NewBuffer(cltypes.TULong, 4)
+	err = exec.Run(prog, nd1(4, 4), exec.Args{"out": {Buf: out}}, exec.Options{CheckRaces: true})
+	if _, ok := err.(*exec.RaceError); !ok {
+		t.Errorf("expected RaceError, got %v", err)
+	}
+}
+
+func TestDivergenceDetection(t *testing.T) {
+	// Half the threads skip the barrier.
+	src := `
+kernel void k(global ulong *out) {
+    local uint A[4];
+    A[get_linear_local_id()] = 1u;
+    if (get_linear_local_id() < 2UL) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_linear_global_id()] = 0UL;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sema.Check(prog, 0); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	out := exec.NewBuffer(cltypes.TULong, 4)
+	err = exec.Run(prog, nd1(4, 4), exec.Args{"out": {Buf: out}}, exec.Options{CheckRaces: true})
+	if _, ok := err.(*exec.DivergenceError); !ok {
+		t.Errorf("expected DivergenceError, got %v", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    ulong i = 0UL;
+    while (1) { i = i + 1UL; }
+    out[get_linear_global_id()] = i;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sema.Check(prog, 0); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	out := exec.NewBuffer(cltypes.TULong, 1)
+	err = exec.Run(prog, nd1(1, 1), exec.Args{"out": {Buf: out}}, exec.Options{Fuel: 10000})
+	if _, ok := err.(*exec.TimeoutError); !ok {
+		t.Errorf("expected TimeoutError, got %v", err)
+	}
+}
+
+func TestCommaOperator(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    int x = 1;
+    uint y;
+    for (y = 4294967295u; y >= 1u; ++y) { if ((x , 1)) { break; } }
+    out[get_linear_global_id()] = (ulong)y;
+}
+`
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	if got[0] != 0xffffffff {
+		t.Errorf("out[0] = %#x, want 0xffffffff (Figure 2(f) expected result)", got[0])
+	}
+}
+
+func TestSafeMath(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    int a = safe_div(5, 0);
+    int b = safe_mod(7, 0);
+    int c = safe_lshift(1, 40);
+    int d = safe_add(2147483647, 1);
+    out[get_linear_global_id()] = (ulong)(uint)(a + b + c + d);
+}
+`
+	// a=5, b=7, c=1 (shift undefined -> first operand), d=INT_MIN wrap.
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	base := int32(5 + 7 + 1)
+	base += -2147483648 // wraps, as the kernel's safe_add does
+	want := uint64(uint32(base))
+	if got[0] != want {
+		t.Errorf("out[0] = %#x, want %#x", got[0], want)
+	}
+}
+
+func TestPointerChain(t *testing.T) {
+	src := `
+typedef struct { int x; int y; } S;
+
+void f(S *p) { p->x = 2; }
+
+kernel void k(global ulong *out) {
+    S s = { 1, 1 };
+    f(&s);
+    out[get_linear_global_id()] = (ulong)(s.x + s.y);
+}
+`
+	got := run(t, src, nd1(2, 2), exec.Options{})
+	for i, v := range got {
+		if v != 3 {
+			t.Errorf("out[%d] = %d, want 3", i, v)
+		}
+	}
+}
+
+func TestMultiDimArray(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    ulong c[3][3][2];
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 3; j++) {
+            for (int l = 0; l < 2; l++) { c[i][j][l] = (ulong)(i * 100 + j * 10 + l); }
+        }
+    }
+    out[get_linear_global_id()] = c[2][1][1];
+}
+`
+	got := run(t, src, nd1(1, 1), exec.Options{})
+	if got[0] != 211 {
+		t.Errorf("out[0] = %d, want 211", got[0])
+	}
+}

@@ -1,0 +1,641 @@
+package exec
+
+import (
+	"fmt"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+	"clfuzz/internal/cltypes"
+)
+
+func (t *thread) evalExpr(e ast.Expr) (Value, error) {
+	if err := t.step(); err != nil {
+		return Value{}, err
+	}
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		st, ok := ex.Type().(*cltypes.Scalar)
+		if !ok {
+			st = cltypes.TInt
+		}
+		return scalarValue(ex.Val, st), nil
+
+	case *ast.VarRef:
+		if c := t.lookup(ex.Name); c != nil {
+			if err := t.noteAccess(c, false, false); err != nil {
+				return Value{}, err
+			}
+			return loadCell(c)
+		}
+		if v, ok := predefinedConst(ex.Name); ok {
+			return scalarValue(v, cltypes.TUInt), nil
+		}
+		return Value{}, fmt.Errorf("exec: undefined variable %q", ex.Name)
+
+	case *ast.Unary:
+		return t.evalUnary(ex)
+
+	case *ast.Binary:
+		return t.evalBinary(ex)
+
+	case *ast.AssignExpr:
+		return t.evalAssign(ex)
+
+	case *ast.Cond:
+		cv, err := t.evalExpr(ex.C)
+		if err != nil {
+			return Value{}, err
+		}
+		var branch ast.Expr
+		if cv.isTrue() {
+			branch = ex.T
+		} else {
+			branch = ex.F
+		}
+		v, err := t.evalExpr(branch)
+		if err != nil {
+			return Value{}, err
+		}
+		if rt, ok := ex.Type().(*cltypes.Scalar); ok {
+			if _, isS := v.T.(*cltypes.Scalar); isS {
+				return convertScalar(v, rt), nil
+			}
+		}
+		return v, nil
+
+	case *ast.Call:
+		return t.evalCall(ex)
+
+	case *ast.Index:
+		lv, err := t.evalLV(ex)
+		if err != nil {
+			return Value{}, err
+		}
+		if lv.c != nil {
+			if err := t.noteAccess(lv.c, false, false); err != nil {
+				return Value{}, err
+			}
+		}
+		return lv.load()
+
+	case *ast.Member:
+		lv, err := t.evalLV(ex)
+		if err != nil {
+			return Value{}, err
+		}
+		if lv.c != nil {
+			if err := t.noteAccess(lv.c, false, false); err != nil {
+				return Value{}, err
+			}
+		}
+		return lv.load()
+
+	case *ast.Swizzle:
+		bv, err := t.evalExpr(ex.Base)
+		if err != nil {
+			return Value{}, err
+		}
+		vt, ok := bv.T.(*cltypes.Vector)
+		if !ok {
+			return Value{}, fmt.Errorf("exec: swizzle of non-vector %s", bv.T)
+		}
+		idx := cltypes.SwizzleIndices(ex.Sel)
+		if len(idx) == 1 {
+			return scalarValue(bv.Vec[idx[0]], vt.Elem), nil
+		}
+		out := make([]uint64, len(idx))
+		for i, j := range idx {
+			out[i] = bv.Vec[j]
+		}
+		return Value{T: cltypes.VecOf(vt.Elem, len(idx)), Vec: out}, nil
+
+	case *ast.VecLit:
+		var comps []uint64
+		for _, el := range ex.Elems {
+			v, err := t.evalExpr(el)
+			if err != nil {
+				return Value{}, err
+			}
+			switch vt := v.T.(type) {
+			case *cltypes.Scalar:
+				comps = append(comps, cltypes.Convert(v.Scalar, vt, ex.VT.Elem))
+			case *cltypes.Vector:
+				comps = append(comps, v.Vec...)
+			default:
+				return Value{}, fmt.Errorf("exec: bad vector literal element %s", v.T)
+			}
+		}
+		if len(comps) == 1 && ex.VT.Len > 1 {
+			splat := make([]uint64, ex.VT.Len)
+			for i := range splat {
+				splat[i] = comps[0]
+			}
+			comps = splat
+		}
+		if len(comps) != ex.VT.Len {
+			return Value{}, fmt.Errorf("exec: vector literal arity mismatch")
+		}
+		return Value{T: ex.VT, Vec: comps}, nil
+
+	case *ast.Cast:
+		v, err := t.evalExpr(ex.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch to := ex.To.(type) {
+		case *cltypes.Scalar:
+			return convertScalar(v, to), nil
+		case *cltypes.Vector:
+			if vv, ok := v.T.(*cltypes.Vector); ok && vv.Equal(to) {
+				return v, nil
+			}
+			if vs, ok := v.T.(*cltypes.Scalar); ok {
+				splat := make([]uint64, to.Len)
+				c := cltypes.Convert(v.Scalar, vs, to.Elem)
+				for i := range splat {
+					splat[i] = c
+				}
+				return Value{T: to, Vec: splat}, nil
+			}
+			return Value{}, fmt.Errorf("exec: bad vector cast from %s", v.T)
+		case *cltypes.Pointer:
+			if _, ok := v.T.(*cltypes.Pointer); ok {
+				return Value{T: to, Ptr: v.Ptr}, nil
+			}
+			return Value{T: to}, nil // null constant
+		}
+		return Value{}, fmt.Errorf("exec: bad cast to %s", ex.To)
+	}
+	return Value{}, fmt.Errorf("exec: unknown expression %T", e)
+}
+
+func predefinedConst(name string) (uint64, bool) {
+	switch name {
+	case "CLK_LOCAL_MEM_FENCE":
+		return 1, true
+	case "CLK_GLOBAL_MEM_FENCE":
+		return 2, true
+	}
+	return 0, false
+}
+
+func (t *thread) evalUnary(ex *ast.Unary) (Value, error) {
+	switch ex.Op {
+	case ast.AddrOf:
+		p, err := t.lvPtr(ex.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{T: ex.Type(), Ptr: p}, nil
+	case ast.Deref:
+		v, err := t.evalExpr(ex.X)
+		if err != nil {
+			return Value{}, err
+		}
+		target := v.Ptr.Target()
+		if target == nil {
+			return Value{}, &CrashError{Msg: "null or dangling pointer dereference"}
+		}
+		if err := t.noteAccess(target, false, false); err != nil {
+			return Value{}, err
+		}
+		return loadCell(target)
+	case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec:
+		lv, err := t.evalLV(ex.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if lv.c != nil && lv.c.Shared {
+			if err := t.noteAccess(lv.c, true, false); err != nil {
+				return Value{}, err
+			}
+		}
+		old, err := lv.load()
+		if err != nil {
+			return Value{}, err
+		}
+		st, ok := old.T.(*cltypes.Scalar)
+		if !ok {
+			return Value{}, fmt.Errorf("exec: ++/-- on %s", old.T)
+		}
+		var nv uint64
+		if ex.Op == ast.PreInc || ex.Op == ast.PostInc {
+			nv = cltypes.Add(old.Scalar, 1, st)
+		} else {
+			nv = cltypes.Sub(old.Scalar, 1, st)
+		}
+		if err := lv.store(scalarValue(nv, st)); err != nil {
+			return Value{}, err
+		}
+		if ex.Op == ast.PostInc || ex.Op == ast.PostDec {
+			return scalarValue(old.Scalar, st), nil
+		}
+		return scalarValue(nv, st), nil
+	}
+	// Value-level unary operators.
+	v, err := t.evalExpr(ex.X)
+	if err != nil {
+		return Value{}, err
+	}
+	switch vt := v.T.(type) {
+	case *cltypes.Scalar:
+		switch ex.Op {
+		case ast.Neg:
+			rt := ex.Type().(*cltypes.Scalar)
+			return scalarValue(cltypes.Neg(cltypes.Convert(v.Scalar, vt, rt), rt), rt), nil
+		case ast.Pos:
+			rt := ex.Type().(*cltypes.Scalar)
+			return convertScalar(v, rt), nil
+		case ast.BitNot:
+			rt := ex.Type().(*cltypes.Scalar)
+			return scalarValue(cltypes.Not(cltypes.Convert(v.Scalar, vt, rt), rt), rt), nil
+		case ast.LogNot:
+			return boolValue(!v.isTrue()), nil
+		}
+	case *cltypes.Vector:
+		out := make([]uint64, vt.Len)
+		for i, c := range v.Vec {
+			switch ex.Op {
+			case ast.Neg:
+				out[i] = cltypes.Neg(c, vt.Elem)
+			case ast.Pos:
+				out[i] = c
+			case ast.BitNot:
+				out[i] = cltypes.Not(c, vt.Elem)
+			case ast.LogNot:
+				if cltypes.Trunc(c, vt.Elem) == 0 {
+					out[i] = mask(vt.Elem) // component-wise !: -1 for true
+				} else {
+					out[i] = 0
+				}
+			}
+		}
+		rt := ex.Type().(*cltypes.Vector)
+		return Value{T: rt, Vec: out}, nil
+	case *cltypes.Pointer:
+		if ex.Op == ast.LogNot {
+			return boolValue(v.Ptr.IsNull()), nil
+		}
+	}
+	return Value{}, fmt.Errorf("exec: invalid unary %s on %s", ex.Op, v.T)
+}
+
+// mask returns the all-ones pattern of t (the OpenCL "true" for vector
+// comparison results).
+func mask(t *cltypes.Scalar) uint64 { return cltypes.Trunc(^uint64(0), t) }
+
+func (t *thread) evalBinary(ex *ast.Binary) (Value, error) {
+	if ex.Op == ast.Comma {
+		lv, err := t.evalExpr(ex.L)
+		if err != nil {
+			return Value{}, err
+		}
+		rv, err := t.evalExpr(ex.R)
+		if err != nil {
+			return Value{}, err
+		}
+		_ = lv
+		// Figure 2(f): Oclgrind mishandled the comma operator; the model
+		// makes the pair evaluate to zero instead of the right operand.
+		if t.m.opts.Defects.Has(bugs.WCComma) {
+			if rt, ok := rv.T.(*cltypes.Scalar); ok {
+				return scalarValue(0, rt), nil
+			}
+		}
+		return rv, nil
+	}
+	if ex.Op == ast.LAnd || ex.Op == ast.LOr {
+		if _, ok := ex.Type().(*cltypes.Vector); !ok {
+			// Scalar logical operators short-circuit.
+			lv, err := t.evalExpr(ex.L)
+			if err != nil {
+				return Value{}, err
+			}
+			if ex.Op == ast.LAnd && !lv.isTrue() {
+				return boolValue(false), nil
+			}
+			if ex.Op == ast.LOr && lv.isTrue() {
+				return boolValue(true), nil
+			}
+			rv, err := t.evalExpr(ex.R)
+			if err != nil {
+				return Value{}, err
+			}
+			return boolValue(rv.isTrue()), nil
+		}
+	}
+	lv, err := t.evalExpr(ex.L)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := t.evalExpr(ex.R)
+	if err != nil {
+		return Value{}, err
+	}
+	// Pointer comparisons.
+	if _, ok := lv.T.(*cltypes.Pointer); ok {
+		eq := lv.Ptr.Target() == rv.Ptr.Target()
+		if ex.Op == ast.EQ {
+			return boolValue(eq), nil
+		}
+		return boolValue(!eq), nil
+	}
+	return t.applyBinary(ex.Op, lv, rv, ex.Type())
+}
+
+// applyBinary computes a (possibly vector) binary operation with the result
+// type determined by sema.
+func (t *thread) applyBinary(op ast.BinOp, lv, rv Value, rt cltypes.Type) (Value, error) {
+	if vt, ok := rt.(*cltypes.Vector); ok {
+		lc, err := vecComponents(lv, vt)
+		if err != nil {
+			return Value{}, err
+		}
+		rc, err := vecComponents(rv, vt)
+		if err != nil {
+			return Value{}, err
+		}
+		// The element type on which the operation is computed: for
+		// comparisons the result is a signed mask but the comparison
+		// itself happens at the operand element type (taken from whichever
+		// operand is the vector — signedness matters).
+		opElem := vt.Elem
+		if op.IsComparison() || op.IsLogical() {
+			if ovt, ok := lv.T.(*cltypes.Vector); ok {
+				opElem = ovt.Elem
+			} else if ovt, ok := rv.T.(*cltypes.Vector); ok {
+				opElem = ovt.Elem
+			}
+		}
+		out := make([]uint64, vt.Len)
+		for i := range out {
+			r, err := scalarBinOp(op, lc[i], rc[i], opElem, opElem)
+			if err != nil {
+				return Value{}, err
+			}
+			if op.IsComparison() || op.IsLogical() {
+				if r != 0 {
+					out[i] = mask(vt.Elem)
+				}
+			} else {
+				out[i] = cltypes.Trunc(r, vt.Elem)
+			}
+		}
+		return Value{T: vt, Vec: out}, nil
+	}
+	st, ok := rt.(*cltypes.Scalar)
+	if !ok {
+		return Value{}, fmt.Errorf("exec: bad binary result type %s", rt)
+	}
+	ls, lok := lv.T.(*cltypes.Scalar)
+	rs, rok := rv.T.(*cltypes.Scalar)
+	if !lok || !rok {
+		return Value{}, fmt.Errorf("exec: bad binary operands %s, %s", lv.T, rv.T)
+	}
+	if op.IsComparison() {
+		ct := cltypes.UsualArith(ls, rs)
+		a := cltypes.Convert(lv.Scalar, ls, ct)
+		b := cltypes.Convert(rv.Scalar, rs, ct)
+		r, err := scalarBinOp(op, a, b, ct, ct)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarValue(r, st), nil
+	}
+	if op == ast.Shl || op == ast.Shr {
+		pl := cltypes.Promote(ls)
+		a := cltypes.Convert(lv.Scalar, ls, pl)
+		r, err := shiftOp(op, a, rv.Scalar, pl, rs)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarValue(r, st), nil
+	}
+	a := cltypes.Convert(lv.Scalar, ls, st)
+	b := cltypes.Convert(rv.Scalar, rs, st)
+	r, err := scalarBinOp(op, a, b, st, st)
+	if err != nil {
+		return Value{}, err
+	}
+	return scalarValue(r, st), nil
+}
+
+// vecComponents extracts components from a vector or splats a scalar.
+func vecComponents(v Value, vt *cltypes.Vector) ([]uint64, error) {
+	switch t := v.T.(type) {
+	case *cltypes.Vector:
+		return v.Vec, nil
+	case *cltypes.Scalar:
+		out := make([]uint64, vt.Len)
+		c := cltypes.Convert(v.Scalar, t, vt.Elem)
+		for i := range out {
+			out[i] = c
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("exec: cannot widen %s to %s", v.T, vt)
+}
+
+// scalarBinOp computes op on two values already converted to type t.
+// Division and modulo by values that would be undefined in C are total here
+// with safe-math fallback semantics: the generator only emits them through
+// safe wrappers, and the benchmarks guard their divisors, so the fallback
+// never changes the meaning of a well-defined program.
+func scalarBinOp(op ast.BinOp, a, b uint64, t, bt *cltypes.Scalar) (uint64, error) {
+	switch op {
+	case ast.Add:
+		return cltypes.Add(a, b, t), nil
+	case ast.Sub:
+		return cltypes.Sub(a, b, t), nil
+	case ast.Mul:
+		return cltypes.Mul(a, b, t), nil
+	case ast.Div:
+		return cltypes.Div(a, b, t), nil
+	case ast.Mod:
+		return cltypes.Mod(a, b, t), nil
+	case ast.And:
+		return cltypes.And(a, b, t), nil
+	case ast.Or:
+		return cltypes.Or(a, b, t), nil
+	case ast.Xor:
+		return cltypes.Xor(a, b, t), nil
+	case ast.Shl:
+		return cltypes.Shl(a, b, t, bt), nil
+	case ast.Shr:
+		return cltypes.Shr(a, b, t, bt), nil
+	case ast.EQ:
+		return cltypes.CmpEQ(a, b, t), nil
+	case ast.NE:
+		return 1 - cltypes.CmpEQ(a, b, t), nil
+	case ast.LT:
+		return cltypes.CmpLT(a, b, t), nil
+	case ast.LE:
+		return cltypes.CmpLE(a, b, t), nil
+	case ast.GT:
+		return cltypes.CmpLT(b, a, t), nil
+	case ast.GE:
+		return cltypes.CmpLE(b, a, t), nil
+	case ast.LAnd:
+		if cltypes.Trunc(a, t) != 0 && cltypes.Trunc(b, t) != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case ast.LOr:
+		if cltypes.Trunc(a, t) != 0 || cltypes.Trunc(b, t) != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("exec: unknown binary operator %v", op)
+}
+
+func shiftOp(op ast.BinOp, a, b uint64, t, bt *cltypes.Scalar) (uint64, error) {
+	if op == ast.Shl {
+		return cltypes.Shl(a, b, t, bt), nil
+	}
+	return cltypes.Shr(a, b, t, bt), nil
+}
+
+func (t *thread) evalAssign(ex *ast.AssignExpr) (Value, error) {
+	lv, err := t.evalLV(ex.LHS)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := t.evalExpr(ex.RHS)
+	if err != nil {
+		return Value{}, err
+	}
+	var result Value
+	if ex.Op == ast.Assign {
+		result = rv
+	} else {
+		old, err := lv.load()
+		if err != nil {
+			return Value{}, err
+		}
+		result, err = t.applyBinary(ex.Op.BinOp(), old, rv, compoundType(lv.typ(), rv.T))
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	// Defect models that drop stores or crash (Figures 1(d) and 2(c)).
+	drop, err := t.defectiveStore(ex)
+	if err != nil {
+		return Value{}, err
+	}
+	if drop {
+		return result, nil
+	}
+	if lv.c != nil && lv.c.Shared {
+		if err := t.noteAccess(lv.c, true, false); err != nil {
+			return Value{}, err
+		}
+	}
+	if err := lv.store(result); err != nil {
+		return Value{}, err
+	}
+	// Struct-copy defect models (Figures 1(b) and the §6 struct problems):
+	// corrupt the destination after an otherwise successful copy.
+	if st, ok := lv.typ().(*cltypes.StructT); ok && !st.IsUnion && lv.c != nil {
+		t.corruptStructCopy(lv.c, st)
+	}
+	return lv.load()
+}
+
+// compoundType computes the intermediate type of a compound assignment.
+func compoundType(lt cltypes.Type, rt cltypes.Type) cltypes.Type {
+	if vt, ok := lt.(*cltypes.Vector); ok {
+		return vt
+	}
+	ls, lok := lt.(*cltypes.Scalar)
+	rs, rok := rt.(*cltypes.Scalar)
+	if lok && rok {
+		return cltypes.UsualArith(ls, rs)
+	}
+	return lt
+}
+
+// defectiveStore implements the barrier-related store defect models.
+// Stores of the exact Figure 2(c)/1(d) shapes (through a dereferenced
+// pointer parameter, or an arrow member of a pointer parameter) trigger
+// deterministically; the generated-kernel analogue (arrow-member stores in
+// CLsmith code, which passes the globals struct by pointer everywhere) is
+// hash-gated so that campaign rates match the paper's tables rather than
+// firing on every barrier kernel.
+func (t *thread) defectiveStore(ex *ast.AssignExpr) (bool, error) {
+	if ex.Op != ast.Assign || t.depth == 0 || !t.barrierSeen {
+		return false, nil
+	}
+	derefParam := false
+	if u, ok := ex.LHS.(*ast.Unary); ok && u.Op == ast.Deref {
+		if vr, ok := u.X.(*ast.VarRef); ok && t.isParam(vr.Name) {
+			derefParam = true
+		}
+	}
+	arrowParam := false
+	if m, ok := ex.LHS.(*ast.Member); ok && m.Arrow {
+		if vr, ok := m.Base.(*ast.VarRef); ok && t.isParam(vr.Name) {
+			arrowParam = true
+		}
+	}
+	if !derefParam && !arrowParam {
+		return false, nil
+	}
+	d := t.m.opts.Defects
+	// Figure 1(d), config 17: stores through a pointer-to-struct parameter
+	// are lost once a barrier has executed.
+	if d.Has(bugs.WCStructPtrWriteBarrier) && arrowParam {
+		return true, nil
+	}
+	if t.m.opts.HasFwdDecl {
+		// Figure 2(c), configs 12-/13-: non-leader threads lose stores
+		// through pointer parameters after a barrier.
+		if d.Has(bugs.WCBarrierFwdDecl) && t.lidLinear() != 0 {
+			if derefParam || t.m.hashGate(0xf2c, 8) {
+				return true, nil
+			}
+		}
+		// Figure 2(c), configs 14-/15-: the same trigger crashes with a
+		// segmentation fault.
+		if d.Has(bugs.CrashBarrierFwdDecl) {
+			if derefParam || t.m.hashGate(0xf2d, 2) {
+				return false, &CrashError{Msg: "segmentation fault in barrier-split store"}
+			}
+		}
+	}
+	return false, nil
+}
+
+// corruptStructCopy applies the struct-assignment defect models to a just-
+// stored struct destination.
+func (t *thread) corruptStructCopy(dst *Cell, st *cltypes.StructT) {
+	d := t.m.opts.Defects
+	// Figure 1(b), configs 10-/11-: with Nx == 1, a struct copy loses
+	// array element 7.
+	if d.Has(bugs.WCStructCopyNx1) && t.m.nd.Global[0] == 1 {
+		for i, f := range st.Fields {
+			if at, ok := f.Type.(*cltypes.Array); ok && at.Len > 7 {
+				if _, ok := at.Elem.(*cltypes.Scalar); ok {
+					dst.Kids[i].Kids[7].storeScalar(0)
+				}
+			}
+		}
+	}
+	// §6 struct problems (configs 7/8 and older drivers): hash-gated loss
+	// of the last field of structs containing nested aggregates.
+	if d.Has(bugs.WCStructDeep) && t.m.hashGate(0x57de, 3) {
+		hasAgg := false
+		for _, f := range st.Fields {
+			switch f.Type.(type) {
+			case *cltypes.Array, *cltypes.StructT:
+				hasAgg = true
+			}
+		}
+		if hasAgg && len(st.Fields) > 0 {
+			last := dst.Kids[len(st.Fields)-1]
+			if _, ok := last.Typ.(*cltypes.Scalar); ok {
+				last.storeScalar(0)
+			}
+		}
+	}
+}

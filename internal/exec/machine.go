@@ -1,0 +1,443 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+	"clfuzz/internal/cltypes"
+)
+
+// NDRange describes the kernel launch geometry: global dimensions and
+// work-group dimensions (paper §3.1). All kernels are treated as 3D; 1D and
+// 2D launches set the extra dimensions to 1.
+type NDRange struct {
+	Global [3]int
+	Local  [3]int
+}
+
+// Validate checks the OpenCL constraints: positive sizes, the work-group
+// size dividing the global size component-wise, and the work-group linear
+// size not exceeding 256 (the maximum supported by every configuration the
+// paper tested, §4.1).
+func (n NDRange) Validate() error {
+	for i := 0; i < 3; i++ {
+		if n.Global[i] <= 0 || n.Local[i] <= 0 {
+			return fmt.Errorf("exec: non-positive NDRange dimension %d", i)
+		}
+		if n.Global[i]%n.Local[i] != 0 {
+			return fmt.Errorf("exec: work-group size %d does not divide global size %d in dimension %d",
+				n.Local[i], n.Global[i], i)
+		}
+	}
+	if n.GroupLinear() > 256 {
+		return fmt.Errorf("exec: work-group linear size %d exceeds 256", n.GroupLinear())
+	}
+	return nil
+}
+
+// GlobalLinear returns the total number of threads.
+func (n NDRange) GlobalLinear() int { return n.Global[0] * n.Global[1] * n.Global[2] }
+
+// GroupLinear returns the number of threads per work-group.
+func (n NDRange) GroupLinear() int { return n.Local[0] * n.Local[1] * n.Local[2] }
+
+// NumGroups returns the number of work-groups in each dimension.
+func (n NDRange) NumGroups() [3]int {
+	return [3]int{n.Global[0] / n.Local[0], n.Global[1] / n.Local[1], n.Global[2] / n.Local[2]}
+}
+
+// Arg is a kernel argument: a global buffer for pointer parameters or a
+// scalar value.
+type Arg struct {
+	Buf    *Buffer
+	Scalar uint64
+}
+
+// Args maps kernel parameter names to arguments.
+type Args map[string]Arg
+
+// Options configures a kernel execution.
+type Options struct {
+	// Defects is the executor-level slice of the configuration's injected
+	// defect set.
+	Defects bugs.Set
+	// Hash is the kernel source hash, the seed for hash-gated defects.
+	Hash uint64
+	// Fuel bounds the number of evaluation steps per thread; exceeding it
+	// reports TimeoutError (the 60-second per-test timeout of §7.1).
+	Fuel int64
+	// CheckRaces enables the data race and barrier divergence checker.
+	CheckRaces bool
+	// HasFwdDecl is the front-end's report of a forward-declared function
+	// with a later definition, a trigger for the Figure 2(c) defects.
+	HasFwdDecl bool
+	// Stats, when non-nil, receives execution statistics.
+	Stats *Stats
+}
+
+// Stats reports execution cost measurements, used to calibrate the fuel
+// model against the paper's timeout rates.
+type Stats struct {
+	// MaxThreadSteps is the largest per-thread evaluation step count.
+	MaxThreadSteps int64
+}
+
+// TimeoutError reports fuel exhaustion.
+type TimeoutError struct{ Where string }
+
+// Error implements the error interface.
+func (e *TimeoutError) Error() string { return "timeout: " + e.Where }
+
+// CrashError reports a runtime crash of the OpenCL application (a
+// segmentation fault or driver abort).
+type CrashError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *CrashError) Error() string { return "crash: " + e.Msg }
+
+// RaceError reports a detected data race (undefined behaviour).
+type RaceError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *RaceError) Error() string { return "data race: " + e.Msg }
+
+// DivergenceError reports barrier divergence (undefined behaviour).
+type DivergenceError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *DivergenceError) Error() string { return "barrier divergence: " + e.Msg }
+
+// Ptr is a pointer value: either the address of a single cell or a
+// position within a cell sequence (a buffer or a decayed array), which
+// supports subscripting.
+type Ptr struct {
+	Cell  *Cell
+	Slice []*Cell
+	Idx   int
+}
+
+// IsNull reports whether the pointer is null.
+func (p Ptr) IsNull() bool { return p.Cell == nil && p.Slice == nil }
+
+// Target resolves the pointed-to cell, or nil for null.
+func (p Ptr) Target() *Cell {
+	if p.Slice != nil {
+		if p.Idx < 0 || p.Idx >= len(p.Slice) {
+			return nil
+		}
+		return p.Slice[p.Idx]
+	}
+	return p.Cell
+}
+
+// At returns the pointer displaced by i elements (subscripting).
+func (p Ptr) At(i int) Ptr {
+	if p.Slice != nil {
+		return Ptr{Slice: p.Slice, Idx: p.Idx + i}
+	}
+	if i == 0 {
+		return p
+	}
+	return Ptr{} // out of range of a single object: null
+}
+
+// Machine executes one kernel launch.
+type Machine struct {
+	prog   *ast.Program
+	kernel *ast.FuncDecl
+	nd     NDRange
+	args   Args
+	opts   Options
+
+	globals  map[string]*Cell // program-scope constant objects
+	funcs    map[string]*ast.FuncDecl
+	atomicMu sync.Mutex
+
+	dead     atomic.Bool
+	failOnce sync.Once
+	err      error
+	abort    chan struct{}
+
+	raceMu     sync.Mutex
+	interGroup map[*Cell]*accessRec // global-memory access record, per kernel run
+}
+
+// Run executes the kernel of prog over the NDRange with the given
+// arguments. It returns nil on success; buffers hold the results.
+func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
+	if err := nd.Validate(); err != nil {
+		return err
+	}
+	kernel := prog.Kernel()
+	if kernel == nil {
+		return fmt.Errorf("exec: program has no kernel")
+	}
+	if opts.Fuel <= 0 {
+		opts.Fuel = 1 << 22
+	}
+	m := &Machine{
+		prog:       prog,
+		kernel:     kernel,
+		nd:         nd,
+		args:       args,
+		opts:       opts,
+		globals:    map[string]*Cell{},
+		funcs:      map[string]*ast.FuncDecl{},
+		abort:      make(chan struct{}),
+		interGroup: map[*Cell]*accessRec{},
+	}
+	for _, f := range prog.Funcs {
+		if f.Body != nil {
+			m.funcs[f.Name] = f
+		}
+	}
+	// Materialize program-scope constants once; they are read-only.
+	for _, g := range prog.Globals {
+		c := NewCell(g.Type, cltypes.Constant)
+		if g.Init != nil {
+			th := &thread{m: m, fuel: opts.Fuel}
+			v, err := th.evalInit(g.Type, g.Init)
+			if err != nil {
+				return err
+			}
+			if err := storeCell(c, v); err != nil {
+				return err
+			}
+		}
+		m.globals[g.Name] = c
+	}
+	// Check arguments against kernel parameters.
+	for _, p := range kernel.Params {
+		if _, ok := m.args[p.Name]; !ok {
+			return fmt.Errorf("exec: missing kernel argument %q", p.Name)
+		}
+	}
+	ng := m.nd.NumGroups()
+	for gz := 0; gz < ng[2]; gz++ {
+		for gy := 0; gy < ng[1]; gy++ {
+			for gx := 0; gx < ng[0]; gx++ {
+				m.runGroup([3]int{gx, gy, gz})
+				if m.dead.Load() {
+					return m.err
+				}
+			}
+		}
+	}
+	return m.err
+}
+
+// fail records the first error and aborts all threads.
+func (m *Machine) fail(err error) {
+	m.failOnce.Do(func() {
+		m.err = err
+		m.dead.Store(true)
+		close(m.abort)
+	})
+}
+
+func (m *Machine) hashGate(salt, divisor uint64) bool {
+	return bugs.Gate(m.opts.Hash, salt, divisor)
+}
+
+// groupCtx is the shared state of one work-group.
+type groupCtx struct {
+	m     *Machine
+	id    [3]int
+	bar   *barrier
+	mu    sync.Mutex
+	local map[*ast.VarDecl]*Cell // local-memory variables, one per group
+	races map[*Cell]*accessRec   // intra-group access record, cleared at barriers
+}
+
+func (m *Machine) runGroup(gid [3]int) {
+	g := &groupCtx{
+		m:     m,
+		id:    gid,
+		local: map[*ast.VarDecl]*Cell{},
+		races: map[*Cell]*accessRec{},
+	}
+	n := m.nd.GroupLinear()
+	g.bar = newBarrier(n, g)
+	var wg sync.WaitGroup
+	for lz := 0; lz < m.nd.Local[2]; lz++ {
+		for ly := 0; ly < m.nd.Local[1]; ly++ {
+			for lx := 0; lx < m.nd.Local[0]; lx++ {
+				lid := [3]int{lx, ly, lz}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := m.newThread(g, lid)
+					err := th.runKernel()
+					if st := m.opts.Stats; st != nil {
+						used := m.opts.Fuel - th.fuel
+						m.raceMu.Lock()
+						if used > st.MaxThreadSteps {
+							st.MaxThreadSteps = used
+						}
+						m.raceMu.Unlock()
+					}
+					if err != nil {
+						g.bar.quitErr()
+						m.fail(err)
+						return
+					}
+					if derr := g.bar.quit(); derr != nil {
+						m.fail(derr)
+					}
+				}()
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func (m *Machine) newThread(g *groupCtx, lid [3]int) *thread {
+	gid := [3]int{
+		g.id[0]*m.nd.Local[0] + lid[0],
+		g.id[1]*m.nd.Local[1] + lid[1],
+		g.id[2]*m.nd.Local[2] + lid[2],
+	}
+	return &thread{
+		m:     m,
+		group: g,
+		gid:   gid,
+		lid:   lid,
+		fuel:  m.opts.Fuel,
+	}
+}
+
+// lidLinear computes the linearized local id of the thread.
+func (t *thread) lidLinear() int {
+	return (t.lid[2]*t.m.nd.Local[1]+t.lid[1])*t.m.nd.Local[0] + t.lid[0]
+}
+
+func (t *thread) gidLinear() int {
+	return (t.gid[2]*t.m.nd.Global[1]+t.gid[1])*t.m.nd.Global[0] + t.gid[0]
+}
+
+func (t *thread) groupLinear() int {
+	ng := t.m.nd.NumGroups()
+	return (t.group.id[2]*ng[1]+t.group.id[1])*ng[0] + t.group.id[0]
+}
+
+// ---- access records for the race checker ----
+
+type accessRec struct {
+	// thread (intra-group) or group (inter-group) linear ids.
+	readers map[int]bool
+	writers map[int]bool
+	atomics map[int]bool // atomic RMW accessors
+}
+
+func newAccessRec() *accessRec {
+	return &accessRec{readers: map[int]bool{}, writers: map[int]bool{}, atomics: map[int]bool{}}
+}
+
+// note records an access by id and reports whether it races with a
+// previously recorded access: two distinct accessors, at least one write,
+// not both atomic (paper §3.1).
+func (r *accessRec) note(id int, write, isAtomic bool) bool {
+	race := false
+	if isAtomic {
+		for w := range r.writers {
+			if w != id {
+				race = true
+			}
+		}
+		for rd := range r.readers {
+			if rd != id {
+				race = true
+			}
+		}
+		r.atomics[id] = true
+	} else {
+		if write {
+			for rd := range r.readers {
+				if rd != id {
+					race = true
+				}
+			}
+			for w := range r.writers {
+				if w != id {
+					race = true
+				}
+			}
+			for a := range r.atomics {
+				if a != id {
+					race = true
+				}
+			}
+			r.writers[id] = true
+		} else {
+			for w := range r.writers {
+				if w != id {
+					race = true
+				}
+			}
+			for a := range r.atomics {
+				if a != id {
+					race = true
+				}
+			}
+			r.readers[id] = true
+		}
+	}
+	return race
+}
+
+// noteAccess records a shared-memory access for the race checker and
+// reports an error when a race is detected.
+func (t *thread) noteAccess(c *Cell, write, isAtomic bool) error {
+	if !t.m.opts.CheckRaces || !c.Shared {
+		return nil
+	}
+	// Intra-group record (cleared at barriers).
+	g := t.group
+	g.mu.Lock()
+	rec, ok := g.races[c]
+	if !ok {
+		rec = newAccessRec()
+		g.races[c] = rec
+	}
+	raced := rec.note(t.lidLinear(), write, isAtomic)
+	g.mu.Unlock()
+	if raced {
+		return &RaceError{Msg: fmt.Sprintf("intra-group race on %s cell (group %v, thread %v)", c.Space, g.id, t.lid)}
+	}
+	// Inter-group record for global memory (never cleared). Unlike the
+	// paper's conservative definition we treat pairs of atomic accesses
+	// as non-racing across groups: OpenCL 1.x global atomics are atomic
+	// device-wide, and the standard benchmarks rely on this.
+	if c.Space == cltypes.Global {
+		t.m.raceMu.Lock()
+		grec, ok := t.m.interGroup[c]
+		if !ok {
+			grec = newAccessRec()
+			t.m.interGroup[c] = grec
+		}
+		gr := grec.note(t.groupLinear(), write, isAtomic)
+		t.m.raceMu.Unlock()
+		if gr {
+			return &RaceError{Msg: fmt.Sprintf("inter-group race on global cell (group %v, thread %v)", g.id, t.lid)}
+		}
+	}
+	return nil
+}
+
+// clearRaces drops intra-group access records for the spaces covered by the
+// barrier fence flags (bit 0: local, bit 1: global).
+func (g *groupCtx) clearRaces(fence uint64) {
+	if !g.m.opts.CheckRaces {
+		return
+	}
+	g.mu.Lock()
+	for c := range g.races {
+		if (c.Space == cltypes.Local && fence&1 != 0) || (c.Space == cltypes.Global && fence&2 != 0) {
+			delete(g.races, c)
+		}
+	}
+	g.mu.Unlock()
+}

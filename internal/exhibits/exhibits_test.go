@@ -1,0 +1,100 @@
+package exhibits_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/exhibits"
+)
+
+// TestFigure1 verifies every Figure 1 exhibit: the documented bug
+// reproduces on its below-threshold configuration(s) and the reference
+// configuration computes the expected result.
+func TestFigure1(t *testing.T) {
+	for _, e := range exhibits.All() {
+		if e.Figure != 1 {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if err := exhibits.Verify(e); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestFigure2 verifies every Figure 2 exhibit against its above-threshold
+// configuration(s).
+func TestFigure2(t *testing.T) {
+	for _, e := range exhibits.All() {
+		if e.Figure != 2 {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if err := exhibits.Verify(e); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestExhibitsCorrectOnNVIDIAOpt spot-checks that exhibits are NOT
+// misbehaving on an unaffected configuration: NVIDIA with optimizations
+// computes the expected result for every wrong-result exhibit that does
+// not list it (miscompilation must be configuration-specific, or the
+// majority vote would be meaningless).
+func TestExhibitsCorrectOnUnaffectedConfig(t *testing.T) {
+	cfg := device.ByID(1) // NVIDIA GTX Titan with optimizations
+	for _, e := range exhibits.All() {
+		affected := false
+		for _, a := range e.Affected {
+			if a.ConfigID == 1 && a.Optimize {
+				affected = true
+			}
+		}
+		if affected {
+			continue
+		}
+		cr := cfg.Compile(e.Src, true)
+		if cr.Outcome != device.OK {
+			t.Errorf("%s: unaffected config failed to compile: %s", e.ID, cr.Msg)
+			continue
+		}
+		args, result := e.Args()
+		rr := cr.Kernel.Run(e.ND, args, result, device.RunOptions{})
+		if rr.Outcome != device.OK {
+			t.Errorf("%s: unaffected config failed to run: %s %s", e.ID, rr.Outcome, rr.Msg)
+			continue
+		}
+		for i, want := range e.Expected {
+			if rr.Output[i] != want {
+				t.Errorf("%s: unaffected config out[%d] = %#x, want %#x", e.ID, i, rr.Output[i], want)
+			}
+		}
+	}
+}
+
+// TestExhibitCatalog sanity-checks the catalog shape: six exhibits per
+// figure, unique ids.
+func TestExhibitCatalog(t *testing.T) {
+	seen := map[string]bool{}
+	count := map[int]int{}
+	for _, e := range exhibits.All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate exhibit id %s", e.ID)
+		}
+		seen[e.ID] = true
+		count[e.Figure]++
+		if len(e.Affected) == 0 {
+			t.Errorf("%s: no affected configurations listed", e.ID)
+		}
+	}
+	if count[1] != 6 || count[2] != 6 {
+		t.Errorf("expected 6 exhibits per figure, have %v", count)
+	}
+	if exhibits.ByID("2f") == nil || exhibits.ByID("9z") != nil {
+		t.Error("ByID lookup misbehaves")
+	}
+}

@@ -1,0 +1,554 @@
+package generator
+
+import (
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+)
+
+// build assembles the whole program.
+func (g *gen) build() {
+	g.pickGrid()
+	g.budget = g.opts.StmtBudget
+	// A minority of programs mix size_t group-id arithmetic with signed
+	// integers — legal OpenCL C that the config-15 front end rejects; the
+	// per-program rate calibrates that configuration's build-failure rate
+	// (Table 4).
+	if g.chance(0.15) {
+		g.sizeTMix = true
+		g.sizeTMixLeft = 1 + g.intn(3)
+	}
+	// Comma operators are likewise a per-program feature: their frequency
+	// calibrates the Oclgrind wrong-code rate (Table 4: w% around 8-11%
+	// for config 19, whose comma defect is Figure 2(f)).
+	if g.chance(0.12) {
+		g.commaProg = true
+		g.commaLeft = 1 + g.intn(2)
+	}
+	g.makeStructs()
+	g.makeGlobalsStruct()
+	if g.barriers {
+		g.makePermutations()
+		g.commGlobal = g.chance(0.5) // §4.2: A lives in local or global memory
+	}
+	if g.sections {
+		g.sectionCount = 1 + g.intn(6) // scaled from the paper's 1-99
+	}
+	nfuncs := 1 + g.intn(4)
+	protos := g.chance(0.35) // CLsmith-style forward declarations
+	for i := 0; i < nfuncs; i++ {
+		g.makeFunc()
+	}
+	if protos {
+		var decls []*ast.FuncDecl
+		for _, f := range g.funcs {
+			proto := *f
+			proto.Body = nil
+			decls = append(decls, &proto)
+		}
+		g.prog.Funcs = append(decls, g.funcs...)
+	} else {
+		g.prog.Funcs = g.funcs
+	}
+	g.makeKernel()
+}
+
+// makeStructs creates 0-3 auxiliary struct types and possibly one union,
+// which may be embedded in the globals struct. Struct-heavy programs are
+// deliberate: the CLsmith globals-struct design biases testing toward
+// struct miscompilations (§4.1).
+func (g *gen) makeStructs() {
+	n := g.intn(3)
+	for i := 0; i < n; i++ {
+		st := &cltypes.StructT{Name: g.fresh("S")}
+		nf := 2 + g.intn(4)
+		for j := 0; j < nf; j++ {
+			ft := cltypes.Type(g.randScalar())
+			if g.chance(0.2) {
+				ft = cltypes.ArrayOf(g.randScalar(), 2+g.intn(8))
+			}
+			st.Fields = append(st.Fields, cltypes.Field{
+				Name:     g.fresh("f"),
+				Type:     ft,
+				Volatile: g.chance(0.08),
+			})
+		}
+		g.structs = append(g.structs, st)
+		g.prog.Structs = append(g.prog.Structs, st)
+	}
+	if g.chance(0.15) {
+		// A union with a scalar first member and a struct member. Only the
+		// first member is ever accessed, so no type punning occurs. The
+		// struct's lead field width is randomized: only the narrow case
+		// reproduces the Figure 2(a) shape, keeping the NVIDIA wrong-code
+		// rate at the low per-kernel level of Table 4.
+		lead := []*cltypes.Scalar{cltypes.TShort, cltypes.TInt, cltypes.TLong}[g.intn(3)]
+		inner := &cltypes.StructT{Name: g.fresh("S")}
+		inner.Fields = []cltypes.Field{
+			{Name: g.fresh("f"), Type: lead},
+			{Name: g.fresh("f"), Type: cltypes.TLong},
+		}
+		g.prog.Structs = append(g.prog.Structs, inner)
+		u := &cltypes.StructT{Name: g.fresh("U"), IsUnion: true}
+		u.Fields = []cltypes.Field{
+			{Name: g.fresh("f"), Type: cltypes.TUInt},
+			{Name: g.fresh("f"), Type: inner},
+		}
+		g.structs = append(g.structs, u)
+		g.prog.Structs = append(g.prog.Structs, u)
+	}
+}
+
+// makeGlobalsStruct creates the struct S0 holding every would-be-global
+// variable (§4.1): OpenCL 1.x does not support program-scope mutable
+// variables, so CLsmith hoists them into a struct passed by reference to
+// every function.
+func (g *gen) makeGlobalsStruct() {
+	st := &cltypes.StructT{Name: "S0"}
+	nf := 4 + g.intn(8)
+	for i := 0; i < nf; i++ {
+		var ft cltypes.Type
+		switch {
+		case g.chance(0.15):
+			ft = cltypes.ArrayOf(g.randScalar(), 2+g.intn(9))
+		case len(g.structs) > 0 && g.chance(0.2):
+			ft = g.structs[g.intn(len(g.structs))]
+		default:
+			ft = g.randScalar()
+		}
+		st.Fields = append(st.Fields, cltypes.Field{
+			Name:     g.fresh("g"),
+			Type:     ft,
+			Volatile: g.chance(0.05),
+		})
+	}
+	g.globals = st
+	g.prog.Structs = append(g.prog.Structs, st)
+}
+
+// makePermutations emits the BARRIER-mode constant permutation table
+// (§4.2): permutations[i] is a random permutation of {0..Wlinear-1}.
+func (g *gen) makePermutations() {
+	wl := g.nd.GroupLinear()
+	rows := make([]ast.Expr, permCount)
+	for i := 0; i < permCount; i++ {
+		perm := g.rng.Perm(wl)
+		row := &ast.InitList{}
+		for _, v := range perm {
+			row.Elems = append(row.Elems, lit(int64(v), cltypes.TUInt))
+		}
+		rows[i] = row
+	}
+	g.prog.Globals = append(g.prog.Globals, &ast.VarDecl{
+		Name:  "permutations",
+		Type:  cltypes.ArrayOf(cltypes.ArrayOf(cltypes.TUInt, wl), permCount),
+		Space: cltypes.Constant,
+		Init:  &ast.InitList{Elems: rows},
+	})
+}
+
+// randLiteral produces a literal of type t, biased toward small values
+// with occasional full-width bit patterns.
+func (g *gen) randLiteral(t *cltypes.Scalar) *ast.IntLit {
+	var v int64
+	switch g.intn(5) {
+	case 0:
+		v = int64(g.intn(3)) // 0, 1, 2
+	case 1:
+		v = int64(g.intn(256)) - 128
+	case 2:
+		v = int64(g.rng.Uint64() & 0xffff)
+	default:
+		v = int64(g.rng.Uint64())
+	}
+	return lit(v, t)
+}
+
+// initFor builds a braced initializer for an aggregate (or a literal for a
+// scalar).
+func (g *gen) initFor(t cltypes.Type) ast.Expr {
+	switch tt := t.(type) {
+	case *cltypes.Scalar:
+		return g.randLiteral(tt)
+	case *cltypes.Array:
+		il := &ast.InitList{}
+		for i := 0; i < tt.Len; i++ {
+			il.Elems = append(il.Elems, g.initFor(tt.Elem))
+		}
+		return il
+	case *cltypes.StructT:
+		il := &ast.InitList{}
+		if tt.IsUnion {
+			il.Elems = append(il.Elems, g.initFor(tt.Fields[0].Type))
+			return il
+		}
+		for _, f := range tt.Fields {
+			il.Elems = append(il.Elems, g.initFor(f.Type))
+		}
+		return il
+	}
+	return lit(0, cltypes.TInt)
+}
+
+// makeFunc generates one helper function: (struct S0 *g, int p) -> scalar.
+// Functions mutate the globals struct and may call previously generated
+// functions; they never issue barriers or atomics (the communication
+// idioms are kernel-top-level only, preserving uniform control flow,
+// §4.2 "Avoiding barrier divergence").
+func (g *gen) makeFunc() {
+	ret := g.randScalar()
+	f := &ast.FuncDecl{
+		Name: g.fresh("func"),
+		Ret:  ret,
+		Params: []ast.Param{
+			{Name: "g", Type: cltypes.PtrTo(g.globals)},
+			{Name: "p", Type: cltypes.TInt},
+		},
+	}
+	savedLocals, savedLoops, savedVecs := g.locals, g.loopVars, g.vecVars
+	g.locals, g.loopVars, g.vecVars = nil, []string{"p"}, nil
+	body := &ast.Block{}
+	n := 2 + g.intn(5)
+	for i := 0; i < n && g.budget > 0; i++ {
+		body.Stmts = append(body.Stmts, g.stmt(2))
+	}
+	body.Stmts = append(body.Stmts, &ast.Return{X: g.expr(ret, 3)})
+	f.Body = body
+	g.locals, g.loopVars, g.vecVars = savedLocals, savedLoops, savedVecs
+	g.funcs = append(g.funcs, f)
+}
+
+// makeKernel assembles the kernel: globals struct instance, checksum
+// accumulator, mode-specific communication state, a top-level statement
+// sequence interleaving computation with communication constructs, the
+// group-leader folds, and the final result store.
+func (g *gen) makeKernel() {
+	wl := g.nd.GroupLinear()
+	k := &ast.FuncDecl{
+		Name:     "entry",
+		Ret:      cltypes.TVoid,
+		IsKernel: true,
+		Params: []ast.Param{
+			{Name: "result", Type: &cltypes.Pointer{Elem: cltypes.TULong, Space: cltypes.Global}},
+		},
+	}
+	if g.opts.EMIBlocks > 0 {
+		g.deadLen = 16
+		k.Params = append(k.Params, ast.Param{
+			Name: "dead",
+			Type: &cltypes.Pointer{Elem: cltypes.TInt, Space: cltypes.Global},
+		})
+	}
+	if g.barriers && g.commGlobal {
+		k.Params = append(k.Params, ast.Param{
+			Name: "comm",
+			Type: &cltypes.Pointer{Elem: cltypes.TUInt, Space: cltypes.Global},
+		})
+	}
+	if g.sections {
+		k.Params = append(k.Params,
+			ast.Param{Name: "sec_c", Type: &cltypes.Pointer{Elem: cltypes.TUInt, Space: cltypes.Global}},
+			ast.Param{Name: "sec_s", Type: &cltypes.Pointer{Elem: cltypes.TUInt, Space: cltypes.Global}},
+		)
+	}
+	body := &ast.Block{}
+	add := func(s ast.Stmt) { body.Stmts = append(body.Stmts, s) }
+
+	// struct S0 gs = {...}; struct S0 *g = &gs;
+	add(&ast.DeclStmt{Decl: &ast.VarDecl{Name: "gs", Type: g.globals, Init: g.initFor(g.globals)}})
+	add(&ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: "g", Type: cltypes.PtrTo(g.globals),
+		Init: &ast.Unary{Op: ast.AddrOf, X: ref("gs")},
+	}})
+	// ulong crc = <offset basis>;
+	add(&ast.DeclStmt{Decl: &ast.VarDecl{
+		Name: "crc", Type: cltypes.TULong,
+		Init: ast.NewIntLit(14695981039346656037, cltypes.TULong),
+	}})
+
+	fence := ref("CLK_GLOBAL_MEM_FENCE")
+	commIndex := func() ast.Expr { // comm[A_offset] or comm[goff + off]
+		if g.commGlobal {
+			return &ast.Index{Base: ref("comm"), Idx: &ast.Binary{Op: ast.Add, L: ref("goff"), R: ref("off")}}
+		}
+		return &ast.Index{Base: ref("comm"), Idx: ref("off")}
+	}
+	if g.barriers {
+		if !g.commGlobal {
+			fence = ref("CLK_LOCAL_MEM_FENCE")
+			add(&ast.DeclStmt{Decl: &ast.VarDecl{
+				Name: "comm", Type: cltypes.ArrayOf(cltypes.TUInt, wl), Space: cltypes.Local,
+			}})
+		} else {
+			// The cast avoids incidental size_t/int mixing, which the
+			// config-15 front end would otherwise reject in every
+			// BARRIER-mode kernel.
+			add(&ast.DeclStmt{Decl: &ast.VarDecl{
+				Name: "goff", Type: cltypes.TUInt,
+				Init: &ast.Binary{Op: ast.Mul,
+					L: cast(cltypes.TUInt, call("get_linear_group_id")),
+					R: lit(int64(wl), cltypes.TUInt)},
+			}})
+		}
+		// uint off = permutations[r][llinear]; each thread owns a distinct
+		// slot, so the uniform-value initialization below is race-free.
+		add(&ast.DeclStmt{Decl: &ast.VarDecl{
+			Name: "off", Type: cltypes.TUInt,
+			Init: &ast.Index{
+				Base: &ast.Index{Base: ref("permutations"), Idx: lit(int64(g.intn(permCount)), cltypes.TInt)},
+				Idx:  call("get_linear_local_id"),
+			},
+		}})
+		add(assign(commIndex(), lit(1, cltypes.TUInt)))
+		add(&ast.ExprStmt{X: call("barrier", ast.CloneExpr(fence))})
+	}
+	if g.sections {
+		add(&ast.DeclStmt{Decl: &ast.VarDecl{
+			Name: "cbase", Type: cltypes.TUInt,
+			Init: &ast.Binary{Op: ast.Mul,
+				L: cast(cltypes.TUInt, call("get_linear_group_id")),
+				R: lit(int64(g.sectionCount), cltypes.TUInt)},
+		}})
+	}
+	if g.reductions {
+		add(&ast.DeclStmt{Decl: &ast.VarDecl{
+			Name: "red", Type: cltypes.ArrayOf(cltypes.TUInt, 1), Space: cltypes.Local, Volatile: true,
+		}})
+		add(&ast.DeclStmt{Decl: &ast.VarDecl{
+			Name: "total", Type: cltypes.TULong, Init: lit(0, cltypes.TULong),
+		}})
+		leaderInit := &ast.If{
+			Cond: &ast.Binary{Op: ast.EQ, L: call("get_linear_local_id"), R: lit(0, cltypes.TULong)},
+			Then: &ast.Block{Stmts: []ast.Stmt{assign(&ast.Index{Base: ref("red"), Idx: lit(0, cltypes.TInt)}, lit(0, cltypes.TUInt))}},
+		}
+		add(leaderInit)
+		add(&ast.ExprStmt{X: call("barrier", ref("CLK_LOCAL_MEM_FENCE"))})
+	}
+
+	// Top-level statement sequence: computation interleaved with
+	// communication constructs. A minority of kernels carry a heavy
+	// compute loop, giving the runtime distribution the long tail behind
+	// the paper's timeout rates.
+	var top []ast.Stmt
+	if g.chance(0.22) {
+		top = append(top, g.heavyLoop())
+	}
+	nTop := 6 + g.intn(8)
+	for i := 0; i < nTop; i++ {
+		switch {
+		case g.barriers && g.chance(0.35):
+			top = append(top, g.barrierConstruct(commIndex, fence)...)
+		case g.sections && g.chance(0.3):
+			top = append(top, g.atomicSection())
+		case g.reductions && g.chance(0.3):
+			top = append(top, g.atomicReduction()...)
+		default:
+			if g.budget > 0 {
+				top = append(top, g.stmt(0))
+			}
+			// Checksum capture of a random globals field
+			// (transparent_crc analog).
+			top = append(top, g.crcCapture())
+		}
+	}
+	// Inject EMI blocks at random top-level positions (§5).
+	for i := 0; i < g.opts.EMIBlocks; i++ {
+		pos := g.intn(len(top) + 1)
+		blk := g.emiBlock()
+		top = append(top[:pos], append([]ast.Stmt{blk}, top[pos:]...)...)
+	}
+	body.Stmts = append(body.Stmts, top...)
+
+	// Final folds.
+	llinear := call("get_linear_local_id")
+	if g.barriers {
+		body.Stmts = append(body.Stmts,
+			&ast.ExprStmt{X: call("barrier", ast.CloneExpr(fence))},
+			assign(ref("crc"), call("crc64", ref("crc"), cast(cltypes.TULong, commIndex()))),
+		)
+	}
+	if g.sections || g.reductions {
+		// One synchronization before the leader folds shared results, so
+		// the leader observes every thread's contribution.
+		body.Stmts = append(body.Stmts, &ast.ExprStmt{X: call("barrier", ref("CLK_GLOBAL_MEM_FENCE"))})
+		leaderFold := &ast.Block{}
+		if g.sections {
+			iv := g.fresh("i")
+			loop := &ast.For{
+				Init: &ast.DeclStmt{Decl: &ast.VarDecl{Name: iv, Type: cltypes.TInt, Init: lit(0, cltypes.TInt)}},
+				Cond: &ast.Binary{Op: ast.LT, L: ref(iv), R: lit(int64(g.sectionCount), cltypes.TInt)},
+				Post: &ast.Unary{Op: ast.PostInc, X: ref(iv)},
+				Body: &ast.Block{Stmts: []ast.Stmt{
+					assign(ref("crc"), call("crc64", ref("crc"), cast(cltypes.TULong,
+						&ast.Index{Base: ref("sec_s"), Idx: &ast.Binary{Op: ast.Add, L: ref("cbase"), R: cast(cltypes.TUInt, ref(iv))}}))),
+				}},
+			}
+			leaderFold.Stmts = append(leaderFold.Stmts, loop)
+		}
+		if g.reductions {
+			leaderFold.Stmts = append(leaderFold.Stmts,
+				assign(ref("crc"), call("crc64", ref("crc"), ref("total"))))
+		}
+		body.Stmts = append(body.Stmts, &ast.If{
+			Cond: &ast.Binary{Op: ast.EQ, L: llinear, R: lit(0, cltypes.TULong)},
+			Then: leaderFold,
+		})
+	}
+	// result[tlinear] = crc;
+	body.Stmts = append(body.Stmts, assign(
+		&ast.Index{Base: ref("result"), Idx: call("get_linear_global_id")},
+		ref("crc"),
+	))
+	k.Body = body
+	g.prog.Funcs = append(g.prog.Funcs, k)
+}
+
+// crcCapture folds a random globals-struct scalar into the checksum.
+func (g *gen) crcCapture() ast.Stmt {
+	var val ast.Expr
+	f := g.globals.Fields[g.intn(len(g.globals.Fields))]
+	base := &ast.Member{Base: ref("g"), Name: f.Name, Arrow: true}
+	switch ft := f.Type.(type) {
+	case *cltypes.Scalar:
+		val = base
+	case *cltypes.Array:
+		val = &ast.Index{Base: base, Idx: lit(int64(g.intn(ft.Len)), cltypes.TInt)}
+	case *cltypes.StructT:
+		inner := ft.Fields[0]
+		val = &ast.Member{Base: base, Name: inner.Name}
+		if at, ok := inner.Type.(*cltypes.Array); ok {
+			val = &ast.Index{Base: val, Idx: lit(int64(g.intn(at.Len)), cltypes.TInt)}
+		}
+	default:
+		val = lit(0, cltypes.TInt)
+	}
+	return assign(ref("crc"), call("crc64", ref("crc"), cast(cltypes.TULong, val)))
+}
+
+// barrierConstruct emits the §4.2 BARRIER-mode idiom: an optional
+// communication access to comm[off], then a synchronization point that
+// re-distributes slot ownership via the constant permutation table.
+func (g *gen) barrierConstruct(commIndex func() ast.Expr, fence ast.Expr) []ast.Stmt {
+	var out []ast.Stmt
+	if g.chance(0.7) { // communication write: comm[off] = comm[off] + uniform
+		out = append(out, assign(commIndex(),
+			&ast.Binary{Op: ast.Add, L: commIndex(),
+				R: cast(cltypes.TUInt, g.uniformExpr(cltypes.TUInt, 2))}))
+	}
+	if g.chance(0.7) { // communication read folds into the checksum only
+		out = append(out, assign(ref("crc"),
+			call("crc64", ref("crc"), cast(cltypes.TULong, commIndex()))))
+	}
+	// barrier(FENCE); off = permutations[rnd_i][llinear];
+	out = append(out,
+		&ast.ExprStmt{X: call("barrier", ast.CloneExpr(fence))},
+		assign(ref("off"), &ast.Index{
+			Base: &ast.Index{Base: ref("permutations"), Idx: lit(int64(g.intn(permCount)), cltypes.TInt)},
+			Idx:  call("get_linear_local_id"),
+		}),
+	)
+	return out
+}
+
+// atomicSection emits the §4.2 ATOMIC SECTION idiom:
+//
+//	if (atomic_inc(c) == rnd_i) { locals...; atomic_add(s, hash); }
+//
+// Assignments inside the section modify only section-local data, so the
+// thread's state is unchanged on exit, and the hash (the sum of the
+// section locals) is uniform across threads — whichever thread wins the
+// counter race contributes the same value.
+func (g *gen) atomicSection() ast.Stmt {
+	kIdx := lit(int64(g.intn(g.sectionCount)), cltypes.TInt)
+	counter := &ast.Index{Base: ref("sec_c"), Idx: &ast.Binary{Op: ast.Add, L: ref("cbase"), R: cast(cltypes.TUInt, kIdx)}}
+	special := &ast.Index{Base: ref("sec_s"), Idx: &ast.Binary{Op: ast.Add, L: ref("cbase"), R: cast(cltypes.TUInt, ast.CloneExpr(kIdx))}}
+	rnd := g.intn(2 * g.nd.GroupLinear()) // sometimes no thread enters
+	blk := &ast.Block{}
+	var names []string
+	n := 1 + g.intn(3)
+	for i := 0; i < n; i++ {
+		name := g.fresh("sl")
+		names = append(names, name)
+		blk.Stmts = append(blk.Stmts, &ast.DeclStmt{Decl: &ast.VarDecl{
+			Name: name, Type: cltypes.TUInt,
+			Init: cast(cltypes.TUInt, g.uniformExpr(cltypes.TUInt, 2)),
+		}})
+	}
+	for i := 0; i < 1+g.intn(3); i++ {
+		target := names[g.intn(len(names))]
+		blk.Stmts = append(blk.Stmts, assign(ref(target),
+			cast(cltypes.TUInt, g.uniformExprWith(cltypes.TUInt, 2, names))))
+	}
+	var hash ast.Expr = ref(names[0])
+	for _, nm := range names[1:] {
+		hash = &ast.Binary{Op: ast.Add, L: hash, R: ref(nm)}
+	}
+	blk.Stmts = append(blk.Stmts, &ast.ExprStmt{X: call("atomic_add",
+		&ast.Unary{Op: ast.AddrOf, X: special}, hash)})
+	return &ast.If{
+		Cond: &ast.Binary{Op: ast.EQ,
+			L: call("atomic_inc", &ast.Unary{Op: ast.AddrOf, X: counter}),
+			R: lit(int64(rnd), cltypes.TUInt)},
+		Then: blk,
+	}
+}
+
+// atomic ops available for reductions: commutative and associative (§4.2).
+var reductionOps = []string{"atomic_add", "atomic_min", "atomic_max", "atomic_or", "atomic_and", "atomic_xor"}
+
+// atomicReduction emits the §4.2 ATOMIC REDUCTION idiom.
+func (g *gen) atomicReduction() []ast.Stmt {
+	op := reductionOps[g.intn(len(reductionOps))]
+	// The contributed expression may be thread-dependent (derived from the
+	// checksum): commutativity and associativity make the reduction order
+	// irrelevant.
+	var contrib ast.Expr
+	if g.chance(0.4) {
+		contrib = cast(cltypes.TUInt, ref("crc"))
+	} else {
+		contrib = cast(cltypes.TUInt, g.uniformExpr(cltypes.TUInt, 2))
+	}
+	red0 := func() ast.Expr { return &ast.Index{Base: ref("red"), Idx: lit(0, cltypes.TInt)} }
+	leader := &ast.If{
+		Cond: &ast.Binary{Op: ast.EQ, L: call("get_linear_local_id"), R: lit(0, cltypes.TULong)},
+		Then: &ast.Block{Stmts: []ast.Stmt{
+			assign(ref("total"), &ast.Binary{Op: ast.Add, L: ref("total"), R: cast(cltypes.TULong, red0())}),
+		}},
+	}
+	return []ast.Stmt{
+		&ast.ExprStmt{X: call(op, &ast.Unary{Op: ast.AddrOf, X: red0()}, contrib)},
+		&ast.ExprStmt{X: call("barrier", ref("CLK_LOCAL_MEM_FENCE"))},
+		leader,
+		&ast.ExprStmt{X: call("barrier", ref("CLK_LOCAL_MEM_FENCE"))},
+	}
+}
+
+// emiBlock builds a dead-by-construction EMI block (§5):
+//
+//	if (dead[rnd1] < dead[rnd2]) { statements }
+//
+// with rnd2 < rnd1; the host initializes dead[j] = j, so the guard is
+// false by construction and the compiler cannot know it.
+func (g *gen) emiBlock() ast.Stmt {
+	r1 := 1 + g.intn(g.deadLen-1)
+	r2 := g.intn(r1)
+	blk := &ast.Block{}
+	// EMI blocks are inserted at arbitrary positions after generation, so
+	// they may only reference the globals struct and their own locals —
+	// never surrounding locals, whose declarations might end up later in
+	// the statement order.
+	savedLocals, savedLoops, savedVecs := g.locals, g.loopVars, g.vecVars
+	g.locals, g.loopVars, g.vecVars = nil, nil, nil
+	saved := g.budget
+	g.budget = 4 + g.intn(6)
+	for g.budget > 0 {
+		blk.Stmts = append(blk.Stmts, g.stmt(1))
+	}
+	g.budget = saved
+	g.locals, g.loopVars, g.vecVars = savedLocals, savedLoops, savedVecs
+	return &ast.If{
+		Cond: &ast.Binary{Op: ast.LT,
+			L: &ast.Index{Base: ref("dead"), Idx: lit(int64(r1), cltypes.TInt)},
+			R: &ast.Index{Base: ref("dead"), Idx: lit(int64(r2), cltypes.TInt)}},
+		Then: blk,
+	}
+}

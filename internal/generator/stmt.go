@@ -1,0 +1,291 @@
+package generator
+
+import (
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+)
+
+// stmt generates one random statement at nesting depth d, spending budget.
+// The statements maintain the determinism discipline: no thread-local ids,
+// no checksum references (the checksum is only touched by the designated
+// capture idioms emitted in makeKernel).
+func (g *gen) stmt(d int) ast.Stmt {
+	g.budget--
+	roll := g.intn(100)
+	switch {
+	case roll < 18:
+		return g.assignGlobalsField()
+	case roll < 28:
+		return g.declLocal()
+	case roll < 38 && len(g.locals) > 0:
+		return g.assignLocal()
+	case roll < 50 && d < 3:
+		return g.ifStmt(d)
+	case roll < 60 && d < 3 && g.loopDepth < 3:
+		return g.forStmt(d)
+	case roll < 66 && d < 3 && g.loopDepth < 3:
+		return g.whileCountdown(d)
+	case roll < 74 && len(g.funcs) > 0:
+		return g.callStmt()
+	case roll < 84:
+		return g.compoundAssign()
+	case roll < 94 && g.vectors:
+		return g.vectorStmt()
+	default:
+		return g.assignGlobalsField()
+	}
+}
+
+// globalsFieldLV returns an lvalue into the globals struct together with
+// its scalar type, preferring plain scalar fields.
+func (g *gen) globalsFieldLV() (ast.Expr, *cltypes.Scalar) {
+	for tries := 0; tries < 8; tries++ {
+		f := g.globals.Fields[g.intn(len(g.globals.Fields))]
+		base := &ast.Member{Base: ref("g"), Name: f.Name, Arrow: true}
+		switch ft := f.Type.(type) {
+		case *cltypes.Scalar:
+			return base, ft
+		case *cltypes.Array:
+			if et, ok := ft.Elem.(*cltypes.Scalar); ok {
+				return &ast.Index{Base: base, Idx: g.index(ft.Len)}, et
+			}
+		case *cltypes.StructT:
+			if ft.IsUnion {
+				// Only the first union member is ever accessed (no type
+				// punning, which is implementation-defined).
+				if st, ok := ft.Fields[0].Type.(*cltypes.Scalar); ok {
+					return &ast.Member{Base: base, Name: ft.Fields[0].Name}, st
+				}
+				continue
+			}
+			inner := ft.Fields[g.intn(len(ft.Fields))]
+			switch it := inner.Type.(type) {
+			case *cltypes.Scalar:
+				return &ast.Member{Base: base, Name: inner.Name}, it
+			case *cltypes.Array:
+				if et, ok := it.Elem.(*cltypes.Scalar); ok {
+					return &ast.Index{
+						Base: &ast.Member{Base: base, Name: inner.Name},
+						Idx:  g.index(it.Len),
+					}, et
+				}
+			}
+		}
+	}
+	// Fallback: first scalar field, or a synthesized zero assignment.
+	for _, f := range g.globals.Fields {
+		if st, ok := f.Type.(*cltypes.Scalar); ok {
+			return &ast.Member{Base: ref("g"), Name: f.Name, Arrow: true}, st
+		}
+	}
+	return ref("gs_missing"), cltypes.TInt
+}
+
+// index generates an in-bounds array index: a literal, or a loop variable
+// reduced modulo the length (loop counters are non-negative by
+// construction, so % is well-defined).
+func (g *gen) index(length int) ast.Expr {
+	if len(g.loopVars) > 0 && g.chance(0.4) {
+		// ((uint)v) % len is in range even for negative v (the function
+		// parameter p can be any int).
+		lv := g.loopVars[g.intn(len(g.loopVars))]
+		return &ast.Binary{Op: ast.Mod,
+			L: cast(cltypes.TUInt, ref(lv)),
+			R: lit(int64(length), cltypes.TUInt)}
+	}
+	return lit(int64(g.intn(length)), cltypes.TInt)
+}
+
+func (g *gen) assignGlobalsField() ast.Stmt {
+	lv, t := g.globalsFieldLV()
+	return assign(lv, g.expr(t, 3))
+}
+
+func (g *gen) declLocal() ast.Stmt {
+	t := g.randScalar()
+	// Generate the initializer before registering the name, so a variable
+	// never appears in its own initializer.
+	init := g.expr(t, 3)
+	name := g.fresh("l")
+	g.locals = append(g.locals, localVar{name: name, typ: t})
+	return &ast.DeclStmt{Decl: &ast.VarDecl{Name: name, Type: t, Init: init}}
+}
+
+func (g *gen) assignLocal() ast.Stmt {
+	v := g.locals[g.intn(len(g.locals))]
+	return assign(ref(v.name), g.expr(v.typ, 3))
+}
+
+var compoundOps = []ast.AssignOp{
+	ast.AddAssign, ast.SubAssign, ast.MulAssign,
+	ast.AndAssign, ast.OrAssign, ast.XorAssign,
+}
+
+// compoundAssign emits a compound assignment with a well-defined operator
+// (add/sub/mul wrap; bitwise are total — division and shifts only appear
+// through safe wrappers).
+func (g *gen) compoundAssign() ast.Stmt {
+	op := compoundOps[g.intn(len(compoundOps))]
+	var lhs ast.Expr
+	var t *cltypes.Scalar
+	if len(g.locals) > 0 && g.chance(0.5) {
+		v := g.locals[g.intn(len(g.locals))]
+		lhs, t = ref(v.name), v.typ
+	} else {
+		lhs, t = g.globalsFieldLV()
+	}
+	return &ast.ExprStmt{X: &ast.AssignExpr{Op: op, LHS: lhs, RHS: g.expr(t, 2)}}
+}
+
+func (g *gen) ifStmt(d int) ast.Stmt {
+	st := &ast.If{Cond: g.expr(cltypes.TInt, 3), Then: g.block(d + 1)}
+	if g.chance(0.4) {
+		st.Else = g.block(d + 1)
+	}
+	return st
+}
+
+// block generates a nested block with its own lexical scope.
+func (g *gen) block(d int) *ast.Block {
+	savedL, savedLoop, savedV := len(g.locals), len(g.loopVars), len(g.vecVars)
+	b := &ast.Block{}
+	n := 1 + g.intn(4)
+	for i := 0; i < n && g.budget > 0; i++ {
+		b.Stmts = append(b.Stmts, g.stmt(d))
+	}
+	if len(b.Stmts) == 0 {
+		b.Stmts = append(b.Stmts, g.assignGlobalsField())
+	}
+	g.locals = g.locals[:savedL]
+	g.loopVars = g.loopVars[:savedLoop]
+	g.vecVars = g.vecVars[:savedV]
+	return b
+}
+
+// tripCount biases loop lengths small, shrinking with nesting depth so
+// that incidental loop nests stay cheap; the controlled heavy tail of the
+// runtime distribution comes from heavyLoop instead.
+func (g *gen) tripCount() int {
+	if g.loopDepth > 0 {
+		return 1 + g.intn(5)
+	}
+	if g.chance(0.12) {
+		return 8 + g.intn(25)
+	}
+	return 1 + g.intn(8)
+}
+
+// heavyLoop emits a doubly-nested computation loop whose iteration count
+// is drawn from a wide range. It is the calibrated source of long-running
+// kernels: fast configurations almost never exceed their fuel on it, while
+// the slow devices of Table 1 (low fuel factors) time out at roughly the
+// paper's rates.
+func (g *gen) heavyLoop() ast.Stmt {
+	iters := 1500 + g.intn(28000)
+	n1 := 30 + g.intn(120)
+	n2 := iters / n1
+	if n2 < 1 {
+		n2 = 1
+	}
+	iv, jv := g.fresh("i"), g.fresh("j")
+	lv, t := g.globalsFieldLV()
+	inner := &ast.Block{Stmts: []ast.Stmt{
+		&ast.ExprStmt{X: &ast.AssignExpr{Op: ast.XorAssign, LHS: lv,
+			RHS: cast(t, &ast.Binary{Op: ast.Add, L: ref(iv), R: ref(jv)})}},
+	}}
+	mkFor := func(name string, n int, body *ast.Block) *ast.For {
+		return &ast.For{
+			Init: &ast.DeclStmt{Decl: &ast.VarDecl{Name: name, Type: cltypes.TInt, Init: lit(0, cltypes.TInt)}},
+			Cond: &ast.Binary{Op: ast.LT, L: ref(name), R: lit(int64(n), cltypes.TInt)},
+			Post: &ast.Unary{Op: ast.PostInc, X: ref(name)},
+			Body: body,
+		}
+	}
+	return mkFor(iv, n1, &ast.Block{Stmts: []ast.Stmt{mkFor(jv, n2, inner)}})
+}
+
+func (g *gen) forStmt(d int) ast.Stmt {
+	iv := g.fresh("i")
+	k := g.tripCount()
+	g.loopVars = append(g.loopVars, iv)
+	g.loopDepth++
+	body := g.block(d + 1)
+	// Occasionally add an early exit, exercising break/continue (and the
+	// EMI lift pruning's break-stripping path).
+	if g.chance(0.25) && k > 2 {
+		jump := ast.Stmt(&ast.Break{})
+		if g.chance(0.4) {
+			jump = &ast.Continue{}
+		}
+		cond := &ast.Binary{Op: ast.GT, L: ref(iv), R: lit(int64(g.intn(k)), cltypes.TInt)}
+		body.Stmts = append(body.Stmts, &ast.If{Cond: cond, Then: &ast.Block{Stmts: []ast.Stmt{jump}}})
+	}
+	g.loopDepth--
+	g.loopVars = g.loopVars[:len(g.loopVars)-1]
+	return &ast.For{
+		Init: &ast.DeclStmt{Decl: &ast.VarDecl{Name: iv, Type: cltypes.TInt, Init: lit(0, cltypes.TInt)}},
+		Cond: &ast.Binary{Op: ast.LT, L: ref(iv), R: lit(int64(k), cltypes.TInt)},
+		Post: &ast.Unary{Op: ast.PostInc, X: ref(iv)},
+		Body: body,
+	}
+}
+
+// whileCountdown emits a structurally terminating while loop:
+// int w = K; while (w > 0) { w--; ... }.
+func (g *gen) whileCountdown(d int) ast.Stmt {
+	wv := g.fresh("w")
+	k := g.tripCount()
+	g.loopDepth++
+	body := g.block(d + 1)
+	g.loopDepth--
+	body.Stmts = append([]ast.Stmt{
+		&ast.ExprStmt{X: &ast.Unary{Op: ast.PostDec, X: ref(wv)}},
+	}, body.Stmts...)
+	return &ast.Block{Stmts: []ast.Stmt{
+		&ast.DeclStmt{Decl: &ast.VarDecl{Name: wv, Type: cltypes.TInt, Init: lit(int64(k), cltypes.TInt)}},
+		&ast.While{
+			Cond: &ast.Binary{Op: ast.GT, L: ref(wv), R: lit(0, cltypes.TInt)},
+			Body: body,
+		},
+	}}
+}
+
+func (g *gen) callStmt() ast.Stmt {
+	f := g.funcs[g.intn(len(g.funcs))]
+	c := call(f.Name, ref("g"), g.expr(cltypes.TInt, 2))
+	if g.chance(0.6) {
+		lv, t := g.globalsFieldLV()
+		return assign(lv, cast(t, c))
+	}
+	return &ast.ExprStmt{X: c}
+}
+
+// vectorStmt declares, mutates or extracts from vector variables
+// (VECTOR mode, §4.1).
+func (g *gen) vectorStmt() ast.Stmt {
+	if len(g.vecVars) == 0 || g.chance(0.4) {
+		vt := g.randVector()
+		init := g.vecExpr(vt, 2) // before registering: no self-reference
+		name := g.fresh("v")
+		g.vecVars = append(g.vecVars, vecVar{name: name, typ: vt})
+		return &ast.DeclStmt{Decl: &ast.VarDecl{Name: name, Type: vt, Init: init}}
+	}
+	v := g.vecVars[g.intn(len(g.vecVars))]
+	if g.chance(0.6) {
+		return assign(ref(v.name), g.vecExpr(v.typ, 2))
+	}
+	// Extract a component into the globals struct so vector results flow
+	// into the checksum.
+	lv, t := g.globalsFieldLV()
+	sel := swizzleName(g.intn(v.typ.Len))
+	sw := &ast.Swizzle{Base: ref(v.name), Sel: sel}
+	return assign(lv, cast(t, sw))
+}
+
+// swizzleName returns the selector for a single component index.
+func swizzleName(i int) string {
+	if i < 4 {
+		return string([]byte{"xyzw"[i]})
+	}
+	return "s" + string([]byte{"0123456789abcdef"[i]})
+}

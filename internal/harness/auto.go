@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/parser"
+)
+
+// AutoCase builds a runnable Case for a kernel source file following the
+// generator's parameter conventions, used by the command-line tools:
+//
+//   - "result"/"out": the ulong result buffer (one element per thread)
+//   - "dead": the §5 EMI input, initialized dead[j] = j
+//   - "comm": the BARRIER-mode communication array, uniformly 1
+//   - "sec_c"/"sec_s": ATOMIC SECTION counters and special values, zeroed
+//   - other pointer parameters: zero-filled buffers of one element per
+//     thread (times 8 for safety with indexing schemes)
+//   - scalar parameters: the value 8
+func AutoCase(name, src string, nd exec.NDRange) (Case, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return Case{}, fmt.Errorf("harness: %v", err)
+	}
+	k := prog.Kernel()
+	if k == nil {
+		return Case{}, fmt.Errorf("harness: no kernel in %s", name)
+	}
+	params := k.Params
+	n := nd.GlobalLinear()
+	buffers := func() (exec.Args, *exec.Buffer) {
+		args := exec.Args{}
+		var result *exec.Buffer
+		for _, p := range params {
+			pt, isPtr := p.Type.(*cltypes.Pointer)
+			if !isPtr {
+				args[p.Name] = exec.Arg{Scalar: 8}
+				continue
+			}
+			elem := pt.Elem
+			switch p.Name {
+			case "result", "out":
+				b := exec.NewBuffer(elem, n)
+				args[p.Name] = exec.Arg{Buf: b}
+				result = b
+			case "dead":
+				b := exec.NewBuffer(elem, 16)
+				for i := 0; i < 16; i++ {
+					b.SetScalar(i, uint64(i))
+				}
+				args[p.Name] = exec.Arg{Buf: b}
+			case "comm":
+				b := exec.NewBuffer(elem, n)
+				b.Fill(1)
+				args[p.Name] = exec.Arg{Buf: b}
+			case "sec_c", "sec_s":
+				args[p.Name] = exec.Arg{Buf: exec.NewBuffer(elem, 1024)}
+			default:
+				args[p.Name] = exec.Arg{Buf: exec.NewBuffer(elem, n*8)}
+			}
+		}
+		if result == nil {
+			// Synthesize an unused result buffer so callers always have
+			// something to report.
+			result = exec.NewBuffer(cltypes.TULong, n)
+		}
+		return args, result
+	}
+	return Case{Name: name, Src: src, ND: nd, Buffers: buffers}, nil
+}

@@ -1,0 +1,146 @@
+// Package harness orchestrates the paper's testing campaigns: the initial
+// classification of configurations against a reliability threshold
+// (Table 1, §7.1), intensive CLsmith-based differential testing (Table 4,
+// §7.3), CLsmith+EMI testing (Table 5, §7.4) and EMI testing over the
+// benchmark ports (Table 3, §7.2). Campaigns run test cases in parallel
+// across a worker pool and are fully deterministic in their seeds.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/oracle"
+)
+
+// Case is one runnable test case: kernel source plus launch geometry and
+// an argument factory (buffers must be fresh per execution).
+type Case struct {
+	Name    string
+	Src     string
+	ND      exec.NDRange
+	Buffers func() (exec.Args, *exec.Buffer)
+}
+
+// CaseFromKernel adapts a generated kernel.
+func CaseFromKernel(k *generator.Kernel, name string) Case {
+	return Case{Name: name, Src: k.Src, ND: k.ND, Buffers: k.Buffers}
+}
+
+// Key renders the paper's configuration notation: "12-" for optimizations
+// disabled, "12+" for enabled.
+func Key(cfg *device.Config, optimize bool) string {
+	if optimize {
+		return fmt.Sprintf("%d+", cfg.ID)
+	}
+	return fmt.Sprintf("%d-", cfg.ID)
+}
+
+// RunOn compiles and executes the case on one configuration at one
+// optimization level.
+func RunOn(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Result {
+	key := Key(cfg, optimize)
+	cr := cfg.Compile(c.Src, optimize)
+	if cr.Outcome != device.OK {
+		return oracle.Result{Key: key, Outcome: cr.Outcome}
+	}
+	args, result := c.Buffers()
+	rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel})
+	return oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
+}
+
+// RunEverywhere runs the case on every configuration at both optimization
+// levels, in parallel, returning results keyed per Key.
+func RunEverywhere(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Result {
+	type job struct {
+		cfg *device.Config
+		opt bool
+	}
+	var jobs []job
+	for _, cfg := range cfgs {
+		jobs = append(jobs, job{cfg, false}, job{cfg, true})
+	}
+	results := make([]oracle.Result, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		results[i] = RunOn(jobs[i].cfg, jobs[i].opt, c, baseFuel)
+	})
+	return results
+}
+
+// parallelFor runs fn(0..n-1) across a bounded worker pool.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// GenerateAccepted generates kernels in the given mode until n pass the
+// acceptance filter the paper used (§7.3): each test must compile and
+// terminate without crash or timeout on the generating configuration
+// (config 1 with optimizations, the GTX Titan).
+func GenerateAccepted(mode generator.Mode, n int, seed int64, maxThreads int, emiBlocks func(i int) int, baseFuel int64) []*generator.Kernel {
+	gen1 := device.ByID(1)
+	var out []*generator.Kernel
+	var mu sync.Mutex
+	// Generation is cheap; acceptance runs are the cost. Batch candidates
+	// in parallel rounds until enough are accepted.
+	next := seed
+	for len(out) < n {
+		batch := n - len(out)
+		if batch < 4 {
+			batch = 4
+		}
+		cands := make([]*generator.Kernel, batch)
+		for i := range cands {
+			eb := 0
+			if emiBlocks != nil {
+				eb = emiBlocks(int(next))
+			}
+			cands[i] = generator.Generate(generator.Options{
+				Mode: mode, Seed: next, MaxTotalThreads: maxThreads, EMIBlocks: eb,
+			})
+			next++
+		}
+		accepted := make([]bool, batch)
+		parallelFor(batch, func(i int) {
+			c := CaseFromKernel(cands[i], "")
+			r := RunOn(gen1, true, c, baseFuel)
+			accepted[i] = r.Outcome == device.OK
+		})
+		mu.Lock()
+		for i, ok := range accepted {
+			if ok && len(out) < n {
+				out = append(out, cands[i])
+			}
+		}
+		mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package harness_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/harness"
+	"clfuzz/internal/oracle"
+)
+
+// TestClassification runs a scaled-down §7.1 initial campaign and checks
+// that the configuration classification matches the paper's Table 1 final
+// column: NVIDIA (1-4), anonymous driver 1c (9), the Intel CPUs (12-15)
+// and Oclgrind (19) above the reliability threshold, the rest below.
+func TestClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	rows := harness.ClassifyConfigurations(12, 7, 64, device.DefaultFuel)
+	mismatches := 0
+	for _, r := range rows {
+		if !r.MatchesPaper {
+			mismatches++
+			t.Logf("config %d (%s): fail%%=%.1f above=%v paper=%v",
+				r.Config.ID, r.Config.Device, 100*r.FailureRate(), r.Above, r.Config.PaperAboveThreshold)
+		}
+	}
+	// The scaled-down campaign tolerates a small number of borderline
+	// mismatches (the paper itself reports configurations near the
+	// threshold); the full-size campaign in cmd/cltables matches exactly.
+	if mismatches > 2 {
+		t.Errorf("%d configurations classified differently from the paper", mismatches)
+	}
+}
+
+// TestDifferentialTestingFindsWrongCode checks that the majority-vote
+// oracle attributes wrong-code results to buggy configurations and never
+// to the reference configuration.
+func TestDifferentialTestingFindsWrongCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	cfgs := append([]*device.Config{device.Reference()}, harness.AboveThresholdConfigs()...)
+	wrongs := 0
+	for seed := int64(0); seed < 30; seed++ {
+		k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 9000 + seed, MaxTotalThreads: 48})
+		c := harness.CaseFromKernel(k, "diff")
+		rs := harness.RunEverywhere(cfgs, c, device.DefaultFuel)
+		for _, key := range oracle.WrongCode(rs) {
+			if key == "0-" || key == "0+" {
+				t.Fatalf("seed %d: majority vote blamed the reference configuration", seed)
+			}
+			wrongs++
+		}
+	}
+	if wrongs == 0 {
+		t.Log("no wrong-code results in this small sample (acceptable; rates are low per kernel)")
+	}
+}

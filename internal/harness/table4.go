@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/oracle"
+)
+
+// ModeStats tallies the Table 4 outcome counters for one (mode,
+// configuration±) cell: wrong code, build failures, crashes, timeouts, and
+// results not deemed wrong.
+type ModeStats struct {
+	W, BF, C, TO, OK int
+}
+
+// WrongPct is the paper's w% metric: the percentage of non-{bf,c,to}
+// results that are wrong code results (§7.3).
+func (s ModeStats) WrongPct() float64 {
+	den := s.W + s.OK
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(s.W) / float64(den)
+}
+
+// Table4 holds the intensive CLsmith campaign results: per mode, per
+// configuration-level key.
+type Table4 struct {
+	PerMode map[generator.Mode]map[string]*ModeStats
+	Tests   map[generator.Mode]int
+	Keys    []string
+}
+
+// AboveThresholdConfigs returns the configurations the paper subjected to
+// intensive testing (Table 1 final column).
+func AboveThresholdConfigs() []*device.Config {
+	var out []*device.Config
+	for _, c := range device.All() {
+		if c.PaperAboveThreshold {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CLsmithCampaign reproduces §7.3: for each mode, generate perMode kernels
+// accepted by the generating configuration (1+), run them across the
+// above-threshold configurations at both optimization levels, and tally
+// outcomes with majority-vote wrong-code classification.
+func CLsmithCampaign(perMode int, seed int64, maxThreads int, baseFuel int64) *Table4 {
+	cfgs := AboveThresholdConfigs()
+	t := &Table4{
+		PerMode: map[generator.Mode]map[string]*ModeStats{},
+		Tests:   map[generator.Mode]int{},
+	}
+	for _, cfg := range cfgs {
+		t.Keys = append(t.Keys, Key(cfg, false), Key(cfg, true))
+	}
+	for mi, mode := range generator.Modes {
+		cell := map[string]*ModeStats{}
+		for _, k := range t.Keys {
+			cell[k] = &ModeStats{}
+		}
+		kernels := GenerateAccepted(mode, perMode, seed+int64(mi)*1000003, maxThreads, nil, baseFuel)
+		t.Tests[mode] = len(kernels)
+		type kernelResults struct{ rs []oracle.Result }
+		all := make([]kernelResults, len(kernels))
+		parallelFor(len(kernels), func(i int) {
+			c := CaseFromKernel(kernels[i], fmt.Sprintf("%s-%d", mode, i))
+			all[i] = kernelResults{rs: RunEverywhere(cfgs, c, baseFuel)}
+		})
+		for _, kr := range all {
+			wrong := map[string]bool{}
+			for _, k := range oracle.WrongCode(kr.rs) {
+				wrong[k] = true
+			}
+			for _, r := range kr.rs {
+				st := cell[r.Key]
+				if st == nil {
+					continue
+				}
+				switch r.Outcome {
+				case device.BuildFailure:
+					st.BF++
+				case device.Crash:
+					st.C++
+				case device.Timeout:
+					st.TO++
+				case device.OK:
+					if wrong[r.Key] {
+						st.W++
+					} else {
+						st.OK++
+					}
+				}
+			}
+		}
+		t.PerMode[mode] = cell
+	}
+	return t
+}
+
+// RenderTable4 formats the campaign like the paper's Table 4.
+func RenderTable4(t *Table4) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4. Configurations above the reliability threshold on CLsmith-generated tests\n")
+	fmt.Fprintf(&b, "%-22s %-4s", "Mode (tests)", "")
+	for _, k := range t.Keys {
+		fmt.Fprintf(&b, "%8s", k)
+	}
+	b.WriteByte('\n')
+	for _, mode := range generator.Modes {
+		cell := t.PerMode[mode]
+		rows := []struct {
+			label string
+			pick  func(*ModeStats) string
+		}{
+			{"w", func(s *ModeStats) string { return fmt.Sprintf("%d", s.W) }},
+			{"bf", func(s *ModeStats) string { return fmt.Sprintf("%d", s.BF) }},
+			{"c", func(s *ModeStats) string { return fmt.Sprintf("%d", s.C) }},
+			{"to", func(s *ModeStats) string { return fmt.Sprintf("%d", s.TO) }},
+			{"ok", func(s *ModeStats) string { return fmt.Sprintf("%d", s.OK) }},
+			{"w%", func(s *ModeStats) string { return fmt.Sprintf("%.1f", s.WrongPct()) }},
+		}
+		for ri, row := range rows {
+			if ri == 0 {
+				fmt.Fprintf(&b, "%-22s %-4s", fmt.Sprintf("%s (%d)", mode, t.Tests[mode]), row.label)
+			} else {
+				fmt.Fprintf(&b, "%-22s %-4s", "", row.label)
+			}
+			for _, k := range t.Keys {
+				fmt.Fprintf(&b, "%8s", row.pick(cell[k]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,275 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/device"
+	"clfuzz/internal/emi"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/oracle"
+	"clfuzz/internal/parser"
+)
+
+// Table5Stats tallies the CLsmith+EMI campaign counters for one
+// configuration-level key (§7.4): bad bases (no variant terminates with a
+// value), bases inducing wrong code (two variants disagree), bases
+// inducing build failures / crashes / timeouts, and stable bases (all
+// variants terminate with one uniform value).
+type Table5Stats struct {
+	BaseFails, W, BF, C, TO, Stable int
+}
+
+// Table5 holds the CLsmith+EMI campaign results.
+type Table5 struct {
+	PerKey map[string]*Table5Stats
+	Keys   []string
+	Bases  int
+	// PruningDefects counts, per pruning-option index in emi.Grid(), the
+	// (base, key) pairs where that variant deviated — the §7.4 strategy
+	// comparison data (BenchmarkPruningStrategies).
+	PruningDefects []int
+}
+
+// variantResult is one (variant, configuration, level) observation.
+type variantResult struct {
+	outcome device.Outcome
+	output  []uint64
+}
+
+// EMICampaign reproduces §7.4: generate base kernels in ALL mode with 1-5
+// EMI blocks, discard bases whose EMI blocks all sit in already-dead code
+// (checked by inverting the dead array on the generating configuration),
+// derive the 40-variant pruning grid per base, run every variant on every
+// above-threshold configuration at both levels, and classify per base.
+func EMICampaign(bases int, seed int64, maxThreads int, baseFuel int64) *Table5 {
+	cfgs := AboveThresholdConfigs()
+	grid := emi.Grid()
+	t := &Table5{PerKey: map[string]*Table5Stats{}, PruningDefects: make([]int, len(grid))}
+	for _, cfg := range cfgs {
+		t.Keys = append(t.Keys, Key(cfg, false), Key(cfg, true))
+	}
+	for _, k := range t.Keys {
+		t.PerKey[k] = &Table5Stats{}
+	}
+	baseKernels := generateEMIBases(bases, seed, maxThreads, baseFuel)
+	t.Bases = len(baseKernels)
+	for _, base := range baseKernels {
+		prog, err := parser.Parse(base.Src)
+		if err != nil {
+			continue // cannot happen for generated kernels
+		}
+		// The variant sources are shared across configurations.
+		variants := make([]string, len(grid))
+		for gi, po := range grid {
+			po.Seed = base.Seed*41 + int64(gi)
+			vp, err := emi.Prune(prog, po)
+			if err != nil {
+				continue
+			}
+			variants[gi] = ast.Print(vp)
+		}
+		// Run all (variant, config, level) combinations in parallel.
+		type job struct {
+			gi  int
+			cfg *device.Config
+			opt bool
+		}
+		var jobs []job
+		for gi := range variants {
+			for _, cfg := range cfgs {
+				jobs = append(jobs, job{gi, cfg, false}, job{gi, cfg, true})
+			}
+		}
+		results := make([]variantResult, len(jobs))
+		parallelFor(len(jobs), func(i int) {
+			j := jobs[i]
+			c := Case{Src: variants[j.gi], ND: base.ND, Buffers: base.Buffers}
+			r := RunOn(j.cfg, j.opt, c, baseFuel)
+			results[i] = variantResult{outcome: r.Outcome, output: r.Output}
+		})
+		// Classify per configuration-level.
+		perKey := map[string][]variantResult{}
+		perKeyGrid := map[string][]int{}
+		for i, j := range jobs {
+			k := Key(j.cfg, j.opt)
+			perKey[k] = append(perKey[k], results[i])
+			perKeyGrid[k] = append(perKeyGrid[k], j.gi)
+		}
+		for _, k := range t.Keys {
+			vs := perKey[k]
+			st := t.PerKey[k]
+			var first []uint64
+			haveOK, wrong, bf, crash, to := false, false, false, false, false
+			for _, v := range vs {
+				switch v.outcome {
+				case device.OK:
+					if !haveOK {
+						first, haveOK = v.output, true
+					} else if !oracle.Equal(first, v.output) {
+						wrong = true
+					}
+				case device.BuildFailure:
+					bf = true
+				case device.Crash:
+					crash = true
+				case device.Timeout:
+					to = true
+				}
+			}
+			if !haveOK {
+				st.BaseFails++
+				continue
+			}
+			if wrong {
+				st.W++
+				// Strategy attribution: count the grid combinations whose
+				// variant deviated from the first observed output.
+				majority := majorityOutput(vs)
+				for i, v := range vs {
+					if v.outcome == device.OK && !oracle.Equal(majority, v.output) {
+						t.PruningDefects[perKeyGrid[k][i]]++
+					}
+				}
+			}
+			if bf {
+				st.BF++
+			}
+			if crash {
+				st.C++
+			}
+			if to {
+				st.TO++
+			}
+			if haveOK && !wrong && !bf && !crash && !to {
+				st.Stable++
+			}
+		}
+	}
+	return t
+}
+
+func majorityOutput(vs []variantResult) []uint64 {
+	best := []uint64(nil)
+	bestN := 0
+	for i, v := range vs {
+		if v.outcome != device.OK {
+			continue
+		}
+		n := 0
+		for _, w := range vs {
+			if w.outcome == device.OK && oracle.Equal(v.output, w.output) {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = vs[i].output, n
+		}
+	}
+	return best
+}
+
+// generateEMIBases produces base kernels per the §7.4 protocol: ALL mode
+// with 1-5 EMI blocks, accepted on config 1+, and kept only if inverting
+// the dead array changes the result (otherwise every EMI block was placed
+// at an already-dead point).
+func generateEMIBases(n int, seed int64, maxThreads int, baseFuel int64) []*generator.Kernel {
+	gen1 := device.ByID(1)
+	var out []*generator.Kernel
+	next := seed
+	for len(out) < n {
+		batch := n - len(out) + 4
+		cands := make([]*generator.Kernel, batch)
+		for i := range cands {
+			cands[i] = generator.Generate(generator.Options{
+				Mode: generator.ModeAll, Seed: next, MaxTotalThreads: maxThreads,
+				EMIBlocks: 1 + int(next%5),
+			})
+			next++
+		}
+		keep := make([]bool, batch)
+		parallelFor(batch, func(i int) {
+			k := cands[i]
+			cr := gen1.Compile(k.Src, true)
+			if cr.Outcome != device.OK {
+				return
+			}
+			args, result := k.Buffers()
+			rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{BaseFuel: baseFuel})
+			if rr.Outcome != device.OK {
+				return
+			}
+			iargs, iresult := k.InvertedDeadBuffers()
+			ir := cr.Kernel.Run(k.ND, iargs, iresult, device.RunOptions{BaseFuel: baseFuel})
+			if ir.Outcome != device.OK {
+				// Inversion makes the blocks live; divergence in outcome
+				// still proves the blocks are reachable when live.
+				keep[i] = true
+				return
+			}
+			keep[i] = !oracle.Equal(rr.Output, ir.Output)
+		})
+		for i, ok := range keep {
+			if ok && len(out) < n {
+				out = append(out, cands[i])
+			}
+		}
+	}
+	return out
+}
+
+// RenderTable5 formats the campaign like the paper's Table 5.
+func RenderTable5(t *Table5) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5. CLsmith+EMI results (%d base programs, %d variants each)\n",
+		t.Bases, len(emi.Grid()))
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, k := range t.Keys {
+		fmt.Fprintf(&b, "%7s", k)
+	}
+	b.WriteByte('\n')
+	rows := []struct {
+		label string
+		pick  func(*Table5Stats) int
+	}{
+		{"base fails", func(s *Table5Stats) int { return s.BaseFails }},
+		{"w", func(s *Table5Stats) int { return s.W }},
+		{"bf", func(s *Table5Stats) int { return s.BF }},
+		{"c", func(s *Table5Stats) int { return s.C }},
+		{"to", func(s *Table5Stats) int { return s.TO }},
+		{"stable", func(s *Table5Stats) int { return s.Stable }},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s", row.label)
+		for _, k := range t.Keys {
+			fmt.Fprintf(&b, "%7d", row.pick(t.PerKey[k]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderPruningComparison formats the §7.4 strategy-effectiveness data:
+// defect-inducing variant counts aggregated by each pruning probability.
+func RenderPruningComparison(t *Table5) string {
+	grid := emi.Grid()
+	type agg struct{ leaf, compound, lift float64 }
+	var b strings.Builder
+	b.WriteString("EMI pruning strategy comparison (defect-inducing variants by strategy weight)\n")
+	sum := func(sel func(emi.PruneOpts) float64) float64 {
+		total, weight := 0.0, 0.0
+		for i, po := range grid {
+			total += sel(po) * float64(t.PruningDefects[i])
+			weight += sel(po)
+		}
+		if weight == 0 {
+			return 0
+		}
+		return total / weight
+	}
+	fmt.Fprintf(&b, "%-10s %10.2f\n", "leaf", sum(func(p emi.PruneOpts) float64 { return p.PLeaf }))
+	fmt.Fprintf(&b, "%-10s %10.2f\n", "compound", sum(func(p emi.PruneOpts) float64 { return p.PCompound }))
+	fmt.Fprintf(&b, "%-10s %10.2f\n", "lift", sum(func(p emi.PruneOpts) float64 { return p.PLift }))
+	return b.String()
+}

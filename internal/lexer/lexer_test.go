@@ -1,0 +1,114 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/lexer"
+)
+
+func lexKinds(t *testing.T, src string) []lexer.Token {
+	t.Helper()
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+// TestNumbers covers bases and suffix combinations.
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src    string
+		val    uint64
+		suffix string
+	}{
+		{"0", 0, ""},
+		{"42", 42, ""},
+		{"0x2A", 42, ""},
+		{"0xffffffff", 0xffffffff, ""},
+		{"7u", 7, "u"},
+		{"7U", 7, "u"},
+		{"7L", 7, "l"},
+		{"7UL", 7, "ul"},
+		{"7lu", 7, "ul"},
+		{"18446744073709551615UL", ^uint64(0), "ul"},
+	}
+	for _, c := range cases {
+		toks := lexKinds(t, c.src)
+		if len(toks) != 2 || toks[0].Kind != lexer.Number {
+			t.Errorf("%q: unexpected token stream %+v", c.src, toks)
+			continue
+		}
+		if toks[0].Val != c.val || toks[0].Suffix != c.suffix {
+			t.Errorf("%q: val=%d suffix=%q, want %d %q", c.src, toks[0].Val, toks[0].Suffix, c.val, c.suffix)
+		}
+	}
+}
+
+// TestNumberErrors: malformed literals are diagnosed, not silently eaten.
+func TestNumberErrors(t *testing.T) {
+	for _, src := range []string{"0x", "1uu", "2LL", "18446744073709551616"} {
+		if _, err := lexer.Lex(src); err == nil {
+			t.Errorf("%q lexed without error", src)
+		}
+	}
+}
+
+// TestPunctuationMaximalMunch: the longest operator wins.
+func TestPunctuationMaximalMunch(t *testing.T) {
+	toks := lexKinds(t, "a <<= b >> c < d -> e -- f")
+	want := []string{"a", "<<=", "b", ">>", "c", "<", "d", "->", "e", "--", "f"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+// TestComments: both styles are skipped; unterminated block comments are
+// diagnosed.
+func TestComments(t *testing.T) {
+	toks := lexKinds(t, "a // line\n b /* block\nspanning */ c")
+	if len(toks) != 4 || toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Errorf("comment skipping produced %+v", toks)
+	}
+	if _, err := lexer.Lex("a /* unterminated"); err == nil {
+		t.Error("unterminated block comment lexed without error")
+	}
+}
+
+// TestKeywordsAndDunder: __global normalizes to global; identifiers are
+// not keywords.
+func TestKeywordsAndDunder(t *testing.T) {
+	toks := lexKinds(t, "__kernel kernel __global globalvar")
+	if toks[0].Kind != lexer.Keyword || toks[0].Text != "kernel" {
+		t.Errorf("__kernel lexed as %+v", toks[0])
+	}
+	if toks[1].Kind != lexer.Keyword {
+		t.Errorf("kernel lexed as %+v", toks[1])
+	}
+	if toks[2].Kind != lexer.Keyword || toks[2].Text != "global" {
+		t.Errorf("__global lexed as %+v", toks[2])
+	}
+	if toks[3].Kind != lexer.Ident {
+		t.Errorf("globalvar lexed as %+v", toks[3])
+	}
+}
+
+// TestPositions: line/column tracking survives newlines.
+func TestPositions(t *testing.T) {
+	toks := lexKinds(t, "a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+// TestUnexpectedChar: bytes outside the language are errors.
+func TestUnexpectedChar(t *testing.T) {
+	if _, err := lexer.Lex("a @ b"); err == nil {
+		t.Error("@ lexed without error")
+	}
+}

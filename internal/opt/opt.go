@@ -1,0 +1,242 @@
+// Package opt implements the optimization passes of the simulated OpenCL
+// compilers: constant folding, algebraic simplification, dead code
+// elimination and bounded loop unrolling. OpenCL compiles with
+// optimizations on by default and exposes -cl-opt-disable to turn them off
+// (paper §6); the harness tests every configuration at both levels, and
+// several injected defect models live inside these passes, mirroring where
+// the corresponding real bugs were diagnosed (constant folding for the
+// Intel rotate bug of Figure 2(b), expression optimization for the group-id
+// comparison bug of Figure 2(e)).
+package opt
+
+import (
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+)
+
+// Pass is a program transformation.
+type Pass struct {
+	Name string
+	Run  func(p *ast.Program, defects bugs.Set)
+}
+
+// StandardPasses is the default -O2-style pipeline, in application order.
+func StandardPasses() []Pass {
+	return []Pass{
+		{Name: "constfold", Run: ConstFold},
+		{Name: "algebraic", Run: Algebraic},
+		{Name: "constfold2", Run: ConstFold},
+		{Name: "dce", Run: DeadCodeElim},
+		{Name: "unroll", Run: UnrollLoops},
+		{Name: "constfold3", Run: ConstFold},
+		{Name: "dce2", Run: DeadCodeElim},
+	}
+}
+
+// Optimize runs the standard pipeline on the program.
+func Optimize(p *ast.Program, defects bugs.Set) {
+	for _, pass := range StandardPasses() {
+		pass.Run(p, defects)
+	}
+}
+
+// EarlyFolds runs the front-end folds that real compilers perform even at
+// -cl-opt-disable. It is the hook point for the defects that manifest at
+// both optimization levels: the Intel rotate constant-folding bug
+// (Figure 2(b), config 14±) and the anonymous-GPU group-id comparison bug
+// (Figure 2(e), config 9).
+func EarlyFolds(p *ast.Program, defects bugs.Set, hash uint64) {
+	if defects.Has(bugs.WCRotateConstFold) {
+		rewriteProgram(p, foldRotateWrong)
+	}
+	// The group-id comparison defect is hash-gated at the program level:
+	// it fires on a fraction of the kernels that compare group-id-derived
+	// values, matching config 9's ~2% wrong-code rate (Table 4). The
+	// Figure 2(e) exhibit source is chosen to pass the gate.
+	if defects.Has(bugs.WCGroupIDExpr) && GroupIDGate(hash) {
+		rewriteProgram(p, flipGroupIDComparisons)
+	}
+}
+
+// GroupIDGate reports whether the group-id comparison defect fires for a
+// kernel hash. Exported so the Figure 2(e) exhibit can tune its source to
+// pass the gate deterministically.
+func GroupIDGate(hash uint64) bool { return bugs.Gate(hash, 0x91d, 3) }
+
+// rewriteProgram applies an expression rewriter bottom-up over every
+// expression in the program.
+func rewriteProgram(p *ast.Program, rw func(ast.Expr) ast.Expr) {
+	for _, g := range p.Globals {
+		if g.Init != nil {
+			g.Init = rewriteExpr(g.Init, rw)
+		}
+	}
+	for _, f := range p.Funcs {
+		if f.Body != nil {
+			rewriteBlock(f.Body, rw)
+		}
+	}
+}
+
+func rewriteBlock(b *ast.Block, rw func(ast.Expr) ast.Expr) {
+	for _, s := range b.Stmts {
+		rewriteStmt(s, rw)
+	}
+}
+
+func rewriteStmt(s ast.Stmt, rw func(ast.Expr) ast.Expr) {
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		if st.Decl.Init != nil {
+			st.Decl.Init = rewriteExpr(st.Decl.Init, rw)
+		}
+	case *ast.ExprStmt:
+		st.X = rewriteExpr(st.X, rw)
+	case *ast.Block:
+		rewriteBlock(st, rw)
+	case *ast.If:
+		st.Cond = rewriteExpr(st.Cond, rw)
+		rewriteBlock(st.Then, rw)
+		if st.Else != nil {
+			rewriteStmt(st.Else, rw)
+		}
+	case *ast.For:
+		if st.Init != nil {
+			rewriteStmt(st.Init, rw)
+		}
+		if st.Cond != nil {
+			st.Cond = rewriteExpr(st.Cond, rw)
+		}
+		if st.Post != nil {
+			st.Post = rewriteExpr(st.Post, rw)
+		}
+		rewriteBlock(st.Body, rw)
+	case *ast.While:
+		st.Cond = rewriteExpr(st.Cond, rw)
+		rewriteBlock(st.Body, rw)
+	case *ast.DoWhile:
+		rewriteBlock(st.Body, rw)
+		st.Cond = rewriteExpr(st.Cond, rw)
+	case *ast.Return:
+		if st.X != nil {
+			st.X = rewriteExpr(st.X, rw)
+		}
+	}
+}
+
+// rewriteExpr rewrites bottom-up: children first, then the node itself.
+func rewriteExpr(e ast.Expr, rw func(ast.Expr) ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	switch ex := e.(type) {
+	case *ast.Unary:
+		ex.X = rewriteExpr(ex.X, rw)
+	case *ast.Binary:
+		ex.L = rewriteExpr(ex.L, rw)
+		ex.R = rewriteExpr(ex.R, rw)
+	case *ast.AssignExpr:
+		ex.LHS = rewriteExpr(ex.LHS, rw)
+		ex.RHS = rewriteExpr(ex.RHS, rw)
+	case *ast.Cond:
+		ex.C = rewriteExpr(ex.C, rw)
+		ex.T = rewriteExpr(ex.T, rw)
+		ex.F = rewriteExpr(ex.F, rw)
+	case *ast.Call:
+		for i, a := range ex.Args {
+			ex.Args[i] = rewriteExpr(a, rw)
+		}
+	case *ast.Index:
+		ex.Base = rewriteExpr(ex.Base, rw)
+		ex.Idx = rewriteExpr(ex.Idx, rw)
+	case *ast.Member:
+		ex.Base = rewriteExpr(ex.Base, rw)
+	case *ast.Swizzle:
+		ex.Base = rewriteExpr(ex.Base, rw)
+	case *ast.VecLit:
+		for i, el := range ex.Elems {
+			ex.Elems[i] = rewriteExpr(el, rw)
+		}
+	case *ast.Cast:
+		ex.X = rewriteExpr(ex.X, rw)
+	case *ast.InitList:
+		for i, el := range ex.Elems {
+			ex.Elems[i] = rewriteExpr(el, rw)
+		}
+	}
+	return rw(e)
+}
+
+// IsPure reports whether evaluating e has no side effects and always
+// terminates: no assignments, no increment/decrement, and only calls to
+// known-pure builtins.
+func IsPure(e ast.Expr) bool {
+	switch ex := e.(type) {
+	case nil:
+		return true
+	case *ast.IntLit, *ast.VarRef:
+		return true
+	case *ast.Unary:
+		switch ex.Op {
+		case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec:
+			return false
+		}
+		return IsPure(ex.X)
+	case *ast.Binary:
+		return IsPure(ex.L) && IsPure(ex.R)
+	case *ast.AssignExpr:
+		return false
+	case *ast.Cond:
+		return IsPure(ex.C) && IsPure(ex.T) && IsPure(ex.F)
+	case *ast.Call:
+		if !pureBuiltin(ex.Name) {
+			return false
+		}
+		for _, a := range ex.Args {
+			if !IsPure(a) {
+				return false
+			}
+		}
+		return true
+	case *ast.Index:
+		return IsPure(ex.Base) && IsPure(ex.Idx)
+	case *ast.Member:
+		return IsPure(ex.Base)
+	case *ast.Swizzle:
+		return IsPure(ex.Base)
+	case *ast.VecLit:
+		for _, el := range ex.Elems {
+			if !IsPure(el) {
+				return false
+			}
+		}
+		return true
+	case *ast.Cast:
+		return IsPure(ex.X)
+	case *ast.InitList:
+		for _, el := range ex.Elems {
+			if !IsPure(el) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func pureBuiltin(name string) bool {
+	switch name {
+	case "get_global_id", "get_local_id", "get_group_id",
+		"get_global_size", "get_local_size", "get_num_groups", "get_work_dim",
+		"get_linear_global_id", "get_linear_local_id", "get_linear_group_id",
+		"safe_add", "safe_sub", "safe_mul", "safe_div", "safe_mod",
+		"safe_lshift", "safe_rshift", "safe_unary_minus", "safe_clamp",
+		"clamp", "rotate", "min", "max", "abs", "add_sat", "sub_sat",
+		"hadd", "mul_hi", "popcount", "clz", "crc64", "vcrc":
+		return true
+	}
+	if len(name) > 8 && name[:8] == "convert_" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,435 @@
+package opt
+
+import (
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+	"clfuzz/internal/cltypes"
+)
+
+// Algebraic applies algebraic identities (x+0, x*1, x*0, x&0, x|0, x^0)
+// with purity checking: x*0 folds to 0 only when x has no side effects.
+func Algebraic(p *ast.Program, defects bugs.Set) {
+	rewriteProgram(p, simplifyExpr)
+}
+
+func isZeroLit(e ast.Expr) bool {
+	l, ok := e.(*ast.IntLit)
+	if !ok {
+		return false
+	}
+	t, tok := l.Type().(*cltypes.Scalar)
+	return tok && cltypes.Trunc(l.Val, t) == 0
+}
+
+func isOneLit(e ast.Expr) bool {
+	l, ok := e.(*ast.IntLit)
+	if !ok {
+		return false
+	}
+	t, tok := l.Type().(*cltypes.Scalar)
+	return tok && cltypes.SExt(l.Val, t) == 1
+}
+
+// retype wraps x in a conversion to t when needed, preserving the result
+// type of the simplified node.
+func retype(x ast.Expr, t cltypes.Type) ast.Expr {
+	if x.Type() != nil && x.Type().Equal(t) {
+		return x
+	}
+	if st, ok := t.(*cltypes.Scalar); ok {
+		if _, xok := x.Type().(*cltypes.Scalar); xok {
+			c := &ast.Cast{To: st, X: x}
+			c.SetType(st)
+			return c
+		}
+	}
+	return nil // cannot retype safely; caller keeps the original node
+}
+
+func simplifyExpr(e ast.Expr) ast.Expr {
+	ex, ok := e.(*ast.Binary)
+	if !ok {
+		return e
+	}
+	rt := ex.Type()
+	if rt == nil {
+		return e
+	}
+	keepOrRetype := func(x ast.Expr) ast.Expr {
+		if r := retype(x, rt); r != nil {
+			return r
+		}
+		if _, isVec := rt.(*cltypes.Vector); isVec && x.Type() != nil && x.Type().Equal(rt) {
+			return x
+		}
+		return e
+	}
+	switch ex.Op {
+	case ast.Add:
+		if isZeroLit(ex.R) {
+			return keepOrRetype(ex.L)
+		}
+		if isZeroLit(ex.L) {
+			return keepOrRetype(ex.R)
+		}
+	case ast.Sub:
+		if isZeroLit(ex.R) {
+			return keepOrRetype(ex.L)
+		}
+	case ast.Mul:
+		if isOneLit(ex.R) {
+			return keepOrRetype(ex.L)
+		}
+		if isOneLit(ex.L) {
+			return keepOrRetype(ex.R)
+		}
+		if st, ok := rt.(*cltypes.Scalar); ok {
+			if isZeroLit(ex.R) && IsPure(ex.L) {
+				return ast.NewIntLit(0, st)
+			}
+			if isZeroLit(ex.L) && IsPure(ex.R) {
+				return ast.NewIntLit(0, st)
+			}
+		}
+	case ast.Or, ast.Xor:
+		if isZeroLit(ex.R) {
+			return keepOrRetype(ex.L)
+		}
+		if isZeroLit(ex.L) {
+			return keepOrRetype(ex.R)
+		}
+	case ast.And:
+		if st, ok := rt.(*cltypes.Scalar); ok {
+			if isZeroLit(ex.R) && IsPure(ex.L) {
+				return ast.NewIntLit(0, st)
+			}
+			if isZeroLit(ex.L) && IsPure(ex.R) {
+				return ast.NewIntLit(0, st)
+			}
+		}
+	case ast.Shl, ast.Shr:
+		if isZeroLit(ex.R) {
+			return keepOrRetype(ex.L)
+		}
+	}
+	return e
+}
+
+// DeadCodeElim removes branches with literal conditions, loops that never
+// execute, and unreachable statements after a jump.
+func DeadCodeElim(p *ast.Program, defects bugs.Set) {
+	for _, f := range p.Funcs {
+		if f.Body != nil {
+			dceBlock(f.Body)
+		}
+	}
+}
+
+func dceBlock(b *ast.Block) {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		s = dceStmt(s)
+		if s == nil {
+			continue
+		}
+		if _, ok := s.(*ast.Empty); ok {
+			continue
+		}
+		out = append(out, s)
+		if isJump(s) {
+			break // everything after an unconditional jump is unreachable
+		}
+	}
+	b.Stmts = out
+}
+
+func isJump(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.Break, *ast.Continue, *ast.Return:
+		return true
+	}
+	return false
+}
+
+// litTruth returns the truth value of a literal condition, if constant.
+func litTruth(e ast.Expr) (bool, bool) {
+	l, ok := e.(*ast.IntLit)
+	if !ok {
+		return false, false
+	}
+	t, tok := l.Type().(*cltypes.Scalar)
+	if !tok {
+		return false, false
+	}
+	return cltypes.Trunc(l.Val, t) != 0, true
+}
+
+func dceStmt(s ast.Stmt) ast.Stmt {
+	switch st := s.(type) {
+	case *ast.Block:
+		dceBlock(st)
+		if len(st.Stmts) == 0 {
+			return nil
+		}
+		return st
+	case *ast.If:
+		dceBlock(st.Then)
+		if st.Else != nil {
+			st.Else = dceStmt(st.Else)
+		}
+		if v, known := litTruth(st.Cond); known {
+			if v {
+				return st.Then
+			}
+			if st.Else != nil {
+				return st.Else
+			}
+			return nil
+		}
+		return st
+	case *ast.For:
+		dceBlock(st.Body)
+		if st.Cond != nil {
+			if v, known := litTruth(st.Cond); known && !v {
+				// The loop body never runs, but the init clause does; keep
+				// it in its own scope so a declared induction variable does
+				// not leak into the enclosing block.
+				if st.Init != nil {
+					return &ast.Block{Stmts: []ast.Stmt{st.Init}}
+				}
+				return nil
+			}
+		}
+		return st
+	case *ast.While:
+		dceBlock(st.Body)
+		if v, known := litTruth(st.Cond); known && !v {
+			return nil
+		}
+		return st
+	case *ast.DoWhile:
+		dceBlock(st.Body)
+		if v, known := litTruth(st.Cond); known && !v {
+			// do { B } while(0) runs B exactly once — but only if B has no
+			// break/continue binding to this loop.
+			if !hasLoopJump(st.Body) {
+				return st.Body
+			}
+		}
+		return st
+	}
+	return s
+}
+
+// hasLoopJump reports whether the block contains a break or continue that
+// binds to the enclosing loop (not to a nested loop).
+func hasLoopJump(b *ast.Block) bool {
+	var visit func(s ast.Stmt) bool
+	visit = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.Break, *ast.Continue:
+			return true
+		case *ast.Block:
+			for _, inner := range st.Stmts {
+				if visit(inner) {
+					return true
+				}
+			}
+		case *ast.If:
+			if visit(st.Then) {
+				return true
+			}
+			if st.Else != nil {
+				return visit(st.Else)
+			}
+		}
+		// For/While/DoWhile introduce a new binding scope; stop there.
+		return false
+	}
+	return visit(b)
+}
+
+// UnrollLoops fully unrolls small counted loops of the canonical shape
+// for (T i = c0; i < c1; i++) with a trip count of at most 8, when the
+// body does not modify or alias the induction variable, contains no
+// loop jumps and issues no barriers.
+func UnrollLoops(p *ast.Program, defects bugs.Set) {
+	for _, f := range p.Funcs {
+		if f.Body != nil {
+			unrollBlock(f.Body)
+		}
+	}
+}
+
+const maxUnrollTrips = 8
+
+func unrollBlock(b *ast.Block) {
+	for i, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ast.Block:
+			unrollBlock(st)
+		case *ast.If:
+			unrollBlock(st.Then)
+			if eb, ok := st.Else.(*ast.Block); ok {
+				unrollBlock(eb)
+			}
+		case *ast.While:
+			unrollBlock(st.Body)
+		case *ast.DoWhile:
+			unrollBlock(st.Body)
+		case *ast.For:
+			unrollBlock(st.Body)
+			if rep := tryUnroll(st); rep != nil {
+				b.Stmts[i] = rep
+			}
+		}
+	}
+}
+
+func tryUnroll(f *ast.For) ast.Stmt {
+	decl, ok := f.Init.(*ast.DeclStmt)
+	if !ok || decl.Decl.Init == nil {
+		return nil
+	}
+	ivName := decl.Decl.Name
+	ivType, ok := decl.Decl.Type.(*cltypes.Scalar)
+	if !ok {
+		return nil
+	}
+	c0, ok := decl.Decl.Init.(*ast.IntLit)
+	if !ok {
+		return nil
+	}
+	cond, ok := f.Cond.(*ast.Binary)
+	if !ok || cond.Op != ast.LT {
+		return nil
+	}
+	cv, ok := cond.L.(*ast.VarRef)
+	if !ok || cv.Name != ivName {
+		return nil
+	}
+	c1, ok := cond.R.(*ast.IntLit)
+	if !ok {
+		return nil
+	}
+	post, ok := f.Post.(*ast.Unary)
+	if !ok || (post.Op != ast.PreInc && post.Op != ast.PostInc) {
+		return nil
+	}
+	pv, ok := post.X.(*ast.VarRef)
+	if !ok || pv.Name != ivName {
+		return nil
+	}
+	start := cltypes.AsInt64(c0.Val, ivType)
+	c1t, ok := c1.Type().(*cltypes.Scalar)
+	if !ok {
+		return nil
+	}
+	end := cltypes.AsInt64(c1.Val, c1t)
+	trips := end - start
+	if trips <= 0 || trips > maxUnrollTrips {
+		return nil
+	}
+	if modifiesOrAliases(f.Body, ivName) || hasLoopJump(f.Body) || blockHasBarrier(f.Body) {
+		return nil
+	}
+	out := &ast.Block{}
+	for it := start; it < end; it++ {
+		body := ast.CloneBlock(f.Body)
+		substVar(body, ivName, ast.NewIntLit(uint64(it), ivType))
+		out.Stmts = append(out.Stmts, body)
+	}
+	return out
+}
+
+// modifiesOrAliases reports whether the block assigns to, increments, or
+// takes the address of the named variable, or shadows it with a local
+// declaration (which would make substitution incorrect).
+func modifiesOrAliases(b *ast.Block, name string) bool {
+	bad := false
+	check := func(e ast.Expr) ast.Expr {
+		switch ex := e.(type) {
+		case *ast.AssignExpr:
+			if vr, ok := ex.LHS.(*ast.VarRef); ok && vr.Name == name {
+				bad = true
+			}
+		case *ast.Unary:
+			switch ex.Op {
+			case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec, ast.AddrOf:
+				if vr, ok := ex.X.(*ast.VarRef); ok && vr.Name == name {
+					bad = true
+				}
+			}
+		}
+		return e
+	}
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.DeclStmt:
+			if st.Decl.Name == name {
+				bad = true
+			}
+			if st.Decl.Init != nil {
+				rewriteExpr(ast.CloneExpr(st.Decl.Init), check)
+			}
+		case *ast.ExprStmt:
+			rewriteExpr(ast.CloneExpr(st.X), check)
+		case *ast.Block:
+			for _, inner := range st.Stmts {
+				walk(inner)
+			}
+		case *ast.If:
+			rewriteExpr(ast.CloneExpr(st.Cond), check)
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *ast.For:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			if st.Cond != nil {
+				rewriteExpr(ast.CloneExpr(st.Cond), check)
+			}
+			if st.Post != nil {
+				rewriteExpr(ast.CloneExpr(st.Post), check)
+			}
+			walk(st.Body)
+		case *ast.While:
+			rewriteExpr(ast.CloneExpr(st.Cond), check)
+			walk(st.Body)
+		case *ast.DoWhile:
+			walk(st.Body)
+			rewriteExpr(ast.CloneExpr(st.Cond), check)
+		case *ast.Return:
+			if st.X != nil {
+				rewriteExpr(ast.CloneExpr(st.X), check)
+			}
+		}
+	}
+	walk(b)
+	return bad
+}
+
+func blockHasBarrier(b *ast.Block) bool {
+	found := false
+	bb := ast.CloneBlock(b)
+	rewriteBlock(bb, func(e ast.Expr) ast.Expr {
+		if c, ok := e.(*ast.Call); ok && c.Name == "barrier" {
+			found = true
+		}
+		return e
+	})
+	return found
+}
+
+// substVar replaces every reference to name with a clone of repl.
+func substVar(b *ast.Block, name string, repl ast.Expr) {
+	rewriteBlock(b, func(e ast.Expr) ast.Expr {
+		if vr, ok := e.(*ast.VarRef); ok && vr.Name == name {
+			return ast.CloneExpr(repl)
+		}
+		return e
+	})
+}

@@ -1,0 +1,99 @@
+// Package oracle implements the majority-voting oracle of random
+// differential testing (paper §3.2, §7.3): a deterministic kernel should
+// yield one result everywhere, so among the results computed across
+// configurations, a sufficiently large majority is assumed correct and
+// deviating results flag miscompilations.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"clfuzz/internal/device"
+)
+
+// MinMajority is the paper's vote threshold: a wrong code result requires
+// a majority of at least 3 among the non-{bf,c,to} results (§7.3).
+const MinMajority = 3
+
+// Result is one (configuration, optimization level) observation for a
+// kernel.
+type Result struct {
+	// Key identifies the observer, e.g. "12+" or "3-" in the paper's
+	// notation.
+	Key     string
+	Outcome device.Outcome
+	Output  []uint64
+}
+
+// fingerprint folds an output into a comparable key.
+func fingerprint(out []uint64) string {
+	h := uint64(14695981039346656037)
+	for _, v := range out {
+		h ^= v
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%d:%016x", len(out), h)
+}
+
+// Majority computes the majority output among the OK results. It returns
+// the fingerprint of the majority output and true when a majority of at
+// least MinMajority exists.
+func Majority(results []Result) (string, bool) {
+	counts := map[string]int{}
+	for _, r := range results {
+		if r.Outcome == device.OK {
+			counts[fingerprint(r.Output)]++
+		}
+	}
+	best, bestN, secondN := "", 0, 0
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic tie handling
+	for _, k := range keys {
+		n := counts[k]
+		if n > bestN {
+			best, secondN, bestN = k, bestN, n
+		} else if n > secondN {
+			secondN = n
+		}
+	}
+	if bestN >= MinMajority && bestN > secondN {
+		return best, true
+	}
+	return "", false
+}
+
+// WrongCode returns the keys of OK results that disagree with the majority
+// output, or nil when no majority of at least MinMajority exists. It is
+// possible in principle for the majority to be wrong; the paper reports
+// never observing that in practice (§7.3), and neither do the injected-
+// defect campaigns here, since defects are configuration-specific.
+func WrongCode(results []Result) []string {
+	maj, ok := Majority(results)
+	if !ok {
+		return nil
+	}
+	var wrong []string
+	for _, r := range results {
+		if r.Outcome == device.OK && fingerprint(r.Output) != maj {
+			wrong = append(wrong, r.Key)
+		}
+	}
+	return wrong
+}
+
+// Equal reports whether two outputs match.
+func Equal(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

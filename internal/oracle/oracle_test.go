@@ -1,0 +1,90 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/oracle"
+)
+
+func res(key string, outcome device.Outcome, out ...uint64) oracle.Result {
+	return oracle.Result{Key: key, Outcome: outcome, Output: out}
+}
+
+// TestMajorityBasics: the §7.3 rule — a wrong code result requires a
+// majority of at least 3 among the non-{bf,c,to} results.
+func TestMajorityBasics(t *testing.T) {
+	// Clear majority of 4 vs 1 deviant.
+	rs := []oracle.Result{
+		res("1+", device.OK, 7), res("2+", device.OK, 7),
+		res("3+", device.OK, 7), res("4+", device.OK, 7),
+		res("9+", device.OK, 8),
+	}
+	wrong := oracle.WrongCode(rs)
+	if len(wrong) != 1 || wrong[0] != "9+" {
+		t.Errorf("WrongCode = %v, want [9+]", wrong)
+	}
+
+	// Only two agreeing results: below the threshold, no verdict.
+	rs = []oracle.Result{
+		res("1+", device.OK, 7), res("2+", device.OK, 7),
+		res("9+", device.OK, 8),
+	}
+	if w := oracle.WrongCode(rs); w != nil {
+		t.Errorf("verdict %v from a majority below 3", w)
+	}
+
+	// Tie 3 vs 3: no strict majority, no verdict.
+	rs = []oracle.Result{
+		res("1+", device.OK, 7), res("2+", device.OK, 7), res("3+", device.OK, 7),
+		res("12+", device.OK, 8), res("13+", device.OK, 8), res("14+", device.OK, 8),
+	}
+	if w := oracle.WrongCode(rs); w != nil {
+		t.Errorf("verdict %v from a 3-3 tie", w)
+	}
+}
+
+// TestFailuresDoNotVote: build failures, crashes and timeouts are excluded
+// from the vote.
+func TestFailuresDoNotVote(t *testing.T) {
+	rs := []oracle.Result{
+		res("1+", device.OK, 7), res("2+", device.OK, 7), res("3+", device.OK, 7),
+		res("5+", device.BuildFailure), res("6+", device.Crash), res("7+", device.Timeout),
+		res("9+", device.OK, 9),
+	}
+	wrong := oracle.WrongCode(rs)
+	if len(wrong) != 1 || wrong[0] != "9+" {
+		t.Errorf("WrongCode = %v, want [9+]", wrong)
+	}
+	maj, ok := oracle.Majority(rs)
+	if !ok || maj == "" {
+		t.Error("majority not found despite 3 agreeing computed results")
+	}
+}
+
+// TestOutputLengthMatters: outputs of different lengths never collide.
+func TestOutputLengthMatters(t *testing.T) {
+	rs := []oracle.Result{
+		res("1+", device.OK, 1, 2, 3),
+		res("2+", device.OK, 1, 2, 3),
+		res("3+", device.OK, 1, 2, 3),
+		res("9+", device.OK, 1, 2),
+	}
+	wrong := oracle.WrongCode(rs)
+	if len(wrong) != 1 || wrong[0] != "9+" {
+		t.Errorf("WrongCode = %v, want [9+] (shorter output must disagree)", wrong)
+	}
+}
+
+// TestEqual covers the comparison helper.
+func TestEqual(t *testing.T) {
+	if !oracle.Equal([]uint64{1, 2}, []uint64{1, 2}) {
+		t.Error("equal slices reported unequal")
+	}
+	if oracle.Equal([]uint64{1, 2}, []uint64{1, 3}) || oracle.Equal([]uint64{1}, []uint64{1, 1}) {
+		t.Error("unequal slices reported equal")
+	}
+	if !oracle.Equal(nil, nil) {
+		t.Error("nil slices must be equal")
+	}
+}
