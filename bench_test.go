@@ -161,14 +161,30 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkCompile measures the full front end plus optimizer on a
-// generated ALL-mode kernel.
+// BenchmarkCompile measures compilation through the shared front-end
+// cache (the campaign configuration: one parse per distinct source, plus
+// the per-configuration back end on every call).
 func BenchmarkCompile(b *testing.B) {
 	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
 	ref := device.Reference()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cr := ref.Compile(k.Src, true)
+		if cr.Outcome != device.OK {
+			b.Fatal(cr.Msg)
+		}
+	}
+}
+
+// BenchmarkCompileUncached measures the cache-bypassing path, which
+// re-lexes and re-parses on every call — the per-compile cost the seed
+// harness paid 42 times per differential test.
+func BenchmarkCompileUncached(b *testing.B) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	ref := device.Reference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr := ref.CompileUncached(k.Src, true)
 		if cr.Outcome != device.OK {
 			b.Fatal(cr.Msg)
 		}
@@ -222,13 +238,28 @@ func BenchmarkSema(b *testing.B) {
 
 // BenchmarkDifferentialTest measures one full differential test: one
 // kernel across the above-threshold configurations at both levels with
-// majority voting.
+// majority voting, through the compile-once campaign engine (shared
+// front end, defect-model run deduplication).
 func BenchmarkDifferentialTest(b *testing.B) {
 	cfgs := harness.AboveThresholdConfigs()
 	for i := 0; i < b.N; i++ {
 		k := generator.Generate(generator.Options{Mode: generator.ModeBasic, Seed: int64(1000 + i), MaxTotalThreads: 32})
 		c := harness.CaseFromKernel(k, "bench")
 		rs := harness.RunEverywhere(cfgs, c, 0)
+		_ = oracle.WrongCode(rs)
+	}
+}
+
+// BenchmarkDifferentialTestUncached is the same differential test on the
+// cache-bypassing reference path (one parse and one execution per
+// (configuration, level) pair), the determinism baseline the engine is
+// compared against.
+func BenchmarkDifferentialTestUncached(b *testing.B) {
+	cfgs := harness.AboveThresholdConfigs()
+	for i := 0; i < b.N; i++ {
+		k := generator.Generate(generator.Options{Mode: generator.ModeBasic, Seed: int64(1000 + i), MaxTotalThreads: 32})
+		c := harness.CaseFromKernel(k, "bench")
+		rs := harness.RunEverywhereUncached(cfgs, c, 0)
 		_ = oracle.WrongCode(rs)
 	}
 }

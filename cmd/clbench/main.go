@@ -1,0 +1,194 @@
+// Clbench measures the repository's benchmark suite and emits a JSON
+// snapshot in the BENCH_baseline.json schema, so successive PRs have a
+// perf trajectory to compare against.
+//
+// Usage:
+//
+//	clbench                 # micro + differential benchmarks
+//	clbench -tables         # additionally regenerate the Table 1/3/4/5 campaigns
+//	clbench -baseline BENCH_baseline.json   # print speedups vs a snapshot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/exhibits"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/harness"
+	"clfuzz/internal/oracle"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+type metrics struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Schema     string             `json:"schema"`
+	CapturedAt string             `json:"captured_at,omitempty"`
+	Commit     string             `json:"commit,omitempty"`
+	Go         string             `json:"go"`
+	CPU        string             `json:"cpu,omitempty"`
+	Notes      string             `json:"notes,omitempty"`
+	Benchmarks map[string]metrics `json:"benchmarks"`
+}
+
+func measure(name string, out map[string]metrics, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	out[name] = metrics{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %14d ns/op %12d B/op %10d allocs/op\n",
+		name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+}
+
+func main() {
+	tables := flag.Bool("tables", false, "also regenerate the Table 1/3/4/5 campaign benchmarks (slow)")
+	scale := flag.Int("scale", 6, "campaign scale for the table benchmarks")
+	baselinePath := flag.String("baseline", "", "optional snapshot to compare against (prints speedups to stderr)")
+	flag.Parse()
+
+	bm := map[string]metrics{}
+
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	ref := device.Reference()
+
+	measure("BenchmarkParse", bm, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := parser.Parse(k.Src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("BenchmarkSema", bm, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prog, err := parser.Parse(k.Src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sema.Check(prog, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("BenchmarkCompile", bm, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cr := ref.Compile(k.Src, true)
+			if cr.Outcome != device.OK {
+				b.Fatal(cr.Msg)
+			}
+		}
+	})
+	measure("BenchmarkExecute", bm, func(b *testing.B) {
+		cr := ref.Compile(k.Src, true)
+		if cr.Outcome != device.OK {
+			b.Fatal(cr.Msg)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args, result := k.Buffers()
+			rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{})
+			if rr.Outcome != device.OK {
+				b.Fatal(rr.Msg)
+			}
+		}
+	})
+	measure("BenchmarkDifferentialTest", bm, func(b *testing.B) {
+		cfgs := harness.AboveThresholdConfigs()
+		for i := 0; i < b.N; i++ {
+			dk := generator.Generate(generator.Options{Mode: generator.ModeBasic, Seed: int64(1000 + i), MaxTotalThreads: 32})
+			c := harness.CaseFromKernel(dk, "bench")
+			rs := harness.RunEverywhere(cfgs, c, 0)
+			_ = oracle.WrongCode(rs)
+		}
+	})
+	measure("BenchmarkFigure1", bm, func(b *testing.B) { benchFigure(b, 1) })
+	measure("BenchmarkFigure2", bm, func(b *testing.B) { benchFigure(b, 2) })
+
+	if *tables {
+		measure("BenchmarkTable1", bm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				harness.ClassifyConfigurations(*scale, 7, 48, 0)
+			}
+		})
+		measure("BenchmarkTable3", bm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				harness.EMIBenchmarkCampaign(2, 11, 0)
+			}
+		})
+		measure("BenchmarkTable4", bm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				harness.CLsmithCampaign(*scale, 13, 48, 0)
+			}
+		})
+		measure("BenchmarkTable5", bm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				harness.EMICampaign(*scale/2+1, 17, 48, 0)
+			}
+		})
+	}
+
+	snap := snapshot{
+		Schema:     "clfuzz-bench/v1",
+		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: bm,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+
+	if *baselinePath != "" {
+		compare(*baselinePath, bm)
+	}
+}
+
+func benchFigure(b *testing.B, fig int) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range exhibits.All() {
+			if e.Figure != fig {
+				continue
+			}
+			if err := exhibits.Verify(e); err != nil {
+				b.Fatalf("exhibit %s: %v", e.ID, err)
+			}
+		}
+	}
+}
+
+func compare(path string, now map[string]metrics) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline:", err)
+		os.Exit(1)
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "baseline:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\nvs %s:\n", path)
+	for name, cur := range now {
+		old, ok := base.Benchmarks[name]
+		if !ok || cur.NsPerOp == 0 || cur.AllocsPerOp == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %6.2fx ns/op  %6.2fx allocs/op\n",
+			name,
+			float64(old.NsPerOp)/float64(cur.NsPerOp),
+			float64(old.AllocsPerOp)/float64(cur.AllocsPerOp))
+	}
+}

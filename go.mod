@@ -1,0 +1,3 @@
+module clfuzz
+
+go 1.22

@@ -5,7 +5,11 @@
 // round-trip.
 package ast
 
-import "clfuzz/internal/cltypes"
+import (
+	"sync/atomic"
+
+	"clfuzz/internal/cltypes"
+)
 
 // Node is implemented by every AST node.
 type Node interface{ node() }
@@ -188,10 +192,22 @@ func NewIntLit(v uint64, t *cltypes.Scalar) *IntLit {
 type VarRef struct {
 	exprBase
 	Name string
+	// slot caches the evaluator's resolved scope coordinates for this
+	// reference (an encoding private to the interpreter; 0 = none). All
+	// threads of a launch share the node, so access goes through the
+	// atomic LoadSlot/StoreSlot accessors; the evaluator validates the
+	// cached value before trusting it, so a stale slot is only a miss.
+	slot uint64
 }
 
 // NewVarRef returns an unresolved variable reference.
 func NewVarRef(name string) *VarRef { return &VarRef{Name: name} }
+
+// LoadSlot atomically reads the evaluator's cached resolution slot.
+func (v *VarRef) LoadSlot() uint64 { return atomic.LoadUint64(&v.slot) }
+
+// StoreSlot atomically records the evaluator's resolution slot.
+func (v *VarRef) StoreSlot(s uint64) { atomic.StoreUint64(&v.slot, s) }
 
 // Unary is a unary operator application.
 type Unary struct {
@@ -242,6 +258,10 @@ type Member struct {
 	Base  Expr
 	Name  string
 	Arrow bool
+	// FieldIdx is 1 + the resolved field index within the struct type,
+	// recorded by sema (0 = not yet resolved). The evaluator uses it to
+	// skip the by-name field scan on every access.
+	FieldIdx int
 }
 
 // Swizzle is vector component access such as v.x or v.s03.

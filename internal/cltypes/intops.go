@@ -24,17 +24,16 @@ func Trunc(v uint64, t *Scalar) uint64 {
 }
 
 // SExt sign- or zero-extends the truncated value v of type t to a full
-// 64-bit pattern suitable for arithmetic at 64-bit width.
+// 64-bit pattern suitable for arithmetic at 64-bit width. The signed case
+// uses the branch-free shift pair so the function stays small enough for
+// the compiler to inline into the arithmetic helpers (it sits on the
+// interpreter's hottest path).
 func SExt(v uint64, t *Scalar) uint64 {
 	if t.Bits >= 64 || !t.Signed {
 		return Trunc(v, t)
 	}
-	v = Trunc(v, t)
-	sign := uint64(1) << uint(t.Bits-1)
-	if v&sign != 0 {
-		return v | ^((1 << uint(t.Bits)) - 1)
-	}
-	return v
+	sh := uint(64 - t.Bits)
+	return uint64(int64(v<<sh) >> sh)
 }
 
 // AsInt64 interprets the value v of type t as a Go int64.
@@ -44,6 +43,12 @@ func AsInt64(v uint64, t *Scalar) int64 { return int64(SExt(v, t)) }
 // conversion rules (truncation for narrowing; sign/zero extension for
 // widening; bool normalization).
 func Convert(v uint64, from, to *Scalar) uint64 {
+	if from == to {
+		// Same-type conversion: the dominant case on the interpreter's hot
+		// path (usual-arithmetic operands usually already match). Trunc
+		// alone suffices, and it also normalizes bool.
+		return Trunc(v, to)
+	}
 	if to.K == KindBool {
 		if Trunc(v, from) != 0 {
 			return 1

@@ -5,7 +5,6 @@ import (
 	"clfuzz/internal/bugs"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/opt"
-	"clfuzz/internal/parser"
 	"clfuzz/internal/sema"
 )
 
@@ -63,17 +62,35 @@ type Kernel struct {
 }
 
 // Compile runs the configuration's online compiler on kernel source:
-// lexing/parsing, semantic analysis with the configuration's front-end
-// defects, the always-on front-end folds, and (unless disabled) the
-// optimization pipeline. The result is OK with a runnable Kernel, or a
+// lexing/parsing (memoized in DefaultFrontCache, since the front end is
+// configuration-independent), semantic analysis with the configuration's
+// front-end defects, the always-on front-end folds, and (unless disabled)
+// the optimization pipeline. The result is OK with a runnable Kernel, or a
 // build failure / compile timeout.
 func (c *Config) Compile(src string, optimize bool) CompileResult {
+	return c.CompileFrontEnd(DefaultFrontCache.Get(src), optimize)
+}
+
+// CompileUncached is Compile without front-end memoization: every call
+// re-lexes and re-parses the source. It exists so the determinism tests
+// can compare campaign outputs against a cache-free reference path.
+func (c *Config) CompileUncached(src string, optimize bool) CompileResult {
+	return c.CompileFrontEnd(ParseFrontEnd(src), optimize)
+}
+
+// CompileFrontEnd runs the per-configuration back end on a shared front
+// end: it clones the pristine parsed program, type-checks the clone under
+// the level's defect set, applies the compile-time defect gates, the
+// always-on front-end folds, and the optimization pipeline. The front end
+// is never mutated, so one FrontEnd may be compiled concurrently by any
+// number of configurations.
+func (c *Config) CompileFrontEnd(fe *FrontEnd, optimize bool) CompileResult {
 	lvl := c.Level(optimize)
-	hash := bugs.Hash(src)
-	prog, err := parser.Parse(src)
-	if err != nil {
-		return CompileResult{Outcome: BuildFailure, Msg: "parse error: " + err.Error()}
+	hash := fe.Hash
+	if fe.Err != nil {
+		return CompileResult{Outcome: BuildFailure, Msg: "parse error: " + fe.Err.Error()}
 	}
+	prog := ast.CloneProgram(fe.Prog)
 	info, err := sema.Check(prog, lvl.Defects)
 	if err != nil {
 		return CompileResult{Outcome: BuildFailure, Msg: err.Error()}
@@ -166,6 +183,9 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 		Hash:       k.Hash,
 		Fuel:       int64(float64(fuel) * ff),
 		CheckRaces: ro.CheckRaces,
+		// Barrier-free kernels (the common case for generated tests) take
+		// the executor's goroutine-free sequential fast path.
+		NoBarrier:  !k.Info.HasBarrier,
 		HasFwdDecl: k.Info.HasFwdDecl,
 	}
 	err := exec.Run(k.Prog, nd, args, opts)

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"sync"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+	"clfuzz/internal/parser"
+)
+
+// FrontEnd is the configuration-independent phase of online compilation:
+// the lexed and parsed program for one kernel source, plus the source hash
+// that seeds every hash-gated defect. The program held here is pristine
+// (no semantic annotations, no folds applied); per-configuration back ends
+// clone it before mutating, so one FrontEnd can be shared by any number of
+// concurrent CompileFrontEnd calls.
+type FrontEnd struct {
+	Src  string
+	Hash uint64
+	// Prog is the parsed program, nil when Err is non-nil.
+	Prog *ast.Program
+	// Err is the parse error, reported by every configuration as a build
+	// failure (parsing is configuration-independent in the model).
+	Err error
+}
+
+// ParseFrontEnd runs the front-end phase without consulting any cache.
+func ParseFrontEnd(src string) *FrontEnd {
+	fe := &FrontEnd{Src: src, Hash: bugs.Hash(src)}
+	fe.Prog, fe.Err = parser.Parse(src)
+	return fe
+}
+
+// FrontCache is a bounded, concurrency-safe memo of front-end results
+// keyed by bugs.Hash(src). A differential campaign compiles the same
+// kernel source once per (configuration, optimization level) pair — 42
+// times for the full Table 1 matrix — and the lex/parse work is identical
+// every time; the cache collapses it to one parse per distinct source.
+//
+// Eviction is FIFO over insertion order, which keeps the cache
+// deterministic under any interleaving of Get calls for the same key set
+// (the memoized value for a source never varies, so campaign outputs do
+// not depend on hit/miss patterns).
+type FrontCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*FrontEnd
+	fifo    []uint64 // insertion order, oldest first
+	hits    uint64
+	misses  uint64
+}
+
+// NewFrontCache returns a cache bounded to capacity entries (minimum 1).
+func NewFrontCache(capacity int) *FrontCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FrontCache{cap: capacity, entries: make(map[uint64]*FrontEnd)}
+}
+
+// Get returns the memoized front end for src, parsing and recording it on
+// a miss. On the (theoretical) event of a 64-bit hash collision between
+// distinct sources, the cached entry is left alone and a fresh uncached
+// parse is returned, so collisions cost performance, never correctness.
+func (fc *FrontCache) Get(src string) *FrontEnd {
+	h := bugs.Hash(src)
+	fc.mu.Lock()
+	if fe, ok := fc.entries[h]; ok {
+		if fe.Src == src {
+			fc.hits++
+			fc.mu.Unlock()
+			return fe
+		}
+		fc.mu.Unlock()
+		return ParseFrontEnd(src)
+	}
+	fc.misses++
+	fc.mu.Unlock()
+	// Parse outside the lock: parsing is the expensive part, and two
+	// concurrent misses for the same source are benign (identical values).
+	fe := ParseFrontEnd(src)
+	fc.mu.Lock()
+	if _, ok := fc.entries[h]; !ok {
+		if len(fc.fifo) >= fc.cap {
+			oldest := fc.fifo[0]
+			fc.fifo = fc.fifo[1:]
+			delete(fc.entries, oldest)
+		}
+		fc.entries[h] = fe
+		fc.fifo = append(fc.fifo, h)
+	}
+	fc.mu.Unlock()
+	return fe
+}
+
+// Stats reports cumulative hit/miss counts and the current entry count.
+func (fc *FrontCache) Stats() (hits, misses uint64, size int) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.hits, fc.misses, len(fc.entries)
+}
+
+// DefaultFrontCache is the process-wide front-end cache used by
+// Config.Compile. Campaigns that want isolation (or the determinism tests,
+// which compare against the uncached path) can construct their own with
+// NewFrontCache or bypass caching entirely with CompileUncached.
+var DefaultFrontCache = NewFrontCache(1024)

@@ -1,0 +1,101 @@
+package device
+
+import (
+	"fmt"
+	"testing"
+)
+
+func kernelSrc(i int) string {
+	return fmt.Sprintf(`
+kernel void entry(global ulong *out) {
+    ulong v = %dUL;
+    out[get_linear_global_id()] = v;
+}
+`, i)
+}
+
+func TestFrontCacheHitsAndEviction(t *testing.T) {
+	fc := NewFrontCache(2)
+	a, b, c := kernelSrc(1), kernelSrc(2), kernelSrc(3)
+
+	fa := fc.Get(a)
+	if fa.Err != nil || fa.Prog == nil {
+		t.Fatalf("parse failed: %v", fa.Err)
+	}
+	if fc.Get(a) != fa {
+		t.Fatal("second Get of the same source must return the memoized front end")
+	}
+	fc.Get(b)
+	fc.Get(c) // evicts a (FIFO)
+	hits, misses, size := fc.Stats()
+	if size != 2 {
+		t.Fatalf("size = %d, want 2 (bounded)", size)
+	}
+	if misses != 3 || hits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", hits, misses)
+	}
+	if fc.Get(a) == fa {
+		t.Fatal("evicted entry must be re-parsed")
+	}
+}
+
+func TestFrontCacheParseErrorMemoized(t *testing.T) {
+	fc := NewFrontCache(4)
+	fe := fc.Get("kernel void broken(")
+	if fe.Err == nil {
+		t.Fatal("expected a parse error")
+	}
+	// Every configuration must report the same build failure through the
+	// cached front end.
+	for _, cfg := range All() {
+		cr := cfg.CompileFrontEnd(fe, true)
+		if cr.Outcome != BuildFailure {
+			t.Fatalf("config %d: outcome %v, want build failure", cfg.ID, cr.Outcome)
+		}
+	}
+}
+
+// TestCompileMatchesUncached compiles a kernel through the default cache
+// and through the bypass on every configuration and level, comparing
+// outcomes (the harness determinism test covers full output equality).
+func TestCompileMatchesUncached(t *testing.T) {
+	src := kernelSrc(7)
+	for _, cfg := range All() {
+		for _, opt := range []bool{false, true} {
+			a := cfg.Compile(src, opt)
+			b := cfg.CompileUncached(src, opt)
+			if a.Outcome != b.Outcome || a.Msg != b.Msg {
+				t.Fatalf("config %d opt=%v: cached (%v, %q) != uncached (%v, %q)",
+					cfg.ID, opt, a.Outcome, a.Msg, b.Outcome, b.Msg)
+			}
+		}
+	}
+}
+
+// TestCompileFrontEndSharedIsolation verifies that compiling one front end
+// for many configurations never mutates it: the per-configuration back
+// ends clone before folding and optimizing.
+func TestCompileFrontEndSharedIsolation(t *testing.T) {
+	fe := ParseFrontEnd(kernelSrc(9))
+	if fe.Err != nil {
+		t.Fatalf("parse: %v", fe.Err)
+	}
+	var kernels []*Kernel
+	for _, cfg := range All() {
+		cr := cfg.CompileFrontEnd(fe, true)
+		if cr.Outcome == OK {
+			if cr.Kernel.Prog == fe.Prog {
+				t.Fatalf("config %d: compiled kernel shares the pristine front-end program", cfg.ID)
+			}
+			kernels = append(kernels, cr.Kernel)
+		}
+	}
+	if len(kernels) < 2 {
+		t.Fatalf("expected at least two successful compiles, got %d", len(kernels))
+	}
+	for i := 1; i < len(kernels); i++ {
+		if kernels[i].Prog == kernels[0].Prog {
+			t.Fatal("two configurations share one mutable program")
+		}
+	}
+}

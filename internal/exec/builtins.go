@@ -8,93 +8,104 @@ import (
 	"clfuzz/internal/cltypes"
 )
 
-func (t *thread) evalCall(ex *ast.Call) (Value, error) {
+func (t *thread) evalCall(ex *ast.Call, out *Value) error {
 	switch ex.Name {
 	case "get_global_id", "get_local_id", "get_group_id",
 		"get_global_size", "get_local_size", "get_num_groups":
-		dv, err := t.evalExpr(ex.Args[0])
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Args[0], out); err != nil {
+			return err
 		}
-		dim := int(dv.Scalar)
-		return scalarValue(t.idBuiltin(ex.Name, dim), cltypes.TSizeT), nil
+		dim := int(out.Scalar)
+		*out = scalarValue(t.idBuiltin(ex.Name, dim), cltypes.TSizeT)
+		return nil
 	case "get_work_dim":
-		return scalarValue(3, cltypes.TUInt), nil
+		*out = scalarValue(3, cltypes.TUInt)
+		return nil
 	case "get_linear_global_id":
-		return scalarValue(uint64(t.gidLinear()), cltypes.TSizeT), nil
+		*out = scalarValue(uint64(t.gidLinear()), cltypes.TSizeT)
+		return nil
 	case "get_linear_local_id":
-		return scalarValue(uint64(t.lidLinear()), cltypes.TSizeT), nil
+		*out = scalarValue(uint64(t.lidLinear()), cltypes.TSizeT)
+		return nil
 	case "get_linear_group_id":
-		return scalarValue(uint64(t.groupLinear()), cltypes.TSizeT), nil
+		*out = scalarValue(uint64(t.groupLinear()), cltypes.TSizeT)
+		return nil
 	case "barrier":
-		fv, err := t.evalExpr(ex.Args[0])
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Args[0], out); err != nil {
+			return err
 		}
 		if t.group == nil {
-			return Value{}, fmt.Errorf("exec: barrier outside kernel execution")
+			return fmt.Errorf("exec: barrier outside kernel execution")
+		}
+		if t.group.bar == nil {
+			// Unreachable when the front end's NoBarrier guarantee holds;
+			// fail loudly rather than corrupt the sequential fast path.
+			return &CrashError{Msg: "barrier reached in barrier-free sequential execution"}
 		}
 		tok := barrierToken{node: ex, iters: t.iterDigest()}
-		if err := t.group.bar.await(tok, fv.Scalar); err != nil {
-			return Value{}, err
+		if err := t.group.bar.await(tok, out.Scalar); err != nil {
+			return err
 		}
 		t.barrierSeen = true
-		return Value{T: cltypes.TVoid}, nil
+		t.barrierCount++
+		*out = Value{T: cltypes.TVoid}
+		return nil
 	case "crc64":
-		c, err := t.evalExpr(ex.Args[0])
-		if err != nil {
-			return Value{}, err
+		var c Value
+		if err := t.evalExpr(ex.Args[0], &c); err != nil {
+			return err
 		}
-		v, err := t.evalExpr(ex.Args[1])
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Args[1], out); err != nil {
+			return err
 		}
-		vs := v.T.(*cltypes.Scalar)
-		return scalarValue(crcMix(c.Scalar, cltypes.SExt(v.Scalar, vs)), cltypes.TULong), nil
+		vs := out.T.(*cltypes.Scalar)
+		*out = scalarValue(crcMix(c.Scalar, cltypes.SExt(out.Scalar, vs)), cltypes.TULong)
+		return nil
 	case "vcrc":
-		c, err := t.evalExpr(ex.Args[0])
-		if err != nil {
-			return Value{}, err
+		var c Value
+		if err := t.evalExpr(ex.Args[0], &c); err != nil {
+			return err
 		}
-		v, err := t.evalExpr(ex.Args[1])
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Args[1], out); err != nil {
+			return err
 		}
 		h := c.Scalar
-		for _, comp := range v.Vec {
+		for _, comp := range out.Vec {
 			h = crcMix(h, comp)
 		}
-		return scalarValue(h, cltypes.TULong), nil
+		*out = scalarValue(h, cltypes.TULong)
+		return nil
 	}
 	if strings.HasPrefix(ex.Name, "atomic_") {
-		return t.evalAtomic(ex)
+		return t.evalAtomic(ex, out)
 	}
 	switch ex.Name {
 	case "safe_add", "safe_sub", "safe_mul", "safe_div", "safe_mod",
 		"safe_lshift", "safe_rshift", "safe_unary_minus", "safe_clamp",
 		"clamp", "rotate", "min", "max", "abs", "add_sat", "sub_sat",
 		"hadd", "mul_hi", "popcount", "clz":
-		return t.evalMath(ex)
+		return t.evalMath(ex, out)
 	}
 	if strings.HasPrefix(ex.Name, "convert_") {
-		v, err := t.evalExpr(ex.Args[0])
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Args[0], out); err != nil {
+			return err
 		}
 		switch to := ex.Type().(type) {
 		case *cltypes.Scalar:
-			return convertScalar(v, to), nil
+			*out = convertScalar(out, to)
+			return nil
 		case *cltypes.Vector:
-			src := v.T.(*cltypes.Vector)
-			out := make([]uint64, to.Len)
-			for i, c := range v.Vec {
-				out[i] = cltypes.Convert(c, src.Elem, to.Elem)
+			src := out.T.(*cltypes.Vector)
+			vec := make([]uint64, to.Len)
+			for i, c := range out.Vec {
+				vec[i] = cltypes.Convert(c, src.Elem, to.Elem)
 			}
-			return Value{T: to, Vec: out}, nil
+			*out = Value{T: to, Vec: vec}
+			return nil
 		}
-		return Value{}, fmt.Errorf("exec: bad convert result type")
+		return fmt.Errorf("exec: bad convert result type")
 	}
-	return t.evalUserCall(ex)
+	return t.evalUserCall(ex, out)
 }
 
 // iterDigest hashes the loop iteration counters for barrier divergence
@@ -147,42 +158,46 @@ func (t *thread) idBuiltin(name string, dim int) uint64 {
 	return 0
 }
 
-func (t *thread) evalAtomic(ex *ast.Call) (Value, error) {
-	pv, err := t.evalExpr(ex.Args[0])
-	if err != nil {
-		return Value{}, err
+func (t *thread) evalAtomic(ex *ast.Call, out *Value) error {
+	if err := t.evalExpr(ex.Args[0], out); err != nil {
+		return err
 	}
-	target := pv.Ptr.Target()
+	target := out.Ptr.Target()
 	if target == nil {
-		return Value{}, &CrashError{Msg: "atomic on null pointer"}
+		return &CrashError{Msg: "atomic on null pointer"}
 	}
 	st, ok := target.Typ.(*cltypes.Scalar)
 	if !ok {
-		return Value{}, fmt.Errorf("exec: atomic on non-scalar cell")
+		return fmt.Errorf("exec: atomic on non-scalar cell")
 	}
 	var operand, cmp uint64
 	if len(ex.Args) >= 2 {
-		ov, err := t.evalExpr(ex.Args[1])
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Args[1], out); err != nil {
+			return err
 		}
-		os := ov.T.(*cltypes.Scalar)
-		operand = cltypes.Convert(ov.Scalar, os, st)
+		os := out.T.(*cltypes.Scalar)
+		operand = cltypes.Convert(out.Scalar, os, st)
 	}
 	if len(ex.Args) == 3 {
 		cmp = operand
-		vv, err := t.evalExpr(ex.Args[2])
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Args[2], out); err != nil {
+			return err
 		}
-		vs := vv.T.(*cltypes.Scalar)
-		operand = cltypes.Convert(vv.Scalar, vs, st)
+		vs := out.T.(*cltypes.Scalar)
+		operand = cltypes.Convert(out.Scalar, vs, st)
 	}
-	if err := t.noteAccess(target, true, true); err != nil {
-		return Value{}, err
+	if t.m.opts.CheckRaces {
+		if err := t.noteAccess(target, true, true); err != nil {
+			return err
+		}
 	}
-	t.m.atomicMu.Lock()
-	old := target.loadScalar()
+	// A sequential launch needs neither the RMW mutex nor atomic cell
+	// accesses: the calling goroutine is the only accessor.
+	unshared := t.m.unshared
+	if !unshared {
+		t.m.atomicMu.Lock()
+	}
+	old := target.loadScalar(unshared)
 	var next uint64
 	switch ex.Name {
 	case "atomic_add":
@@ -212,52 +227,81 @@ func (t *thread) evalAtomic(ex *ast.Call) (Value, error) {
 			next = old
 		}
 	default:
-		t.m.atomicMu.Unlock()
-		return Value{}, fmt.Errorf("exec: unknown atomic %s", ex.Name)
+		if !unshared {
+			t.m.atomicMu.Unlock()
+		}
+		return fmt.Errorf("exec: unknown atomic %s", ex.Name)
 	}
-	target.storeScalar(next)
-	t.m.atomicMu.Unlock()
-	return scalarValue(old, st), nil
+	target.storeScalar(next, unshared)
+	if !unshared {
+		t.m.atomicMu.Unlock()
+	}
+	*out = scalarValue(old, st)
+	return nil
 }
 
 // evalMath implements the element-wise math builtins and the generator's
-// total safe-math wrappers.
-func (t *thread) evalMath(ex *ast.Call) (Value, error) {
-	args := make([]Value, len(ex.Args))
-	for i, a := range ex.Args {
-		v, err := t.evalExpr(a)
-		if err != nil {
-			return Value{}, err
-		}
-		args[i] = v
-	}
+// total safe-math wrappers. The builtins have at most three operands
+// (clamp and safe_clamp), so operands and scalar lanes live on the Go
+// stack — the safe-math wrappers are the hottest calls in generated
+// kernels and must not allocate.
+func (t *thread) evalMath(ex *ast.Call, out *Value) error {
 	rt := ex.Type()
+	// Scalar fast path: evaluate each operand into out and convert its
+	// lane immediately — no Value array, no allocation. Sema guarantees a
+	// scalar-typed math builtin has scalar operands.
+	if st, ok := rt.(*cltypes.Scalar); ok && len(ex.Args) <= 3 {
+		var vals [3]uint64
+		for i := range ex.Args {
+			if err := t.evalExpr(ex.Args[i], out); err != nil {
+				return err
+			}
+			vals[i] = cltypes.Convert(out.Scalar, out.T.(*cltypes.Scalar), st)
+		}
+		*out = scalarValue(mathOp(ex.Name, vals[:len(ex.Args)], st), st)
+		return nil
+	}
+	var argsArr [3]Value
+	var args []Value
+	if len(ex.Args) <= len(argsArr) {
+		args = argsArr[:len(ex.Args)]
+	} else {
+		args = make([]Value, len(ex.Args))
+	}
+	for i := range ex.Args {
+		if err := t.evalExpr(ex.Args[i], &args[i]); err != nil {
+			return err
+		}
+	}
 	if vt, ok := rt.(*cltypes.Vector); ok {
 		comps := make([][]uint64, len(args))
-		for i, a := range args {
-			c, err := vecComponents(a, vt)
+		for i := range args {
+			c, err := vecComponents(&args[i], vt)
 			if err != nil {
-				return Value{}, err
+				return err
 			}
 			comps[i] = c
 		}
-		out := make([]uint64, vt.Len)
-		for i := range out {
+		vec := make([]uint64, vt.Len)
+		for i := range vec {
 			vals := make([]uint64, len(args))
 			for j := range args {
 				vals[j] = comps[j][i]
 			}
-			out[i] = mathOp(ex.Name, vals, vt.Elem)
+			vec[i] = mathOp(ex.Name, vals, vt.Elem)
 		}
-		return Value{T: vt, Vec: out}, nil
+		*out = Value{T: vt, Vec: vec}
+		return nil
 	}
+	// >3 scalar operands: no current builtin, but stay total.
 	st := rt.(*cltypes.Scalar)
 	vals := make([]uint64, len(args))
-	for i, a := range args {
-		as := a.T.(*cltypes.Scalar)
-		vals[i] = cltypes.Convert(a.Scalar, as, st)
+	for i := range args {
+		as := args[i].T.(*cltypes.Scalar)
+		vals[i] = cltypes.Convert(args[i].Scalar, as, st)
 	}
-	return scalarValue(mathOp(ex.Name, vals, st), st), nil
+	*out = scalarValue(mathOp(ex.Name, vals, st), st)
+	return nil
 }
 
 // mathOp computes one scalar lane of a math builtin. All operations are
@@ -314,33 +358,37 @@ func mathOp(name string, v []uint64, t *cltypes.Scalar) uint64 {
 	return 0
 }
 
-func (t *thread) evalUserCall(ex *ast.Call) (Value, error) {
+func (t *thread) evalUserCall(ex *ast.Call, out *Value) error {
 	f, ok := t.m.funcs[ex.Name]
 	if !ok {
-		return Value{}, fmt.Errorf("exec: call to undefined function %q", ex.Name)
+		return fmt.Errorf("exec: call to undefined function %q", ex.Name)
 	}
 	if t.depth >= 64 {
-		return Value{}, &CrashError{Msg: "call stack overflow"}
+		return &CrashError{Msg: "call stack overflow"}
 	}
-	args := make([]Value, len(ex.Args))
-	for i, a := range ex.Args {
-		v, err := t.evalExpr(a)
-		if err != nil {
-			return Value{}, err
+	// Argument values live on the Go stack for the usual small arities.
+	var argsArr [4]Value
+	var args []Value
+	if len(ex.Args) <= len(argsArr) {
+		args = argsArr[:len(ex.Args)]
+	} else {
+		args = make([]Value, len(ex.Args))
+	}
+	for i := range ex.Args {
+		if err := t.evalExpr(ex.Args[i], &args[i]); err != nil {
+			return err
 		}
-		args[i] = v
 	}
 	saved := t.env
-	frame := newEnv(nil)
-	frame.params = map[string]bool{}
+	frame := t.pushEnv(nil)
+	frame.frame = true
 	for i, p := range f.Params {
-		c := NewCell(p.Type, cltypes.Private)
-		if err := storeCell(c, args[i]); err != nil {
-			t.env = saved
-			return Value{}, err
+		c := t.newPrivCell(p.Type)
+		if err := storeCell(c, &args[i], t.m.unshared); err != nil {
+			t.popEnv(frame)
+			return err
 		}
-		frame.vars[p.Name] = c
-		frame.params[p.Name] = true
+		frame.define(p.Name, c, true)
 	}
 	t.env = frame
 	t.depth++
@@ -348,25 +396,28 @@ func (t *thread) evalUserCall(ex *ast.Call) (Value, error) {
 	cf, err := t.execBlock(f.Body)
 	t.depth--
 	t.env = saved
+	t.popEnv(frame)
 	if err != nil {
-		return Value{}, err
+		return err
 	}
 	if cf == ctrlReturn {
-		ret := t.retVal
+		*out = t.retVal
 		if rt, ok := f.Ret.(*cltypes.Scalar); ok {
-			if _, isS := ret.T.(*cltypes.Scalar); isS {
-				return convertScalar(ret, rt), nil
+			if _, isS := out.T.(*cltypes.Scalar); isS {
+				*out = convertScalar(out, rt)
 			}
 		}
-		return ret, nil
+		return nil
 	}
 	if f.Ret.Equal(cltypes.TVoid) {
-		return Value{T: cltypes.TVoid}, nil
+		*out = Value{T: cltypes.TVoid}
+		return nil
 	}
 	// Falling off the end of a value-returning function is undefined in C;
 	// our subset returns a zero value to stay total.
 	if rt, ok := f.Ret.(*cltypes.Scalar); ok {
-		return scalarValue(0, rt), nil
+		*out = scalarValue(0, rt)
+		return nil
 	}
-	return Value{}, fmt.Errorf("exec: function %s fell off the end", f.Name)
+	return fmt.Errorf("exec: function %s fell off the end", f.Name)
 }

@@ -66,33 +66,36 @@ func newCell(t cltypes.Type, space cltypes.AddrSpace, shared bool) *Cell {
 	return c
 }
 
-// loadScalar reads the scalar value with the required visibility (atomic
-// load for shared cells, since racy kernels are legal inputs to the
-// fuzzer and must not corrupt the Go runtime).
-func (c *Cell) loadScalar() uint64 {
-	if c.Shared {
+// loadScalar reads the scalar value with the required visibility: an
+// atomic load for shared cells, since racy kernels are legal inputs to
+// the fuzzer and must not corrupt the Go runtime. unshared is the
+// machine's single-goroutine execution flag (Machine.unshared): when the
+// whole launch runs sequentially no concurrent access exists and even
+// shared cells are read plainly.
+func (c *Cell) loadScalar(unshared bool) uint64 {
+	if c.Shared && !unshared {
 		return atomic.LoadUint64(&c.Val)
 	}
 	return c.Val
 }
 
-func (c *Cell) storeScalar(v uint64) {
-	if c.Shared {
+func (c *Cell) storeScalar(v uint64, unshared bool) {
+	if c.Shared && !unshared {
 		atomic.StoreUint64(&c.Val, v)
 		return
 	}
 	c.Val = v
 }
 
-func (c *Cell) loadVecElem(i int) uint64 {
-	if c.Shared {
+func (c *Cell) loadVecElem(i int, unshared bool) uint64 {
+	if c.Shared && !unshared {
 		return atomic.LoadUint64(&c.Vec[i])
 	}
 	return c.Vec[i]
 }
 
-func (c *Cell) storeVecElem(i int, v uint64) {
-	if c.Shared {
+func (c *Cell) storeVecElem(i int, v uint64, unshared bool) {
+	if c.Shared && !unshared {
 		atomic.StoreUint64(&c.Vec[i], v)
 		return
 	}
@@ -116,24 +119,26 @@ func NewBuffer(elem cltypes.Type, n int) *Buffer {
 	return b
 }
 
-// Fill sets every element of a scalar buffer to v.
+// Fill sets every element of a scalar buffer to v. Host-side accessors
+// always use the shared-memory (atomic) discipline: they may run while a
+// concurrent kernel from a different launch holds the buffer.
 func (b *Buffer) Fill(v uint64) {
 	for _, c := range b.Cells {
-		c.storeScalar(v)
+		c.storeScalar(v, false)
 	}
 }
 
 // SetScalar sets element i of a scalar buffer.
-func (b *Buffer) SetScalar(i int, v uint64) { b.Cells[i].storeScalar(v) }
+func (b *Buffer) SetScalar(i int, v uint64) { b.Cells[i].storeScalar(v, false) }
 
 // Scalar returns element i of a scalar buffer.
-func (b *Buffer) Scalar(i int) uint64 { return b.Cells[i].loadScalar() }
+func (b *Buffer) Scalar(i int) uint64 { return b.Cells[i].loadScalar(false) }
 
 // Scalars returns the contents of a scalar buffer.
 func (b *Buffer) Scalars() []uint64 {
 	out := make([]uint64, len(b.Cells))
 	for i, c := range b.Cells {
-		out[i] = c.loadScalar()
+		out[i] = c.loadScalar(false)
 	}
 	return out
 }
@@ -197,7 +202,7 @@ func alignOf(t cltypes.Type) int {
 
 // encodeValue writes a Value of type t into buf. Pointers are not
 // supported inside unions (rejected by the generator and benchmarks).
-func encodeValue(buf []byte, v Value, t cltypes.Type) error {
+func encodeValue(buf []byte, v *Value, t cltypes.Type) error {
 	switch tt := t.(type) {
 	case *cltypes.Scalar:
 		encodeScalar(buf, v.Scalar, tt)
@@ -215,11 +220,11 @@ func encodeValue(buf []byte, v Value, t cltypes.Type) error {
 		}
 		offs := structLayout(tt)
 		for i, f := range tt.Fields {
-			fv, err := loadCell(v.Agg.Kids[i])
-			if err != nil {
+			var fv Value
+			if err := loadCell(v.Agg.Kids[i], false, &fv); err != nil {
 				return err
 			}
-			if err := encodeValue(buf[offs[i]:], fv, f.Type); err != nil {
+			if err := encodeValue(buf[offs[i]:], &fv, f.Type); err != nil {
 				return err
 			}
 		}
@@ -227,11 +232,11 @@ func encodeValue(buf []byte, v Value, t cltypes.Type) error {
 	case *cltypes.Array:
 		es := tt.Elem.Size()
 		for i := 0; i < tt.Len; i++ {
-			ev, err := loadCell(v.Agg.Kids[i])
-			if err != nil {
+			var ev Value
+			if err := loadCell(v.Agg.Kids[i], false, &ev); err != nil {
 				return err
 			}
-			if err := encodeValue(buf[i*es:], ev, tt.Elem); err != nil {
+			if err := encodeValue(buf[i*es:], &ev, tt.Elem); err != nil {
 				return err
 			}
 		}
@@ -244,12 +249,12 @@ func encodeValue(buf []byte, v Value, t cltypes.Type) error {
 func decodeInto(c *Cell, buf []byte) error {
 	switch tt := c.Typ.(type) {
 	case *cltypes.Scalar:
-		c.storeScalar(decodeScalar(buf, tt))
+		c.storeScalar(decodeScalar(buf, tt), false)
 		return nil
 	case *cltypes.Vector:
 		es := tt.Elem.Size()
 		for i := 0; i < tt.Len; i++ {
-			c.storeVecElem(i, decodeScalar(buf[i*es:], tt.Elem))
+			c.storeVecElem(i, decodeScalar(buf[i*es:], tt.Elem), false)
 		}
 		return nil
 	case *cltypes.StructT:

@@ -19,38 +19,181 @@ type thread struct {
 	env         *env
 	depth       int
 	barrierSeen bool
-	iterStack   []uint64
-	retVal      Value
+	// barrierCount is the number of barrier rounds the thread completed;
+	// the group compares counts after all threads finish, which detects
+	// the divergence where a thread exits before the others even arrive
+	// (the wait-based check alone depends on scheduling order).
+	barrierCount int
+	iterStack    []uint64
+	retVal       Value
+
+	// scratch absorbs expression results that statements discard and loop
+	// conditions; one per thread, reused at every nesting level (safe
+	// because evaluators fully assign their out-value before returning and
+	// never read it after nested statement execution).
+	scratch Value
+	// tmps is a depth-indexed stack of operand temporaries for the binary
+	// and assignment evaluators, replacing per-call stack Values (whose
+	// mandatory zeroing dominated the evaluator's flat profile). Slots
+	// between tmpTop and the end are free; evaluators restore tmpTop on
+	// exit and never read a slot before fully assigning it.
+	tmps   [24]Value
+	tmpTop int
+
+	// envPool recycles scope objects: loops that declare variables push
+	// and pop a scope every iteration, and a map-backed environment made
+	// that a map allocation per iteration. Scopes are small, so linear
+	// scans over a slice beat map hashing as well.
+	envPool []*env
+	// cellChunk is the arena for private cells (declarations, parameters,
+	// initializer temporaries). Cells are handed out by pointer and stay
+	// alive as long as something references them; the arena only batches
+	// their allocation.
+	cellChunk []Cell
+	cellUsed  int
+}
+
+// binding is one declared name in a scope.
+type binding struct {
+	key   uint64 // nameKey(name): length plus leading bytes, for fast scans
+	name  string
+	c     *Cell
+	param bool
+}
+
+// nameKey packs a string's length and up to its first seven bytes into one
+// word. Keys differing implies the strings differ, so scope scans compare
+// one word per binding instead of calling string comparison; for names of
+// at most seven bytes (every generated identifier) equal keys also imply
+// equal strings.
+func nameKey(s string) uint64 {
+	k := uint64(len(s)) << 56
+	n := len(s)
+	if n > 7 {
+		n = 7
+	}
+	for i := 0; i < n; i++ {
+		k |= uint64(s[i]) << (8 * uint(i))
+	}
+	return k
 }
 
 type env struct {
 	parent *env
-	vars   map[string]*Cell
-	// params of the enclosing function frame, consulted by the barrier-
-	// related defect models.
-	params map[string]bool
+	vars   []binding
+	// frame marks a function-frame boundary; its param bindings are the
+	// ones the barrier-related defect models consult.
+	frame bool
 }
 
-func newEnv(parent *env) *env { return &env{parent: parent, vars: map[string]*Cell{}} }
+// pushEnv enters a child scope, reusing a pooled scope object when one is
+// available.
+func (t *thread) pushEnv(parent *env) *env {
+	if n := len(t.envPool); n > 0 {
+		e := t.envPool[n-1]
+		t.envPool = t.envPool[:n-1]
+		e.parent = parent
+		return e
+	}
+	return &env{parent: parent}
+}
+
+// popEnv leaves the scope and returns it to the pool.
+func (t *thread) popEnv(e *env) {
+	e.vars = e.vars[:0]
+	e.parent = nil
+	e.frame = false
+	t.envPool = append(t.envPool, e)
+}
+
+// define binds name in the scope. Scans in lookup run newest-first, so a
+// rebinding shadows like the map assignment it replaces.
+func (e *env) define(name string, c *Cell, param bool) {
+	e.vars = append(e.vars, binding{key: nameKey(name), name: name, c: c, param: param})
+}
 
 func (t *thread) lookup(name string) *Cell {
+	key := nameKey(name)
+	long := len(name) > 7 // key collisions possible only for long names
 	for e := t.env; e != nil; e = e.parent {
-		if c, ok := e.vars[name]; ok {
-			return c
+		for i := len(e.vars) - 1; i >= 0; i-- {
+			if e.vars[i].key == key && (!long || e.vars[i].name == name) {
+				return e.vars[i].c
+			}
 		}
 	}
 	return t.m.globals[name]
 }
 
+// lookupRef resolves a variable reference, memoizing the scope coordinates
+// (parent hops and binding index) on the node itself. Every execution of a
+// given reference sees the same scope-chain shape — scopes push at fixed
+// statement positions — so after the first resolution the scan collapses
+// to a couple of pointer hops plus one key comparison; the comparison
+// also validates the cache, so a wrong slot can only cost a rescan.
+func (t *thread) lookupRef(ex *ast.VarRef) *Cell {
+	key := nameKey(ex.Name)
+	long := len(ex.Name) > 7
+	if s := ex.LoadSlot(); s != 0 {
+		up := int(s>>32) - 1
+		idx := int(uint32(s)) - 1
+		e := t.env
+		for i := 0; i < up && e != nil; i++ {
+			e = e.parent
+		}
+		if e != nil && idx >= 0 && idx < len(e.vars) &&
+			e.vars[idx].key == key && (!long || e.vars[idx].name == ex.Name) {
+			return e.vars[idx].c
+		}
+	}
+	up := 0
+	for e := t.env; e != nil; e = e.parent {
+		for i := len(e.vars) - 1; i >= 0; i-- {
+			if e.vars[i].key == key && (!long || e.vars[i].name == ex.Name) {
+				ex.StoreSlot(uint64(up+1)<<32 | uint64(i+1))
+				return e.vars[i].c
+			}
+		}
+		up++
+	}
+	return t.m.globals[ex.Name]
+}
+
 // isParam reports whether name is a parameter of the current function
-// frame.
+// frame (the innermost frame-marked scope, regardless of shadowing in
+// inner block scopes — the defect models key on the syntactic name).
 func (t *thread) isParam(name string) bool {
 	for e := t.env; e != nil; e = e.parent {
-		if e.params != nil {
-			return e.params[name]
+		if e.frame {
+			for i := range e.vars {
+				if e.vars[i].param && e.vars[i].name == name {
+					return true
+				}
+			}
+			return false
 		}
 	}
 	return false
+}
+
+// newPrivCell arena-allocates a private (unshared) cell of type typ.
+// Scalar and pointer cells — the overwhelmingly common case — come
+// straight from the chunk; aggregate types fall back to the general
+// constructor for their child trees.
+func (t *thread) newPrivCell(typ cltypes.Type) *Cell {
+	switch typ.(type) {
+	case *cltypes.Scalar, *cltypes.Pointer:
+		if t.cellUsed == len(t.cellChunk) {
+			t.cellChunk = make([]Cell, 128)
+			t.cellUsed = 0
+		}
+		c := &t.cellChunk[t.cellUsed]
+		t.cellUsed++
+		c.Typ = typ
+		c.Space = cltypes.Private
+		return c
+	}
+	return newCell(typ, cltypes.Private, false)
 }
 
 var errAborted = &CrashError{Msg: "aborted"}
@@ -81,11 +224,11 @@ const (
 )
 
 func (t *thread) runKernel() error {
-	t.env = newEnv(nil)
-	t.env.params = map[string]bool{}
+	t.env = t.pushEnv(nil)
+	t.env.frame = true
 	for _, p := range t.m.kernel.Params {
 		arg := t.m.args[p.Name]
-		c := NewCell(p.Type, cltypes.Private)
+		c := t.newPrivCell(p.Type)
 		if pt, ok := p.Type.(*cltypes.Pointer); ok {
 			if arg.Buf == nil {
 				return fmt.Errorf("exec: kernel argument %q requires a buffer", p.Name)
@@ -97,25 +240,29 @@ func (t *thread) runKernel() error {
 		} else {
 			return fmt.Errorf("exec: unsupported kernel parameter type %s", p.Type)
 		}
-		t.env.vars[p.Name] = c
-		t.env.params[p.Name] = true
+		t.env.define(p.Name, c, true)
 	}
 	_, err := t.execBlock(t.m.kernel.Body)
 	return err
 }
 
 func (t *thread) execBlock(b *ast.Block) (ctrl, error) {
-	// Lazy scope push: most blocks declare nothing, so the child
-	// environment (and its map allocation) is created only when the first
-	// declaration executes. Name resolution before that point is
-	// identical either way.
+	// Lazy scope push: most blocks declare nothing, so the child scope is
+	// created only when the first declaration executes. Name resolution
+	// before that point is identical either way.
 	saved := t.env
 	pushed := false
-	defer func() { t.env = saved }()
+	defer func() {
+		if pushed {
+			e := t.env
+			t.env = saved
+			t.popEnv(e)
+		}
+	}()
 	for _, s := range b.Stmts {
 		if !pushed {
 			if _, isDecl := s.(*ast.DeclStmt); isDecl {
-				t.env = newEnv(saved)
+				t.env = t.pushEnv(saved)
 				pushed = true
 			}
 		}
@@ -135,16 +282,22 @@ func (t *thread) execStmt(s ast.Stmt) (ctrl, error) {
 	case *ast.DeclStmt:
 		return ctrlNone, t.execDecl(st.Decl)
 	case *ast.ExprStmt:
-		_, err := t.evalExpr(st.X)
-		return ctrlNone, err
+		// Assignments in statement position — the bulk of generated code —
+		// skip materializing the assigned value.
+		if asn, ok := st.X.(*ast.AssignExpr); ok {
+			if err := t.step(); err != nil { // the step evalExpr would charge
+				return ctrlNone, err
+			}
+			return ctrlNone, t.evalAssignInner(asn, nil)
+		}
+		return ctrlNone, t.evalExpr(st.X, &t.scratch)
 	case *ast.Block:
 		return t.execBlock(st)
 	case *ast.If:
-		cond, err := t.evalExpr(st.Cond)
-		if err != nil {
+		if err := t.evalExpr(st.Cond, &t.scratch); err != nil {
 			return ctrlNone, err
 		}
-		if cond.isTrue() {
+		if t.scratch.isTrue() {
 			return t.execBlock(st.Then)
 		}
 		if st.Else != nil {
@@ -163,11 +316,9 @@ func (t *thread) execStmt(s ast.Stmt) (ctrl, error) {
 		return ctrlContinue, nil
 	case *ast.Return:
 		if st.X != nil {
-			v, err := t.evalExpr(st.X)
-			if err != nil {
+			if err := t.evalExpr(st.X, &t.retVal); err != nil {
 				return ctrlNone, err
 			}
-			t.retVal = v
 		} else {
 			t.retVal = Value{T: cltypes.TVoid}
 		}
@@ -180,8 +331,12 @@ func (t *thread) execStmt(s ast.Stmt) (ctrl, error) {
 
 func (t *thread) execFor(st *ast.For) (ctrl, error) {
 	saved := t.env
-	t.env = newEnv(saved)
-	defer func() { t.env = saved }()
+	t.env = t.pushEnv(saved)
+	defer func() {
+		e := t.env
+		t.env = saved
+		t.popEnv(e)
+	}()
 	if st.Init != nil {
 		if _, err := t.execStmt(st.Init); err != nil {
 			return ctrlNone, err
@@ -204,14 +359,15 @@ func (t *thread) execLoopBody(forNode *ast.For, cond ast.Expr, post ast.Expr, bo
 	t.iterStack = append(t.iterStack, 0)
 	defer func() { t.iterStack = t.iterStack[:len(t.iterStack)-1] }()
 	iterations := uint64(0)
+	// The thread scratch absorbs every condition and post evaluation; the
+	// value is consumed (isTrue) immediately after each evaluation.
 	for {
 		if !doFirst || iterations > 0 {
 			if cond != nil {
-				cv, err := t.evalExpr(cond)
-				if err != nil {
+				if err := t.evalExpr(cond, &t.scratch); err != nil {
 					return ctrlNone, err
 				}
-				if !cv.isTrue() {
+				if !t.scratch.isTrue() {
 					break
 				}
 			}
@@ -232,16 +388,15 @@ func (t *thread) execLoopBody(forNode *ast.For, cond ast.Expr, post ast.Expr, bo
 			return ctrlReturn, nil
 		}
 		if post != nil {
-			if _, err := t.evalExpr(post); err != nil {
+			if err := t.evalExpr(post, &t.scratch); err != nil {
 				return ctrlNone, err
 			}
 		}
 		if doFirst && cond != nil && iterations > 0 {
-			cv, err := t.evalExpr(cond)
-			if err != nil {
+			if err := t.evalExpr(cond, &t.scratch); err != nil {
 				return ctrlNone, err
 			}
-			if !cv.isTrue() {
+			if !t.scratch.isTrue() {
 				break
 			}
 		}
@@ -256,7 +411,8 @@ func (t *thread) execLoopBody(forNode *ast.For, cond ast.Expr, post ast.Expr, bo
 				lv, err := t.evalLV(asn.LHS)
 				if err == nil {
 					if s, ok := lv.typ().(*cltypes.Scalar); ok {
-						_ = lv.store(scalarValue(1, s))
+						one := scalarValue(1, s)
+						_ = lv.store(&one)
 					}
 				}
 			}
@@ -362,76 +518,72 @@ func (t *thread) execDecl(d *ast.VarDecl) error {
 			g.local[d] = c
 		}
 		g.mu.Unlock()
-		t.env.vars[d.Name] = c
+		t.env.define(d.Name, c, false)
 		return nil
 	}
-	c := NewCell(d.Type, cltypes.Private)
+	c := t.newPrivCell(d.Type)
 	if d.Init != nil {
-		v, err := t.evalInit(d.Type, d.Init)
-		if err != nil {
+		var v Value
+		if err := t.evalInit(d.Type, d.Init, &v); err != nil {
 			return err
 		}
-		if err := storeCell(c, v); err != nil {
+		if err := storeCell(c, &v, t.m.unshared); err != nil {
 			return err
 		}
 	}
-	t.env.vars[d.Name] = c
+	t.env.define(d.Name, c, false)
 	return nil
 }
 
 // evalInit evaluates an initializer (possibly a braced aggregate list)
 // against the declared type, applying the struct- and union-initializer
 // defect models.
-func (t *thread) evalInit(typ cltypes.Type, init ast.Expr) (Value, error) {
+func (t *thread) evalInit(typ cltypes.Type, init ast.Expr, out *Value) error {
 	il, ok := init.(*ast.InitList)
 	if !ok {
-		v, err := t.evalExpr(init)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(init, out); err != nil {
+			return err
 		}
 		if s, ok := typ.(*cltypes.Scalar); ok {
-			if _, vok := v.T.(*cltypes.Scalar); vok {
-				return convertScalar(v, s), nil
+			if _, vok := out.T.(*cltypes.Scalar); vok {
+				*out = convertScalar(out, s)
 			}
 		}
-		return v, nil
+		return nil
 	}
 	c := newCell(typ, cltypes.Private, false)
 	switch tt := typ.(type) {
 	case *cltypes.Scalar:
 		if len(il.Elems) != 1 {
-			return Value{}, fmt.Errorf("exec: bad scalar initializer")
+			return fmt.Errorf("exec: bad scalar initializer")
 		}
-		v, err := t.evalInit(typ, il.Elems[0])
-		if err != nil {
-			return Value{}, err
-		}
-		return v, nil
+		return t.evalInit(typ, il.Elems[0], out)
 	case *cltypes.Array:
+		var v Value
 		for i, el := range il.Elems {
-			v, err := t.evalInit(tt.Elem, el)
-			if err != nil {
-				return Value{}, err
+			if err := t.evalInit(tt.Elem, el, &v); err != nil {
+				return err
 			}
-			if err := storeCell(c.Kids[i], v); err != nil {
-				return Value{}, err
+			if err := storeCell(c.Kids[i], &v, t.m.unshared); err != nil {
+				return err
 			}
 		}
-		return Value{T: typ, Agg: c}, nil
+		*out = Value{T: typ, Agg: c}
+		return nil
 	case *cltypes.StructT:
 		if tt.IsUnion {
 			if len(il.Elems) == 1 {
-				fv, err := t.evalInit(tt.Fields[0].Type, il.Elems[0])
-				if err != nil {
-					return Value{}, err
+				var fv Value
+				if err := t.evalInit(tt.Fields[0].Type, il.Elems[0], &fv); err != nil {
+					return err
 				}
 				if fs, ok := tt.Fields[0].Type.(*cltypes.Scalar); ok {
 					if vs, vok := fv.T.(*cltypes.Scalar); vok {
-						fv = convertScalar(Value{T: vs, Scalar: fv.Scalar}, fs)
+						fv = convertScalar(&Value{T: vs, Scalar: fv.Scalar}, fs)
 					}
 				}
-				if err := encodeValue(c.Bytes, fv, tt.Fields[0].Type); err != nil {
-					return Value{}, err
+				if err := encodeValue(c.Bytes, &fv, tt.Fields[0].Type); err != nil {
+					return err
 				}
 				// Figure 2(a): NVIDIA configurations without optimizations
 				// initialize only the first two bytes of a union containing
@@ -443,15 +595,16 @@ func (t *thread) evalInit(typ cltypes.Type, init ast.Expr) (Value, error) {
 					}
 				}
 			}
-			return Value{T: typ, Agg: c}, nil
+			*out = Value{T: typ, Agg: c}
+			return nil
 		}
+		var fv Value
 		for i, el := range il.Elems {
-			fv, err := t.evalInit(tt.Fields[i].Type, el)
-			if err != nil {
-				return Value{}, err
+			if err := t.evalInit(tt.Fields[i].Type, el, &fv); err != nil {
+				return err
 			}
-			if err := storeCell(c.Kids[i], fv); err != nil {
-				return Value{}, err
+			if err := storeCell(c.Kids[i], &fv, t.m.unshared); err != nil {
+				return err
 			}
 		}
 		// Figure 1(a): AMD configurations with optimizations miscompile any
@@ -464,9 +617,10 @@ func (t *thread) evalInit(typ cltypes.Type, init ast.Expr) (Value, error) {
 				c.Kids[fi].Val = 0
 			}
 		}
-		return Value{T: typ, Agg: c}, nil
+		*out = Value{T: typ, Agg: c}
+		return nil
 	}
-	return Value{}, fmt.Errorf("exec: bad initializer for %s", typ)
+	return fmt.Errorf("exec: bad initializer for %s", typ)
 }
 
 // charFirstLargerFields returns the indices of 1-byte scalar fields that
@@ -503,45 +657,61 @@ func unionHasSmallLeadStruct(ut *cltypes.StructT) bool {
 // ---- lvalues ----
 
 func (t *thread) evalLV(e ast.Expr) (lval, error) {
-	switch ex := e.(type) {
-	case *ast.VarRef:
-		c := t.lookup(ex.Name)
+	// Fast path outside the tmp-slot discipline: a plain variable is the
+	// most common lvalue by far.
+	if vr, ok := e.(*ast.VarRef); ok {
+		c := t.lookupRef(vr)
 		if c == nil {
-			return lval{}, fmt.Errorf("exec: undefined variable %q", ex.Name)
+			return lval{}, fmt.Errorf("exec: undefined variable %q", vr.Name)
 		}
-		return directLV(c), nil
+		return directLV(c, t.m.unshared), nil
+	}
+	var tmp *Value
+	d := t.tmpTop
+	if d < len(t.tmps) {
+		t.tmpTop = d + 1
+		tmp = &t.tmps[d]
+	} else {
+		tmp = new(Value)
+	}
+	lv, err := t.evalLVTmp(e, tmp)
+	t.tmpTop = d
+	return lv, err
+}
+
+// evalLVTmp resolves non-VarRef lvalues; tmp holds intermediate values
+// (index, base pointer) without a fresh stack Value per call.
+func (t *thread) evalLVTmp(e ast.Expr, tmp *Value) (lval, error) {
+	switch ex := e.(type) {
 	case *ast.Unary:
 		if ex.Op == ast.Deref {
-			v, err := t.evalExpr(ex.X)
-			if err != nil {
+			if err := t.evalExpr(ex.X, tmp); err != nil {
 				return lval{}, err
 			}
-			target := v.Ptr.Target()
+			target := tmp.Ptr.Target()
 			if target == nil {
 				return lval{}, &CrashError{Msg: "null or dangling pointer dereference"}
 			}
-			return directLV(target), nil
+			return directLV(target, t.m.unshared), nil
 		}
 	case *ast.Index:
-		iv, err := t.evalExpr(ex.Idx)
-		if err != nil {
+		if err := t.evalExpr(ex.Idx, tmp); err != nil {
 			return lval{}, err
 		}
-		is, ok := iv.T.(*cltypes.Scalar)
+		is, ok := tmp.T.(*cltypes.Scalar)
 		if !ok {
 			return lval{}, fmt.Errorf("exec: non-scalar index")
 		}
-		idx := int(cltypes.AsInt64(iv.Scalar, is))
+		idx := int(cltypes.AsInt64(tmp.Scalar, is))
 		if _, isPtr := ex.Base.Type().(*cltypes.Pointer); isPtr {
-			bv, err := t.evalExpr(ex.Base)
-			if err != nil {
+			if err := t.evalExpr(ex.Base, tmp); err != nil {
 				return lval{}, err
 			}
-			target := bv.Ptr.At(idx).Target()
+			target := tmp.Ptr.At(idx).Target()
 			if target == nil {
 				return lval{}, &CrashError{Msg: "out-of-bounds buffer access"}
 			}
-			return directLV(target), nil
+			return directLV(target, t.m.unshared), nil
 		}
 		blv, err := t.evalLV(ex.Base)
 		if err != nil {
@@ -553,15 +723,14 @@ func (t *thread) evalLV(e ast.Expr) (lval, error) {
 		if idx < 0 || idx >= len(blv.c.Kids) {
 			return lval{}, &CrashError{Msg: fmt.Sprintf("array index %d out of bounds [0,%d)", idx, len(blv.c.Kids))}
 		}
-		return directLV(blv.c.Kids[idx]), nil
+		return directLV(blv.c.Kids[idx], t.m.unshared), nil
 	case *ast.Member:
 		var base *Cell
 		if ex.Arrow {
-			bv, err := t.evalExpr(ex.Base)
-			if err != nil {
+			if err := t.evalExpr(ex.Base, tmp); err != nil {
 				return lval{}, err
 			}
-			base = bv.Ptr.Target()
+			base = tmp.Ptr.Target()
 			if base == nil {
 				return lval{}, &CrashError{Msg: "null pointer member access"}
 			}
@@ -579,14 +748,19 @@ func (t *thread) evalLV(e ast.Expr) (lval, error) {
 		if !ok {
 			return lval{}, fmt.Errorf("exec: member access on %s", base.Typ)
 		}
-		i := st.FieldIndex(ex.Name)
+		// sema records the resolved index; fall back to the name scan only
+		// for nodes built outside the front end.
+		i := ex.FieldIdx - 1
 		if i < 0 {
+			i = st.FieldIndex(ex.Name)
+		}
+		if i < 0 || i >= len(st.Fields) {
 			return lval{}, fmt.Errorf("exec: no field %q in %s", ex.Name, st)
 		}
 		if st.IsUnion {
-			return lval{c: base, uField: st.Fields[i].Type, vecIdx: -1}, nil
+			return lval{c: base, uField: st.Fields[i].Type, vecIdx: -1, unshared: t.m.unshared}, nil
 		}
-		return directLV(base.Kids[i]), nil
+		return directLV(base.Kids[i], t.m.unshared), nil
 	case *ast.Swizzle:
 		blv, err := t.evalLV(ex.Base)
 		if err != nil {
@@ -599,7 +773,7 @@ func (t *thread) evalLV(e ast.Expr) (lval, error) {
 		if blv.uField != nil || blv.vecIdx >= 0 {
 			return lval{}, fmt.Errorf("exec: cannot swizzle a view lvalue")
 		}
-		return lval{c: blv.c, vecIdx: idx[0]}, nil
+		return lval{c: blv.c, vecIdx: idx[0], unshared: t.m.unshared}, nil
 	}
 	return lval{}, fmt.Errorf("exec: expression %T is not an lvalue", e)
 }
@@ -609,15 +783,15 @@ func (t *thread) lvPtr(e ast.Expr) (Ptr, error) {
 	// &a[i] over an array or buffer yields a sliceable pointer so that
 	// subsequent subscripting works.
 	if ix, ok := e.(*ast.Index); ok {
-		iv, err := t.evalExpr(ix.Idx)
-		if err != nil {
+		var iv Value
+		if err := t.evalExpr(ix.Idx, &iv); err != nil {
 			return Ptr{}, err
 		}
 		is := iv.T.(*cltypes.Scalar)
 		idx := int(cltypes.AsInt64(iv.Scalar, is))
 		if _, isPtr := ix.Base.Type().(*cltypes.Pointer); isPtr {
-			bv, err := t.evalExpr(ix.Base)
-			if err != nil {
+			var bv Value
+			if err := t.evalExpr(ix.Base, &bv); err != nil {
 				return Ptr{}, err
 			}
 			return bv.Ptr.At(idx), nil

@@ -8,9 +8,14 @@ import (
 	"clfuzz/internal/cltypes"
 )
 
-func (t *thread) evalExpr(e ast.Expr) (Value, error) {
+// evalExpr evaluates e into *out. Results are always written with a full
+// struct assignment, so callers may reuse one Value as scratch across many
+// calls (the out-parameter style keeps the 96-byte Value struct from being
+// copied once per level of the recursive evaluator — the dominant cost of
+// the tree-walking interpreter before this shape was adopted).
+func (t *thread) evalExpr(e ast.Expr, out *Value) error {
 	if err := t.step(); err != nil {
-		return Value{}, err
+		return err
 	}
 	switch ex := e.(type) {
 	case *ast.IntLit:
@@ -18,111 +23,120 @@ func (t *thread) evalExpr(e ast.Expr) (Value, error) {
 		if !ok {
 			st = cltypes.TInt
 		}
-		return scalarValue(ex.Val, st), nil
+		*out = scalarValue(ex.Val, st)
+		return nil
 
 	case *ast.VarRef:
-		if c := t.lookup(ex.Name); c != nil {
-			if err := t.noteAccess(c, false, false); err != nil {
-				return Value{}, err
+		if c := t.lookupRef(ex); c != nil {
+			if t.m.opts.CheckRaces {
+				if err := t.noteAccess(c, false, false); err != nil {
+					return err
+				}
 			}
-			return loadCell(c)
+			// Inline scalar load: private cells (and any cell during a
+			// single-goroutine launch) need no atomics and no dispatch.
+			if sc, ok := c.Typ.(*cltypes.Scalar); ok && (t.m.unshared || !c.Shared) {
+				*out = Value{T: sc, Scalar: c.Val}
+				return nil
+			}
+			return loadCell(c, t.m.unshared, out)
 		}
 		if v, ok := predefinedConst(ex.Name); ok {
-			return scalarValue(v, cltypes.TUInt), nil
+			*out = scalarValue(v, cltypes.TUInt)
+			return nil
 		}
-		return Value{}, fmt.Errorf("exec: undefined variable %q", ex.Name)
+		return fmt.Errorf("exec: undefined variable %q", ex.Name)
 
 	case *ast.Unary:
-		return t.evalUnary(ex)
+		return t.evalUnary(ex, out)
 
 	case *ast.Binary:
-		return t.evalBinary(ex)
+		return t.evalBinary(ex, out)
 
 	case *ast.AssignExpr:
-		return t.evalAssign(ex)
+		return t.evalAssign(ex, out)
 
 	case *ast.Cond:
-		cv, err := t.evalExpr(ex.C)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.C, out); err != nil {
+			return err
 		}
 		var branch ast.Expr
-		if cv.isTrue() {
+		if out.isTrue() {
 			branch = ex.T
 		} else {
 			branch = ex.F
 		}
-		v, err := t.evalExpr(branch)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(branch, out); err != nil {
+			return err
 		}
 		if rt, ok := ex.Type().(*cltypes.Scalar); ok {
-			if _, isS := v.T.(*cltypes.Scalar); isS {
-				return convertScalar(v, rt), nil
+			if _, isS := out.T.(*cltypes.Scalar); isS {
+				*out = convertScalar(out, rt)
 			}
 		}
-		return v, nil
+		return nil
 
 	case *ast.Call:
-		return t.evalCall(ex)
+		return t.evalCall(ex, out)
 
 	case *ast.Index:
 		lv, err := t.evalLV(ex)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
-		if lv.c != nil {
+		if t.m.opts.CheckRaces && lv.c != nil {
 			if err := t.noteAccess(lv.c, false, false); err != nil {
-				return Value{}, err
+				return err
 			}
 		}
-		return lv.load()
+		return lv.load(out)
 
 	case *ast.Member:
 		lv, err := t.evalLV(ex)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
-		if lv.c != nil {
+		if t.m.opts.CheckRaces && lv.c != nil {
 			if err := t.noteAccess(lv.c, false, false); err != nil {
-				return Value{}, err
+				return err
 			}
 		}
-		return lv.load()
+		return lv.load(out)
 
 	case *ast.Swizzle:
-		bv, err := t.evalExpr(ex.Base)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.Base, out); err != nil {
+			return err
 		}
-		vt, ok := bv.T.(*cltypes.Vector)
+		vt, ok := out.T.(*cltypes.Vector)
 		if !ok {
-			return Value{}, fmt.Errorf("exec: swizzle of non-vector %s", bv.T)
+			return fmt.Errorf("exec: swizzle of non-vector %s", out.T)
 		}
 		idx := cltypes.SwizzleIndices(ex.Sel)
 		if len(idx) == 1 {
-			return scalarValue(bv.Vec[idx[0]], vt.Elem), nil
+			*out = scalarValue(out.Vec[idx[0]], vt.Elem)
+			return nil
 		}
-		out := make([]uint64, len(idx))
+		sw := make([]uint64, len(idx))
 		for i, j := range idx {
-			out[i] = bv.Vec[j]
+			sw[i] = out.Vec[j]
 		}
-		return Value{T: cltypes.VecOf(vt.Elem, len(idx)), Vec: out}, nil
+		*out = Value{T: cltypes.VecOf(vt.Elem, len(idx)), Vec: sw}
+		return nil
 
 	case *ast.VecLit:
 		var comps []uint64
-		for _, el := range ex.Elems {
-			v, err := t.evalExpr(el)
-			if err != nil {
-				return Value{}, err
+		var el Value
+		for _, elem := range ex.Elems {
+			if err := t.evalExpr(elem, &el); err != nil {
+				return err
 			}
-			switch vt := v.T.(type) {
+			switch vt := el.T.(type) {
 			case *cltypes.Scalar:
-				comps = append(comps, cltypes.Convert(v.Scalar, vt, ex.VT.Elem))
+				comps = append(comps, cltypes.Convert(el.Scalar, vt, ex.VT.Elem))
 			case *cltypes.Vector:
-				comps = append(comps, v.Vec...)
+				comps = append(comps, el.Vec...)
 			default:
-				return Value{}, fmt.Errorf("exec: bad vector literal element %s", v.T)
+				return fmt.Errorf("exec: bad vector literal element %s", el.T)
 			}
 		}
 		if len(comps) == 1 && ex.VT.Len > 1 {
@@ -133,40 +147,44 @@ func (t *thread) evalExpr(e ast.Expr) (Value, error) {
 			comps = splat
 		}
 		if len(comps) != ex.VT.Len {
-			return Value{}, fmt.Errorf("exec: vector literal arity mismatch")
+			return fmt.Errorf("exec: vector literal arity mismatch")
 		}
-		return Value{T: ex.VT, Vec: comps}, nil
+		*out = Value{T: ex.VT, Vec: comps}
+		return nil
 
 	case *ast.Cast:
-		v, err := t.evalExpr(ex.X)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.X, out); err != nil {
+			return err
 		}
 		switch to := ex.To.(type) {
 		case *cltypes.Scalar:
-			return convertScalar(v, to), nil
+			*out = convertScalar(out, to)
+			return nil
 		case *cltypes.Vector:
-			if vv, ok := v.T.(*cltypes.Vector); ok && vv.Equal(to) {
-				return v, nil
+			if vv, ok := out.T.(*cltypes.Vector); ok && vv.Equal(to) {
+				return nil
 			}
-			if vs, ok := v.T.(*cltypes.Scalar); ok {
+			if vs, ok := out.T.(*cltypes.Scalar); ok {
 				splat := make([]uint64, to.Len)
-				c := cltypes.Convert(v.Scalar, vs, to.Elem)
+				c := cltypes.Convert(out.Scalar, vs, to.Elem)
 				for i := range splat {
 					splat[i] = c
 				}
-				return Value{T: to, Vec: splat}, nil
+				*out = Value{T: to, Vec: splat}
+				return nil
 			}
-			return Value{}, fmt.Errorf("exec: bad vector cast from %s", v.T)
+			return fmt.Errorf("exec: bad vector cast from %s", out.T)
 		case *cltypes.Pointer:
-			if _, ok := v.T.(*cltypes.Pointer); ok {
-				return Value{T: to, Ptr: v.Ptr}, nil
+			if _, ok := out.T.(*cltypes.Pointer); ok {
+				*out = Value{T: to, Ptr: out.Ptr}
+				return nil
 			}
-			return Value{T: to}, nil // null constant
+			*out = Value{T: to} // null constant
+			return nil
 		}
-		return Value{}, fmt.Errorf("exec: bad cast to %s", ex.To)
+		return fmt.Errorf("exec: bad cast to %s", ex.To)
 	}
-	return Value{}, fmt.Errorf("exec: unknown expression %T", e)
+	return fmt.Errorf("exec: unknown expression %T", e)
 }
 
 func predefinedConst(name string) (uint64, bool) {
@@ -179,181 +197,203 @@ func predefinedConst(name string) (uint64, bool) {
 	return 0, false
 }
 
-func (t *thread) evalUnary(ex *ast.Unary) (Value, error) {
+func (t *thread) evalUnary(ex *ast.Unary, out *Value) error {
 	switch ex.Op {
 	case ast.AddrOf:
 		p, err := t.lvPtr(ex.X)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
-		return Value{T: ex.Type(), Ptr: p}, nil
+		*out = Value{T: ex.Type(), Ptr: p}
+		return nil
 	case ast.Deref:
-		v, err := t.evalExpr(ex.X)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.X, out); err != nil {
+			return err
 		}
-		target := v.Ptr.Target()
+		target := out.Ptr.Target()
 		if target == nil {
-			return Value{}, &CrashError{Msg: "null or dangling pointer dereference"}
+			return &CrashError{Msg: "null or dangling pointer dereference"}
 		}
-		if err := t.noteAccess(target, false, false); err != nil {
-			return Value{}, err
+		if t.m.opts.CheckRaces {
+			if err := t.noteAccess(target, false, false); err != nil {
+				return err
+			}
 		}
-		return loadCell(target)
+		return loadCell(target, t.m.unshared, out)
 	case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec:
 		lv, err := t.evalLV(ex.X)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
-		if lv.c != nil && lv.c.Shared {
+		if t.m.opts.CheckRaces && lv.c != nil && lv.c.Shared {
 			if err := t.noteAccess(lv.c, true, false); err != nil {
-				return Value{}, err
+				return err
 			}
 		}
-		old, err := lv.load()
-		if err != nil {
-			return Value{}, err
+		if err := lv.load(out); err != nil {
+			return err
 		}
-		st, ok := old.T.(*cltypes.Scalar)
+		st, ok := out.T.(*cltypes.Scalar)
 		if !ok {
-			return Value{}, fmt.Errorf("exec: ++/-- on %s", old.T)
+			return fmt.Errorf("exec: ++/-- on %s", out.T)
 		}
+		old := out.Scalar
 		var nv uint64
 		if ex.Op == ast.PreInc || ex.Op == ast.PostInc {
-			nv = cltypes.Add(old.Scalar, 1, st)
+			nv = cltypes.Add(old, 1, st)
 		} else {
-			nv = cltypes.Sub(old.Scalar, 1, st)
+			nv = cltypes.Sub(old, 1, st)
 		}
-		if err := lv.store(scalarValue(nv, st)); err != nil {
-			return Value{}, err
+		*out = scalarValue(nv, st)
+		if err := lv.store(out); err != nil {
+			return err
 		}
 		if ex.Op == ast.PostInc || ex.Op == ast.PostDec {
-			return scalarValue(old.Scalar, st), nil
+			*out = scalarValue(old, st)
 		}
-		return scalarValue(nv, st), nil
+		return nil
 	}
 	// Value-level unary operators.
-	v, err := t.evalExpr(ex.X)
-	if err != nil {
-		return Value{}, err
+	if err := t.evalExpr(ex.X, out); err != nil {
+		return err
 	}
-	switch vt := v.T.(type) {
+	switch vt := out.T.(type) {
 	case *cltypes.Scalar:
 		switch ex.Op {
 		case ast.Neg:
 			rt := ex.Type().(*cltypes.Scalar)
-			return scalarValue(cltypes.Neg(cltypes.Convert(v.Scalar, vt, rt), rt), rt), nil
+			*out = scalarValue(cltypes.Neg(cltypes.Convert(out.Scalar, vt, rt), rt), rt)
+			return nil
 		case ast.Pos:
 			rt := ex.Type().(*cltypes.Scalar)
-			return convertScalar(v, rt), nil
+			*out = convertScalar(out, rt)
+			return nil
 		case ast.BitNot:
 			rt := ex.Type().(*cltypes.Scalar)
-			return scalarValue(cltypes.Not(cltypes.Convert(v.Scalar, vt, rt), rt), rt), nil
+			*out = scalarValue(cltypes.Not(cltypes.Convert(out.Scalar, vt, rt), rt), rt)
+			return nil
 		case ast.LogNot:
-			return boolValue(!v.isTrue()), nil
+			*out = boolValue(!out.isTrue())
+			return nil
 		}
 	case *cltypes.Vector:
-		out := make([]uint64, vt.Len)
-		for i, c := range v.Vec {
+		res := make([]uint64, vt.Len)
+		for i, c := range out.Vec {
 			switch ex.Op {
 			case ast.Neg:
-				out[i] = cltypes.Neg(c, vt.Elem)
+				res[i] = cltypes.Neg(c, vt.Elem)
 			case ast.Pos:
-				out[i] = c
+				res[i] = c
 			case ast.BitNot:
-				out[i] = cltypes.Not(c, vt.Elem)
+				res[i] = cltypes.Not(c, vt.Elem)
 			case ast.LogNot:
 				if cltypes.Trunc(c, vt.Elem) == 0 {
-					out[i] = mask(vt.Elem) // component-wise !: -1 for true
+					res[i] = mask(vt.Elem) // component-wise !: -1 for true
 				} else {
-					out[i] = 0
+					res[i] = 0
 				}
 			}
 		}
 		rt := ex.Type().(*cltypes.Vector)
-		return Value{T: rt, Vec: out}, nil
+		*out = Value{T: rt, Vec: res}
+		return nil
 	case *cltypes.Pointer:
 		if ex.Op == ast.LogNot {
-			return boolValue(v.Ptr.IsNull()), nil
+			*out = boolValue(out.Ptr.IsNull())
+			return nil
 		}
 	}
-	return Value{}, fmt.Errorf("exec: invalid unary %s on %s", ex.Op, v.T)
+	return fmt.Errorf("exec: invalid unary %s on %s", ex.Op, out.T)
 }
 
 // mask returns the all-ones pattern of t (the OpenCL "true" for vector
 // comparison results).
 func mask(t *cltypes.Scalar) uint64 { return cltypes.Trunc(^uint64(0), t) }
 
-func (t *thread) evalBinary(ex *ast.Binary) (Value, error) {
+func (t *thread) evalBinary(ex *ast.Binary, out *Value) error {
 	if ex.Op == ast.Comma {
-		lv, err := t.evalExpr(ex.L)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.L, out); err != nil {
+			return err
 		}
-		rv, err := t.evalExpr(ex.R)
-		if err != nil {
-			return Value{}, err
+		if err := t.evalExpr(ex.R, out); err != nil {
+			return err
 		}
-		_ = lv
 		// Figure 2(f): Oclgrind mishandled the comma operator; the model
 		// makes the pair evaluate to zero instead of the right operand.
 		if t.m.opts.Defects.Has(bugs.WCComma) {
-			if rt, ok := rv.T.(*cltypes.Scalar); ok {
-				return scalarValue(0, rt), nil
+			if rt, ok := out.T.(*cltypes.Scalar); ok {
+				*out = scalarValue(0, rt)
 			}
 		}
-		return rv, nil
+		return nil
 	}
 	if ex.Op == ast.LAnd || ex.Op == ast.LOr {
 		if _, ok := ex.Type().(*cltypes.Vector); !ok {
 			// Scalar logical operators short-circuit.
-			lv, err := t.evalExpr(ex.L)
-			if err != nil {
-				return Value{}, err
+			if err := t.evalExpr(ex.L, out); err != nil {
+				return err
 			}
-			if ex.Op == ast.LAnd && !lv.isTrue() {
-				return boolValue(false), nil
+			if ex.Op == ast.LAnd && !out.isTrue() {
+				*out = boolValue(false)
+				return nil
 			}
-			if ex.Op == ast.LOr && lv.isTrue() {
-				return boolValue(true), nil
+			if ex.Op == ast.LOr && out.isTrue() {
+				*out = boolValue(true)
+				return nil
 			}
-			rv, err := t.evalExpr(ex.R)
-			if err != nil {
-				return Value{}, err
+			if err := t.evalExpr(ex.R, out); err != nil {
+				return err
 			}
-			return boolValue(rv.isTrue()), nil
+			*out = boolValue(out.isTrue())
+			return nil
 		}
 	}
-	lv, err := t.evalExpr(ex.L)
-	if err != nil {
-		return Value{}, err
+	var lv, rv *Value
+	d := t.tmpTop
+	if d+2 <= len(t.tmps) {
+		t.tmpTop = d + 2
+		lv, rv = &t.tmps[d], &t.tmps[d+1]
+	} else {
+		lv, rv = new(Value), new(Value) // pathological nesting depth
 	}
-	rv, err := t.evalExpr(ex.R)
-	if err != nil {
-		return Value{}, err
+	err := t.evalBinaryOperands(ex, lv, rv, out)
+	t.tmpTop = d
+	return err
+}
+
+// evalBinaryOperands evaluates both operands into the supplied temporaries
+// and applies the operator.
+func (t *thread) evalBinaryOperands(ex *ast.Binary, lv, rv, out *Value) error {
+	if err := t.evalExpr(ex.L, lv); err != nil {
+		return err
+	}
+	if err := t.evalExpr(ex.R, rv); err != nil {
+		return err
 	}
 	// Pointer comparisons.
 	if _, ok := lv.T.(*cltypes.Pointer); ok {
 		eq := lv.Ptr.Target() == rv.Ptr.Target()
 		if ex.Op == ast.EQ {
-			return boolValue(eq), nil
+			*out = boolValue(eq)
+		} else {
+			*out = boolValue(!eq)
 		}
-		return boolValue(!eq), nil
+		return nil
 	}
-	return t.applyBinary(ex.Op, lv, rv, ex.Type())
+	return t.applyBinary(ex.Op, lv, rv, ex.Type(), out)
 }
 
 // applyBinary computes a (possibly vector) binary operation with the result
-// type determined by sema.
-func (t *thread) applyBinary(op ast.BinOp, lv, rv Value, rt cltypes.Type) (Value, error) {
+// type determined by sema. out must not alias lv or rv.
+func (t *thread) applyBinary(op ast.BinOp, lv, rv *Value, rt cltypes.Type, out *Value) error {
 	if vt, ok := rt.(*cltypes.Vector); ok {
 		lc, err := vecComponents(lv, vt)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
 		rc, err := vecComponents(rv, vt)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
 		// The element type on which the operation is computed: for
 		// comparisons the result is a signed mask but the comparison
@@ -367,30 +407,31 @@ func (t *thread) applyBinary(op ast.BinOp, lv, rv Value, rt cltypes.Type) (Value
 				opElem = ovt.Elem
 			}
 		}
-		out := make([]uint64, vt.Len)
-		for i := range out {
+		res := make([]uint64, vt.Len)
+		for i := range res {
 			r, err := scalarBinOp(op, lc[i], rc[i], opElem, opElem)
 			if err != nil {
-				return Value{}, err
+				return err
 			}
 			if op.IsComparison() || op.IsLogical() {
 				if r != 0 {
-					out[i] = mask(vt.Elem)
+					res[i] = mask(vt.Elem)
 				}
 			} else {
-				out[i] = cltypes.Trunc(r, vt.Elem)
+				res[i] = cltypes.Trunc(r, vt.Elem)
 			}
 		}
-		return Value{T: vt, Vec: out}, nil
+		*out = Value{T: vt, Vec: res}
+		return nil
 	}
 	st, ok := rt.(*cltypes.Scalar)
 	if !ok {
-		return Value{}, fmt.Errorf("exec: bad binary result type %s", rt)
+		return fmt.Errorf("exec: bad binary result type %s", rt)
 	}
 	ls, lok := lv.T.(*cltypes.Scalar)
 	rs, rok := rv.T.(*cltypes.Scalar)
 	if !lok || !rok {
-		return Value{}, fmt.Errorf("exec: bad binary operands %s, %s", lv.T, rv.T)
+		return fmt.Errorf("exec: bad binary operands %s, %s", lv.T, rv.T)
 	}
 	if op.IsComparison() {
 		ct := cltypes.UsualArith(ls, rs)
@@ -398,30 +439,33 @@ func (t *thread) applyBinary(op ast.BinOp, lv, rv Value, rt cltypes.Type) (Value
 		b := cltypes.Convert(rv.Scalar, rs, ct)
 		r, err := scalarBinOp(op, a, b, ct, ct)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
-		return scalarValue(r, st), nil
+		*out = scalarValue(r, st)
+		return nil
 	}
 	if op == ast.Shl || op == ast.Shr {
 		pl := cltypes.Promote(ls)
 		a := cltypes.Convert(lv.Scalar, ls, pl)
 		r, err := shiftOp(op, a, rv.Scalar, pl, rs)
 		if err != nil {
-			return Value{}, err
+			return err
 		}
-		return scalarValue(r, st), nil
+		*out = scalarValue(r, st)
+		return nil
 	}
 	a := cltypes.Convert(lv.Scalar, ls, st)
 	b := cltypes.Convert(rv.Scalar, rs, st)
 	r, err := scalarBinOp(op, a, b, st, st)
 	if err != nil {
-		return Value{}, err
+		return err
 	}
-	return scalarValue(r, st), nil
+	*out = scalarValue(r, st)
+	return nil
 }
 
 // vecComponents extracts components from a vector or splats a scalar.
-func vecComponents(v Value, vt *cltypes.Vector) ([]uint64, error) {
+func vecComponents(v *Value, vt *cltypes.Vector) ([]uint64, error) {
 	switch t := v.T.(type) {
 	case *cltypes.Vector:
 		return v.Vec, nil
@@ -496,50 +540,92 @@ func shiftOp(op ast.BinOp, a, b uint64, t, bt *cltypes.Scalar) (uint64, error) {
 	return cltypes.Shr(a, b, t, bt), nil
 }
 
-func (t *thread) evalAssign(ex *ast.AssignExpr) (Value, error) {
+func (t *thread) evalAssign(ex *ast.AssignExpr, out *Value) error {
+	return t.evalAssignInner(ex, out)
+}
+
+// evalAssignInner performs the assignment; out == nil marks statement
+// position, where the expression's value is discarded and the post-store
+// reload (which exists only to produce that value) is skipped.
+func (t *thread) evalAssignInner(ex *ast.AssignExpr, out *Value) error {
+	var rv *Value
+	d := t.tmpTop
+	if d < len(t.tmps) {
+		t.tmpTop = d + 1
+		rv = &t.tmps[d]
+	} else {
+		rv = new(Value)
+	}
+	err := t.evalAssignStore(ex, rv, out)
+	t.tmpTop = d
+	return err
+}
+
+// evalCompound folds the destination's current value into rv for a
+// compound assignment, using tmp-stack slots for the operands.
+func (t *thread) evalCompound(ex *ast.AssignExpr, lv lval, rv *Value) error {
+	var old, combined *Value
+	d := t.tmpTop
+	if d+2 <= len(t.tmps) {
+		t.tmpTop = d + 2
+		old, combined = &t.tmps[d], &t.tmps[d+1]
+	} else {
+		old, combined = new(Value), new(Value)
+	}
+	err := lv.load(old)
+	if err == nil {
+		err = t.applyBinary(ex.Op.BinOp(), old, rv, compoundType(lv.typ(), rv.T), combined)
+	}
+	if err == nil {
+		*rv = *combined
+	}
+	t.tmpTop = d
+	return err
+}
+
+// evalAssignStore resolves the destination, computes the stored value into
+// the rv temporary, and applies the store plus its defect models.
+func (t *thread) evalAssignStore(ex *ast.AssignExpr, rv, out *Value) error {
 	lv, err := t.evalLV(ex.LHS)
 	if err != nil {
-		return Value{}, err
+		return err
 	}
-	rv, err := t.evalExpr(ex.RHS)
-	if err != nil {
-		return Value{}, err
+	if err := t.evalExpr(ex.RHS, rv); err != nil {
+		return err
 	}
-	var result Value
-	if ex.Op == ast.Assign {
-		result = rv
-	} else {
-		old, err := lv.load()
-		if err != nil {
-			return Value{}, err
-		}
-		result, err = t.applyBinary(ex.Op.BinOp(), old, rv, compoundType(lv.typ(), rv.T))
-		if err != nil {
-			return Value{}, err
+	if ex.Op != ast.Assign {
+		if err := t.evalCompound(ex, lv, rv); err != nil {
+			return err
 		}
 	}
 	// Defect models that drop stores or crash (Figures 1(d) and 2(c)).
 	drop, err := t.defectiveStore(ex)
 	if err != nil {
-		return Value{}, err
+		return err
 	}
 	if drop {
-		return result, nil
+		if out != nil {
+			*out = *rv
+		}
+		return nil
 	}
-	if lv.c != nil && lv.c.Shared {
+	if t.m.opts.CheckRaces && lv.c != nil && lv.c.Shared {
 		if err := t.noteAccess(lv.c, true, false); err != nil {
-			return Value{}, err
+			return err
 		}
 	}
-	if err := lv.store(result); err != nil {
-		return Value{}, err
+	if err := lv.store(rv); err != nil {
+		return err
 	}
 	// Struct-copy defect models (Figures 1(b) and the §6 struct problems):
 	// corrupt the destination after an otherwise successful copy.
 	if st, ok := lv.typ().(*cltypes.StructT); ok && !st.IsUnion && lv.c != nil {
 		t.corruptStructCopy(lv.c, st)
 	}
-	return lv.load()
+	if out == nil {
+		return nil
+	}
+	return lv.load(out)
 }
 
 // compoundType computes the intermediate type of a compound assignment.
@@ -616,7 +702,7 @@ func (t *thread) corruptStructCopy(dst *Cell, st *cltypes.StructT) {
 		for i, f := range st.Fields {
 			if at, ok := f.Type.(*cltypes.Array); ok && at.Len > 7 {
 				if _, ok := at.Elem.(*cltypes.Scalar); ok {
-					dst.Kids[i].Kids[7].storeScalar(0)
+					dst.Kids[i].Kids[7].storeScalar(0, t.m.unshared)
 				}
 			}
 		}
@@ -634,7 +720,7 @@ func (t *thread) corruptStructCopy(dst *Cell, st *cltypes.StructT) {
 		if hasAgg && len(st.Fields) > 0 {
 			last := dst.Kids[len(st.Fields)-1]
 			if _, ok := last.Typ.(*cltypes.Scalar); ok {
-				last.storeScalar(0)
+				last.storeScalar(0, t.m.unshared)
 			}
 		}
 	}

@@ -71,6 +71,12 @@ type Options struct {
 	Fuel int64
 	// CheckRaces enables the data race and barrier divergence checker.
 	CheckRaces bool
+	// NoBarrier is the front end's static guarantee that the program
+	// issues no barrier calls (sema.Info.HasBarrier == false). Together
+	// with CheckRaces being off it enables the sequential fast path: each
+	// work-group's threads run back-to-back on the calling goroutine with
+	// no goroutine spawns, no barrier object, and no atomic cell accesses.
+	NoBarrier bool
 	// HasFwdDecl is the front-end's report of a forward-declared function
 	// with a later definition, a trigger for the Figure 2(c) defects.
 	HasFwdDecl bool
@@ -82,7 +88,20 @@ type Options struct {
 // model against the paper's timeout rates.
 type Stats struct {
 	// MaxThreadSteps is the largest per-thread evaluation step count.
+	// Concurrent threads update it with a lock-free atomic max; read it
+	// only after Run returns.
 	MaxThreadSteps int64
+}
+
+// noteThreadSteps folds one thread's step count into MaxThreadSteps with a
+// compare-and-swap loop (an atomic max, replacing the former mutex).
+func (st *Stats) noteThreadSteps(used int64) {
+	for {
+		cur := atomic.LoadInt64(&st.MaxThreadSteps)
+		if used <= cur || atomic.CompareAndSwapInt64(&st.MaxThreadSteps, cur, used) {
+			return
+		}
+	}
 }
 
 // TimeoutError reports fuel exhaustion.
@@ -156,6 +175,15 @@ type Machine struct {
 	funcs    map[string]*ast.FuncDecl
 	atomicMu sync.Mutex
 
+	// sequential marks the goroutine-free fast path: barrier-free kernels
+	// (or single-thread work-groups) with race checking off run every
+	// thread of every work-group back-to-back on the calling goroutine.
+	sequential bool
+	// unshared mirrors sequential for the memory model: when the whole
+	// launch executes on one goroutine, loads and stores of shared cells
+	// skip the atomic operations that concurrent execution requires.
+	unshared bool
+
 	dead     atomic.Bool
 	failOnce sync.Once
 	err      error
@@ -179,15 +207,19 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 		opts.Fuel = 1 << 22
 	}
 	m := &Machine{
-		prog:       prog,
-		kernel:     kernel,
-		nd:         nd,
-		args:       args,
-		opts:       opts,
-		globals:    map[string]*Cell{},
-		funcs:      map[string]*ast.FuncDecl{},
-		abort:      make(chan struct{}),
-		interGroup: map[*Cell]*accessRec{},
+		prog:    prog,
+		kernel:  kernel,
+		nd:      nd,
+		args:    args,
+		opts:    opts,
+		globals: map[string]*Cell{},
+		funcs:   map[string]*ast.FuncDecl{},
+		abort:   make(chan struct{}),
+	}
+	m.sequential = !opts.CheckRaces && (opts.NoBarrier || nd.GroupLinear() == 1)
+	m.unshared = m.sequential
+	if opts.CheckRaces {
+		m.interGroup = map[*Cell]*accessRec{}
 	}
 	for _, f := range prog.Funcs {
 		if f.Body != nil {
@@ -199,11 +231,11 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 		c := NewCell(g.Type, cltypes.Constant)
 		if g.Init != nil {
 			th := &thread{m: m, fuel: opts.Fuel}
-			v, err := th.evalInit(g.Type, g.Init)
-			if err != nil {
+			var v Value
+			if err := th.evalInit(g.Type, g.Init, &v); err != nil {
 				return err
 			}
-			if err := storeCell(c, v); err != nil {
+			if err := storeCell(c, &v, true); err != nil {
 				return err
 			}
 		}
@@ -257,10 +289,24 @@ func (m *Machine) runGroup(gid [3]int) {
 		m:     m,
 		id:    gid,
 		local: map[*ast.VarDecl]*Cell{},
-		races: map[*Cell]*accessRec{},
+	}
+	if m.opts.CheckRaces {
+		g.races = map[*Cell]*accessRec{}
 	}
 	n := m.nd.GroupLinear()
+	if m.sequential {
+		m.runGroupSequential(g, n)
+		return
+	}
 	g.bar = newBarrier(n, g)
+	// Per-thread barrier-round counts, compared after the group finishes:
+	// the wait-based divergence check in barrier.quit only fires when some
+	// thread is still blocked, which depends on scheduling order; the
+	// count comparison makes the early-exit divergence deterministic.
+	var barCounts []int
+	if m.opts.CheckRaces {
+		barCounts = make([]int, n)
+	}
 	var wg sync.WaitGroup
 	for lz := 0; lz < m.nd.Local[2]; lz++ {
 		for ly := 0; ly < m.nd.Local[1]; ly++ {
@@ -272,12 +318,10 @@ func (m *Machine) runGroup(gid [3]int) {
 					th := m.newThread(g, lid)
 					err := th.runKernel()
 					if st := m.opts.Stats; st != nil {
-						used := m.opts.Fuel - th.fuel
-						m.raceMu.Lock()
-						if used > st.MaxThreadSteps {
-							st.MaxThreadSteps = used
-						}
-						m.raceMu.Unlock()
+						st.noteThreadSteps(m.opts.Fuel - th.fuel)
+					}
+					if barCounts != nil {
+						barCounts[th.lidLinear()] = th.barrierCount
 					}
 					if err != nil {
 						g.bar.quitErr()
@@ -292,6 +336,48 @@ func (m *Machine) runGroup(gid [3]int) {
 		}
 	}
 	wg.Wait()
+	if barCounts != nil && !m.dead.Load() {
+		for i := 1; i < n; i++ {
+			if barCounts[i] != barCounts[0] {
+				m.fail(&DivergenceError{Msg: fmt.Sprintf(
+					"threads of group %v executed different barrier counts (%d vs %d)",
+					g.id, barCounts[0], barCounts[i])})
+				break
+			}
+		}
+	}
+}
+
+// runGroupSequential executes the work-group's threads back-to-back on the
+// calling goroutine. It is valid whenever no thread can block on another:
+// the program issues no barriers (or the group has a single thread, for
+// which every barrier releases immediately), and race checking — whose
+// reports depend on interleaving — is off. No goroutines are spawned, no
+// WaitGroup is touched, and the barrier object is allocated only when the
+// program can actually reach a barrier call.
+func (m *Machine) runGroupSequential(g *groupCtx, n int) {
+	if !m.opts.NoBarrier {
+		// Single-thread group of a barrier-using kernel: every await
+		// releases immediately, but the builtin still needs the object.
+		g.bar = newBarrier(n, g)
+	}
+	for lz := 0; lz < m.nd.Local[2]; lz++ {
+		for ly := 0; ly < m.nd.Local[1]; ly++ {
+			for lx := 0; lx < m.nd.Local[0]; lx++ {
+				th := m.newThread(g, [3]int{lx, ly, lz})
+				err := th.runKernel()
+				if st := m.opts.Stats; st != nil {
+					if used := m.opts.Fuel - th.fuel; used > st.MaxThreadSteps {
+						st.MaxThreadSteps = used
+					}
+				}
+				if err != nil {
+					m.fail(err)
+					return
+				}
+			}
+		}
+	}
 }
 
 func (m *Machine) newThread(g *groupCtx, lid [3]int) *thread {

@@ -29,7 +29,7 @@ func boolValue(b bool) Value {
 }
 
 // isTrue reports whether the value is nonzero (scalar or pointer).
-func (v Value) isTrue() bool {
+func (v *Value) isTrue() bool {
 	if _, ok := v.T.(*cltypes.Pointer); ok {
 		return !v.Ptr.IsNull()
 	}
@@ -40,7 +40,7 @@ func (v Value) isTrue() bool {
 }
 
 // convertScalar converts v to scalar type to.
-func convertScalar(v Value, to *cltypes.Scalar) Value {
+func convertScalar(v *Value, to *cltypes.Scalar) Value {
 	from, ok := v.T.(*cltypes.Scalar)
 	if !ok {
 		// Pointer to bool contexts are handled by isTrue; anything else
@@ -50,36 +50,43 @@ func convertScalar(v Value, to *cltypes.Scalar) Value {
 	return Value{T: to, Scalar: cltypes.Convert(v.Scalar, from, to)}
 }
 
-// loadCell reads the full value stored in a cell.
-func loadCell(c *Cell) (Value, error) {
+// loadCell reads the full value stored in a cell into *out. unshared
+// propagates the machine's single-goroutine execution flag down to the
+// scalar accessors. Results are written with full struct assignments, so
+// out may be reused as scratch across calls.
+func loadCell(c *Cell, unshared bool, out *Value) error {
 	switch t := c.Typ.(type) {
 	case *cltypes.Scalar:
-		return Value{T: t, Scalar: c.loadScalar()}, nil
+		*out = Value{T: t, Scalar: c.loadScalar(unshared)}
+		return nil
 	case *cltypes.Vector:
-		out := make([]uint64, t.Len)
-		for i := range out {
-			out[i] = c.loadVecElem(i)
+		vec := make([]uint64, t.Len)
+		for i := range vec {
+			vec[i] = c.loadVecElem(i, unshared)
 		}
-		return Value{T: t, Vec: out}, nil
+		*out = Value{T: t, Vec: vec}
+		return nil
 	case *cltypes.Pointer:
-		return Value{T: t, Ptr: c.Ptr}, nil
+		*out = Value{T: t, Ptr: c.Ptr}
+		return nil
 	case *cltypes.StructT, *cltypes.Array:
 		// Aggregate load: detach a private deep copy.
 		cp := newCell(c.Typ, cltypes.Private, false)
-		if err := copyCell(cp, c); err != nil {
-			return Value{}, err
+		if err := copyCell(cp, c, unshared); err != nil {
+			return err
 		}
-		return Value{T: c.Typ, Agg: cp}, nil
+		*out = Value{T: c.Typ, Agg: cp}
+		return nil
 	}
-	return Value{}, fmt.Errorf("exec: cannot load cell of type %s", c.Typ)
+	return fmt.Errorf("exec: cannot load cell of type %s", c.Typ)
 }
 
 // storeCell writes a value into a cell, converting scalars as needed.
-func storeCell(c *Cell, v Value) error {
+func storeCell(c *Cell, v *Value, unshared bool) error {
 	switch t := c.Typ.(type) {
 	case *cltypes.Scalar:
 		if vs, ok := v.T.(*cltypes.Scalar); ok {
-			c.storeScalar(cltypes.Convert(v.Scalar, vs, t))
+			c.storeScalar(cltypes.Convert(v.Scalar, vs, t), unshared)
 			return nil
 		}
 		return fmt.Errorf("exec: cannot store %s into %s", v.T, t)
@@ -88,7 +95,7 @@ func storeCell(c *Cell, v Value) error {
 			return fmt.Errorf("exec: cannot store %s into %s", v.T, t)
 		}
 		for i := 0; i < t.Len; i++ {
-			c.storeVecElem(i, v.Vec[i])
+			c.storeVecElem(i, v.Vec[i], unshared)
 		}
 		return nil
 	case *cltypes.Pointer:
@@ -105,19 +112,19 @@ func storeCell(c *Cell, v Value) error {
 		if v.Agg == nil || !v.T.Equal(c.Typ) {
 			return fmt.Errorf("exec: cannot store %s into %s", v.T, c.Typ)
 		}
-		return copyCell(c, v.Agg)
+		return copyCell(c, v.Agg, unshared)
 	}
 	return fmt.Errorf("exec: cannot store into cell of type %s", c.Typ)
 }
 
 // copyCell deep-copies src into dst (same type).
-func copyCell(dst, src *Cell) error {
+func copyCell(dst, src *Cell, unshared bool) error {
 	switch t := dst.Typ.(type) {
 	case *cltypes.Scalar:
-		dst.storeScalar(src.loadScalar())
+		dst.storeScalar(src.loadScalar(unshared), unshared)
 	case *cltypes.Vector:
 		for i := 0; i < t.Len; i++ {
-			dst.storeVecElem(i, src.loadVecElem(i))
+			dst.storeVecElem(i, src.loadVecElem(i, unshared), unshared)
 		}
 	case *cltypes.Pointer:
 		dst.Ptr = src.Ptr
@@ -127,13 +134,13 @@ func copyCell(dst, src *Cell) error {
 			return nil
 		}
 		for i := range dst.Kids {
-			if err := copyCell(dst.Kids[i], src.Kids[i]); err != nil {
+			if err := copyCell(dst.Kids[i], src.Kids[i], unshared); err != nil {
 				return err
 			}
 		}
 	case *cltypes.Array:
 		for i := range dst.Kids {
-			if err := copyCell(dst.Kids[i], src.Kids[i]); err != nil {
+			if err := copyCell(dst.Kids[i], src.Kids[i], unshared); err != nil {
 				return err
 			}
 		}
@@ -144,37 +151,41 @@ func copyCell(dst, src *Cell) error {
 }
 
 // lval is an assignable location: a direct cell, a union field view, or a
-// single vector component.
+// single vector component. It carries the machine's unshared flag so that
+// loads and stores through it use the right memory discipline.
 type lval struct {
-	c      *Cell        // direct cell, or the vector cell / union cell
-	uField cltypes.Type // union field view type (c is the union cell)
-	vecIdx int          // >=0: component of the vector in c
+	c        *Cell        // direct cell, or the vector cell / union cell
+	uField   cltypes.Type // union field view type (c is the union cell)
+	vecIdx   int          // >=0: component of the vector in c
+	unshared bool         // single-goroutine launch: plain accesses suffice
 }
 
-func directLV(c *Cell) lval { return lval{c: c, vecIdx: -1} }
+func directLV(c *Cell, unshared bool) lval { return lval{c: c, vecIdx: -1, unshared: unshared} }
 
-func (l lval) load() (Value, error) {
+func (l lval) load(out *Value) error {
 	if l.uField != nil {
 		cp := newCell(l.uField, cltypes.Private, false)
 		if err := decodeInto(cp, l.c.Bytes); err != nil {
-			return Value{}, err
+			return err
 		}
-		return loadCell(cp)
+		return loadCell(cp, l.unshared, out)
 	}
 	if l.vecIdx >= 0 {
 		vt := l.c.Typ.(*cltypes.Vector)
-		return Value{T: vt.Elem, Scalar: l.c.loadVecElem(l.vecIdx)}, nil
+		*out = Value{T: vt.Elem, Scalar: l.c.loadVecElem(l.vecIdx, l.unshared)}
+		return nil
 	}
-	return loadCell(l.c)
+	return loadCell(l.c, l.unshared, out)
 }
 
-func (l lval) store(v Value) error {
+func (l lval) store(v *Value) error {
 	if l.uField != nil {
 		// Write-through the union view: encode the field value at offset 0
 		// (all union members share offset 0).
 		if _, ok := l.uField.(*cltypes.Scalar); ok {
 			if vs, sok := v.T.(*cltypes.Scalar); sok {
-				v = convertScalar(Value{T: vs, Scalar: v.Scalar}, l.uField.(*cltypes.Scalar))
+				cv := convertScalar(&Value{T: vs, Scalar: v.Scalar}, l.uField.(*cltypes.Scalar))
+				v = &cv
 			}
 		}
 		return encodeValue(l.c.Bytes, v, l.uField)
@@ -182,12 +193,12 @@ func (l lval) store(v Value) error {
 	if l.vecIdx >= 0 {
 		vt := l.c.Typ.(*cltypes.Vector)
 		if vs, ok := v.T.(*cltypes.Scalar); ok {
-			l.c.storeVecElem(l.vecIdx, cltypes.Convert(v.Scalar, vs, vt.Elem))
+			l.c.storeVecElem(l.vecIdx, cltypes.Convert(v.Scalar, vs, vt.Elem), l.unshared)
 			return nil
 		}
 		return fmt.Errorf("exec: cannot store %s into vector component", v.T)
 	}
-	return storeCell(l.c, v)
+	return storeCell(l.c, v, l.unshared)
 }
 
 // typ returns the type of the location.

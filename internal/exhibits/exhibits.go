@@ -460,7 +460,10 @@ kernel void entry(global ulong *out) {
 // documented misbehaviour. It returns a descriptive error on any mismatch.
 func Verify(e *Exhibit) error {
 	ref := device.Reference()
-	cr := ref.Compile(e.Src, true)
+	// One front end serves the reference compile and every affected
+	// configuration below.
+	fe := device.DefaultFrontCache.Get(e.Src)
+	cr := ref.CompileFrontEnd(fe, true)
 	if cr.Outcome != device.OK {
 		return fmt.Errorf("%s: reference compile failed: %s", e.ID, cr.Msg)
 	}
@@ -479,7 +482,7 @@ func Verify(e *Exhibit) error {
 		if cfg == nil {
 			return fmt.Errorf("%s: unknown config %d", e.ID, a.ConfigID)
 		}
-		cres := cfg.Compile(e.Src, a.Optimize)
+		cres := cfg.CompileFrontEnd(fe, a.Optimize)
 		switch a.Kind {
 		case BuildFails:
 			if cres.Outcome != device.BuildFailure {

@@ -16,10 +16,14 @@ import (
 // checker enabled — the determinism-by-construction property of §4.2.
 func TestGeneratedKernelsAreWellFormed(t *testing.T) {
 	ref := device.Reference()
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 3 // CI keeps a smoke slice of the property
+	}
 	for _, mode := range generator.Modes {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			for seed := int64(0); seed < 12; seed++ {
+			for seed := int64(0); seed < seeds; seed++ {
 				k := generator.Generate(generator.Options{Mode: mode, Seed: seed, MaxTotalThreads: 64})
 				// Round-trip: print -> parse -> print must be stable.
 				prog, err := parser.Parse(k.Src)
@@ -48,10 +52,14 @@ func TestGeneratedKernelsAreWellFormed(t *testing.T) {
 // the correctness property random differential testing relies on (§3.2).
 func TestGeneratedKernelsDeterministic(t *testing.T) {
 	ref := device.Reference()
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
 	for _, mode := range generator.Modes {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			for seed := int64(100); seed < 106; seed++ {
+			for seed := int64(100); seed < 100+seeds; seed++ {
 				k := generator.Generate(generator.Options{Mode: mode, Seed: seed, MaxTotalThreads: 64})
 				var outputs [][]uint64
 				for _, optimize := range []bool{false, true, false, true} {
@@ -83,7 +91,11 @@ func TestGeneratedKernelsDeterministic(t *testing.T) {
 // exercise the blocks.
 func TestEMIBlocksAreDead(t *testing.T) {
 	ref := device.Reference()
-	for seed := int64(0); seed < 8; seed++ {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		k := generator.Generate(generator.Options{Mode: ModeAllFor(t), Seed: seed, MaxTotalThreads: 48, EMIBlocks: 3})
 		cr := ref.Compile(k.Src, false)
 		if cr.Outcome != device.OK {

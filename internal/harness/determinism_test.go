@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/oracle"
+)
+
+// goldenSeeds is the fixed seed set the compile-cache regression tests run
+// over: a mix of generator modes exercising scalars, vectors, barriers and
+// structs, so the cached front end is compared against the uncached path
+// across every compilation shape.
+type goldenSeed struct {
+	mode generator.Mode
+	seed int64
+}
+
+var goldenSeeds = []goldenSeed{
+	{generator.ModeBasic, 42},
+	{generator.ModeBasic, 1000},
+	{generator.ModeVector, 7},
+	{generator.ModeBarrier, 11},
+	{generator.ModeAll, 5},
+}
+
+func goldenCases(t *testing.T) []Case {
+	t.Helper()
+	seeds := goldenSeeds
+	if testing.Short() {
+		// CI skips the long-running ModeBasic/1000 kernel (the
+		// BenchmarkDifferentialTest workload); full runs keep it.
+		seeds = []goldenSeed{goldenSeeds[0], goldenSeeds[2], goldenSeeds[3], goldenSeeds[4]}
+	}
+	cases := make([]Case, 0, len(seeds))
+	for _, gs := range seeds {
+		k := generator.Generate(generator.Options{
+			Mode: gs.mode, Seed: gs.seed, MaxTotalThreads: 16,
+		})
+		cases = append(cases, CaseFromKernel(k, fmt.Sprintf("golden-%s-%d", gs.mode, gs.seed)))
+	}
+	return cases
+}
+
+func requireSameResults(t *testing.T, label string, got, want []oracle.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Key != w.Key {
+			t.Fatalf("%s[%d]: key %q, want %q", label, i, g.Key, w.Key)
+		}
+		if g.Outcome != w.Outcome {
+			t.Fatalf("%s[%d] %s: outcome %v, want %v", label, i, g.Key, g.Outcome, w.Outcome)
+		}
+		if len(g.Output) != len(w.Output) {
+			t.Fatalf("%s[%d] %s: %d outputs, want %d", label, i, g.Key, len(g.Output), len(w.Output))
+		}
+		for j := range w.Output {
+			if g.Output[j] != w.Output[j] {
+				t.Fatalf("%s[%d] %s: out[%d] = %#x, want %#x", label, i, g.Key, j, g.Output[j], w.Output[j])
+			}
+		}
+	}
+}
+
+// TestCompileCacheDeterminism asserts the central compile-once invariant:
+// RunEverywhere through the shared front-end cache (with model-level run
+// deduplication) produces byte-identical oracle.Result sets — keys,
+// outcomes and outputs — to the cache-bypassing path that re-lexes and
+// re-parses the source for every (configuration, level) pair.
+func TestCompileCacheDeterminism(t *testing.T) {
+	cfgs := device.All()
+	for _, c := range goldenCases(t) {
+		got := RunEverywhere(cfgs, c, 0)
+		want := RunEverywhereUncached(cfgs, c, 0)
+		requireSameResults(t, c.Name, got, want)
+	}
+}
+
+// TestConcurrentCampaignsDeterministic runs two full campaigns over the
+// golden seeds concurrently, sharing device.DefaultFrontCache, and checks
+// both against the uncached reference. Run under -race this also verifies
+// the cache's synchronization.
+func TestConcurrentCampaignsDeterministic(t *testing.T) {
+	cfgs := device.All()
+	cases := goldenCases(t)
+	want := make([][]oracle.Result, len(cases))
+	for i, c := range cases {
+		want[i] = RunEverywhereUncached(cfgs, c, 0)
+	}
+	const campaigns = 2
+	got := make([][][]oracle.Result, campaigns)
+	var wg sync.WaitGroup
+	for ci := 0; ci < campaigns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			got[ci] = make([][]oracle.Result, len(cases))
+			for i, c := range cases {
+				got[ci][i] = RunEverywhere(cfgs, c, 0)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	for ci := 0; ci < campaigns; ci++ {
+		for i, c := range cases {
+			requireSameResults(t, fmt.Sprintf("campaign%d/%s", ci, c.Name), got[ci][i], want[i])
+		}
+	}
+}
+
+// TestFrontCacheSharing checks that a campaign actually hits the cache:
+// compiling one source across every configuration and level must parse it
+// exactly once.
+func TestFrontCacheSharing(t *testing.T) {
+	fc := device.NewFrontCache(8)
+	k := generator.Generate(generator.Options{Mode: generator.ModeBasic, Seed: 3, MaxTotalThreads: 8})
+	for _, cfg := range device.All() {
+		for _, opt := range []bool{false, true} {
+			fe := fc.Get(k.Src)
+			cr := cfg.CompileFrontEnd(fe, opt)
+			_ = cr
+		}
+	}
+	hits, misses, size := fc.Stats()
+	if misses != 1 || size != 1 {
+		t.Fatalf("expected exactly one parse, got hits=%d misses=%d size=%d", hits, misses, size)
+	}
+	if hits != uint64(len(device.All())*2-1) {
+		t.Fatalf("expected %d hits, got %d", len(device.All())*2-1, hits)
+	}
+}

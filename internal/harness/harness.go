@@ -41,10 +41,18 @@ func Key(cfg *device.Config, optimize bool) string {
 }
 
 // RunOn compiles and executes the case on one configuration at one
-// optimization level.
+// optimization level. The front end comes from the shared compile cache;
+// callers that already hold a FrontEnd for the case (RunEverywhere does)
+// should use RunOnFE to skip even the cache lookup.
 func RunOn(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Result {
+	return RunOnFE(cfg, optimize, device.DefaultFrontCache.Get(c.Src), c, baseFuel)
+}
+
+// RunOnFE executes the case on one configuration at one optimization
+// level, reusing a previously parsed front end for the case source.
+func RunOnFE(cfg *device.Config, optimize bool, fe *device.FrontEnd, c Case, baseFuel int64) oracle.Result {
 	key := Key(cfg, optimize)
-	cr := cfg.Compile(c.Src, optimize)
+	cr := cfg.CompileFrontEnd(fe, optimize)
 	if cr.Outcome != device.OK {
 		return oracle.Result{Key: key, Outcome: cr.Outcome}
 	}
@@ -53,9 +61,25 @@ func RunOn(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Res
 	return oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
 }
 
+// RunOnUncached is RunOn with front-end memoization bypassed: the source
+// is re-lexed and re-parsed for this call. It is the reference path the
+// compile-cache determinism tests compare against.
+func RunOnUncached(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Result {
+	return RunOnFE(cfg, optimize, device.ParseFrontEnd(c.Src), c, baseFuel)
+}
+
 // RunEverywhere runs the case on every configuration at both optimization
-// levels, in parallel, returning results keyed per Key.
+// levels, in parallel, returning results keyed per Key. The case source is
+// parsed exactly once; each (configuration, level) pair runs only the
+// cheap per-configuration back end.
 func RunEverywhere(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Result {
+	return runEverywhereFE(cfgs, device.DefaultFrontCache.Get(c.Src), c, baseFuel)
+}
+
+// RunEverywhereUncached is RunEverywhere with the front-end cache
+// bypassed: every (configuration, level) pair re-parses the source, as the
+// seed harness did. Used by the determinism tests.
+func RunEverywhereUncached(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Result {
 	type job struct {
 		cfg *device.Config
 		opt bool
@@ -66,8 +90,73 @@ func RunEverywhere(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Resul
 	}
 	results := make([]oracle.Result, len(jobs))
 	parallelFor(len(jobs), func(i int) {
-		results[i] = RunOn(jobs[i].cfg, jobs[i].opt, c, baseFuel)
+		results[i] = RunOnUncached(jobs[i].cfg, jobs[i].opt, c, baseFuel)
 	})
+	return results
+}
+
+// modelKey identifies everything about a (configuration, level) pair that
+// can influence a test outcome in the simulation: the full defect model
+// and whether the optimizer effectively runs. Pairs with equal keys are
+// byte-for-byte interchangeable — the executor is deterministic — so a
+// campaign runs one representative per model and copies the result to the
+// others. Table 1's four identical NVIDIA entries, the shared Intel CPU
+// no-opt model, and Oclgrind's ignored optimization flag all collapse.
+type modelKey struct {
+	lvl device.Level
+	// effOpt is the optimization setting after NoOptimizer is applied.
+	effOpt bool
+}
+
+func jobModelKey(cfg *device.Config, optimize bool) modelKey {
+	return modelKey{lvl: cfg.Level(optimize), effOpt: optimize && !cfg.NoOptimizer}
+}
+
+// groupJobs partitions job indices 0..n-1 into representatives (first job
+// of each distinct key, in order) and followers (job index → its
+// representative's index). Campaigns use it to run one job per defect
+// model and copy the deterministic result to the others.
+func groupJobs[K comparable](n int, key func(i int) K) (reps []int, follower map[int]int) {
+	follower = make(map[int]int)
+	seen := make(map[K]int, n)
+	for i := 0; i < n; i++ {
+		k := key(i)
+		if r, ok := seen[k]; ok {
+			follower[i] = r
+		} else {
+			seen[k] = i
+			reps = append(reps, i)
+		}
+	}
+	return reps, follower
+}
+
+func runEverywhereFE(cfgs []*device.Config, fe *device.FrontEnd, c Case, baseFuel int64) []oracle.Result {
+	type job struct {
+		cfg *device.Config
+		opt bool
+	}
+	var jobs []job
+	for _, cfg := range cfgs {
+		jobs = append(jobs, job{cfg, false}, job{cfg, true})
+	}
+	// Group jobs by defect model; run one representative per group.
+	reps, follower := groupJobs(len(jobs), func(i int) modelKey {
+		return jobModelKey(jobs[i].cfg, jobs[i].opt)
+	})
+	results := make([]oracle.Result, len(jobs))
+	parallelFor(len(reps), func(ri int) {
+		i := reps[ri]
+		results[i] = RunOnFE(jobs[i].cfg, jobs[i].opt, fe, c, baseFuel)
+	})
+	for i, r := range follower {
+		src := results[r]
+		out := src.Output
+		if out != nil {
+			out = append([]uint64(nil), out...)
+		}
+		results[i] = oracle.Result{Key: Key(jobs[i].cfg, jobs[i].opt), Outcome: src.Outcome, Output: out}
+	}
 	return results
 }
 

@@ -67,12 +67,13 @@ func ClassifyConfigurations(perMode int, seed int64, maxThreads int, baseFuel in
 	observations := make([]obs, len(kernels))
 	parallelFor(len(kernels), func(i int) {
 		c := CaseFromKernel(kernels[i], fmt.Sprintf("init-%d", i))
+		fe := device.DefaultFrontCache.Get(c.Src)
 		var rs []oracle.Result
 		compileTO := map[string]bool{}
 		for _, cfg := range cfgs {
 			for _, optimize := range []bool{false, true} {
 				key := Key(cfg, optimize)
-				cr := cfg.Compile(c.Src, optimize)
+				cr := cfg.CompileFrontEnd(fe, optimize)
 				if cr.Outcome != device.OK {
 					rs = append(rs, oracle.Result{Key: key, Outcome: cr.Outcome})
 					if cr.Outcome == device.Timeout {

@@ -100,15 +100,19 @@ func EMIBenchmarkCampaign(variantsPerBench int, seed int64, baseFuel int64) *Tab
 	for _, bench := range benchmarks.Clean() {
 		t.Benchmarks = append(t.Benchmarks, bench.Name)
 		row := map[string]Table3Cell{}
+		// The unmodified benchmark source is compiled once per
+		// (configuration, level); parse it a single time up front.
+		benchFE := device.DefaultFrontCache.Get(bench.Src)
 		// Reference expected output (empty EMI block == original kernel).
-		expected, ok := runBenchmarkOnce(ref, true, bench, bench.Src, baseFuel)
+		expected, ok := runBenchmarkOnce(ref, true, bench, benchFE, baseFuel)
 		if !ok {
 			continue // reference failure would be a harness bug; tests assert it
 		}
 		// Build the variant set once: per seed, substitutions on/off, with
-		// a pruning applied to half of them.
+		// a pruning applied to half of them. Each variant source is shared
+		// by every (configuration, level) pair, so parse each one once.
 		type variant struct {
-			src    string
+			fe     *device.FrontEnd
 			subsOn bool
 		}
 		var variants []variant
@@ -118,7 +122,7 @@ func EMIBenchmarkCampaign(variantsPerBench int, seed int64, baseFuel int64) *Tab
 				if err != nil {
 					continue
 				}
-				variants = append(variants, variant{src: src, subsOn: subs})
+				variants = append(variants, variant{fe: device.DefaultFrontCache.Get(src), subsOn: subs})
 			}
 		}
 		type obs struct {
@@ -142,7 +146,7 @@ func EMIBenchmarkCampaign(variantsPerBench int, seed int64, baseFuel int64) *Tab
 		results := make([]obs, len(jobs))
 		parallelFor(len(jobs), func(i int) {
 			j := jobs[i]
-			out, okRun := runBenchmarkEMI(j.cfg, j.opt, bench, variants[j.vi].src, baseFuel)
+			out, okRun := runBenchmarkEMI(j.cfg, j.opt, bench, variants[j.vi].fe, baseFuel)
 			o := obs{subsOn: variants[j.vi].subsOn}
 			o.outcome = out.Outcome
 			if out.Outcome == device.OK {
@@ -157,7 +161,7 @@ func EMIBenchmarkCampaign(variantsPerBench int, seed int64, baseFuel int64) *Tab
 		for _, cfg := range testCfgs {
 			ng := false
 			for _, opt := range []bool{false, true} {
-				out, okRun := runBenchmarkEMI(cfg, opt, bench, bench.Src, baseFuel)
+				out, okRun := runBenchmarkEMI(cfg, opt, bench, benchFE, baseFuel)
 				if !okRun || out.Outcome != device.OK || !oracle.Equal(out.Output, expected) {
 					ng = true
 				}
@@ -228,19 +232,19 @@ func injectedVariant(src string, seed int64, substitute, prune bool) (string, er
 
 // runBenchmarkOnce runs the unmodified benchmark on a configuration and
 // returns its output.
-func runBenchmarkOnce(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, src string, baseFuel int64) ([]uint64, bool) {
-	out, ok := runBenchmarkEMI(cfg, optimize, bench, src, baseFuel)
+func runBenchmarkOnce(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, fe *device.FrontEnd, baseFuel int64) ([]uint64, bool) {
+	out, ok := runBenchmarkEMI(cfg, optimize, bench, fe, baseFuel)
 	if !ok || out.Outcome != device.OK {
 		return nil, false
 	}
 	return out.Output, true
 }
 
-// runBenchmarkEMI compiles and runs a benchmark source (possibly EMI-
+// runBenchmarkEMI compiles and runs a benchmark front end (possibly EMI-
 // injected) on a configuration, wiring the host-initialized dead array
 // when the kernel declares one.
-func runBenchmarkEMI(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, src string, baseFuel int64) (device.RunResult, bool) {
-	cr := cfg.Compile(src, optimize)
+func runBenchmarkEMI(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, fe *device.FrontEnd, baseFuel int64) (device.RunResult, bool) {
+	cr := cfg.CompileFrontEnd(fe, optimize)
 	if cr.Outcome != device.OK {
 		return device.RunResult{Outcome: cr.Outcome, Msg: cr.Msg}, true
 	}

@@ -60,15 +60,20 @@ func EMICampaign(bases int, seed int64, maxThreads int, baseFuel int64) *Table5 
 		if err != nil {
 			continue // cannot happen for generated kernels
 		}
-		// The variant sources are shared across configurations.
+		// The variant sources are shared across configurations: parse each
+		// one exactly once and fan the front end out to every
+		// (configuration, level) job.
 		variants := make([]string, len(grid))
+		variantFEs := make([]*device.FrontEnd, len(grid))
 		for gi, po := range grid {
 			po.Seed = base.Seed*41 + int64(gi)
-			vp, err := emi.Prune(prog, po)
-			if err != nil {
-				continue
+			if vp, err := emi.Prune(prog, po); err == nil {
+				variants[gi] = ast.Print(vp)
 			}
-			variants[gi] = ast.Print(vp)
+			// A failed pruning leaves the empty source, whose front end
+			// reports a parse error that every configuration counts as a
+			// build failure — the behaviour of the pre-cache harness.
+			variantFEs[gi] = device.DefaultFrontCache.Get(variants[gi])
 		}
 		// Run all (variant, config, level) combinations in parallel.
 		type job struct {
@@ -82,13 +87,34 @@ func EMICampaign(bases int, seed int64, maxThreads int, baseFuel int64) *Table5 
 				jobs = append(jobs, job{gi, cfg, false}, job{gi, cfg, true})
 			}
 		}
+		// Group (variant, configuration, level) jobs that share a defect
+		// model: their runs are deterministic replicas, so one execution
+		// serves every configuration with that model (see modelKey).
+		type vKey struct {
+			gi int
+			mk modelKey
+		}
+		reps, follower := groupJobs(len(jobs), func(i int) vKey {
+			return vKey{jobs[i].gi, jobModelKey(jobs[i].cfg, jobs[i].opt)}
+		})
 		results := make([]variantResult, len(jobs))
-		parallelFor(len(jobs), func(i int) {
+		parallelFor(len(reps), func(ri int) {
+			i := reps[ri]
 			j := jobs[i]
 			c := Case{Src: variants[j.gi], ND: base.ND, Buffers: base.Buffers}
-			r := RunOn(j.cfg, j.opt, c, baseFuel)
+			r := RunOnFE(j.cfg, j.opt, variantFEs[j.gi], c, baseFuel)
 			results[i] = variantResult{outcome: r.Outcome, output: r.Output}
 		})
+		for i, r := range follower {
+			cp := results[r]
+			if cp.output != nil {
+				// Detach the follower's output so a future in-place
+				// mutation of one result cannot corrupt its replicas
+				// (mirrors runEverywhereFE).
+				cp.output = append([]uint64(nil), cp.output...)
+			}
+			results[i] = cp
+		}
 		// Classify per configuration-level.
 		perKey := map[string][]variantResult{}
 		perKeyGrid := map[string][]int{}

@@ -507,6 +507,7 @@ func (c *checker) checkMember(ex *ast.Member) (ast.Expr, error) {
 		if i < 0 {
 			return nil, c.errf("no member %q in %s", ex.Name, t)
 		}
+		ex.FieldIdx = i + 1
 		ex.SetType(t.Fields[i].Type)
 		if t.Fields[i].Volatile {
 			c.info.HasVolatile = true
