@@ -2,12 +2,13 @@
 // evaluation (§7). Each benchmark runs its campaign at a laptop scale —
 // set -clfuzz.scale to enlarge — and logs the rendered table so that
 // `go test -bench=. -benchmem` reproduces the full evaluation.
-// EXPERIMENTS.md records paper-vs-measured shape for each artifact.
+// ARCHITECTURE.md maps each artifact to its campaign runner.
 package clfuzz_test
 
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"clfuzz/internal/benchmarks"
@@ -191,7 +192,8 @@ func BenchmarkCompileUncached(b *testing.B) {
 	}
 }
 
-// BenchmarkExecute measures NDRange execution of a compiled kernel.
+// BenchmarkExecute measures NDRange execution of a compiled kernel on the
+// fully serial executor.
 func BenchmarkExecute(b *testing.B) {
 	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
 	ref := device.Reference()
@@ -203,6 +205,29 @@ func BenchmarkExecute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		args, result := k.Buffers()
 		rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{})
+		if rr.Outcome != device.OK {
+			b.Fatal(rr.Msg)
+		}
+	}
+}
+
+// BenchmarkExecuteParallel measures the same launch with the work-group
+// fan-out budget set to the whole machine (RunOptions.Workers), the
+// configuration the single-shot hosts (clrun, cldiff, the reducer) use.
+// Output is byte-identical to BenchmarkExecute's; only the schedule
+// differs, so the ratio of the two is the group-parallel speedup.
+func BenchmarkExecuteParallel(b *testing.B) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	ref := device.Reference()
+	cr := ref.Compile(k.Src, true)
+	if cr.Outcome != device.OK {
+		b.Fatal(cr.Msg)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args, result := k.Buffers()
+		rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{Workers: workers})
 		if rr.Outcome != device.OK {
 			b.Fatal(rr.Msg)
 		}

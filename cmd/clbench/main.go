@@ -33,13 +33,20 @@ type metrics struct {
 }
 
 type snapshot struct {
-	Schema     string             `json:"schema"`
-	CapturedAt string             `json:"captured_at,omitempty"`
-	Commit     string             `json:"commit,omitempty"`
-	Go         string             `json:"go"`
-	CPU        string             `json:"cpu,omitempty"`
-	Notes      string             `json:"notes,omitempty"`
-	Benchmarks map[string]metrics `json:"benchmarks"`
+	Schema     string `json:"schema"`
+	CapturedAt string `json:"captured_at,omitempty"`
+	Commit     string `json:"commit,omitempty"`
+	Go         string `json:"go"`
+	CPU        string `json:"cpu,omitempty"`
+	// CPUs is GOMAXPROCS at capture time: the parallel benchmarks
+	// (BenchmarkExecuteParallel, the campaign tables) scale with it, so
+	// snapshots from different machines are only comparable through it.
+	CPUs int `json:"cpus,omitempty"`
+	// GroupWorkers is the work-group fan-out budget the parallel execute
+	// benchmark ran with (RunOptions.Workers).
+	GroupWorkers int                `json:"group_workers,omitempty"`
+	Notes        string             `json:"notes,omitempty"`
+	Benchmarks   map[string]metrics `json:"benchmarks"`
 }
 
 func measure(name string, out map[string]metrics, fn func(b *testing.B)) {
@@ -104,6 +111,21 @@ func main() {
 			}
 		}
 	})
+	groupWorkers := runtime.GOMAXPROCS(0)
+	measure("BenchmarkExecuteParallel", bm, func(b *testing.B) {
+		cr := ref.Compile(k.Src, true)
+		if cr.Outcome != device.OK {
+			b.Fatal(cr.Msg)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args, result := k.Buffers()
+			rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{Workers: groupWorkers})
+			if rr.Outcome != device.OK {
+				b.Fatal(rr.Msg)
+			}
+		}
+	})
 	measure("BenchmarkDifferentialTest", bm, func(b *testing.B) {
 		cfgs := harness.AboveThresholdConfigs()
 		for i := 0; i < b.N; i++ {
@@ -140,9 +162,11 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:     "clfuzz-bench/v1",
-		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		Benchmarks: bm,
+		Schema:       "clfuzz-bench/v1",
+		Go:           runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPUs:         runtime.GOMAXPROCS(0),
+		GroupWorkers: groupWorkers,
+		Benchmarks:   bm,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"clfuzz/internal/device"
@@ -27,6 +28,8 @@ func main() {
 	noopt := flag.Bool("noopt", false, "disable optimizations (-cl-opt-disable)")
 	ndFlag := flag.String("nd", "16x1x1/16x1x1", "NDRange as GXxGYxGZ/LXxLYxLZ")
 	races := flag.Bool("races", false, "enable the data race and barrier divergence checker")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"work-group fan-out budget (1 = fully serial executor; results are identical either way)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: clrun [flags] kernel.cl")
@@ -56,7 +59,7 @@ func main() {
 		os.Exit(1)
 	}
 	args, result := c.Buffers()
-	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{CheckRaces: *races})
+	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{CheckRaces: *races, Workers: *workers})
 	fmt.Printf("outcome: %s\n", rr.Outcome)
 	if rr.Msg != "" {
 		fmt.Println(rr.Msg)

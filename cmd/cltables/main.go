@@ -2,7 +2,7 @@
 // Table 1 (configuration classification), Table 2 (benchmark inventory),
 // Table 3 (EMI over benchmarks), Table 4 (intensive CLsmith testing),
 // Table 5 (CLsmith+EMI) and the Figure 1/2 bug exhibits. The campaign
-// sizes scale with -scale; EXPERIMENTS.md records paper-vs-measured shape.
+// sizes scale with -scale; ARCHITECTURE.md maps each table to its runner.
 //
 // Usage:
 //

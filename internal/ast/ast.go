@@ -1,8 +1,3 @@
-// Package ast defines the abstract syntax tree for the OpenCL C subset used
-// by the fuzzer, together with a printer that renders trees back to OpenCL C
-// source. The generator builds trees directly; the per-configuration
-// compilers parse printed source back into trees, so the printer and parser
-// round-trip.
 package ast
 
 import (

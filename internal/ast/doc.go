@@ -1,0 +1,12 @@
+// Package ast defines the abstract syntax tree for the OpenCL C subset
+// used by the fuzzer, together with a printer that renders trees back to
+// OpenCL C source. The generator builds trees directly; the
+// per-configuration compilers parse printed source back into trees, so
+// the printer and parser round-trip.
+//
+// CloneProgram/CloneExpr produce the deep copies the per-configuration
+// back end mutates (the shared, cached front end is never modified).
+// VarRef carries an atomically accessed evaluator slot cache; everything
+// else is plain data. File map: ast.go (node types), print.go (source
+// printer), clone.go (deep copies).
+package ast

@@ -1,0 +1,20 @@
+// Package benchmarks provides integer ports of the 10 Parboil and Rodinia
+// benchmarks of the paper's Table 2, written in the OpenCL C subset, with
+// host drivers that build deterministic inputs.
+//
+// Substitution note: the original benchmarks are CUDA/OpenCL
+// programs, several using floating point. The ports preserve each
+// benchmark's computational structure — CSR sparse matrix-vector
+// products, BFS frontiers, stencil sweeps, DP wavefronts, histogramming,
+// block matching — using integer arithmetic (the paper itself preferred
+// non-floating-point benchmarks to avoid fast-math effects, §7.2).
+// Crucially, the spmv and myocyte ports preserve the data races the paper
+// discovered in the originals (§2.4); the executor's race checker
+// rediscovers them, and they are excluded from the Table 3 campaign, just
+// as in the paper.
+//
+// All returns every benchmark; Clean and Racy split them by the race
+// verdict. Each Benchmark carries source, launch geometry and a MakeArgs
+// factory. File map: benchmarks.go (Parboil ports and plumbing),
+// rodinia.go (Rodinia ports).
+package benchmarks

@@ -1,0 +1,13 @@
+// Package bugs defines the injected compiler-defect model. Each simulated
+// OpenCL configuration (internal/device) carries a Set of defect flags
+// per optimization level; the front end (internal/sema), the optimizer
+// (internal/opt) and the executor (internal/exec) consult the flags at
+// the code locations where the corresponding real-world defect
+// manifested.
+//
+// Every flag models a bug class that the paper reports in §6 /
+// Figures 1–2. All triggers are deterministic — feature predicates on the
+// program plus content hashing (Hash/Gate) for the "unpredictable"
+// crash/ICE classes — so campaign results are exactly reproducible while
+// exhibiting the rate shape of the paper's tables.
+package bugs

@@ -1,0 +1,13 @@
+// Package cltypes implements the OpenCL C subset type system used
+// throughout the fuzzer: the fixed-width integer scalar types mandated by
+// the OpenCL specification, vector types of lengths 2/4/8/16, structs,
+// unions, arrays and address-space-qualified pointers.
+//
+// OpenCL fixes the widths of the primitive types and mandates two's
+// complement representation for signed integers (paper §3.1), so all
+// integer values in this code base are carried as uint64 bit patterns
+// truncated to the width of their type; package cltypes also provides the
+// arithmetic helpers that implement the wrapping, well-defined semantics
+// (intops.go: Add/Sub/Mul, saturating and safe-math variants, shifts,
+// comparisons, conversions).
+package cltypes

@@ -153,6 +153,14 @@ type RunOptions struct {
 	// campaigns, as on real devices; on for the reference configuration
 	// when hunting benchmark races).
 	CheckRaces bool
+	// Workers is the work-group fan-out budget handed to the executor:
+	// when greater than one, eligible launches (no atomic builtins, races
+	// unchecked) run independent work-groups concurrently on up to Workers
+	// goroutines, with buffer contents byte-identical to the serial
+	// schedule. Zero or one keeps the fully serial executor. Campaign
+	// runners pass their leftover parallelism here so case-level and
+	// group-level fan-out never oversubscribe the machine.
+	Workers int
 }
 
 // Run executes the kernel over the NDRange. result names the output buffer
@@ -185,7 +193,12 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 		CheckRaces: ro.CheckRaces,
 		// Barrier-free kernels (the common case for generated tests) take
 		// the executor's goroutine-free sequential fast path.
-		NoBarrier:  !k.Info.HasBarrier,
+		NoBarrier: !k.Info.HasBarrier,
+		// Atomic-free kernels may fan work-groups out across Workers
+		// goroutines: atomics are the only defined cross-group channel,
+		// so without them group results are order-independent.
+		NoAtomics:  !k.Info.HasAtomic,
+		Workers:    ro.Workers,
 		HasFwdDecl: k.Info.HasFwdDecl,
 	}
 	err := exec.Run(k.Prog, nd, args, opts)

@@ -1,11 +1,3 @@
-// Package device models the 21 OpenCL (device, driver) configurations of
-// the paper's Table 1 as simulated compilers: each configuration is a
-// front-end quirk set, an optimization pipeline, an injected defect set per
-// optimization level, hash-gate divisors for the "unpredictable" crash and
-// internal-error classes, and a fuel budget factor that models relative
-// device speed (the source of the paper's timeout rates).
-//
-// Vendors anonymized in the paper remain anonymized here.
 package device
 
 import (

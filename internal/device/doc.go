@@ -1,0 +1,34 @@
+// Package device models the 21 OpenCL (device, driver) configurations of
+// the paper's Table 1 as simulated compilers: each configuration is a
+// front-end quirk set, an optimization pipeline, an injected defect set
+// per optimization level, hash-gate divisors for the "unpredictable" crash
+// and internal-error classes, and a fuel budget factor that models
+// relative device speed (the source of the paper's timeout rates).
+// Vendors anonymized in the paper remain anonymized here.
+//
+// # Compilation pipeline
+//
+// Compilation is split to mirror what actually varies per configuration:
+//
+//   - The front end — lexing and parsing — is configuration-independent,
+//     so it runs once per distinct kernel source and is memoized in a
+//     bounded, concurrency-safe FrontCache (DefaultFrontCache) keyed by
+//     the source hash. ParseFrontEnd is the cache-bypassing variant the
+//     determinism tests compare against.
+//   - The back end — Config.CompileFrontEnd — clones the pristine parsed
+//     program, type-checks it under the level's defect set (internal/sema),
+//     applies the compile-time defect gates and always-on front-end folds,
+//     and runs the optimization pipeline (internal/opt) unless disabled.
+//     The front end is never mutated, so one FrontEnd may be compiled
+//     concurrently by any number of configurations.
+//
+// Config.Compile combines both steps; the result is a runnable Kernel
+// whose Run method applies the launch-time defect gates (driver crashes,
+// fuel scaling, residual wrong-code corruption) around exec.Run.
+// RunOptions.Workers forwards a work-group fan-out budget to the executor;
+// results are byte-identical at any budget.
+//
+// Reference returns a defect-free configuration (not part of Table 1)
+// used wherever a trustworthy executor is needed: expected-output
+// generation, race hunting, and the reducer's validity checks.
+package device

@@ -1,0 +1,17 @@
+// Package emi implements equivalence-modulo-inputs testing for OpenCL
+// (paper §5): locating dead-by-construction EMI blocks, deriving program
+// variants by pruning them with the leaf, compound and (novel) lift
+// strategies, and injecting EMI blocks into existing kernels with
+// optional free-variable substitution.
+//
+// An EMI block is guarded by a host-controlled predicate over the dead
+// array (dead[j] = j keeps every block dead), so any pruning of its body
+// preserves the program's meaning for the standard inputs — yet real
+// compilers were provoked into miscompiling the surrounding live code.
+//
+// Entry points: Inject adds EMI blocks to a parsed kernel (the Table 3
+// protocol over the benchmark ports), Prune derives a variant under
+// PruneOpts probabilities, and Grid returns the 40-combination pruning
+// grid the Table 5 campaign runs per base program. File map: emi.go
+// (options and grid), block.go (block discovery, injection and pruning).
+package emi

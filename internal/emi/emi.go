@@ -1,8 +1,3 @@
-// Package emi implements equivalence-modulo-inputs testing for OpenCL
-// (paper §5): locating dead-by-construction EMI blocks, deriving program
-// variants by pruning them with the leaf, compound and (novel) lift
-// strategies, and injecting EMI blocks into existing kernels with optional
-// free-variable substitution.
 package emi
 
 import (

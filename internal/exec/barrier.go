@@ -66,8 +66,8 @@ func (b *barrier) await(tok barrierToken, fence uint64) error {
 	select {
 	case <-rel:
 		return nil
-	case <-b.group.m.abort:
-		if err := b.group.m.err; err != nil {
+	case <-b.group.dom.abort:
+		if err := b.group.dom.err; err != nil {
 			return err
 		}
 		return &CrashError{Msg: "aborted while waiting at barrier"}
@@ -98,8 +98,9 @@ func (b *barrier) quit() error {
 	return nil
 }
 
-// quitErr removes an erroring thread; stragglers are woken via the machine
-// abort channel, so only the participant count needs adjusting.
+// quitErr removes an erroring thread; stragglers are woken via the group's
+// failure-domain abort channel, so only the participant count needs
+// adjusting.
 func (b *barrier) quitErr() {
 	b.mu.Lock()
 	b.participants--

@@ -162,13 +162,26 @@ func (t *thread) evalAtomic(ex *ast.Call, out *Value) error {
 	if err := t.evalExpr(ex.Args[0], out); err != nil {
 		return err
 	}
-	target := out.Ptr.Target()
-	if target == nil {
-		return &CrashError{Msg: "atomic on null pointer"}
-	}
-	st, ok := target.Typ.(*cltypes.Scalar)
-	if !ok {
-		return fmt.Errorf("exec: atomic on non-scalar cell")
+	ptr := out.Ptr
+	// Resolve the destination: a flat buffer word or a cell.
+	word := ptr.flatWord()
+	var target *Cell
+	var st *cltypes.Scalar
+	if word != nil {
+		st = ptr.Flat.wordT
+	} else {
+		if ptr.Flat != nil {
+			return &CrashError{Msg: "atomic on null pointer"}
+		}
+		target = ptr.Target()
+		if target == nil {
+			return &CrashError{Msg: "atomic on null pointer"}
+		}
+		var ok bool
+		st, ok = target.Typ.(*cltypes.Scalar)
+		if !ok {
+			return fmt.Errorf("exec: atomic on non-scalar cell")
+		}
 	}
 	var operand, cmp uint64
 	if len(ex.Args) >= 2 {
@@ -187,7 +200,13 @@ func (t *thread) evalAtomic(ex *ast.Call, out *Value) error {
 		operand = cltypes.Convert(out.Scalar, vs, st)
 	}
 	if t.m.opts.CheckRaces {
-		if err := t.noteAccess(target, true, true); err != nil {
+		var err error
+		if word != nil {
+			err = t.noteWordAccess(word, true, true)
+		} else {
+			err = t.noteAccess(target, true, true)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -197,47 +216,61 @@ func (t *thread) evalAtomic(ex *ast.Call, out *Value) error {
 	if !unshared {
 		t.m.atomicMu.Lock()
 	}
-	old := target.loadScalar(unshared)
-	var next uint64
-	switch ex.Name {
-	case "atomic_add":
-		next = cltypes.Add(old, operand, st)
-	case "atomic_sub":
-		next = cltypes.Sub(old, operand, st)
-	case "atomic_min":
-		next = cltypes.Min(old, operand, st)
-	case "atomic_max":
-		next = cltypes.Max(old, operand, st)
-	case "atomic_and":
-		next = cltypes.And(old, operand, st)
-	case "atomic_or":
-		next = cltypes.Or(old, operand, st)
-	case "atomic_xor":
-		next = cltypes.Xor(old, operand, st)
-	case "atomic_xchg":
-		next = operand
-	case "atomic_inc":
-		next = cltypes.Add(old, 1, st)
-	case "atomic_dec":
-		next = cltypes.Sub(old, 1, st)
-	case "atomic_cmpxchg":
-		if old == cmp {
-			next = operand
-		} else {
-			next = old
-		}
-	default:
+	var old uint64
+	if word != nil {
+		old = loadWord(word, unshared)
+	} else {
+		old = target.loadScalar(unshared)
+	}
+	next, ok := atomicNext(ex.Name, old, operand, cmp, st)
+	if !ok {
 		if !unshared {
 			t.m.atomicMu.Unlock()
 		}
 		return fmt.Errorf("exec: unknown atomic %s", ex.Name)
 	}
-	target.storeScalar(next, unshared)
+	if word != nil {
+		storeWord(word, next, unshared)
+	} else {
+		target.storeScalar(next, unshared)
+	}
 	if !unshared {
 		t.m.atomicMu.Unlock()
 	}
 	*out = scalarValue(old, st)
 	return nil
+}
+
+// atomicNext computes the stored value of a read-modify-write atomic.
+func atomicNext(name string, old, operand, cmp uint64, st *cltypes.Scalar) (uint64, bool) {
+	switch name {
+	case "atomic_add":
+		return cltypes.Add(old, operand, st), true
+	case "atomic_sub":
+		return cltypes.Sub(old, operand, st), true
+	case "atomic_min":
+		return cltypes.Min(old, operand, st), true
+	case "atomic_max":
+		return cltypes.Max(old, operand, st), true
+	case "atomic_and":
+		return cltypes.And(old, operand, st), true
+	case "atomic_or":
+		return cltypes.Or(old, operand, st), true
+	case "atomic_xor":
+		return cltypes.Xor(old, operand, st), true
+	case "atomic_xchg":
+		return operand, true
+	case "atomic_inc":
+		return cltypes.Add(old, 1, st), true
+	case "atomic_dec":
+		return cltypes.Sub(old, 1, st), true
+	case "atomic_cmpxchg":
+		if old == cmp {
+			return operand, true
+		}
+		return old, true
+	}
+	return 0, false
 }
 
 // evalMath implements the element-wise math builtins and the generator's

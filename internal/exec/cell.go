@@ -1,13 +1,3 @@
-// Package exec implements the OpenCL execution model for the subset: an
-// NDRange of work-items organized into work-groups, the four memory spaces,
-// collective barriers with fence semantics, read-modify-write atomics, and
-// a tree-walking evaluator with per-thread fuel accounting.
-//
-// The executor optionally checks the two undefined behaviours that matter
-// for compiler fuzzing — data races and barrier divergence (paper §3.1) —
-// which lets property tests verify that generated kernels are deterministic
-// by construction, and reproduces the paper's discovery of data races in
-// the Parboil spmv and Rodinia myocyte benchmarks (§2.4).
 package exec
 
 import (
@@ -102,17 +92,55 @@ func (c *Cell) storeVecElem(i int, v uint64, unshared bool) {
 	c.Vec[i] = v
 }
 
+// loadWord reads one flat-store word with the required visibility. Flat
+// words always live in global memory (shared); unshared is the machine's
+// single-goroutine execution flag, exactly as for Cell.loadScalar.
+func loadWord(w *uint64, unshared bool) uint64 {
+	if unshared {
+		return *w
+	}
+	return atomic.LoadUint64(w)
+}
+
+func storeWord(w *uint64, v uint64, unshared bool) {
+	if unshared {
+		*w = v
+		return
+	}
+	atomic.StoreUint64(w, v)
+}
+
 // Buffer is a host-allocated global memory array passed as a kernel
-// argument.
+// argument. Scalar-element buffers — the overwhelmingly common case, and
+// the layout every generated kernel uses for its result, dead, and comm
+// arrays — store their elements in the flat Words array: one uint64 bit
+// pattern per element, no per-element heap cell. Aggregate- and
+// vector-element buffers keep the per-element cell tree in Cells.
 type Buffer struct {
-	Elem  cltypes.Type
+	Elem cltypes.Type
+	// Words is the flat backing store of a scalar-element buffer. Kernel
+	// pointers into the buffer index this array directly (Ptr.Words).
+	Words []uint64
+	// wordT is Elem as a scalar when the flat store is in use; it doubles
+	// as the flat-vs-cells discriminator (a zero-length Words slice is
+	// still a flat buffer).
+	wordT *cltypes.Scalar
+	// Cells holds the elements of aggregate- and vector-element buffers.
 	Cells []*Cell
 	Space cltypes.AddrSpace
 }
 
 // NewBuffer allocates a global buffer of n elements of type elem.
+// Scalar-element buffers get a single flat allocation; other element types
+// get one cell tree per element.
 func NewBuffer(elem cltypes.Type, n int) *Buffer {
-	b := &Buffer{Elem: elem, Space: cltypes.Global, Cells: make([]*Cell, n)}
+	b := &Buffer{Elem: elem, Space: cltypes.Global}
+	if st, ok := elem.(*cltypes.Scalar); ok {
+		b.Words = make([]uint64, n)
+		b.wordT = st
+		return b
+	}
+	b.Cells = make([]*Cell, n)
 	for i := range b.Cells {
 		b.Cells[i] = NewCell(elem, cltypes.Global)
 	}
@@ -123,19 +151,40 @@ func NewBuffer(elem cltypes.Type, n int) *Buffer {
 // always use the shared-memory (atomic) discipline: they may run while a
 // concurrent kernel from a different launch holds the buffer.
 func (b *Buffer) Fill(v uint64) {
+	for i := range b.Words {
+		storeWord(&b.Words[i], v, false)
+	}
 	for _, c := range b.Cells {
 		c.storeScalar(v, false)
 	}
 }
 
 // SetScalar sets element i of a scalar buffer.
-func (b *Buffer) SetScalar(i int, v uint64) { b.Cells[i].storeScalar(v, false) }
+func (b *Buffer) SetScalar(i int, v uint64) {
+	if b.wordT != nil {
+		storeWord(&b.Words[i], v, false)
+		return
+	}
+	b.Cells[i].storeScalar(v, false)
+}
 
 // Scalar returns element i of a scalar buffer.
-func (b *Buffer) Scalar(i int) uint64 { return b.Cells[i].loadScalar(false) }
+func (b *Buffer) Scalar(i int) uint64 {
+	if b.wordT != nil {
+		return loadWord(&b.Words[i], false)
+	}
+	return b.Cells[i].loadScalar(false)
+}
 
 // Scalars returns the contents of a scalar buffer.
 func (b *Buffer) Scalars() []uint64 {
+	if b.wordT != nil {
+		out := make([]uint64, len(b.Words))
+		for i := range b.Words {
+			out[i] = loadWord(&b.Words[i], false)
+		}
+		return out
+	}
 	out := make([]uint64, len(b.Cells))
 	for i, c := range b.Cells {
 		out[i] = c.loadScalar(false)
@@ -144,7 +193,12 @@ func (b *Buffer) Scalars() []uint64 {
 }
 
 // Len returns the element count.
-func (b *Buffer) Len() int { return len(b.Cells) }
+func (b *Buffer) Len() int {
+	if b.wordT != nil {
+		return len(b.Words)
+	}
+	return len(b.Cells)
+}
 
 // ---- byte encoding, used for union storage ----
 

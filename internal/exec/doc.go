@@ -1,0 +1,47 @@
+// Package exec implements the OpenCL execution model for the subset: an
+// NDRange of work-items organized into work-groups, the four memory
+// spaces, collective barriers with fence semantics, read-modify-write
+// atomics, and a tree-walking evaluator with per-thread fuel accounting.
+//
+// The executor optionally checks the two undefined behaviours that matter
+// for compiler fuzzing — data races and barrier divergence (paper §3.1) —
+// which lets property tests verify that generated kernels are
+// deterministic by construction, and reproduces the paper's discovery of
+// data races in the Parboil spmv and Rodinia myocyte benchmarks (§2.4).
+//
+// # Execution modes
+//
+// Run picks among three schedules, all producing byte-identical results
+// for race-free programs:
+//
+//   - Sequential fast path: barrier-free kernels (Options.NoBarrier, the
+//     common case for generated tests) with race checking off run every
+//     thread of every work-group back-to-back on the calling goroutine —
+//     no goroutine spawns, no barrier objects, and plain (non-atomic)
+//     memory accesses.
+//   - Parallel work-groups: when Options.Workers exceeds one and the
+//     kernel calls no atomic builtins (Options.NoAtomics), independent
+//     work-groups fan out across a bounded worker pool. Atomics are the
+//     only defined cross-group communication channel in the subset, so
+//     group results cannot depend on scheduling; each group runs in its
+//     own failure domain, and the launch verdict is the error of the
+//     lowest-numbered failing group — exactly what the serial schedule
+//     would report. Within each group the per-group mode (sequential or
+//     barrier machinery) is unchanged.
+//   - Goroutine-per-thread: kernels that reach barriers run each
+//     work-group's threads on goroutines synchronized by a collective
+//     barrier object with divergence detection.
+//
+// # Storage
+//
+// Values live in Cells (scalars, vectors, aggregates, pointers), except
+// for scalar-element Buffers — every generated kernel's result, dead and
+// comm arrays — whose elements live in a flat []uint64 backing store with
+// no per-element heap cell; pointers into such buffers (Ptr.Flat) index
+// the flat store directly. Private cells are arena-allocated per thread,
+// including the scalar leaves of struct and array trees.
+//
+// The device layer (internal/device) wraps Run with the per-configuration
+// defect models; hosts normally go through device.Kernel.Run rather than
+// calling exec.Run directly.
+package exec

@@ -12,8 +12,11 @@ import (
 type thread struct {
 	m     *Machine
 	group *groupCtx
-	gid   [3]int
-	lid   [3]int
+	// dom is the failure domain the thread aborts with: the group's domain
+	// (the launch-level domain when groups run serially).
+	dom *failDomain
+	gid [3]int
+	lid [3]int
 
 	fuel        int64
 	env         *env
@@ -176,21 +179,50 @@ func (t *thread) isParam(name string) bool {
 	return false
 }
 
-// newPrivCell arena-allocates a private (unshared) cell of type typ.
-// Scalar and pointer cells — the overwhelmingly common case — come
-// straight from the chunk; aggregate types fall back to the general
-// constructor for their child trees.
+// arenaCell hands out one zeroed private cell from the thread's chunk.
+// Chunks are never reused, so every slot starts zero-initialized.
+func (t *thread) arenaCell(typ cltypes.Type) *Cell {
+	if t.cellUsed == len(t.cellChunk) {
+		t.cellChunk = make([]Cell, 128)
+		t.cellUsed = 0
+	}
+	c := &t.cellChunk[t.cellUsed]
+	t.cellUsed++
+	c.Typ = typ
+	c.Space = cltypes.Private
+	return c
+}
+
+// newPrivCell arena-allocates a private (unshared) cell tree of type typ:
+// every node — including the scalar leaves of structs and arrays, which
+// with declaration initializers are the interpreter's dominant allocation
+// — comes from the chunk; only the Kids/Vec/Bytes backing slices are
+// individual allocations.
 func (t *thread) newPrivCell(typ cltypes.Type) *Cell {
-	switch typ.(type) {
+	switch tt := typ.(type) {
 	case *cltypes.Scalar, *cltypes.Pointer:
-		if t.cellUsed == len(t.cellChunk) {
-			t.cellChunk = make([]Cell, 128)
-			t.cellUsed = 0
+		return t.arenaCell(typ)
+	case *cltypes.Vector:
+		c := t.arenaCell(typ)
+		c.Vec = make([]uint64, tt.Len)
+		return c
+	case *cltypes.StructT:
+		c := t.arenaCell(typ)
+		if tt.IsUnion {
+			c.Bytes = make([]byte, tt.Size())
+			return c
 		}
-		c := &t.cellChunk[t.cellUsed]
-		t.cellUsed++
-		c.Typ = typ
-		c.Space = cltypes.Private
+		c.Kids = make([]*Cell, len(tt.Fields))
+		for i, f := range tt.Fields {
+			c.Kids[i] = t.newPrivCell(f.Type)
+		}
+		return c
+	case *cltypes.Array:
+		c := t.arenaCell(typ)
+		c.Kids = make([]*Cell, tt.Len)
+		for i := range c.Kids {
+			c.Kids[i] = t.newPrivCell(tt.Elem)
+		}
 		return c
 	}
 	return newCell(typ, cltypes.Private, false)
@@ -198,14 +230,14 @@ func (t *thread) newPrivCell(typ cltypes.Type) *Cell {
 
 var errAborted = &CrashError{Msg: "aborted"}
 
-// step charges one fuel unit and polls for machine abort.
+// step charges one fuel unit and polls for a domain abort.
 func (t *thread) step() error {
 	t.fuel--
 	if t.fuel <= 0 {
 		return &TimeoutError{Where: "kernel execution"}
 	}
-	if t.fuel&255 == 0 && t.m.dead.Load() {
-		if err := t.m.err; err != nil {
+	if t.fuel&255 == 0 && t.dom.dead.Load() {
+		if err := t.dom.err; err != nil {
 			return err
 		}
 		return errAborted
@@ -234,7 +266,11 @@ func (t *thread) runKernel() error {
 				return fmt.Errorf("exec: kernel argument %q requires a buffer", p.Name)
 			}
 			_ = pt
-			c.Ptr = Ptr{Slice: arg.Buf.Cells}
+			if arg.Buf.wordT != nil {
+				c.Ptr = Ptr{Flat: arg.Buf}
+			} else {
+				c.Ptr = Ptr{Slice: arg.Buf.Cells}
+			}
 		} else if s, ok := p.Type.(*cltypes.Scalar); ok {
 			c.Val = cltypes.Trunc(arg.Scalar, s)
 		} else {
@@ -551,7 +587,7 @@ func (t *thread) evalInit(typ cltypes.Type, init ast.Expr, out *Value) error {
 		}
 		return nil
 	}
-	c := newCell(typ, cltypes.Private, false)
+	c := t.newPrivCell(typ)
 	switch tt := typ.(type) {
 	case *cltypes.Scalar:
 		if len(il.Elems) != 1 {
@@ -679,6 +715,22 @@ func (t *thread) evalLV(e ast.Expr) (lval, error) {
 	return lv, err
 }
 
+// ptrLV resolves a pointer to the lvalue it addresses: a word view for
+// flat-buffer pointers, a direct cell otherwise. Null, dangling, and
+// out-of-range pointers report a crash with the given message.
+func (t *thread) ptrLV(p Ptr, crashMsg string) (lval, error) {
+	if p.Flat != nil {
+		if p.flatWord() == nil {
+			return lval{}, &CrashError{Msg: crashMsg}
+		}
+		return wordLV(p.Flat, p.Idx, t.m.unshared), nil
+	}
+	if target := p.Target(); target != nil {
+		return directLV(target, t.m.unshared), nil
+	}
+	return lval{}, &CrashError{Msg: crashMsg}
+}
+
 // evalLVTmp resolves non-VarRef lvalues; tmp holds intermediate values
 // (index, base pointer) without a fresh stack Value per call.
 func (t *thread) evalLVTmp(e ast.Expr, tmp *Value) (lval, error) {
@@ -688,11 +740,7 @@ func (t *thread) evalLVTmp(e ast.Expr, tmp *Value) (lval, error) {
 			if err := t.evalExpr(ex.X, tmp); err != nil {
 				return lval{}, err
 			}
-			target := tmp.Ptr.Target()
-			if target == nil {
-				return lval{}, &CrashError{Msg: "null or dangling pointer dereference"}
-			}
-			return directLV(target, t.m.unshared), nil
+			return t.ptrLV(tmp.Ptr, "null or dangling pointer dereference")
 		}
 	case *ast.Index:
 		if err := t.evalExpr(ex.Idx, tmp); err != nil {
@@ -707,17 +755,13 @@ func (t *thread) evalLVTmp(e ast.Expr, tmp *Value) (lval, error) {
 			if err := t.evalExpr(ex.Base, tmp); err != nil {
 				return lval{}, err
 			}
-			target := tmp.Ptr.At(idx).Target()
-			if target == nil {
-				return lval{}, &CrashError{Msg: "out-of-bounds buffer access"}
-			}
-			return directLV(target, t.m.unshared), nil
+			return t.ptrLV(tmp.Ptr.At(idx), "out-of-bounds buffer access")
 		}
 		blv, err := t.evalLV(ex.Base)
 		if err != nil {
 			return lval{}, err
 		}
-		if blv.uField != nil || blv.vecIdx >= 0 {
+		if blv.uField != nil || blv.vecIdx >= 0 || blv.flat != nil {
 			return lval{}, fmt.Errorf("exec: cannot index a view lvalue")
 		}
 		if idx < 0 || idx >= len(blv.c.Kids) {
@@ -741,6 +785,9 @@ func (t *thread) evalLVTmp(e ast.Expr, tmp *Value) (lval, error) {
 			}
 			if blv.uField != nil {
 				return lval{}, fmt.Errorf("exec: nested union member views unsupported")
+			}
+			if blv.c == nil {
+				return lval{}, fmt.Errorf("exec: member access on a non-aggregate lvalue")
 			}
 			base = blv.c
 		}
@@ -770,7 +817,7 @@ func (t *thread) evalLVTmp(e ast.Expr, tmp *Value) (lval, error) {
 		if len(idx) != 1 {
 			return lval{}, fmt.Errorf("exec: multi-component swizzle is not assignable")
 		}
-		if blv.uField != nil || blv.vecIdx >= 0 {
+		if blv.uField != nil || blv.vecIdx >= 0 || blv.flat != nil {
 			return lval{}, fmt.Errorf("exec: cannot swizzle a view lvalue")
 		}
 		return lval{c: blv.c, vecIdx: idx[0], unshared: t.m.unshared}, nil
@@ -814,6 +861,10 @@ func (t *thread) lvPtr(e ast.Expr) (Ptr, error) {
 	}
 	if lv.uField != nil || lv.vecIdx >= 0 {
 		return Ptr{}, fmt.Errorf("exec: cannot take the address of a union field or vector component")
+	}
+	// A flat-buffer element's address is a flat-store pointer.
+	if lv.flat != nil {
+		return Ptr{Flat: lv.flat, Idx: lv.wIdx}, nil
 	}
 	// Arrays decay to element pointers.
 	if _, isArr := lv.c.Typ.(*cltypes.Array); isArr {

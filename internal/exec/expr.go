@@ -84,8 +84,8 @@ func (t *thread) evalExpr(e ast.Expr, out *Value) error {
 		if err != nil {
 			return err
 		}
-		if t.m.opts.CheckRaces && lv.c != nil {
-			if err := t.noteAccess(lv.c, false, false); err != nil {
+		if t.m.opts.CheckRaces {
+			if err := t.noteLVAccess(lv, false); err != nil {
 				return err
 			}
 		}
@@ -96,8 +96,8 @@ func (t *thread) evalExpr(e ast.Expr, out *Value) error {
 		if err != nil {
 			return err
 		}
-		if t.m.opts.CheckRaces && lv.c != nil {
-			if err := t.noteAccess(lv.c, false, false); err != nil {
+		if t.m.opts.CheckRaces {
+			if err := t.noteLVAccess(lv, false); err != nil {
 				return err
 			}
 		}
@@ -187,6 +187,18 @@ func (t *thread) evalExpr(e ast.Expr, out *Value) error {
 	return fmt.Errorf("exec: unknown expression %T", e)
 }
 
+// noteLVAccess records an lvalue access (cell or flat buffer word) for the
+// race checker.
+func (t *thread) noteLVAccess(lv lval, write bool) error {
+	if w := lv.wordAddr(); w != nil {
+		return t.noteWordAccess(w, write, false)
+	}
+	if lv.c != nil {
+		return t.noteAccess(lv.c, write, false)
+	}
+	return nil
+}
+
 func predefinedConst(name string) (uint64, bool) {
 	switch name {
 	case "CLK_LOCAL_MEM_FENCE":
@@ -210,23 +222,23 @@ func (t *thread) evalUnary(ex *ast.Unary, out *Value) error {
 		if err := t.evalExpr(ex.X, out); err != nil {
 			return err
 		}
-		target := out.Ptr.Target()
-		if target == nil {
-			return &CrashError{Msg: "null or dangling pointer dereference"}
+		lv, err := t.ptrLV(out.Ptr, "null or dangling pointer dereference")
+		if err != nil {
+			return err
 		}
 		if t.m.opts.CheckRaces {
-			if err := t.noteAccess(target, false, false); err != nil {
+			if err := t.noteLVAccess(lv, false); err != nil {
 				return err
 			}
 		}
-		return loadCell(target, t.m.unshared, out)
+		return lv.load(out)
 	case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec:
 		lv, err := t.evalLV(ex.X)
 		if err != nil {
 			return err
 		}
-		if t.m.opts.CheckRaces && lv.c != nil && lv.c.Shared {
-			if err := t.noteAccess(lv.c, true, false); err != nil {
+		if t.m.opts.CheckRaces {
+			if err := t.noteLVAccess(lv, true); err != nil {
 				return err
 			}
 		}
@@ -372,7 +384,7 @@ func (t *thread) evalBinaryOperands(ex *ast.Binary, lv, rv, out *Value) error {
 	}
 	// Pointer comparisons.
 	if _, ok := lv.T.(*cltypes.Pointer); ok {
-		eq := lv.Ptr.Target() == rv.Ptr.Target()
+		eq := samePtrTarget(lv.Ptr, rv.Ptr)
 		if ex.Op == ast.EQ {
 			*out = boolValue(eq)
 		} else {
@@ -609,8 +621,8 @@ func (t *thread) evalAssignStore(ex *ast.AssignExpr, rv, out *Value) error {
 		}
 		return nil
 	}
-	if t.m.opts.CheckRaces && lv.c != nil && lv.c.Shared {
-		if err := t.noteAccess(lv.c, true, false); err != nil {
+	if t.m.opts.CheckRaces {
+		if err := t.noteLVAccess(lv, true); err != nil {
 			return err
 		}
 	}

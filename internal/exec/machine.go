@@ -77,6 +77,20 @@ type Options struct {
 	// work-group's threads run back-to-back on the calling goroutine with
 	// no goroutine spawns, no barrier object, and no atomic cell accesses.
 	NoBarrier bool
+	// NoAtomics is the front end's static guarantee that the program calls
+	// no atomic builtins (sema.Info.HasAtomic == false). Atomics are the
+	// only defined cross-work-group communication channel in the subset,
+	// so together with Workers > 1 this guarantee enables the parallel
+	// work-group path: group results cannot depend on group ordering, and
+	// the launch output is byte-identical to the sequential schedule.
+	NoAtomics bool
+	// Workers is the work-group fan-out budget: when greater than one (and
+	// the launch is eligible — NoAtomics, races unchecked, more than one
+	// group), independent work-groups execute concurrently on up to
+	// Workers goroutines, each keeping its per-group execution mode
+	// (sequential fast path or the barrier machinery). Zero or one runs
+	// every group serially on the calling goroutine, as before.
+	Workers int
 	// HasFwdDecl is the front-end's report of a forward-declared function
 	// with a later definition, a trigger for the Figure 2(c) defects.
 	HasFwdDecl bool
@@ -129,19 +143,26 @@ type DivergenceError struct{ Msg string }
 // Error implements the error interface.
 func (e *DivergenceError) Error() string { return "barrier divergence: " + e.Msg }
 
-// Ptr is a pointer value: either the address of a single cell or a
-// position within a cell sequence (a buffer or a decayed array), which
-// supports subscripting.
+// Ptr is a pointer value: the address of a single cell, a position within
+// a cell sequence (an aggregate-element buffer or a decayed array), or a
+// position within the flat word store of a scalar-element buffer. The
+// sequence forms support subscripting. The flat form references the
+// Buffer rather than its backing slice so that Ptr — embedded in every
+// Cell and Value — stays at its pre-flat-store size.
 type Ptr struct {
 	Cell  *Cell
 	Slice []*Cell
-	Idx   int
+	// Flat views a flat scalar buffer: the pointer addresses element Idx
+	// of Flat.Words, an element of scalar type Flat.wordT.
+	Flat *Buffer
+	Idx  int
 }
 
 // IsNull reports whether the pointer is null.
-func (p Ptr) IsNull() bool { return p.Cell == nil && p.Slice == nil }
+func (p Ptr) IsNull() bool { return p.Cell == nil && p.Slice == nil && p.Flat == nil }
 
-// Target resolves the pointed-to cell, or nil for null.
+// Target resolves the pointed-to cell, or nil for null, out-of-range, and
+// flat-store pointers (whose elements have no cell; see flatWord).
 func (p Ptr) Target() *Cell {
 	if p.Slice != nil {
 		if p.Idx < 0 || p.Idx >= len(p.Slice) {
@@ -152,15 +173,65 @@ func (p Ptr) Target() *Cell {
 	return p.Cell
 }
 
+// flatWord resolves a flat-store pointer to the address of its word, or
+// nil for cell pointers and out-of-range positions.
+func (p Ptr) flatWord() *uint64 {
+	if p.Flat == nil || p.Idx < 0 || p.Idx >= len(p.Flat.Words) {
+		return nil
+	}
+	return &p.Flat.Words[p.Idx]
+}
+
 // At returns the pointer displaced by i elements (subscripting).
 func (p Ptr) At(i int) Ptr {
 	if p.Slice != nil {
 		return Ptr{Slice: p.Slice, Idx: p.Idx + i}
 	}
+	if p.Flat != nil {
+		return Ptr{Flat: p.Flat, Idx: p.Idx + i}
+	}
 	if i == 0 {
 		return p
 	}
 	return Ptr{} // out of range of a single object: null
+}
+
+// samePtrTarget reports whether two pointers address the same object, the
+// semantics of the == and != operators. Out-of-range pointers of either
+// representation resolve to "no object" and compare equal to each other
+// and to null, as before the flat store existed.
+func samePtrTarget(a, b Ptr) bool {
+	if aw, bw := a.flatWord(), b.flatWord(); aw != nil || bw != nil {
+		return aw == bw
+	}
+	return a.Target() == b.Target()
+}
+
+// failDomain is one abort scope: the threads that share a domain stop as
+// soon as any of them fails, and the first recorded error is the domain's
+// verdict. A serial launch has a single domain spanning every group (a
+// failure stops the whole launch, exactly as before); the parallel
+// work-group path gives each group its own domain so that one group's
+// failure cannot nondeterministically poison a concurrently running
+// sibling — the launch verdict is then chosen in group order.
+type failDomain struct {
+	dead     atomic.Bool
+	failOnce sync.Once
+	err      error
+	abort    chan struct{}
+}
+
+func newFailDomain() *failDomain {
+	return &failDomain{abort: make(chan struct{})}
+}
+
+// fail records the first error and aborts the domain's threads.
+func (d *failDomain) fail(err error) {
+	d.failOnce.Do(func() {
+		d.err = err
+		d.dead.Store(true)
+		close(d.abort)
+	})
 }
 
 // Machine executes one kernel launch.
@@ -175,22 +246,26 @@ type Machine struct {
 	funcs    map[string]*ast.FuncDecl
 	atomicMu sync.Mutex
 
-	// sequential marks the goroutine-free fast path: barrier-free kernels
-	// (or single-thread work-groups) with race checking off run every
-	// thread of every work-group back-to-back on the calling goroutine.
+	// sequential marks the per-group goroutine-free fast path: barrier-free
+	// kernels (or single-thread work-groups) with race checking off run
+	// every thread of a work-group back-to-back on one goroutine.
 	sequential bool
-	// unshared mirrors sequential for the memory model: when the whole
-	// launch executes on one goroutine, loads and stores of shared cells
-	// skip the atomic operations that concurrent execution requires.
+	// parallelGroups marks the work-group fan-out path: independent groups
+	// execute concurrently across a bounded worker pool (Options.Workers),
+	// each in its own failure domain.
+	parallelGroups bool
+	// unshared is the memory-model flag: when the whole launch executes on
+	// one goroutine (sequential per-group execution and no group fan-out),
+	// loads and stores of shared cells and flat buffer words skip the
+	// atomic operations that concurrent execution requires.
 	unshared bool
 
-	dead     atomic.Bool
-	failOnce sync.Once
-	err      error
-	abort    chan struct{}
+	// dom is the launch-level failure domain used by the serial path (and
+	// by host-side global initialization). Parallel groups get their own.
+	dom *failDomain
 
 	raceMu     sync.Mutex
-	interGroup map[*Cell]*accessRec // global-memory access record, per kernel run
+	interGroup map[memKey]*accessRec // global-memory access record, per kernel run
 }
 
 // Run executes the kernel of prog over the NDRange with the given
@@ -214,12 +289,18 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 		opts:    opts,
 		globals: map[string]*Cell{},
 		funcs:   map[string]*ast.FuncDecl{},
-		abort:   make(chan struct{}),
+		dom:     newFailDomain(),
+	}
+	numGroups := nd.GlobalLinear() / nd.GroupLinear()
+	workers := opts.Workers
+	if workers > numGroups {
+		workers = numGroups
 	}
 	m.sequential = !opts.CheckRaces && (opts.NoBarrier || nd.GroupLinear() == 1)
-	m.unshared = m.sequential
+	m.parallelGroups = workers > 1 && !opts.CheckRaces && opts.NoAtomics
+	m.unshared = m.sequential && !m.parallelGroups
 	if opts.CheckRaces {
-		m.interGroup = map[*Cell]*accessRec{}
+		m.interGroup = map[memKey]*accessRec{}
 	}
 	for _, f := range prog.Funcs {
 		if f.Body != nil {
@@ -230,7 +311,7 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 	for _, g := range prog.Globals {
 		c := NewCell(g.Type, cltypes.Constant)
 		if g.Init != nil {
-			th := &thread{m: m, fuel: opts.Fuel}
+			th := &thread{m: m, dom: m.dom, fuel: opts.Fuel}
 			var v Value
 			if err := th.evalInit(g.Type, g.Init, &v); err != nil {
 				return err
@@ -247,27 +328,63 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 			return fmt.Errorf("exec: missing kernel argument %q", p.Name)
 		}
 	}
+	if m.parallelGroups {
+		return m.runGroupsParallel(numGroups, workers)
+	}
 	ng := m.nd.NumGroups()
 	for gz := 0; gz < ng[2]; gz++ {
 		for gy := 0; gy < ng[1]; gy++ {
 			for gx := 0; gx < ng[0]; gx++ {
-				m.runGroup([3]int{gx, gy, gz})
-				if m.dead.Load() {
-					return m.err
+				m.runGroup([3]int{gx, gy, gz}, m.dom)
+				if m.dom.dead.Load() {
+					return m.dom.err
 				}
 			}
 		}
 	}
-	return m.err
+	return m.dom.err
 }
 
-// fail records the first error and aborts all threads.
-func (m *Machine) fail(err error) {
-	m.failOnce.Do(func() {
-		m.err = err
-		m.dead.Store(true)
-		close(m.abort)
-	})
+// groupAt maps a linear group index to the group id, in the serial
+// iteration order (dimension 0 fastest).
+func (n NDRange) groupAt(i int) [3]int {
+	ng := n.NumGroups()
+	return [3]int{i % ng[0], (i / ng[0]) % ng[1], i / (ng[0] * ng[1])}
+}
+
+// runGroupsParallel fans independent work-groups out across a bounded
+// worker pool. Eligibility (no atomic builtins, races unchecked) makes
+// group results independent of scheduling, so buffer contents are
+// byte-identical to the serial order. Each group runs in its own failure
+// domain and always to completion — no cross-group abort — and the launch
+// verdict is the error of the lowest-numbered failing group, exactly the
+// error the serial schedule would have returned.
+func (m *Machine) runGroupsParallel(numGroups, workers int) error {
+	errs := make([]error, numGroups)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= numGroups {
+					return
+				}
+				dom := newFailDomain()
+				m.runGroup(m.nd.groupAt(i), dom)
+				errs[i] = dom.err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (m *Machine) hashGate(salt, divisor uint64) bool {
@@ -278,20 +395,22 @@ func (m *Machine) hashGate(salt, divisor uint64) bool {
 type groupCtx struct {
 	m     *Machine
 	id    [3]int
+	dom   *failDomain
 	bar   *barrier
 	mu    sync.Mutex
 	local map[*ast.VarDecl]*Cell // local-memory variables, one per group
-	races map[*Cell]*accessRec   // intra-group access record, cleared at barriers
+	races map[memKey]*accessRec  // intra-group access record, cleared at barriers
 }
 
-func (m *Machine) runGroup(gid [3]int) {
+func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 	g := &groupCtx{
 		m:     m,
 		id:    gid,
+		dom:   dom,
 		local: map[*ast.VarDecl]*Cell{},
 	}
 	if m.opts.CheckRaces {
-		g.races = map[*Cell]*accessRec{}
+		g.races = map[memKey]*accessRec{}
 	}
 	n := m.nd.GroupLinear()
 	if m.sequential {
@@ -325,21 +444,21 @@ func (m *Machine) runGroup(gid [3]int) {
 					}
 					if err != nil {
 						g.bar.quitErr()
-						m.fail(err)
+						dom.fail(err)
 						return
 					}
 					if derr := g.bar.quit(); derr != nil {
-						m.fail(derr)
+						dom.fail(derr)
 					}
 				}()
 			}
 		}
 	}
 	wg.Wait()
-	if barCounts != nil && !m.dead.Load() {
+	if barCounts != nil && !dom.dead.Load() {
 		for i := 1; i < n; i++ {
 			if barCounts[i] != barCounts[0] {
-				m.fail(&DivergenceError{Msg: fmt.Sprintf(
+				dom.fail(&DivergenceError{Msg: fmt.Sprintf(
 					"threads of group %v executed different barrier counts (%d vs %d)",
 					g.id, barCounts[0], barCounts[i])})
 				break
@@ -367,12 +486,19 @@ func (m *Machine) runGroupSequential(g *groupCtx, n int) {
 				th := m.newThread(g, [3]int{lx, ly, lz})
 				err := th.runKernel()
 				if st := m.opts.Stats; st != nil {
-					if used := m.opts.Fuel - th.fuel; used > st.MaxThreadSteps {
-						st.MaxThreadSteps = used
+					used := m.opts.Fuel - th.fuel
+					if m.unshared {
+						if used > st.MaxThreadSteps {
+							st.MaxThreadSteps = used
+						}
+					} else {
+						// Parallel groups share the Stats across
+						// goroutines even when each group is sequential.
+						st.noteThreadSteps(used)
 					}
 				}
 				if err != nil {
-					m.fail(err)
+					g.dom.fail(err)
 					return
 				}
 			}
@@ -389,6 +515,7 @@ func (m *Machine) newThread(g *groupCtx, lid [3]int) *thread {
 	return &thread{
 		m:     m,
 		group: g,
+		dom:   g.dom,
 		gid:   gid,
 		lid:   lid,
 		fuel:  m.opts.Fuel,
@@ -410,6 +537,23 @@ func (t *thread) groupLinear() int {
 }
 
 // ---- access records for the race checker ----
+
+// memKey identifies one tracked memory location: a cell, or (for flat
+// scalar buffers, which have no per-element cells) the address of the
+// element's word in the backing store. Exactly one field is non-nil.
+type memKey struct {
+	c *Cell
+	w *uint64
+}
+
+// space returns the address space of the location; flat words are always
+// global memory.
+func (k memKey) space() cltypes.AddrSpace {
+	if k.c != nil {
+		return k.c.Space
+	}
+	return cltypes.Global
+}
 
 type accessRec struct {
 	// thread (intra-group) or group (inter-group) linear ids.
@@ -474,35 +618,48 @@ func (r *accessRec) note(id int, write, isAtomic bool) bool {
 	return race
 }
 
-// noteAccess records a shared-memory access for the race checker and
-// reports an error when a race is detected.
+// noteAccess records a shared-memory access to a cell for the race checker
+// and reports an error when a race is detected.
 func (t *thread) noteAccess(c *Cell, write, isAtomic bool) error {
 	if !t.m.opts.CheckRaces || !c.Shared {
 		return nil
 	}
+	return t.noteLoc(memKey{c: c}, write, isAtomic)
+}
+
+// noteWordAccess is noteAccess for a flat buffer element (always shared
+// global memory).
+func (t *thread) noteWordAccess(w *uint64, write, isAtomic bool) error {
+	if !t.m.opts.CheckRaces {
+		return nil
+	}
+	return t.noteLoc(memKey{w: w}, write, isAtomic)
+}
+
+func (t *thread) noteLoc(loc memKey, write, isAtomic bool) error {
 	// Intra-group record (cleared at barriers).
 	g := t.group
 	g.mu.Lock()
-	rec, ok := g.races[c]
+	rec, ok := g.races[loc]
 	if !ok {
 		rec = newAccessRec()
-		g.races[c] = rec
+		g.races[loc] = rec
 	}
 	raced := rec.note(t.lidLinear(), write, isAtomic)
 	g.mu.Unlock()
 	if raced {
-		return &RaceError{Msg: fmt.Sprintf("intra-group race on %s cell (group %v, thread %v)", c.Space, g.id, t.lid)}
+		return &RaceError{Msg: fmt.Sprintf("intra-group race on %s cell (group %v, thread %v)", loc.space(), g.id, t.lid)}
 	}
 	// Inter-group record for global memory (never cleared). Unlike the
 	// paper's conservative definition we treat pairs of atomic accesses
 	// as non-racing across groups: OpenCL 1.x global atomics are atomic
 	// device-wide, and the standard benchmarks rely on this.
-	if c.Space == cltypes.Global {
+	if loc.space() == cltypes.Global {
 		t.m.raceMu.Lock()
-		grec, ok := t.m.interGroup[c]
+		grec, ok := t.m.interGroup[loc]
 		if !ok {
 			grec = newAccessRec()
-			t.m.interGroup[c] = grec
+			t.m.interGroup[loc] = grec
 		}
 		gr := grec.note(t.groupLinear(), write, isAtomic)
 		t.m.raceMu.Unlock()
@@ -520,9 +677,9 @@ func (g *groupCtx) clearRaces(fence uint64) {
 		return
 	}
 	g.mu.Lock()
-	for c := range g.races {
-		if (c.Space == cltypes.Local && fence&1 != 0) || (c.Space == cltypes.Global && fence&2 != 0) {
-			delete(g.races, c)
+	for loc := range g.races {
+		if sp := loc.space(); (sp == cltypes.Local && fence&1 != 0) || (sp == cltypes.Global && fence&2 != 0) {
+			delete(g.races, loc)
 		}
 	}
 	g.mu.Unlock()

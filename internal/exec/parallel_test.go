@@ -1,0 +1,249 @@
+package exec_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+// launch compiles and executes src over nd with a ulong out buffer, using
+// the front-end guarantees (NoBarrier/NoAtomics) the device layer would
+// pass, and returns the buffer contents and the run error.
+func launch(t *testing.T, src string, nd exec.NDRange, workers int) ([]uint64, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog, 0)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+	args := exec.Args{"out": {Buf: out}}
+	runErr := exec.Run(prog, nd, args, exec.Options{
+		NoBarrier:  !info.HasBarrier,
+		NoAtomics:  !info.HasAtomic,
+		HasFwdDecl: info.HasFwdDecl,
+		Workers:    workers,
+	})
+	return out.Scalars(), runErr
+}
+
+// parallelKernels is the kernel set the work-group fan-out is compared on:
+// barrier-free compute, barrier synchronization over local memory, private
+// aggregates, and flat-buffer pointer arithmetic.
+var parallelKernels = []struct {
+	name string
+	src  string
+}{
+	{"compute", `
+kernel void k(global ulong *out) {
+    ulong acc = 1;
+    for (int i = 0; i < 40; i++) {
+        acc = acc * 33UL + get_global_id(0) + i;
+    }
+    out[get_linear_global_id()] = acc;
+}
+`},
+	{"barrier-local", `
+kernel void k(global ulong *out) {
+    local uint comm[8];
+    comm[get_linear_local_id()] = (uint)get_global_id(0) + 1u;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    ulong acc = 0;
+    for (int i = 0; i < 8; i++) {
+        acc += comm[i];
+    }
+    out[get_linear_global_id()] = acc + get_group_id(0);
+}
+`},
+	{"flat-pointers", `
+ulong probe(global ulong *p) {
+    return p[0] + 1UL;
+}
+kernel void k(global ulong *out) {
+    size_t gid = get_linear_global_id();
+    out[gid] = gid * 3UL;
+    global ulong *slot = &out[gid];
+    ulong same = (slot == &out[gid]) ? 100UL : 200UL;
+    ulong first = (slot == out) ? 1000UL : 0UL;
+    *slot = *slot + probe(slot) + same + first;
+}
+`},
+	{"private-aggregates", `
+struct S { int a; ulong b; };
+kernel void k(global ulong *out) {
+    struct S s = { (int)get_global_id(0), 7UL };
+    struct S copy = s;
+    int arr[4] = { 1, 2, 3, 4 };
+    arr[(int)get_global_id(0) % 4] += copy.a;
+    out[get_linear_global_id()] = (ulong)arr[0] + (ulong)arr[3] + copy.b;
+}
+`},
+}
+
+// TestParallelGroupsDeterministic is the fan-out half of the executor's
+// central invariant: an eligible launch (no atomics, races unchecked) must
+// produce byte-identical buffer contents whether work-groups run serially
+// or concurrently across any worker count. Run with -race this also
+// verifies the shared-cell atomic discipline of the parallel path.
+func TestParallelGroupsDeterministic(t *testing.T) {
+	nds := []exec.NDRange{
+		{Global: [3]int{64, 1, 1}, Local: [3]int{8, 1, 1}},
+		{Global: [3]int{16, 4, 1}, Local: [3]int{4, 2, 1}},
+	}
+	for _, k := range parallelKernels {
+		for _, nd := range nds {
+			want, wantErr := launch(t, k.src, nd, 1)
+			for _, workers := range []int{2, 8} {
+				got, gotErr := launch(t, k.src, nd, workers)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s workers=%d: err %v, want %v", k.name, workers, gotErr, wantErr)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s workers=%d: out[%d] = %d, want %d", k.name, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGroupsErrorOrder checks the launch verdict under failures:
+// the parallel path must report the error of the lowest-numbered failing
+// group — the one the serial schedule would have hit first — even when a
+// later group fails differently (here group 1 times out while group 3
+// crashes on an out-of-bounds store).
+func TestParallelGroupsErrorOrder(t *testing.T) {
+	src := `
+kernel void k(global ulong *out) {
+    size_t g = get_group_id(0);
+    if (g == 1) {
+        ulong acc = 0;
+        while (1) { acc += 1; }
+        out[0] = acc;
+    }
+    if (g == 3) {
+        out[1000000] = 1UL;
+    }
+    out[get_linear_global_id()] = g;
+}
+`
+	nd := exec.NDRange{Global: [3]int{16, 1, 1}, Local: [3]int{4, 1, 1}}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog, 0)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	runWith := func(workers int) error {
+		out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+		return exec.Run(prog, nd, exec.Args{"out": {Buf: out}}, exec.Options{
+			NoBarrier: !info.HasBarrier,
+			NoAtomics: !info.HasAtomic,
+			Fuel:      50_000,
+			Workers:   workers,
+		})
+	}
+	serial := runWith(1)
+	if _, ok := serial.(*exec.TimeoutError); !ok {
+		t.Fatalf("serial error = %v (%T), want timeout from group 1", serial, serial)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel := runWith(workers)
+		if _, ok := parallel.(*exec.TimeoutError); !ok {
+			t.Fatalf("workers=%d error = %v (%T), want timeout from group 1", workers, parallel, parallel)
+		}
+		if parallel.Error() != serial.Error() {
+			t.Fatalf("workers=%d error %q, want %q", workers, parallel.Error(), serial.Error())
+		}
+	}
+}
+
+// TestAtomicsStaySerial pins the eligibility rule: a kernel using atomic
+// builtins — the one defined cross-group communication channel — must not
+// fan out, because atomic ordering across groups is schedule-dependent.
+// The observable contract is that results with any worker budget equal the
+// serial schedule's.
+func TestAtomicsStaySerial(t *testing.T) {
+	src := `
+kernel void k(global ulong *out, global uint *ctr) {
+    uint ticket = atomic_inc(&ctr[0]);
+    out[get_linear_global_id()] = (ulong)ticket;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog, 0)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	if !info.HasAtomic {
+		t.Fatal("sema did not flag the atomic builtin")
+	}
+	nd := exec.NDRange{Global: [3]int{32, 1, 1}, Local: [3]int{1, 1, 1}}
+	runWith := func(workers int) []uint64 {
+		out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+		ctr := exec.NewBuffer(cltypes.TUInt, 1)
+		err := exec.Run(prog, nd, exec.Args{"out": {Buf: out}, "ctr": {Buf: ctr}}, exec.Options{
+			NoBarrier: !info.HasBarrier,
+			NoAtomics: !info.HasAtomic,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out.Scalars()
+	}
+	want := runWith(1)
+	got := runWith(8)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("atomic kernel diverged under a worker budget: out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlatBufferAtomics covers read-modify-write atomics landing on flat
+// scalar-buffer elements (the representation has no per-element cells).
+func TestFlatBufferAtomics(t *testing.T) {
+	src := `
+kernel void k(global ulong *out, global uint *ctr) {
+    atomic_add(&ctr[0], 2u);
+    atomic_max(&ctr[1], (uint)get_global_id(0));
+    uint old = atomic_cmpxchg(&ctr[2], 0u, 9u);
+    out[get_linear_global_id()] = (ulong)old;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sema.Check(prog, 0); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	nd := exec.NDRange{Global: [3]int{8, 1, 1}, Local: [3]int{8, 1, 1}}
+	out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+	ctr := exec.NewBuffer(cltypes.TUInt, 3)
+	if err := exec.Run(prog, nd, exec.Args{"out": {Buf: out}, "ctr": {Buf: ctr}}, exec.Options{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := ctr.Scalar(0); got != 16 {
+		t.Errorf("ctr[0] = %d, want 16", got)
+	}
+	if got := ctr.Scalar(1); got != 7 {
+		t.Errorf("ctr[1] = %d, want 7", got)
+	}
+	if got := ctr.Scalar(2); got != 9 {
+		t.Errorf("ctr[2] = %d, want 9", got)
+	}
+}

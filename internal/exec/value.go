@@ -150,11 +150,14 @@ func copyCell(dst, src *Cell, unshared bool) error {
 	return nil
 }
 
-// lval is an assignable location: a direct cell, a union field view, or a
-// single vector component. It carries the machine's unshared flag so that
-// loads and stores through it use the right memory discipline.
+// lval is an assignable location: a direct cell, an element of a flat
+// scalar buffer, a union field view, or a single vector component. It
+// carries the machine's unshared flag so that loads and stores through it
+// use the right memory discipline.
 type lval struct {
 	c        *Cell        // direct cell, or the vector cell / union cell
+	flat     *Buffer      // flat scalar buffer (c is nil); wIdx is the slot
+	wIdx     int          // element index within flat.Words
 	uField   cltypes.Type // union field view type (c is the union cell)
 	vecIdx   int          // >=0: component of the vector in c
 	unshared bool         // single-goroutine launch: plain accesses suffice
@@ -162,7 +165,25 @@ type lval struct {
 
 func directLV(c *Cell, unshared bool) lval { return lval{c: c, vecIdx: -1, unshared: unshared} }
 
+// wordLV views element idx of a flat scalar buffer's backing store.
+func wordLV(b *Buffer, idx int, unshared bool) lval {
+	return lval{flat: b, wIdx: idx, vecIdx: -1, unshared: unshared}
+}
+
+// wordAddr returns the address of the flat slot, the race checker's
+// location key; nil for non-word lvalues.
+func (l lval) wordAddr() *uint64 {
+	if l.flat == nil {
+		return nil
+	}
+	return &l.flat.Words[l.wIdx]
+}
+
 func (l lval) load(out *Value) error {
+	if l.flat != nil {
+		*out = Value{T: l.flat.wordT, Scalar: loadWord(&l.flat.Words[l.wIdx], l.unshared)}
+		return nil
+	}
 	if l.uField != nil {
 		cp := newCell(l.uField, cltypes.Private, false)
 		if err := decodeInto(cp, l.c.Bytes); err != nil {
@@ -179,6 +200,13 @@ func (l lval) load(out *Value) error {
 }
 
 func (l lval) store(v *Value) error {
+	if l.flat != nil {
+		if vs, ok := v.T.(*cltypes.Scalar); ok {
+			storeWord(&l.flat.Words[l.wIdx], cltypes.Convert(v.Scalar, vs, l.flat.wordT), l.unshared)
+			return nil
+		}
+		return fmt.Errorf("exec: cannot store %s into %s", v.T, l.flat.wordT)
+	}
 	if l.uField != nil {
 		// Write-through the union view: encode the field value at offset 0
 		// (all union members share offset 0).
@@ -203,6 +231,9 @@ func (l lval) store(v *Value) error {
 
 // typ returns the type of the location.
 func (l lval) typ() cltypes.Type {
+	if l.flat != nil {
+		return l.flat.wordT
+	}
 	if l.uField != nil {
 		return l.uField
 	}

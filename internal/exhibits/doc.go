@@ -1,0 +1,14 @@
+// Package exhibits contains the bug-exhibit kernels of the paper's
+// Figure 1 (configurations below the reliability threshold) and Figure 2
+// (configurations above it), adapted to the OpenCL C subset. Each exhibit
+// records the configurations it affects and the expected-vs-observed
+// behaviour, so tests and cmd/cltables can regenerate both figures and
+// verify that every documented bug reproduces on its simulated
+// configuration and on no reference run.
+//
+// All returns the exhibit set; Verify runs one exhibit on its documented
+// configurations and on the reference, checking that the defect — and
+// only the defect — manifests. Exhibit sources are tuned so that no
+// coincidental hash-gated crash fires on the configurations they document
+// (device.Config.GatesClean).
+package exhibits

@@ -1,10 +1,3 @@
-// Package exhibits contains the bug-exhibit kernels of the paper's
-// Figure 1 (configurations below the reliability threshold) and Figure 2
-// (configurations above it), adapted to the OpenCL C subset. Each exhibit
-// records the configurations it affects and the expected-vs-observed
-// behaviour, so tests and cmd/cltables can regenerate both figures and
-// verify that every documented bug reproduces on its simulated
-// configuration and on no reference run.
 package exhibits
 
 import (

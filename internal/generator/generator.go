@@ -1,20 +1,3 @@
-// Package generator implements the CLsmith random kernel generator
-// (paper §4): random OpenCL kernels that produce deterministic output by
-// construction, in six modes.
-//
-// BASIC lifts the Csmith approach to OpenCL: every thread runs the same
-// randomly generated computation over a per-thread "globals struct"
-// (OpenCL 1.x has no program-scope mutable globals, §4.1) and writes a
-// checksum of its state to result[tid]. VECTOR adds OpenCL vector types and
-// builtins. BARRIER, ATOMIC SECTION and ATOMIC REDUCTION add deterministic
-// intra-group communication using the three §4.2 strategies. ALL combines
-// everything.
-//
-// Determinism discipline (§4.2): thread-local ids never appear in
-// expressions (only in the designated communication idioms), shared arrays
-// are initialized uniformly, values derived from communication flow only
-// into the per-thread checksum and never into control flow, and all
-// arithmetic goes through total "safe math" wrappers.
 package generator
 
 import (

@@ -1,0 +1,38 @@
+// Package harness orchestrates the paper's testing campaigns: the initial
+// classification of configurations against a reliability threshold
+// (Table 1, §7.1), intensive CLsmith-based differential testing (Table 4,
+// §7.3), CLsmith+EMI testing (Table 5, §7.4) and EMI testing over the
+// benchmark ports (Table 3, §7.2). Campaigns run test cases in parallel
+// across a worker pool and are fully deterministic in their seeds.
+//
+// # Campaign engine
+//
+// Three layers keep campaigns fast without changing a single byte of
+// output:
+//
+//   - Compile-once: each distinct kernel source is lexed and parsed once
+//     (device.DefaultFrontCache); every (configuration, level) pair runs
+//     only the cheap per-configuration back end on a clone.
+//   - Model dedup: (configuration, level) pairs whose defect models are
+//     identical (modelKey) are byte-for-byte interchangeable — the
+//     simulator is deterministic — so campaigns run one representative
+//     per model and copy its result to the followers. Table 1's four
+//     identical NVIDIA entries, the shared Intel CPU no-opt model and
+//     Oclgrind's ignored optimization flag all collapse, in
+//     RunEverywhere, ClassifyConfigurations and the Table 5 campaign.
+//   - Worker budgeting: every kernel launch receives a work-group fan-out
+//     allowance (ExecWorkers) equal to the machine parallelism left over
+//     after case-level fan-out, so campaign-level and group-level
+//     parallelism multiply to at most GOMAXPROCS. Saturated campaign
+//     stages run groups serially; narrow stages (a single differential
+//     test, a small acceptance batch) hand the idle cores to the
+//     executor.
+//
+// determinism_test.go pins all three layers against cache-bypassing and
+// serial reference paths, byte for byte, under -race.
+//
+// Entry points: RunOn / RunEverywhere for single cases,
+// ClassifyConfigurations (Table 1), CLsmithCampaign (Table 4),
+// EMICampaign (Table 5), EMIBenchmarkCampaign (Table 3), and the
+// RenderTable* formatters that print the paper's layouts.
+package harness

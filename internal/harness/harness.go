@@ -1,9 +1,3 @@
-// Package harness orchestrates the paper's testing campaigns: the initial
-// classification of configurations against a reliability threshold
-// (Table 1, §7.1), intensive CLsmith-based differential testing (Table 4,
-// §7.3), CLsmith+EMI testing (Table 5, §7.4) and EMI testing over the
-// benchmark ports (Table 3, §7.2). Campaigns run test cases in parallel
-// across a worker pool and are fully deterministic in their seeds.
 package harness
 
 import (
@@ -40,24 +34,52 @@ func Key(cfg *device.Config, optimize bool) string {
 	return fmt.Sprintf("%d-", cfg.ID)
 }
 
+// ExecWorkers returns the work-group fan-out budget for one kernel launch
+// inside a campaign stage that runs `width` cases concurrently: the
+// machine's parallelism left over once case-level fan-out has claimed its
+// workers. A saturated stage (width >= GOMAXPROCS) yields 1 — groups run
+// serially, as before — while a narrow stage (a single differential test,
+// a small acceptance batch) hands the idle cores to the executor. Both
+// levels multiply to at most GOMAXPROCS, so campaign-level and group-level
+// parallelism never oversubscribe the machine.
+func ExecWorkers(width int) int {
+	w := runtime.GOMAXPROCS(0)
+	if width < 1 {
+		width = 1
+	}
+	per := w / width
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // RunOn compiles and executes the case on one configuration at one
-// optimization level. The front end comes from the shared compile cache;
+// optimization level, with the whole machine available for work-group
+// fan-out (it is the single-shot entry point used by cldiff, the reducer
+// and the examples). The front end comes from the shared compile cache;
 // callers that already hold a FrontEnd for the case (RunEverywhere does)
 // should use RunOnFE to skip even the cache lookup.
 func RunOn(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Result {
-	return RunOnFE(cfg, optimize, device.DefaultFrontCache.Get(c.Src), c, baseFuel)
+	return runCase(cfg, optimize, device.DefaultFrontCache.Get(c.Src), c, baseFuel, ExecWorkers(1))
 }
 
 // RunOnFE executes the case on one configuration at one optimization
 // level, reusing a previously parsed front end for the case source.
 func RunOnFE(cfg *device.Config, optimize bool, fe *device.FrontEnd, c Case, baseFuel int64) oracle.Result {
+	return runCase(cfg, optimize, fe, c, baseFuel, ExecWorkers(1))
+}
+
+// runCase is the budgeted execution core behind every campaign runner:
+// workers is the per-launch work-group fan-out allowance (ExecWorkers).
+func runCase(cfg *device.Config, optimize bool, fe *device.FrontEnd, c Case, baseFuel int64, workers int) oracle.Result {
 	key := Key(cfg, optimize)
 	cr := cfg.CompileFrontEnd(fe, optimize)
 	if cr.Outcome != device.OK {
 		return oracle.Result{Key: key, Outcome: cr.Outcome}
 	}
 	args, result := c.Buffers()
-	rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel})
+	rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
 	return oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
 }
 
@@ -73,7 +95,7 @@ func RunOnUncached(cfg *device.Config, optimize bool, c Case, baseFuel int64) or
 // parsed exactly once; each (configuration, level) pair runs only the
 // cheap per-configuration back end.
 func RunEverywhere(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Result {
-	return runEverywhereFE(cfgs, device.DefaultFrontCache.Get(c.Src), c, baseFuel)
+	return runEverywhereFE(cfgs, device.DefaultFrontCache.Get(c.Src), c, baseFuel, 1)
 }
 
 // RunEverywhereUncached is RunEverywhere with the front-end cache
@@ -131,7 +153,12 @@ func groupJobs[K comparable](n int, key func(i int) K) (reps []int, follower map
 	return reps, follower
 }
 
-func runEverywhereFE(cfgs []*device.Config, fe *device.FrontEnd, c Case, baseFuel int64) []oracle.Result {
+// runEverywhereFE runs every (configuration, level) pair on the front
+// end. width is the number of RunEverywhere calls the caller itself runs
+// concurrently (1 for a single differential test): group-level fan-out is
+// budgeted against width × representatives, so a campaign that fans out
+// over kernels (Table 4) does not multiply its parallelism again here.
+func runEverywhereFE(cfgs []*device.Config, fe *device.FrontEnd, c Case, baseFuel int64, width int) []oracle.Result {
 	type job struct {
 		cfg *device.Config
 		opt bool
@@ -145,9 +172,10 @@ func runEverywhereFE(cfgs []*device.Config, fe *device.FrontEnd, c Case, baseFue
 		return jobModelKey(jobs[i].cfg, jobs[i].opt)
 	})
 	results := make([]oracle.Result, len(jobs))
+	workers := ExecWorkers(width * len(reps))
 	parallelFor(len(reps), func(ri int) {
 		i := reps[ri]
-		results[i] = RunOnFE(jobs[i].cfg, jobs[i].opt, fe, c, baseFuel)
+		results[i] = runCase(jobs[i].cfg, jobs[i].opt, fe, c, baseFuel, workers)
 	})
 	for i, r := range follower {
 		src := results[r]
@@ -218,9 +246,10 @@ func GenerateAccepted(mode generator.Mode, n int, seed int64, maxThreads int, em
 			next++
 		}
 		accepted := make([]bool, batch)
+		workers := ExecWorkers(batch)
 		parallelFor(batch, func(i int) {
 			c := CaseFromKernel(cands[i], "")
-			r := RunOn(gen1, true, c, baseFuel)
+			r := runCase(gen1, true, device.DefaultFrontCache.Get(c.Src), c, baseFuel, workers)
 			accepted[i] = r.Outcome == device.OK
 		})
 		mu.Lock()

@@ -64,26 +64,55 @@ func ClassifyConfigurations(perMode int, seed int64, maxThreads int, baseFuel in
 		results []oracle.Result
 		compile map[string]bool // keys whose timeout came from compilation
 	}
+	// The (configuration, level) job list is the same for every kernel;
+	// group it by defect model once, so each kernel compiles and runs only
+	// one representative per model and copies the deterministic result to
+	// the followers (configurations 1-4 share one NVIDIA model, the Intel
+	// CPU no-opt levels another, and Oclgrind ignores the flag entirely —
+	// the same modelKey dedupe RunEverywhere and the Table 5 campaign use).
+	type job struct {
+		cfg *device.Config
+		opt bool
+	}
+	var jobs []job
+	for _, cfg := range cfgs {
+		jobs = append(jobs, job{cfg, false}, job{cfg, true})
+	}
+	reps, follower := groupJobs(len(jobs), func(i int) modelKey {
+		return jobModelKey(jobs[i].cfg, jobs[i].opt)
+	})
 	observations := make([]obs, len(kernels))
+	workers := ExecWorkers(len(kernels))
 	parallelFor(len(kernels), func(i int) {
 		c := CaseFromKernel(kernels[i], fmt.Sprintf("init-%d", i))
 		fe := device.DefaultFrontCache.Get(c.Src)
-		var rs []oracle.Result
+		rs := make([]oracle.Result, len(jobs))
 		compileTO := map[string]bool{}
-		for _, cfg := range cfgs {
-			for _, optimize := range []bool{false, true} {
-				key := Key(cfg, optimize)
-				cr := cfg.CompileFrontEnd(fe, optimize)
-				if cr.Outcome != device.OK {
-					rs = append(rs, oracle.Result{Key: key, Outcome: cr.Outcome})
-					if cr.Outcome == device.Timeout {
-						compileTO[key] = true
-					}
-					continue
+		for _, ji := range reps {
+			cfg, optimize := jobs[ji].cfg, jobs[ji].opt
+			key := Key(cfg, optimize)
+			cr := cfg.CompileFrontEnd(fe, optimize)
+			if cr.Outcome != device.OK {
+				rs[ji] = oracle.Result{Key: key, Outcome: cr.Outcome}
+				if cr.Outcome == device.Timeout {
+					compileTO[key] = true
 				}
-				args, result := c.Buffers()
-				rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel})
-				rs = append(rs, oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output})
+				continue
+			}
+			args, result := c.Buffers()
+			rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
+			rs[ji] = oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
+		}
+		for ji, r := range follower {
+			src := rs[r]
+			key := Key(jobs[ji].cfg, jobs[ji].opt)
+			out := src.Output
+			if out != nil {
+				out = append([]uint64(nil), out...)
+			}
+			rs[ji] = oracle.Result{Key: key, Outcome: src.Outcome, Output: out}
+			if compileTO[src.Key] {
+				compileTO[key] = true
 			}
 		}
 		observations[i] = obs{results: rs, compile: compileTO}

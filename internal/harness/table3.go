@@ -144,9 +144,10 @@ func EMIBenchmarkCampaign(variantsPerBench int, seed int64, baseFuel int64) *Tab
 			}
 		}
 		results := make([]obs, len(jobs))
+		workers := ExecWorkers(len(jobs))
 		parallelFor(len(jobs), func(i int) {
 			j := jobs[i]
-			out, okRun := runBenchmarkEMI(j.cfg, j.opt, bench, variants[j.vi].fe, baseFuel)
+			out, okRun := runBenchmarkEMI(j.cfg, j.opt, bench, variants[j.vi].fe, baseFuel, workers)
 			o := obs{subsOn: variants[j.vi].subsOn}
 			o.outcome = out.Outcome
 			if out.Outcome == device.OK {
@@ -161,7 +162,7 @@ func EMIBenchmarkCampaign(variantsPerBench int, seed int64, baseFuel int64) *Tab
 		for _, cfg := range testCfgs {
 			ng := false
 			for _, opt := range []bool{false, true} {
-				out, okRun := runBenchmarkEMI(cfg, opt, bench, benchFE, baseFuel)
+				out, okRun := runBenchmarkEMI(cfg, opt, bench, benchFE, baseFuel, ExecWorkers(1))
 				if !okRun || out.Outcome != device.OK || !oracle.Equal(out.Output, expected) {
 					ng = true
 				}
@@ -233,7 +234,7 @@ func injectedVariant(src string, seed int64, substitute, prune bool) (string, er
 // runBenchmarkOnce runs the unmodified benchmark on a configuration and
 // returns its output.
 func runBenchmarkOnce(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, fe *device.FrontEnd, baseFuel int64) ([]uint64, bool) {
-	out, ok := runBenchmarkEMI(cfg, optimize, bench, fe, baseFuel)
+	out, ok := runBenchmarkEMI(cfg, optimize, bench, fe, baseFuel, ExecWorkers(1))
 	if !ok || out.Outcome != device.OK {
 		return nil, false
 	}
@@ -242,8 +243,9 @@ func runBenchmarkOnce(cfg *device.Config, optimize bool, bench *benchmarks.Bench
 
 // runBenchmarkEMI compiles and runs a benchmark front end (possibly EMI-
 // injected) on a configuration, wiring the host-initialized dead array
-// when the kernel declares one.
-func runBenchmarkEMI(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, fe *device.FrontEnd, baseFuel int64) (device.RunResult, bool) {
+// when the kernel declares one. workers is the per-launch work-group
+// fan-out budget (ExecWorkers).
+func runBenchmarkEMI(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, fe *device.FrontEnd, baseFuel int64, workers int) (device.RunResult, bool) {
 	cr := cfg.CompileFrontEnd(fe, optimize)
 	if cr.Outcome != device.OK {
 		return device.RunResult{Outcome: cr.Outcome, Msg: cr.Msg}, true
@@ -259,7 +261,7 @@ func runBenchmarkEMI(cfg *device.Config, optimize bool, bench *benchmarks.Benchm
 			args["dead"] = exec.Arg{Buf: dead}
 		}
 	}
-	rr := cr.Kernel.Run(bench.ND, args, result, device.RunOptions{BaseFuel: baseFuel})
+	rr := cr.Kernel.Run(bench.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
 	return rr, true
 }
 

@@ -70,7 +70,8 @@ func CLsmithCampaign(perMode int, seed int64, maxThreads int, baseFuel int64) *T
 		all := make([]kernelResults, len(kernels))
 		parallelFor(len(kernels), func(i int) {
 			c := CaseFromKernel(kernels[i], fmt.Sprintf("%s-%d", mode, i))
-			all[i] = kernelResults{rs: RunEverywhere(cfgs, c, baseFuel)}
+			fe := device.DefaultFrontCache.Get(c.Src)
+			all[i] = kernelResults{rs: runEverywhereFE(cfgs, fe, c, baseFuel, len(kernels))}
 		})
 		for _, kr := range all {
 			wrong := map[string]bool{}

@@ -98,11 +98,12 @@ func EMICampaign(bases int, seed int64, maxThreads int, baseFuel int64) *Table5 
 			return vKey{jobs[i].gi, jobModelKey(jobs[i].cfg, jobs[i].opt)}
 		})
 		results := make([]variantResult, len(jobs))
+		workers := ExecWorkers(len(reps))
 		parallelFor(len(reps), func(ri int) {
 			i := reps[ri]
 			j := jobs[i]
 			c := Case{Src: variants[j.gi], ND: base.ND, Buffers: base.Buffers}
-			r := RunOnFE(j.cfg, j.opt, variantFEs[j.gi], c, baseFuel)
+			r := runCase(j.cfg, j.opt, variantFEs[j.gi], c, baseFuel, workers)
 			results[i] = variantResult{outcome: r.Outcome, output: r.Output}
 		})
 		for i, r := range follower {
@@ -215,6 +216,7 @@ func generateEMIBases(n int, seed int64, maxThreads int, baseFuel int64) []*gene
 			next++
 		}
 		keep := make([]bool, batch)
+		workers := ExecWorkers(batch)
 		parallelFor(batch, func(i int) {
 			k := cands[i]
 			cr := gen1.Compile(k.Src, true)
@@ -222,12 +224,12 @@ func generateEMIBases(n int, seed int64, maxThreads int, baseFuel int64) []*gene
 				return
 			}
 			args, result := k.Buffers()
-			rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{BaseFuel: baseFuel})
+			rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
 			if rr.Outcome != device.OK {
 				return
 			}
 			iargs, iresult := k.InvertedDeadBuffers()
-			ir := cr.Kernel.Run(k.ND, iargs, iresult, device.RunOptions{BaseFuel: baseFuel})
+			ir := cr.Kernel.Run(k.ND, iargs, iresult, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
 			if ir.Outcome != device.OK {
 				// Inversion makes the blocks live; divergence in outcome
 				// still proves the blocks are reachable when live.

@@ -1,7 +1,3 @@
-// Package lexer tokenizes OpenCL C subset source. Each simulated compiler
-// configuration lexes and parses kernel source text, mirroring the online
-// compilation model of OpenCL in which drivers compile source at runtime
-// (paper §1).
 package lexer
 
 import (

@@ -1,12 +1,3 @@
-// Package opt implements the optimization passes of the simulated OpenCL
-// compilers: constant folding, algebraic simplification, dead code
-// elimination and bounded loop unrolling. OpenCL compiles with
-// optimizations on by default and exposes -cl-opt-disable to turn them off
-// (paper §6); the harness tests every configuration at both levels, and
-// several injected defect models live inside these passes, mirroring where
-// the corresponding real bugs were diagnosed (constant folding for the
-// Intel rotate bug of Figure 2(b), expression optimization for the group-id
-// comparison bug of Figure 2(e)).
 package opt
 
 import (

@@ -1,0 +1,11 @@
+// Package oracle implements the majority-voting oracle of random
+// differential testing (paper §3.2, §7.3): a deterministic kernel should
+// yield one result everywhere, so among the results computed across
+// configurations, a sufficiently large majority is assumed correct and
+// deviating results flag miscompilations.
+//
+// WrongCode takes the per-configuration Results of one kernel and returns
+// the keys voted wrong; Equal compares raw output vectors. The harness
+// tallies the returned keys into the w/bf/c/to/ok counters of Tables 4
+// and 5.
+package oracle

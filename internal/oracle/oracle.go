@@ -1,8 +1,3 @@
-// Package oracle implements the majority-voting oracle of random
-// differential testing (paper §3.2, §7.3): a deterministic kernel should
-// yield one result everywhere, so among the results computed across
-// configurations, a sufficiently large majority is assumed correct and
-// deviating results flag miscompilations.
 package oracle
 
 import (

@@ -1,0 +1,10 @@
+// Package parser parses OpenCL C subset source into the AST. It
+// implements a conventional recursive-descent parser with full C operator
+// precedence, struct/union/typedef declarations, OpenCL address space
+// qualifiers, vector literals and kernel qualifiers.
+//
+// Parse is the single entry point. Campaigns do not call it per
+// configuration: the device layer memoizes parsed front ends per distinct
+// source (device.FrontCache), so each kernel is parsed once no matter how
+// many configurations compile it.
+package parser

@@ -1,7 +1,3 @@
-// Package parser parses OpenCL C subset source into the AST. It implements
-// a conventional recursive-descent parser with full C operator precedence,
-// struct/union/typedef declarations, OpenCL address space qualifiers,
-// vector literals and kernel qualifiers.
 package parser
 
 import (

@@ -1,17 +1,3 @@
-// Package reduce implements an automatic test-case reducer for OpenCL
-// kernels, the tool the paper identifies as missing for the many-core
-// setting (§8: "A reducer for OpenCL would require a concurrency-aware
-// static analysis to avoid introducing data races").
-//
-// The reducer is a delta debugger over the statement structure of a
-// kernel: it repeatedly removes statements, simplifies expressions to
-// literals and drops functions while an interestingness predicate (e.g.
-// "configuration 9+ still disagrees with the reference") keeps holding.
-// Concurrency-awareness comes from the executor rather than a static
-// analysis: every candidate is re-validated on the reference configuration
-// with the race and divergence checker enabled, so a reduction step that
-// introduces a data race or barrier divergence — the failure mode the
-// paper warns about — is rejected.
 package reduce
 
 import (

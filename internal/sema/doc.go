@@ -1,0 +1,16 @@
+// Package sema implements semantic analysis for the OpenCL C subset:
+// symbol resolution, type checking with C99 usual arithmetic conversions,
+// OpenCL vector operation typing, builtin signature checking, lvalue and
+// const checking, and struct/union initializer checking.
+//
+// The front end is also the hook point for the injected front-end defects
+// (package bugs): the Intel size_t rejection, the Altera vector
+// rejections and the compile-hang pattern, mirroring where those bugs
+// lived in the real implementations the paper tested.
+//
+// Check returns an Info summary of program features — HasBarrier,
+// HasAtomic, HasFwdDecl, vector usage, struct sizes — that the defect
+// models key on and that the device layer converts into the executor's
+// static guarantees (exec.Options.NoBarrier and NoAtomics, which gate the
+// sequential fast path and the parallel work-group path respectively).
+package sema

@@ -1,12 +1,3 @@
-// Package sema implements semantic analysis for the OpenCL C subset:
-// symbol resolution, type checking with C99 usual arithmetic conversions,
-// OpenCL vector operation typing, builtin signature checking, lvalue and
-// const checking, and struct/union initializer checking.
-//
-// The front end is also the hook point for the injected front-end defects
-// (package bugs): the Intel size_t rejection, the Altera vector rejections
-// and the compile-hang pattern, mirroring where those bugs lived in the
-// real implementations the paper tested.
 package sema
 
 import (
