@@ -162,9 +162,10 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkCompile measures compilation through the shared front-end
-// cache (the campaign configuration: one parse per distinct source, plus
-// the per-configuration back end on every call).
+// BenchmarkCompile measures compilation through the two-level compile
+// cache (the campaign configuration). Steady state for one configuration
+// is two cache hits per call: the front cache serves the parse, the back
+// cache serves the finished immutable kernel.
 func BenchmarkCompile(b *testing.B) {
 	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
 	ref := device.Reference()
@@ -178,8 +179,8 @@ func BenchmarkCompile(b *testing.B) {
 }
 
 // BenchmarkCompileUncached measures the cache-bypassing path, which
-// re-lexes and re-parses on every call — the per-compile cost the seed
-// harness paid 42 times per differential test.
+// re-lexes, re-parses, re-checks and re-optimizes on every call — the
+// per-compile cost the seed harness paid 42 times per differential test.
 func BenchmarkCompileUncached(b *testing.B) {
 	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
 	ref := device.Reference()
@@ -255,7 +256,7 @@ func BenchmarkSema(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sema.Check(prog, 0); err != nil {
+		if _, _, err := sema.Check(prog, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -264,7 +265,8 @@ func BenchmarkSema(b *testing.B) {
 // BenchmarkDifferentialTest measures one full differential test: one
 // kernel across the above-threshold configurations at both levels with
 // majority voting, through the compile-once campaign engine (shared
-// front end, defect-model run deduplication).
+// front end, shared immutable back-end kernels, defect-model run
+// deduplication).
 func BenchmarkDifferentialTest(b *testing.B) {
 	cfgs := harness.AboveThresholdConfigs()
 	for i := 0; i < b.N; i++ {

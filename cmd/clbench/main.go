@@ -32,6 +32,16 @@ type metrics struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 }
 
+// cacheStats snapshots one compile-cache level after the benchmark run,
+// so cross-machine comparisons can see whether a perf difference is cache
+// effectiveness or raw speed (a cold or thrashing cache shows up as a
+// miss-heavy snapshot, not as an unexplained slowdown).
+type cacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+}
+
 type snapshot struct {
 	Schema     string `json:"schema"`
 	CapturedAt string `json:"captured_at,omitempty"`
@@ -44,9 +54,14 @@ type snapshot struct {
 	CPUs int `json:"cpus,omitempty"`
 	// GroupWorkers is the work-group fan-out budget the parallel execute
 	// benchmark ran with (RunOptions.Workers).
-	GroupWorkers int                `json:"group_workers,omitempty"`
-	Notes        string             `json:"notes,omitempty"`
-	Benchmarks   map[string]metrics `json:"benchmarks"`
+	GroupWorkers int    `json:"group_workers,omitempty"`
+	Notes        string `json:"notes,omitempty"`
+	// FrontCache and BackCache are the process-wide compile-cache
+	// counters accumulated over the whole benchmark run: front-end
+	// parses and finished back-end kernels reused vs compiled.
+	FrontCache *cacheStats        `json:"front_cache,omitempty"`
+	BackCache  *cacheStats        `json:"back_cache,omitempty"`
+	Benchmarks map[string]metrics `json:"benchmarks"`
 }
 
 func measure(name string, out map[string]metrics, fn func(b *testing.B)) {
@@ -84,7 +99,7 @@ func main() {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sema.Check(prog, 0); err != nil {
+			if _, _, err := sema.Check(prog, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -161,11 +176,17 @@ func main() {
 		})
 	}
 
+	fcHits, fcMisses, fcSize := device.DefaultFrontCache.Stats()
+	bcHits, bcMisses, bcSize := device.DefaultBackCache.Stats()
+	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "FrontCache", fcHits, fcMisses, fcSize)
+	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "BackCache", bcHits, bcMisses, bcSize)
 	snap := snapshot{
 		Schema:       "clfuzz-bench/v1",
 		Go:           runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
 		CPUs:         runtime.GOMAXPROCS(0),
 		GroupWorkers: groupWorkers,
+		FrontCache:   &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
+		BackCache:    &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},
 		Benchmarks:   bm,
 	}
 	enc := json.NewEncoder(os.Stdout)

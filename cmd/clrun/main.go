@@ -30,6 +30,8 @@ func main() {
 	races := flag.Bool("races", false, "enable the data race and barrier divergence checker")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"work-group fan-out budget (1 = fully serial executor; results are identical either way)")
+	cacheStats := flag.Bool("cachestats", false,
+		"print compile-cache hit/miss counters (front-end parses, shared back-end kernels) after the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: clrun [flags] kernel.cl")
@@ -53,11 +55,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	printCacheStats := func() {
+		if !*cacheStats {
+			return
+		}
+		fh, fm, fs := device.DefaultFrontCache.Stats()
+		bh, bm, bs := device.DefaultBackCache.Stats()
+		fmt.Fprintf(os.Stderr, "front cache: %d hits, %d misses, %d entries\n", fh, fm, fs)
+		fmt.Fprintf(os.Stderr, "back cache:  %d hits, %d misses, %d entries\n", bh, bm, bs)
+	}
 	cr := cfg.Compile(c.Src, !*noopt)
 	if cr.Outcome != device.OK {
 		fmt.Printf("outcome: %s\n%s\n", cr.Outcome, cr.Msg)
+		printCacheStats()
 		os.Exit(1)
 	}
+	defer printCacheStats()
 	args, result := c.Buffers()
 	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{CheckRaces: *races, Workers: *workers})
 	fmt.Printf("outcome: %s\n", rr.Outcome)

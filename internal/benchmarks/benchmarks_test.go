@@ -85,7 +85,7 @@ func TestTable2Static(t *testing.T) {
 		}
 		if prog, err := parser.Parse(b.Src); err != nil {
 			t.Errorf("%s: parse: %v", b.Name, err)
-		} else if _, err := sema.Check(prog, 0); err != nil {
+		} else if _, _, err := sema.Check(prog, 0); err != nil {
 			t.Errorf("%s: sema: %v", b.Name, err)
 		}
 	}

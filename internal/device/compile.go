@@ -4,7 +4,6 @@ import (
 	"clfuzz/internal/ast"
 	"clfuzz/internal/bugs"
 	"clfuzz/internal/exec"
-	"clfuzz/internal/opt"
 	"clfuzz/internal/sema"
 )
 
@@ -51,7 +50,13 @@ type CompileResult struct {
 	Kernel  *Kernel
 }
 
-// Kernel is a successfully compiled kernel, ready to run.
+// Kernel is a successfully compiled kernel, ready to run. Prog and Info
+// form the immutable back-end artifact: they may be shared — via the
+// BackCache — with every other configuration whose defect model compiles
+// the same source to the same program, and with any number of concurrent
+// launches (the executor never writes to the AST). Config, Optimized and
+// the launch-time defect level are the cheap per-configuration wrapper
+// around that shared artifact.
 type Kernel struct {
 	Config    *Config
 	Optimized bool
@@ -63,73 +68,66 @@ type Kernel struct {
 
 // Compile runs the configuration's online compiler on kernel source:
 // lexing/parsing (memoized in DefaultFrontCache, since the front end is
-// configuration-independent), semantic analysis with the configuration's
-// front-end defects, the always-on front-end folds, and (unless disabled)
-// the optimization pipeline. The result is OK with a runnable Kernel, or a
-// build failure / compile timeout.
+// configuration-independent), then the back end — semantic analysis with
+// the configuration's front-end defects, the always-on front-end folds,
+// and (unless disabled) the optimization pipeline — memoized in
+// DefaultBackCache per (source, defect set, effective optimize). The
+// result is OK with a runnable Kernel, or a build failure / compile
+// timeout.
 func (c *Config) Compile(src string, optimize bool) CompileResult {
-	return c.CompileFrontEnd(DefaultFrontCache.Get(src), optimize)
+	return c.compileFE(DefaultFrontCache.Get(src), optimize, DefaultBackCache)
 }
 
-// CompileUncached is Compile without front-end memoization: every call
-// re-lexes and re-parses the source. It exists so the determinism tests
-// can compare campaign outputs against a cache-free reference path.
+// CompileUncached is Compile with both cache levels bypassed: every call
+// re-lexes, re-parses, re-checks and re-optimizes the source. It exists so
+// the determinism tests can compare campaign outputs against a cache-free
+// reference path.
 func (c *Config) CompileUncached(src string, optimize bool) CompileResult {
-	return c.CompileFrontEnd(ParseFrontEnd(src), optimize)
+	return c.compileFE(ParseFrontEnd(src), optimize, nil)
 }
 
 // CompileFrontEnd runs the per-configuration back end on a shared front
-// end: it clones the pristine parsed program, type-checks the clone under
-// the level's defect set, applies the compile-time defect gates, the
-// always-on front-end folds, and the optimization pipeline. The front end
-// is never mutated, so one FrontEnd may be compiled concurrently by any
-// number of configurations.
+// end, memoized in DefaultBackCache: configurations whose defect model
+// compiles this source identically share one immutable checked program
+// (see backKey). The front end is never written to, so one FrontEnd may be
+// compiled concurrently by any number of configurations.
 func (c *Config) CompileFrontEnd(fe *FrontEnd, optimize bool) CompileResult {
-	lvl := c.Level(optimize)
-	hash := fe.Hash
+	return c.compileFE(fe, optimize, DefaultBackCache)
+}
+
+// compileFE wraps the shared back-end artifact for this configuration.
+// bc == nil bypasses the back cache (the determinism reference path).
+func (c *Config) compileFE(fe *FrontEnd, optimize bool, bc *BackCache) CompileResult {
 	if fe.Err != nil {
 		return CompileResult{Outcome: BuildFailure, Msg: "parse error: " + fe.Err.Error()}
 	}
-	prog := ast.CloneProgram(fe.Prog)
-	info, err := sema.Check(prog, lvl.Defects)
-	if err != nil {
-		return CompileResult{Outcome: BuildFailure, Msg: err.Error()}
+	lvl := c.Level(optimize)
+	effOpt := optimize && !c.NoOptimizer
+	var be *backEnd
+	if bc != nil {
+		key := backKey{hash: fe.Hash, defects: lvl.Defects, bfDiv: lvl.BFDiv, slowDiv: lvl.SlowDiv, optimize: effOpt}
+		cached, collided := bc.get(key, fe.Src)
+		be = cached
+		if be == nil {
+			be = bc.assemble(fe, lvl, effOpt)
+			if !collided {
+				bc.put(key, be)
+			}
+		}
+	} else {
+		be = compileBackEnd(fe, lvl, effOpt)
 	}
-	// Compile-time defect triggers.
-	if lvl.Defects.Has(bugs.FECompileHangLoop) && info.HasHangPattern {
-		return CompileResult{Outcome: Timeout, Msg: "compiler entered an unbounded loop (Figure 1(e))"}
-	}
-	if lvl.Defects.Has(bugs.FESlowStructBarrier) && info.HasBarrier && info.MaxStructBytes > 64 {
-		return CompileResult{Outcome: Timeout, Msg: "prohibitively slow compilation of large struct with barrier (Figure 1(f))"}
-	}
-	if lvl.Defects.Has(bugs.FEICEAttr) && bugs.Gate(hash, saltICEAttr, lvl.BFDiv) {
-		return CompileResult{Outcome: BuildFailure, Msg: "internal error: Wrong type for attribute zeroext"}
-	}
-	if lvl.Defects.Has(bugs.FEICEPass) && bugs.Gate(hash, saltICEPass, lvl.BFDiv) {
-		return CompileResult{Outcome: BuildFailure, Msg: "internal error in pass 'Intel OpenCL Vectorizer': Instruction does not dominate all uses!"}
-	}
-	if lvl.Defects.Has(bugs.FEICEBarrierHeavy) && info.BarrierCount >= 2 && bugs.Gate(hash, saltICEBarrier, lvl.BFDiv) {
-		return CompileResult{Outcome: BuildFailure, Msg: "internal error in pass 'Intel OpenCL Barrier'"}
-	}
-	if lvl.Defects.Has(bugs.BFHash) && bugs.Gate(hash, saltBF, lvl.BFDiv) {
-		return CompileResult{Outcome: BuildFailure, Msg: "internal compiler error"}
-	}
-	if lvl.Defects.Has(bugs.SlowCompileHash) && bugs.Gate(hash, saltSlow, lvl.SlowDiv) {
-		return CompileResult{Outcome: Timeout, Msg: "compilation exceeded the test timeout"}
-	}
-	// Always-on front-end folds (host of the ±-level folding defects).
-	opt.EarlyFolds(prog, lvl.Defects, hash)
-	if optimize && !c.NoOptimizer {
-		opt.Optimize(prog, lvl.Defects)
+	if be.outcome != OK {
+		return CompileResult{Outcome: be.outcome, Msg: be.msg}
 	}
 	return CompileResult{
 		Outcome: OK,
 		Kernel: &Kernel{
 			Config:    c,
 			Optimized: optimize,
-			Prog:      prog,
-			Info:      info,
-			Hash:      hash,
+			Prog:      be.prog,
+			Info:      be.info,
+			Hash:      fe.Hash,
 			level:     lvl,
 		},
 	}

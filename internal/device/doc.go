@@ -8,25 +8,52 @@
 //
 // # Compilation pipeline
 //
-// Compilation is split to mirror what actually varies per configuration:
+// A compiled kernel is an immutable artifact. Semantic analysis rebuilds
+// the pristine parse into a fresh annotated program instead of mutating
+// it, the fold and optimization passes are copy-on-write, and the
+// executor never writes to the AST — so compiled programs can be shared
+// freely. Compilation is therefore a two-level cache along what actually
+// varies per configuration:
 //
 //   - The front end — lexing and parsing — is configuration-independent,
 //     so it runs once per distinct kernel source and is memoized in a
 //     bounded, concurrency-safe FrontCache (DefaultFrontCache) keyed by
-//     the source hash. ParseFrontEnd is the cache-bypassing variant the
-//     determinism tests compare against.
-//   - The back end — Config.CompileFrontEnd — clones the pristine parsed
-//     program, type-checks it under the level's defect set (internal/sema),
-//     applies the compile-time defect gates and always-on front-end folds,
-//     and runs the optimization pipeline (internal/opt) unless disabled.
-//     The front end is never mutated, so one FrontEnd may be compiled
-//     concurrently by any number of configurations.
+//     the source hash.
+//   - The back end — semantic analysis under the level's defect set,
+//     the compile-time defect gates, the always-on front-end folds, and
+//     the optimization pipeline — is memoized in a BackCache
+//     (DefaultBackCache) keyed by (source hash, defect set, gate
+//     divisors, effective optimize). Every (configuration, level) pair
+//     whose defect model compiles the source identically shares one
+//     finished read-only Kernel: the four identical NVIDIA levels, the
+//     shared Intel CPU no-opt model, and Oclgrind's ignored optimization
+//     flag all collapse to single entries. Internally the BackCache is
+//     staged along the defect bits each phase reads (semaDefects,
+//     foldDefects), so even distinct models share the checked program
+//     and the folded/optimized program whenever those phases cannot
+//     tell the models apart.
 //
-// Config.Compile combines both steps; the result is a runnable Kernel
+// Config.Compile combines both levels; CompileFrontEnd reuses an
+// already-parsed front end; CompileUncached bypasses every cache and is
+// the reference path the determinism tests compare against (the caches
+// must be byte-for-byte invisible). The result is a runnable Kernel
 // whose Run method applies the launch-time defect gates (driver crashes,
 // fuel scaling, residual wrong-code corruption) around exec.Run.
-// RunOptions.Workers forwards a work-group fan-out budget to the executor;
-// results are byte-identical at any budget.
+// RunOptions.Workers forwards a work-group fan-out budget to the
+// executor; results are byte-identical at any budget.
+//
+// # Immutable-kernel contract
+//
+// Nothing may write to a Kernel's Prog after compilation: the same
+// program is handed to every configuration with the same back-end key
+// and may be executing on any number of goroutines. The executor
+// enforces this in checked builds — exec.SetDebugImmutable makes every
+// launch fingerprint the program before and after running — and the CI
+// determinism jobs run with the assertion armed. The two sanctioned
+// node-level annotations (the evaluator's VarRef resolution slot, an
+// atomically-accessed cache validated on every read, and sema's Member
+// field index, written only during checking) are invisible to printed
+// source and safe under sharing.
 //
 // Reference returns a defect-free configuration (not part of Table 1)
 // used wherever a trustworthy executor is needed: expected-output

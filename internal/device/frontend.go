@@ -11,9 +11,10 @@ import (
 // FrontEnd is the configuration-independent phase of online compilation:
 // the lexed and parsed program for one kernel source, plus the source hash
 // that seeds every hash-gated defect. The program held here is pristine
-// (no semantic annotations, no folds applied); per-configuration back ends
-// clone it before mutating, so one FrontEnd can be shared by any number of
-// concurrent CompileFrontEnd calls.
+// (no semantic annotations, no folds applied) and the back end never
+// writes to it — sema rebuilds into a fresh annotated program — so one
+// FrontEnd can be shared by any number of concurrent CompileFrontEnd
+// calls.
 type FrontEnd struct {
 	Src  string
 	Hash uint64

@@ -2,7 +2,11 @@ package device
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
 )
 
 func kernelSrc(i int) string {
@@ -72,20 +76,24 @@ func TestCompileMatchesUncached(t *testing.T) {
 	}
 }
 
-// TestCompileFrontEndSharedIsolation verifies that compiling one front end
-// for many configurations never mutates it: the per-configuration back
-// ends clone before folding and optimizing.
+// TestCompileFrontEndSharedIsolation verifies the immutable-kernel
+// contract: compiling one front end for many configurations never writes
+// to it (the back end builds a fresh annotated program instead of cloning
+// and mutating), no compiled kernel aliases the pristine parse, and the
+// back cache shares one immutable program across the configurations whose
+// defect model compiles the source identically.
 func TestCompileFrontEndSharedIsolation(t *testing.T) {
 	fe := ParseFrontEnd(kernelSrc(9))
 	if fe.Err != nil {
 		t.Fatalf("parse: %v", fe.Err)
 	}
+	pristine := ast.Print(fe.Prog)
 	var kernels []*Kernel
 	for _, cfg := range All() {
 		cr := cfg.CompileFrontEnd(fe, true)
 		if cr.Outcome == OK {
 			if cr.Kernel.Prog == fe.Prog {
-				t.Fatalf("config %d: compiled kernel shares the pristine front-end program", cfg.ID)
+				t.Fatalf("config %d: compiled kernel aliases the pristine front-end program", cfg.ID)
 			}
 			kernels = append(kernels, cr.Kernel)
 		}
@@ -93,9 +101,107 @@ func TestCompileFrontEndSharedIsolation(t *testing.T) {
 	if len(kernels) < 2 {
 		t.Fatalf("expected at least two successful compiles, got %d", len(kernels))
 	}
+	if got := ast.Print(fe.Prog); got != pristine {
+		t.Fatal("compiling mutated the shared front-end program")
+	}
+	// Configurations 1-4 share one defect-free Opt level; the back cache
+	// must hand them the same immutable compiled program.
+	shared := 0
 	for i := 1; i < len(kernels); i++ {
 		if kernels[i].Prog == kernels[0].Prog {
-			t.Fatal("two configurations share one mutable program")
+			shared++
 		}
+	}
+	if shared == 0 {
+		t.Fatal("back cache did not share the compiled program across identical defect models")
+	}
+}
+
+// TestBackCacheMatchesUncached is the back-end half of the cache
+// determinism contract: for every configuration and optimization level,
+// the kernel produced through the shared BackCache must print to the same
+// source, report the same outcome and diagnostic, and carry the same
+// semantic summary as the cache-bypassing path that re-checks and
+// re-optimizes from a fresh parse. Run under -race in CI, it also
+// exercises concurrent compiles against one cache.
+func TestBackCacheMatchesUncached(t *testing.T) {
+	srcs := []string{kernelSrc(1), kernelSrc(2), `
+kernel void entry(global ulong *out) {
+    int s = 0;
+    for (int i = 0; i < 4; i++) { s += i; }
+    out[get_linear_global_id()] = (ulong)(uint)(s * 1 + 0);
+}
+`}
+	var wg sync.WaitGroup
+	for _, src := range srcs {
+		for _, cfg := range All() {
+			for _, optimize := range []bool{false, true} {
+				wg.Add(1)
+				go func(src string, cfg *Config, optimize bool) {
+					defer wg.Done()
+					cached := cfg.Compile(src, optimize)
+					plain := cfg.CompileUncached(src, optimize)
+					if cached.Outcome != plain.Outcome || cached.Msg != plain.Msg {
+						t.Errorf("config %d opt=%v: cached (%v, %q) != uncached (%v, %q)",
+							cfg.ID, optimize, cached.Outcome, cached.Msg, plain.Outcome, plain.Msg)
+						return
+					}
+					if cached.Outcome != OK {
+						return
+					}
+					if g, w := ast.Print(cached.Kernel.Prog), ast.Print(plain.Kernel.Prog); g != w {
+						t.Errorf("config %d opt=%v: cached program differs from uncached\n--- cached ---\n%s\n--- uncached ---\n%s",
+							cfg.ID, optimize, g, w)
+					}
+					if *cached.Kernel.Info != *plain.Kernel.Info {
+						t.Errorf("config %d opt=%v: cached info %+v != uncached %+v",
+							cfg.ID, optimize, *cached.Kernel.Info, *plain.Kernel.Info)
+					}
+				}(src, cfg, optimize)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestFrontCacheConcurrentEviction hammers a tiny cache from many
+// goroutines over more sources than it can hold, so every Get races with
+// FIFO evictions. The contract under test is hit/miss independence: no
+// matter which Gets hit, miss, or collide with an eviction, every returned
+// front end must be the correct parse of its source, and the cache must
+// stay within its bound.
+func TestFrontCacheConcurrentEviction(t *testing.T) {
+	fc := NewFrontCache(2)
+	const sources = 7
+	srcs := make([]string, sources)
+	for i := range srcs {
+		srcs[i] = kernelSrc(i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				i := (g*13 + round) % sources
+				fe := fc.Get(srcs[i])
+				if fe.Src != srcs[i] || fe.Err != nil || fe.Prog == nil {
+					t.Errorf("Get returned wrong or broken front end for source %d", i)
+					return
+				}
+				if fe.Hash != bugs.Hash(srcs[i]) {
+					t.Errorf("front end hash mismatch for source %d", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, size := fc.Stats()
+	if size > 2 {
+		t.Fatalf("cache exceeded its bound: %d entries", size)
+	}
+	if hits+misses != 8*50 {
+		t.Fatalf("hits (%d) + misses (%d) != total Gets (%d)", hits, misses, 8*50)
 	}
 }

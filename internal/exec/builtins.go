@@ -399,25 +399,23 @@ func (t *thread) evalUserCall(ex *ast.Call, out *Value) error {
 	if t.depth >= 64 {
 		return &CrashError{Msg: "call stack overflow"}
 	}
-	// Argument values live on the Go stack for the usual small arities.
-	var argsArr [4]Value
-	var args []Value
-	if len(ex.Args) <= len(argsArr) {
-		args = argsArr[:len(ex.Args)]
-	} else {
-		args = make([]Value, len(ex.Args))
-	}
-	for i := range ex.Args {
-		if err := t.evalExpr(ex.Args[i], &args[i]); err != nil {
-			return err
-		}
-	}
+	// The callee frame is built while the caller's scope stays installed:
+	// each argument is evaluated and immediately bound (copied) into its
+	// parameter cell before the next argument runs. Immediate binding is
+	// what makes borrowed aggregate values (Value.Agg) safe here — a later
+	// argument's side effects cannot retroactively change an earlier
+	// argument, exactly the semantics the old copy-at-load gave.
 	saved := t.env
 	frame := t.pushEnv(nil)
 	frame.frame = true
+	var arg Value
 	for i, p := range f.Params {
+		if err := t.evalExpr(ex.Args[i], &arg); err != nil {
+			t.popEnv(frame)
+			return err
+		}
 		c := t.newPrivCell(p.Type)
-		if err := storeCell(c, &args[i], t.m.unshared); err != nil {
+		if err := storeCell(c, &arg, t.m.unshared); err != nil {
 			t.popEnv(frame)
 			return err
 		}

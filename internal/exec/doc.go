@@ -41,6 +41,26 @@
 // the flat store directly. Private cells are arena-allocated per thread,
 // including the scalar leaves of struct and array trees.
 //
+// # Read-only programs
+//
+// Run never writes to the program it executes. Compiled kernels are
+// immutable artifacts shared across configurations (device.BackCache)
+// and concurrent launches, and the campaign engine replays one launch's
+// result for every configuration with the same defect model — a single
+// in-place mutation would silently corrupt all of them. The only
+// node-level state the evaluator touches are two sanctioned annotation
+// caches: the VarRef resolution slot (accessed atomically and validated
+// before every use, so a stale value is only a miss) and the Member
+// field index written by sema during checking. SetDebugImmutable arms a
+// checked mode — every launch fingerprints the program's printed source
+// before and after executing and panics on any difference — which the
+// determinism test suites run under -race.
+//
+// Aggregate loads borrow: loading a struct or array rvalue yields a
+// read-only view of the stored cells rather than a deep copy whenever no
+// concurrent writer can exist (Value.Agg); consumers copy out before any
+// further evaluation can write the underlying storage.
+//
 // The device layer (internal/device) wraps Run with the per-configuration
 // defect models; hosts normally go through device.Kernel.Run rather than
 // calling exec.Run directly.

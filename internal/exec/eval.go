@@ -54,6 +54,40 @@ type thread struct {
 	// their allocation.
 	cellChunk []Cell
 	cellUsed  int
+	// kidChunk and wordChunk batch the Kids and Vec backing slices of
+	// arena cells the same way: aggregate declarations request many small
+	// slices whose lifetimes all end with the cells they belong to. Spans
+	// are handed out disjoint and never grown, so no two cells alias.
+	kidChunk  []*Cell
+	wordChunk []uint64
+}
+
+// grabKids hands out a zeroed *Cell span of length n from the chunk.
+func (t *thread) grabKids(n int) []*Cell {
+	if len(t.kidChunk) < n {
+		c := 128
+		if c < n {
+			c = n
+		}
+		t.kidChunk = make([]*Cell, c)
+	}
+	s := t.kidChunk[:n:n]
+	t.kidChunk = t.kidChunk[n:]
+	return s
+}
+
+// grabWords hands out a zeroed uint64 span of length n from the chunk.
+func (t *thread) grabWords(n int) []uint64 {
+	if len(t.wordChunk) < n {
+		c := 128
+		if c < n {
+			c = n
+		}
+		t.wordChunk = make([]uint64, c)
+	}
+	s := t.wordChunk[:n:n]
+	t.wordChunk = t.wordChunk[n:]
+	return s
 }
 
 // binding is one declared name in a scope.
@@ -204,7 +238,7 @@ func (t *thread) newPrivCell(typ cltypes.Type) *Cell {
 		return t.arenaCell(typ)
 	case *cltypes.Vector:
 		c := t.arenaCell(typ)
-		c.Vec = make([]uint64, tt.Len)
+		c.Vec = t.grabWords(tt.Len)
 		return c
 	case *cltypes.StructT:
 		c := t.arenaCell(typ)
@@ -212,14 +246,14 @@ func (t *thread) newPrivCell(typ cltypes.Type) *Cell {
 			c.Bytes = make([]byte, tt.Size())
 			return c
 		}
-		c.Kids = make([]*Cell, len(tt.Fields))
+		c.Kids = t.grabKids(len(tt.Fields))
 		for i, f := range tt.Fields {
 			c.Kids[i] = t.newPrivCell(f.Type)
 		}
 		return c
 	case *cltypes.Array:
 		c := t.arenaCell(typ)
-		c.Kids = make([]*Cell, tt.Len)
+		c.Kids = t.grabKids(tt.Len)
 		for i := range c.Kids {
 			c.Kids[i] = t.newPrivCell(tt.Elem)
 		}
@@ -366,23 +400,30 @@ func (t *thread) execStmt(s ast.Stmt) (ctrl, error) {
 }
 
 func (t *thread) execFor(st *ast.For) (ctrl, error) {
-	saved := t.env
-	t.env = t.pushEnv(saved)
-	defer func() {
-		e := t.env
-		t.env = saved
-		t.popEnv(e)
-	}()
+	// Lazy scope push, mirroring execBlock: the for scope materializes
+	// only when the init clause declares the induction variable. Beyond
+	// saving a scope push per plain-assignment loop, this keeps the
+	// scope-chain SHAPE at every AST node a function of the declarations
+	// that execute before it — never of the loop syntax around it — which
+	// the VarRef slot cache relies on when optimization passes share
+	// nodes between program variants (a dead for loop rewritten to a
+	// plain block must present the identical chain to the shared init
+	// statement).
+	if _, isDecl := st.Init.(*ast.DeclStmt); isDecl {
+		saved := t.env
+		t.env = t.pushEnv(saved)
+		defer func() {
+			e := t.env
+			t.env = saved
+			t.popEnv(e)
+		}()
+	}
 	if st.Init != nil {
 		if _, err := t.execStmt(st.Init); err != nil {
 			return ctrlNone, err
 		}
 	}
-	c, err := t.execLoopBody(st, st.Cond, st.Post, st.Body, false)
-	if err != nil {
-		return c, err
-	}
-	return c, nil
+	return t.execLoopBody(st, st.Cond, st.Post, st.Body, false)
 }
 
 func (t *thread) execLoop(init ast.Stmt, cond ast.Expr, post ast.Expr, body *ast.Block, doFirst bool) (ctrl, error) {

@@ -23,7 +23,7 @@ kernel void k(global ulong *out) {
 	if err != nil {
 		panic(err)
 	}
-	info, err := sema.Check(prog, 0)
+	prog, info, err := sema.Check(prog, 0)
 	if err != nil {
 		panic(err)
 	}

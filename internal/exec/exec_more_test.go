@@ -18,7 +18,7 @@ func runWith(t *testing.T, src string, nd exec.NDRange, opts exec.Options) ([]ui
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	info, err := sema.Check(prog, 0)
+	prog, info, err := sema.Check(prog, 0)
 	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
@@ -283,7 +283,8 @@ kernel void k(global ulong *out) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sema.Check(prog, 0); err != nil {
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
 		t.Fatal(err)
 	}
 	out := exec.NewBuffer(cltypes.TULong, 2)

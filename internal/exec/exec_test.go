@@ -17,7 +17,7 @@ func run(t *testing.T, src string, nd exec.NDRange, opts exec.Options) []uint64 
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	info, err := sema.Check(prog, 0)
+	prog, info, err := sema.Check(prog, 0)
 	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
@@ -188,7 +188,8 @@ kernel void k(global ulong *out, global int *r) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if _, err := sema.Check(prog, 0); err != nil {
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
 	nd := nd1(8, 8)
@@ -233,7 +234,8 @@ kernel void k(global ulong *out) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if _, err := sema.Check(prog, 0); err != nil {
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
 	out := exec.NewBuffer(cltypes.TULong, 4)
@@ -259,7 +261,8 @@ kernel void k(global ulong *out) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if _, err := sema.Check(prog, 0); err != nil {
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
 	out := exec.NewBuffer(cltypes.TULong, 4)
@@ -281,7 +284,8 @@ kernel void k(global ulong *out) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if _, err := sema.Check(prog, 0); err != nil {
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
 	out := exec.NewBuffer(cltypes.TULong, 1)

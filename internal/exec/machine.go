@@ -268,9 +268,44 @@ type Machine struct {
 	interGroup map[memKey]*accessRec // global-memory access record, per kernel run
 }
 
+// debugImmutable arms the read-only-AST assertion in Run: the program is
+// fingerprinted before and after the launch and any difference panics.
+// See SetDebugImmutable.
+var debugImmutable atomic.Bool
+
+// SetDebugImmutable toggles the executor's immutable-program assertion.
+// The executor's contract is that Run never writes to the program it is
+// handed — compiled kernels are shared, via the device package's back-end
+// cache, across configurations and concurrent launches, and the campaign
+// run-deduplication layer replays one launch's result for every
+// configuration with the same defect model. With the assertion armed,
+// every Run snapshots a fingerprint of the program's printed source before
+// executing and verifies it afterwards, panicking on any mutation. (The
+// two sanctioned node-level caches — the VarRef resolution slot and the
+// Member field index — do not appear in printed source; both are
+// annotations the evaluator validates before trusting.) The determinism
+// test suites arm it under -race; it is far too slow for campaigns.
+func SetDebugImmutable(on bool) { debugImmutable.Store(on) }
+
+// fingerprint hashes the program's printed source.
+func fingerprint(prog *ast.Program) uint64 { return bugs.Hash(ast.Print(prog)) }
+
 // Run executes the kernel of prog over the NDRange with the given
 // arguments. It returns nil on success; buffers hold the results.
+//
+// Run treats prog as immutable: no goroutine of the launch ever writes to
+// the AST, so one program may be shared by any number of concurrent
+// launches and configurations. SetDebugImmutable arms a checked mode that
+// verifies this contract on every launch.
 func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
+	if debugImmutable.Load() {
+		before := fingerprint(prog)
+		defer func() {
+			if after := fingerprint(prog); after != before {
+				panic("exec: kernel program was mutated during Run (read-only AST contract violated)")
+			}
+		}()
+	}
 	if err := nd.Validate(); err != nil {
 		return err
 	}

@@ -18,7 +18,7 @@ func launch(t *testing.T, src string, nd exec.NDRange, workers int) ([]uint64, e
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	info, err := sema.Check(prog, 0)
+	prog, info, err := sema.Check(prog, 0)
 	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
@@ -92,6 +92,11 @@ kernel void k(global ulong *out) {
 // or concurrently across any worker count. Run with -race this also
 // verifies the shared-cell atomic discipline of the parallel path.
 func TestParallelGroupsDeterministic(t *testing.T) {
+	// Verify the read-only-AST contract on every launch of this test: the
+	// same checked program is run at several worker budgets, exactly the
+	// sharing pattern the back cache produces at campaign scale.
+	exec.SetDebugImmutable(true)
+	t.Cleanup(func() { exec.SetDebugImmutable(false) })
 	nds := []exec.NDRange{
 		{Global: [3]int{64, 1, 1}, Local: [3]int{8, 1, 1}},
 		{Global: [3]int{16, 4, 1}, Local: [3]int{4, 2, 1}},
@@ -139,7 +144,7 @@ kernel void k(global ulong *out) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	info, err := sema.Check(prog, 0)
+	prog, info, err := sema.Check(prog, 0)
 	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
@@ -183,7 +188,7 @@ kernel void k(global ulong *out, global uint *ctr) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	info, err := sema.Check(prog, 0)
+	prog, info, err := sema.Check(prog, 0)
 	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
@@ -228,7 +233,8 @@ kernel void k(global ulong *out, global uint *ctr) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if _, err := sema.Check(prog, 0); err != nil {
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
 	nd := exec.NDRange{Global: [3]int{8, 1, 1}, Local: [3]int{8, 1, 1}}

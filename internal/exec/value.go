@@ -12,7 +12,15 @@ type Value struct {
 	Scalar uint64   // scalar bit pattern
 	Vec    []uint64 // vector components
 	Ptr    Ptr      // pointer value
-	Agg    *Cell    // aggregate rvalue (struct/union/array), a detached copy
+	// Agg is an aggregate rvalue (struct/union/array). It is usually a
+	// borrowed read-only view of the loaded storage, not a detached copy:
+	// every consumer (storeCell, union encoding, parameter binding) copies
+	// out of it before any further evaluation can write to the underlying
+	// cells, so the load-then-consume pattern — the checksum loop of every
+	// generated kernel — pays no deep copy. Loads from cells a concurrent
+	// thread could be writing (shared cells of a multi-goroutine launch)
+	// still detach a private copy under the atomic discipline.
+	Agg *Cell
 }
 
 // scalarValue wraps a scalar bit pattern.
@@ -70,7 +78,18 @@ func loadCell(c *Cell, unshared bool, out *Value) error {
 		*out = Value{T: t, Ptr: c.Ptr}
 		return nil
 	case *cltypes.StructT, *cltypes.Array:
-		// Aggregate load: detach a private deep copy.
+		// Aggregate load: borrow a read-only view. Safe whenever no other
+		// goroutine can write the cells before the value is consumed —
+		// always true for private cells and for any cell of a
+		// single-goroutine launch. The evaluator consumes aggregate values
+		// (store, encode, bind) before evaluating anything else, so
+		// same-thread mutation cannot intervene either.
+		if unshared || !c.Shared {
+			*out = Value{T: c.Typ, Agg: c}
+			return nil
+		}
+		// Shared cell with live concurrency: detach a private deep copy
+		// under the atomic discipline, as before.
 		cp := newCell(c.Typ, cltypes.Private, false)
 		if err := copyCell(cp, c, unshared); err != nil {
 			return err

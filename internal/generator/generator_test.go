@@ -30,7 +30,7 @@ func TestGeneratedKernelsAreWellFormed(t *testing.T) {
 				if err != nil {
 					t.Fatalf("seed %d: generated kernel does not parse: %v\n%s", seed, err, k.Src)
 				}
-				if _, err := sema.Check(prog, 0); err != nil {
+				if _, _, err := sema.Check(prog, 0); err != nil {
 					t.Fatalf("seed %d: generated kernel does not type-check: %v\n%s", seed, err, k.Src)
 				}
 				cr := ref.Compile(k.Src, true)

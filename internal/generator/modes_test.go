@@ -87,7 +87,7 @@ func TestPermutationTable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sema.Check(prog, 0); err != nil {
+		if _, _, err := sema.Check(prog, 0); err != nil {
 			t.Fatal(err)
 		}
 		found := false

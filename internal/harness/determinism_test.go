@@ -6,9 +6,22 @@ import (
 	"testing"
 
 	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
 	"clfuzz/internal/generator"
 	"clfuzz/internal/oracle"
 )
+
+// armImmutableAssert makes every exec.Run of the test verify the
+// executor's read-only-AST contract: compiled kernels are shared across
+// configurations by the back cache, so a single in-place mutation would
+// silently corrupt every later launch of the same program. Under -race
+// (CI runs this file with the detector on) the assertion also pins the
+// contract against concurrent launches of one shared kernel.
+func armImmutableAssert(t *testing.T) {
+	t.Helper()
+	exec.SetDebugImmutable(true)
+	t.Cleanup(func() { exec.SetDebugImmutable(false) })
+}
 
 // goldenSeeds is the fixed seed set the compile-cache regression tests run
 // over: a mix of generator modes exercising scalars, vectors, barriers and
@@ -75,6 +88,7 @@ func requireSameResults(t *testing.T, label string, got, want []oracle.Result) {
 // outcomes and outputs — to the cache-bypassing path that re-lexes and
 // re-parses the source for every (configuration, level) pair.
 func TestCompileCacheDeterminism(t *testing.T) {
+	armImmutableAssert(t)
 	cfgs := device.All()
 	for _, c := range goldenCases(t) {
 		got := RunEverywhere(cfgs, c, 0)
@@ -88,6 +102,7 @@ func TestCompileCacheDeterminism(t *testing.T) {
 // both against the uncached reference. Run under -race this also verifies
 // the cache's synchronization.
 func TestConcurrentCampaignsDeterministic(t *testing.T) {
+	armImmutableAssert(t)
 	cfgs := device.All()
 	cases := goldenCases(t)
 	want := make([][]oracle.Result, len(cases))
@@ -122,6 +137,7 @@ func TestConcurrentCampaignsDeterministic(t *testing.T) {
 // executor, on every configuration and optimization level. Run under
 // -race this also verifies the parallel path's shared-memory discipline.
 func TestParallelWorkgroupDeterminism(t *testing.T) {
+	armImmutableAssert(t)
 	cfgs := []*device.Config{device.Reference(), device.ByID(1), device.ByID(14), device.ByID(19)}
 	seeds := []goldenSeed{
 		{generator.ModeBasic, 42},

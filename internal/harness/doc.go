@@ -11,15 +11,19 @@
 // output:
 //
 //   - Compile-once: each distinct kernel source is lexed and parsed once
-//     (device.DefaultFrontCache); every (configuration, level) pair runs
-//     only the cheap per-configuration back end on a clone.
+//     (device.DefaultFrontCache), and the back end — check, folds,
+//     optimize — runs once per distinct defect model
+//     (device.DefaultBackCache), handing every matching configuration
+//     the same immutable compiled kernel.
 //   - Model dedup: (configuration, level) pairs whose defect models are
 //     identical (modelKey) are byte-for-byte interchangeable — the
 //     simulator is deterministic — so campaigns run one representative
 //     per model and copy its result to the followers. Table 1's four
 //     identical NVIDIA entries, the shared Intel CPU no-opt model and
 //     Oclgrind's ignored optimization flag all collapse, in
-//     RunEverywhere, ClassifyConfigurations and the Table 5 campaign.
+//     RunEverywhere, ClassifyConfigurations and the Table 5 campaign;
+//     Table 5 additionally keys on the variant's printed source, so EMI
+//     prunings that collapse to identical text share one run.
 //   - Worker budgeting: every kernel launch receives a work-group fan-out
 //     allowance (ExecWorkers) equal to the machine parallelism left over
 //     after case-level fan-out, so campaign-level and group-level
@@ -29,7 +33,8 @@
 //     executor.
 //
 // determinism_test.go pins all three layers against cache-bypassing and
-// serial reference paths, byte for byte, under -race.
+// serial reference paths, byte for byte, under -race, with the
+// executor's immutable-program assertion (exec.SetDebugImmutable) armed.
 //
 // Entry points: RunOn / RunEverywhere for single cases,
 // ClassifyConfigurations (Table 1), CLsmithCampaign (Table 4),

@@ -83,11 +83,19 @@ func runCase(cfg *device.Config, optimize bool, fe *device.FrontEnd, c Case, bas
 	return oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
 }
 
-// RunOnUncached is RunOn with front-end memoization bypassed: the source
-// is re-lexed and re-parsed for this call. It is the reference path the
-// compile-cache determinism tests compare against.
+// RunOnUncached is RunOn with both compile-cache levels bypassed: the
+// source is re-lexed, re-parsed, re-checked and re-optimized for this
+// call. It is the reference path the compile-cache determinism tests
+// compare against.
 func RunOnUncached(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Result {
-	return RunOnFE(cfg, optimize, device.ParseFrontEnd(c.Src), c, baseFuel)
+	key := Key(cfg, optimize)
+	cr := cfg.CompileUncached(c.Src, optimize)
+	if cr.Outcome != device.OK {
+		return oracle.Result{Key: key, Outcome: cr.Outcome}
+	}
+	args, result := c.Buffers()
+	rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: ExecWorkers(1)})
+	return oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
 }
 
 // RunEverywhere runs the case on every configuration at both optimization

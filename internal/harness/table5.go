@@ -88,14 +88,19 @@ func EMICampaign(bases int, seed int64, maxThreads int, baseFuel int64) *Table5 
 			}
 		}
 		// Group (variant, configuration, level) jobs that share a defect
-		// model: their runs are deterministic replicas, so one execution
-		// serves every configuration with that model (see modelKey).
+		// model AND a variant source: their runs are deterministic
+		// replicas, so one execution serves every configuration with that
+		// model (see modelKey). Keying on the printed source rather than
+		// the grid index also memoizes results across EMI variants — two
+		// prunings that collapse to identical source (common for small
+		// bases and aggressive grids) run once, because every variant of a
+		// base shares the same launch geometry and argument factory.
 		type vKey struct {
-			gi int
-			mk modelKey
+			src string
+			mk  modelKey
 		}
 		reps, follower := groupJobs(len(jobs), func(i int) vKey {
-			return vKey{jobs[i].gi, jobModelKey(jobs[i].cfg, jobs[i].opt)}
+			return vKey{variants[jobs[i].gi], jobModelKey(jobs[i].cfg, jobs[i].opt)}
 		})
 		results := make([]variantResult, len(jobs))
 		workers := ExecWorkers(len(reps))

@@ -9,8 +9,17 @@
 // group-id comparison bug of Figure 2(e)).
 //
 // EarlyFolds applies the always-on front-end folds (host of the ±-level
-// folding defects); Optimize runs the full pipeline. Both mutate the
-// already-cloned per-configuration program, never the shared front end.
-// File map: opt.go (pipeline driver), passes.go (individual passes),
-// simplify.go (expression rewrites).
+// folding defects); Optimize runs the full pipeline. Every pass is
+// copy-on-write: it returns its input program unchanged when nothing
+// applies, or a new program sharing all untouched subtrees, and never
+// writes to its input. Two invariants follow and are relied on
+// elsewhere. First, compiled programs are immutable and may be shared
+// across configurations and concurrent launches (device.BackCache).
+// Second, no pass removes or reorders a reachable declaration, so the
+// scope-chain shape the executor sees at a shared node is identical in
+// every program variant containing it — the contract behind the
+// evaluator's VarRef resolution-slot cache.
+// File map: opt.go (pipeline driver, COW rewriters, read-only
+// inspectors), passes.go (individual passes), simplify.go (expression
+// rewrites).
 package opt

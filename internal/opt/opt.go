@@ -5,10 +5,15 @@ import (
 	"clfuzz/internal/bugs"
 )
 
-// Pass is a program transformation.
+// Pass is a program transformation. Passes never mutate their input: they
+// return the input program unchanged when nothing applies, or a new
+// program that shares every untouched subtree with the input
+// (copy-on-write at the node level). Compiled programs can therefore be
+// published as immutable artifacts shared by any number of configurations
+// and concurrent launches.
 type Pass struct {
 	Name string
-	Run  func(p *ast.Program, defects bugs.Set)
+	Run  func(p *ast.Program, defects bugs.Set) *ast.Program
 }
 
 // StandardPasses is the default -O2-style pipeline, in application order.
@@ -24,29 +29,33 @@ func StandardPasses() []Pass {
 	}
 }
 
-// Optimize runs the standard pipeline on the program.
-func Optimize(p *ast.Program, defects bugs.Set) {
+// Optimize runs the standard pipeline and returns the resulting program.
+// The input program is never written to.
+func Optimize(p *ast.Program, defects bugs.Set) *ast.Program {
 	for _, pass := range StandardPasses() {
-		pass.Run(p, defects)
+		p = pass.Run(p, defects)
 	}
+	return p
 }
 
 // EarlyFolds runs the front-end folds that real compilers perform even at
-// -cl-opt-disable. It is the hook point for the defects that manifest at
+// -cl-opt-disable, returning the resulting program (the input is never
+// written to). It is the hook point for the defects that manifest at
 // both optimization levels: the Intel rotate constant-folding bug
 // (Figure 2(b), config 14±) and the anonymous-GPU group-id comparison bug
 // (Figure 2(e), config 9).
-func EarlyFolds(p *ast.Program, defects bugs.Set, hash uint64) {
+func EarlyFolds(p *ast.Program, defects bugs.Set, hash uint64) *ast.Program {
 	if defects.Has(bugs.WCRotateConstFold) {
-		rewriteProgram(p, foldRotateWrong)
+		p = rewriteProgram(p, foldRotateWrong)
 	}
 	// The group-id comparison defect is hash-gated at the program level:
 	// it fires on a fraction of the kernels that compare group-id-derived
 	// values, matching config 9's ~2% wrong-code rate (Table 4). The
 	// Figure 2(e) exhibit source is chosen to pass the gate.
 	if defects.Has(bugs.WCGroupIDExpr) && GroupIDGate(hash) {
-		rewriteProgram(p, flipGroupIDComparisons)
+		p = rewriteProgram(p, flipGroupIDComparisons)
 	}
+	return p
 }
 
 // GroupIDGate reports whether the group-id comparison defect fires for a
@@ -55,107 +64,339 @@ func EarlyFolds(p *ast.Program, defects bugs.Set, hash uint64) {
 func GroupIDGate(hash uint64) bool { return bugs.Gate(hash, 0x91d, 3) }
 
 // rewriteProgram applies an expression rewriter bottom-up over every
-// expression in the program.
-func rewriteProgram(p *ast.Program, rw func(ast.Expr) ast.Expr) {
-	for _, g := range p.Globals {
-		if g.Init != nil {
-			g.Init = rewriteExpr(g.Init, rw)
+// expression in the program, copy-on-write: the result shares every
+// unchanged declaration, statement and expression with the input, and the
+// input is never written to. The rewriter must follow the same contract —
+// return its argument unchanged or return a new node.
+func rewriteProgram(p *ast.Program, rw func(ast.Expr) ast.Expr) *ast.Program {
+	changed := false
+	globals := p.Globals
+	globalsCopied := false
+	for i, g := range p.Globals {
+		if g.Init == nil {
+			continue
 		}
-	}
-	for _, f := range p.Funcs {
-		if f.Body != nil {
-			rewriteBlock(f.Body, rw)
+		init := rewriteExpr(g.Init, rw)
+		if init == g.Init {
+			continue
 		}
+		if !globalsCopied {
+			globals = append([]*ast.VarDecl(nil), p.Globals...)
+			globalsCopied = true
+		}
+		ng := *g
+		ng.Init = init
+		globals[i] = &ng
+		changed = true
 	}
+	funcs := p.Funcs
+	funcsCopied := false
+	for i, f := range p.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		body := rewriteBlock(f.Body, rw)
+		if body == f.Body {
+			continue
+		}
+		if !funcsCopied {
+			funcs = append([]*ast.FuncDecl(nil), p.Funcs...)
+			funcsCopied = true
+		}
+		nf := *f
+		nf.Body = body
+		funcs[i] = &nf
+		changed = true
+	}
+	if !changed {
+		return p
+	}
+	return &ast.Program{Structs: p.Structs, Globals: globals, Funcs: funcs}
 }
 
-func rewriteBlock(b *ast.Block, rw func(ast.Expr) ast.Expr) {
-	for _, s := range b.Stmts {
-		rewriteStmt(s, rw)
+// rewriteBlock rewrites every statement of a block, returning the input
+// block unchanged when no statement changed.
+func rewriteBlock(b *ast.Block, rw func(ast.Expr) ast.Expr) *ast.Block {
+	stmts, changed := rewriteStmts(b.Stmts, rw)
+	if !changed {
+		return b
 	}
+	return &ast.Block{Stmts: stmts}
 }
 
-func rewriteStmt(s ast.Stmt, rw func(ast.Expr) ast.Expr) {
+func rewriteStmts(in []ast.Stmt, rw func(ast.Expr) ast.Expr) ([]ast.Stmt, bool) {
+	out := in
+	changed := false
+	for i, s := range in {
+		ns := rewriteStmt(s, rw)
+		if ns == s {
+			continue
+		}
+		if !changed {
+			out = append([]ast.Stmt(nil), in...)
+			changed = true
+		}
+		out[i] = ns
+	}
+	return out, changed
+}
+
+// rewriteStmt rewrites the expressions of one statement, copy-on-write.
+func rewriteStmt(s ast.Stmt, rw func(ast.Expr) ast.Expr) ast.Stmt {
 	switch st := s.(type) {
 	case *ast.DeclStmt:
-		if st.Decl.Init != nil {
-			st.Decl.Init = rewriteExpr(st.Decl.Init, rw)
+		if st.Decl.Init == nil {
+			return st
 		}
+		init := rewriteExpr(st.Decl.Init, rw)
+		if init == st.Decl.Init {
+			return st
+		}
+		nd := *st.Decl
+		nd.Init = init
+		return &ast.DeclStmt{Decl: &nd}
 	case *ast.ExprStmt:
-		st.X = rewriteExpr(st.X, rw)
+		x := rewriteExpr(st.X, rw)
+		if x == st.X {
+			return st
+		}
+		return &ast.ExprStmt{X: x}
 	case *ast.Block:
-		rewriteBlock(st, rw)
+		return rewriteBlock(st, rw)
 	case *ast.If:
-		st.Cond = rewriteExpr(st.Cond, rw)
-		rewriteBlock(st.Then, rw)
-		if st.Else != nil {
-			rewriteStmt(st.Else, rw)
+		cond := rewriteExpr(st.Cond, rw)
+		then := rewriteBlock(st.Then, rw)
+		els := st.Else
+		if els != nil {
+			els = rewriteStmt(els, rw)
 		}
+		if cond == st.Cond && then == st.Then && els == st.Else {
+			return st
+		}
+		return &ast.If{Cond: cond, Then: then, Else: els}
 	case *ast.For:
-		if st.Init != nil {
-			rewriteStmt(st.Init, rw)
+		init := st.Init
+		if init != nil {
+			init = rewriteStmt(init, rw)
 		}
-		if st.Cond != nil {
-			st.Cond = rewriteExpr(st.Cond, rw)
+		cond := rewriteExpr(st.Cond, rw)
+		post := rewriteExpr(st.Post, rw)
+		body := rewriteBlock(st.Body, rw)
+		if init == st.Init && cond == st.Cond && post == st.Post && body == st.Body {
+			return st
 		}
-		if st.Post != nil {
-			st.Post = rewriteExpr(st.Post, rw)
-		}
-		rewriteBlock(st.Body, rw)
+		return &ast.For{Init: init, Cond: cond, Post: post, Body: body}
 	case *ast.While:
-		st.Cond = rewriteExpr(st.Cond, rw)
-		rewriteBlock(st.Body, rw)
-	case *ast.DoWhile:
-		rewriteBlock(st.Body, rw)
-		st.Cond = rewriteExpr(st.Cond, rw)
-	case *ast.Return:
-		if st.X != nil {
-			st.X = rewriteExpr(st.X, rw)
+		cond := rewriteExpr(st.Cond, rw)
+		body := rewriteBlock(st.Body, rw)
+		if cond == st.Cond && body == st.Body {
+			return st
 		}
+		return &ast.While{Cond: cond, Body: body}
+	case *ast.DoWhile:
+		body := rewriteBlock(st.Body, rw)
+		cond := rewriteExpr(st.Cond, rw)
+		if cond == st.Cond && body == st.Body {
+			return st
+		}
+		return &ast.DoWhile{Body: body, Cond: cond}
+	case *ast.Return:
+		if st.X == nil {
+			return st
+		}
+		x := rewriteExpr(st.X, rw)
+		if x == st.X {
+			return st
+		}
+		return &ast.Return{X: x}
 	}
+	return s
 }
 
-// rewriteExpr rewrites bottom-up: children first, then the node itself.
+// rewriteExpr rewrites bottom-up, copy-on-write: children first, then the
+// node itself. When a child changed, the node is shallow-copied (carrying
+// its checked type) before the rewriter sees it, so the input tree is
+// never written to.
 func rewriteExpr(e ast.Expr, rw func(ast.Expr) ast.Expr) ast.Expr {
 	if e == nil {
 		return nil
 	}
 	switch ex := e.(type) {
 	case *ast.Unary:
-		ex.X = rewriteExpr(ex.X, rw)
+		if x := rewriteExpr(ex.X, rw); x != ex.X {
+			cp := *ex
+			cp.X = x
+			e = &cp
+		}
 	case *ast.Binary:
-		ex.L = rewriteExpr(ex.L, rw)
-		ex.R = rewriteExpr(ex.R, rw)
+		l := rewriteExpr(ex.L, rw)
+		r := rewriteExpr(ex.R, rw)
+		if l != ex.L || r != ex.R {
+			cp := *ex
+			cp.L, cp.R = l, r
+			e = &cp
+		}
 	case *ast.AssignExpr:
-		ex.LHS = rewriteExpr(ex.LHS, rw)
-		ex.RHS = rewriteExpr(ex.RHS, rw)
+		lhs := rewriteExpr(ex.LHS, rw)
+		rhs := rewriteExpr(ex.RHS, rw)
+		if lhs != ex.LHS || rhs != ex.RHS {
+			cp := *ex
+			cp.LHS, cp.RHS = lhs, rhs
+			e = &cp
+		}
 	case *ast.Cond:
-		ex.C = rewriteExpr(ex.C, rw)
-		ex.T = rewriteExpr(ex.T, rw)
-		ex.F = rewriteExpr(ex.F, rw)
+		c := rewriteExpr(ex.C, rw)
+		t := rewriteExpr(ex.T, rw)
+		f := rewriteExpr(ex.F, rw)
+		if c != ex.C || t != ex.T || f != ex.F {
+			cp := *ex
+			cp.C, cp.T, cp.F = c, t, f
+			e = &cp
+		}
 	case *ast.Call:
-		for i, a := range ex.Args {
-			ex.Args[i] = rewriteExpr(a, rw)
+		if args, changed := rewriteExprs(ex.Args, rw); changed {
+			cp := *ex
+			cp.Args = args
+			e = &cp
 		}
 	case *ast.Index:
-		ex.Base = rewriteExpr(ex.Base, rw)
-		ex.Idx = rewriteExpr(ex.Idx, rw)
+		base := rewriteExpr(ex.Base, rw)
+		idx := rewriteExpr(ex.Idx, rw)
+		if base != ex.Base || idx != ex.Idx {
+			cp := *ex
+			cp.Base, cp.Idx = base, idx
+			e = &cp
+		}
 	case *ast.Member:
-		ex.Base = rewriteExpr(ex.Base, rw)
+		if base := rewriteExpr(ex.Base, rw); base != ex.Base {
+			cp := *ex
+			cp.Base = base
+			e = &cp
+		}
 	case *ast.Swizzle:
-		ex.Base = rewriteExpr(ex.Base, rw)
+		if base := rewriteExpr(ex.Base, rw); base != ex.Base {
+			cp := *ex
+			cp.Base = base
+			e = &cp
+		}
 	case *ast.VecLit:
-		for i, el := range ex.Elems {
-			ex.Elems[i] = rewriteExpr(el, rw)
+		if elems, changed := rewriteExprs(ex.Elems, rw); changed {
+			cp := *ex
+			cp.Elems = elems
+			e = &cp
 		}
 	case *ast.Cast:
-		ex.X = rewriteExpr(ex.X, rw)
+		if x := rewriteExpr(ex.X, rw); x != ex.X {
+			cp := *ex
+			cp.X = x
+			e = &cp
+		}
 	case *ast.InitList:
-		for i, el := range ex.Elems {
-			ex.Elems[i] = rewriteExpr(el, rw)
+		if elems, changed := rewriteExprs(ex.Elems, rw); changed {
+			cp := *ex
+			cp.Elems = elems
+			e = &cp
 		}
 	}
 	return rw(e)
+}
+
+func rewriteExprs(in []ast.Expr, rw func(ast.Expr) ast.Expr) ([]ast.Expr, bool) {
+	out := in
+	changed := false
+	for i, el := range in {
+		ne := rewriteExpr(el, rw)
+		if ne == el {
+			continue
+		}
+		if !changed {
+			out = append([]ast.Expr(nil), in...)
+			changed = true
+		}
+		out[i] = ne
+	}
+	return out, changed
+}
+
+// inspectExpr calls fn for e and every expression nested within it,
+// without ever writing to the tree (the read-only counterpart of
+// rewriteExpr, replacing the old clone-then-rewrite idiom).
+func inspectExpr(e ast.Expr, fn func(ast.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch ex := e.(type) {
+	case *ast.Unary:
+		inspectExpr(ex.X, fn)
+	case *ast.Binary:
+		inspectExpr(ex.L, fn)
+		inspectExpr(ex.R, fn)
+	case *ast.AssignExpr:
+		inspectExpr(ex.LHS, fn)
+		inspectExpr(ex.RHS, fn)
+	case *ast.Cond:
+		inspectExpr(ex.C, fn)
+		inspectExpr(ex.T, fn)
+		inspectExpr(ex.F, fn)
+	case *ast.Call:
+		for _, a := range ex.Args {
+			inspectExpr(a, fn)
+		}
+	case *ast.Index:
+		inspectExpr(ex.Base, fn)
+		inspectExpr(ex.Idx, fn)
+	case *ast.Member:
+		inspectExpr(ex.Base, fn)
+	case *ast.Swizzle:
+		inspectExpr(ex.Base, fn)
+	case *ast.VecLit:
+		for _, el := range ex.Elems {
+			inspectExpr(el, fn)
+		}
+	case *ast.Cast:
+		inspectExpr(ex.X, fn)
+	case *ast.InitList:
+		for _, el := range ex.Elems {
+			inspectExpr(el, fn)
+		}
+	}
+}
+
+// inspectStmt calls fn for every expression contained in the statement
+// tree, read-only.
+func inspectStmt(s ast.Stmt, fn func(ast.Expr)) {
+	switch st := s.(type) {
+	case *ast.DeclStmt:
+		inspectExpr(st.Decl.Init, fn)
+	case *ast.ExprStmt:
+		inspectExpr(st.X, fn)
+	case *ast.Block:
+		for _, inner := range st.Stmts {
+			inspectStmt(inner, fn)
+		}
+	case *ast.If:
+		inspectExpr(st.Cond, fn)
+		inspectStmt(st.Then, fn)
+		if st.Else != nil {
+			inspectStmt(st.Else, fn)
+		}
+	case *ast.For:
+		if st.Init != nil {
+			inspectStmt(st.Init, fn)
+		}
+		inspectExpr(st.Cond, fn)
+		inspectExpr(st.Post, fn)
+		inspectStmt(st.Body, fn)
+	case *ast.While:
+		inspectExpr(st.Cond, fn)
+		inspectStmt(st.Body, fn)
+	case *ast.DoWhile:
+		inspectStmt(st.Body, fn)
+		inspectExpr(st.Cond, fn)
+	case *ast.Return:
+		inspectExpr(st.X, fn)
+	}
 }
 
 // IsPure reports whether evaluating e has no side effects and always

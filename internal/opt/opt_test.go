@@ -23,7 +23,8 @@ func compileSrc(t *testing.T, src string) *ast.Program {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if _, err := sema.Check(prog, 0); err != nil {
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
 	return prog
@@ -78,7 +79,7 @@ func TestConstFold(t *testing.T) {
 	for _, c := range cases {
 		src := "kernel void k(global ulong *out) { out[0] = (ulong)" + c.expr + "; }"
 		prog := compileSrc(t, src)
-		opt.ConstFold(prog, 0)
+		prog = opt.ConstFold(prog, 0)
 		printed := ast.Print(prog)
 		if !strings.Contains(printed, c.want) {
 			t.Errorf("folding %s: want %q in output:\n%s", c.expr, c.want, printed)
@@ -98,7 +99,7 @@ func TestDeadCodeElim(t *testing.T) {
 		out[0] = 7UL;
 	}`
 	prog := compileSrc(t, src)
-	opt.DeadCodeElim(prog, 0)
+	prog = opt.DeadCodeElim(prog, 0)
 	printed := ast.Print(prog)
 	for _, gone := range []string{"2UL", "4UL", "5UL", "6UL", "7UL"} {
 		if strings.Contains(printed, gone) {
@@ -120,7 +121,7 @@ func TestAlgebraicPurity(t *testing.T) {
 		out[0] = (ulong)(uint)(s.a + dead);
 	}`
 	prog := compileSrc(t, src)
-	opt.Algebraic(prog, 0)
+	prog = opt.Algebraic(prog, 0)
 	printed := ast.Print(prog)
 	if !strings.Contains(printed, "f((&s))") {
 		t.Errorf("impure multiplication by zero was folded away:\n%s", printed)
@@ -128,7 +129,7 @@ func TestAlgebraicPurity(t *testing.T) {
 	// But a pure x*0 must fold.
 	src2 := `kernel void k(global ulong *out) { int x = 3; out[0] = (ulong)(uint)(x * 0); }`
 	prog2 := compileSrc(t, src2)
-	opt.Algebraic(prog2, 0)
+	prog2 = opt.Algebraic(prog2, 0)
 	if strings.Contains(ast.Print(prog2), "x * 0") {
 		t.Error("pure x*0 not simplified")
 	}
@@ -142,7 +143,7 @@ func TestUnroll(t *testing.T) {
 		out[0] = (ulong)(uint)sum;
 	}`
 	prog := compileSrc(t, src)
-	opt.UnrollLoops(prog, 0)
+	prog = opt.UnrollLoops(prog, 0)
 	printed := ast.Print(prog)
 	if strings.Contains(printed, "for (") {
 		t.Errorf("small counted loop not unrolled:\n%s", printed)
@@ -166,6 +167,57 @@ func TestUnroll(t *testing.T) {
 	}
 }
 
+// TestDeadCodeElimNestedDeadIf: a literal-true if whose body dies
+// entirely (the shape ConstFold produces from folded comparisons) must
+// vanish, not leave a typed-nil block statement that crashes the printer
+// or the executor.
+func TestDeadCodeElimNestedDeadIf(t *testing.T) {
+	src := `kernel void k(global ulong *out) {
+		out[0] = 1UL;
+		if (1) { if (0) { out[0] = 2UL; } }
+	}`
+	prog := compileSrc(t, src)
+	prog = opt.DeadCodeElim(prog, 0)
+	printed := ast.Print(prog) // must not panic on a nil statement
+	if strings.Contains(printed, "2UL") {
+		t.Errorf("dead nested if survived:\n%s", printed)
+	}
+}
+
+// TestOptimizeAfterExecutionSharesProgram pins the shared-program flow of
+// the device back cache: one configuration may RUN the checked program
+// (populating the evaluator's VarRef resolution-slot caches) before
+// another configuration OPTIMIZES that same program. Unrolling must not
+// clone populated slots into rewritten scope chains — a stale slot can
+// validate against a same-named shadowed binding and silently read the
+// wrong variable, which here would corrupt a differential verdict.
+func TestOptimizeAfterExecutionSharesProgram(t *testing.T) {
+	src := `kernel void k(global ulong *out) {
+		int i = 100;
+		ulong acc = 0UL;
+		for (int i2 = 0; i2 < 4; i2++) {
+			for (int j = 0; j < 2; j++) { acc += (ulong)(uint)(i2 + i); }
+		}
+		out[0] = acc;
+	}`
+	run := func(p *ast.Program) uint64 {
+		out := newOut(1)
+		if err := exec.Run(p, nd1(), argsOut(out), exec.Options{NoBarrier: true, NoAtomics: true}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.Scalar(0)
+	}
+	prog := compileSrc(t, src)
+	want := run(prog) // populate slot caches on the shared checked program
+	oprog := opt.Optimize(prog, 0)
+	if got := run(oprog); got != want {
+		t.Fatalf("optimizing a previously executed shared program changed the result: %d != %d", got, want)
+	}
+	if again := run(prog); again != want {
+		t.Fatalf("unoptimized shared program changed after optimization: %d != %d", again, want)
+	}
+}
+
 // TestUnrollRefusals: loops the unroller must not touch.
 func TestUnrollRefusals(t *testing.T) {
 	srcs := []string{
@@ -180,7 +232,7 @@ func TestUnrollRefusals(t *testing.T) {
 	}
 	for i, src := range srcs {
 		prog := compileSrc(t, src)
-		opt.UnrollLoops(prog, 0)
+		prog = opt.UnrollLoops(prog, 0)
 		if !strings.Contains(ast.Print(prog), "for (") {
 			t.Errorf("case %d: loop was unrolled but must not be", i)
 		}
@@ -194,12 +246,12 @@ func TestRotateFoldDefect(t *testing.T) {
 		out[0] = (ulong)(rotate((uint2)(1, 1), (uint2)(0, 0))).x;
 	}`
 	prog := compileSrc(t, src)
-	opt.EarlyFolds(prog, bugs.WCRotateConstFold, 0)
+	prog = opt.EarlyFolds(prog, bugs.WCRotateConstFold, 0)
 	if !strings.Contains(ast.Print(prog), "4294967295u") {
 		t.Errorf("rotate defect did not fold to all-ones:\n%s", ast.Print(prog))
 	}
 	prog2 := compileSrc(t, src)
-	opt.EarlyFolds(prog2, 0, 0)
+	prog2 = opt.EarlyFolds(prog2, 0, 0)
 	if strings.Contains(ast.Print(prog2), "4294967295u") {
 		t.Error("healthy front end corrupted rotate")
 	}

@@ -11,9 +11,10 @@ import (
 // ConstFold folds literal scalar arithmetic, literal conditionals, literal
 // casts and literal safe-math calls, mirroring the evaluator's semantics
 // exactly. With the WCSwizzleFold defect armed it miscompiles swizzles of
-// literal vectors (the Intel vector defects of Table 4).
-func ConstFold(p *ast.Program, defects bugs.Set) {
-	rewriteProgram(p, func(e ast.Expr) ast.Expr { return foldExpr(e, defects) })
+// literal vectors (the Intel vector defects of Table 4). Copy-on-write:
+// the input program is never written to.
+func ConstFold(p *ast.Program, defects bugs.Set) *ast.Program {
+	return rewriteProgram(p, func(e ast.Expr) ast.Expr { return foldExpr(e, defects) })
 }
 
 func lit(e ast.Expr) (*ast.IntLit, bool) {
@@ -206,7 +207,10 @@ func b2i(b bool) int {
 }
 
 // foldCall folds safe-math and element-wise builtin calls whose arguments
-// are all scalar literals.
+// are all scalar literals. The operand buffer lives on the stack (maximum
+// arity is 3, the clamp family): this function runs for every call node
+// on every fold pass, and the overwhelmingly common non-literal case must
+// not allocate.
 func foldCall(ex *ast.Call) ast.Expr {
 	switch ex.Name {
 	case "safe_add", "safe_sub", "safe_mul", "safe_div", "safe_mod",
@@ -220,7 +224,10 @@ func foldCall(ex *ast.Call) ast.Expr {
 	if !ok {
 		return ex
 	}
-	vals := make([]uint64, len(ex.Args))
+	var vals [3]uint64
+	if len(ex.Args) > len(vals) {
+		return ex
+	}
 	for i, a := range ex.Args {
 		l, ok := lit(a)
 		if !ok {
@@ -232,7 +239,7 @@ func foldCall(ex *ast.Call) ast.Expr {
 		}
 		vals[i] = cltypes.Convert(l.Val, at, rt)
 	}
-	return makeLit(foldMath(ex.Name, vals, rt), rt)
+	return makeLit(foldMath(ex.Name, vals[:len(ex.Args)], rt), rt)
 }
 
 // foldMath mirrors the evaluator's math builtin semantics (exec.mathOp);
@@ -368,7 +375,8 @@ func allLiteral(e ast.Expr) bool {
 }
 
 // flipGroupIDComparisons miscompiles comparisons whose operands involve the
-// group id (Figure 2(e), config 9): the comparison is inverted.
+// group id (Figure 2(e), config 9): the comparison is inverted. The input
+// node is never written to; a flipped comparison is a fresh node.
 func flipGroupIDComparisons(e ast.Expr) ast.Expr {
 	ex, ok := e.(*ast.Binary)
 	if !ok || !ex.Op.IsComparison() {
@@ -377,32 +385,32 @@ func flipGroupIDComparisons(e ast.Expr) ast.Expr {
 	if !containsGroupID(ex.L) && !containsGroupID(ex.R) {
 		return e
 	}
+	cp := *ex
 	switch ex.Op {
 	case ast.LT:
-		ex.Op = ast.GE
+		cp.Op = ast.GE
 	case ast.GE:
-		ex.Op = ast.LT
+		cp.Op = ast.LT
 	case ast.LE:
-		ex.Op = ast.GT
+		cp.Op = ast.GT
 	case ast.GT:
-		ex.Op = ast.LE
+		cp.Op = ast.LE
 	case ast.EQ:
-		ex.Op = ast.NE
+		cp.Op = ast.NE
 	case ast.NE:
-		ex.Op = ast.EQ
+		cp.Op = ast.EQ
 	}
-	return ex
+	return &cp
 }
 
 func containsGroupID(e ast.Expr) bool {
 	found := false
-	rewriteExpr(ast.CloneExpr(e), func(x ast.Expr) ast.Expr {
+	inspectExpr(e, func(x ast.Expr) {
 		if c, ok := x.(*ast.Call); ok {
 			if c.Name == "get_group_id" || c.Name == "get_linear_group_id" {
 				found = true
 			}
 		}
-		return x
 	})
 	return found
 }

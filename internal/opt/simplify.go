@@ -8,8 +8,9 @@ import (
 
 // Algebraic applies algebraic identities (x+0, x*1, x*0, x&0, x|0, x^0)
 // with purity checking: x*0 folds to 0 only when x has no side effects.
-func Algebraic(p *ast.Program, defects bugs.Set) {
-	rewriteProgram(p, simplifyExpr)
+// Copy-on-write: the input program is never written to.
+func Algebraic(p *ast.Program, defects bugs.Set) *ast.Program {
+	return rewriteProgram(p, simplifyExpr)
 }
 
 func isZeroLit(e ast.Expr) bool {
@@ -116,31 +117,69 @@ func simplifyExpr(e ast.Expr) ast.Expr {
 }
 
 // DeadCodeElim removes branches with literal conditions, loops that never
-// execute, and unreachable statements after a jump.
-func DeadCodeElim(p *ast.Program, defects bugs.Set) {
-	for _, f := range p.Funcs {
-		if f.Body != nil {
-			dceBlock(f.Body)
+// execute, and unreachable statements after a jump. Copy-on-write: the
+// input program is never written to.
+func DeadCodeElim(p *ast.Program, defects bugs.Set) *ast.Program {
+	funcs := p.Funcs
+	copied := false
+	for i, f := range p.Funcs {
+		if f.Body == nil {
+			continue
 		}
+		body := dceBlock(f.Body)
+		if body == f.Body {
+			continue
+		}
+		if body == nil {
+			body = &ast.Block{}
+		}
+		if !copied {
+			funcs = append([]*ast.FuncDecl(nil), p.Funcs...)
+			copied = true
+		}
+		nf := *f
+		nf.Body = body
+		funcs[i] = &nf
 	}
+	if !copied {
+		return p
+	}
+	return &ast.Program{Structs: p.Structs, Globals: p.Globals, Funcs: funcs}
 }
 
-func dceBlock(b *ast.Block) {
-	var out []ast.Stmt
-	for _, s := range b.Stmts {
-		s = dceStmt(s)
-		if s == nil {
+// dceBlock eliminates dead statements of a block. It returns the input
+// block unchanged when nothing applies, a new block otherwise, or nil when
+// every statement was eliminated.
+func dceBlock(b *ast.Block) *ast.Block {
+	out := make([]ast.Stmt, 0, len(b.Stmts))
+	changed := false
+	for i, s := range b.Stmts {
+		ns := dceStmt(s)
+		if ns != s {
+			changed = true
+		}
+		if ns == nil {
 			continue
 		}
-		if _, ok := s.(*ast.Empty); ok {
+		if _, ok := ns.(*ast.Empty); ok {
+			changed = true
 			continue
 		}
-		out = append(out, s)
-		if isJump(s) {
-			break // everything after an unconditional jump is unreachable
+		out = append(out, ns)
+		if isJump(ns) {
+			if i < len(b.Stmts)-1 {
+				changed = true // everything after the jump is unreachable
+			}
+			break
 		}
 	}
-	b.Stmts = out
+	if !changed {
+		return b
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return &ast.Block{Stmts: out}
 }
 
 func isJump(s ast.Stmt) bool {
@@ -164,31 +203,40 @@ func litTruth(e ast.Expr) (bool, bool) {
 	return cltypes.Trunc(l.Val, t) != 0, true
 }
 
+// dceStmt eliminates dead code within one statement: it returns the input
+// unchanged, a new statement, or nil when the statement is dead.
 func dceStmt(s ast.Stmt) ast.Stmt {
 	switch st := s.(type) {
 	case *ast.Block:
-		dceBlock(st)
-		if len(st.Stmts) == 0 {
+		nb := dceBlock(st)
+		if nb == nil {
 			return nil
 		}
-		return st
+		return nb
 	case *ast.If:
-		dceBlock(st.Then)
-		if st.Else != nil {
-			st.Else = dceStmt(st.Else)
+		then := dceBlock(st.Then)
+		els := st.Else
+		if els != nil {
+			els = dceStmt(els)
 		}
 		if v, known := litTruth(st.Cond); known {
 			if v {
-				return st.Then
+				if then == nil {
+					return nil // fully dead: avoid a typed-nil *ast.Block statement
+				}
+				return then
 			}
-			if st.Else != nil {
-				return st.Else
-			}
-			return nil
+			return els // may be nil (els is already an interface value)
 		}
-		return st
+		if then == st.Then && els == st.Else {
+			return st
+		}
+		if then == nil {
+			then = &ast.Block{}
+		}
+		return &ast.If{Cond: st.Cond, Then: then, Else: els}
 	case *ast.For:
-		dceBlock(st.Body)
+		body := dceBlock(st.Body)
 		if st.Cond != nil {
 			if v, known := litTruth(st.Cond); known && !v {
 				// The loop body never runs, but the init clause does; keep
@@ -200,23 +248,41 @@ func dceStmt(s ast.Stmt) ast.Stmt {
 				return nil
 			}
 		}
-		return st
+		if body == st.Body {
+			return st
+		}
+		if body == nil {
+			body = &ast.Block{}
+		}
+		return &ast.For{Init: st.Init, Cond: st.Cond, Post: st.Post, Body: body}
 	case *ast.While:
-		dceBlock(st.Body)
+		body := dceBlock(st.Body)
 		if v, known := litTruth(st.Cond); known && !v {
 			return nil
 		}
-		return st
+		if body == st.Body {
+			return st
+		}
+		if body == nil {
+			body = &ast.Block{}
+		}
+		return &ast.While{Cond: st.Cond, Body: body}
 	case *ast.DoWhile:
-		dceBlock(st.Body)
+		body := dceBlock(st.Body)
+		if body == nil {
+			body = &ast.Block{}
+		}
 		if v, known := litTruth(st.Cond); known && !v {
 			// do { B } while(0) runs B exactly once — but only if B has no
 			// break/continue binding to this loop.
-			if !hasLoopJump(st.Body) {
-				return st.Body
+			if !hasLoopJump(body) {
+				return body
 			}
 		}
-		return st
+		if body == st.Body {
+			return st
+		}
+		return &ast.DoWhile{Body: body, Cond: st.Cond}
 	}
 	return s
 }
@@ -252,40 +318,92 @@ func hasLoopJump(b *ast.Block) bool {
 // UnrollLoops fully unrolls small counted loops of the canonical shape
 // for (T i = c0; i < c1; i++) with a trip count of at most 8, when the
 // body does not modify or alias the induction variable, contains no
-// loop jumps and issues no barriers.
-func UnrollLoops(p *ast.Program, defects bugs.Set) {
-	for _, f := range p.Funcs {
-		if f.Body != nil {
-			unrollBlock(f.Body)
+// loop jumps and issues no barriers. Copy-on-write: the input program is
+// never written to; unrolled bodies are fresh clones.
+func UnrollLoops(p *ast.Program, defects bugs.Set) *ast.Program {
+	funcs := p.Funcs
+	copied := false
+	for i, f := range p.Funcs {
+		if f.Body == nil {
+			continue
 		}
+		body := unrollBlock(f.Body)
+		if body == f.Body {
+			continue
+		}
+		if !copied {
+			funcs = append([]*ast.FuncDecl(nil), p.Funcs...)
+			copied = true
+		}
+		nf := *f
+		nf.Body = body
+		funcs[i] = &nf
 	}
+	if !copied {
+		return p
+	}
+	return &ast.Program{Structs: p.Structs, Globals: p.Globals, Funcs: funcs}
 }
 
 const maxUnrollTrips = 8
 
-func unrollBlock(b *ast.Block) {
+// unrollBlock applies the unroller to every loop in the block, returning
+// the input block unchanged when nothing unrolled.
+func unrollBlock(b *ast.Block) *ast.Block {
+	out := b.Stmts
+	copied := false
+	set := func(i int, ns ast.Stmt) {
+		if !copied {
+			out = append([]ast.Stmt(nil), b.Stmts...)
+			copied = true
+		}
+		out[i] = ns
+	}
 	for i, s := range b.Stmts {
 		switch st := s.(type) {
 		case *ast.Block:
-			unrollBlock(st)
+			if nb := unrollBlock(st); nb != st {
+				set(i, nb)
+			}
 		case *ast.If:
-			unrollBlock(st.Then)
+			then := unrollBlock(st.Then)
+			els := st.Else
 			if eb, ok := st.Else.(*ast.Block); ok {
-				unrollBlock(eb)
+				els = unrollBlock(eb)
+			}
+			if then != st.Then || els != st.Else {
+				set(i, &ast.If{Cond: st.Cond, Then: then, Else: els})
 			}
 		case *ast.While:
-			unrollBlock(st.Body)
+			if nb := unrollBlock(st.Body); nb != st.Body {
+				set(i, &ast.While{Cond: st.Cond, Body: nb})
+			}
 		case *ast.DoWhile:
-			unrollBlock(st.Body)
+			if nb := unrollBlock(st.Body); nb != st.Body {
+				set(i, &ast.DoWhile{Body: nb, Cond: st.Cond})
+			}
 		case *ast.For:
-			unrollBlock(st.Body)
-			if rep := tryUnroll(st); rep != nil {
-				b.Stmts[i] = rep
+			body := unrollBlock(st.Body)
+			loop := st
+			if body != st.Body {
+				loop = &ast.For{Init: st.Init, Cond: st.Cond, Post: st.Post, Body: body}
+			}
+			if rep := tryUnroll(loop); rep != nil {
+				set(i, rep)
+			} else if loop != st {
+				set(i, loop)
 			}
 		}
 	}
+	if !copied {
+		return b
+	}
+	return &ast.Block{Stmts: out}
 }
 
+// tryUnroll builds the unrolled replacement for a canonical counted loop,
+// or returns nil when the loop must be kept. The loop itself is only read;
+// the replacement is built from fresh clones of the body.
 func tryUnroll(f *ast.For) ast.Stmt {
 	decl, ok := f.Init.(*ast.DeclStmt)
 	if !ok || decl.Decl.Init == nil {
@@ -336,7 +454,7 @@ func tryUnroll(f *ast.For) ast.Stmt {
 	out := &ast.Block{}
 	for it := start; it < end; it++ {
 		body := ast.CloneBlock(f.Body)
-		substVar(body, ivName, ast.NewIntLit(uint64(it), ivType))
+		body = substVar(body, ivName, ast.NewIntLit(uint64(it), ivType))
 		out.Stmts = append(out.Stmts, body)
 	}
 	return out
@@ -344,10 +462,10 @@ func tryUnroll(f *ast.For) ast.Stmt {
 
 // modifiesOrAliases reports whether the block assigns to, increments, or
 // takes the address of the named variable, or shadows it with a local
-// declaration (which would make substitution incorrect).
+// declaration (which would make substitution incorrect). Read-only.
 func modifiesOrAliases(b *ast.Block, name string) bool {
 	bad := false
-	check := func(e ast.Expr) ast.Expr {
+	check := func(e ast.Expr) {
 		switch ex := e.(type) {
 		case *ast.AssignExpr:
 			if vr, ok := ex.LHS.(*ast.VarRef); ok && vr.Name == name {
@@ -361,7 +479,6 @@ func modifiesOrAliases(b *ast.Block, name string) bool {
 				}
 			}
 		}
-		return e
 	}
 	var walk func(s ast.Stmt)
 	walk = func(s ast.Stmt) {
@@ -370,17 +487,15 @@ func modifiesOrAliases(b *ast.Block, name string) bool {
 			if st.Decl.Name == name {
 				bad = true
 			}
-			if st.Decl.Init != nil {
-				rewriteExpr(ast.CloneExpr(st.Decl.Init), check)
-			}
+			inspectExpr(st.Decl.Init, check)
 		case *ast.ExprStmt:
-			rewriteExpr(ast.CloneExpr(st.X), check)
+			inspectExpr(st.X, check)
 		case *ast.Block:
 			for _, inner := range st.Stmts {
 				walk(inner)
 			}
 		case *ast.If:
-			rewriteExpr(ast.CloneExpr(st.Cond), check)
+			inspectExpr(st.Cond, check)
 			walk(st.Then)
 			if st.Else != nil {
 				walk(st.Else)
@@ -389,44 +504,39 @@ func modifiesOrAliases(b *ast.Block, name string) bool {
 			if st.Init != nil {
 				walk(st.Init)
 			}
-			if st.Cond != nil {
-				rewriteExpr(ast.CloneExpr(st.Cond), check)
-			}
-			if st.Post != nil {
-				rewriteExpr(ast.CloneExpr(st.Post), check)
-			}
+			inspectExpr(st.Cond, check)
+			inspectExpr(st.Post, check)
 			walk(st.Body)
 		case *ast.While:
-			rewriteExpr(ast.CloneExpr(st.Cond), check)
+			inspectExpr(st.Cond, check)
 			walk(st.Body)
 		case *ast.DoWhile:
 			walk(st.Body)
-			rewriteExpr(ast.CloneExpr(st.Cond), check)
+			inspectExpr(st.Cond, check)
 		case *ast.Return:
-			if st.X != nil {
-				rewriteExpr(ast.CloneExpr(st.X), check)
-			}
+			inspectExpr(st.X, check)
 		}
 	}
 	walk(b)
 	return bad
 }
 
+// blockHasBarrier reports whether the block issues a barrier. Read-only.
 func blockHasBarrier(b *ast.Block) bool {
 	found := false
-	bb := ast.CloneBlock(b)
-	rewriteBlock(bb, func(e ast.Expr) ast.Expr {
+	inspectStmt(b, func(e ast.Expr) {
 		if c, ok := e.(*ast.Call); ok && c.Name == "barrier" {
 			found = true
 		}
-		return e
 	})
 	return found
 }
 
-// substVar replaces every reference to name with a clone of repl.
-func substVar(b *ast.Block, name string, repl ast.Expr) {
-	rewriteBlock(b, func(e ast.Expr) ast.Expr {
+// substVar replaces every reference to name with a clone of repl,
+// returning the rewritten block (the input, a private clone in the
+// unroller, is shared where unchanged).
+func substVar(b *ast.Block, name string, repl ast.Expr) *ast.Block {
+	return rewriteBlock(b, func(e ast.Expr) ast.Expr {
 		if vr, ok := e.(*ast.VarRef); ok && vr.Name == name {
 			return ast.CloneExpr(repl)
 		}

@@ -1,0 +1,55 @@
+package sema
+
+import "clfuzz/internal/ast"
+
+// nodeArena batches the checker's node allocations. A rebuild-style
+// checker allocates one node per input node; individually those small
+// allocations dominate the compile profile, and since every node of one
+// checked program is retained (or discarded) together with the program —
+// the back cache holds programs whole — chunked slabs waste nothing.
+// Nodes handed out are zeroed: grab never recycles memory.
+type nodeArena struct {
+	varRefs  []ast.VarRef
+	intLits  []ast.IntLit
+	unaries  []ast.Unary
+	binaries []ast.Binary
+	assigns  []ast.AssignExpr
+	conds    []ast.Cond
+	calls    []ast.Call
+	indexes  []ast.Index
+	members  []ast.Member
+	swizzles []ast.Swizzle
+	casts    []ast.Cast
+	exprs    []ast.Expr
+	stmts    []ast.Stmt
+}
+
+const arenaChunk = 128
+
+// grab hands out one zeroed slot from a chunked slab.
+func grab[T any](buf *[]T) *T {
+	if len(*buf) == 0 {
+		*buf = make([]T, arenaChunk)
+	}
+	p := &(*buf)[0]
+	*buf = (*buf)[1:]
+	return p
+}
+
+// grabSlice hands out a zeroed slice of length n from a chunked slab.
+// Slices never overlap: each call consumes its span.
+func grabSlice[T any](buf *[]T, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if len(*buf) < n {
+		c := arenaChunk
+		if c < n {
+			c = n
+		}
+		*buf = make([]T, c)
+	}
+	s := (*buf)[:n:n]
+	*buf = (*buf)[n:]
+	return s
+}

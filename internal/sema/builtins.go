@@ -44,9 +44,13 @@ func IsSafeMathBuiltin(name string) bool {
 	return false
 }
 
-// checkCall types a function or builtin call.
-func (c *checker) checkCall(ex *ast.Call) (ast.Expr, error) {
-	for i, a := range ex.Args {
+// checkCall types a function or builtin call. The input node is left
+// untouched: arguments are checked into a freshly built call node, which
+// the per-builtin checkers below annotate and return.
+func (c *checker) checkCall(call *ast.Call) (ast.Expr, error) {
+	ex := grab(&c.a.calls)
+	ex.Name, ex.Args = call.Name, grabSlice(&c.a.exprs, len(call.Args))
+	for i, a := range call.Args {
 		ca, err := c.checkExpr(a)
 		if err != nil {
 			return nil, err

@@ -8,9 +8,20 @@
 // rejections and the compile-hang pattern, mirroring where those bugs
 // lived in the real implementations the paper tested.
 //
-// Check returns an Info summary of program features — HasBarrier,
+// Check never writes to the program it is handed: it rebuilds the tree
+// into a fresh, fully annotated program (sharing already-typed literals
+// and bodiless declarations), so one pristine parse can be checked
+// concurrently under any number of defect sets and the checked result
+// can be published as an immutable artifact (device.BackCache). Node
+// allocation is slab-batched (alloc.go): a checked program's nodes live
+// and die together with the program.
+//
+// Check also returns an Info summary of program features — HasBarrier,
 // HasAtomic, HasFwdDecl, vector usage, struct sizes — that the defect
 // models key on and that the device layer converts into the executor's
 // static guarantees (exec.Options.NoBarrier and NoAtomics, which gate the
 // sequential fast path and the parallel work-group path respectively).
+// The annotations themselves never depend on the defect set (defects only
+// gate rejections), which is what lets the device layer share one checked
+// program across defect models.
 package sema

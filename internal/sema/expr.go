@@ -18,24 +18,32 @@ func PredefinedConst(name string) (uint64, bool) {
 	return v, ok
 }
 
-// checkExpr type-checks an expression, returning a possibly rewritten node
-// (vector member accesses become swizzles).
+// checkExpr type-checks an expression and returns a freshly built,
+// annotated node (vector member accesses become swizzles). The input node
+// is never written to; already-typed literals are shared as-is.
 func (c *checker) checkExpr(e ast.Expr) (ast.Expr, error) {
 	switch ex := e.(type) {
 	case *ast.IntLit:
-		if ex.Type() == nil {
-			ex.SetType(cltypes.TInt)
+		if ex.Type() != nil {
+			return ex, nil // immutable once typed; share with the input
 		}
-		return ex, nil
+		nl := grab(&c.a.intLits)
+		nl.Val = ex.Val
+		nl.SetType(cltypes.TInt)
+		return nl, nil
 
 	case *ast.VarRef:
 		if s := c.scope.lookup(ex.Name); s != nil {
-			ex.SetType(s.typ)
-			return ex, nil
+			nv := grab(&c.a.varRefs)
+			nv.Name = ex.Name
+			nv.SetType(s.typ)
+			return nv, nil
 		}
 		if _, ok := predefined[ex.Name]; ok {
-			ex.SetType(cltypes.TUInt)
-			return ex, nil
+			nv := grab(&c.a.varRefs)
+			nv.Name = ex.Name
+			nv.SetType(cltypes.TUInt)
+			return nv, nil
 		}
 		return nil, c.errf("use of undeclared identifier %q", ex.Name)
 
@@ -53,7 +61,6 @@ func (c *checker) checkExpr(e ast.Expr) (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.C = cond
 		t, err := c.checkExpr(ex.T)
 		if err != nil {
 			return nil, err
@@ -62,13 +69,14 @@ func (c *checker) checkExpr(e ast.Expr) (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.T, ex.F = t, f
 		rt, err := c.commonType(t.Type(), f.Type())
 		if err != nil {
 			return nil, err
 		}
-		ex.SetType(rt)
-		return ex, nil
+		nc := grab(&c.a.conds)
+		nc.C, nc.T, nc.F = cond, t, f
+		nc.SetType(rt)
+		return nc, nil
 
 	case *ast.Call:
 		return c.checkCall(ex)
@@ -82,19 +90,20 @@ func (c *checker) checkExpr(e ast.Expr) (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.Base, ex.Idx = base, idx
 		if !cltypes.IsScalarInt(idx.Type()) {
 			return nil, c.errf("array subscript must be an integer, found %s", idx.Type())
 		}
+		ni := grab(&c.a.indexes)
+		ni.Base, ni.Idx = base, idx
 		switch bt := base.Type().(type) {
 		case *cltypes.Array:
-			ex.SetType(bt.Elem)
+			ni.SetType(bt.Elem)
 		case *cltypes.Pointer:
-			ex.SetType(bt.Elem)
+			ni.SetType(bt.Elem)
 		default:
 			return nil, c.errf("subscripted value is not an array or pointer (%s)", base.Type())
 		}
-		return ex, nil
+		return ni, nil
 
 	case *ast.Member:
 		return c.checkMember(ex)
@@ -104,17 +113,19 @@ func (c *checker) checkExpr(e ast.Expr) (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.Base = base
-		return c.typeSwizzle(ex)
+		sw := grab(&c.a.swizzles)
+		sw.Base, sw.Sel = base, ex.Sel
+		return c.typeSwizzle(sw)
 
 	case *ast.VecLit:
+		nv := &ast.VecLit{VT: ex.VT, Elems: grabSlice(&c.a.exprs, len(ex.Elems))}
 		total := 0
 		for i, el := range ex.Elems {
 			ce, err := c.checkExpr(el)
 			if err != nil {
 				return nil, err
 			}
-			ex.Elems[i] = ce
+			nv.Elems[i] = ce
 			switch et := ce.Type().(type) {
 			case *cltypes.Scalar:
 				total++
@@ -132,16 +143,17 @@ func (c *checker) checkExpr(e ast.Expr) (ast.Expr, error) {
 		if !(len(ex.Elems) == 1 && total == 1) && total != ex.VT.Len {
 			return nil, c.errf("vector literal for %s has %d components", ex.VT, total)
 		}
-		ex.SetType(ex.VT)
-		return ex, nil
+		nv.SetType(ex.VT)
+		return nv, nil
 
 	case *ast.Cast:
 		x, err := c.checkExpr(ex.X)
 		if err != nil {
 			return nil, err
 		}
-		ex.X = x
 		from, to := x.Type(), ex.To
+		nc := grab(&c.a.casts)
+		nc.To, nc.X = to, x
 		if _, ok := to.(*cltypes.Vector); ok {
 			// OpenCL prohibits vector-to-vector casts between distinct
 			// types (paper §4.1); a scalar cast to a vector splats.
@@ -152,24 +164,24 @@ func (c *checker) checkExpr(e ast.Expr) (ast.Expr, error) {
 			} else if !cltypes.IsScalarInt(from) {
 				return nil, c.errf("invalid cast from %s to %s", from, to)
 			}
-			ex.SetType(to)
-			return ex, nil
+			nc.SetType(to)
+			return nc, nil
 		}
 		if _, ok := to.(*cltypes.Scalar); ok {
 			if !cltypes.IsScalarInt(from) {
 				return nil, c.errf("invalid cast from %s to %s", from, to)
 			}
-			ex.SetType(to)
-			return ex, nil
+			nc.SetType(to)
+			return nc, nil
 		}
 		if pt, ok := to.(*cltypes.Pointer); ok {
 			if _, ok := from.(*cltypes.Pointer); ok {
-				ex.SetType(pt)
-				return ex, nil
+				nc.SetType(pt)
+				return nc, nil
 			}
 			if lit, ok := x.(*ast.IntLit); ok && lit.Val == 0 {
-				ex.SetType(pt)
-				return ex, nil
+				nc.SetType(pt)
+				return nc, nil
 			}
 		}
 		return nil, c.errf("invalid cast from %s to %s", from, to)
@@ -185,48 +197,49 @@ func (c *checker) checkUnary(ex *ast.Unary) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.X = x
+	nu := grab(&c.a.unaries)
+	nu.Op, nu.X = ex.Op, x
 	t := x.Type()
 	switch ex.Op {
 	case ast.Neg, ast.Pos, ast.BitNot:
 		switch tt := t.(type) {
 		case *cltypes.Scalar:
-			ex.SetType(cltypes.Promote(tt))
-			return ex, nil
+			nu.SetType(cltypes.Promote(tt))
+			return nu, nil
 		case *cltypes.Vector:
-			ex.SetType(tt)
-			return ex, nil
+			nu.SetType(tt)
+			return nu, nil
 		}
 		return nil, c.errf("invalid operand %s to unary %s", t, ex.Op)
 	case ast.LogNot:
 		switch tt := t.(type) {
 		case *cltypes.Scalar:
-			ex.SetType(cltypes.TInt)
-			return ex, nil
+			nu.SetType(cltypes.TInt)
+			return nu, nil
 		case *cltypes.Vector:
 			if c.defects.Has(bugs.FEVectorLogicalReject) {
 				return nil, c.errf("error: logical operator ! not supported on vector type %s", tt)
 			}
-			ex.SetType(signedVec(tt))
-			return ex, nil
+			nu.SetType(signedVec(tt))
+			return nu, nil
 		case *cltypes.Pointer:
-			ex.SetType(cltypes.TInt)
-			return ex, nil
+			nu.SetType(cltypes.TInt)
+			return nu, nil
 		}
 		return nil, c.errf("invalid operand %s to unary !", t)
 	case ast.AddrOf:
 		if !c.isLvalue(x) {
 			return nil, c.errf("cannot take the address of an rvalue")
 		}
-		ex.SetType(&cltypes.Pointer{Elem: t, Space: c.exprSpace(x)})
-		return ex, nil
+		nu.SetType(&cltypes.Pointer{Elem: t, Space: c.exprSpace(x)})
+		return nu, nil
 	case ast.Deref:
 		pt, ok := t.(*cltypes.Pointer)
 		if !ok {
 			return nil, c.errf("cannot dereference non-pointer type %s", t)
 		}
-		ex.SetType(pt.Elem)
-		return ex, nil
+		nu.SetType(pt.Elem)
+		return nu, nil
 	case ast.PreInc, ast.PreDec, ast.PostInc, ast.PostDec:
 		if err := c.checkAssignable(x); err != nil {
 			return nil, err
@@ -234,8 +247,8 @@ func (c *checker) checkUnary(ex *ast.Unary) (ast.Expr, error) {
 		if !cltypes.IsScalarInt(t) {
 			return nil, c.errf("invalid operand %s to %s", t, ex.Op)
 		}
-		ex.SetType(t)
-		return ex, nil
+		nu.SetType(t)
+		return nu, nil
 	}
 	return nil, c.errf("unknown unary operator")
 }
@@ -249,25 +262,26 @@ func (c *checker) checkBinary(ex *ast.Binary) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.L, ex.R = l, r
+	nb := grab(&c.a.binaries)
+	nb.Op, nb.L, nb.R = ex.Op, l, r
 	lt, rt := l.Type(), r.Type()
 
 	if ex.Op == ast.Comma {
 		c.info.HasComma = true
-		ex.SetType(rt)
-		return ex, nil
+		nb.SetType(rt)
+		return nb, nil
 	}
 
 	// Pointer equality comparisons.
 	if _, lp := lt.(*cltypes.Pointer); lp {
 		if ex.Op == ast.EQ || ex.Op == ast.NE {
 			if _, rp := rt.(*cltypes.Pointer); rp {
-				ex.SetType(cltypes.TInt)
-				return ex, nil
+				nb.SetType(cltypes.TInt)
+				return nb, nil
 			}
 			if lit, ok := r.(*ast.IntLit); ok && lit.Val == 0 {
-				ex.SetType(cltypes.TInt)
-				return ex, nil
+				nb.SetType(cltypes.TInt)
+				return nb, nil
 			}
 		}
 		return nil, c.errf("invalid pointer operands to binary %s", ex.Op)
@@ -289,31 +303,31 @@ func (c *checker) checkBinary(ex *ast.Binary) (ast.Expr, error) {
 	switch {
 	case lIsScalar && rIsScalar:
 		if ex.Op.IsComparison() || ex.Op.IsLogical() {
-			ex.SetType(cltypes.TInt)
-			return ex, nil
+			nb.SetType(cltypes.TInt)
+			return nb, nil
 		}
 		if ex.Op == ast.Shl || ex.Op == ast.Shr {
-			ex.SetType(cltypes.Promote(ls))
-			return ex, nil
+			nb.SetType(cltypes.Promote(ls))
+			return nb, nil
 		}
-		ex.SetType(cltypes.UsualArith(ls, rs))
-		return ex, nil
+		nb.SetType(cltypes.UsualArith(ls, rs))
+		return nb, nil
 	case lIsVec && rIsVec:
 		if !lv.Equal(rv) {
 			return nil, c.errf("invalid operands to binary %s (%s and %s)", ex.Op, lt, rt)
 		}
-		return c.vecBinResult(ex, lv)
+		return c.vecBinResult(nb, lv)
 	case lIsVec && rIsScalar:
-		return c.vecBinResult(ex, lv)
+		return c.vecBinResult(nb, lv)
 	case lIsScalar && rIsVec:
-		return c.vecBinResult(ex, rv)
+		return c.vecBinResult(nb, rv)
 	}
 	return nil, c.errf("invalid operands to binary %s (%s and %s)", ex.Op, lt, rt)
 }
 
-// vecBinResult types a component-wise vector operation: comparisons and
-// logical operators yield a signed vector mask of the same shape; other
-// operators yield the vector type itself.
+// vecBinResult types a component-wise vector operation (on the freshly
+// built node): comparisons and logical operators yield a signed vector
+// mask of the same shape; other operators yield the vector type itself.
 func (c *checker) vecBinResult(ex *ast.Binary, v *cltypes.Vector) (ast.Expr, error) {
 	if ex.Op.IsLogical() {
 		c.info.UsesVector = true
@@ -354,7 +368,6 @@ func (c *checker) checkAssign(ex *ast.AssignExpr) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.LHS = lhs
 	if err := c.checkAssignable(lhs); err != nil {
 		return nil, err
 	}
@@ -362,7 +375,8 @@ func (c *checker) checkAssign(ex *ast.AssignExpr) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.RHS = rhs
+	na := grab(&c.a.assigns)
+	na.Op, na.LHS, na.RHS = ex.Op, lhs, rhs
 	lt, rt := lhs.Type(), rhs.Type()
 	if ex.Op != ast.Assign {
 		// Compound assignment requires an arithmetic LHS.
@@ -394,8 +408,8 @@ func (c *checker) checkAssign(ex *ast.AssignExpr) (ast.Expr, error) {
 	} else if !c.convertibleTo(rt, lt) {
 		return nil, c.errf("cannot assign %s to %s", rt, lt)
 	}
-	ex.SetType(lt)
-	return ex, nil
+	na.SetType(lt)
+	return na, nil
 }
 
 // checkAssignable verifies that e is a modifiable lvalue.
@@ -492,7 +506,6 @@ func (c *checker) checkMember(ex *ast.Member) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.Base = base
 	bt := base.Type()
 	if ex.Arrow {
 		pt, ok := bt.(*cltypes.Pointer)
@@ -507,22 +520,26 @@ func (c *checker) checkMember(ex *ast.Member) (ast.Expr, error) {
 		if i < 0 {
 			return nil, c.errf("no member %q in %s", ex.Name, t)
 		}
-		ex.FieldIdx = i + 1
-		ex.SetType(t.Fields[i].Type)
+		nm := grab(&c.a.members)
+		nm.Base, nm.Name, nm.Arrow, nm.FieldIdx = base, ex.Name, ex.Arrow, i+1
+		nm.SetType(t.Fields[i].Type)
 		if t.Fields[i].Volatile {
 			c.info.HasVolatile = true
 		}
-		return ex, nil
+		return nm, nil
 	case *cltypes.Vector:
 		if ex.Arrow {
 			return nil, c.errf("-> applied to vector type")
 		}
-		sw := &ast.Swizzle{Base: base, Sel: ex.Name}
+		sw := grab(&c.a.swizzles)
+		sw.Base, sw.Sel = base, ex.Name
 		return c.typeSwizzle(sw)
 	}
 	return nil, c.errf("member access on non-aggregate type %s", bt)
 }
 
+// typeSwizzle annotates a freshly built swizzle node (its base is already
+// checked; the node is owned by the checker, so writing its type is safe).
 func (c *checker) typeSwizzle(sw *ast.Swizzle) (ast.Expr, error) {
 	vt, ok := sw.Base.Type().(*cltypes.Vector)
 	if !ok {
@@ -562,7 +579,8 @@ func (c *checker) commonType(a, b cltypes.Type) (cltypes.Type, error) {
 	return nil, c.errf("incompatible operand types %s and %s in conditional", a, b)
 }
 
-// walkStmt calls fn for s and every statement nested within it.
+// walkStmt calls fn for s and every statement nested within it. It never
+// writes to the tree.
 func walkStmt(s ast.Stmt, fn func(ast.Stmt)) {
 	if s == nil {
 		return

@@ -39,18 +39,23 @@ type Info struct {
 	StmtCount      int
 }
 
-// Check type-checks the program under the given defect set, annotating
-// every expression with its type and rewriting vector member accesses into
-// swizzles. It returns program feature information used by the defect
-// model.
-func Check(prog *ast.Program, defects bugs.Set) (*Info, error) {
+// Check type-checks the program under the given defect set and returns a
+// freshly built, fully annotated program: every expression carries its
+// type and vector member accesses are rewritten into swizzles. The input
+// program is never written to — checking rebuilds nodes instead of
+// mutating them (copy-on-write: nodes that need no annotation, such as
+// already-typed literals, are shared) — so one pristine parse may be
+// checked concurrently under any number of defect sets. It also returns
+// program feature information used by the defect model.
+func Check(prog *ast.Program, defects bugs.Set) (*ast.Program, *Info, error) {
 	c := &checker{
 		prog:    prog,
 		defects: defects,
 		info:    &Info{},
 		funcs:   map[string]*ast.FuncDecl{},
 	}
-	return c.info, c.check()
+	out, err := c.check()
+	return out, c.info, err
 }
 
 // sym is a resolved name.
@@ -88,38 +93,42 @@ type checker struct {
 	cur     *ast.FuncDecl
 	scope   *scope
 	loop    int // loop nesting depth, for break/continue checking
+	a       nodeArena
 }
 
 func (c *checker) errf(format string, args ...any) error {
 	return &BuildError{Msg: fmt.Sprintf(format, args...)}
 }
 
-func (c *checker) check() error {
+func (c *checker) check() (*ast.Program, error) {
 	// Struct definitions: the Altera vector-in-struct internal error
 	// (Figure 1(c)) fires here, during IR generation for the type.
 	for _, st := range c.prog.Structs {
 		for _, f := range st.Fields {
 			if containsVector(f.Type) && c.defects.Has(bugs.FEVectorInStructICE) {
-				return c.errf("internal error: LLVM IR generation failed for %s (vector in aggregate)", st.String())
+				return nil, c.errf("internal error: LLVM IR generation failed for %s (vector in aggregate)", st.String())
 			}
 			if sz := st.Size(); sz > c.info.MaxStructBytes {
 				c.info.MaxStructBytes = sz
 			}
 		}
 	}
+	out := &ast.Program{Structs: c.prog.Structs}
 	c.globals = newScope(nil)
 	for _, g := range c.prog.Globals {
 		if g.Space != cltypes.Constant {
-			return c.errf("program-scope variable %s must be in constant address space", g.Name)
+			return nil, c.errf("program-scope variable %s must be in constant address space", g.Name)
 		}
+		ng := *g
 		if g.Init != nil {
 			init, err := c.checkInit(g.Type, g.Init)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			g.Init = init
+			ng.Init = init
 		}
 		c.globals.define(g.Name, &sym{typ: g.Type, space: cltypes.Constant, isConst: true})
+		out.Globals = append(out.Globals, &ng)
 	}
 	// Collect function declarations in order, checking redeclarations.
 	kernels := 0
@@ -127,10 +136,10 @@ func (c *checker) check() error {
 		prev, seen := c.funcs[f.Name]
 		if seen {
 			if prev.Body != nil && f.Body != nil {
-				return c.errf("redefinition of function %s", f.Name)
+				return nil, c.errf("redefinition of function %s", f.Name)
 			}
 			if !sameSignature(prev, f) {
-				return c.errf("conflicting declarations of function %s", f.Name)
+				return nil, c.errf("conflicting declarations of function %s", f.Name)
 			}
 			if prev.Body == nil && f.Body != nil {
 				c.info.HasFwdDecl = true
@@ -142,7 +151,7 @@ func (c *checker) check() error {
 		if f.IsKernel && f.Body != nil {
 			kernels++
 			if !f.Ret.Equal(cltypes.TVoid) {
-				return c.errf("kernel %s must return void", f.Name)
+				return nil, c.errf("kernel %s must return void", f.Name)
 			}
 		}
 		if f.Body != nil {
@@ -150,20 +159,25 @@ func (c *checker) check() error {
 		}
 	}
 	if kernels == 0 {
-		return c.errf("no kernel function defined")
+		return nil, c.errf("no kernel function defined")
 	}
-	// Check bodies in order. OpenCL C (like C) requires declaration before
-	// use; the collection pass above already registered all names, so we
-	// enforce order only loosely (CLsmith emits forward declarations).
+	// Check bodies in order, rebuilding each definition. OpenCL C (like C)
+	// requires declaration before use; the collection pass above already
+	// registered all names, so we enforce order only loosely (CLsmith emits
+	// forward declarations). Bodiless forward declarations carry no
+	// annotations and are shared with the input program.
 	for _, f := range c.prog.Funcs {
 		if f.Body == nil {
+			out.Funcs = append(out.Funcs, f)
 			continue
 		}
-		if err := c.checkFunc(f); err != nil {
-			return err
+		nf, err := c.checkFunc(f)
+		if err != nil {
+			return nil, err
 		}
+		out.Funcs = append(out.Funcs, nf)
 	}
-	return nil
+	return out, nil
 }
 
 func sameSignature(a, b *ast.FuncDecl) bool {
@@ -194,7 +208,7 @@ func containsVector(t cltypes.Type) bool {
 	return false
 }
 
-func (c *checker) checkFunc(f *ast.FuncDecl) error {
+func (c *checker) checkFunc(f *ast.FuncDecl) (*ast.FuncDecl, error) {
 	c.cur = f
 	c.scope = newScope(c.globals)
 	for _, p := range f.Params {
@@ -204,128 +218,154 @@ func (c *checker) checkFunc(f *ast.FuncDecl) error {
 		}
 		c.scope.define(p.Name, &sym{typ: p.Type, space: space})
 	}
-	return c.checkBlock(f.Body)
+	body, err := c.checkBlock(f.Body)
+	if err != nil {
+		return nil, err
+	}
+	nf := *f
+	nf.Body = body
+	return &nf, nil
 }
 
-func (c *checker) checkBlock(b *ast.Block) error {
+func (c *checker) checkBlock(b *ast.Block) (*ast.Block, error) {
 	outer := c.scope
 	c.scope = newScope(outer)
 	defer func() { c.scope = outer }()
+	out := &ast.Block{Stmts: grabSlice(&c.a.stmts, len(b.Stmts))}
 	for i, s := range b.Stmts {
-		if err := c.checkStmt(s, b, i); err != nil {
-			return err
+		ns, err := c.checkStmt(s)
+		if err != nil {
+			return nil, err
 		}
+		out.Stmts[i] = ns
 	}
-	return nil
+	return out, nil
 }
 
-func (c *checker) checkStmt(s ast.Stmt, parent *ast.Block, idx int) error {
+func (c *checker) checkStmt(s ast.Stmt) (ast.Stmt, error) {
 	c.info.StmtCount++
 	switch st := s.(type) {
 	case *ast.DeclStmt:
-		return c.checkVarDecl(st.Decl)
+		nd, err := c.checkVarDecl(st.Decl)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DeclStmt{Decl: nd}, nil
 	case *ast.ExprStmt:
 		x, err := c.checkExpr(st.X)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		st.X = x
-		return nil
+		return &ast.ExprStmt{X: x}, nil
 	case *ast.Block:
 		return c.checkBlock(st)
 	case *ast.If:
 		cond, err := c.checkScalarCond(st.Cond)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		st.Cond = cond
-		if err := c.checkBlock(st.Then); err != nil {
-			return err
+		then, err := c.checkBlock(st.Then)
+		if err != nil {
+			return nil, err
 		}
+		ns := &ast.If{Cond: cond, Then: then}
 		if st.Else != nil {
-			return c.checkStmt(st.Else, nil, 0)
+			els, err := c.checkStmt(st.Else)
+			if err != nil {
+				return nil, err
+			}
+			ns.Else = els
 		}
-		return nil
+		return ns, nil
 	case *ast.For:
 		outer := c.scope
 		c.scope = newScope(outer)
 		defer func() { c.scope = outer }()
+		ns := &ast.For{}
 		if st.Init != nil {
-			if err := c.checkStmt(st.Init, nil, 0); err != nil {
-				return err
+			init, err := c.checkStmt(st.Init)
+			if err != nil {
+				return nil, err
 			}
 			c.info.StmtCount-- // init was counted by the recursive call
+			ns.Init = init
 		}
 		if st.Cond != nil {
 			cond, err := c.checkScalarCond(st.Cond)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			st.Cond = cond
+			ns.Cond = cond
 		}
 		if st.Post != nil {
 			post, err := c.checkExpr(st.Post)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			st.Post = post
+			ns.Post = post
 		}
 		c.detectHangPattern(st)
 		c.loop++
 		defer func() { c.loop-- }()
-		return c.checkBlock(st.Body)
+		body, err := c.checkBlock(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		ns.Body = body
+		return ns, nil
 	case *ast.While:
 		cond, err := c.checkScalarCond(st.Cond)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		st.Cond = cond
 		c.loop++
 		defer func() { c.loop-- }()
-		return c.checkBlock(st.Body)
+		body, err := c.checkBlock(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.While{Cond: cond, Body: body}, nil
 	case *ast.DoWhile:
 		c.loop++
-		if err := c.checkBlock(st.Body); err != nil {
-			c.loop--
-			return err
-		}
+		body, err := c.checkBlock(st.Body)
 		c.loop--
+		if err != nil {
+			return nil, err
+		}
 		cond, err := c.checkScalarCond(st.Cond)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		st.Cond = cond
-		return nil
+		return &ast.DoWhile{Body: body, Cond: cond}, nil
 	case *ast.Break:
 		if c.loop == 0 {
-			return c.errf("break outside of loop")
+			return nil, c.errf("break outside of loop")
 		}
-		return nil
+		return st, nil
 	case *ast.Continue:
 		if c.loop == 0 {
-			return c.errf("continue outside of loop")
+			return nil, c.errf("continue outside of loop")
 		}
-		return nil
+		return st, nil
 	case *ast.Return:
 		if st.X == nil {
 			if !c.cur.Ret.Equal(cltypes.TVoid) {
-				return c.errf("return without value in function %s returning %s", c.cur.Name, c.cur.Ret)
+				return nil, c.errf("return without value in function %s returning %s", c.cur.Name, c.cur.Ret)
 			}
-			return nil
+			return st, nil
 		}
 		x, err := c.checkExpr(st.X)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		st.X = x
 		if !c.convertibleTo(x.Type(), c.cur.Ret) {
-			return c.errf("cannot return %s from function %s returning %s", x.Type(), c.cur.Name, c.cur.Ret)
+			return nil, c.errf("cannot return %s from function %s returning %s", x.Type(), c.cur.Name, c.cur.Ret)
 		}
-		return nil
+		return &ast.Return{X: x}, nil
 	case *ast.Empty:
-		return nil
+		return st, nil
 	}
-	return c.errf("unknown statement %T", s)
+	return nil, c.errf("unknown statement %T", s)
 }
 
 // detectHangPattern checks for the Figure 1(e) shape: a for loop with a
@@ -354,36 +394,38 @@ func (c *checker) detectHangPattern(f *ast.For) {
 	}
 }
 
-func (c *checker) checkVarDecl(d *ast.VarDecl) error {
+func (c *checker) checkVarDecl(d *ast.VarDecl) (*ast.VarDecl, error) {
 	if d.Space == cltypes.Constant {
-		return c.errf("constant address space variables must be program scope")
+		return nil, c.errf("constant address space variables must be program scope")
 	}
 	if d.Volatile {
 		c.info.HasVolatile = true
 	}
 	if at, ok := d.Type.(*cltypes.Array); ok && at.Len <= 0 {
-		return c.errf("array %s has non-positive length", d.Name)
+		return nil, c.errf("array %s has non-positive length", d.Name)
 	}
+	nd := *d
 	if d.Init != nil {
 		init, err := c.checkInit(d.Type, d.Init)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		d.Init = init
+		nd.Init = init
 	} else if d.Const {
-		return c.errf("const variable %s lacks initializer", d.Name)
+		return nil, c.errf("const variable %s lacks initializer", d.Name)
 	}
 	c.scope.define(d.Name, &sym{typ: d.Type, space: d.Space, isConst: d.Const, volatile: d.Volatile})
-	return nil
+	return &nd, nil
 }
 
 // checkInit checks an initializer against the declared type, handling
-// braced aggregate initializers. It returns the (possibly rewritten)
-// initializer, which the caller must store back: checking can rewrite
-// nodes, e.g. vector member accesses into swizzles.
+// braced aggregate initializers. It returns a rebuilt initializer — the
+// input node is left untouched — with checked elements and, for braced
+// lists, the declared type recorded.
 func (c *checker) checkInit(t cltypes.Type, init ast.Expr) (ast.Expr, error) {
 	if il, ok := init.(*ast.InitList); ok {
-		il.SetType(t)
+		nl := &ast.InitList{Elems: grabSlice(&c.a.exprs, len(il.Elems))}
+		nl.SetType(t)
 		switch tt := t.(type) {
 		case *cltypes.Array:
 			if len(il.Elems) > tt.Len {
@@ -394,9 +436,9 @@ func (c *checker) checkInit(t cltypes.Type, init ast.Expr) (ast.Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				il.Elems[i] = ce
+				nl.Elems[i] = ce
 			}
-			return il, nil
+			return nl, nil
 		case *cltypes.StructT:
 			if tt.IsUnion {
 				// C99: a braced union initializer initializes the first
@@ -409,9 +451,9 @@ func (c *checker) checkInit(t cltypes.Type, init ast.Expr) (ast.Expr, error) {
 					if err != nil {
 						return nil, err
 					}
-					il.Elems[0] = ce
+					nl.Elems[0] = ce
 				}
-				return il, nil
+				return nl, nil
 			}
 			if len(il.Elems) > len(tt.Fields) {
 				return nil, c.errf("too many initializers for %s", t)
@@ -421,9 +463,9 @@ func (c *checker) checkInit(t cltypes.Type, init ast.Expr) (ast.Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				il.Elems[i] = ce
+				nl.Elems[i] = ce
 			}
-			return il, nil
+			return nl, nil
 		default:
 			// Scalar braced initializer {x} is legal C.
 			if len(il.Elems) != 1 {
@@ -433,8 +475,8 @@ func (c *checker) checkInit(t cltypes.Type, init ast.Expr) (ast.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			il.Elems[0] = ce
-			return il, nil
+			nl.Elems[0] = ce
+			return nl, nil
 		}
 	}
 	x, err := c.checkExpr(init)

@@ -15,7 +15,8 @@ func check(t *testing.T, src string, defects bugs.Set) (*sema.Info, error) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	return sema.Check(prog, defects)
+	_, info, err := sema.Check(prog, defects)
+	return info, err
 }
 
 // TestRejections: each program violates one typing rule and must be
