@@ -26,6 +26,9 @@ var benchScale = flag.Int("clfuzz.scale", 6, "campaign scale for the table bench
 // BenchmarkTable1 regenerates the Table 1 configuration classification:
 // 21 configurations against the 25% reliability threshold (§7.1).
 func BenchmarkTable1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("campaign-scale benchmark; run without -short")
+	}
 	for i := 0; i < b.N; i++ {
 		rows := harness.ClassifyConfigurations(*benchScale, 7, 48, 0)
 		if i == 0 {
@@ -68,6 +71,9 @@ func BenchmarkTable2(b *testing.B) {
 // per (benchmark, configuration), the worst outcome over EMI variants with
 // substitutions on and off.
 func BenchmarkTable3(b *testing.B) {
+	if testing.Short() {
+		b.Skip("campaign-scale benchmark; run without -short")
+	}
 	for i := 0; i < b.N; i++ {
 		t3 := harness.EMIBenchmarkCampaign(2, 11, 0)
 		if i == 0 {
@@ -83,6 +89,9 @@ func BenchmarkTable3(b *testing.B) {
 // mode and configuration-level, the w/bf/c/to/ok counts and the wrong-code
 // percentage.
 func BenchmarkTable4(b *testing.B) {
+	if testing.Short() {
+		b.Skip("campaign-scale benchmark; run without -short")
+	}
 	for i := 0; i < b.N; i++ {
 		t4 := harness.CLsmithCampaign(*benchScale, 13, 48, 0)
 		if i == 0 {
@@ -95,6 +104,9 @@ func BenchmarkTable4(b *testing.B) {
 // configuration-level, base programs inducing wrong code, build failures,
 // crashes, timeouts, and stable bases, over the 40-variant pruning grid.
 func BenchmarkTable5(b *testing.B) {
+	if testing.Short() {
+		b.Skip("campaign-scale benchmark; run without -short")
+	}
 	for i := 0; i < b.N; i++ {
 		t5 := harness.EMICampaign(*benchScale/2+1, 17, 48, 0)
 		if i == 0 {
@@ -107,6 +119,9 @@ func BenchmarkTable5(b *testing.B) {
 // defect-inducing variant counts attributed to the leaf, compound and lift
 // pruning probabilities (the paper found lift slightly less effective).
 func BenchmarkPruningStrategies(b *testing.B) {
+	if testing.Short() {
+		b.Skip("campaign-scale benchmark; run without -short")
+	}
 	for i := 0; i < b.N; i++ {
 		t5 := harness.EMICampaign(*benchScale/2+1, 19, 48, 0)
 		if i == 0 {

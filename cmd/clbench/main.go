@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
 	"clfuzz/internal/exhibits"
 	"clfuzz/internal/generator"
 	"clfuzz/internal/harness"
@@ -56,6 +57,17 @@ type snapshot struct {
 	// benchmark ran with (RunOptions.Workers).
 	GroupWorkers int    `json:"group_workers,omitempty"`
 	Notes        string `json:"notes,omitempty"`
+	// Engine is the evaluation engine the run used (vm, tree, or auto),
+	// with the engine counters accumulated over the whole run: launches
+	// per engine, VM instructions dispatched, and how many distinct
+	// back-end programs lowered to bytecode vs fell back to the tree
+	// walker. Cross-machine comparisons must match on Engine first.
+	Engine         string `json:"engine,omitempty"`
+	VMLaunches     int64  `json:"vm_launches,omitempty"`
+	TreeLaunches   int64  `json:"tree_launches,omitempty"`
+	VMInstructions int64  `json:"vm_instructions,omitempty"`
+	LoweredKernels uint64 `json:"lowered_kernels,omitempty"`
+	LowerFallbacks uint64 `json:"lower_fallbacks,omitempty"`
 	// FrontCache and BackCache are the process-wide compile-cache
 	// counters accumulated over the whole benchmark run: front-end
 	// parses and finished back-end kernels reused vs compiled.
@@ -79,7 +91,14 @@ func main() {
 	tables := flag.Bool("tables", false, "also regenerate the Table 1/3/4/5 campaign benchmarks (slow)")
 	scale := flag.Int("scale", 6, "campaign scale for the table benchmarks")
 	baselinePath := flag.String("baseline", "", "optional snapshot to compare against (prints speedups to stderr)")
+	engineFlag := flag.String("engine", "auto", "evaluation engine for every launch: vm, tree, or auto")
 	flag.Parse()
+	engine, err := exec.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	device.DefaultEngine = engine
 
 	bm := map[string]metrics{}
 
@@ -178,16 +197,26 @@ func main() {
 
 	fcHits, fcMisses, fcSize := device.DefaultFrontCache.Stats()
 	bcHits, bcMisses, bcSize := device.DefaultBackCache.Stats()
+	lowered, fallbacks := device.LowerStats()
+	vmRuns, treeRuns, vmInstrs := exec.EngineCounters()
 	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "FrontCache", fcHits, fcMisses, fcSize)
 	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "BackCache", bcHits, bcMisses, bcSize)
+	fmt.Fprintf(os.Stderr, "%-28s %14d lowered %12d fallbacks\n", "Lowering", lowered, fallbacks)
+	fmt.Fprintf(os.Stderr, "%-28s %14d vm %12d tree %10d vm-instrs\n", "Engine", vmRuns, treeRuns, vmInstrs)
 	snap := snapshot{
-		Schema:       "clfuzz-bench/v1",
-		Go:           runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		CPUs:         runtime.GOMAXPROCS(0),
-		GroupWorkers: groupWorkers,
-		FrontCache:   &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
-		BackCache:    &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},
-		Benchmarks:   bm,
+		Schema:         "clfuzz-bench/v1",
+		Go:             runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPUs:           runtime.GOMAXPROCS(0),
+		GroupWorkers:   groupWorkers,
+		Engine:         engine.String(),
+		VMLaunches:     vmRuns,
+		TreeLaunches:   treeRuns,
+		VMInstructions: vmInstrs,
+		LoweredKernels: lowered,
+		LowerFallbacks: fallbacks,
+		FrontCache:     &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
+		BackCache:      &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},
+		Benchmarks:     bm,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

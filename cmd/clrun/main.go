@@ -30,8 +30,10 @@ func main() {
 	races := flag.Bool("races", false, "enable the data race and barrier divergence checker")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"work-group fan-out budget (1 = fully serial executor; results are identical either way)")
+	engineFlag := flag.String("engine", "auto",
+		"evaluation engine: vm (register bytecode), tree (reference walker), or auto")
 	cacheStats := flag.Bool("cachestats", false,
-		"print compile-cache hit/miss counters (front-end parses, shared back-end kernels) after the run")
+		"print compile-cache hit/miss counters (front-end parses, shared back-end kernels, bytecode lowering) and engine counters after the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: clrun [flags] kernel.cl")
@@ -41,6 +43,10 @@ func main() {
 		log.Fatal(err)
 	}
 	nd, err := parseND(*ndFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,8 +67,12 @@ func main() {
 		}
 		fh, fm, fs := device.DefaultFrontCache.Stats()
 		bh, bm, bs := device.DefaultBackCache.Stats()
+		lo, lf := device.LowerStats()
+		vmRuns, treeRuns, instrs := exec.EngineCounters()
 		fmt.Fprintf(os.Stderr, "front cache: %d hits, %d misses, %d entries\n", fh, fm, fs)
 		fmt.Fprintf(os.Stderr, "back cache:  %d hits, %d misses, %d entries\n", bh, bm, bs)
+		fmt.Fprintf(os.Stderr, "lowering:    %d programs lowered, %d tree fallbacks\n", lo, lf)
+		fmt.Fprintf(os.Stderr, "engine:      %d vm launches (%d instructions), %d tree launches\n", vmRuns, instrs, treeRuns)
 	}
 	cr := cfg.Compile(c.Src, !*noopt)
 	if cr.Outcome != device.OK {
@@ -72,7 +82,7 @@ func main() {
 	}
 	defer printCacheStats()
 	args, result := c.Buffers()
-	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{CheckRaces: *races, Workers: *workers})
+	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{CheckRaces: *races, Workers: *workers, Engine: engine})
 	fmt.Printf("outcome: %s\n", rr.Outcome)
 	if rr.Msg != "" {
 		fmt.Println(rr.Msg)

@@ -17,6 +17,8 @@ import (
 	"log"
 
 	"clfuzz/internal/benchmarks"
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
 	"clfuzz/internal/exhibits"
 	"clfuzz/internal/harness"
 )
@@ -30,7 +32,14 @@ func main() {
 	scale := flag.Int("scale", 10, "campaign size per unit (kernels per mode, EMI bases, ...)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	threads := flag.Int("threads", 64, "maximum thread count for generated kernels")
+	engineFlag := flag.String("engine", "auto",
+		"evaluation engine for every campaign launch: vm, tree, or auto (campaign output is byte-identical either way)")
 	flag.Parse()
+	engine, err := exec.ParseEngine(*engineFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device.DefaultEngine = engine
 
 	run := func(t int) {
 		switch t {

@@ -1,0 +1,127 @@
+package code_test
+
+import (
+	"testing"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/code"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+func checkedKernel(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, _, err = sema.Check(prog, 0)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return prog
+}
+
+// TestLowerIsReadOnly pins the lowering half of the immutable-program
+// contract: Lower must not write to the checked AST it compiles (the
+// same tree is concurrently executed and re-lowered by other defect
+// models via the BackCache).
+func TestLowerIsReadOnly(t *testing.T) {
+	for _, seed := range []int64{5, 7, 11} {
+		k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: seed, MaxTotalThreads: 16})
+		prog := checkedKernel(t, k.Src)
+		before := ast.Print(prog)
+		if _, err := code.Lower(prog); err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		if after := ast.Print(prog); after != before {
+			t.Fatalf("seed %d: lowering mutated the program", seed)
+		}
+	}
+}
+
+// TestLowerDeterministic pins that lowering the same program twice
+// yields structurally identical bytecode — instruction counts, frame
+// sizes, and per-instruction cost totals — which the BackCache's
+// "identical artifacts on duplicated concurrent misses" assumption
+// relies on.
+func TestLowerDeterministic(t *testing.T) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 16})
+	prog := checkedKernel(t, k.Src)
+	a, err := code.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	b, err := code.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	if len(a.Fns) != len(b.Fns) || a.Kernel != b.Kernel {
+		t.Fatalf("shape mismatch: %d/%d fns, kernel %d/%d", len(a.Fns), len(b.Fns), a.Kernel, b.Kernel)
+	}
+	for i := range a.Fns {
+		fa, fb := a.Fns[i], b.Fns[i]
+		if fa.NumRegs != fb.NumRegs || fa.NumLVs != fb.NumLVs || fa.NumSlots != fb.NumSlots || len(fa.Code) != len(fb.Code) {
+			t.Fatalf("fn %s: frame/code shape differs between lowerings", fa.Name)
+		}
+		for pc := range fa.Code {
+			ia, ib := fa.Code[pc], fb.Code[pc]
+			if ia.Op != ib.Op || ia.Cost != ib.Cost || ia.Dst != ib.Dst || ia.A != ib.A || ia.B != ib.B {
+				t.Fatalf("fn %s pc %d: %+v vs %+v", fa.Name, pc, ia, ib)
+			}
+		}
+	}
+}
+
+// TestLowerFallback pins the escape hatch: a program whose dead-loop
+// defect shape the lowerer cannot express (a non-variable init
+// destination on a barrier-bearing for loop) must return an error — the
+// device layer then runs that program on the tree engine — rather than
+// silently mislowering the defect model.
+func TestLowerFallback(t *testing.T) {
+	out := &ast.Param{}
+	out.Name, out.Type = "out", &cltypes.Pointer{Elem: cltypes.TULong, Space: cltypes.Global}
+	barrier := &ast.ExprStmt{X: &ast.Call{Name: "barrier", Args: []ast.Expr{ast.NewIntLit(1, cltypes.TInt)}}}
+	loop := &ast.For{
+		Init: &ast.ExprStmt{X: &ast.AssignExpr{
+			Op:  ast.Assign,
+			LHS: &ast.Unary{Op: ast.Deref, X: ast.NewVarRef("out")},
+			RHS: ast.NewIntLit(0, cltypes.TULong),
+		}},
+		Body: &ast.Block{Stmts: []ast.Stmt{barrier}},
+	}
+	prog := &ast.Program{Funcs: []*ast.FuncDecl{{
+		Name:     "k",
+		Ret:      cltypes.TVoid,
+		IsKernel: true,
+		Params:   []ast.Param{*out},
+		Body:     &ast.Block{Stmts: []ast.Stmt{loop}},
+	}}}
+	if _, err := code.Lower(prog); err == nil {
+		t.Fatal("expected a lowering error for the inexpressible dead-loop shape")
+	}
+}
+
+// TestLowerCoversGeneratorCorpus pins totality over the generator's
+// subset across every mode: lowering must succeed for each seed (the
+// fuzz target then pins behavioral equivalence).
+func TestLowerCoversGeneratorCorpus(t *testing.T) {
+	modes := []generator.Mode{
+		generator.ModeBasic, generator.ModeVector, generator.ModeBarrier, generator.ModeAll,
+	}
+	n := int64(20)
+	if testing.Short() {
+		n = 6
+	}
+	for _, mode := range modes {
+		for seed := int64(0); seed < n; seed++ {
+			k := generator.Generate(generator.Options{Mode: mode, Seed: seed, MaxTotalThreads: 16, EMIBlocks: int(seed % 3)})
+			prog := checkedKernel(t, k.Src)
+			if _, err := code.Lower(prog); err != nil {
+				t.Fatalf("mode %v seed %d: %v\n%s", mode, seed, err, k.Src)
+			}
+		}
+	}
+}

@@ -2,9 +2,11 @@ package device
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"clfuzz/internal/ast"
 	"clfuzz/internal/bugs"
+	"clfuzz/internal/code"
 	"clfuzz/internal/opt"
 	"clfuzz/internal/sema"
 )
@@ -54,6 +56,10 @@ type backEnd struct {
 	msg     string
 	prog    *ast.Program
 	info    *sema.Info
+	// code is the register bytecode lowered from prog (nil when lowering
+	// declined and the kernel runs on the tree-walking engine). Like prog
+	// it is immutable and shared across configurations and launches.
+	code *code.Program
 }
 
 // checkedKey addresses the sema stage: defects is masked to semaDefects.
@@ -82,6 +88,36 @@ type progKey struct {
 type progEntry struct {
 	src  string
 	prog *ast.Program
+	code *code.Program
+}
+
+// Lowering counters: programs lowered to bytecode vs programs that fell
+// back to the tree engine. Shared artifacts (lowered once, reused via the
+// prog-stage memo) count once, so the ratio measures distinct compiles.
+var (
+	lowerCompiles atomic.Uint64
+	lowerFallback atomic.Uint64
+)
+
+// LowerStats reports the cumulative lowering counters: how many distinct
+// back-end programs were compiled to bytecode, and how many fell back to
+// the tree-walking engine.
+func LowerStats() (lowered, fellBack uint64) {
+	return lowerCompiles.Load(), lowerFallback.Load()
+}
+
+// lowerProgram compiles the finished back-end program to register
+// bytecode, recording the outcome. A lowering failure is not an error:
+// the kernel simply runs on the reference tree walker, which is
+// byte-identical (and what the -engine=tree escape hatch forces anyway).
+func lowerProgram(prog *ast.Program) *code.Program {
+	cp, err := code.Lower(prog)
+	if err != nil {
+		lowerFallback.Add(1)
+		return nil
+	}
+	lowerCompiles.Add(1)
+	return cp
 }
 
 // BackCache is a bounded, concurrency-safe memo of back-end compilations
@@ -183,7 +219,8 @@ func (bc *BackCache) assemble(fe *FrontEnd, lvl Level, effOpt bool) *backEnd {
 		be.outcome, be.msg = out, msg
 		return be
 	}
-	be.prog = bc.progFor(progKey{hash: fe.Hash, defects: lvl.Defects & foldDefects, optimize: effOpt}, fe, ce.prog)
+	pe := bc.progFor(progKey{hash: fe.Hash, defects: lvl.Defects & foldDefects, optimize: effOpt}, fe, ce.prog)
+	be.prog, be.code = pe.prog, pe.code
 	be.info = ce.info
 	return be
 }
@@ -219,21 +256,22 @@ func (bc *BackCache) checkedFor(key checkedKey, fe *FrontEnd) *checkedEntry {
 	return ne
 }
 
-// progFor returns the memoized folded/optimized program for the key,
-// running the copy-on-write pipeline over the shared checked program on a
-// miss.
-func (bc *BackCache) progFor(key progKey, fe *FrontEnd, checked *ast.Program) *ast.Program {
+// progFor returns the memoized folded/optimized/lowered program for the
+// key, running the copy-on-write pipeline (and the bytecode lowering)
+// over the shared checked program on a miss.
+func (bc *BackCache) progFor(key progKey, fe *FrontEnd, checked *ast.Program) *progEntry {
 	bc.mu.Lock()
 	e, ok := bc.progs[key]
 	bc.mu.Unlock()
 	if ok && e.src == fe.Src {
-		return e.prog
+		return e
 	}
 	collided := ok
 	prog := opt.EarlyFolds(checked, key.defects, key.hash)
 	if key.optimize {
 		prog = opt.Optimize(prog, key.defects)
 	}
+	ne := &progEntry{src: fe.Src, prog: prog, code: lowerProgram(prog)}
 	if !collided {
 		bc.mu.Lock()
 		if _, ok := bc.progs[key]; !ok {
@@ -242,12 +280,12 @@ func (bc *BackCache) progFor(key progKey, fe *FrontEnd, checked *ast.Program) *a
 				bc.pgFifo = bc.pgFifo[1:]
 				delete(bc.progs, oldest)
 			}
-			bc.progs[key] = &progEntry{src: fe.Src, prog: prog}
+			bc.progs[key] = ne
 			bc.pgFifo = append(bc.pgFifo, key)
 		}
 		bc.mu.Unlock()
 	}
-	return prog
+	return ne
 }
 
 // Stats reports cumulative hit/miss counts of the finished-artifact level
@@ -316,5 +354,6 @@ func compileBackEnd(fe *FrontEnd, lvl Level, optimize bool) *backEnd {
 		prog = opt.Optimize(prog, lvl.Defects)
 	}
 	be.prog, be.info = prog, info
+	be.code = lowerProgram(prog)
 	return be
 }

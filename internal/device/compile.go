@@ -1,8 +1,11 @@
 package device
 
 import (
+	"os"
+
 	"clfuzz/internal/ast"
 	"clfuzz/internal/bugs"
+	"clfuzz/internal/code"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/sema"
 )
@@ -62,8 +65,30 @@ type Kernel struct {
 	Optimized bool
 	Prog      *ast.Program
 	Info      *sema.Info
-	Hash      uint64
-	level     Level
+	// Code is the register bytecode lowered from Prog, cached alongside
+	// it in the BackCache (nil when lowering fell back; such kernels run
+	// on the tree-walking engine regardless of the engine selection).
+	Code  *code.Program
+	Hash  uint64
+	level Level
+}
+
+// DefaultEngine is the process-wide engine selection applied when
+// RunOptions.Engine is EngineAuto: by default the register VM runs every
+// kernel that lowered successfully. The CLFUZZ_ENGINE environment
+// variable ("tree" or "vm") overrides it at startup, which is how CI's
+// tree-engine fallback job guards the reference interpreter from rot;
+// the campaign binaries also expose it as a -engine flag.
+var DefaultEngine = exec.EngineAuto
+
+func init() {
+	e, err := exec.ParseEngine(os.Getenv("CLFUZZ_ENGINE"))
+	if err != nil {
+		// A misspelled override would otherwise silently run the VM in a
+		// process that believes it is testing the tree reference engine.
+		panic("device: bad CLFUZZ_ENGINE: " + err.Error())
+	}
+	DefaultEngine = e
 }
 
 // Compile runs the configuration's online compiler on kernel source:
@@ -127,6 +152,7 @@ func (c *Config) compileFE(fe *FrontEnd, optimize bool, bc *BackCache) CompileRe
 			Optimized: optimize,
 			Prog:      be.prog,
 			Info:      be.info,
+			Code:      be.code,
 			Hash:      fe.Hash,
 			level:     lvl,
 		},
@@ -159,6 +185,10 @@ type RunOptions struct {
 	// runners pass their leftover parallelism here so case-level and
 	// group-level fan-out never oversubscribe the machine.
 	Workers int
+	// Engine forces the evaluation engine for this run; EngineAuto (the
+	// zero value) defers to DefaultEngine, under which lowered kernels
+	// run on the register VM. Outputs are byte-identical either way.
+	Engine exec.Engine
 }
 
 // Run executes the kernel over the NDRange. result names the output buffer
@@ -184,11 +214,17 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 	if ff <= 0 {
 		ff = 1
 	}
+	engine := ro.Engine
+	if engine == exec.EngineAuto {
+		engine = DefaultEngine
+	}
 	opts := exec.Options{
 		Defects:    lvl.Defects,
 		Hash:       k.Hash,
 		Fuel:       int64(float64(fuel) * ff),
 		CheckRaces: ro.CheckRaces,
+		Code:       k.Code,
+		Engine:     engine,
 		// Barrier-free kernels (the common case for generated tests) take
 		// the executor's goroutine-free sequential fast path.
 		NoBarrier: !k.Info.HasBarrier,

@@ -1,13 +1,37 @@
 // Package exec implements the OpenCL execution model for the subset: an
 // NDRange of work-items organized into work-groups, the four memory
 // spaces, collective barriers with fence semantics, read-modify-write
-// atomics, and a tree-walking evaluator with per-thread fuel accounting.
+// atomics, and two interchangeable evaluation engines with per-thread
+// fuel accounting — a register bytecode VM on the hot path and a
+// tree-walking evaluator as the semantics reference.
 //
 // The executor optionally checks the two undefined behaviours that matter
 // for compiler fuzzing — data races and barrier divergence (paper §3.1) —
 // which lets property tests verify that generated kernels are
 // deterministic by construction, and reproduces the paper's discovery of
 // data races in the Parboil spmv and Rodinia myocyte benchmarks (§2.4).
+//
+// # Two engines
+//
+// Run evaluates kernel code with one of two engines selected by
+// Options.Engine:
+//
+//   - The register VM (the default whenever Options.Code carries a
+//     lowered program from internal/code) dispatches a flat instruction
+//     stream with operands pre-resolved to frame slots, flat-buffer word
+//     offsets, field indices and function indices — no AST walk, no
+//     scope-chain scan, no VarRef slot cache on the hot path.
+//   - The tree walker (Options.Engine == EngineTree, or any program the
+//     lowerer declined) recursively evaluates the AST. It is the
+//     reference: the VM's instruction costs mirror its step() charges
+//     one for one, so outcomes — including fuel-derived timeouts — and
+//     buffer contents are byte-identical between the engines. The
+//     determinism suites and the FuzzLowerMatchesTree target pin this.
+//
+// Both engines share everything below expression evaluation: the cell
+// arena, flat buffer words, lvalues, barrier machinery, race checker,
+// the defect models, and the parallel work-group scheduler. EngineCounters
+// reports which engine executed each launch process-wide.
 //
 // # Execution modes
 //

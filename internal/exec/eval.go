@@ -6,6 +6,7 @@ import (
 	"clfuzz/internal/ast"
 	"clfuzz/internal/bugs"
 	"clfuzz/internal/cltypes"
+	"clfuzz/internal/code"
 )
 
 // thread is the execution state of one work-item.
@@ -54,6 +55,13 @@ type thread struct {
 	// their allocation.
 	cellChunk []Cell
 	cellUsed  int
+
+	// vm holds the register VM's stacks when the launch runs lowered
+	// bytecode; the sequential per-group path shares one vmState across
+	// the group's threads. vmInstrs counts dispatched instructions,
+	// folded into the process-wide counter when the thread finishes.
+	vm       *vmState
+	vmInstrs int64
 	// kidChunk and wordChunk batch the Kids and Vec backing slices of
 	// arena cells the same way: aggregate declarations request many small
 	// slices whose lifetimes all end with the cells they belong to. Spans
@@ -289,6 +297,18 @@ const (
 	ctrlReturn
 )
 
+// run executes the thread's kernel on the launch's selected engine: the
+// register VM when the machine holds lowered bytecode, the reference
+// tree walker otherwise. Both engines produce byte-identical results —
+// including fuel-derived timeouts and every defect model — which the
+// determinism suites and FuzzLowerMatchesTree pin.
+func (t *thread) run() error {
+	if t.m.code != nil {
+		return t.runVMKernel()
+	}
+	return t.runKernel()
+}
+
 func (t *thread) runKernel() error {
 	t.env = t.pushEnv(nil)
 	t.env.frame = true
@@ -482,7 +502,7 @@ func (t *thread) execLoopBody(forNode *ast.For, cond ast.Expr, post ast.Expr, bo
 	// unreachable but contains a barrier; non-leader threads observe the
 	// loop's init assignment clobbered to 1.
 	if forNode != nil && iterations == 0 && t.m.opts.Defects.Has(bugs.WCDeadLoopBarrier) &&
-		t.lidLinear() != 0 && containsBarrier(forNode.Body) {
+		t.lidLinear() != 0 && code.ContainsBarrier(forNode.Body) {
 		if es, ok := forNode.Init.(*ast.ExprStmt); ok {
 			if asn, ok := es.X.(*ast.AssignExpr); ok {
 				lv, err := t.evalLV(asn.LHS)
@@ -496,91 +516,6 @@ func (t *thread) execLoopBody(forNode *ast.For, cond ast.Expr, post ast.Expr, bo
 		}
 	}
 	return ctrlNone, nil
-}
-
-// containsBarrier reports whether the statement tree issues a barrier.
-func containsBarrier(s ast.Stmt) bool {
-	found := false
-	var walkS func(ast.Stmt)
-	var walkE func(ast.Expr)
-	walkE = func(e ast.Expr) {
-		if e == nil || found {
-			return
-		}
-		switch ex := e.(type) {
-		case *ast.Call:
-			if ex.Name == "barrier" {
-				found = true
-				return
-			}
-			for _, a := range ex.Args {
-				walkE(a)
-			}
-		case *ast.Unary:
-			walkE(ex.X)
-		case *ast.Binary:
-			walkE(ex.L)
-			walkE(ex.R)
-		case *ast.AssignExpr:
-			walkE(ex.LHS)
-			walkE(ex.RHS)
-		case *ast.Cond:
-			walkE(ex.C)
-			walkE(ex.T)
-			walkE(ex.F)
-		case *ast.Index:
-			walkE(ex.Base)
-			walkE(ex.Idx)
-		case *ast.Member:
-			walkE(ex.Base)
-		case *ast.Swizzle:
-			walkE(ex.Base)
-		case *ast.VecLit:
-			for _, el := range ex.Elems {
-				walkE(el)
-			}
-		case *ast.Cast:
-			walkE(ex.X)
-		case *ast.InitList:
-			for _, el := range ex.Elems {
-				walkE(el)
-			}
-		}
-	}
-	walkS = func(s ast.Stmt) {
-		if s == nil || found {
-			return
-		}
-		switch st := s.(type) {
-		case *ast.DeclStmt:
-			walkE(st.Decl.Init)
-		case *ast.ExprStmt:
-			walkE(st.X)
-		case *ast.Block:
-			for _, inner := range st.Stmts {
-				walkS(inner)
-			}
-		case *ast.If:
-			walkE(st.Cond)
-			walkS(st.Then)
-			walkS(st.Else)
-		case *ast.For:
-			walkS(st.Init)
-			walkE(st.Cond)
-			walkE(st.Post)
-			walkS(st.Body)
-		case *ast.While:
-			walkE(st.Cond)
-			walkS(st.Body)
-		case *ast.DoWhile:
-			walkS(st.Body)
-			walkE(st.Cond)
-		case *ast.Return:
-			walkE(st.X)
-		}
-	}
-	walkS(s)
-	return found
 }
 
 func (t *thread) execDecl(d *ast.VarDecl) error {

@@ -676,6 +676,16 @@ func (t *thread) defectiveStore(ex *ast.AssignExpr) (bool, error) {
 			arrowParam = true
 		}
 	}
+	return t.storeDefect(ex.Op, derefParam, arrowParam)
+}
+
+// storeDefect is the engine-shared tail of the store defect models: the
+// tree walker derives the two syntactic trigger flags per store, the VM
+// reads them from the lowered StoreInfo.
+func (t *thread) storeDefect(op ast.AssignOp, derefParam, arrowParam bool) (bool, error) {
+	if op != ast.Assign || t.depth == 0 || !t.barrierSeen {
+		return false, nil
+	}
 	if !derefParam && !arrowParam {
 		return false, nil
 	}

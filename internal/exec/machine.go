@@ -8,6 +8,7 @@ import (
 	"clfuzz/internal/ast"
 	"clfuzz/internal/bugs"
 	"clfuzz/internal/cltypes"
+	"clfuzz/internal/code"
 )
 
 // NDRange describes the kernel launch geometry: global dimensions and
@@ -94,6 +95,16 @@ type Options struct {
 	// HasFwdDecl is the front-end's report of a forward-declared function
 	// with a later definition, a trigger for the Figure 2(c) defects.
 	HasFwdDecl bool
+	// Code is the lowered register bytecode of the program (the same
+	// checked AST, compiled once by internal/code). When present and the
+	// Engine selection allows it, Run executes the VM dispatch loop
+	// instead of the tree walk; outputs are byte-identical either way.
+	Code *code.Program
+	// Engine forces an evaluation engine: EngineAuto (the default) runs
+	// the VM whenever Code is available, EngineTree forces the reference
+	// tree walker, EngineVM requests the VM (falling back to the tree
+	// walker when no lowered program was supplied).
+	Engine Engine
 	// Stats, when non-nil, receives execution statistics.
 	Stats *Stats
 }
@@ -246,6 +257,16 @@ type Machine struct {
 	funcs    map[string]*ast.FuncDecl
 	atomicMu sync.Mutex
 
+	// code is the lowered bytecode when this launch runs on the register
+	// VM (nil for the tree walker); globalCells mirrors the globals map
+	// in prog.Globals declaration order for pre-resolved global operands.
+	code        *code.Program
+	globalCells []*Cell
+	// vmSerial is the register state shared by every sequential group of
+	// a serial launch (all groups run on the calling goroutine), so the
+	// VM stacks amortize across the whole launch.
+	vmSerial *vmState
+
 	// sequential marks the per-group goroutine-free fast path: barrier-free
 	// kernels (or single-thread work-groups) with race checking off run
 	// every thread of a work-group back-to-back on one goroutine.
@@ -334,6 +355,12 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 	m.sequential = !opts.CheckRaces && (opts.NoBarrier || nd.GroupLinear() == 1)
 	m.parallelGroups = workers > 1 && !opts.CheckRaces && opts.NoAtomics
 	m.unshared = m.sequential && !m.parallelGroups
+	if opts.Code != nil && opts.Engine != EngineTree {
+		m.code = opts.Code
+		vmLaunches.Add(1)
+	} else {
+		treeLaunches.Add(1)
+	}
 	if opts.CheckRaces {
 		m.interGroup = map[memKey]*accessRec{}
 	}
@@ -343,7 +370,11 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 		}
 	}
 	// Materialize program-scope constants once; they are read-only.
-	for _, g := range prog.Globals {
+	// Initializers always run on the tree walker (host-side, once per
+	// launch); globalCells records the cells in declaration order so the
+	// VM's pre-resolved global operands index them directly.
+	m.globalCells = make([]*Cell, len(prog.Globals))
+	for i, g := range prog.Globals {
 		c := NewCell(g.Type, cltypes.Constant)
 		if g.Init != nil {
 			th := &thread{m: m, dom: m.dom, fuel: opts.Fuel}
@@ -356,6 +387,7 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 			}
 		}
 		m.globals[g.Name] = c
+		m.globalCells[i] = c
 	}
 	// Check arguments against kernel parameters.
 	for _, p := range kernel.Params {
@@ -470,7 +502,7 @@ func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 				go func() {
 					defer wg.Done()
 					th := m.newThread(g, lid)
-					err := th.runKernel()
+					err := th.run()
 					if st := m.opts.Stats; st != nil {
 						st.noteThreadSteps(m.opts.Fuel - th.fuel)
 					}
@@ -515,11 +547,27 @@ func (m *Machine) runGroupSequential(g *groupCtx, n int) {
 		// releases immediately, but the builtin still needs the object.
 		g.bar = newBarrier(n, g)
 	}
+	// One VM register state serves every thread of the group: they run
+	// back-to-back on this goroutine, so the stacks amortize across
+	// work-items instead of being reallocated per thread. A fully serial
+	// launch goes further and shares one state across all its groups.
+	var sharedVM *vmState
+	if m.code != nil {
+		if m.parallelGroups {
+			sharedVM = &vmState{}
+		} else {
+			if m.vmSerial == nil {
+				m.vmSerial = &vmState{}
+			}
+			sharedVM = m.vmSerial
+		}
+	}
 	for lz := 0; lz < m.nd.Local[2]; lz++ {
 		for ly := 0; ly < m.nd.Local[1]; ly++ {
 			for lx := 0; lx < m.nd.Local[0]; lx++ {
 				th := m.newThread(g, [3]int{lx, ly, lz})
-				err := th.runKernel()
+				th.vm = sharedVM
+				err := th.run()
 				if st := m.opts.Stats; st != nil {
 					used := m.opts.Fuel - th.fuel
 					if m.unshared {

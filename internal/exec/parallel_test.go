@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"clfuzz/internal/cltypes"
+	"clfuzz/internal/code"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/parser"
 	"clfuzz/internal/sema"
@@ -11,8 +12,10 @@ import (
 
 // launch compiles and executes src over nd with a ulong out buffer, using
 // the front-end guarantees (NoBarrier/NoAtomics) the device layer would
-// pass, and returns the buffer contents and the run error.
-func launch(t *testing.T, src string, nd exec.NDRange, workers int) ([]uint64, error) {
+// pass, and returns the buffer contents and the run error. The program is
+// lowered and executed on the given engine, so the parallel-determinism
+// suite pins the tree walker and the register VM alike.
+func launch(t *testing.T, src string, nd exec.NDRange, workers int, engine exec.Engine) ([]uint64, error) {
 	t.Helper()
 	prog, err := parser.Parse(src)
 	if err != nil {
@@ -22,6 +25,10 @@ func launch(t *testing.T, src string, nd exec.NDRange, workers int) ([]uint64, e
 	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
+	lowered, err := code.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
 	out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
 	args := exec.Args{"out": {Buf: out}}
 	runErr := exec.Run(prog, nd, args, exec.Options{
@@ -29,6 +36,8 @@ func launch(t *testing.T, src string, nd exec.NDRange, workers int) ([]uint64, e
 		NoAtomics:  !info.HasAtomic,
 		HasFwdDecl: info.HasFwdDecl,
 		Workers:    workers,
+		Code:       lowered,
+		Engine:     engine,
 	})
 	return out.Scalars(), runErr
 }
@@ -103,15 +112,19 @@ func TestParallelGroupsDeterministic(t *testing.T) {
 	}
 	for _, k := range parallelKernels {
 		for _, nd := range nds {
-			want, wantErr := launch(t, k.src, nd, 1)
-			for _, workers := range []int{2, 8} {
-				got, gotErr := launch(t, k.src, nd, workers)
-				if (gotErr == nil) != (wantErr == nil) {
-					t.Fatalf("%s workers=%d: err %v, want %v", k.name, workers, gotErr, wantErr)
-				}
-				for i := range want {
-					if got[i] != want[i] {
-						t.Fatalf("%s workers=%d: out[%d] = %d, want %d", k.name, workers, i, got[i], want[i])
+			// The serial tree walk is the reference; every engine and
+			// worker-budget combination must reproduce it byte for byte.
+			want, wantErr := launch(t, k.src, nd, 1, exec.EngineTree)
+			for _, engine := range []exec.Engine{exec.EngineTree, exec.EngineVM} {
+				for _, workers := range []int{1, 2, 8} {
+					got, gotErr := launch(t, k.src, nd, workers, engine)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("%s engine=%s workers=%d: err %v, want %v", k.name, engine, workers, gotErr, wantErr)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s engine=%s workers=%d: out[%d] = %d, want %d", k.name, engine, workers, i, got[i], want[i])
+						}
 					}
 				}
 			}
@@ -148,26 +161,34 @@ kernel void k(global ulong *out) {
 	if err != nil {
 		t.Fatalf("sema: %v", err)
 	}
-	runWith := func(workers int) error {
+	lowered, err := code.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	runWith := func(workers int, engine exec.Engine) error {
 		out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
 		return exec.Run(prog, nd, exec.Args{"out": {Buf: out}}, exec.Options{
 			NoBarrier: !info.HasBarrier,
 			NoAtomics: !info.HasAtomic,
 			Fuel:      50_000,
 			Workers:   workers,
+			Code:      lowered,
+			Engine:    engine,
 		})
 	}
-	serial := runWith(1)
+	serial := runWith(1, exec.EngineTree)
 	if _, ok := serial.(*exec.TimeoutError); !ok {
 		t.Fatalf("serial error = %v (%T), want timeout from group 1", serial, serial)
 	}
-	for _, workers := range []int{2, 8} {
-		parallel := runWith(workers)
-		if _, ok := parallel.(*exec.TimeoutError); !ok {
-			t.Fatalf("workers=%d error = %v (%T), want timeout from group 1", workers, parallel, parallel)
-		}
-		if parallel.Error() != serial.Error() {
-			t.Fatalf("workers=%d error %q, want %q", workers, parallel.Error(), serial.Error())
+	for _, engine := range []exec.Engine{exec.EngineTree, exec.EngineVM} {
+		for _, workers := range []int{1, 2, 8} {
+			parallel := runWith(workers, engine)
+			if _, ok := parallel.(*exec.TimeoutError); !ok {
+				t.Fatalf("engine=%s workers=%d error = %v (%T), want timeout from group 1", engine, workers, parallel, parallel)
+			}
+			if parallel.Error() != serial.Error() {
+				t.Fatalf("engine=%s workers=%d error %q, want %q", engine, workers, parallel.Error(), serial.Error())
+			}
 		}
 	}
 }

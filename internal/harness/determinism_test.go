@@ -180,6 +180,48 @@ func TestParallelWorkgroupDeterminism(t *testing.T) {
 	}
 }
 
+// TestEngineDeterminism pins the two evaluation engines against each
+// other across the full defect-model matrix: for every golden case, every
+// configuration and both optimization levels, the register VM and the
+// reference tree walker must produce byte-identical outcomes, diagnostics
+// and buffer contents. Run under -race (CI does) this also verifies the
+// VM's shared-memory discipline and, via the armed immutable assertion,
+// that lowering and VM execution never write to the shared AST.
+func TestEngineDeterminism(t *testing.T) {
+	armImmutableAssert(t)
+	cfgs := device.All()
+	for _, c := range goldenCases(t) {
+		fe := device.DefaultFrontCache.Get(c.Src)
+		for _, cfg := range cfgs {
+			for _, opt := range []bool{false, true} {
+				cr := cfg.CompileFrontEnd(fe, opt)
+				if cr.Outcome != device.OK {
+					continue
+				}
+				if cr.Kernel.Code == nil {
+					t.Fatalf("%s on %s: kernel did not lower to bytecode", c.Name, Key(cfg, opt))
+				}
+				args, result := c.Buffers()
+				want := cr.Kernel.Run(c.ND, args, result, device.RunOptions{Engine: exec.EngineTree})
+				vargs, vresult := c.Buffers()
+				got := cr.Kernel.Run(c.ND, vargs, vresult, device.RunOptions{Engine: exec.EngineVM})
+				label := fmt.Sprintf("%s on %s", c.Name, Key(cfg, opt))
+				if got.Outcome != want.Outcome || got.Msg != want.Msg {
+					t.Fatalf("%s: vm (%v, %q), tree (%v, %q)", label, got.Outcome, got.Msg, want.Outcome, want.Msg)
+				}
+				if len(got.Output) != len(want.Output) {
+					t.Fatalf("%s: %d outputs, want %d", label, len(got.Output), len(want.Output))
+				}
+				for j := range want.Output {
+					if got.Output[j] != want.Output[j] {
+						t.Fatalf("%s: out[%d] = %#x, want %#x", label, j, got.Output[j], want.Output[j])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestFrontCacheSharing checks that a campaign actually hits the cache:
 // compiling one source across every configuration and level must parse it
 // exactly once.
