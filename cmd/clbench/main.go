@@ -16,7 +16,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/exhibits"
@@ -71,9 +73,23 @@ type snapshot struct {
 	// FrontCache and BackCache are the process-wide compile-cache
 	// counters accumulated over the whole benchmark run: front-end
 	// parses and finished back-end kernels reused vs compiled.
-	FrontCache *cacheStats        `json:"front_cache,omitempty"`
-	BackCache  *cacheStats        `json:"back_cache,omitempty"`
-	Benchmarks map[string]metrics `json:"benchmarks"`
+	FrontCache *cacheStats `json:"front_cache,omitempty"`
+	BackCache  *cacheStats `json:"back_cache,omitempty"`
+	// ResultCache is the campaign engine's cross-base result memo —
+	// finished launch results keyed by (source hash, defect model,
+	// argument digest) and reused across cases and campaigns.
+	ResultCache *cacheStats `json:"result_cache,omitempty"`
+	// CampaignCases and CampaignLaunches are the campaign engine's
+	// cumulative throughput counters over the run: cases (matrices or
+	// single launches) started, and representative launches actually
+	// executed (model-dedup followers and result-cache hits are free).
+	CampaignCases    int64 `json:"campaign_cases,omitempty"`
+	CampaignLaunches int64 `json:"campaign_launches,omitempty"`
+	// CasesPerSec is campaign throughput over the whole run: cases
+	// completed per wall-clock second (compare only at equal CPUs,
+	// Engine and scale).
+	CasesPerSec float64            `json:"cases_per_sec,omitempty"`
+	Benchmarks  map[string]metrics `json:"benchmarks"`
 }
 
 func measure(name string, out map[string]metrics, fn func(b *testing.B)) {
@@ -101,6 +117,7 @@ func main() {
 	device.DefaultEngine = engine
 
 	bm := map[string]metrics{}
+	started := time.Now()
 
 	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
 	ref := device.Reference()
@@ -195,28 +212,41 @@ func main() {
 		})
 	}
 
+	elapsed := time.Since(started).Seconds()
 	fcHits, fcMisses, fcSize := device.DefaultFrontCache.Stats()
 	bcHits, bcMisses, bcSize := device.DefaultBackCache.Stats()
+	rcHits, rcMisses, rcSize := campaign.Default.Results.Stats()
+	cases, launches := campaign.Default.Counters()
+	casesPerSec := 0.0
+	if elapsed > 0 {
+		casesPerSec = float64(cases) / elapsed
+	}
 	lowered, fallbacks := device.LowerStats()
 	vmRuns, treeRuns, vmInstrs := exec.EngineCounters()
 	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "FrontCache", fcHits, fcMisses, fcSize)
 	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "BackCache", bcHits, bcMisses, bcSize)
+	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "ResultCache", rcHits, rcMisses, rcSize)
+	fmt.Fprintf(os.Stderr, "%-28s %14d cases %12d launches %10.1f cases/s\n", "Campaign", cases, launches, casesPerSec)
 	fmt.Fprintf(os.Stderr, "%-28s %14d lowered %12d fallbacks\n", "Lowering", lowered, fallbacks)
 	fmt.Fprintf(os.Stderr, "%-28s %14d vm %12d tree %10d vm-instrs\n", "Engine", vmRuns, treeRuns, vmInstrs)
 	snap := snapshot{
-		Schema:         "clfuzz-bench/v1",
-		Go:             runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		CPUs:           runtime.GOMAXPROCS(0),
-		GroupWorkers:   groupWorkers,
-		Engine:         engine.String(),
-		VMLaunches:     vmRuns,
-		TreeLaunches:   treeRuns,
-		VMInstructions: vmInstrs,
-		LoweredKernels: lowered,
-		LowerFallbacks: fallbacks,
-		FrontCache:     &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
-		BackCache:      &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},
-		Benchmarks:     bm,
+		Schema:           "clfuzz-bench/v1",
+		Go:               runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPUs:             runtime.GOMAXPROCS(0),
+		GroupWorkers:     groupWorkers,
+		Engine:           engine.String(),
+		VMLaunches:       vmRuns,
+		TreeLaunches:     treeRuns,
+		VMInstructions:   vmInstrs,
+		LoweredKernels:   lowered,
+		LowerFallbacks:   fallbacks,
+		FrontCache:       &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
+		BackCache:        &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},
+		ResultCache:      &cacheStats{Hits: rcHits, Misses: rcMisses, Size: rcSize},
+		CampaignCases:    cases,
+		CampaignLaunches: launches,
+		CasesPerSec:      casesPerSec,
+		Benchmarks:       bm,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

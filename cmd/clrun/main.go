@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"strings"
 
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/harness"
@@ -67,22 +68,29 @@ func main() {
 		}
 		fh, fm, fs := device.DefaultFrontCache.Stats()
 		bh, bm, bs := device.DefaultBackCache.Stats()
+		rh, rm, rs := campaign.Default.Results.Stats()
+		cases, launches := campaign.Default.Counters()
 		lo, lf := device.LowerStats()
 		vmRuns, treeRuns, instrs := exec.EngineCounters()
-		fmt.Fprintf(os.Stderr, "front cache: %d hits, %d misses, %d entries\n", fh, fm, fs)
-		fmt.Fprintf(os.Stderr, "back cache:  %d hits, %d misses, %d entries\n", bh, bm, bs)
-		fmt.Fprintf(os.Stderr, "lowering:    %d programs lowered, %d tree fallbacks\n", lo, lf)
-		fmt.Fprintf(os.Stderr, "engine:      %d vm launches (%d instructions), %d tree launches\n", vmRuns, instrs, treeRuns)
+		fmt.Fprintf(os.Stderr, "front cache:  %d hits, %d misses, %d entries\n", fh, fm, fs)
+		fmt.Fprintf(os.Stderr, "back cache:   %d hits, %d misses, %d entries\n", bh, bm, bs)
+		fmt.Fprintf(os.Stderr, "result cache: %d hits, %d misses, %d entries\n", rh, rm, rs)
+		fmt.Fprintf(os.Stderr, "campaign:     %d cases, %d launches executed\n", cases, launches)
+		fmt.Fprintf(os.Stderr, "lowering:     %d programs lowered, %d tree fallbacks\n", lo, lf)
+		fmt.Fprintf(os.Stderr, "engine:       %d vm launches (%d instructions), %d tree launches\n", vmRuns, instrs, treeRuns)
 	}
-	cr := cfg.Compile(c.Src, !*noopt)
-	if cr.Outcome != device.OK {
-		fmt.Printf("outcome: %s\n%s\n", cr.Outcome, cr.Msg)
+	// The run goes through the shared campaign engine — the same
+	// front/back compile caches and cross-base result cache the table
+	// campaigns use, so -cachestats reports live counters.
+	rr := campaign.Default.RunCase(cfg, !*noopt, c, campaign.LaunchOptions{
+		CheckRaces: *races, Workers: *workers, Engine: engine,
+	})
+	if rr.Compile {
+		fmt.Printf("outcome: %s\n%s\n", rr.Outcome, rr.Msg)
 		printCacheStats()
 		os.Exit(1)
 	}
 	defer printCacheStats()
-	args, result := c.Buffers()
-	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{CheckRaces: *races, Workers: *workers, Engine: engine})
 	fmt.Printf("outcome: %s\n", rr.Outcome)
 	if rr.Msg != "" {
 		fmt.Println(rr.Msg)

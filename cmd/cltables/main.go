@@ -4,17 +4,27 @@
 // Table 5 (CLsmith+EMI) and the Figure 1/2 bug exhibits. The campaign
 // sizes scale with -scale; ARCHITECTURE.md maps each table to its runner.
 //
+// Campaigns shard across processes or machines: -shard i/n runs the i-th
+// of n interleaved campaign slices and emits a machine-readable
+// partial-results file, and -merge recombines the shard files into
+// output byte-identical to the unsharded run.
+//
 // Usage:
 //
 //	cltables -table 4 -scale 25
 //	cltables -figure 2
 //	cltables -all -scale 10
+//	cltables -table 4 -scale 25 -shard 0/2 -out t4.shard0.json
+//	cltables -table 4 -scale 25 -shard 1/2 -out t4.shard1.json
+//	cltables -merge t4.shard0.json t4.shard1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"clfuzz/internal/benchmarks"
 	"clfuzz/internal/device"
@@ -32,6 +42,11 @@ func main() {
 	scale := flag.Int("scale", 10, "campaign size per unit (kernels per mode, EMI bases, ...)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	threads := flag.Int("threads", 64, "maximum thread count for generated kernels")
+	shard := flag.String("shard", "",
+		"run one campaign slice i/n (e.g. 0/2) and emit a partial-results file instead of the table")
+	out := flag.String("out", "", "partial-results output path for -shard (default stdout)")
+	merge := flag.Bool("merge", false,
+		"merge the shard files given as arguments into the rendered table (byte-identical to the unsharded run)")
 	engineFlag := flag.String("engine", "auto",
 		"evaluation engine for every campaign launch: vm, tree, or auto (campaign output is byte-identical either way)")
 	flag.Parse()
@@ -41,26 +56,71 @@ func main() {
 	}
 	device.DefaultEngine = engine
 
-	run := func(t int) {
-		switch t {
-		case 1:
-			rows := harness.ClassifyConfigurations(*scale, *seed, *threads, 0)
-			fmt.Println(harness.RenderTable1(rows))
-		case 2:
-			fmt.Println(renderTable2())
-		case 3:
-			t3 := harness.EMIBenchmarkCampaign(*scale/2+1, *seed, 0)
-			fmt.Println(harness.RenderTable3(t3))
-		case 4:
-			t4 := harness.CLsmithCampaign(*scale, *seed, *threads, 0)
-			fmt.Println(harness.RenderTable4(t4))
-		case 5:
-			t5 := harness.EMICampaign(*scale, *seed, *threads, 0)
-			fmt.Println(harness.RenderTable5(t5))
-			fmt.Println(harness.RenderPruningComparison(t5))
-		default:
-			log.Fatalf("no table %d", t)
+	if *merge {
+		if flag.NArg() == 0 {
+			log.Fatal("usage: cltables -merge shard0.json shard1.json ...")
 		}
+		files := make([]*harness.ShardFile, flag.NArg())
+		for i, path := range flag.Args() {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			files[i] = &harness.ShardFile{}
+			if err := json.Unmarshal(raw, files[i]); err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+		rendered, err := harness.MergeShards(files)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rendered)
+		return
+	}
+
+	params := func(t int) harness.Params {
+		return harness.Params{Table: t, Scale: *scale, Seed: *seed, Threads: *threads}
+	}
+
+	if *shard != "" {
+		if *table == 0 {
+			log.Fatal("-shard requires -table")
+		}
+		var si, sn int
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &si, &sn); err != nil {
+			log.Fatalf("bad -shard %q: want i/n", *shard)
+		}
+		sf, err := harness.RunShard(params(*table), si, sn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(sf); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	run := func(t int) {
+		if t == 2 {
+			fmt.Println(renderTable2())
+			return
+		}
+		rendered, err := harness.RenderCampaign(params(t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rendered)
 	}
 	switch {
 	case *all:

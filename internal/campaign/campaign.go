@@ -1,0 +1,261 @@
+package campaign
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/oracle"
+)
+
+// Case is one runnable test case: kernel source plus launch geometry and
+// an argument factory (buffers must be fresh per execution).
+type Case struct {
+	Name string
+	Src  string
+	ND   exec.NDRange
+	// Buffers builds a fresh argument set and names the result buffer
+	// whose contents the campaign reports.
+	Buffers func() (exec.Args, *exec.Buffer)
+}
+
+// Key renders the paper's configuration notation: "12-" for
+// optimizations disabled, "12+" for enabled.
+func Key(cfg *device.Config, optimize bool) string {
+	if optimize {
+		return fmt.Sprintf("%d+", cfg.ID)
+	}
+	return fmt.Sprintf("%d-", cfg.ID)
+}
+
+// ModelKey identifies everything about a (configuration, level) pair
+// that can influence a test outcome in the simulation: the full defect
+// model and whether the optimizer effectively runs. Pairs with equal
+// keys are byte-for-byte interchangeable — the executor is deterministic
+// — so a campaign runs one representative per model and copies the
+// result to the others.
+type ModelKey struct {
+	Lvl device.Level
+	// EffOpt is the optimization setting after NoOptimizer is applied.
+	EffOpt bool
+}
+
+// ModelKeyOf returns the dedup key for a (configuration, level) pair.
+func ModelKeyOf(cfg *device.Config, optimize bool) ModelKey {
+	return ModelKey{Lvl: cfg.Level(optimize), EffOpt: optimize && !cfg.NoOptimizer}
+}
+
+// GroupUnits partitions unit indices 0..n-1 into representatives (first
+// unit of each distinct key, in order) and followers (unit index → its
+// representative's index). Campaigns use it to run one unit per defect
+// model and copy the deterministic result to the others.
+func GroupUnits[K comparable](n int, key func(i int) K) (reps []int, follower map[int]int) {
+	follower = make(map[int]int)
+	seen := make(map[K]int, n)
+	for i := 0; i < n; i++ {
+		k := key(i)
+		if r, ok := seen[k]; ok {
+			follower[i] = r
+		} else {
+			seen[k] = i
+			reps = append(reps, i)
+		}
+	}
+	return reps, follower
+}
+
+// Unit is one (source, configuration, level) launch within a Matrix.
+type Unit struct {
+	// Src indexes Matrix.Sources.
+	Src int
+	Cfg *device.Config
+	Opt bool
+}
+
+// UnitResult is the outcome of one unit.
+type UnitResult struct {
+	// Key is the paper's configuration notation ("12+").
+	Key     string
+	Outcome device.Outcome
+	Msg     string
+	Output  []uint64
+	// Compile reports that the outcome was produced by the compile stage
+	// (build failures always; timeouts when the compiler, not the kernel,
+	// exceeded its budget — the Table 1 slow-compilation signal).
+	Compile bool
+	// Cached reports that the result came from the cross-base result
+	// cache rather than a fresh execution.
+	Cached bool
+}
+
+// AsOracle converts the unit result to the differential-testing oracle's
+// observation type.
+func (r UnitResult) AsOracle() oracle.Result {
+	return oracle.Result{Key: r.Key, Outcome: r.Outcome, Output: r.Output}
+}
+
+// Matrix is one case's launch matrix: a set of variant sources sharing a
+// single launch geometry, and the (source, configuration, level) units
+// to run. Units sharing a source text and a defect model execute once.
+type Matrix struct {
+	Name string
+	// Sources are the variant kernel texts (a plain differential test has
+	// exactly one).
+	Sources []string
+	ND      exec.NDRange
+	// Buffers builds a fresh argument set for the given source index.
+	// Campaigns whose variants share one argument shape (Tables 1/4/5)
+	// ignore the index.
+	Buffers  func(src int) (exec.Args, *exec.Buffer)
+	BaseFuel int64
+	Units    []Unit
+}
+
+// Engine bundles the caches and counters one campaign substrate shares:
+// the front-end parse cache and the cross-base result cache (nil
+// disables result memoization — the determinism reference
+// configuration). The zero value is usable but cache-less.
+type Engine struct {
+	Front   *device.FrontCache
+	Results *ResultCache
+
+	cases    atomic.Int64
+	launches atomic.Int64
+}
+
+// Default is the process-wide campaign engine, wired to the default
+// compile caches; the table runners, exhibits and CLI tools all share
+// it, so its result cache memoizes across campaigns in one process.
+var Default = &Engine{Front: device.DefaultFrontCache, Results: NewResultCache(8192)}
+
+// Counters reports the engine's cumulative throughput counters: cases
+// (matrices or single launches) started and representative launches
+// actually executed (model-dedup followers and result-cache hits are
+// not re-executed).
+func (e *Engine) Counters() (cases, launches int64) {
+	return e.cases.Load(), e.launches.Load()
+}
+
+// LaunchOptions tunes a single-case run (Engine.RunCase).
+type LaunchOptions struct {
+	// BaseFuel is the per-thread step budget before the configuration's
+	// fuel factor; device.DefaultFuel when zero.
+	BaseFuel int64
+	// Workers is the per-launch work-group fan-out budget.
+	Workers int
+	// CheckRaces enables the undefined-behaviour checker; checked runs
+	// bypass the result cache (their diagnostics depend on the checker).
+	CheckRaces bool
+	// Engine forces the evaluation engine for this run.
+	Engine exec.Engine
+}
+
+// RunCase compiles and executes one case on one configuration at one
+// optimization level through the engine's caches. It is the single-shot
+// entry point behind clrun, cldiff, the reducer, the exhibits and the
+// acceptance filters.
+func (e *Engine) RunCase(cfg *device.Config, optimize bool, c Case, o LaunchOptions) UnitResult {
+	e.cases.Add(1)
+	fe := e.frontEnd(c.Src)
+	return e.runUnit(cfg, optimize, fe, c.ND, func() (exec.Args, *exec.Buffer) { return c.Buffers() }, o)
+}
+
+// FrontEnd returns the (memoized, when the engine has a front cache)
+// parse of a kernel source — the stage campaign sinks use to inspect
+// parameters before launching.
+func (e *Engine) FrontEnd(src string) *device.FrontEnd {
+	return e.frontEnd(src)
+}
+
+func (e *Engine) frontEnd(src string) *device.FrontEnd {
+	if e.Front != nil {
+		return e.Front.Get(src)
+	}
+	return device.ParseFrontEnd(src)
+}
+
+// runUnit is the memoized front-end → back-end → execute chain behind
+// every campaign launch.
+func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd, nd exec.NDRange, buffers func() (exec.Args, *exec.Buffer), o LaunchOptions) UnitResult {
+	key := Key(cfg, optimize)
+	cr := cfg.CompileFrontEnd(fe, optimize)
+	if cr.Outcome != device.OK {
+		return UnitResult{Key: key, Outcome: cr.Outcome, Msg: cr.Msg, Compile: true}
+	}
+	args, result := buffers()
+	var rk resultKey
+	cacheable := false
+	if e.Results != nil && !o.CheckRaces {
+		rk, cacheable = resultKeyFor(cfg, optimize, fe, nd, args, result, o)
+		if cacheable {
+			if r, ok := e.Results.get(rk, fe.Src); ok {
+				r.Key = key
+				return r
+			}
+		}
+	}
+	e.launches.Add(1)
+	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{
+		BaseFuel:   o.BaseFuel,
+		CheckRaces: o.CheckRaces,
+		Workers:    o.Workers,
+		Engine:     o.Engine,
+	})
+	r := UnitResult{Key: key, Outcome: rr.Outcome, Msg: rr.Msg, Output: rr.Output}
+	if cacheable {
+		e.Results.put(rk, fe.Src, r)
+	}
+	return r
+}
+
+// RunMatrix executes one case's unit matrix: units sharing a source text
+// and a defect model run once (the representative), with the
+// deterministic result copied to the followers; representatives fan out
+// across the stage's worker budget and may be served by the result
+// cache. width is the number of matrices the caller itself runs
+// concurrently (1 for a single differential test); the planner budgets
+// launch-level fan-out against width × representative count so the two
+// levels never oversubscribe the machine. Results are returned in unit
+// order.
+func (e *Engine) RunMatrix(m Matrix, width int) []UnitResult {
+	e.cases.Add(1)
+	fes := make([]*device.FrontEnd, len(m.Sources))
+	for i, src := range m.Sources {
+		fes[i] = e.frontEnd(src)
+	}
+	type unitKey struct {
+		src string
+		mk  ModelKey
+	}
+	reps, follower := GroupUnits(len(m.Units), func(i int) unitKey {
+		u := m.Units[i]
+		return unitKey{m.Sources[u.Src], ModelKeyOf(u.Cfg, u.Opt)}
+	})
+	results := make([]UnitResult, len(m.Units))
+	if width < 1 {
+		width = 1
+	}
+	repWorkers := stageWorkers(width, len(reps))
+	launch := LaunchWorkers(width * repWorkers)
+	streamWith(repWorkers, len(reps), func(ri int) struct{} {
+		i := reps[ri]
+		u := m.Units[i]
+		src := u.Src
+		results[i] = e.runUnit(u.Cfg, u.Opt, fes[src], m.ND,
+			func() (exec.Args, *exec.Buffer) { return m.Buffers(src) },
+			LaunchOptions{BaseFuel: m.BaseFuel, Workers: launch})
+		return struct{}{}
+	}, func(int, struct{}) {})
+	for i, r := range follower {
+		cp := results[r]
+		if cp.Output != nil {
+			// Detach the follower's output so a future in-place mutation
+			// of one result cannot corrupt its replicas.
+			cp.Output = append([]uint64(nil), cp.Output...)
+		}
+		cp.Key = Key(m.Units[i].Cfg, m.Units[i].Opt)
+		results[i] = cp
+	}
+	return results
+}

@@ -37,8 +37,11 @@ func newBarrier(n int, g *groupCtx) *barrier {
 
 // await blocks until every live participant arrives. It returns a
 // DivergenceError if threads arrive with mismatched tokens, or the
-// machine's error if the run is aborted while waiting.
-func (b *barrier) await(tok barrierToken, fence uint64) error {
+// machine's error if the run is aborted while waiting. self is the
+// caller's linearized local id, its identity to the group's lockstep
+// scheduler: arriving threads hand the baton on before parking, and a
+// released round resumes its threads in work-item order.
+func (b *barrier) await(tok barrierToken, fence uint64, self int) error {
 	b.mu.Lock()
 	if b.arrived == 0 {
 		b.token = tok
@@ -58,13 +61,28 @@ func (b *barrier) await(tok barrierToken, fence uint64) error {
 		rel := b.release
 		b.release = make(chan struct{})
 		b.mu.Unlock()
-		close(rel)
+		if ls := b.group.ls; ls != nil {
+			// Mark the parked threads runnable, wake them, and restart
+			// the round from the lowest-numbered thread (not from this
+			// arrival order's tail).
+			ls.readyAll()
+			close(rel)
+			ls.yield(self, b.group.dom.abort)
+		} else {
+			close(rel)
+		}
 		return nil
 	}
 	rel := b.release
 	b.mu.Unlock()
+	if ls := b.group.ls; ls != nil {
+		ls.block(self)
+	}
 	select {
 	case <-rel:
+		if ls := b.group.ls; ls != nil {
+			ls.waitTurn(self, b.group.dom.abort)
+		}
 		return nil
 	case <-b.group.dom.abort:
 		if err := b.group.dom.err; err != nil {
@@ -93,6 +111,11 @@ func (b *barrier) quit() error {
 		b.haveToken = false
 		rel := b.release
 		b.release = make(chan struct{})
+		if ls := b.group.ls; ls != nil {
+			// The released stragglers become runnable; the baton reaches
+			// them when the quitting thread finishes.
+			ls.readyAll()
+		}
 		close(rel)
 	}
 	return nil

@@ -43,7 +43,7 @@ func (t *thread) evalCall(ex *ast.Call, out *Value) error {
 			return &CrashError{Msg: "barrier reached in barrier-free sequential execution"}
 		}
 		tok := barrierToken{node: ex, iters: t.iterDigest()}
-		if err := t.group.bar.await(tok, out.Scalar); err != nil {
+		if err := t.group.bar.await(tok, out.Scalar, t.lidLinear()); err != nil {
 			return err
 		}
 		t.barrierSeen = true

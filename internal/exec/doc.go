@@ -52,9 +52,17 @@
 //     lowest-numbered failing group — exactly what the serial schedule
 //     would report. Within each group the per-group mode (sequential or
 //     barrier machinery) is unchanged.
-//   - Goroutine-per-thread: kernels that reach barriers run each
-//     work-group's threads on goroutines synchronized by a collective
-//     barrier object with divergence detection.
+//   - Lockstep goroutine-per-thread: kernels that reach barriers (and
+//     any race-checked launch) run each work-group's threads on
+//     goroutines synchronized by a collective barrier object with
+//     divergence detection, serialized by the lockstep baton scheduler:
+//     exactly one thread of the group executes at a time, in work-item
+//     order, yielding at barriers. The schedule is one fixed, legal
+//     interleaving, so atomic operations and shared stores — and with
+//     them race reports, divergence verdicts and buffer contents — are
+//     identical on every run of the same launch. Determinism here is
+//     what the campaign result cache, the shard/merge pipeline and the
+//     differential oracle itself rest on.
 //
 // # Storage
 //

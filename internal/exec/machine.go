@@ -460,10 +460,13 @@ func (m *Machine) hashGate(salt, divisor uint64) bool {
 
 // groupCtx is the shared state of one work-group.
 type groupCtx struct {
-	m     *Machine
-	id    [3]int
-	dom   *failDomain
-	bar   *barrier
+	m   *Machine
+	id  [3]int
+	dom *failDomain
+	bar *barrier
+	// ls serializes the group's thread goroutines into one deterministic
+	// interleaving (nil on the sequential fast path, which needs none).
+	ls    *lockstep
 	mu    sync.Mutex
 	local map[*ast.VarDecl]*Cell // local-memory variables, one per group
 	races map[memKey]*accessRec  // intra-group access record, cleared at barriers
@@ -485,10 +488,18 @@ func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 		return
 	}
 	g.bar = newBarrier(n, g)
+	// The lockstep scheduler serializes the group's goroutines into one
+	// deterministic interleaving: the baton visits threads in work-item
+	// order at every scheduling point, so atomic operations and shared
+	// stores land in the same order on every run. Without it, goroutine
+	// scheduling would make atomic-using kernels nondeterministic, which
+	// would break the differential oracle, the campaign result cache and
+	// shard/merge byte-identity alike.
+	g.ls = newLockstep(n)
 	// Per-thread barrier-round counts, compared after the group finishes:
 	// the wait-based divergence check in barrier.quit only fires when some
-	// thread is still blocked, which depends on scheduling order; the
-	// count comparison makes the early-exit divergence deterministic.
+	// thread is still blocked, which depends on arrival order; the count
+	// comparison catches the early-exit divergence regardless.
 	var barCounts []int
 	if m.opts.CheckRaces {
 		barCounts = make([]int, n)
@@ -502,6 +513,7 @@ func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 				go func() {
 					defer wg.Done()
 					th := m.newThread(g, lid)
+					g.ls.waitTurn(th.lidLinear(), dom.abort)
 					err := th.run()
 					if st := m.opts.Stats; st != nil {
 						st.noteThreadSteps(m.opts.Fuel - th.fuel)
@@ -511,16 +523,26 @@ func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 					}
 					if err != nil {
 						g.bar.quitErr()
+						// fail before retiring from the lockstep, so the
+						// first error of the deterministic schedule is
+						// the group's verdict; the finish below must
+						// still run — a thread left ready-but-gone would
+						// soak up a later grant and stall the group.
 						dom.fail(err)
+						g.ls.finish(th.lidLinear())
 						return
 					}
 					if derr := g.bar.quit(); derr != nil {
 						dom.fail(derr)
+						g.ls.finish(th.lidLinear())
+						return
 					}
+					g.ls.finish(th.lidLinear())
 				}()
 			}
 		}
 	}
+	g.ls.start()
 	wg.Wait()
 	if barCounts != nil && !dom.dead.Load() {
 		for i := 1; i < n; i++ {

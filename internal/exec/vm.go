@@ -533,7 +533,7 @@ func (t *thread) vmLoop(vm *vmState) error {
 				return &CrashError{Msg: "barrier reached in barrier-free sequential execution"}
 			}
 			tok := barrierToken{node: in.Aux.(ast.Node), iters: t.iterDigest()}
-			if err := t.group.bar.await(tok, regs[in.A].Scalar); err != nil {
+			if err := t.group.bar.await(tok, regs[in.A].Scalar, t.lidLinear()); err != nil {
 				return err
 			}
 			t.barrierSeen = true

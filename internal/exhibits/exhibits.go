@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clfuzz/internal/bugs"
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/cltypes"
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
@@ -450,18 +451,17 @@ kernel void entry(global ulong *out) {
 
 // Verify checks one exhibit: the reference configuration produces the
 // expected output, and every affected configuration exhibits its
-// documented misbehaviour. It returns a descriptive error on any mismatch.
+// documented misbehaviour. It returns a descriptive error on any
+// mismatch. Launches go through the shared campaign engine, so the
+// exhibit source parses once, configurations sharing a defect model
+// share one compiled kernel, and repeated verifications (clbench's
+// figure benchmarks, CI) are served by the result cache.
 func Verify(e *Exhibit) error {
-	ref := device.Reference()
-	// One front end serves the reference compile and every affected
-	// configuration below.
-	fe := device.DefaultFrontCache.Get(e.Src)
-	cr := ref.CompileFrontEnd(fe, true)
-	if cr.Outcome != device.OK {
-		return fmt.Errorf("%s: reference compile failed: %s", e.ID, cr.Msg)
+	c := campaign.Case{Name: e.ID, Src: e.Src, ND: e.ND, Buffers: e.Args}
+	rr := campaign.Default.RunCase(device.Reference(), true, c, campaign.LaunchOptions{})
+	if rr.Compile {
+		return fmt.Errorf("%s: reference compile failed: %s", e.ID, rr.Msg)
 	}
-	args, result := e.Args()
-	rr := cr.Kernel.Run(e.ND, args, result, device.RunOptions{})
 	if rr.Outcome != device.OK {
 		return fmt.Errorf("%s: reference run failed: %s", e.ID, rr.Msg)
 	}
@@ -475,27 +475,25 @@ func Verify(e *Exhibit) error {
 		if cfg == nil {
 			return fmt.Errorf("%s: unknown config %d", e.ID, a.ConfigID)
 		}
-		cres := cfg.CompileFrontEnd(fe, a.Optimize)
+		crr := campaign.Default.RunCase(cfg, a.Optimize, c, campaign.LaunchOptions{})
 		switch a.Kind {
 		case BuildFails:
-			if cres.Outcome != device.BuildFailure {
+			if !(crr.Compile && crr.Outcome == device.BuildFailure) {
 				return fmt.Errorf("%s: config %d opt=%v: expected build failure, got %s",
-					e.ID, a.ConfigID, a.Optimize, cres.Outcome)
+					e.ID, a.ConfigID, a.Optimize, crr.Outcome)
 			}
 			continue
 		case CompileHangs:
-			if cres.Outcome != device.Timeout {
+			if !(crr.Compile && crr.Outcome == device.Timeout) {
 				return fmt.Errorf("%s: config %d opt=%v: expected compile hang, got %s",
-					e.ID, a.ConfigID, a.Optimize, cres.Outcome)
+					e.ID, a.ConfigID, a.Optimize, crr.Outcome)
 			}
 			continue
 		}
-		if cres.Outcome != device.OK {
+		if crr.Compile {
 			return fmt.Errorf("%s: config %d opt=%v: compile failed unexpectedly: %s",
-				e.ID, a.ConfigID, a.Optimize, cres.Msg)
+				e.ID, a.ConfigID, a.Optimize, crr.Msg)
 		}
-		cargs, cresult := e.Args()
-		crr := cres.Kernel.Run(e.ND, cargs, cresult, device.RunOptions{})
 		switch a.Kind {
 		case RunCrashes:
 			if crr.Outcome != device.Crash {

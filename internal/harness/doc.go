@@ -2,42 +2,40 @@
 // classification of configurations against a reliability threshold
 // (Table 1, §7.1), intensive CLsmith-based differential testing (Table 4,
 // §7.3), CLsmith+EMI testing (Table 5, §7.4) and EMI testing over the
-// benchmark ports (Table 3, §7.2). Campaigns run test cases in parallel
-// across a worker pool and are fully deterministic in their seeds.
+// benchmark ports (Table 3, §7.2). Every campaign runs on the shared
+// substrate in internal/campaign — the staged streaming pipeline with
+// compile-once front/back caches, defect-model run deduplication, the
+// cross-base result cache, one worker-budget planner and a deterministic
+// ordered merge — and is fully deterministic in its seeds.
 //
-// # Campaign engine
+// # Record / fold split
 //
-// Three layers keep campaigns fast without changing a single byte of
-// output:
+// Each table runner is three deterministic pieces: a case list
+// regenerated from the campaign parameters (including the
+// execution-backed acceptance filters of Tables 4/5), a per-case record
+// (a serializable summary of that case's observations), and a fold that
+// assembles records — always in case order — into the rendered table.
+// The public entry points (ClassifyConfigurations, EMIBenchmarkCampaign,
+// CLsmithCampaign, EMICampaign) stream the whole case list; the shard
+// driver runs an interleaved slice of it:
 //
-//   - Compile-once: each distinct kernel source is lexed and parsed once
-//     (device.DefaultFrontCache), and the back end — check, folds,
-//     optimize — runs once per distinct defect model
-//     (device.DefaultBackCache), handing every matching configuration
-//     the same immutable compiled kernel.
-//   - Model dedup: (configuration, level) pairs whose defect models are
-//     identical (modelKey) are byte-for-byte interchangeable — the
-//     simulator is deterministic — so campaigns run one representative
-//     per model and copy its result to the followers. Table 1's four
-//     identical NVIDIA entries, the shared Intel CPU no-opt model and
-//     Oclgrind's ignored optimization flag all collapse, in
-//     RunEverywhere, ClassifyConfigurations and the Table 5 campaign;
-//     Table 5 additionally keys on the variant's printed source, so EMI
-//     prunings that collapse to identical text share one run.
-//   - Worker budgeting: every kernel launch receives a work-group fan-out
-//     allowance (ExecWorkers) equal to the machine parallelism left over
-//     after case-level fan-out, so campaign-level and group-level
-//     parallelism multiply to at most GOMAXPROCS. Saturated campaign
-//     stages run groups serially; narrow stages (a single differential
-//     test, a small acceptance batch) hand the idle cores to the
-//     executor.
+//   - RunShard executes cases i, i+n, i+2n, … and emits a ShardFile —
+//     the machine-readable partial-results format behind
+//     `cltables -shard i/n`;
+//   - MergeShards validates that a set of shard files covers every case
+//     exactly once and folds them into output byte-identical to the
+//     unsharded run (`cltables -merge`);
+//   - RenderCampaign is the unsharded path, implemented as a one-shard
+//     run plus a merge so the two flows cannot diverge.
 //
-// determinism_test.go pins all three layers against cache-bypassing and
-// serial reference paths, byte for byte, under -race, with the
-// executor's immutable-program assertion (exec.SetDebugImmutable) armed.
+// determinism_test.go and shard_test.go pin the invariants byte for
+// byte under -race — cached vs uncached compilation and results,
+// sharded vs unsharded campaigns, parallel vs serial execution, VM vs
+// tree engines — with the executor's immutable-program assertion
+// (exec.SetDebugImmutable) armed.
 //
-// Entry points: RunOn / RunEverywhere for single cases,
-// ClassifyConfigurations (Table 1), CLsmithCampaign (Table 4),
-// EMICampaign (Table 5), EMIBenchmarkCampaign (Table 3), and the
-// RenderTable* formatters that print the paper's layouts.
+// Entry points: RunOn / RunEverywhere for single cases, the four
+// campaign runners, RunShard / MergeShards / RenderCampaign for
+// sharding, and the RenderTable* formatters that print the paper's
+// layouts.
 package harness

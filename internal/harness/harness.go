@@ -1,10 +1,7 @@
 package harness
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/generator"
@@ -12,13 +9,10 @@ import (
 )
 
 // Case is one runnable test case: kernel source plus launch geometry and
-// an argument factory (buffers must be fresh per execution).
-type Case struct {
-	Name    string
-	Src     string
-	ND      exec.NDRange
-	Buffers func() (exec.Args, *exec.Buffer)
-}
+// an argument factory (buffers must be fresh per execution). It is the
+// campaign engine's case type; the alias keeps the harness API the
+// paper-facing vocabulary.
+type Case = campaign.Case
 
 // CaseFromKernel adapts a generated kernel.
 func CaseFromKernel(k *generator.Kernel, name string) Case {
@@ -28,65 +22,25 @@ func CaseFromKernel(k *generator.Kernel, name string) Case {
 // Key renders the paper's configuration notation: "12-" for optimizations
 // disabled, "12+" for enabled.
 func Key(cfg *device.Config, optimize bool) string {
-	if optimize {
-		return fmt.Sprintf("%d+", cfg.ID)
-	}
-	return fmt.Sprintf("%d-", cfg.ID)
-}
-
-// ExecWorkers returns the work-group fan-out budget for one kernel launch
-// inside a campaign stage that runs `width` cases concurrently: the
-// machine's parallelism left over once case-level fan-out has claimed its
-// workers. A saturated stage (width >= GOMAXPROCS) yields 1 — groups run
-// serially, as before — while a narrow stage (a single differential test,
-// a small acceptance batch) hands the idle cores to the executor. Both
-// levels multiply to at most GOMAXPROCS, so campaign-level and group-level
-// parallelism never oversubscribe the machine.
-func ExecWorkers(width int) int {
-	w := runtime.GOMAXPROCS(0)
-	if width < 1 {
-		width = 1
-	}
-	per := w / width
-	if per < 1 {
-		per = 1
-	}
-	return per
+	return campaign.Key(cfg, optimize)
 }
 
 // RunOn compiles and executes the case on one configuration at one
-// optimization level, with the whole machine available for work-group
-// fan-out (it is the single-shot entry point used by cldiff, the reducer
-// and the examples). The front end comes from the shared compile cache;
-// callers that already hold a FrontEnd for the case (RunEverywhere does)
-// should use RunOnFE to skip even the cache lookup.
+// optimization level through the shared campaign engine (compile caches,
+// cross-base result cache), with the whole machine available for
+// work-group fan-out. It is the single-shot entry point used by cldiff,
+// the reducer and the examples.
 func RunOn(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Result {
-	return runCase(cfg, optimize, device.DefaultFrontCache.Get(c.Src), c, baseFuel, ExecWorkers(1))
+	r := campaign.Default.RunCase(cfg, optimize, c, campaign.LaunchOptions{
+		BaseFuel: baseFuel, Workers: campaign.LaunchWorkers(1),
+	})
+	return r.AsOracle()
 }
 
-// RunOnFE executes the case on one configuration at one optimization
-// level, reusing a previously parsed front end for the case source.
-func RunOnFE(cfg *device.Config, optimize bool, fe *device.FrontEnd, c Case, baseFuel int64) oracle.Result {
-	return runCase(cfg, optimize, fe, c, baseFuel, ExecWorkers(1))
-}
-
-// runCase is the budgeted execution core behind every campaign runner:
-// workers is the per-launch work-group fan-out allowance (ExecWorkers).
-func runCase(cfg *device.Config, optimize bool, fe *device.FrontEnd, c Case, baseFuel int64, workers int) oracle.Result {
-	key := Key(cfg, optimize)
-	cr := cfg.CompileFrontEnd(fe, optimize)
-	if cr.Outcome != device.OK {
-		return oracle.Result{Key: key, Outcome: cr.Outcome}
-	}
-	args, result := c.Buffers()
-	rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
-	return oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
-}
-
-// RunOnUncached is RunOn with both compile-cache levels bypassed: the
-// source is re-lexed, re-parsed, re-checked and re-optimized for this
-// call. It is the reference path the compile-cache determinism tests
-// compare against.
+// RunOnUncached is RunOn with every cache level bypassed — the source is
+// re-lexed, re-parsed, re-checked and re-optimized, and the kernel
+// re-executed, for this call. It is the reference path the cache
+// determinism tests compare against.
 func RunOnUncached(cfg *device.Config, optimize bool, c Case, baseFuel int64) oracle.Result {
 	key := Key(cfg, optimize)
 	cr := cfg.CompileUncached(c.Src, optimize)
@@ -94,21 +48,48 @@ func RunOnUncached(cfg *device.Config, optimize bool, c Case, baseFuel int64) or
 		return oracle.Result{Key: key, Outcome: cr.Outcome}
 	}
 	args, result := c.Buffers()
-	rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: ExecWorkers(1)})
+	rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: campaign.LaunchWorkers(1)})
 	return oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
+}
+
+// matrixFor builds the standard differential-test matrix: one source,
+// every configuration at both optimization levels, in configuration
+// order with the unoptimized level first.
+func matrixFor(cfgs []*device.Config, c Case, baseFuel int64) campaign.Matrix {
+	units := make([]campaign.Unit, 0, 2*len(cfgs))
+	for _, cfg := range cfgs {
+		units = append(units, campaign.Unit{Cfg: cfg, Opt: false}, campaign.Unit{Cfg: cfg, Opt: true})
+	}
+	return campaign.Matrix{
+		Name:     c.Name,
+		Sources:  []string{c.Src},
+		ND:       c.ND,
+		Buffers:  func(int) (exec.Args, *exec.Buffer) { return c.Buffers() },
+		BaseFuel: baseFuel,
+		Units:    units,
+	}
 }
 
 // RunEverywhere runs the case on every configuration at both optimization
 // levels, in parallel, returning results keyed per Key. The case source is
 // parsed exactly once; each (configuration, level) pair runs only the
-// cheap per-configuration back end.
+// cheap per-configuration back end, deduplicated by defect model.
 func RunEverywhere(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Result {
-	return runEverywhereFE(cfgs, device.DefaultFrontCache.Get(c.Src), c, baseFuel, 1)
+	return runEverywhereEng(campaign.Default, cfgs, c, baseFuel, 1)
 }
 
-// RunEverywhereUncached is RunEverywhere with the front-end cache
-// bypassed: every (configuration, level) pair re-parses the source, as the
-// seed harness did. Used by the determinism tests.
+func runEverywhereEng(eng *campaign.Engine, cfgs []*device.Config, c Case, baseFuel int64, width int) []oracle.Result {
+	rs := eng.RunMatrix(matrixFor(cfgs, c, baseFuel), width)
+	out := make([]oracle.Result, len(rs))
+	for i, r := range rs {
+		out[i] = r.AsOracle()
+	}
+	return out
+}
+
+// RunEverywhereUncached is RunEverywhere with every cache bypassed: each
+// (configuration, level) pair re-parses, re-compiles and re-executes the
+// source, as the seed harness did. Used by the determinism tests.
 func RunEverywhereUncached(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Result {
 	type job struct {
 		cfg *device.Config
@@ -119,123 +100,29 @@ func RunEverywhereUncached(cfgs []*device.Config, c Case, baseFuel int64) []orac
 		jobs = append(jobs, job{cfg, false}, job{cfg, true})
 	}
 	results := make([]oracle.Result, len(jobs))
-	parallelFor(len(jobs), func(i int) {
-		results[i] = RunOnUncached(jobs[i].cfg, jobs[i].opt, c, baseFuel)
-	})
+	campaign.Stream(len(jobs), func(i, _ int) oracle.Result {
+		return RunOnUncached(jobs[i].cfg, jobs[i].opt, c, baseFuel)
+	}, func(i int, r oracle.Result) { results[i] = r })
 	return results
-}
-
-// modelKey identifies everything about a (configuration, level) pair that
-// can influence a test outcome in the simulation: the full defect model
-// and whether the optimizer effectively runs. Pairs with equal keys are
-// byte-for-byte interchangeable — the executor is deterministic — so a
-// campaign runs one representative per model and copies the result to the
-// others. Table 1's four identical NVIDIA entries, the shared Intel CPU
-// no-opt model, and Oclgrind's ignored optimization flag all collapse.
-type modelKey struct {
-	lvl device.Level
-	// effOpt is the optimization setting after NoOptimizer is applied.
-	effOpt bool
-}
-
-func jobModelKey(cfg *device.Config, optimize bool) modelKey {
-	return modelKey{lvl: cfg.Level(optimize), effOpt: optimize && !cfg.NoOptimizer}
-}
-
-// groupJobs partitions job indices 0..n-1 into representatives (first job
-// of each distinct key, in order) and followers (job index → its
-// representative's index). Campaigns use it to run one job per defect
-// model and copy the deterministic result to the others.
-func groupJobs[K comparable](n int, key func(i int) K) (reps []int, follower map[int]int) {
-	follower = make(map[int]int)
-	seen := make(map[K]int, n)
-	for i := 0; i < n; i++ {
-		k := key(i)
-		if r, ok := seen[k]; ok {
-			follower[i] = r
-		} else {
-			seen[k] = i
-			reps = append(reps, i)
-		}
-	}
-	return reps, follower
-}
-
-// runEverywhereFE runs every (configuration, level) pair on the front
-// end. width is the number of RunEverywhere calls the caller itself runs
-// concurrently (1 for a single differential test): group-level fan-out is
-// budgeted against width × representatives, so a campaign that fans out
-// over kernels (Table 4) does not multiply its parallelism again here.
-func runEverywhereFE(cfgs []*device.Config, fe *device.FrontEnd, c Case, baseFuel int64, width int) []oracle.Result {
-	type job struct {
-		cfg *device.Config
-		opt bool
-	}
-	var jobs []job
-	for _, cfg := range cfgs {
-		jobs = append(jobs, job{cfg, false}, job{cfg, true})
-	}
-	// Group jobs by defect model; run one representative per group.
-	reps, follower := groupJobs(len(jobs), func(i int) modelKey {
-		return jobModelKey(jobs[i].cfg, jobs[i].opt)
-	})
-	results := make([]oracle.Result, len(jobs))
-	workers := ExecWorkers(width * len(reps))
-	parallelFor(len(reps), func(ri int) {
-		i := reps[ri]
-		results[i] = runCase(jobs[i].cfg, jobs[i].opt, fe, c, baseFuel, workers)
-	})
-	for i, r := range follower {
-		src := results[r]
-		out := src.Output
-		if out != nil {
-			out = append([]uint64(nil), out...)
-		}
-		results[i] = oracle.Result{Key: Key(jobs[i].cfg, jobs[i].opt), Outcome: src.Outcome, Output: out}
-	}
-	return results
-}
-
-// parallelFor runs fn(0..n-1) across a bounded worker pool.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // GenerateAccepted generates kernels in the given mode until n pass the
 // acceptance filter the paper used (§7.3): each test must compile and
 // terminate without crash or timeout on the generating configuration
-// (config 1 with optimizations, the GTX Titan).
+// (config 1 with optimizations, the GTX Titan). Acceptance runs go
+// through the campaign engine, so the campaign proper reuses them via
+// the result cache.
 func GenerateAccepted(mode generator.Mode, n int, seed int64, maxThreads int, emiBlocks func(i int) int, baseFuel int64) []*generator.Kernel {
+	return generateAccepted(campaign.Default, mode, n, seed, maxThreads, emiBlocks, baseFuel)
+}
+
+func generateAccepted(eng *campaign.Engine, mode generator.Mode, n int, seed int64, maxThreads int, emiBlocks func(i int) int, baseFuel int64) []*generator.Kernel {
 	gen1 := device.ByID(1)
 	var out []*generator.Kernel
-	var mu sync.Mutex
 	// Generation is cheap; acceptance runs are the cost. Batch candidates
-	// in parallel rounds until enough are accepted.
+	// in parallel rounds until enough are accepted (candidates are
+	// accepted in candidate order, so the result is independent of the
+	// batching).
 	next := seed
 	for len(out) < n {
 		batch := n - len(out)
@@ -253,20 +140,16 @@ func GenerateAccepted(mode generator.Mode, n int, seed int64, maxThreads int, em
 			})
 			next++
 		}
-		accepted := make([]bool, batch)
-		workers := ExecWorkers(batch)
-		parallelFor(batch, func(i int) {
-			c := CaseFromKernel(cands[i], "")
-			r := runCase(gen1, true, device.DefaultFrontCache.Get(c.Src), c, baseFuel, workers)
-			accepted[i] = r.Outcome == device.OK
-		})
-		mu.Lock()
-		for i, ok := range accepted {
+		campaign.Stream(batch, func(i, launch int) bool {
+			r := eng.RunCase(gen1, true, CaseFromKernel(cands[i], ""), campaign.LaunchOptions{
+				BaseFuel: baseFuel, Workers: launch,
+			})
+			return r.Outcome == device.OK
+		}, func(i int, ok bool) {
 			if ok && len(out) < n {
 				out = append(out, cands[i])
 			}
-		}
-		mu.Unlock()
+		})
 	}
 	return out
 }

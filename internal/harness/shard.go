@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"clfuzz/internal/benchmarks"
+	"clfuzz/internal/campaign"
+	"clfuzz/internal/device"
+	"clfuzz/internal/generator"
+)
+
+// ShardSchema identifies the partial-results file format.
+const ShardSchema = "clfuzz-shard/v1"
+
+// Params fixes the campaign inputs every shard of one campaign must
+// share: the table, its size, and the generation seeds. Two shard files
+// with differing Params cannot be merged.
+type Params struct {
+	// Table selects the campaign: 1, 3, 4 or 5.
+	Table int `json:"table"`
+	// Scale is the campaign size per unit (kernels per mode for Tables
+	// 1/4, EMI bases for Table 5, variants-per-benchmark ÷2+1 input for
+	// Table 3 — the same value cltables -scale passes).
+	Scale int   `json:"scale"`
+	Seed  int64 `json:"seed"`
+	// Threads caps generated-kernel thread counts (unused by Table 3).
+	Threads  int   `json:"threads"`
+	BaseFuel int64 `json:"base_fuel,omitempty"`
+}
+
+// ShardRecord is one case's serialized campaign record.
+type ShardRecord struct {
+	Index int             `json:"index"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// ShardFile is the machine-readable partial-results file `cltables
+// -shard i/n` emits: the campaign parameters, the total case count, and
+// this shard's records (cases with index % n == i).
+type ShardFile struct {
+	Schema string `json:"schema"`
+	Params
+	Cases   int           `json:"cases"`
+	Shard   int           `json:"shard"`
+	Of      int           `json:"of"`
+	Records []ShardRecord `json:"records"`
+}
+
+// shardCampaign adapts one table's case list, per-case runner and fold
+// to the shard driver. run returns the case's JSON-serializable record;
+// render folds records (complete, in case order) into the rendered
+// output.
+type shardCampaign struct {
+	cases  int
+	run    func(i int) any
+	render func(records []json.RawMessage) (string, error)
+}
+
+// campaignFor builds the shard adapter for the table named by p,
+// regenerating the deterministic case list (including any
+// execution-backed acceptance filtering, which every shard must repeat —
+// the result cache makes the campaign proper reuse those runs).
+func campaignFor(eng *campaign.Engine, p Params) (*shardCampaign, error) {
+	switch p.Table {
+	case 1:
+		cfgs := device.All()
+		n := table1Cases(p.Scale)
+		return &shardCampaign{
+			cases: n,
+			run: func(i int) any {
+				return table1Record(eng, cfgs, p.Scale, p.Seed, p.Threads, p.BaseFuel, i, n)
+			},
+			render: func(records []json.RawMessage) (string, error) {
+				recs, err := decodeRecords[t1Record](records)
+				if err != nil {
+					return "", err
+				}
+				return RenderTable1(foldTable1(cfgs, recs)), nil
+			},
+		}, nil
+	case 3:
+		testCfgs := table3Configs()
+		clean := benchmarks.Clean()
+		variants := p.Scale/2 + 1
+		return &shardCampaign{
+			cases: len(clean),
+			run: func(i int) any {
+				return table3Record(eng, testCfgs, clean[i], variants, p.Seed, p.BaseFuel, len(clean))
+			},
+			render: func(records []json.RawMessage) (string, error) {
+				recs, err := decodeRecords[t3Record](records)
+				if err != nil {
+					return "", err
+				}
+				return RenderTable3(foldTable3(recs)), nil
+			},
+		}, nil
+	case 4:
+		cfgs := AboveThresholdConfigs()
+		// The accepted kernel list is regenerated lazily: a merge only
+		// folds records and must not pay for (or require) the acceptance
+		// executions.
+		kernels := sync.OnceValue(func() [][]*generator.Kernel {
+			return table4Kernels(eng, p.Scale, p.Seed, p.Threads, p.BaseFuel)
+		})
+		n := len(generator.Modes) * p.Scale
+		return &shardCampaign{
+			cases: n,
+			run: func(i int) any {
+				return table4Record(eng, cfgs, kernels(), p.Scale, p.BaseFuel, i, n)
+			},
+			render: func(records []json.RawMessage) (string, error) {
+				recs, err := decodeRecords[t4Record](records)
+				if err != nil {
+					return "", err
+				}
+				return RenderTable4(foldTable4(cfgs, p.Scale, recs)), nil
+			},
+		}, nil
+	case 5:
+		cfgs := AboveThresholdConfigs()
+		keys := table5Keys(cfgs)
+		// generateEMIBases returns exactly Scale bases; regenerate them
+		// lazily so a merge folds without re-running the keep-filter.
+		bases := sync.OnceValue(func() []*generator.Kernel {
+			return generateEMIBases(eng, p.Scale, p.Seed, p.Threads, p.BaseFuel)
+		})
+		return &shardCampaign{
+			cases: p.Scale,
+			run: func(i int) any {
+				return table5Record(eng, cfgs, keys, bases()[i], p.BaseFuel, p.Scale)
+			},
+			render: func(records []json.RawMessage) (string, error) {
+				recs, err := decodeRecords[t5Record](records)
+				if err != nil {
+					return "", err
+				}
+				t5 := foldTable5(keys, p.Scale, recs)
+				return RenderTable5(t5) + "\n" + RenderPruningComparison(t5), nil
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("harness: table %d is not a shardable campaign (1, 3, 4 or 5)", p.Table)
+	}
+}
+
+func decodeRecords[R any](records []json.RawMessage) ([]R, error) {
+	out := make([]R, len(records))
+	for i, raw := range records {
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("harness: record %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// RunShard executes shard `shard` of `of` interleaved campaign slices
+// (cases with index % of == shard) and returns the partial-results file.
+// The case list itself — including execution-backed acceptance filtering
+// — is deterministic in Params, so every shard sees the identical list
+// and the merged output is byte-identical to an unsharded run.
+func RunShard(p Params, shard, of int) (*ShardFile, error) {
+	return runShard(campaign.Default, p, shard, of)
+}
+
+func runShard(eng *campaign.Engine, p Params, shard, of int) (*ShardFile, error) {
+	if of < 1 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("harness: bad shard %d/%d", shard, of)
+	}
+	sc, err := campaignFor(eng, p)
+	if err != nil {
+		return nil, err
+	}
+	var indices []int
+	for i := shard; i < sc.cases; i += of {
+		indices = append(indices, i)
+	}
+	sf := &ShardFile{
+		Schema: ShardSchema, Params: p,
+		Cases: sc.cases, Shard: shard, Of: of,
+		Records: make([]ShardRecord, len(indices)),
+	}
+	type encoded struct {
+		raw json.RawMessage
+		err error
+	}
+	var encodeErr error
+	campaign.Stream(len(indices), func(i, _ int) encoded {
+		raw, err := json.Marshal(sc.run(indices[i]))
+		return encoded{raw, err}
+	}, func(i int, e encoded) {
+		// The sink runs on this goroutine; error collection needs no lock.
+		if e.err != nil && encodeErr == nil {
+			encodeErr = e.err
+		}
+		sf.Records[i] = ShardRecord{Index: indices[i], Data: e.raw}
+	})
+	if encodeErr != nil {
+		return nil, encodeErr
+	}
+	return sf, nil
+}
+
+// MergeShards validates that the shard files cover every case of one
+// campaign exactly once, folds their records in case order, and renders
+// the output — byte-identical to the unsharded run.
+func MergeShards(files []*ShardFile) (string, error) {
+	return mergeShards(campaign.Default, files)
+}
+
+func mergeShards(eng *campaign.Engine, files []*ShardFile) (string, error) {
+	if len(files) == 0 {
+		return "", fmt.Errorf("harness: no shard files to merge")
+	}
+	first := files[0]
+	byIndex := map[int]json.RawMessage{}
+	for _, f := range files {
+		if f.Schema != ShardSchema {
+			return "", fmt.Errorf("harness: unknown shard schema %q", f.Schema)
+		}
+		if f.Params != first.Params || f.Cases != first.Cases {
+			return "", fmt.Errorf("harness: shard parameters disagree: %+v (%d cases) vs %+v (%d cases)",
+				f.Params, f.Cases, first.Params, first.Cases)
+		}
+		for _, r := range f.Records {
+			if r.Index < 0 || r.Index >= f.Cases {
+				return "", fmt.Errorf("harness: record index %d out of range (%d cases)", r.Index, f.Cases)
+			}
+			if _, dup := byIndex[r.Index]; dup {
+				return "", fmt.Errorf("harness: case %d appears in more than one shard", r.Index)
+			}
+			byIndex[r.Index] = r.Data
+		}
+	}
+	if len(byIndex) != first.Cases {
+		var missing []int
+		for i := 0; i < first.Cases; i++ {
+			if _, ok := byIndex[i]; !ok {
+				missing = append(missing, i)
+			}
+		}
+		sort.Ints(missing)
+		return "", fmt.Errorf("harness: incomplete shard set: missing cases %v", missing)
+	}
+	// The fold stage never re-executes; only the render adapter (which
+	// may regenerate the deterministic case list for sizing) needs the
+	// engine.
+	sc, err := campaignFor(eng, first.Params)
+	if err != nil {
+		return "", err
+	}
+	if sc.cases != first.Cases {
+		return "", fmt.Errorf("harness: shard files claim %d cases, campaign has %d", first.Cases, sc.cases)
+	}
+	records := make([]json.RawMessage, first.Cases)
+	for i := range records {
+		records[i] = byIndex[i]
+	}
+	return sc.render(records)
+}
+
+// RenderCampaign runs the whole campaign unsharded and renders its
+// output. It is literally a one-shard run followed by a merge, so the
+// sharded and unsharded paths cannot diverge.
+func RenderCampaign(p Params) (string, error) {
+	return renderCampaign(campaign.Default, p)
+}
+
+func renderCampaign(eng *campaign.Engine, p Params) (string, error) {
+	sf, err := runShard(eng, p, 0, 1)
+	if err != nil {
+		return "", err
+	}
+	return mergeShards(eng, []*ShardFile{sf})
+}

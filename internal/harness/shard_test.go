@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"testing"
+
+	"clfuzz/internal/campaign"
+	"clfuzz/internal/device"
+)
+
+// shardParams are deliberately tiny: the property under test is byte
+// identity, not campaign statistics. CI runs this file under -race in
+// both engine jobs (the default VM job and the CLFUZZ_ENGINE=tree job),
+// so the shard/merge and result-cache invariants are pinned on both
+// evaluation engines.
+var shardParams = []Params{
+	{Table: 4, Scale: 2, Seed: 99, Threads: 24},
+	{Table: 5, Scale: 2, Seed: 99, Threads: 24},
+}
+
+// freshEngine returns an isolated campaign engine; withResults arms the
+// cross-base result cache (the uncached reference runs without it).
+func freshEngine(withResults bool) *campaign.Engine {
+	eng := &campaign.Engine{Front: device.NewFrontCache(1024)}
+	if withResults {
+		eng.Results = campaign.NewResultCache(8192)
+	}
+	return eng
+}
+
+// TestShardMergeDeterminism is the campaign substrate's central
+// invariant: for the Table 4 and Table 5 campaigns, (a) the cross-base
+// result cache is invisible — a cached run renders byte-identical to the
+// cache-free reference, and a second, fully memoized run renders the
+// same bytes again — and (b) sharding is invisible — 2- and 3-shard runs
+// merge byte-identical to the unsharded output. Run under -race (CI
+// does) with the executor's immutable-program assertion armed.
+func TestShardMergeDeterminism(t *testing.T) {
+	armImmutableAssert(t)
+	for _, p := range shardParams {
+		ref, err := renderCampaign(freshEngine(false), p)
+		if err != nil {
+			t.Fatalf("table %d reference: %v", p.Table, err)
+		}
+		cached := freshEngine(true)
+		got, err := renderCampaign(cached, p)
+		if err != nil {
+			t.Fatalf("table %d cached: %v", p.Table, err)
+		}
+		if got != ref {
+			t.Fatalf("table %d: result-cached output differs from the uncached reference:\n%s\n--- vs ---\n%s", p.Table, got, ref)
+		}
+		again, err := renderCampaign(cached, p)
+		if err != nil {
+			t.Fatalf("table %d rerun: %v", p.Table, err)
+		}
+		if again != ref {
+			t.Fatalf("table %d: fully memoized rerun differs from the reference", p.Table)
+		}
+		// The rerun must be served by the cross-campaign memo (Table 4
+		// additionally hits within one campaign: the acceptance filter's
+		// launches are reused by the matrix).
+		if hits, _, _ := cached.Results.Stats(); hits == 0 {
+			t.Errorf("table %d: campaigns never hit the result cache", p.Table)
+		}
+		for _, shards := range []int{2, 3} {
+			files := make([]*ShardFile, shards)
+			for s := 0; s < shards; s++ {
+				// Each shard gets its own engine: shards run in separate
+				// processes in production, so nothing may leak between
+				// them for the merge to be byte-identical.
+				sf, err := runShard(freshEngine(true), p, s, shards)
+				if err != nil {
+					t.Fatalf("table %d shard %d/%d: %v", p.Table, s, shards, err)
+				}
+				files[s] = sf
+			}
+			merged, err := mergeShards(freshEngine(true), files)
+			if err != nil {
+				t.Fatalf("table %d merge %d: %v", p.Table, shards, err)
+			}
+			if merged != ref {
+				t.Fatalf("table %d: %d-shard merge differs from the unsharded run:\n%s\n--- vs ---\n%s", p.Table, shards, merged, ref)
+			}
+		}
+	}
+}
+
+// TestShardMergeRejectsBadSets: incomplete, duplicated or mismatched
+// shard sets must be refused, not silently merged.
+func TestShardMergeRejectsBadSets(t *testing.T) {
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	eng := freshEngine(true)
+	s0, err := runShard(eng, p, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := runShard(eng, p, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeShards(eng, []*ShardFile{s0}); err == nil {
+		t.Error("merge accepted an incomplete shard set")
+	}
+	if _, err := mergeShards(eng, []*ShardFile{s0, s0, s1}); err == nil {
+		t.Error("merge accepted a duplicated shard")
+	}
+	other := *s1
+	other.Seed = 8
+	if _, err := mergeShards(eng, []*ShardFile{s0, &other}); err == nil {
+		t.Error("merge accepted shards with mismatched parameters")
+	}
+	if _, err := runShard(eng, p, 2, 2); err == nil {
+		t.Error("runShard accepted an out-of-range shard index")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"clfuzz/internal/bugs"
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/generator"
 	"clfuzz/internal/oracle"
@@ -40,98 +41,78 @@ func (r Table1Row) FailureRate() float64 {
 // it when no more than 25% of initial tests fail.
 const Threshold = 0.25
 
-// ClassifyConfigurations runs the §7.1 initial campaign: every
-// configuration, with and without optimizations, over the initial kernel
-// set (the paper used 600 kernels, 100 per mode), classifying each
-// configuration against the reliability threshold. Wrong-code results are
-// judged by disagreement with the majority over all observations of a
-// kernel.
-func ClassifyConfigurations(perMode int, seed int64, maxThreads int, baseFuel int64) []Table1Row {
-	cfgs := device.All()
-	var kernels []*generator.Kernel
-	for _, mode := range generator.Modes {
-		for i := 0; i < perMode; i++ {
-			kernels = append(kernels, generator.Generate(generator.Options{
-				Mode: mode, Seed: seed + int64(i) + int64(mode)*100003,
-				MaxTotalThreads: maxThreads,
-			}))
+// t1Result is one serializable (configuration, level) observation of a
+// Table 1 kernel.
+type t1Result struct {
+	Key     string   `json:"key"`
+	Outcome int      `json:"outcome"`
+	Output  []uint64 `json:"output,omitempty"`
+	// CompileTO marks a timeout that arose during compilation — the §7.1
+	// prohibitively-slow-compilation signal.
+	CompileTO bool `json:"compile_to,omitempty"`
+}
+
+// t1Record is one kernel's shard record: its observations over the full
+// (configuration, level) matrix.
+type t1Record struct {
+	Results []t1Result `json:"results"`
+}
+
+// table1Kernel regenerates case i of the §7.1 campaign deterministically
+// from the campaign parameters: the case list is mode-major, perMode
+// kernels per generator mode.
+func table1Kernel(perMode int, seed int64, maxThreads, i int) *generator.Kernel {
+	mode := generator.Modes[i/perMode]
+	return generator.Generate(generator.Options{
+		Mode: mode, Seed: seed + int64(i%perMode) + int64(mode)*100003,
+		MaxTotalThreads: maxThreads,
+	})
+}
+
+func table1Cases(perMode int) int { return len(generator.Modes) * perMode }
+
+// table1Record runs case i's full configuration matrix through the
+// campaign engine (model-deduplicated, result-cached).
+func table1Record(eng *campaign.Engine, cfgs []*device.Config, perMode int, seed int64, maxThreads int, baseFuel int64, i, width int) t1Record {
+	k := table1Kernel(perMode, seed, maxThreads, i)
+	c := CaseFromKernel(k, fmt.Sprintf("init-%d", i))
+	rs := eng.RunMatrix(matrixFor(cfgs, c, baseFuel), width)
+	rec := t1Record{Results: make([]t1Result, len(rs))}
+	for j, r := range rs {
+		rec.Results[j] = t1Result{
+			Key:       r.Key,
+			Outcome:   int(r.Outcome),
+			Output:    r.Output,
+			CompileTO: r.Compile && r.Outcome == device.Timeout,
 		}
 	}
+	return rec
+}
+
+// foldTable1 classifies the configurations from the per-kernel records
+// (in case order), reproducing the §7.1 thresholding.
+func foldTable1(cfgs []*device.Config, records []t1Record) []Table1Row {
 	fail := map[string]int{}
 	slow := map[int]int{}
 	tests := map[string]int{}
-	type obs struct {
-		results []oracle.Result
-		compile map[string]bool // keys whose timeout came from compilation
-	}
-	// The (configuration, level) job list is the same for every kernel;
-	// group it by defect model once, so each kernel compiles and runs only
-	// one representative per model and copies the deterministic result to
-	// the followers (configurations 1-4 share one NVIDIA model, the Intel
-	// CPU no-opt levels another, and Oclgrind ignores the flag entirely —
-	// the same modelKey dedupe RunEverywhere and the Table 5 campaign use).
-	type job struct {
-		cfg *device.Config
-		opt bool
-	}
-	var jobs []job
-	for _, cfg := range cfgs {
-		jobs = append(jobs, job{cfg, false}, job{cfg, true})
-	}
-	reps, follower := groupJobs(len(jobs), func(i int) modelKey {
-		return jobModelKey(jobs[i].cfg, jobs[i].opt)
-	})
-	observations := make([]obs, len(kernels))
-	workers := ExecWorkers(len(kernels))
-	parallelFor(len(kernels), func(i int) {
-		c := CaseFromKernel(kernels[i], fmt.Sprintf("init-%d", i))
-		fe := device.DefaultFrontCache.Get(c.Src)
-		rs := make([]oracle.Result, len(jobs))
-		compileTO := map[string]bool{}
-		for _, ji := range reps {
-			cfg, optimize := jobs[ji].cfg, jobs[ji].opt
-			key := Key(cfg, optimize)
-			cr := cfg.CompileFrontEnd(fe, optimize)
-			if cr.Outcome != device.OK {
-				rs[ji] = oracle.Result{Key: key, Outcome: cr.Outcome}
-				if cr.Outcome == device.Timeout {
-					compileTO[key] = true
-				}
-				continue
-			}
-			args, result := c.Buffers()
-			rr := cr.Kernel.Run(c.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
-			rs[ji] = oracle.Result{Key: key, Outcome: rr.Outcome, Output: rr.Output}
+	for _, rec := range records {
+		results := make([]oracle.Result, len(rec.Results))
+		for i, r := range rec.Results {
+			results[i] = oracle.Result{Key: r.Key, Outcome: device.Outcome(r.Outcome), Output: r.Output}
 		}
-		for ji, r := range follower {
-			src := rs[r]
-			key := Key(jobs[ji].cfg, jobs[ji].opt)
-			out := src.Output
-			if out != nil {
-				out = append([]uint64(nil), out...)
-			}
-			rs[ji] = oracle.Result{Key: key, Outcome: src.Outcome, Output: out}
-			if compileTO[src.Key] {
-				compileTO[key] = true
-			}
-		}
-		observations[i] = obs{results: rs, compile: compileTO}
-	})
-	for _, o := range observations {
 		wrong := map[string]bool{}
-		for _, k := range oracle.WrongCode(o.results) {
+		for _, k := range oracle.WrongCode(results) {
 			wrong[k] = true
 		}
-		for _, r := range o.results {
+		for i, r := range results {
 			tests[r.Key]++
 			switch {
 			case r.Outcome == device.BuildFailure || r.Outcome == device.Crash:
 				fail[r.Key]++
 			case r.Outcome == device.OK && wrong[r.Key]:
 				fail[r.Key]++
-			case r.Outcome == device.Timeout && o.compile[r.Key]:
-				id := keyID(r.Key)
-				slow[id]++
+			case r.Outcome == device.Timeout && rec.Results[i].CompileTO:
+				slow[keyID(r.Key)]++
 			}
 		}
 	}
@@ -160,6 +141,26 @@ func ClassifyConfigurations(perMode int, seed int64, maxThreads int, baseFuel in
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// ClassifyConfigurations runs the §7.1 initial campaign: every
+// configuration, with and without optimizations, over the initial kernel
+// set (the paper used 600 kernels, 100 per mode), classifying each
+// configuration against the reliability threshold. Wrong-code results are
+// judged by disagreement with the majority over all observations of a
+// kernel.
+func ClassifyConfigurations(perMode int, seed int64, maxThreads int, baseFuel int64) []Table1Row {
+	return classifyConfigurations(campaign.Default, perMode, seed, maxThreads, baseFuel)
+}
+
+func classifyConfigurations(eng *campaign.Engine, perMode int, seed int64, maxThreads int, baseFuel int64) []Table1Row {
+	cfgs := device.All()
+	n := table1Cases(perMode)
+	records := make([]t1Record, n)
+	campaign.Stream(n, func(i, _ int) t1Record {
+		return table1Record(eng, cfgs, perMode, seed, maxThreads, baseFuel, i, n)
+	}, func(i int, r t1Record) { records[i] = r })
+	return foldTable1(cfgs, records)
 }
 
 func keyID(key string) int {

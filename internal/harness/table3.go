@@ -6,6 +6,7 @@ import (
 
 	"clfuzz/internal/ast"
 	"clfuzz/internal/benchmarks"
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/cltypes"
 	"clfuzz/internal/device"
 	"clfuzz/internal/emi"
@@ -72,6 +73,194 @@ type Table3 struct {
 	RacyExcluded []string
 }
 
+// table3Configs returns the configurations under EMI benchmark test: the
+// Altera configurations are excluded, as in the paper (offline
+// compilation did not integrate with the benchmark harness, §7.2).
+func table3Configs() []*device.Config {
+	var out []*device.Config
+	for _, c := range device.All() {
+		if c.ID != 20 && c.ID != 21 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// t3Record is one benchmark's shard record: its computed row of Table 3
+// cells, keyed by configuration name.
+type t3Record struct {
+	Cells map[string]Table3Cell `json:"cells"`
+	// Skipped marks a benchmark whose reference run failed (the row is
+	// left empty; tests assert this cannot happen).
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// benchBuffers builds the argument factory for one benchmark source: the
+// benchmark's own inputs, plus the §5 host-side protocol — dead[j] = j
+// keeps every EMI block dead — when the (possibly injected) kernel
+// declares a dead array.
+func benchBuffers(eng *campaign.Engine, bench *benchmarks.Benchmark, src string) func() (exec.Args, *exec.Buffer) {
+	hasDead := false
+	if fe := eng.FrontEnd(src); fe.Err == nil && fe.Prog.Kernel() != nil {
+		for _, p := range fe.Prog.Kernel().Params {
+			if p.Name == "dead" {
+				hasDead = true
+			}
+		}
+	}
+	return func() (exec.Args, *exec.Buffer) {
+		args, result := bench.MakeArgs()
+		if hasDead {
+			dead := exec.NewBuffer(cltypes.TInt, 16)
+			for i := 0; i < 16; i++ {
+				dead.SetScalar(i, uint64(i))
+			}
+			args["dead"] = exec.Arg{Buf: dead}
+		}
+		return args, result
+	}
+}
+
+// table3Record runs one benchmark's full EMI campaign — reference
+// expected output, empty-block "ng" checks, and the injected variant
+// matrix — and folds its row of cells.
+func table3Record(eng *campaign.Engine, testCfgs []*device.Config, bench *benchmarks.Benchmark, variantsPerBench int, seed int64, baseFuel int64, width int) t3Record {
+	ref := device.Reference()
+	// Build the variant set once: per seed, substitutions on/off, with
+	// a pruning applied to half of them. Each variant source is shared
+	// by every (configuration, level) pair, so parse each one once.
+	type variantMeta struct {
+		src    string
+		subsOn bool
+	}
+	var variants []variantMeta
+	for v := 0; v < variantsPerBench; v++ {
+		for _, subs := range []bool{false, true} {
+			src, err := injectedVariant(bench.Src, seed+int64(v)*31, subs, v%2 == 1)
+			if err != nil {
+				continue
+			}
+			variants = append(variants, variantMeta{src: src, subsOn: subs})
+		}
+	}
+	// One matrix carries the whole benchmark: the variant units, the
+	// empty-block units behind the "ng" determination, and the reference
+	// expectation run. Sources index: variants, then the unmodified
+	// benchmark.
+	benchSrc := len(variants)
+	sources := make([]string, 0, len(variants)+1)
+	buffers := make([]func() (exec.Args, *exec.Buffer), 0, len(variants)+1)
+	for _, v := range variants {
+		sources = append(sources, v.src)
+		buffers = append(buffers, benchBuffers(eng, bench, v.src))
+	}
+	sources = append(sources, bench.Src)
+	buffers = append(buffers, benchBuffers(eng, bench, bench.Src))
+	var units []campaign.Unit
+	for _, cfg := range testCfgs {
+		for _, opt := range []bool{false, true} {
+			for vi := range variants {
+				units = append(units, campaign.Unit{Src: vi, Cfg: cfg, Opt: opt})
+			}
+		}
+	}
+	ngStart := len(units)
+	for _, cfg := range testCfgs {
+		for _, opt := range []bool{false, true} {
+			units = append(units, campaign.Unit{Src: benchSrc, Cfg: cfg, Opt: opt})
+		}
+	}
+	refUnit := len(units)
+	units = append(units, campaign.Unit{Src: benchSrc, Cfg: ref, Opt: true})
+	results := eng.RunMatrix(campaign.Matrix{
+		Name:     bench.Name,
+		Sources:  sources,
+		ND:       bench.ND,
+		Buffers:  func(src int) (exec.Args, *exec.Buffer) { return buffers[src]() },
+		BaseFuel: baseFuel,
+		Units:    units,
+	}, width)
+	rec := t3Record{Cells: map[string]Table3Cell{}}
+	// Reference expected output (empty EMI block == original kernel). A
+	// reference failure would be a harness bug; tests assert it.
+	if results[refUnit].Outcome != device.OK {
+		rec.Skipped = true
+		return rec
+	}
+	expected := results[refUnit].Output
+	// Per configuration: first determine ng (empty block on that config
+	// disagrees with the expected output), then fold variant outcomes.
+	ngIdx := ngStart
+	vi := 0
+	for _, cfg := range testCfgs {
+		ng := false
+		for range []bool{false, true} {
+			out := results[ngIdx]
+			ngIdx++
+			if out.Outcome != device.OK || !oracle.Equal(out.Output, expected) {
+				ng = true
+			}
+		}
+		cell := Table3Cell{Outcome: T3OK}
+		if ng {
+			cell.Outcome = T3NG
+		}
+		raise := func(o Table3Outcome, subsOn bool) {
+			if o > cell.Outcome {
+				cell.Outcome = o
+				cell.SubsOn, cell.SubsOff = false, false
+			}
+			if o == cell.Outcome && (o == T3Crash || o == T3Wrong) {
+				if subsOn {
+					cell.SubsOn = true
+				} else {
+					cell.SubsOff = true
+				}
+			}
+		}
+		for lv := 0; lv < 2; lv++ {
+			for range variants {
+				u := units[vi]
+				r := results[vi]
+				vi++
+				subsOn := variants[u.Src].subsOn
+				switch {
+				case r.Outcome == device.Timeout:
+					raise(T3TO, subsOn)
+				case r.Outcome == device.Crash || r.Outcome == device.BuildFailure:
+					// The paper folds build failures into "crash": online
+					// compilation makes them indistinguishable without
+					// extra per-benchmark work (§7.2 footnote 6).
+					raise(T3Crash, subsOn)
+				case r.Outcome == device.OK && !oracle.Equal(r.Output, expected):
+					raise(T3Wrong, subsOn)
+				}
+			}
+		}
+		rec.Cells[cfg.Name()] = cell
+	}
+	return rec
+}
+
+// foldTable3 assembles the table from the per-benchmark records (in
+// benchmark order).
+func foldTable3(records []t3Record) *Table3 {
+	t := &Table3{Cells: map[string]map[string]Table3Cell{}}
+	for _, b := range benchmarks.Racy() {
+		t.RacyExcluded = append(t.RacyExcluded, b.Name)
+	}
+	for _, cfg := range table3Configs() {
+		t.Keys = append(t.Keys, cfg.Name())
+	}
+	for i, bench := range benchmarks.Clean() {
+		t.Benchmarks = append(t.Benchmarks, bench.Name)
+		if i < len(records) && !records[i].Skipped {
+			t.Cells[bench.Name] = records[i].Cells
+		}
+	}
+	return t
+}
+
 // EMIBenchmarkCampaign reproduces §7.2: for each race-free benchmark and
 // each configuration, derive EMI-injected variants (substitutions on and
 // off, both optimization levels, several injection seeds and prunings),
@@ -80,132 +269,17 @@ type Table3 struct {
 // interpreter; a configuration that cannot reproduce it with an empty EMI
 // block scores "ng".
 func EMIBenchmarkCampaign(variantsPerBench int, seed int64, baseFuel int64) *Table3 {
-	cfgs := device.All()
-	// The Altera configurations are excluded, as in the paper (offline
-	// compilation did not integrate with the benchmark harness, §7.2).
-	var testCfgs []*device.Config
-	for _, c := range cfgs {
-		if c.ID != 20 && c.ID != 21 {
-			testCfgs = append(testCfgs, c)
-		}
-	}
-	t := &Table3{Cells: map[string]map[string]Table3Cell{}}
-	for _, b := range benchmarks.Racy() {
-		t.RacyExcluded = append(t.RacyExcluded, b.Name)
-	}
-	for _, cfg := range testCfgs {
-		t.Keys = append(t.Keys, cfg.Name())
-	}
-	ref := device.Reference()
-	for _, bench := range benchmarks.Clean() {
-		t.Benchmarks = append(t.Benchmarks, bench.Name)
-		row := map[string]Table3Cell{}
-		// The unmodified benchmark source is compiled once per
-		// (configuration, level); parse it a single time up front.
-		benchFE := device.DefaultFrontCache.Get(bench.Src)
-		// Reference expected output (empty EMI block == original kernel).
-		expected, ok := runBenchmarkOnce(ref, true, bench, benchFE, baseFuel)
-		if !ok {
-			continue // reference failure would be a harness bug; tests assert it
-		}
-		// Build the variant set once: per seed, substitutions on/off, with
-		// a pruning applied to half of them. Each variant source is shared
-		// by every (configuration, level) pair, so parse each one once.
-		type variant struct {
-			fe     *device.FrontEnd
-			subsOn bool
-		}
-		var variants []variant
-		for v := 0; v < variantsPerBench; v++ {
-			for _, subs := range []bool{false, true} {
-				src, err := injectedVariant(bench.Src, seed+int64(v)*31, subs, v%2 == 1)
-				if err != nil {
-					continue
-				}
-				variants = append(variants, variant{fe: device.DefaultFrontCache.Get(src), subsOn: subs})
-			}
-		}
-		type obs struct {
-			outcome device.Outcome
-			wrong   bool
-			subsOn  bool
-		}
-		type cellJob struct {
-			cfg *device.Config
-			opt bool
-			vi  int
-		}
-		var jobs []cellJob
-		for _, cfg := range testCfgs {
-			for _, opt := range []bool{false, true} {
-				for vi := range variants {
-					jobs = append(jobs, cellJob{cfg, opt, vi})
-				}
-			}
-		}
-		results := make([]obs, len(jobs))
-		workers := ExecWorkers(len(jobs))
-		parallelFor(len(jobs), func(i int) {
-			j := jobs[i]
-			out, okRun := runBenchmarkEMI(j.cfg, j.opt, bench, variants[j.vi].fe, baseFuel, workers)
-			o := obs{subsOn: variants[j.vi].subsOn}
-			o.outcome = out.Outcome
-			if out.Outcome == device.OK {
-				o.wrong = !oracle.Equal(out.Output, expected)
-			}
-			_ = okRun
-			results[i] = o
-		})
-		// Per configuration: first determine ng (empty block on that
-		// config disagrees with the expected output), then fold variant
-		// outcomes.
-		for _, cfg := range testCfgs {
-			ng := false
-			for _, opt := range []bool{false, true} {
-				out, okRun := runBenchmarkEMI(cfg, opt, bench, benchFE, baseFuel, ExecWorkers(1))
-				if !okRun || out.Outcome != device.OK || !oracle.Equal(out.Output, expected) {
-					ng = true
-				}
-			}
-			cell := Table3Cell{Outcome: T3OK}
-			if ng {
-				cell.Outcome = T3NG
-			}
-			raise := func(o Table3Outcome, subsOn bool) {
-				if o > cell.Outcome {
-					cell.Outcome = o
-					cell.SubsOn, cell.SubsOff = false, false
-				}
-				if o == cell.Outcome && (o == T3Crash || o == T3Wrong) {
-					if subsOn {
-						cell.SubsOn = true
-					} else {
-						cell.SubsOff = true
-					}
-				}
-			}
-			for i, j := range jobs {
-				if j.cfg != cfg {
-					continue
-				}
-				o := results[i]
-				switch {
-				case o.outcome == device.Timeout:
-					raise(T3TO, o.subsOn)
-				case o.outcome == device.Crash || o.outcome == device.BuildFailure:
-					// The paper folds build failures into "crash": online
-					// compilation makes them indistinguishable without
-					// extra per-benchmark work (§7.2 footnote 6).
-					raise(T3Crash, o.subsOn)
-				case o.outcome == device.OK && o.wrong:
-					raise(T3Wrong, o.subsOn)
-				}
-			}
-			row[cfg.Name()] = cell
-		}
-		t.Cells[bench.Name] = row
-	}
-	return t
+	return emiBenchmarkCampaign(campaign.Default, variantsPerBench, seed, baseFuel)
+}
+
+func emiBenchmarkCampaign(eng *campaign.Engine, variantsPerBench int, seed int64, baseFuel int64) *Table3 {
+	testCfgs := table3Configs()
+	clean := benchmarks.Clean()
+	records := make([]t3Record, len(clean))
+	campaign.Stream(len(clean), func(i, _ int) t3Record {
+		return table3Record(eng, testCfgs, clean[i], variantsPerBench, seed, baseFuel, len(clean))
+	}, func(i int, r t3Record) { records[i] = r })
+	return foldTable3(records)
 }
 
 // injectedVariant parses the benchmark source, injects EMI blocks
@@ -229,40 +303,6 @@ func injectedVariant(src string, seed int64, substitute, prune bool) (string, er
 		prog = pruned
 	}
 	return ast.Print(prog), nil
-}
-
-// runBenchmarkOnce runs the unmodified benchmark on a configuration and
-// returns its output.
-func runBenchmarkOnce(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, fe *device.FrontEnd, baseFuel int64) ([]uint64, bool) {
-	out, ok := runBenchmarkEMI(cfg, optimize, bench, fe, baseFuel, ExecWorkers(1))
-	if !ok || out.Outcome != device.OK {
-		return nil, false
-	}
-	return out.Output, true
-}
-
-// runBenchmarkEMI compiles and runs a benchmark front end (possibly EMI-
-// injected) on a configuration, wiring the host-initialized dead array
-// when the kernel declares one. workers is the per-launch work-group
-// fan-out budget (ExecWorkers).
-func runBenchmarkEMI(cfg *device.Config, optimize bool, bench *benchmarks.Benchmark, fe *device.FrontEnd, baseFuel int64, workers int) (device.RunResult, bool) {
-	cr := cfg.CompileFrontEnd(fe, optimize)
-	if cr.Outcome != device.OK {
-		return device.RunResult{Outcome: cr.Outcome, Msg: cr.Msg}, true
-	}
-	args, result := bench.MakeArgs()
-	// The §5 host-side protocol: dead[j] = j keeps every EMI block dead.
-	for _, p := range cr.Kernel.Prog.Kernel().Params {
-		if p.Name == "dead" {
-			dead := exec.NewBuffer(cltypes.TInt, 16)
-			for i := 0; i < 16; i++ {
-				dead.SetScalar(i, uint64(i))
-			}
-			args["dead"] = exec.Arg{Buf: dead}
-		}
-	}
-	rr := cr.Kernel.Run(bench.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
-	return rr, true
 }
 
 // RenderTable3 formats the campaign like the paper's Table 3.

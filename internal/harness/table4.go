@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/generator"
 	"clfuzz/internal/oracle"
@@ -46,12 +47,41 @@ func AboveThresholdConfigs() []*device.Config {
 	return out
 }
 
-// CLsmithCampaign reproduces §7.3: for each mode, generate perMode kernels
-// accepted by the generating configuration (1+), run them across the
-// above-threshold configurations at both optimization levels, and tally
-// outcomes with majority-vote wrong-code classification.
-func CLsmithCampaign(perMode int, seed int64, maxThreads int, baseFuel int64) *Table4 {
-	cfgs := AboveThresholdConfigs()
+// t4Record is one kernel's shard record: its observations over the
+// above-threshold configuration matrix.
+type t4Record struct {
+	Results []t1Result `json:"results"`
+}
+
+// table4Kernels regenerates the campaign's accepted kernel list, one
+// slice per mode, deterministically from the campaign parameters. Every
+// shard recomputes it (the acceptance filter is execution-backed and so
+// must run everywhere), but the result cache makes the campaign proper
+// reuse the acceptance runs.
+func table4Kernels(eng *campaign.Engine, perMode int, seed int64, maxThreads int, baseFuel int64) [][]*generator.Kernel {
+	out := make([][]*generator.Kernel, len(generator.Modes))
+	for mi, mode := range generator.Modes {
+		out[mi] = generateAccepted(eng, mode, perMode, seed+int64(mi)*1000003, maxThreads, nil, baseFuel)
+	}
+	return out
+}
+
+// table4Record runs case i (mode-major over the accepted kernels).
+func table4Record(eng *campaign.Engine, cfgs []*device.Config, kernels [][]*generator.Kernel, perMode int, baseFuel int64, i, width int) t4Record {
+	mi, ki := i/perMode, i%perMode
+	k := kernels[mi][ki]
+	c := CaseFromKernel(k, fmt.Sprintf("%s-%d", generator.Modes[mi], ki))
+	rs := eng.RunMatrix(matrixFor(cfgs, c, baseFuel), width)
+	rec := t4Record{Results: make([]t1Result, len(rs))}
+	for j, r := range rs {
+		rec.Results[j] = t1Result{Key: r.Key, Outcome: int(r.Outcome), Output: r.Output}
+	}
+	return rec
+}
+
+// foldTable4 tallies the per-mode outcome cells from the per-kernel
+// records (in case order), with majority-vote wrong-code classification.
+func foldTable4(cfgs []*device.Config, perMode int, records []t4Record) *Table4 {
 	t := &Table4{
 		PerMode: map[generator.Mode]map[string]*ModeStats{},
 		Tests:   map[generator.Mode]int{},
@@ -64,21 +94,18 @@ func CLsmithCampaign(perMode int, seed int64, maxThreads int, baseFuel int64) *T
 		for _, k := range t.Keys {
 			cell[k] = &ModeStats{}
 		}
-		kernels := GenerateAccepted(mode, perMode, seed+int64(mi)*1000003, maxThreads, nil, baseFuel)
-		t.Tests[mode] = len(kernels)
-		type kernelResults struct{ rs []oracle.Result }
-		all := make([]kernelResults, len(kernels))
-		parallelFor(len(kernels), func(i int) {
-			c := CaseFromKernel(kernels[i], fmt.Sprintf("%s-%d", mode, i))
-			fe := device.DefaultFrontCache.Get(c.Src)
-			all[i] = kernelResults{rs: runEverywhereFE(cfgs, fe, c, baseFuel, len(kernels))}
-		})
-		for _, kr := range all {
+		for ki := 0; ki < perMode; ki++ {
+			rec := records[mi*perMode+ki]
+			t.Tests[mode]++
+			results := make([]oracle.Result, len(rec.Results))
+			for i, r := range rec.Results {
+				results[i] = oracle.Result{Key: r.Key, Outcome: device.Outcome(r.Outcome), Output: r.Output}
+			}
 			wrong := map[string]bool{}
-			for _, k := range oracle.WrongCode(kr.rs) {
+			for _, k := range oracle.WrongCode(results) {
 				wrong[k] = true
 			}
-			for _, r := range kr.rs {
+			for _, r := range results {
 				st := cell[r.Key]
 				if st == nil {
 					continue
@@ -102,6 +129,25 @@ func CLsmithCampaign(perMode int, seed int64, maxThreads int, baseFuel int64) *T
 		t.PerMode[mode] = cell
 	}
 	return t
+}
+
+// CLsmithCampaign reproduces §7.3: for each mode, generate perMode kernels
+// accepted by the generating configuration (1+), run them across the
+// above-threshold configurations at both optimization levels, and tally
+// outcomes with majority-vote wrong-code classification.
+func CLsmithCampaign(perMode int, seed int64, maxThreads int, baseFuel int64) *Table4 {
+	return clsmithCampaign(campaign.Default, perMode, seed, maxThreads, baseFuel)
+}
+
+func clsmithCampaign(eng *campaign.Engine, perMode int, seed int64, maxThreads int, baseFuel int64) *Table4 {
+	cfgs := AboveThresholdConfigs()
+	kernels := table4Kernels(eng, perMode, seed, maxThreads, baseFuel)
+	n := len(generator.Modes) * perMode
+	records := make([]t4Record, n)
+	campaign.Stream(n, func(i, _ int) t4Record {
+		return table4Record(eng, cfgs, kernels, perMode, baseFuel, i, n)
+	}, func(i int, r t4Record) { records[i] = r })
+	return foldTable4(cfgs, perMode, records)
 }
 
 // RenderTable4 formats the campaign like the paper's Table 4.

@@ -5,8 +5,10 @@ import (
 	"strings"
 
 	"clfuzz/internal/ast"
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/emi"
+	"clfuzz/internal/exec"
 	"clfuzz/internal/generator"
 	"clfuzz/internal/oracle"
 	"clfuzz/internal/parser"
@@ -32,10 +34,152 @@ type Table5 struct {
 	PruningDefects []int
 }
 
-// variantResult is one (variant, configuration, level) observation.
-type variantResult struct {
-	outcome device.Outcome
-	output  []uint64
+// t5Record is one base's shard record: its per-key contribution to the
+// Table 5 counters (0/1 flags) plus the per-grid-index defect counts.
+type t5Record struct {
+	PerKey  map[string]Table5Stats `json:"per_key"`
+	Pruning []int                  `json:"pruning"`
+}
+
+// table5Record derives base i's 40-variant pruning grid, runs every
+// (variant, configuration, level) unit through the campaign engine —
+// units sharing a printed source and a defect model execute once, and
+// text shared with other bases or the acceptance runs hits the result
+// cache — and classifies the base.
+func table5Record(eng *campaign.Engine, cfgs []*device.Config, keys []string, base *generator.Kernel, baseFuel int64, width int) t5Record {
+	grid := emi.Grid()
+	rec := t5Record{PerKey: map[string]Table5Stats{}, Pruning: make([]int, len(grid))}
+	prog, err := parser.Parse(base.Src)
+	if err != nil {
+		return rec // cannot happen for generated kernels
+	}
+	// The variant sources are shared across configurations: parse each
+	// one exactly once and fan the front end out to every
+	// (configuration, level) unit. A failed pruning leaves the empty
+	// source, whose front end reports a parse error that every
+	// configuration counts as a build failure — the behaviour of the
+	// pre-cache harness.
+	variants := make([]string, len(grid))
+	for gi, po := range grid {
+		po.Seed = base.Seed*41 + int64(gi)
+		if vp, err := emi.Prune(prog, po); err == nil {
+			variants[gi] = ast.Print(vp)
+		}
+	}
+	var units []campaign.Unit
+	for gi := range variants {
+		for _, cfg := range cfgs {
+			units = append(units,
+				campaign.Unit{Src: gi, Cfg: cfg, Opt: false},
+				campaign.Unit{Src: gi, Cfg: cfg, Opt: true})
+		}
+	}
+	results := eng.RunMatrix(campaign.Matrix{
+		Name:     fmt.Sprintf("emi-base-%d", base.Seed),
+		Sources:  variants,
+		ND:       base.ND,
+		Buffers:  func(int) (exec.Args, *exec.Buffer) { return base.Buffers() },
+		BaseFuel: baseFuel,
+		Units:    units,
+	}, width)
+	// Classify per configuration-level.
+	perKey := map[string][]campaign.UnitResult{}
+	perKeyGrid := map[string][]int{}
+	for i, u := range units {
+		k := Key(u.Cfg, u.Opt)
+		perKey[k] = append(perKey[k], results[i])
+		perKeyGrid[k] = append(perKeyGrid[k], u.Src)
+	}
+	for _, k := range keys {
+		vs := perKey[k]
+		var st Table5Stats
+		var first []uint64
+		haveOK, wrong, bf, crash, to := false, false, false, false, false
+		for _, v := range vs {
+			switch v.Outcome {
+			case device.OK:
+				if !haveOK {
+					first, haveOK = v.Output, true
+				} else if !oracle.Equal(first, v.Output) {
+					wrong = true
+				}
+			case device.BuildFailure:
+				bf = true
+			case device.Crash:
+				crash = true
+			case device.Timeout:
+				to = true
+			}
+		}
+		if !haveOK {
+			st.BaseFails++
+			rec.PerKey[k] = st
+			continue
+		}
+		if wrong {
+			st.W++
+			// Strategy attribution: count the grid combinations whose
+			// variant deviated from the majority observed output.
+			majority := majorityOutput(vs)
+			for i, v := range vs {
+				if v.Outcome == device.OK && !oracle.Equal(majority, v.Output) {
+					rec.Pruning[perKeyGrid[k][i]]++
+				}
+			}
+		}
+		if bf {
+			st.BF++
+		}
+		if crash {
+			st.C++
+		}
+		if to {
+			st.TO++
+		}
+		if haveOK && !wrong && !bf && !crash && !to {
+			st.Stable++
+		}
+		rec.PerKey[k] = st
+	}
+	return rec
+}
+
+// foldTable5 sums the per-base records (in base order) into the table.
+func foldTable5(keys []string, bases int, records []t5Record) *Table5 {
+	grid := emi.Grid()
+	t := &Table5{PerKey: map[string]*Table5Stats{}, Keys: keys, Bases: bases, PruningDefects: make([]int, len(grid))}
+	for _, k := range keys {
+		t.PerKey[k] = &Table5Stats{}
+	}
+	for _, rec := range records {
+		for _, k := range keys {
+			st, ok := rec.PerKey[k]
+			if !ok {
+				continue
+			}
+			agg := t.PerKey[k]
+			agg.BaseFails += st.BaseFails
+			agg.W += st.W
+			agg.BF += st.BF
+			agg.C += st.C
+			agg.TO += st.TO
+			agg.Stable += st.Stable
+		}
+		for gi, n := range rec.Pruning {
+			if gi < len(t.PruningDefects) {
+				t.PruningDefects[gi] += n
+			}
+		}
+	}
+	return t
+}
+
+func table5Keys(cfgs []*device.Config) []string {
+	var keys []string
+	for _, cfg := range cfgs {
+		keys = append(keys, Key(cfg, false), Key(cfg, true))
+	}
+	return keys
 }
 
 // EMICampaign reproduces §7.4: generate base kernels in ALL mode with 1-5
@@ -44,159 +188,35 @@ type variantResult struct {
 // derive the 40-variant pruning grid per base, run every variant on every
 // above-threshold configuration at both levels, and classify per base.
 func EMICampaign(bases int, seed int64, maxThreads int, baseFuel int64) *Table5 {
-	cfgs := AboveThresholdConfigs()
-	grid := emi.Grid()
-	t := &Table5{PerKey: map[string]*Table5Stats{}, PruningDefects: make([]int, len(grid))}
-	for _, cfg := range cfgs {
-		t.Keys = append(t.Keys, Key(cfg, false), Key(cfg, true))
-	}
-	for _, k := range t.Keys {
-		t.PerKey[k] = &Table5Stats{}
-	}
-	baseKernels := generateEMIBases(bases, seed, maxThreads, baseFuel)
-	t.Bases = len(baseKernels)
-	for _, base := range baseKernels {
-		prog, err := parser.Parse(base.Src)
-		if err != nil {
-			continue // cannot happen for generated kernels
-		}
-		// The variant sources are shared across configurations: parse each
-		// one exactly once and fan the front end out to every
-		// (configuration, level) job.
-		variants := make([]string, len(grid))
-		variantFEs := make([]*device.FrontEnd, len(grid))
-		for gi, po := range grid {
-			po.Seed = base.Seed*41 + int64(gi)
-			if vp, err := emi.Prune(prog, po); err == nil {
-				variants[gi] = ast.Print(vp)
-			}
-			// A failed pruning leaves the empty source, whose front end
-			// reports a parse error that every configuration counts as a
-			// build failure — the behaviour of the pre-cache harness.
-			variantFEs[gi] = device.DefaultFrontCache.Get(variants[gi])
-		}
-		// Run all (variant, config, level) combinations in parallel.
-		type job struct {
-			gi  int
-			cfg *device.Config
-			opt bool
-		}
-		var jobs []job
-		for gi := range variants {
-			for _, cfg := range cfgs {
-				jobs = append(jobs, job{gi, cfg, false}, job{gi, cfg, true})
-			}
-		}
-		// Group (variant, configuration, level) jobs that share a defect
-		// model AND a variant source: their runs are deterministic
-		// replicas, so one execution serves every configuration with that
-		// model (see modelKey). Keying on the printed source rather than
-		// the grid index also memoizes results across EMI variants — two
-		// prunings that collapse to identical source (common for small
-		// bases and aggressive grids) run once, because every variant of a
-		// base shares the same launch geometry and argument factory.
-		type vKey struct {
-			src string
-			mk  modelKey
-		}
-		reps, follower := groupJobs(len(jobs), func(i int) vKey {
-			return vKey{variants[jobs[i].gi], jobModelKey(jobs[i].cfg, jobs[i].opt)}
-		})
-		results := make([]variantResult, len(jobs))
-		workers := ExecWorkers(len(reps))
-		parallelFor(len(reps), func(ri int) {
-			i := reps[ri]
-			j := jobs[i]
-			c := Case{Src: variants[j.gi], ND: base.ND, Buffers: base.Buffers}
-			r := runCase(j.cfg, j.opt, variantFEs[j.gi], c, baseFuel, workers)
-			results[i] = variantResult{outcome: r.Outcome, output: r.Output}
-		})
-		for i, r := range follower {
-			cp := results[r]
-			if cp.output != nil {
-				// Detach the follower's output so a future in-place
-				// mutation of one result cannot corrupt its replicas
-				// (mirrors runEverywhereFE).
-				cp.output = append([]uint64(nil), cp.output...)
-			}
-			results[i] = cp
-		}
-		// Classify per configuration-level.
-		perKey := map[string][]variantResult{}
-		perKeyGrid := map[string][]int{}
-		for i, j := range jobs {
-			k := Key(j.cfg, j.opt)
-			perKey[k] = append(perKey[k], results[i])
-			perKeyGrid[k] = append(perKeyGrid[k], j.gi)
-		}
-		for _, k := range t.Keys {
-			vs := perKey[k]
-			st := t.PerKey[k]
-			var first []uint64
-			haveOK, wrong, bf, crash, to := false, false, false, false, false
-			for _, v := range vs {
-				switch v.outcome {
-				case device.OK:
-					if !haveOK {
-						first, haveOK = v.output, true
-					} else if !oracle.Equal(first, v.output) {
-						wrong = true
-					}
-				case device.BuildFailure:
-					bf = true
-				case device.Crash:
-					crash = true
-				case device.Timeout:
-					to = true
-				}
-			}
-			if !haveOK {
-				st.BaseFails++
-				continue
-			}
-			if wrong {
-				st.W++
-				// Strategy attribution: count the grid combinations whose
-				// variant deviated from the first observed output.
-				majority := majorityOutput(vs)
-				for i, v := range vs {
-					if v.outcome == device.OK && !oracle.Equal(majority, v.output) {
-						t.PruningDefects[perKeyGrid[k][i]]++
-					}
-				}
-			}
-			if bf {
-				st.BF++
-			}
-			if crash {
-				st.C++
-			}
-			if to {
-				st.TO++
-			}
-			if haveOK && !wrong && !bf && !crash && !to {
-				st.Stable++
-			}
-		}
-	}
-	return t
+	return emiCampaign(campaign.Default, bases, seed, maxThreads, baseFuel)
 }
 
-func majorityOutput(vs []variantResult) []uint64 {
+func emiCampaign(eng *campaign.Engine, bases int, seed int64, maxThreads int, baseFuel int64) *Table5 {
+	cfgs := AboveThresholdConfigs()
+	keys := table5Keys(cfgs)
+	baseKernels := generateEMIBases(eng, bases, seed, maxThreads, baseFuel)
+	records := make([]t5Record, len(baseKernels))
+	campaign.Stream(len(baseKernels), func(i, _ int) t5Record {
+		return table5Record(eng, cfgs, keys, baseKernels[i], baseFuel, len(baseKernels))
+	}, func(i int, r t5Record) { records[i] = r })
+	return foldTable5(keys, len(baseKernels), records)
+}
+
+func majorityOutput(vs []campaign.UnitResult) []uint64 {
 	best := []uint64(nil)
 	bestN := 0
 	for i, v := range vs {
-		if v.outcome != device.OK {
+		if v.Outcome != device.OK {
 			continue
 		}
 		n := 0
 		for _, w := range vs {
-			if w.outcome == device.OK && oracle.Equal(v.output, w.output) {
+			if w.Outcome == device.OK && oracle.Equal(v.Output, w.Output) {
 				n++
 			}
 		}
 		if n > bestN {
-			best, bestN = vs[i].output, n
+			best, bestN = vs[i].Output, n
 		}
 	}
 	return best
@@ -205,8 +225,10 @@ func majorityOutput(vs []variantResult) []uint64 {
 // generateEMIBases produces base kernels per the §7.4 protocol: ALL mode
 // with 1-5 EMI blocks, accepted on config 1+, and kept only if inverting
 // the dead array changes the result (otherwise every EMI block was placed
-// at an already-dead point).
-func generateEMIBases(n int, seed int64, maxThreads int, baseFuel int64) []*generator.Kernel {
+// at an already-dead point). The straight acceptance run goes through the
+// campaign engine, so the campaign's unpruned variants reuse it via the
+// result cache.
+func generateEMIBases(eng *campaign.Engine, n int, seed int64, maxThreads int, baseFuel int64) []*generator.Kernel {
 	gen1 := device.ByID(1)
 	var out []*generator.Kernel
 	next := seed
@@ -220,34 +242,25 @@ func generateEMIBases(n int, seed int64, maxThreads int, baseFuel int64) []*gene
 			})
 			next++
 		}
-		keep := make([]bool, batch)
-		workers := ExecWorkers(batch)
-		parallelFor(batch, func(i int) {
+		campaign.Stream(batch, func(i, launch int) bool {
 			k := cands[i]
-			cr := gen1.Compile(k.Src, true)
-			if cr.Outcome != device.OK {
-				return
-			}
-			args, result := k.Buffers()
-			rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
+			opts := campaign.LaunchOptions{BaseFuel: baseFuel, Workers: launch}
+			rr := eng.RunCase(gen1, true, CaseFromKernel(k, ""), opts)
 			if rr.Outcome != device.OK {
-				return
+				return false
 			}
-			iargs, iresult := k.InvertedDeadBuffers()
-			ir := cr.Kernel.Run(k.ND, iargs, iresult, device.RunOptions{BaseFuel: baseFuel, Workers: workers})
+			ir := eng.RunCase(gen1, true, Case{Src: k.Src, ND: k.ND, Buffers: k.InvertedDeadBuffers}, opts)
 			if ir.Outcome != device.OK {
 				// Inversion makes the blocks live; divergence in outcome
 				// still proves the blocks are reachable when live.
-				keep[i] = true
-				return
+				return true
 			}
-			keep[i] = !oracle.Equal(rr.Output, ir.Output)
-		})
-		for i, ok := range keep {
+			return !oracle.Equal(rr.Output, ir.Output)
+		}, func(i int, ok bool) {
 			if ok && len(out) < n {
 				out = append(out, cands[i])
 			}
-		}
+		})
 	}
 	return out
 }
@@ -287,7 +300,6 @@ func RenderTable5(t *Table5) string {
 // defect-inducing variant counts aggregated by each pruning probability.
 func RenderPruningComparison(t *Table5) string {
 	grid := emi.Grid()
-	type agg struct{ leaf, compound, lift float64 }
 	var b strings.Builder
 	b.WriteString("EMI pruning strategy comparison (defect-inducing variants by strategy weight)\n")
 	sum := func(sel func(emi.PruneOpts) float64) float64 {
