@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -190,26 +191,22 @@ func main() {
 	measure("BenchmarkFigure2", bm, func(b *testing.B) { benchFigure(b, 2) })
 
 	if *tables {
-		measure("BenchmarkTable1", bm, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				harness.ClassifyConfigurations(*scale, 7, 48, 0)
+		// The table benchmarks drive harness.RenderCampaign — the same
+		// ctx-first path the cltables CLI and the fleet supervisor render
+		// through — so the perf trajectory tracks what production runs.
+		benchTable := func(p harness.Params) func(b *testing.B) {
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := harness.RenderCampaign(context.Background(), p); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
-		})
-		measure("BenchmarkTable3", bm, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				harness.EMIBenchmarkCampaign(2, 11, 0)
-			}
-		})
-		measure("BenchmarkTable4", bm, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				harness.CLsmithCampaign(*scale, 13, 48, 0)
-			}
-		})
-		measure("BenchmarkTable5", bm, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				harness.EMICampaign(*scale/2+1, 17, 48, 0)
-			}
-		})
+		}
+		measure("BenchmarkTable1", bm, benchTable(harness.Params{Table: 1, Scale: *scale, Seed: 7, Threads: 48}))
+		measure("BenchmarkTable3", bm, benchTable(harness.Params{Table: 3, Scale: 2, Seed: 11, Threads: 48}))
+		measure("BenchmarkTable4", bm, benchTable(harness.Params{Table: 4, Scale: *scale, Seed: 13, Threads: 48}))
+		measure("BenchmarkTable5", bm, benchTable(harness.Params{Table: 5, Scale: *scale/2 + 1, Seed: 17, Threads: 48}))
 	}
 
 	elapsed := time.Since(started).Seconds()

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -110,6 +111,12 @@ type Matrix struct {
 	Buffers  func(src int) (exec.Args, *exec.Buffer)
 	BaseFuel int64
 	Units    []Unit
+	// Ctx cancels the matrix cooperatively: representatives not yet
+	// launched when it fires report device.Canceled instead of executing.
+	// A record folded from a cancelled matrix is poisoned and must be
+	// dropped, which the shard driver does (see harness.RunShard). nil
+	// runs to completion.
+	Ctx context.Context
 }
 
 // Engine bundles the caches and counters one campaign substrate shares:
@@ -149,6 +156,11 @@ type LaunchOptions struct {
 	CheckRaces bool
 	// Engine forces the evaluation engine for this run.
 	Engine exec.Engine
+	// Ctx cancels the launch cooperatively: a cancelled context skips the
+	// compile/execute chain (or stops an in-flight execution at the next
+	// work-group boundary) and yields a device.Canceled result, which is
+	// never cached. nil runs to completion.
+	Ctx context.Context
 }
 
 // RunCase compiles and executes one case on one configuration at one
@@ -179,6 +191,9 @@ func (e *Engine) frontEnd(src string) *device.FrontEnd {
 // every campaign launch.
 func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd, nd exec.NDRange, buffers func() (exec.Args, *exec.Buffer), o LaunchOptions) UnitResult {
 	key := Key(cfg, optimize)
+	if o.Ctx != nil && o.Ctx.Err() != nil {
+		return UnitResult{Key: key, Outcome: device.Canceled, Msg: "launch canceled"}
+	}
 	cr := cfg.CompileFrontEnd(fe, optimize)
 	if cr.Outcome != device.OK {
 		return UnitResult{Key: key, Outcome: cr.Outcome, Msg: cr.Msg, Compile: true}
@@ -201,9 +216,13 @@ func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd,
 		CheckRaces: o.CheckRaces,
 		Workers:    o.Workers,
 		Engine:     o.Engine,
+		Ctx:        o.Ctx,
 	})
 	r := UnitResult{Key: key, Outcome: rr.Outcome, Msg: rr.Msg, Output: rr.Output}
-	if cacheable {
+	// A cancelled launch observed an arbitrary prefix of the work; its
+	// result describes the cancellation, not the kernel, so it must never
+	// be memoized.
+	if cacheable && rr.Outcome != device.Canceled {
 		e.Results.put(rk, fe.Src, r)
 	}
 	return r
@@ -238,13 +257,17 @@ func (e *Engine) RunMatrix(m Matrix, width int) []UnitResult {
 	}
 	repWorkers := stageWorkers(width, len(reps))
 	launch := LaunchWorkers(width * repWorkers)
-	streamWith(repWorkers, len(reps), func(ri int) struct{} {
+	// The representative stage itself always runs to completion — every
+	// unit gets a result, so follower replication below stays total — but
+	// each unit consults m.Ctx before (and during) its launch and reports
+	// device.Canceled once the context fires.
+	streamWith(nil, repWorkers, len(reps), func(ri int) struct{} {
 		i := reps[ri]
 		u := m.Units[i]
 		src := u.Src
 		results[i] = e.runUnit(u.Cfg, u.Opt, fes[src], m.ND,
 			func() (exec.Args, *exec.Buffer) { return m.Buffers(src) },
-			LaunchOptions{BaseFuel: m.BaseFuel, Workers: launch})
+			LaunchOptions{BaseFuel: m.BaseFuel, Workers: launch, Ctx: m.Ctx})
 		return struct{}{}
 	}, func(int, struct{}) {})
 	for i, r := range follower {

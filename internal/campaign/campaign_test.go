@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -36,7 +38,7 @@ func TestStreamOrderedMerge(t *testing.T) {
 	const n = 500
 	var next int
 	var calls atomic.Int64
-	Stream(n, func(i, launch int) int {
+	Stream(nil, n, func(i, launch int) int {
 		if launch < 1 {
 			t.Errorf("launch budget %d", launch)
 		}
@@ -53,6 +55,43 @@ func TestStreamOrderedMerge(t *testing.T) {
 	})
 	if next != n || calls.Load() != n {
 		t.Fatalf("next=%d calls=%d, want %d", next, calls.Load(), n)
+	}
+}
+
+// TestStreamCancellation: a cancelled stream stops dispatching new work
+// and the sink still receives a contiguous, exactly-once prefix — the
+// invariant the shard resume path depends on.
+func TestStreamCancellation(t *testing.T) {
+	const n = 200
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	var delivered []int
+	Stream(ctx, n, func(i, _ int) int {
+		if i == 10 {
+			once.Do(cancel)
+		}
+		return i
+	}, func(i, r int) {
+		if i != r {
+			t.Fatalf("sink saw %d for index %d", r, i)
+		}
+		delivered = append(delivered, i)
+	})
+	if len(delivered) == n {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+	for want, got := range delivered {
+		if got != want {
+			t.Fatalf("delivered prefix not contiguous: position %d holds %d", want, got)
+		}
+	}
+	// A pre-cancelled context delivers nothing.
+	done, doneCancel := context.WithCancel(context.Background())
+	doneCancel()
+	ran := false
+	Stream(done, n, func(i, _ int) int { ran = true; return i }, func(int, int) { ran = true })
+	if ran {
+		t.Fatal("pre-cancelled stream still ran work")
 	}
 }
 
@@ -223,6 +262,29 @@ func TestRunMatrixDedupAndOrder(t *testing.T) {
 	rs[2].Output[0] ^= 1
 	if rs[0].Output[0] == rs[2].Output[0] {
 		t.Fatal("follower output aliases the representative's")
+	}
+}
+
+// TestCanceledLaunchNeverCached: a cancelled launch describes the
+// cancellation, not the kernel — it must yield device.Canceled and must
+// never populate the result cache.
+func TestCanceledLaunchNeverCached(t *testing.T) {
+	eng := &Engine{Front: device.NewFrontCache(16), Results: NewResultCache(64)}
+	cfg := device.Reference()
+	c := testCase("cancel")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := eng.RunCase(cfg, true, c, LaunchOptions{Ctx: ctx})
+	if r.Outcome != device.Canceled {
+		t.Fatalf("outcome = %v, want Canceled", r.Outcome)
+	}
+	if _, _, size := eng.Results.Stats(); size != 0 {
+		t.Fatalf("cancelled launch populated the result cache (%d entries)", size)
+	}
+	// The same case without the dead context must run fresh and succeed.
+	r2 := eng.RunCase(cfg, true, c, LaunchOptions{})
+	if r2.Outcome != device.OK || r2.Cached {
+		t.Fatalf("fresh run after cancellation: %+v", r2)
 	}
 }
 

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -47,20 +48,32 @@ func stageWorkers(width, n int) int {
 // fan-out). sink runs on the calling goroutine; the queue between the
 // workers and the merge is bounded, so a slow sink backpressures the
 // workers instead of buffering the whole campaign.
-func Stream[R any](n int, work func(i, launch int) R, sink func(i int, r R)) {
+//
+// Cancelling ctx stops the dispatch of new case indices; cases already
+// in flight run to completion and still reach the sink, so a cancelled
+// stream delivers a contiguous, exactly-once prefix of the case list —
+// the invariant the shard resume path depends on. A nil ctx streams to
+// completion.
+func Stream[R any](ctx context.Context, n int, work func(i, launch int) R, sink func(i int, r R)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	launch := LaunchWorkers(workers)
-	streamWith(workers, n, func(i int) R { return work(i, launch) }, sink)
+	streamWith(ctx, workers, n, func(i int) R { return work(i, launch) }, sink)
 }
 
 // streamWith is Stream with an explicit worker count (RunMatrix budgets
 // its representative stage against the caller's width).
-func streamWith[R any](workers, n int, work func(i int) R, sink func(i int, r R)) {
+func streamWith[R any](ctx context.Context, workers, n int, work func(i int) R, sink func(i int, r R)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			sink(i, work(i))
 		}
 		return
@@ -85,8 +98,16 @@ func streamWith[R any](workers, n int, work func(i int) R, sink func(i int, r R)
 		}()
 	}
 	go func() {
+	dispatch:
 		for i := 0; i < n; i++ {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				// Stop handing out new cases; the workers drain what was
+				// already dispatched, so the merge still emits a clean,
+				// in-order prefix before the stream returns.
+				break dispatch
+			}
 		}
 		close(jobs)
 		wg.Wait()

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"os"
 
 	"clfuzz/internal/ast"
@@ -21,6 +22,11 @@ const (
 	BuildFailure
 	Crash
 	Timeout
+	// Canceled marks a launch stopped by cooperative cancellation (a
+	// supervisor deadline or SIGINT drain) before it finished. It is a
+	// scheduling outcome, not a test observation: campaigns drop such
+	// records rather than folding them into any table.
+	Canceled
 )
 
 // String returns the table abbreviation of the outcome.
@@ -34,6 +40,8 @@ func (o Outcome) String() string {
 		return "c"
 	case Timeout:
 		return "to"
+	case Canceled:
+		return "cancel"
 	}
 	return "?"
 }
@@ -189,6 +197,10 @@ type RunOptions struct {
 	// zero value) defers to DefaultEngine, under which lowered kernels
 	// run on the register VM. Outputs are byte-identical either way.
 	Engine exec.Engine
+	// Ctx cancels the launch cooperatively at work-group boundaries; a
+	// launch stopped this way reports the Canceled outcome. nil runs to
+	// completion.
+	Ctx context.Context
 }
 
 // Run executes the kernel over the NDRange. result names the output buffer
@@ -225,6 +237,7 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 		CheckRaces: ro.CheckRaces,
 		Code:       k.Code,
 		Engine:     engine,
+		Ctx:        ro.Ctx,
 		// Barrier-free kernels (the common case for generated tests) take
 		// the executor's goroutine-free sequential fast path.
 		NoBarrier: !k.Info.HasBarrier,
@@ -240,6 +253,8 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 	case nil:
 	case *exec.TimeoutError:
 		return RunResult{Outcome: Timeout, Msg: err.Error()}
+	case *exec.CancelError:
+		return RunResult{Outcome: Canceled, Msg: err.Error()}
 	case *exec.CrashError:
 		return RunResult{Outcome: Crash, Msg: err.Error()}
 	case *exec.RaceError, *exec.DivergenceError:

@@ -303,6 +303,9 @@ const (
 // including fuel-derived timeouts and every defect model — which the
 // determinism suites and FuzzLowerMatchesTree pin.
 func (t *thread) run() error {
+	if fn := faultHook.Load(); fn != nil {
+		(*fn)()
+	}
 	if t.m.code != nil {
 		return t.runVMKernel()
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -105,6 +106,10 @@ type Options struct {
 	// tree walker, EngineVM requests the VM (falling back to the tree
 	// walker when no lowered program was supplied).
 	Engine Engine
+	// Ctx cancels the launch cooperatively: Run consults it at work-group
+	// boundaries (never mid-thread, where fuel already bounds progress)
+	// and returns a *CancelError once it fires. nil runs to completion.
+	Ctx context.Context
 	// Stats, when non-nil, receives execution statistics.
 	Stats *Stats
 }
@@ -141,6 +146,15 @@ type CrashError struct{ Msg string }
 
 // Error implements the error interface.
 func (e *CrashError) Error() string { return "crash: " + e.Msg }
+
+// CancelError reports a launch stopped by Options.Ctx before it could
+// finish: a supervisor deadline, a SIGINT drain, or a worker-pool kill.
+// It is a scheduling outcome, not a property of the kernel, so callers
+// must never record it as a test observation.
+type CancelError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *CancelError) Error() string { return "canceled: " + e.Msg }
 
 // RaceError reports a detected data race (undefined behaviour).
 type RaceError struct{ Msg string }
@@ -311,6 +325,46 @@ func SetDebugImmutable(on bool) { debugImmutable.Store(on) }
 // fingerprint hashes the program's printed source.
 func fingerprint(prog *ast.Program) uint64 { return bugs.Hash(ast.Print(prog)) }
 
+// faultHook, when armed via SetFaultHook, runs at the start of every
+// thread's kernel execution. It exists so the panic-containment tests
+// (and fault-injection campaigns) can make the evaluator fail
+// deliberately without planting a defect in a real code path.
+var faultHook atomic.Pointer[func()]
+
+// SetFaultHook installs fn to be called at the start of every thread's
+// kernel execution — the deliberately failing "defect" used by the
+// panic-containment regression tests. nil uninstalls it.
+func SetFaultHook(fn func()) {
+	if fn == nil {
+		faultHook.Store(nil)
+		return
+	}
+	faultHook.Store(&fn)
+}
+
+// containPanic is the launch-boundary panic barrier: an evaluator panic
+// — an engine bug, a hostile defect hook, an out-of-range slab index —
+// is converted into a *CrashError verdict for the failure domain instead
+// of unwinding through the campaign worker and killing the whole
+// process. It mirrors the paper's treatment of compiler/driver crashes
+// as a first-class per-case outcome. Deliberate infrastructure panics
+// (the immutable-program assertion) are raised outside this barrier and
+// still propagate.
+func containPanic(dom *failDomain) {
+	if r := recover(); r != nil {
+		dom.fail(&CrashError{Msg: fmt.Sprintf("evaluator panic: %v", r)})
+	}
+}
+
+// ctxErr reports the cooperative-cancellation verdict for the launch
+// context, or nil. Checked only at work-group boundaries.
+func (m *Machine) ctxErr() error {
+	if ctx := m.opts.Ctx; ctx != nil && ctx.Err() != nil {
+		return &CancelError{Msg: ctx.Err().Error()}
+	}
+	return nil
+}
+
 // Run executes the kernel of prog over the NDRange with the given
 // arguments. It returns nil on success; buffers hold the results.
 //
@@ -318,7 +372,14 @@ func fingerprint(prog *ast.Program) uint64 { return bugs.Hash(ast.Print(prog)) }
 // the AST, so one program may be shared by any number of concurrent
 // launches and configurations. SetDebugImmutable arms a checked mode that
 // verifies this contract on every launch.
-func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
+//
+// Run never panics on an evaluator failure: panics raised while
+// executing the kernel (on this goroutine or any launch goroutine) are
+// contained at the launch boundary and returned as a *CrashError — the
+// per-case "crash" outcome class — so one broken case cannot abort a
+// million-case campaign. The immutable-program assertion is the one
+// deliberate exception: it fires outside the containment barrier.
+func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 	if debugImmutable.Load() {
 		before := fingerprint(prog)
 		defer func() {
@@ -327,6 +388,15 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 			}
 		}()
 	}
+	// Containment for panics on the calling goroutine (host-side global
+	// initialization, the serial and sequential execution paths).
+	// Installed after the immutability defer so the assertion still
+	// panics outward; launch goroutines carry their own containPanic.
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CrashError{Msg: fmt.Sprintf("evaluator panic: %v", r)}
+		}
+	}()
 	if err := nd.Validate(); err != nil {
 		return err
 	}
@@ -402,6 +472,9 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) error {
 	for gz := 0; gz < ng[2]; gz++ {
 		for gy := 0; gy < ng[1]; gy++ {
 			for gx := 0; gx < ng[0]; gx++ {
+				if cerr := m.ctxErr(); cerr != nil {
+					return cerr
+				}
 				m.runGroup([3]int{gx, gy, gz}, m.dom)
 				if m.dom.dead.Load() {
 					return m.dom.err
@@ -440,7 +513,17 @@ func (m *Machine) runGroupsParallel(numGroups, workers int) error {
 					return
 				}
 				dom := newFailDomain()
-				m.runGroup(m.nd.groupAt(i), dom)
+				if cerr := m.ctxErr(); cerr != nil {
+					dom.fail(cerr)
+				} else {
+					// Contain a panicking group without losing the pool
+					// worker: the group's domain records the crash and the
+					// remaining groups still execute.
+					func() {
+						defer containPanic(dom)
+						m.runGroup(m.nd.groupAt(i), dom)
+					}()
+				}
 				errs[i] = dom.err
 			}
 		}()
@@ -513,6 +596,18 @@ func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 				go func() {
 					defer wg.Done()
 					th := m.newThread(g, lid)
+					// Containment for a panic on this thread goroutine: the
+					// group gets a crash verdict and the thread retires from
+					// the barrier and the lockstep schedule exactly as the
+					// error path does, so its siblings drain instead of
+					// deadlocking on a vanished peer.
+					defer func() {
+						if r := recover(); r != nil {
+							g.bar.quitErr()
+							dom.fail(&CrashError{Msg: fmt.Sprintf("evaluator panic: %v", r)})
+							g.ls.finish(th.lidLinear())
+						}
+					}()
 					g.ls.waitTurn(th.lidLinear(), dom.abort)
 					err := th.run()
 					if st := m.opts.Stats; st != nil {

@@ -1,0 +1,181 @@
+// Package fault is the deterministic fault-injection knob behind the
+// CLFUZZ_FAULT environment variable: worker processes parse it at
+// startup and arrange to crash, hang or exit nonzero at a precise point
+// in their case stream, so the fleet supervisor's retry, timeout and
+// quarantine paths can be exercised reproducibly in tests and CI
+// without OS-level process roulette.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// EnvVar names the environment variable FromEnv reads.
+const EnvVar = "CLFUZZ_FAULT"
+
+// Mode is the kind of failure a Plan injects.
+type Mode int
+
+// Modes.
+const (
+	// None injects nothing (the zero Plan).
+	None Mode = iota
+	// Crash panics at the fault point — the in-process evaluator-panic
+	// path (contained by exec.Run's recovery) when reached through the
+	// executor hook, or an uncontained process abort when reached through
+	// the worker's case hook.
+	Crash
+	// Hang blocks forever at the fault point, exercising the
+	// supervisor's shard wall-clock timeout.
+	Hang
+	// Exit terminates the process with a nonzero status at the fault
+	// point.
+	Exit
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case Exit:
+		return "exit"
+	}
+	return "?"
+}
+
+// Plan is a parsed fault specification.
+type Plan struct {
+	Mode Mode
+	// After is the number of completed cases before the fault fires
+	// (fire on completion of case After+1's predecessor boundary; 0
+	// fires at the first opportunity).
+	After int
+	// Shard scopes the fault to one shard index; -1 applies everywhere.
+	Shard int
+	// Once is a latch file path: the fault fires only if the file does
+	// not yet exist, creating it as it fires. Retries of the same shard
+	// therefore succeed — the shape the supervisor's happy retry path
+	// needs.
+	Once string
+	// Code is the exit status for Exit mode (default 3).
+	Code int
+}
+
+// Parse parses a fault specification. The grammar is semicolon-
+// separated tokens: the first is the mode (crash, hang, exit), the rest
+// key=value options — after=K (completed-case threshold), shard=N
+// (scope to shard N), once=PATH (fire-once latch file), code=N (exit
+// status). An empty spec yields the zero Plan (no fault).
+//
+//	CLFUZZ_FAULT="crash;after=2;shard=1;once=/tmp/latch"
+func Parse(spec string) (Plan, error) {
+	p := Plan{Shard: -1, Code: 3}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Plan{Shard: -1}, nil
+	}
+	toks := strings.Split(spec, ";")
+	switch strings.TrimSpace(toks[0]) {
+	case "crash":
+		p.Mode = Crash
+	case "hang":
+		p.Mode = Hang
+	case "exit":
+		p.Mode = Exit
+	default:
+		return Plan{}, fmt.Errorf("fault: unknown mode %q (want crash, hang or exit)", toks[0])
+	}
+	for _, tok := range toks[1:] {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad option %q (want key=value)", tok)
+		}
+		switch key {
+		case "after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("fault: bad after=%q", val)
+			}
+			p.After = n
+		case "shard":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("fault: bad shard=%q", val)
+			}
+			p.Shard = n
+		case "once":
+			if val == "" {
+				return Plan{}, fmt.Errorf("fault: empty once= latch path")
+			}
+			p.Once = val
+		case "code":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Plan{}, fmt.Errorf("fault: bad code=%q", val)
+			}
+			p.Code = n
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown option %q", key)
+		}
+	}
+	return p, nil
+}
+
+// FromEnv parses CLFUZZ_FAULT; the empty variable yields the zero Plan.
+func FromEnv() (Plan, error) {
+	return Parse(os.Getenv(EnvVar))
+}
+
+// Active reports whether the plan injects anything.
+func (p Plan) Active() bool { return p.Mode != None }
+
+// Point is the fault point: called by a worker with its shard index and
+// completed-case count, it reports whether the fault fires here —
+// claiming the once-latch as a side effect. The caller then executes the
+// plan's mode (Fire does it for the process-level modes).
+func (p *Plan) Point(shard, done int) bool {
+	if p.Mode == None {
+		return false
+	}
+	if p.Shard >= 0 && shard != p.Shard {
+		return false
+	}
+	if done < p.After {
+		return false
+	}
+	if p.Once != "" {
+		// O_EXCL makes the latch claim atomic across racing workers.
+		f, err := os.OpenFile(p.Once, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return false
+		}
+		f.Close()
+	}
+	return true
+}
+
+// Fire executes the plan's process-level failure mode. It does not
+// return (Crash panics, Hang blocks forever, Exit exits).
+func (p *Plan) Fire() {
+	switch p.Mode {
+	case Crash:
+		panic(fmt.Sprintf("fault: injected crash (after=%d)", p.After))
+	case Hang:
+		select {}
+	case Exit:
+		fmt.Fprintf(os.Stderr, "fault: injected exit %d (after=%d)\n", p.Code, p.After)
+		os.Exit(p.Code)
+	}
+	panic("fault: Fire on inactive plan")
+}

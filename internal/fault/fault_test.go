@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		spec string
+		want Plan
+		bad  bool
+	}{
+		{spec: "", want: Plan{Shard: -1}},
+		{spec: "crash", want: Plan{Mode: Crash, Shard: -1, Code: 3}},
+		{spec: "hang", want: Plan{Mode: Hang, Shard: -1, Code: 3}},
+		{spec: "exit;code=7", want: Plan{Mode: Exit, Shard: -1, Code: 7}},
+		{spec: "crash;after=2;shard=1", want: Plan{Mode: Crash, After: 2, Shard: 1, Code: 3}},
+		{spec: "crash; after=2 ; shard=0", want: Plan{Mode: Crash, After: 2, Shard: 0, Code: 3}},
+		{spec: "crash;once=/tmp/latch", want: Plan{Mode: Crash, Shard: -1, Once: "/tmp/latch", Code: 3}},
+		{spec: "explode", bad: true},
+		{spec: "crash;after=x", bad: true},
+		{spec: "crash;after=-1", bad: true},
+		{spec: "crash;shard=-2", bad: true},
+		{spec: "exit;code=0", bad: true},
+		{spec: "crash;once=", bad: true},
+		{spec: "crash;bogus=1", bad: true},
+		{spec: "crash;after", bad: true},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.spec)
+		if tt.bad {
+			if err == nil {
+				t.Errorf("Parse(%q): want error, got %+v", tt.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.spec, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tt.spec, got, tt.want)
+		}
+	}
+}
+
+func TestPointScoping(t *testing.T) {
+	p := Plan{Mode: Crash, After: 2, Shard: 1}
+	if p.Point(0, 5) {
+		t.Error("fired on wrong shard")
+	}
+	if p.Point(1, 1) {
+		t.Error("fired before the after threshold")
+	}
+	if !p.Point(1, 2) {
+		t.Error("did not fire at the threshold on the scoped shard")
+	}
+	any := Plan{Mode: Hang, Shard: -1}
+	if !any.Point(7, 0) {
+		t.Error("unscoped plan did not fire")
+	}
+	none := Plan{Shard: -1}
+	if none.Point(0, 0) {
+		t.Error("inactive plan fired")
+	}
+}
+
+func TestOnceLatch(t *testing.T) {
+	latch := filepath.Join(t.TempDir(), "latch")
+	p := Plan{Mode: Exit, Shard: -1, Once: latch, Code: 3}
+	if !p.Point(0, 0) {
+		t.Fatal("first Point did not fire")
+	}
+	if p.Point(0, 0) {
+		t.Fatal("second Point fired despite the latch")
+	}
+}

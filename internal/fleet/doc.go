@@ -1,0 +1,27 @@
+// Package fleet is the fault-tolerant campaign supervisor: it
+// partitions a table campaign into clfuzz-shard/v1 slices, dispatches
+// each slice to an isolated worker process, and merges the results into
+// output byte-identical to a direct unsharded run.
+//
+// Process isolation is the containment boundary the in-process
+// campaign engine cannot provide: a worker that panics, deadlocks, is
+// OOM-killed or SIGKILLed costs one attempt of one shard, never the
+// campaign. The supervisor's lifecycle per shard is
+//
+//	dispatch → (success | failure) → retry with exponential backoff
+//	        → … → quarantine after 1+Retries failures
+//
+// with a per-attempt wall-clock timeout, speculative re-dispatch of the
+// last straggling shard (first valid result wins), and a checkpoint
+// directory from which both the supervisor (complete shards are skipped)
+// and the workers themselves (partial shards re-run only missing cases)
+// resume after an interruption.
+//
+// Quarantined shards surface in the merged table as failed cases — a
+// crash on every observation — so a partially-lost campaign still
+// renders, visibly degraded, instead of aborting.
+//
+// The deterministic executor makes all of this safe: every worker
+// computes bit-identical records for its cases, so retries, speculation
+// races and resumed partial files can never disagree about a result.
+package fleet

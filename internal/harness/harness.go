@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
@@ -54,8 +56,9 @@ func RunOnUncached(cfg *device.Config, optimize bool, c Case, baseFuel int64) or
 
 // matrixFor builds the standard differential-test matrix: one source,
 // every configuration at both optimization levels, in configuration
-// order with the unoptimized level first.
-func matrixFor(cfgs []*device.Config, c Case, baseFuel int64) campaign.Matrix {
+// order with the unoptimized level first. ctx (nil for run-to-
+// completion) cancels the matrix's launches cooperatively.
+func matrixFor(ctx context.Context, cfgs []*device.Config, c Case, baseFuel int64) campaign.Matrix {
 	units := make([]campaign.Unit, 0, 2*len(cfgs))
 	for _, cfg := range cfgs {
 		units = append(units, campaign.Unit{Cfg: cfg, Opt: false}, campaign.Unit{Cfg: cfg, Opt: true})
@@ -67,6 +70,7 @@ func matrixFor(cfgs []*device.Config, c Case, baseFuel int64) campaign.Matrix {
 		Buffers:  func(int) (exec.Args, *exec.Buffer) { return c.Buffers() },
 		BaseFuel: baseFuel,
 		Units:    units,
+		Ctx:      ctx,
 	}
 }
 
@@ -79,7 +83,7 @@ func RunEverywhere(cfgs []*device.Config, c Case, baseFuel int64) []oracle.Resul
 }
 
 func runEverywhereEng(eng *campaign.Engine, cfgs []*device.Config, c Case, baseFuel int64, width int) []oracle.Result {
-	rs := eng.RunMatrix(matrixFor(cfgs, c, baseFuel), width)
+	rs := eng.RunMatrix(matrixFor(nil, cfgs, c, baseFuel), width)
 	out := make([]oracle.Result, len(rs))
 	for i, r := range rs {
 		out[i] = r.AsOracle()
@@ -100,7 +104,7 @@ func RunEverywhereUncached(cfgs []*device.Config, c Case, baseFuel int64) []orac
 		jobs = append(jobs, job{cfg, false}, job{cfg, true})
 	}
 	results := make([]oracle.Result, len(jobs))
-	campaign.Stream(len(jobs), func(i, _ int) oracle.Result {
+	campaign.Stream(nil, len(jobs), func(i, _ int) oracle.Result {
 		return RunOnUncached(jobs[i].cfg, jobs[i].opt, c, baseFuel)
 	}, func(i int, r oracle.Result) { results[i] = r })
 	return results
@@ -140,7 +144,7 @@ func generateAccepted(eng *campaign.Engine, mode generator.Mode, n int, seed int
 			})
 			next++
 		}
-		campaign.Stream(batch, func(i, launch int) bool {
+		campaign.Stream(nil, batch, func(i, launch int) bool {
 			r := eng.RunCase(gen1, true, CaseFromKernel(cands[i], ""), campaign.LaunchOptions{
 				BaseFuel: baseFuel, Workers: launch,
 			})

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
@@ -39,7 +41,9 @@ type ShardRecord struct {
 
 // ShardFile is the machine-readable partial-results file `cltables
 // -shard i/n` emits: the campaign parameters, the total case count, and
-// this shard's records (cases with index % n == i).
+// this shard's records (cases with index % n == i). A shard file may be
+// partial — an interrupted worker flushes whatever cases completed — and
+// the resume path (ShardRunOptions.Prior) re-runs only the missing ones.
 type ShardFile struct {
 	Schema string `json:"schema"`
 	Params
@@ -49,13 +53,24 @@ type ShardFile struct {
 	Records []ShardRecord `json:"records"`
 }
 
+// Complete reports whether the file holds every case of its slice.
+func (sf *ShardFile) Complete() bool {
+	n := 0
+	for i := sf.Shard; i < sf.Cases; i += sf.Of {
+		n++
+	}
+	return len(sf.Records) == n
+}
+
 // shardCampaign adapts one table's case list, per-case runner and fold
 // to the shard driver. run returns the case's JSON-serializable record;
-// render folds records (complete, in case order) into the rendered
-// output.
+// failed synthesizes the record of a case whose worker was quarantined
+// (every observation a crash); render folds records (complete, in case
+// order) into the rendered output.
 type shardCampaign struct {
 	cases  int
-	run    func(i int) any
+	run    func(ctx context.Context, i int) any
+	failed func() any
 	render func(records []json.RawMessage) (string, error)
 }
 
@@ -70,9 +85,10 @@ func campaignFor(eng *campaign.Engine, p Params) (*shardCampaign, error) {
 		n := table1Cases(p.Scale)
 		return &shardCampaign{
 			cases: n,
-			run: func(i int) any {
-				return table1Record(eng, cfgs, p.Scale, p.Seed, p.Threads, p.BaseFuel, i, n)
+			run: func(ctx context.Context, i int) any {
+				return table1Record(ctx, eng, cfgs, p.Scale, p.Seed, p.Threads, p.BaseFuel, i, n)
 			},
+			failed: func() any { return table1Failed(cfgs) },
 			render: func(records []json.RawMessage) (string, error) {
 				recs, err := decodeRecords[t1Record](records)
 				if err != nil {
@@ -87,9 +103,10 @@ func campaignFor(eng *campaign.Engine, p Params) (*shardCampaign, error) {
 		variants := p.Scale/2 + 1
 		return &shardCampaign{
 			cases: len(clean),
-			run: func(i int) any {
-				return table3Record(eng, testCfgs, clean[i], variants, p.Seed, p.BaseFuel, len(clean))
+			run: func(ctx context.Context, i int) any {
+				return table3Record(ctx, eng, testCfgs, clean[i], variants, p.Seed, p.BaseFuel, len(clean))
 			},
+			failed: func() any { return table3Failed(testCfgs) },
 			render: func(records []json.RawMessage) (string, error) {
 				recs, err := decodeRecords[t3Record](records)
 				if err != nil {
@@ -109,9 +126,10 @@ func campaignFor(eng *campaign.Engine, p Params) (*shardCampaign, error) {
 		n := len(generator.Modes) * p.Scale
 		return &shardCampaign{
 			cases: n,
-			run: func(i int) any {
-				return table4Record(eng, cfgs, kernels(), p.Scale, p.BaseFuel, i, n)
+			run: func(ctx context.Context, i int) any {
+				return table4Record(ctx, eng, cfgs, kernels(), p.Scale, p.BaseFuel, i, n)
 			},
+			failed: func() any { return table4Failed(cfgs) },
 			render: func(records []json.RawMessage) (string, error) {
 				recs, err := decodeRecords[t4Record](records)
 				if err != nil {
@@ -130,9 +148,10 @@ func campaignFor(eng *campaign.Engine, p Params) (*shardCampaign, error) {
 		})
 		return &shardCampaign{
 			cases: p.Scale,
-			run: func(i int) any {
-				return table5Record(eng, cfgs, keys, bases()[i], p.BaseFuel, p.Scale)
+			run: func(ctx context.Context, i int) any {
+				return table5Record(ctx, eng, cfgs, keys, bases()[i], p.BaseFuel, p.Scale)
 			},
+			failed: func() any { return table5Failed(keys) },
 			render: func(records []json.RawMessage) (string, error) {
 				recs, err := decodeRecords[t5Record](records)
 				if err != nil {
@@ -157,16 +176,50 @@ func decodeRecords[R any](records []json.RawMessage) ([]R, error) {
 	return out, nil
 }
 
+// CampaignCases returns the total case count of the campaign named by p
+// without executing anything — the shard supervisor sizes its partition
+// with it.
+func CampaignCases(p Params) (int, error) {
+	sc, err := campaignFor(campaign.Default, p)
+	if err != nil {
+		return 0, err
+	}
+	return sc.cases, nil
+}
+
+// ShardRunOptions tunes RunShard beyond the defaults.
+type ShardRunOptions struct {
+	// Prior resumes a partial shard file from an earlier, interrupted run
+	// of the identical slice: its records are reused and only the missing
+	// cases execute. Must match Params/Shard/Of exactly.
+	Prior *ShardFile
+	// OnCase, when non-nil, runs on the driver goroutine after each case
+	// completes (including reused prior cases, counted up front), with
+	// the completed and total case counts of this slice. The fault-
+	// injection knob and progress reporting hang off it.
+	OnCase func(done, total int)
+}
+
 // RunShard executes shard `shard` of `of` interleaved campaign slices
 // (cases with index % of == shard) and returns the partial-results file.
 // The case list itself — including execution-backed acceptance filtering
 // — is deterministic in Params, so every shard sees the identical list
 // and the merged output is byte-identical to an unsharded run.
-func RunShard(p Params, shard, of int) (*ShardFile, error) {
-	return runShard(campaign.Default, p, shard, of)
+//
+// Cancelling ctx stops dispatch cooperatively; RunShard then returns the
+// valid partial file holding every case that completed before the
+// cancellation, together with ctx's error. Feed that file back through
+// ShardRunOptions.Prior to resume.
+func RunShard(ctx context.Context, p Params, shard, of int) (*ShardFile, error) {
+	return runShard(ctx, campaign.Default, p, shard, of, ShardRunOptions{})
 }
 
-func runShard(eng *campaign.Engine, p Params, shard, of int) (*ShardFile, error) {
+// RunShardOpts is RunShard with resume and progress options.
+func RunShardOpts(ctx context.Context, p Params, shard, of int, o ShardRunOptions) (*ShardFile, error) {
+	return runShard(ctx, campaign.Default, p, shard, of, o)
+}
+
+func runShard(ctx context.Context, eng *campaign.Engine, p Params, shard, of int, o ShardRunOptions) (*ShardFile, error) {
 	if of < 1 || shard < 0 || shard >= of {
 		return nil, fmt.Errorf("harness: bad shard %d/%d", shard, of)
 	}
@@ -174,65 +227,215 @@ func runShard(eng *campaign.Engine, p Params, shard, of int) (*ShardFile, error)
 	if err != nil {
 		return nil, err
 	}
+	prior := map[int]json.RawMessage{}
+	if o.Prior != nil {
+		pf := o.Prior
+		if pf.Params != p || pf.Shard != shard || pf.Of != of || pf.Cases != sc.cases {
+			return nil, fmt.Errorf("harness: prior shard file is for %d/%d of a %d-case campaign %+v, not %d/%d of %d cases",
+				pf.Shard, pf.Of, pf.Cases, pf.Params, shard, of, sc.cases)
+		}
+		for _, r := range pf.Records {
+			prior[r.Index] = r.Data
+		}
+	}
 	var indices []int
+	var records []ShardRecord
 	for i := shard; i < sc.cases; i += of {
-		indices = append(indices, i)
+		if raw, ok := prior[i]; ok {
+			records = append(records, ShardRecord{Index: i, Data: raw})
+		} else {
+			indices = append(indices, i)
+		}
 	}
-	sf := &ShardFile{
-		Schema: ShardSchema, Params: p,
-		Cases: sc.cases, Shard: shard, Of: of,
-		Records: make([]ShardRecord, len(indices)),
-	}
+	total := len(indices) + len(records)
+	done := len(records)
 	type encoded struct {
 		raw json.RawMessage
 		err error
 	}
 	var encodeErr error
-	campaign.Stream(len(indices), func(i, _ int) encoded {
-		raw, err := json.Marshal(sc.run(indices[i]))
+	canceled := false
+	campaign.Stream(ctx, len(indices), func(i, _ int) encoded {
+		raw, err := json.Marshal(sc.run(ctx, indices[i]))
 		return encoded{raw, err}
 	}, func(i int, e encoded) {
 		// The sink runs on this goroutine; error collection needs no lock.
+		// Once the context has fired, any record still arriving may fold a
+		// matrix that was cancelled mid-launch (device.Canceled units) —
+		// drop it; the resume pass re-runs those cases. The Done-channel
+		// happens-before guarantees every poisoned record arrives after
+		// ctx.Err() is observable here, so none can slip into the file.
+		if canceled {
+			return
+		}
+		if ctx != nil && ctx.Err() != nil {
+			canceled = true
+			return
+		}
 		if e.err != nil && encodeErr == nil {
 			encodeErr = e.err
 		}
-		sf.Records[i] = ShardRecord{Index: indices[i], Data: e.raw}
+		records = append(records, ShardRecord{Index: indices[i], Data: e.raw})
+		done++
+		if o.OnCase != nil {
+			o.OnCase(done, total)
+		}
 	})
 	if encodeErr != nil {
 		return nil, encodeErr
 	}
+	sort.Slice(records, func(a, b int) bool { return records[a].Index < records[b].Index })
+	sf := &ShardFile{
+		Schema: ShardSchema, Params: p,
+		Cases: sc.cases, Shard: shard, Of: of,
+		Records: records,
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return sf, ctx.Err()
+	}
 	return sf, nil
+}
+
+// QuarantineShard synthesizes the shard file of a slice whose worker the
+// fleet supervisor quarantined after exhausting its retries: every case
+// of the slice reports the campaign's failed-case record (a crash on
+// every observation), so the merged table still covers the full
+// campaign and surfaces the loss instead of aborting.
+func QuarantineShard(p Params, shard, of int) (*ShardFile, error) {
+	if of < 1 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("harness: bad shard %d/%d", shard, of)
+	}
+	sc, err := campaignFor(campaign.Default, p)
+	if err != nil {
+		return nil, err
+	}
+	sf := &ShardFile{
+		Schema: ShardSchema, Params: p,
+		Cases: sc.cases, Shard: shard, Of: of,
+	}
+	for i := shard; i < sc.cases; i += of {
+		raw, err := json.Marshal(sc.failed())
+		if err != nil {
+			return nil, err
+		}
+		sf.Records = append(sf.Records, ShardRecord{Index: i, Data: raw})
+	}
+	return sf, nil
+}
+
+// ValidateShardFile checks a shard file's internal consistency: schema,
+// shard/of sanity, every record index in range and in the file's slice,
+// no duplicate indices, and well-formed record payloads. name labels the
+// file in errors (typically its path).
+func ValidateShardFile(sf *ShardFile, name string) error {
+	if sf.Schema != ShardSchema {
+		return fmt.Errorf("harness: %s: unknown shard schema %q (want %q)", name, sf.Schema, ShardSchema)
+	}
+	if sf.Of < 1 || sf.Shard < 0 || sf.Shard >= sf.Of {
+		return fmt.Errorf("harness: %s: bad shard %d/%d", name, sf.Shard, sf.Of)
+	}
+	if sf.Cases < 0 {
+		return fmt.Errorf("harness: %s: negative case count %d", name, sf.Cases)
+	}
+	seen := map[int]bool{}
+	for ri, r := range sf.Records {
+		if r.Index < 0 || r.Index >= sf.Cases {
+			return fmt.Errorf("harness: %s: record %d: index %d out of range (%d cases)", name, ri, r.Index, sf.Cases)
+		}
+		if r.Index%sf.Of != sf.Shard {
+			return fmt.Errorf("harness: %s: record %d: case %d does not belong to shard %d/%d", name, ri, r.Index, sf.Shard, sf.Of)
+		}
+		if seen[r.Index] {
+			return fmt.Errorf("harness: %s: case %d appears twice", name, r.Index)
+		}
+		seen[r.Index] = true
+		if len(r.Data) == 0 || !json.Valid(r.Data) {
+			return fmt.Errorf("harness: %s: record %d (case %d): truncated or corrupt payload", name, ri, r.Index)
+		}
+	}
+	return nil
+}
+
+// LoadShardFile reads and validates one shard file from disk. Errors
+// name the file: a truncated or corrupt file (a worker killed mid-write
+// without the atomic-rename discipline) is reported precisely rather
+// than surfacing as a confusing downstream merge failure.
+func LoadShardFile(path string) (*ShardFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sf ShardFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("harness: %s: truncated or corrupt shard file: %w", path, err)
+	}
+	if err := ValidateShardFile(&sf, path); err != nil {
+		return nil, err
+	}
+	return &sf, nil
 }
 
 // MergeShards validates that the shard files cover every case of one
 // campaign exactly once, folds their records in case order, and renders
 // the output — byte-identical to the unsharded run.
 func MergeShards(files []*ShardFile) (string, error) {
-	return mergeShards(campaign.Default, files)
+	return mergeShards(campaign.Default, files, nil)
 }
 
-func mergeShards(eng *campaign.Engine, files []*ShardFile) (string, error) {
+// MergeShardsNamed is MergeShards with per-file labels (paths, shard
+// descriptions) for error messages.
+func MergeShardsNamed(files []*ShardFile, names []string) (string, error) {
+	return mergeShards(campaign.Default, files, names)
+}
+
+// MergeShardPaths loads every named shard file and merges them; errors
+// identify the offending file (and case index) by name.
+func MergeShardPaths(paths []string) (string, error) {
+	files := make([]*ShardFile, len(paths))
+	for i, p := range paths {
+		sf, err := LoadShardFile(p)
+		if err != nil {
+			return "", err
+		}
+		files[i] = sf
+	}
+	return mergeShards(campaign.Default, files, paths)
+}
+
+// mergeShards folds the shard set. names labels the files in errors,
+// parallel to files; nil synthesizes positional labels.
+func mergeShards(eng *campaign.Engine, files []*ShardFile, names []string) (string, error) {
 	if len(files) == 0 {
 		return "", fmt.Errorf("harness: no shard files to merge")
 	}
+	name := func(i int) string {
+		if names != nil {
+			return names[i]
+		}
+		return fmt.Sprintf("shard[%d]", i)
+	}
 	first := files[0]
-	byIndex := map[int]json.RawMessage{}
-	for _, f := range files {
+	type origin struct {
+		data json.RawMessage
+		file int
+	}
+	byIndex := map[int]origin{}
+	for fi, f := range files {
 		if f.Schema != ShardSchema {
-			return "", fmt.Errorf("harness: unknown shard schema %q", f.Schema)
+			return "", fmt.Errorf("harness: %s: unknown shard schema %q", name(fi), f.Schema)
 		}
 		if f.Params != first.Params || f.Cases != first.Cases {
-			return "", fmt.Errorf("harness: shard parameters disagree: %+v (%d cases) vs %+v (%d cases)",
-				f.Params, f.Cases, first.Params, first.Cases)
+			return "", fmt.Errorf("harness: shard parameters disagree: %s has %+v (%d cases), %s has %+v (%d cases)",
+				name(fi), f.Params, f.Cases, name(0), first.Params, first.Cases)
 		}
 		for _, r := range f.Records {
 			if r.Index < 0 || r.Index >= f.Cases {
-				return "", fmt.Errorf("harness: record index %d out of range (%d cases)", r.Index, f.Cases)
+				return "", fmt.Errorf("harness: %s: record index %d out of range (%d cases)", name(fi), r.Index, f.Cases)
 			}
-			if _, dup := byIndex[r.Index]; dup {
-				return "", fmt.Errorf("harness: case %d appears in more than one shard", r.Index)
+			if prev, dup := byIndex[r.Index]; dup {
+				return "", fmt.Errorf("harness: case %d appears in both %s and %s", r.Index, name(prev.file), name(fi))
 			}
-			byIndex[r.Index] = r.Data
+			byIndex[r.Index] = origin{r.Data, fi}
 		}
 	}
 	if len(byIndex) != first.Cases {
@@ -257,7 +460,7 @@ func mergeShards(eng *campaign.Engine, files []*ShardFile) (string, error) {
 	}
 	records := make([]json.RawMessage, first.Cases)
 	for i := range records {
-		records[i] = byIndex[i]
+		records[i] = byIndex[i].data
 	}
 	return sc.render(records)
 }
@@ -265,14 +468,14 @@ func mergeShards(eng *campaign.Engine, files []*ShardFile) (string, error) {
 // RenderCampaign runs the whole campaign unsharded and renders its
 // output. It is literally a one-shard run followed by a merge, so the
 // sharded and unsharded paths cannot diverge.
-func RenderCampaign(p Params) (string, error) {
-	return renderCampaign(campaign.Default, p)
+func RenderCampaign(ctx context.Context, p Params) (string, error) {
+	return renderCampaign(ctx, campaign.Default, p)
 }
 
-func renderCampaign(eng *campaign.Engine, p Params) (string, error) {
-	sf, err := runShard(eng, p, 0, 1)
+func renderCampaign(ctx context.Context, eng *campaign.Engine, p Params) (string, error) {
+	sf, err := runShard(ctx, eng, p, 0, 1, ShardRunOptions{})
 	if err != nil {
 		return "", err
 	}
-	return mergeShards(eng, []*ShardFile{sf})
+	return mergeShards(eng, []*ShardFile{sf}, nil)
 }

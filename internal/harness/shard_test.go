@@ -1,6 +1,11 @@
 package harness
 
 import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"clfuzz/internal/campaign"
@@ -37,19 +42,19 @@ func freshEngine(withResults bool) *campaign.Engine {
 func TestShardMergeDeterminism(t *testing.T) {
 	armImmutableAssert(t)
 	for _, p := range shardParams {
-		ref, err := renderCampaign(freshEngine(false), p)
+		ref, err := renderCampaign(nil, freshEngine(false), p)
 		if err != nil {
 			t.Fatalf("table %d reference: %v", p.Table, err)
 		}
 		cached := freshEngine(true)
-		got, err := renderCampaign(cached, p)
+		got, err := renderCampaign(nil, cached, p)
 		if err != nil {
 			t.Fatalf("table %d cached: %v", p.Table, err)
 		}
 		if got != ref {
 			t.Fatalf("table %d: result-cached output differs from the uncached reference:\n%s\n--- vs ---\n%s", p.Table, got, ref)
 		}
-		again, err := renderCampaign(cached, p)
+		again, err := renderCampaign(nil, cached, p)
 		if err != nil {
 			t.Fatalf("table %d rerun: %v", p.Table, err)
 		}
@@ -68,13 +73,13 @@ func TestShardMergeDeterminism(t *testing.T) {
 				// Each shard gets its own engine: shards run in separate
 				// processes in production, so nothing may leak between
 				// them for the merge to be byte-identical.
-				sf, err := runShard(freshEngine(true), p, s, shards)
+				sf, err := runShard(nil, freshEngine(true), p, s, shards, ShardRunOptions{})
 				if err != nil {
 					t.Fatalf("table %d shard %d/%d: %v", p.Table, s, shards, err)
 				}
 				files[s] = sf
 			}
-			merged, err := mergeShards(freshEngine(true), files)
+			merged, err := mergeShards(freshEngine(true), files, nil)
 			if err != nil {
 				t.Fatalf("table %d merge %d: %v", p.Table, shards, err)
 			}
@@ -86,30 +91,299 @@ func TestShardMergeDeterminism(t *testing.T) {
 }
 
 // TestShardMergeRejectsBadSets: incomplete, duplicated or mismatched
-// shard sets must be refused, not silently merged.
+// shard sets must be refused — with errors precise enough to name the
+// offending file and case — not silently merged.
 func TestShardMergeRejectsBadSets(t *testing.T) {
 	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
 	eng := freshEngine(true)
-	s0, err := runShard(eng, p, 0, 2)
+	s0, err := runShard(nil, eng, p, 0, 2, ShardRunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := runShard(eng, p, 1, 2)
+	s1, err := runShard(nil, eng, p, 1, 2, ShardRunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mergeShards(eng, []*ShardFile{s0}); err == nil {
-		t.Error("merge accepted an incomplete shard set")
-	}
-	if _, err := mergeShards(eng, []*ShardFile{s0, s0, s1}); err == nil {
-		t.Error("merge accepted a duplicated shard")
-	}
-	other := *s1
-	other.Seed = 8
-	if _, err := mergeShards(eng, []*ShardFile{s0, &other}); err == nil {
-		t.Error("merge accepted shards with mismatched parameters")
-	}
-	if _, err := runShard(eng, p, 2, 2); err == nil {
+	if _, err := runShard(nil, eng, p, 2, 2, ShardRunOptions{}); err == nil {
 		t.Error("runShard accepted an out-of-range shard index")
+	}
+	clone := func(sf *ShardFile) *ShardFile {
+		cp := *sf
+		cp.Records = append([]ShardRecord(nil), sf.Records...)
+		return &cp
+	}
+	tests := []struct {
+		name    string
+		files   func() []*ShardFile
+		labels  []string
+		wantErr []string // substrings the error must carry
+	}{
+		{
+			name:    "incomplete set",
+			files:   func() []*ShardFile { return []*ShardFile{s0} },
+			wantErr: []string{"missing cases"},
+		},
+		{
+			name:    "duplicated shard",
+			files:   func() []*ShardFile { return []*ShardFile{s0, s0, s1} },
+			labels:  []string{"a.json", "b.json", "c.json"},
+			wantErr: []string{"appears in both", "a.json", "b.json"},
+		},
+		{
+			name: "duplicate index across shards",
+			files: func() []*ShardFile {
+				bad := clone(s1)
+				bad.Records[0].Index = s0.Records[0].Index
+				return []*ShardFile{s0, bad}
+			},
+			labels:  []string{"good.json", "bad.json"},
+			wantErr: []string{"appears in both", "good.json", "bad.json"},
+		},
+		{
+			name: "mismatched parameters",
+			files: func() []*ShardFile {
+				other := clone(s1)
+				other.Seed = 8
+				return []*ShardFile{s0, other}
+			},
+			wantErr: []string{"parameters disagree"},
+		},
+		{
+			name: "mismatched schema",
+			files: func() []*ShardFile {
+				other := clone(s0)
+				other.Schema = "clfuzz-shard/v0"
+				return []*ShardFile{other, s1}
+			},
+			labels:  []string{"old.json", "new.json"},
+			wantErr: []string{"old.json", "unknown shard schema"},
+		},
+		{
+			name: "index out of range",
+			files: func() []*ShardFile {
+				bad := clone(s0)
+				bad.Records[0].Index = bad.Cases + 5
+				return []*ShardFile{bad, s1}
+			},
+			labels:  []string{"oob.json", "ok.json"},
+			wantErr: []string{"oob.json", "out of range"},
+		},
+	}
+	for _, tt := range tests {
+		_, err := mergeShards(eng, tt.files(), tt.labels)
+		if err == nil {
+			t.Errorf("%s: merge accepted the bad set", tt.name)
+			continue
+		}
+		for _, want := range tt.wantErr {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not mention %q", tt.name, err, want)
+			}
+		}
+	}
+}
+
+// TestValidateShardFile: per-file validation catches corruption a merge
+// would otherwise report confusingly (or not at all), naming the file.
+func TestValidateShardFile(t *testing.T) {
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	eng := freshEngine(true)
+	good, err := runShard(nil, eng, p, 0, 2, ShardRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateShardFile(good, "good.json"); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	mutate := func(fn func(sf *ShardFile)) *ShardFile {
+		cp := *good
+		cp.Records = append([]ShardRecord(nil), good.Records...)
+		fn(&cp)
+		return &cp
+	}
+	tests := []struct {
+		name    string
+		sf      *ShardFile
+		wantErr string
+	}{
+		{"bad schema", mutate(func(sf *ShardFile) { sf.Schema = "nope" }), "unknown shard schema"},
+		{"bad slice", mutate(func(sf *ShardFile) { sf.Shard = 2 }), "bad shard"},
+		{"index out of range", mutate(func(sf *ShardFile) { sf.Records[0].Index = sf.Cases }), "out of range"},
+		{"wrong slot", mutate(func(sf *ShardFile) { sf.Records[0].Index = 1 }), "does not belong to shard"},
+		{"duplicate case", mutate(func(sf *ShardFile) { sf.Records[1].Index = sf.Records[0].Index }), "appears twice"},
+		{"truncated payload", mutate(func(sf *ShardFile) { sf.Records[0].Data = json.RawMessage(`{"resul`) }), "truncated or corrupt payload"},
+		{"empty payload", mutate(func(sf *ShardFile) { sf.Records[0].Data = nil }), "truncated or corrupt payload"},
+	}
+	for _, tt := range tests {
+		err := ValidateShardFile(tt.sf, "f.json")
+		if err == nil {
+			t.Errorf("%s: accepted", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.wantErr)
+		}
+		if !strings.Contains(err.Error(), "f.json") {
+			t.Errorf("%s: error %q does not name the file", tt.name, err)
+		}
+	}
+}
+
+// TestLoadShardFile: on-disk corruption (a worker killed mid-write
+// without the atomic rename) is reported precisely, naming the file.
+func TestLoadShardFile(t *testing.T) {
+	dir := t.TempDir()
+	truncated := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(truncated, []byte(`{"schema":"clfuzz-shard/v1","records":[{"ind`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadShardFile(truncated)
+	if err == nil {
+		t.Fatal("loaded a truncated file")
+	}
+	if !strings.Contains(err.Error(), "truncated.json") || !strings.Contains(err.Error(), "truncated or corrupt") {
+		t.Fatalf("error %q does not identify the corrupt file", err)
+	}
+	if _, err := LoadShardFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("loaded an absent file")
+	}
+	// Round trip through MergeShardPaths.
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	eng := freshEngine(true)
+	var paths []string
+	for s := 0; s < 2; s++ {
+		sf, err := runShard(nil, eng, p, s, 2, ShardRunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "shard-"+string(rune('0'+s))+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	merged, err := MergeShardPaths(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := renderCampaign(nil, freshEngine(true), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != ref {
+		t.Fatal("MergeShardPaths output differs from the unsharded run")
+	}
+}
+
+// TestShardResume: a partial prior file is reused — only the missing
+// cases execute — and the result is byte-identical to a fresh run.
+func TestShardResume(t *testing.T) {
+	p := Params{Table: 4, Scale: 2, Seed: 99, Threads: 24}
+	full, err := runShard(nil, freshEngine(true), p, 0, 2, ShardRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) < 2 {
+		t.Fatalf("campaign too small for the test: %d records", len(full.Records))
+	}
+	partial := *full
+	partial.Records = append([]ShardRecord(nil), full.Records[:1]...)
+	var ran int
+	resumed, err := runShard(nil, freshEngine(true), p, 0, 2, ShardRunOptions{
+		Prior:  &partial,
+		OnCase: func(done, total int) { ran++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != len(full.Records)-1 {
+		t.Fatalf("resume ran %d cases, want %d (only the missing ones)", ran, len(full.Records)-1)
+	}
+	a, _ := json.Marshal(full)
+	b, _ := json.Marshal(resumed)
+	if string(a) != string(b) {
+		t.Fatalf("resumed shard differs from the fresh run:\n%s\nvs\n%s", a, b)
+	}
+	// A prior file from a different slice or campaign must be refused.
+	wrong := *full
+	wrong.Shard = 1
+	if _, err := runShard(nil, freshEngine(true), p, 0, 2, ShardRunOptions{Prior: &wrong}); err == nil {
+		t.Error("resume accepted a prior file from another slice")
+	}
+}
+
+// TestShardCancellation: a cancelled shard run returns ctx's error plus
+// a valid partial file that resumes to the byte-identical full result.
+func TestShardCancellation(t *testing.T) {
+	p := Params{Table: 4, Scale: 2, Seed: 99, Threads: 24}
+	full, err := runShard(nil, freshEngine(true), p, 0, 1, ShardRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var flushed *ShardFile
+	partial, err := runShard(ctx, freshEngine(true), p, 0, 1, ShardRunOptions{
+		OnCase: func(done, total int) {
+			if done == 1 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	flushed = partial
+	if flushed == nil {
+		t.Fatal("no partial file flushed on cancellation")
+	}
+	if len(flushed.Records) >= len(full.Records) {
+		t.Fatalf("cancelled run completed all %d cases", len(full.Records))
+	}
+	if err := ValidateShardFile(flushed, "partial"); err != nil {
+		t.Fatalf("partial file invalid: %v", err)
+	}
+	resumed, err := runShard(nil, freshEngine(true), p, 0, 1, ShardRunOptions{Prior: flushed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(full)
+	b, _ := json.Marshal(resumed)
+	if string(a) != string(b) {
+		t.Fatal("resume after cancellation diverged from the uninterrupted run")
+	}
+}
+
+// TestQuarantineShard: the synthesized all-crash shard merges with real
+// shards and covers exactly the quarantined slice.
+func TestQuarantineShard(t *testing.T) {
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	real0, err := runShard(nil, freshEngine(true), p, 0, 2, ShardRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := QuarantineShard(p, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateShardFile(q1, "quarantine"); err != nil {
+		t.Fatalf("quarantine shard invalid: %v", err)
+	}
+	if !q1.Complete() {
+		t.Fatal("quarantine shard does not cover its slice")
+	}
+	merged, err := mergeShards(freshEngine(true), []*ShardFile{real0, q1}, nil)
+	if err != nil {
+		t.Fatalf("merge with quarantined shard: %v", err)
+	}
+	ref, err := renderCampaign(nil, freshEngine(true), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == ref {
+		t.Fatal("quarantined cases left no trace in the rendered table")
 	}
 }

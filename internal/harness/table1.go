@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -73,10 +74,10 @@ func table1Cases(perMode int) int { return len(generator.Modes) * perMode }
 
 // table1Record runs case i's full configuration matrix through the
 // campaign engine (model-deduplicated, result-cached).
-func table1Record(eng *campaign.Engine, cfgs []*device.Config, perMode int, seed int64, maxThreads int, baseFuel int64, i, width int) t1Record {
+func table1Record(ctx context.Context, eng *campaign.Engine, cfgs []*device.Config, perMode int, seed int64, maxThreads int, baseFuel int64, i, width int) t1Record {
 	k := table1Kernel(perMode, seed, maxThreads, i)
 	c := CaseFromKernel(k, fmt.Sprintf("init-%d", i))
-	rs := eng.RunMatrix(matrixFor(cfgs, c, baseFuel), width)
+	rs := eng.RunMatrix(matrixFor(ctx, cfgs, c, baseFuel), width)
 	rec := t1Record{Results: make([]t1Result, len(rs))}
 	for j, r := range rs {
 		rec.Results[j] = t1Result{
@@ -84,6 +85,20 @@ func table1Record(eng *campaign.Engine, cfgs []*device.Config, perMode int, seed
 			Outcome:   int(r.Outcome),
 			Output:    r.Output,
 			CompileTO: r.Compile && r.Outcome == device.Timeout,
+		}
+	}
+	return rec
+}
+
+// table1Failed synthesizes the record of a case whose worker shard was
+// quarantined by the fleet supervisor: every (configuration, level)
+// observation reports a crash, so the fold counts the case against each
+// configuration instead of silently shrinking the campaign.
+func table1Failed(cfgs []*device.Config) t1Record {
+	rec := t1Record{Results: make([]t1Result, 0, 2*len(cfgs))}
+	for _, cfg := range cfgs {
+		for _, opt := range []bool{false, true} {
+			rec.Results = append(rec.Results, t1Result{Key: Key(cfg, opt), Outcome: int(device.Crash)})
 		}
 	}
 	return rec
@@ -157,8 +172,8 @@ func classifyConfigurations(eng *campaign.Engine, perMode int, seed int64, maxTh
 	cfgs := device.All()
 	n := table1Cases(perMode)
 	records := make([]t1Record, n)
-	campaign.Stream(n, func(i, _ int) t1Record {
-		return table1Record(eng, cfgs, perMode, seed, maxThreads, baseFuel, i, n)
+	campaign.Stream(nil, n, func(i, _ int) t1Record {
+		return table1Record(nil, eng, cfgs, perMode, seed, maxThreads, baseFuel, i, n)
 	}, func(i int, r t1Record) { records[i] = r })
 	return foldTable1(cfgs, records)
 }

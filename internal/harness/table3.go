@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -124,7 +125,7 @@ func benchBuffers(eng *campaign.Engine, bench *benchmarks.Benchmark, src string)
 // table3Record runs one benchmark's full EMI campaign — reference
 // expected output, empty-block "ng" checks, and the injected variant
 // matrix — and folds its row of cells.
-func table3Record(eng *campaign.Engine, testCfgs []*device.Config, bench *benchmarks.Benchmark, variantsPerBench int, seed int64, baseFuel int64, width int) t3Record {
+func table3Record(ctx context.Context, eng *campaign.Engine, testCfgs []*device.Config, bench *benchmarks.Benchmark, variantsPerBench int, seed int64, baseFuel int64, width int) t3Record {
 	ref := device.Reference()
 	// Build the variant set once: per seed, substitutions on/off, with
 	// a pruning applied to half of them. Each variant source is shared
@@ -179,6 +180,7 @@ func table3Record(eng *campaign.Engine, testCfgs []*device.Config, bench *benchm
 		Buffers:  func(src int) (exec.Args, *exec.Buffer) { return buffers[src]() },
 		BaseFuel: baseFuel,
 		Units:    units,
+		Ctx:      ctx,
 	}, width)
 	rec := t3Record{Cells: map[string]Table3Cell{}}
 	// Reference expected output (empty EMI block == original kernel). A
@@ -242,6 +244,16 @@ func table3Record(eng *campaign.Engine, testCfgs []*device.Config, bench *benchm
 	return rec
 }
 
+// table3Failed synthesizes a benchmark row whose worker shard was
+// quarantined: every configuration cell reports a crash.
+func table3Failed(testCfgs []*device.Config) t3Record {
+	rec := t3Record{Cells: map[string]Table3Cell{}}
+	for _, cfg := range testCfgs {
+		rec.Cells[cfg.Name()] = Table3Cell{Outcome: T3Crash}
+	}
+	return rec
+}
+
 // foldTable3 assembles the table from the per-benchmark records (in
 // benchmark order).
 func foldTable3(records []t3Record) *Table3 {
@@ -276,8 +288,8 @@ func emiBenchmarkCampaign(eng *campaign.Engine, variantsPerBench int, seed int64
 	testCfgs := table3Configs()
 	clean := benchmarks.Clean()
 	records := make([]t3Record, len(clean))
-	campaign.Stream(len(clean), func(i, _ int) t3Record {
-		return table3Record(eng, testCfgs, clean[i], variantsPerBench, seed, baseFuel, len(clean))
+	campaign.Stream(nil, len(clean), func(i, _ int) t3Record {
+		return table3Record(nil, eng, testCfgs, clean[i], variantsPerBench, seed, baseFuel, len(clean))
 	}, func(i int, r t3Record) { records[i] = r })
 	return foldTable3(records)
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,16 +68,22 @@ func table4Kernels(eng *campaign.Engine, perMode int, seed int64, maxThreads int
 }
 
 // table4Record runs case i (mode-major over the accepted kernels).
-func table4Record(eng *campaign.Engine, cfgs []*device.Config, kernels [][]*generator.Kernel, perMode int, baseFuel int64, i, width int) t4Record {
+func table4Record(ctx context.Context, eng *campaign.Engine, cfgs []*device.Config, kernels [][]*generator.Kernel, perMode int, baseFuel int64, i, width int) t4Record {
 	mi, ki := i/perMode, i%perMode
 	k := kernels[mi][ki]
 	c := CaseFromKernel(k, fmt.Sprintf("%s-%d", generator.Modes[mi], ki))
-	rs := eng.RunMatrix(matrixFor(cfgs, c, baseFuel), width)
+	rs := eng.RunMatrix(matrixFor(ctx, cfgs, c, baseFuel), width)
 	rec := t4Record{Results: make([]t1Result, len(rs))}
 	for j, r := range rs {
 		rec.Results[j] = t1Result{Key: r.Key, Outcome: int(r.Outcome), Output: r.Output}
 	}
 	return rec
+}
+
+// table4Failed synthesizes the record of a quarantined case: a crash on
+// every (configuration, level) observation.
+func table4Failed(cfgs []*device.Config) t4Record {
+	return t4Record{Results: table1Failed(cfgs).Results}
 }
 
 // foldTable4 tallies the per-mode outcome cells from the per-kernel
@@ -144,8 +151,8 @@ func clsmithCampaign(eng *campaign.Engine, perMode int, seed int64, maxThreads i
 	kernels := table4Kernels(eng, perMode, seed, maxThreads, baseFuel)
 	n := len(generator.Modes) * perMode
 	records := make([]t4Record, n)
-	campaign.Stream(n, func(i, _ int) t4Record {
-		return table4Record(eng, cfgs, kernels, perMode, baseFuel, i, n)
+	campaign.Stream(nil, n, func(i, _ int) t4Record {
+		return table4Record(nil, eng, cfgs, kernels, perMode, baseFuel, i, n)
 	}, func(i int, r t4Record) { records[i] = r })
 	return foldTable4(cfgs, perMode, records)
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,7 +47,7 @@ type t5Record struct {
 // units sharing a printed source and a defect model execute once, and
 // text shared with other bases or the acceptance runs hits the result
 // cache — and classifies the base.
-func table5Record(eng *campaign.Engine, cfgs []*device.Config, keys []string, base *generator.Kernel, baseFuel int64, width int) t5Record {
+func table5Record(ctx context.Context, eng *campaign.Engine, cfgs []*device.Config, keys []string, base *generator.Kernel, baseFuel int64, width int) t5Record {
 	grid := emi.Grid()
 	rec := t5Record{PerKey: map[string]Table5Stats{}, Pruning: make([]int, len(grid))}
 	prog, err := parser.Parse(base.Src)
@@ -81,6 +82,7 @@ func table5Record(eng *campaign.Engine, cfgs []*device.Config, keys []string, ba
 		Buffers:  func(int) (exec.Args, *exec.Buffer) { return base.Buffers() },
 		BaseFuel: baseFuel,
 		Units:    units,
+		Ctx:      ctx,
 	}, width)
 	// Classify per configuration-level.
 	perKey := map[string][]campaign.UnitResult{}
@@ -144,6 +146,16 @@ func table5Record(eng *campaign.Engine, cfgs []*device.Config, keys []string, ba
 	return rec
 }
 
+// table5Failed synthesizes the record of a quarantined base: every
+// configuration-level key counts it as crash-inducing.
+func table5Failed(keys []string) t5Record {
+	rec := t5Record{PerKey: map[string]Table5Stats{}, Pruning: make([]int, len(emi.Grid()))}
+	for _, k := range keys {
+		rec.PerKey[k] = Table5Stats{C: 1}
+	}
+	return rec
+}
+
 // foldTable5 sums the per-base records (in base order) into the table.
 func foldTable5(keys []string, bases int, records []t5Record) *Table5 {
 	grid := emi.Grid()
@@ -196,8 +208,8 @@ func emiCampaign(eng *campaign.Engine, bases int, seed int64, maxThreads int, ba
 	keys := table5Keys(cfgs)
 	baseKernels := generateEMIBases(eng, bases, seed, maxThreads, baseFuel)
 	records := make([]t5Record, len(baseKernels))
-	campaign.Stream(len(baseKernels), func(i, _ int) t5Record {
-		return table5Record(eng, cfgs, keys, baseKernels[i], baseFuel, len(baseKernels))
+	campaign.Stream(nil, len(baseKernels), func(i, _ int) t5Record {
+		return table5Record(nil, eng, cfgs, keys, baseKernels[i], baseFuel, len(baseKernels))
 	}, func(i int, r t5Record) { records[i] = r })
 	return foldTable5(keys, len(baseKernels), records)
 }
@@ -242,7 +254,7 @@ func generateEMIBases(eng *campaign.Engine, n int, seed int64, maxThreads int, b
 			})
 			next++
 		}
-		campaign.Stream(batch, func(i, launch int) bool {
+		campaign.Stream(nil, batch, func(i, launch int) bool {
 			k := cands[i]
 			opts := campaign.LaunchOptions{BaseFuel: baseFuel, Workers: launch}
 			rr := eng.RunCase(gen1, true, CaseFromKernel(k, ""), opts)
