@@ -89,8 +89,34 @@ type snapshot struct {
 	// CasesPerSec is campaign throughput over the whole run: cases
 	// completed per wall-clock second (compare only at equal CPUs,
 	// Engine and scale).
-	CasesPerSec float64            `json:"cases_per_sec,omitempty"`
-	Benchmarks  map[string]metrics `json:"benchmarks"`
+	CasesPerSec float64 `json:"cases_per_sec,omitempty"`
+	// Fuzz is the -fuzz section: the coverage-guided campaign's
+	// coverage-over-time series against the equal-budget pure-random
+	// baseline at the same seed (both deterministic, so the series are
+	// machine-independent facts, not measurements).
+	Fuzz       *fuzzStats         `json:"fuzz,omitempty"`
+	Benchmarks map[string]metrics `json:"benchmarks"`
+}
+
+// fuzzStats summarizes one guided-vs-random fuzz comparison.
+type fuzzStats struct {
+	Chains        int   `json:"chains"`
+	StepsPerChain int   `json:"steps_per_chain"`
+	Seed          int64 `json:"seed"`
+	// Edges and RandomEdges are the distinct VM edges reached by the
+	// coverage-guided campaign and the equal-budget pure-random baseline.
+	Edges       int `json:"edges"`
+	RandomEdges int `json:"random_edges"`
+	Corpus      int `json:"corpus"`
+	Mismatches  int `json:"mismatches"`
+	// Curve and RandomCurve are the cumulative distinct-edge counts after
+	// each case, in case order — the coverage-over-time series.
+	Curve       []int `json:"curve"`
+	RandomCurve []int `json:"random_curve"`
+	// Defect-trigger-site hit totals over the guided campaign.
+	DerefStoreHits uint64 `json:"deref_store_hits"`
+	ArrowStoreHits uint64 `json:"arrow_store_hits"`
+	DeadLoopHits   uint64 `json:"dead_loop_hits"`
 }
 
 func measure(name string, out map[string]metrics, fn func(b *testing.B)) {
@@ -106,6 +132,9 @@ func measure(name string, out map[string]metrics, fn func(b *testing.B)) {
 
 func main() {
 	tables := flag.Bool("tables", false, "also regenerate the Table 1/3/4/5 campaign benchmarks (slow)")
+	fuzzFlag := flag.Bool("fuzz", false,
+		"also run the coverage-guided fuzz campaign and its equal-budget pure-random baseline, recording the coverage-over-time series")
+	fuzzScale := flag.Int("fuzzscale", 15, "fuzz steps per chain for -fuzz")
 	scale := flag.Int("scale", 6, "campaign scale for the table benchmarks")
 	baselinePath := flag.String("baseline", "", "optional snapshot to compare against (prints speedups to stderr)")
 	engineFlag := flag.String("engine", "auto", "evaluation engine for every launch: vm, tree, or auto")
@@ -209,6 +238,41 @@ func main() {
 		measure("BenchmarkTable5", bm, benchTable(harness.Params{Table: 5, Scale: *scale/2 + 1, Seed: 17, Threads: 48}))
 	}
 
+	var fuzz *fuzzStats
+	if *fuzzFlag {
+		fp := harness.Params{Table: harness.FuzzTable, Scale: *fuzzScale, Seed: 23, Threads: 48, Chains: 4}
+		guided, err := harness.RunFuzzFold(context.Background(), fp)
+		if err == nil {
+			rp := fp
+			rp.Fresh = true
+			var random *harness.FuzzFold
+			random, err = harness.RunFuzzFold(context.Background(), rp)
+			if err == nil {
+				sites := guided.Cover.SiteHits()
+				fuzz = &fuzzStats{
+					Chains:         4,
+					StepsPerChain:  *fuzzScale,
+					Seed:           fp.Seed,
+					Edges:          guided.Cover.Count(),
+					RandomEdges:    random.Cover.Count(),
+					Corpus:         guided.CorpusTotal(),
+					Mismatches:     guided.Mismatches,
+					Curve:          guided.Curve,
+					RandomCurve:    random.Curve,
+					DerefStoreHits: sites[exec.CoverSiteDerefStore],
+					ArrowStoreHits: sites[exec.CoverSiteArrowStore],
+					DeadLoopHits:   sites[exec.CoverSiteDeadLoop],
+				}
+				fmt.Fprintf(os.Stderr, "%-28s %14d edges %12d random-edges %10d corpus\n",
+					"Fuzz", fuzz.Edges, fuzz.RandomEdges, fuzz.Corpus)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz:", err)
+			os.Exit(1)
+		}
+	}
+
 	elapsed := time.Since(started).Seconds()
 	fcHits, fcMisses, fcSize := device.DefaultFrontCache.Stats()
 	bcHits, bcMisses, bcSize := device.DefaultBackCache.Stats()
@@ -243,6 +307,7 @@ func main() {
 		CampaignCases:    cases,
 		CampaignLaunches: launches,
 		CasesPerSec:      casesPerSec,
+		Fuzz:             fuzz,
 		Benchmarks:       bm,
 	}
 	enc := json.NewEncoder(os.Stdout)

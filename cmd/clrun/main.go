@@ -35,6 +35,8 @@ func main() {
 		"evaluation engine: vm (register bytecode), tree (reference walker), or auto")
 	cacheStats := flag.Bool("cachestats", false,
 		"print compile-cache hit/miss counters (front-end parses, shared back-end kernels, bytecode lowering) and engine counters after the run")
+	cover := flag.Bool("cover", false,
+		"collect VM edge coverage and defect-site counters for the run and print them (outcome and outputs are unaffected; requires the vm engine path)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: clrun [flags] kernel.cl")
@@ -79,11 +81,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lowering:     %d programs lowered, %d tree fallbacks\n", lo, lf)
 		fmt.Fprintf(os.Stderr, "engine:       %d vm launches (%d instructions), %d tree launches\n", vmRuns, instrs, treeRuns)
 	}
+	var cov *exec.CoverMap
+	if *cover {
+		cov = new(exec.CoverMap)
+	}
+	printCover := func() {
+		if cov == nil {
+			return
+		}
+		sites := cov.SiteHits()
+		fmt.Fprintf(os.Stderr, "coverage:     %d distinct VM edges\n", cov.Count())
+		fmt.Fprintf(os.Stderr, "defect sites: deref-store=%d arrow-store=%d dead-loop=%d\n",
+			sites[exec.CoverSiteDerefStore], sites[exec.CoverSiteArrowStore], sites[exec.CoverSiteDeadLoop])
+	}
 	// The run goes through the shared campaign engine — the same
 	// front/back compile caches and cross-base result cache the table
 	// campaigns use, so -cachestats reports live counters.
 	rr := campaign.Default.RunCase(cfg, !*noopt, c, campaign.LaunchOptions{
-		CheckRaces: *races, Workers: *workers, Engine: engine,
+		CheckRaces: *races, Workers: *workers, Engine: engine, Cover: cov,
 	})
 	if rr.Compile {
 		fmt.Printf("outcome: %s\n%s\n", rr.Outcome, rr.Msg)
@@ -91,6 +106,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer printCacheStats()
+	defer printCover()
 	fmt.Printf("outcome: %s\n", rr.Outcome)
 	if rr.Msg != "" {
 		fmt.Println(rr.Msg)

@@ -4,6 +4,13 @@
 // Table 5 (CLsmith+EMI) and the Figure 1/2 bug exhibits. The campaign
 // sizes scale with -scale; ARCHITECTURE.md maps each table to its runner.
 //
+// -fuzz runs the coverage-guided fuzzing campaign instead: -chains
+// independent feedback chains of -scale steps each, ranked corpus, swarm
+// feature subsets and EMI/constant/operator/splice mutations, reporting
+// coverage-over-time alongside wrong-code mismatches (see ARCHITECTURE.md,
+// "Feedback loop"). It rides the same shard-record schema as the tables,
+// so -shard/-merge/-fleet compose with it unchanged.
+//
 // Campaigns shard across processes or machines: -shard i/n runs the i-th
 // of n interleaved campaign slices and emits a machine-readable
 // partial-results file, and -merge recombines the shard files into
@@ -21,6 +28,7 @@
 // Usage:
 //
 //	cltables -table 4 -scale 25
+//	cltables -fuzz -chains 4 -scale 50
 //	cltables -figure 2
 //	cltables -all -scale 10
 //	cltables -table 4 -scale 25 -shard 0/2 -out t4.shard0.json
@@ -56,7 +64,12 @@ func main() {
 	table := flag.Int("table", 0, "regenerate table 1-5")
 	figure := flag.Int("figure", 0, "regenerate figure 1 or 2 (bug exhibits)")
 	all := flag.Bool("all", false, "regenerate everything")
-	scale := flag.Int("scale", 10, "campaign size per unit (kernels per mode, EMI bases, ...)")
+	fuzz := flag.Bool("fuzz", false,
+		"run the coverage-guided fuzzing campaign instead of a paper table (-scale steps per chain); composes with -shard/-merge/-fleet")
+	chains := flag.Int("chains", 0, "independent fuzzing chains for -fuzz (default 4)")
+	fresh := flag.Bool("fresh", false,
+		"disable the -fuzz feedback loop: every step generates fresh (the equal-budget pure-random baseline)")
+	scale := flag.Int("scale", 10, "campaign size per unit (kernels per mode, EMI bases, fuzz steps per chain, ...)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	threads := flag.Int("threads", 64, "maximum thread count for generated kernels")
 	shard := flag.String("shard", "",
@@ -101,13 +114,20 @@ func main() {
 		return
 	}
 
+	if *fuzz {
+		if *table != 0 {
+			log.Fatal("-fuzz and -table are mutually exclusive")
+		}
+		*table = harness.FuzzTable
+	}
+
 	params := func(t int) harness.Params {
-		return harness.Params{Table: t, Scale: *scale, Seed: *seed, Threads: *threads}
+		return harness.Params{Table: t, Scale: *scale, Seed: *seed, Threads: *threads, Chains: *chains, Fresh: *fresh}
 	}
 
 	if *shard != "" {
 		if *table == 0 {
-			log.Fatal("-shard requires -table")
+			log.Fatal("-shard requires -table or -fuzz")
 		}
 		runWorker(ctx, params(*table), *shard, *out)
 		return
@@ -115,7 +135,7 @@ func main() {
 
 	if *fleetN > 0 {
 		if *table == 0 || *table == 2 {
-			log.Fatal("-fleet requires -table 1, 3, 4 or 5 (table 2 has no campaign)")
+			log.Fatal("-fleet requires -table 1, 3, 4 or 5, or -fuzz (table 2 has no campaign)")
 		}
 		if err := runFleet(ctx, params(*table), fleetOptions{
 			shards:      *fleetN,
@@ -265,6 +285,8 @@ func runFleet(ctx context.Context, p harness.Params, o fleetOptions) error {
 			"-scale", fmt.Sprint(p.Scale),
 			"-seed", fmt.Sprint(p.Seed),
 			"-threads", fmt.Sprint(p.Threads),
+			"-chains", fmt.Sprint(p.Chains),
+			"-fresh="+fmt.Sprint(p.Fresh),
 			"-engine", o.engine,
 			"-shard", fmt.Sprintf("%d/%d", shard, of),
 			"-out", outPath)

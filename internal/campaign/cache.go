@@ -23,6 +23,19 @@ type resultKey struct {
 	effOpt  bool
 	engine  exec.Engine
 	digest  uint64
+	// cover separates covered from uncovered launches: only entries
+	// written by a covered run carry the coverage delta a covered hit
+	// must replay, so the two populations never serve each other.
+	cover bool
+}
+
+// coverDelta is the coverage one launch contributed: the edge bits it set
+// and the defect-site hits it counted, memoized alongside the result so a
+// cache hit replays them (accumulated coverage is then independent of the
+// cache's hit/miss pattern).
+type coverDelta struct {
+	edges []uint32
+	sites [exec.CoverNumSites]uint64
 }
 
 type resultEntry struct {
@@ -30,6 +43,7 @@ type resultEntry struct {
 	// treated as a miss (collisions cost performance, never correctness).
 	src string
 	res UnitResult
+	cov coverDelta
 }
 
 // ResultCache is the bounded, concurrency-safe cross-base result memo:
@@ -61,14 +75,17 @@ func NewResultCache(capacity int) *ResultCache {
 	return &ResultCache{cap: capacity, entries: make(map[resultKey]resultEntry)}
 }
 
-// get returns a detached copy of the memoized result for the key.
-func (rc *ResultCache) get(k resultKey, src string) (UnitResult, bool) {
+// get returns a detached copy of the memoized result for the key, plus
+// the coverage delta the original launch contributed (empty for entries
+// written by uncovered runs, which only uncovered lookups can reach —
+// the key's cover bit separates the populations).
+func (rc *ResultCache) get(k resultKey, src string) (UnitResult, coverDelta, bool) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	e, ok := rc.entries[k]
 	if !ok || e.src != src {
 		rc.misses++
-		return UnitResult{}, false
+		return UnitResult{}, coverDelta{}, false
 	}
 	rc.hits++
 	r := e.res
@@ -76,12 +93,12 @@ func (rc *ResultCache) get(k resultKey, src string) (UnitResult, bool) {
 		r.Output = append([]uint64(nil), r.Output...)
 	}
 	r.Cached = true
-	return r, true
+	return r, e.cov, true
 }
 
 // put records a result under the key, detaching the output slice so
 // later caller mutations cannot corrupt the memo.
-func (rc *ResultCache) put(k resultKey, src string, r UnitResult) {
+func (rc *ResultCache) put(k resultKey, src string, r UnitResult, cov coverDelta) {
 	r.Cached = false
 	if r.Output != nil {
 		r.Output = append([]uint64(nil), r.Output...)
@@ -96,7 +113,7 @@ func (rc *ResultCache) put(k resultKey, src string, r UnitResult) {
 		rc.fifo = rc.fifo[1:]
 		delete(rc.entries, oldest)
 	}
-	rc.entries[k] = resultEntry{src: src, res: r}
+	rc.entries[k] = resultEntry{src: src, res: r, cov: cov}
 	rc.fifo = append(rc.fifo, k)
 }
 
@@ -111,7 +128,7 @@ func (rc *ResultCache) Stats() (hits, misses uint64, size int) {
 // the launch is not cacheable: any aggregate- or vector-element argument
 // buffer keeps per-element cell trees whose contents the digest does not
 // cover, so such launches always execute.
-func resultKeyFor(cfg *device.Config, optimize bool, fe *device.FrontEnd, nd exec.NDRange, args exec.Args, result *exec.Buffer, o LaunchOptions) (resultKey, bool) {
+func resultKeyFor(cfg *device.Config, optimize bool, fe *device.FrontEnd, nd exec.NDRange, args exec.Args, result *exec.Buffer, o LaunchOptions, cover bool) (resultKey, bool) {
 	engine := o.Engine
 	if engine == exec.EngineAuto {
 		engine = device.DefaultEngine
@@ -162,6 +179,7 @@ func resultKeyFor(cfg *device.Config, optimize bool, fe *device.FrontEnd, nd exe
 		effOpt:  optimize && !cfg.NoOptimizer,
 		engine:  engine,
 		digest:  d.h,
+		cover:   cover,
 	}, true
 }
 

@@ -126,6 +126,14 @@ type Matrix struct {
 type Engine struct {
 	Front   *device.FrontCache
 	Results *ResultCache
+	// Cover, when non-nil, accumulates edge coverage and defect-site hits
+	// across every launch this engine runs (LaunchOptions.Cover overrides
+	// it per call). Coverage accumulation is independent of the result
+	// cache: each covered launch collects into a private per-launch map
+	// whose delta is memoized alongside the result, and a cache hit
+	// replays the stored delta — so the accumulated map is byte-identical
+	// whatever the hit/miss pattern.
+	Cover *exec.CoverMap
 
 	cases    atomic.Int64
 	launches atomic.Int64
@@ -161,6 +169,11 @@ type LaunchOptions struct {
 	// work-group boundary) and yields a device.Canceled result, which is
 	// never cached. nil runs to completion.
 	Ctx context.Context
+	// Cover, when non-nil, receives this launch's edge coverage and
+	// defect-site hits (overriding the engine-wide Engine.Cover).
+	// Observation only: results are byte-identical with coverage on or
+	// off, and covered/uncovered runs never share result-cache entries.
+	Cover *exec.CoverMap
 }
 
 // RunCase compiles and executes one case on one configuration at one
@@ -198,17 +211,36 @@ func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd,
 	if cr.Outcome != device.OK {
 		return UnitResult{Key: key, Outcome: cr.Outcome, Msg: cr.Msg, Compile: true}
 	}
+	cover := o.Cover
+	if cover == nil {
+		cover = e.Cover
+	}
 	args, result := buffers()
 	var rk resultKey
 	cacheable := false
 	if e.Results != nil && !o.CheckRaces {
-		rk, cacheable = resultKeyFor(cfg, optimize, fe, nd, args, result, o)
+		rk, cacheable = resultKeyFor(cfg, optimize, fe, nd, args, result, o, cover != nil)
 		if cacheable {
-			if r, ok := e.Results.get(rk, fe.Src); ok {
+			if r, delta, ok := e.Results.get(rk, fe.Src); ok {
 				r.Key = key
+				if cover != nil {
+					// Replay the memoized launch's coverage delta, so the
+					// accumulated map does not depend on hit/miss patterns:
+					// edge bits OR idempotently and site counts are added
+					// exactly once per logical run.
+					cover.AddEdges(delta.edges)
+					cover.AddSites(delta.sites)
+				}
 				return r
 			}
 		}
+	}
+	// A covered launch collects into a private map first: the memoized
+	// delta must be this launch's coverage alone, not whatever the shared
+	// accumulator already held.
+	var launchCov *exec.CoverMap
+	if cover != nil {
+		launchCov = new(exec.CoverMap)
 	}
 	e.launches.Add(1)
 	rr := cr.Kernel.Run(nd, args, result, device.RunOptions{
@@ -217,13 +249,20 @@ func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd,
 		Workers:    o.Workers,
 		Engine:     o.Engine,
 		Ctx:        o.Ctx,
+		Cover:      launchCov,
 	})
 	r := UnitResult{Key: key, Outcome: rr.Outcome, Msg: rr.Msg, Output: rr.Output}
+	var delta coverDelta
+	if launchCov != nil {
+		delta = coverDelta{edges: launchCov.Edges(), sites: launchCov.SiteHits()}
+		cover.AddEdges(delta.edges)
+		cover.AddSites(delta.sites)
+	}
 	// A cancelled launch observed an arbitrary prefix of the work; its
 	// result describes the cancellation, not the kernel, so it must never
 	// be memoized.
 	if cacheable && rr.Outcome != device.Canceled {
-		e.Results.put(rk, fe.Src, r)
+		e.Results.put(rk, fe.Src, r, delta)
 	}
 	return r
 }

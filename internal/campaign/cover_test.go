@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"testing"
+
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
+)
+
+// coverCase branches on runtime values (the thread id), so its branches
+// survive constant folding and the VM has edges to report.
+func coverCase(name string) Case {
+	nd := exec.NDRange{Global: [3]int{8, 1, 1}, Local: [3]int{4, 1, 1}}
+	return Case{
+		Name: name,
+		Src: `
+kernel void k(global ulong *out) {
+    ulong id = get_linear_global_id();
+    ulong acc = 7;
+    for (ulong i = 0; i < id + 2UL; i++) {
+        acc = acc * 47UL + 3UL;
+        if ((acc & 1UL) == 1UL) { acc += 5UL; }
+    }
+    out[id] = acc;
+}
+`,
+		ND: nd,
+		Buffers: func() (exec.Args, *exec.Buffer) {
+			out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+			return exec.Args{"out": {Buf: out}}, out
+		},
+	}
+}
+
+// TestCoverageNeutralLaunch: a covered launch is byte-identical to an
+// uncovered one — coverage is observation only — while actually
+// populating the map.
+func TestCoverageNeutralLaunch(t *testing.T) {
+	eng := &Engine{Front: device.NewFrontCache(16), Results: NewResultCache(64)}
+	cfg := device.Reference()
+	plain := eng.RunCase(cfg, true, coverCase("plain"), LaunchOptions{})
+	cov := new(exec.CoverMap)
+	covered := eng.RunCase(cfg, true, coverCase("plain"), LaunchOptions{Cover: cov})
+	if covered.Outcome != plain.Outcome || covered.Msg != plain.Msg {
+		t.Fatalf("coverage changed the verdict: (%v, %q) vs (%v, %q)",
+			covered.Outcome, covered.Msg, plain.Outcome, plain.Msg)
+	}
+	if len(covered.Output) != len(plain.Output) {
+		t.Fatalf("coverage changed the output length: %d vs %d", len(covered.Output), len(plain.Output))
+	}
+	for i := range plain.Output {
+		if covered.Output[i] != plain.Output[i] {
+			t.Fatalf("out[%d] = %#x covered, %#x plain", i, covered.Output[i], plain.Output[i])
+		}
+	}
+	if cov.Count() == 0 {
+		t.Fatal("covered launch collected no edges")
+	}
+}
+
+// TestCoverResultCacheIsolation: covered and uncovered runs of the same
+// launch use distinct result-cache entries — an uncovered hit must never
+// serve a covered request (it would silently lose the coverage delta)
+// and vice versa.
+func TestCoverResultCacheIsolation(t *testing.T) {
+	eng := &Engine{Front: device.NewFrontCache(16), Results: NewResultCache(64)}
+	cfg := device.Reference()
+	c := coverCase("isolate")
+	if r := eng.RunCase(cfg, true, c, LaunchOptions{}); r.Cached {
+		t.Fatal("first uncovered run hit the cache")
+	}
+	covA := new(exec.CoverMap)
+	if r := eng.RunCase(cfg, true, c, LaunchOptions{Cover: covA}); r.Cached {
+		t.Fatal("first covered run was served from the uncovered entry")
+	}
+	if covA.Count() == 0 {
+		t.Fatal("covered miss collected no edges")
+	}
+	// A covered hit must replay the memoized delta into the caller's map.
+	covB := new(exec.CoverMap)
+	if r := eng.RunCase(cfg, true, c, LaunchOptions{Cover: covB}); !r.Cached {
+		t.Fatal("second covered run missed the cache")
+	}
+	edgesA, edgesB := covA.Edges(), covB.Edges()
+	if len(edgesA) != len(edgesB) {
+		t.Fatalf("replayed coverage has %d edges, executed had %d", len(edgesB), len(edgesA))
+	}
+	for i := range edgesA {
+		if edgesA[i] != edgesB[i] {
+			t.Fatalf("edge[%d] = %d replayed, %d executed", i, edgesB[i], edgesA[i])
+		}
+	}
+	if covA.SiteHits() != covB.SiteHits() {
+		t.Fatalf("replayed site hits %v, executed %v", covB.SiteHits(), covA.SiteHits())
+	}
+	// And the uncovered entry still serves uncovered requests.
+	if r := eng.RunCase(cfg, true, c, LaunchOptions{}); !r.Cached {
+		t.Fatal("uncovered entry was lost")
+	}
+	if _, _, size := eng.Results.Stats(); size != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (covered + uncovered)", size)
+	}
+}
+
+// TestEngineWideCoverAccumulates: Engine.Cover receives every launch's
+// coverage when no per-launch override is given, across cache hits and
+// misses alike.
+func TestEngineWideCoverAccumulates(t *testing.T) {
+	eng := &Engine{Front: device.NewFrontCache(16), Results: NewResultCache(64)}
+	eng.Cover = new(exec.CoverMap)
+	cfg := device.Reference()
+	eng.RunCase(cfg, true, coverCase("wide"), LaunchOptions{})
+	afterMiss := eng.Cover.Count()
+	if afterMiss == 0 {
+		t.Fatal("engine-wide map empty after an executed launch")
+	}
+	eng.RunCase(cfg, true, coverCase("wide"), LaunchOptions{})
+	if got := eng.Cover.Count(); got != afterMiss {
+		t.Fatalf("cache-hit replay changed the distinct-edge count: %d vs %d", got, afterMiss)
+	}
+}

@@ -161,11 +161,15 @@ type LoopExit struct {
 
 // Fn is the lowered form of one function: a flat instruction slice over
 // a register frame. NumRegs/NumLVs/NumSlots size the frame's value
-// registers, lvalue registers, and variable slots.
+// registers, lvalue registers, and variable slots. Idx is the function's
+// position in Program.Fns — a lowering-time constant the executor's edge
+// coverage uses to key (function, branch pc, target pc) triples stably
+// across processes.
 type Fn struct {
 	Name     string
 	Decl     *ast.FuncDecl
 	Code     []Instr
+	Idx      int32
 	NumRegs  int
 	NumLVs   int
 	NumSlots int

@@ -50,6 +50,7 @@ func Lower(prog *ast.Program) (p *Program, err error) {
 			continue
 		}
 		fn := l.lowerFn(f)
+		fn.Idx = int32(l.fnIdx[f.Name])
 		out.Fns[l.fnIdx[f.Name]] = fn
 		if f.IsKernel && out.Kernel < 0 {
 			out.Kernel = l.fnIdx[f.Name]

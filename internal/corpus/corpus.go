@@ -1,0 +1,136 @@
+package corpus
+
+import (
+	"math/rand"
+	"sort"
+
+	"clfuzz/internal/generator"
+)
+
+// Member is one corpus entry: a runnable kernel plus the ranking
+// metadata recorded at admission.
+type Member struct {
+	// ID is the admission sequence number (unique within one corpus).
+	ID int
+	// Kernel is the runnable test case. Src holds the (possibly mutated)
+	// source; the buffer-shape metadata stays valid across mutations —
+	// EMI injection updates DeadLen, and every other mutator preserves
+	// the parameter list.
+	Kernel *generator.Kernel
+	// Fingerprint is the FNV-1a hash of Kernel.Src.
+	Fingerprint uint64
+	// Gain is the number of edges novel to the campaign when this member
+	// first executed — the ranking signal.
+	Gain int
+}
+
+// Corpus is a bounded, ranked set of kernels. Admission requires a fresh
+// source fingerprint and strictly positive coverage gain; when full, the
+// lowest-gain (then oldest) member is evicted. All operations are
+// deterministic: ranking breaks ties by admission order.
+//
+// Corpus is not safe for concurrent use; each fuzzing chain owns one and
+// serializes its steps.
+type Corpus struct {
+	max     int
+	nextID  int
+	members []*Member
+	seen    map[uint64]struct{}
+}
+
+// New returns an empty corpus bounded to max members (minimum 1).
+func New(max int) *Corpus {
+	if max < 1 {
+		max = 1
+	}
+	return &Corpus{max: max, seen: make(map[uint64]struct{})}
+}
+
+// Fingerprint hashes a kernel source (FNV-1a).
+func Fingerprint(src string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Len returns the number of members.
+func (c *Corpus) Len() int { return len(c.members) }
+
+// Add admits a kernel that contributed gain novel edges. It returns the
+// new member, or nil when the candidate is rejected: non-positive gain
+// (the zero-novelty plateau) or a fingerprint already seen (duplicates
+// are rejected even after their original was evicted — re-running an
+// already-explored program cannot contribute new coverage). When the
+// corpus is full, the lowest-gain, then oldest, member is evicted.
+func (c *Corpus) Add(k *generator.Kernel, gain int) *Member {
+	if gain <= 0 {
+		return nil
+	}
+	fp := Fingerprint(k.Src)
+	if _, dup := c.seen[fp]; dup {
+		return nil
+	}
+	c.seen[fp] = struct{}{}
+	m := &Member{ID: c.nextID, Kernel: k, Fingerprint: fp, Gain: gain}
+	c.nextID++
+	if len(c.members) >= c.max {
+		evict := 0
+		for i, e := range c.members {
+			w := c.members[evict]
+			if e.Gain < w.Gain || (e.Gain == w.Gain && e.ID < w.ID) {
+				evict = i
+			}
+		}
+		c.members = append(c.members[:evict], c.members[evict+1:]...)
+	}
+	c.members = append(c.members, m)
+	return m
+}
+
+// Ranked returns the members ordered by gain (descending), breaking ties
+// by admission order (ascending). The slice is freshly allocated.
+func (c *Corpus) Ranked() []*Member {
+	out := append([]*Member(nil), c.members...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Gain != out[j].Gain {
+			return out[i].Gain > out[j].Gain
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Pick selects a member for mutation, biased toward high-gain members:
+// the minimum of two uniform draws over the ranked order. It panics on
+// an empty corpus; callers schedule fresh generation instead.
+func (c *Corpus) Pick(rng *rand.Rand) *Member {
+	ranked := c.Ranked()
+	i, j := rng.Intn(len(ranked)), rng.Intn(len(ranked))
+	if j < i {
+		i = j
+	}
+	return ranked[i]
+}
+
+// Hash digests the corpus state — member IDs, fingerprints and gains in
+// ranked order — so determinism tests can compare corpora across
+// processes with one word.
+func (c *Corpus) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for _, m := range c.Ranked() {
+		word(uint64(m.ID))
+		word(m.Fingerprint)
+		word(uint64(m.Gain))
+	}
+	return h
+}

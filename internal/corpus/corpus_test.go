@@ -1,0 +1,152 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"clfuzz/internal/generator"
+)
+
+func testKernel(seed int64) *generator.Kernel {
+	return generator.Generate(generator.Options{
+		Mode: generator.ModeBasic, Seed: seed, MaxTotalThreads: 16,
+	})
+}
+
+// TestCorpusAdmission pins the admission rules: positive gain required
+// (the zero-novelty plateau admits nothing), duplicate fingerprints
+// rejected — including re-submissions of an already-evicted member.
+func TestCorpusAdmission(t *testing.T) {
+	c := New(4)
+	k := testKernel(1)
+	if m := c.Add(k, 0); m != nil {
+		t.Fatal("zero-gain candidate was admitted")
+	}
+	if m := c.Add(k, -3); m != nil {
+		t.Fatal("negative-gain candidate was admitted")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("plateau grew the corpus to %d", c.Len())
+	}
+	if m := c.Add(k, 5); m == nil {
+		t.Fatal("positive-gain candidate was rejected")
+	}
+	if m := c.Add(k, 7); m != nil {
+		t.Fatal("duplicate fingerprint was admitted")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("corpus size %d, want 1", c.Len())
+	}
+}
+
+// TestCorpusEviction: when full, the lowest-gain then oldest member is
+// evicted, and an evicted member's fingerprint stays rejected forever.
+func TestCorpusEviction(t *testing.T) {
+	c := New(3)
+	ks := []*generator.Kernel{testKernel(1), testKernel(2), testKernel(3), testKernel(4), testKernel(5)}
+	c.Add(ks[0], 5)
+	c.Add(ks[1], 2) // unique lowest gain: first eviction victim
+	c.Add(ks[2], 8)
+	c.Add(ks[3], 4)
+	if c.Len() != 3 {
+		t.Fatalf("corpus size %d, want 3", c.Len())
+	}
+	for _, m := range c.Ranked() {
+		if m.Fingerprint == Fingerprint(ks[1].Src) {
+			t.Fatal("lowest-gain member survived eviction")
+		}
+	}
+	if m := c.Add(ks[1], 100); m != nil {
+		t.Fatal("evicted fingerprint was re-admitted")
+	}
+	// Gains are now 5, 8, 4: ks[3] is lowest and goes next.
+	c.Add(ks[4], 6)
+	for _, m := range c.Ranked() {
+		if m.Fingerprint == Fingerprint(ks[3].Src) {
+			t.Fatal("lowest-gain member survived the second eviction")
+		}
+	}
+}
+
+// TestCorpusEvictionTieBreak: equal gains evict the oldest member.
+func TestCorpusEvictionTieBreak(t *testing.T) {
+	c := New(2)
+	a, b, d := testKernel(10), testKernel(11), testKernel(12)
+	c.Add(a, 3)
+	c.Add(b, 3)
+	c.Add(d, 3)
+	ranked := c.Ranked()
+	if len(ranked) != 2 {
+		t.Fatalf("corpus size %d, want 2", len(ranked))
+	}
+	for _, m := range ranked {
+		if m.Fingerprint == Fingerprint(a.Src) {
+			t.Fatal("oldest member survived a tied eviction")
+		}
+	}
+}
+
+// TestCorpusRanking: Ranked orders by gain descending, ties by admission
+// order.
+func TestCorpusRanking(t *testing.T) {
+	c := New(8)
+	c.Add(testKernel(1), 2)
+	c.Add(testKernel(2), 9)
+	c.Add(testKernel(3), 9)
+	c.Add(testKernel(4), 5)
+	ranked := c.Ranked()
+	wantGains := []int{9, 9, 5, 2}
+	wantIDs := []int{1, 2, 3, 0}
+	for i, m := range ranked {
+		if m.Gain != wantGains[i] || m.ID != wantIDs[i] {
+			t.Fatalf("ranked[%d] = id %d gain %d, want id %d gain %d",
+				i, m.ID, m.Gain, wantIDs[i], wantGains[i])
+		}
+	}
+}
+
+// TestCorpusPickDeterministicAndBiased: Pick is a pure function of the
+// rng stream, and favors high-gain members.
+func TestCorpusPickDeterministicAndBiased(t *testing.T) {
+	build := func() *Corpus {
+		c := New(8)
+		c.Add(testKernel(1), 1)
+		c.Add(testKernel(2), 50)
+		c.Add(testKernel(3), 10)
+		return c
+	}
+	a, b := build(), build()
+	ra, rb := rand.New(rand.NewSource(99)), rand.New(rand.NewSource(99))
+	counts := map[int]int{}
+	for i := 0; i < 200; i++ {
+		ma, mb := a.Pick(ra), b.Pick(rb)
+		if ma.ID != mb.ID {
+			t.Fatalf("draw %d: Pick diverged (%d vs %d) on identical state", i, ma.ID, mb.ID)
+		}
+		counts[ma.ID]++
+	}
+	// Member 1 (gain 50) ranks first; min-of-two-draws must favor it over
+	// the gain-1 member.
+	if counts[1] <= counts[0] {
+		t.Fatalf("high-gain member picked %d times, low-gain %d — ranking bias inverted",
+			counts[1], counts[0])
+	}
+}
+
+// TestCorpusHashTracksState: equal histories hash equal; different
+// admissions hash different.
+func TestCorpusHashTracksState(t *testing.T) {
+	a, b := New(4), New(4)
+	if a.Hash() != b.Hash() {
+		t.Fatal("empty corpora hash differently")
+	}
+	a.Add(testKernel(1), 3)
+	b.Add(testKernel(1), 3)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical admissions hash differently")
+	}
+	b.Add(testKernel(2), 4)
+	if a.Hash() == b.Hash() {
+		t.Fatal("diverged corpora hash equal")
+	}
+}

@@ -1,0 +1,37 @@
+// Package corpus closes the fuzzing loop: it turns the executor's edge
+// coverage (exec.CoverMap, collected by the register VM dispatch loop)
+// into a feedback signal that steers test generation.
+//
+// The package provides four pieces:
+//
+//   - Corpus: a bounded set of kernels ranked by the novel coverage they
+//     contributed when first executed. Admission requires a previously
+//     unseen source fingerprint and strictly positive edge gain, so a
+//     zero-novelty plateau cannot grow the corpus; eviction removes the
+//     lowest-gain (then oldest) member.
+//   - Mutate: syntactic mutations of corpus members — EMI block
+//     injection (emi.Inject), integer-constant perturbation, operator
+//     swaps within a semantics-safe category, and splicing statements
+//     from a donor member. Mutants always re-parse; ones that fail
+//     semantic checking surface as contained BuildFailure outcomes,
+//     never panics (pinned by FuzzCorpusMutate).
+//   - SwarmSubset: deterministic per-(seed, round) random subsets of the
+//     generator's feature switches (vectors, barriers, atomic sections,
+//     atomic reductions) — swarm testing, which diversifies what fresh
+//     random generation reaches beyond the six fixed CLsmith modes.
+//   - Chain: the feedback loop itself. A chain is an independent,
+//     sequential fuzzing lane: each step picks a swarm subset, either
+//     generates a fresh kernel or mutates a ranked corpus member, runs
+//     it on the reference configuration with coverage enabled plus a
+//     small differential configuration set, admits it to the corpus if
+//     it reached novel edges, and emits one deterministic StepRecord.
+//
+// Determinism discipline: every choice derives from the chain seed and
+// step index, coverage accumulation is commutative, and steps within a
+// chain are computed strictly in order (lazily, under the chain lock),
+// so the corpus, coverage map and record stream are byte-identical
+// across runs, processes and shard partitions at the same seed. A tree-
+// engine process collects no coverage (the VM owns the hooks), so its
+// chains degrade gracefully to pure swarm-random generation with an
+// empty corpus — deterministic, never panicking.
+package corpus

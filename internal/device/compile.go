@@ -201,6 +201,11 @@ type RunOptions struct {
 	// launch stopped this way reports the Canceled outcome. nil runs to
 	// completion.
 	Ctx context.Context
+	// Cover, when non-nil, accumulates VM edge coverage and defect-site
+	// hit counts for this launch. Observation only: outcomes and outputs
+	// are byte-identical with coverage on or off. Launches that resolve
+	// to the tree engine record nothing (coverage-off fallback).
+	Cover *exec.CoverMap
 }
 
 // Run executes the kernel over the NDRange. result names the output buffer
@@ -247,6 +252,7 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 		NoAtomics:  !k.Info.HasAtomic,
 		Workers:    ro.Workers,
 		HasFwdDecl: k.Info.HasFwdDecl,
+		Cover:      ro.Cover,
 	}
 	err := exec.Run(k.Prog, nd, args, opts)
 	switch err.(type) {

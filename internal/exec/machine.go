@@ -112,6 +112,12 @@ type Options struct {
 	Ctx context.Context
 	// Stats, when non-nil, receives execution statistics.
 	Stats *Stats
+	// Cover, when non-nil, accumulates VM edge coverage and defect-site
+	// hit counts for this launch (see cover.go). Coverage is observation
+	// only — outputs, fuel and verdicts are byte-identical with Cover set
+	// or nil — and only the register VM collects it; the tree walker
+	// leaves the map untouched.
+	Cover *CoverMap
 }
 
 // Stats reports execution cost measurements, used to calibrate the fuel

@@ -192,6 +192,9 @@ func (t *thread) vmLoop(vm *vmState) error {
 	lvs := vm.lvs[fr.lvBase:]
 	unshared := t.m.unshared
 	checkRaces := t.m.opts.CheckRaces
+	// cov is nil for coverage-off launches: the only cost the hooks add
+	// then is a nil check inside the two branch-taken cases.
+	cov := t.m.opts.Cover
 	pc := 0
 	for {
 		in := &ins[pc]
@@ -218,6 +221,9 @@ func (t *thread) vmLoop(vm *vmState) error {
 
 		case code.OpBranchFalse:
 			if !regs[in.Dst].isTrue() {
+				if cov != nil {
+					cov.hitEdge(fr.fn.Idx, int32(pc), in.A)
+				}
 				pc = int(in.A)
 				continue
 			}
@@ -227,12 +233,18 @@ func (t *thread) vmLoop(vm *vmState) error {
 			if in.B == 0 { // &&
 				if !v.isTrue() {
 					*v = boolValue(false)
+					if cov != nil {
+						cov.hitEdge(fr.fn.Idx, int32(pc), in.A)
+					}
 					pc = int(in.A)
 					continue
 				}
 			} else { // ||
 				if v.isTrue() {
 					*v = boolValue(true)
+					if cov != nil {
+						cov.hitEdge(fr.fn.Idx, int32(pc), in.A)
+					}
 					pc = int(in.A)
 					continue
 				}
@@ -251,9 +263,16 @@ func (t *thread) vmLoop(vm *vmState) error {
 			n := len(t.iterStack)
 			iters := t.iterStack[n-1]
 			t.iterStack = t.iterStack[:n-1]
-			if le, ok := in.Aux.(*code.LoopExit); ok && iters == 0 &&
-				t.m.opts.Defects.Has(bugs.WCDeadLoopBarrier) && t.lidLinear() != 0 {
-				t.vmDeadLoopDefect(le, fr)
+			if le, ok := in.Aux.(*code.LoopExit); ok && iters == 0 {
+				// The defect-trigger site was reached (a dead-loop-with-
+				// barrier shape exited with zero iterations); count it
+				// whether or not this configuration arms the defect.
+				if cov != nil {
+					cov.hitSite(CoverSiteDeadLoop)
+				}
+				if t.m.opts.Defects.Has(bugs.WCDeadLoopBarrier) && t.lidLinear() != 0 {
+					t.vmDeadLoopDefect(le, fr)
+				}
 			}
 
 		case code.OpReturn:
@@ -1050,6 +1069,14 @@ func (t *thread) vmMath(in *code.Instr, regs []Value) error {
 // store itself, struct-copy corruption, and the value-position reload.
 func (t *thread) vmStore(in *code.Instr, regs []Value, lvs []lval) error {
 	si := in.Aux.(*code.StoreInfo)
+	if cov := t.m.opts.Cover; cov != nil {
+		if si.DerefParam {
+			cov.hitSite(CoverSiteDerefStore)
+		}
+		if si.ArrowParam {
+			cov.hitSite(CoverSiteArrowStore)
+		}
+	}
 	lv := lvs[in.A]
 	rv := &regs[in.B]
 	if si.Op != ast.Assign {

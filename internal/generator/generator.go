@@ -75,6 +75,39 @@ type Options struct {
 	MaxTotalThreads int
 	// StmtBudget bounds the number of generated statements (default 60).
 	StmtBudget int
+	// Features, when non-nil, overrides the Mode-derived feature switches
+	// with an explicit subset — the swarm-testing hook: a fuzzing campaign
+	// samples a random feature subset per round instead of committing to
+	// one of the six fixed modes. Mode still names the bucket the kernel
+	// reports (and its buffer conventions follow the features actually
+	// enabled, as always).
+	Features *FeatureSet
+}
+
+// FeatureSet is an explicit on/off assignment for the four generator
+// feature dimensions the six CLsmith modes are fixed points of.
+type FeatureSet struct {
+	Vectors    bool
+	Barriers   bool
+	Sections   bool
+	Reductions bool
+}
+
+// Features returns the Mode's implied feature set.
+func (m Mode) Features() FeatureSet {
+	switch m {
+	case ModeVector:
+		return FeatureSet{Vectors: true}
+	case ModeBarrier:
+		return FeatureSet{Barriers: true}
+	case ModeAtomicSection:
+		return FeatureSet{Sections: true}
+	case ModeAtomicReduction:
+		return FeatureSet{Reductions: true}
+	case ModeAll:
+		return FeatureSet{Vectors: true, Barriers: true, Sections: true, Reductions: true}
+	}
+	return FeatureSet{}
 }
 
 // Kernel is a generated test case.
@@ -154,18 +187,11 @@ func Generate(opts Options) *Kernel {
 		opts: opts,
 		prog: &ast.Program{},
 	}
-	switch opts.Mode {
-	case ModeVector:
-		g.vectors = true
-	case ModeBarrier:
-		g.barriers = true
-	case ModeAtomicSection:
-		g.sections = true
-	case ModeAtomicReduction:
-		g.reductions = true
-	case ModeAll:
-		g.vectors, g.barriers, g.sections, g.reductions = true, true, true, true
+	fs := opts.Mode.Features()
+	if opts.Features != nil {
+		fs = *opts.Features
 	}
+	g.vectors, g.barriers, g.sections, g.reductions = fs.Vectors, fs.Barriers, fs.Sections, fs.Reductions
 	g.build()
 	return &Kernel{
 		Src:           ast.Print(g.prog),

@@ -31,6 +31,23 @@ type Params struct {
 	// Threads caps generated-kernel thread counts (unused by Table 3).
 	Threads  int   `json:"threads"`
 	BaseFuel int64 `json:"base_fuel,omitempty"`
+	// Chains is the number of independent fuzzing chains of the
+	// coverage-guided campaign (Table 6 / cltables -fuzz); 0 means the
+	// default of 4. Ignored by the paper tables.
+	Chains int `json:"chains,omitempty"`
+	// Fresh disables the fuzz campaign's feedback: every step generates a
+	// fresh swarm-random kernel and the corpus is never consulted. This is
+	// the equal-budget pure-random baseline the coverage-over-time series
+	// compares against. Ignored by the paper tables.
+	Fresh bool `json:"fresh,omitempty"`
+}
+
+// chainCount resolves the fuzz campaign's chain count.
+func (p Params) chainCount() int {
+	if p.Chains > 0 {
+		return p.Chains
+	}
+	return 4
 }
 
 // ShardRecord is one case's serialized campaign record.
@@ -161,8 +178,10 @@ func campaignFor(eng *campaign.Engine, p Params) (*shardCampaign, error) {
 				return RenderTable5(t5) + "\n" + RenderPruningComparison(t5), nil
 			},
 		}, nil
+	case FuzzTable:
+		return fuzzCampaign(eng, p), nil
 	default:
-		return nil, fmt.Errorf("harness: table %d is not a shardable campaign (1, 3, 4 or 5)", p.Table)
+		return nil, fmt.Errorf("harness: table %d is not a shardable campaign (1, 3, 4, 5 or %d)", p.Table, FuzzTable)
 	}
 }
 
