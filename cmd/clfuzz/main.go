@@ -41,17 +41,26 @@ func main() {
 	report := flag.Int("report", 10, "print a coverage progress line every N rounds")
 	engineFlag := flag.String("engine", "auto",
 		"evaluation engine: vm, tree, or auto (the tree engine collects no coverage, degrading the loop to pure swarm-random generation)")
+	fuelFlag := flag.String("fuel", "auto",
+		"fuel model: v1 (per-instruction), v2 (per-superinstruction on the fused VM program), or auto (CLFUZZ_FUEL or v1)")
 	flag.Parse()
 	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 	device.DefaultEngine = engine
+	fuel, err := exec.ParseFuelModel(*fuelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fuel != exec.FuelAuto {
+		device.DefaultFuelModel = fuel
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	p := harness.Params{Table: harness.FuzzTable, Seed: *seed, Threads: *threads, Chains: *chainsN}
+	p := harness.Params{Table: harness.FuzzTable, Seed: *seed, Threads: *threads, Chains: *chainsN, Fuel: harness.DefaultFuelParam()}
 	chains := harness.FuzzChains(campaign.Default, p)
 	cover := new(exec.CoverMap)
 	cases, mismatches := 0, 0

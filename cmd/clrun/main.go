@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"clfuzz/internal/campaign"
+	"clfuzz/internal/code"
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/harness"
@@ -33,6 +34,8 @@ func main() {
 		"work-group fan-out budget (1 = fully serial executor; results are identical either way)")
 	engineFlag := flag.String("engine", "auto",
 		"evaluation engine: vm (register bytecode), tree (reference walker), or auto")
+	fuelFlag := flag.String("fuel", "auto",
+		"fuel model: v1 (per-instruction, tree-exact), v2 (per-superinstruction on the fused VM program), or auto (CLFUZZ_FUEL or v1)")
 	cacheStats := flag.Bool("cachestats", false,
 		"print compile-cache hit/miss counters (front-end parses, shared back-end kernels, bytecode lowering) and engine counters after the run")
 	cover := flag.Bool("cover", false,
@@ -52,6 +55,13 @@ func main() {
 	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	fuel, err := exec.ParseFuelModel(*fuelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fuel != exec.FuelAuto {
+		device.DefaultFuelModel = fuel
 	}
 	cfg := device.Reference()
 	if *cfgID != 0 {
@@ -74,12 +84,17 @@ func main() {
 		cases, launches := campaign.Default.Counters()
 		lo, lf := device.LowerStats()
 		vmRuns, treeRuns, instrs := exec.EngineCounters()
+		fp, fb, fa := code.FuseStats()
+		v1Runs, v1Instrs, v2Runs, v2Instrs := exec.FuelCounters()
 		fmt.Fprintf(os.Stderr, "front cache:  %d hits, %d misses, %d entries\n", fh, fm, fs)
 		fmt.Fprintf(os.Stderr, "back cache:   %d hits, %d misses, %d entries\n", bh, bm, bs)
 		fmt.Fprintf(os.Stderr, "result cache: %d hits, %d misses, %d entries\n", rh, rm, rs)
 		fmt.Fprintf(os.Stderr, "campaign:     %d cases, %d launches executed\n", cases, launches)
 		fmt.Fprintf(os.Stderr, "lowering:     %d programs lowered, %d tree fallbacks\n", lo, lf)
 		fmt.Fprintf(os.Stderr, "engine:       %d vm launches (%d instructions), %d tree launches\n", vmRuns, instrs, treeRuns)
+		fmt.Fprintf(os.Stderr, "fusion:       %d programs fused, %d instructions -> %d\n", fp, fb, fa)
+		fmt.Fprintf(os.Stderr, "fuel:         v1 %d launches (%d instructions), v2 %d launches (%d superinstructions)\n",
+			v1Runs, v1Instrs, v2Runs, v2Instrs)
 	}
 	var cov *exec.CoverMap
 	if *cover {
@@ -98,7 +113,7 @@ func main() {
 	// front/back compile caches and cross-base result cache the table
 	// campaigns use, so -cachestats reports live counters.
 	rr := campaign.Default.RunCase(cfg, !*noopt, c, campaign.LaunchOptions{
-		CheckRaces: *races, Workers: *workers, Engine: engine, Cover: cov,
+		CheckRaces: *races, Workers: *workers, Engine: engine, FuelModel: fuel, Cover: cov,
 	})
 	if rr.Compile {
 		fmt.Printf("outcome: %s\n%s\n", rr.Outcome, rr.Msg)

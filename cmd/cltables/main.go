@@ -89,12 +89,21 @@ func main() {
 		"disable straggler re-dispatch under -fleet (the speculative duplicate of the last running shard)")
 	engineFlag := flag.String("engine", "auto",
 		"evaluation engine for every campaign launch: vm, tree, or auto (campaign output is byte-identical either way)")
+	fuelFlag := flag.String("fuel", "auto",
+		"fuel model for every campaign launch: v1 (per-instruction, tree-exact), v2 (per-superinstruction on the fused VM program), or auto (CLFUZZ_FUEL or v1); campaign output is byte-identical unless a kernel times out")
 	flag.Parse()
 	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 	device.DefaultEngine = engine
+	fuel, err := exec.ParseFuelModel(*fuelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fuel != exec.FuelAuto {
+		device.DefaultFuelModel = fuel
+	}
 
 	// SIGINT/SIGTERM cancel cooperatively: campaigns stop dispatching,
 	// in-flight cases finish, and shard workers flush a resumable partial
@@ -122,7 +131,10 @@ func main() {
 	}
 
 	params := func(t int) harness.Params {
-		return harness.Params{Table: t, Scale: *scale, Seed: *seed, Threads: *threads, Chains: *chains, Fresh: *fresh}
+		// Params.Fuel records the non-default model only: v1 campaigns
+		// leave it empty so their shard files stay byte-identical to ones
+		// written before fuel models existed.
+		return harness.Params{Table: t, Scale: *scale, Seed: *seed, Threads: *threads, Chains: *chains, Fresh: *fresh, Fuel: harness.DefaultFuelParam()}
 	}
 
 	if *shard != "" {
@@ -144,6 +156,7 @@ func main() {
 			checkpoint:  *checkpoint,
 			noSpeculate: *noSpeculate,
 			engine:      *engineFlag,
+			fuel:        *fuelFlag,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -259,6 +272,7 @@ type fleetOptions struct {
 	checkpoint  string
 	noSpeculate bool
 	engine      string
+	fuel        string
 }
 
 // runFleet is the -fleet mode: supervise the campaign across shard
@@ -288,6 +302,7 @@ func runFleet(ctx context.Context, p harness.Params, o fleetOptions) error {
 			"-chains", fmt.Sprint(p.Chains),
 			"-fresh="+fmt.Sprint(p.Fresh),
 			"-engine", o.engine,
+			"-fuel", o.fuel,
 			"-shard", fmt.Sprintf("%d/%d", shard, of),
 			"-out", outPath)
 		cmd.Stderr = os.Stderr

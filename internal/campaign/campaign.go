@@ -164,6 +164,10 @@ type LaunchOptions struct {
 	CheckRaces bool
 	// Engine forces the evaluation engine for this run.
 	Engine exec.Engine
+	// FuelModel forces the fuel-accounting model; FuelAuto defers to
+	// device.DefaultFuelModel. The resolved model is part of the
+	// result-cache key, so fuel/v1 and fuel/v2 results never alias.
+	FuelModel exec.FuelModel
 	// Ctx cancels the launch cooperatively: a cancelled context skips the
 	// compile/execute chain (or stops an in-flight execution at the next
 	// work-group boundary) and yields a device.Canceled result, which is
@@ -248,6 +252,7 @@ func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd,
 		CheckRaces: o.CheckRaces,
 		Workers:    o.Workers,
 		Engine:     o.Engine,
+		FuelModel:  o.FuelModel,
 		Ctx:        o.Ctx,
 		Cover:      launchCov,
 	})

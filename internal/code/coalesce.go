@@ -1,0 +1,140 @@
+package code
+
+// coalesceFn renumbers a function's value registers and lvalue
+// registers densely, dropping the gaps the fuser's operand elision
+// leaves behind, and shrinks NumRegs/NumLVs to the surviving counts —
+// cutting the per-frame register traffic in ensureRegs/ensureLVs and
+// the regBase advance on OpCall. Frame slots are variable storage, not
+// temporaries, and are left untouched.
+//
+// The renumbering is monotone (ascending register numbers keep their
+// relative order), and every member of a contiguous argument range
+// (OpVecLit/OpAtomic/OpMath read regs A..A+n) is marked used, so ranges
+// stay contiguous and rewriting the base register suffices.
+func coalesceFn(f *Fn) {
+	regUsed := make([]bool, f.NumRegs)
+	lvUsed := make([]bool, f.NumLVs)
+	mark := func(used []bool, r int32) {
+		if r >= 0 && int(r) < len(used) {
+			used[r] = true
+		}
+	}
+	for i := range f.Code {
+		visitRegs(&f.Code[i],
+			func(r *int32) { mark(regUsed, *r) },
+			func(r *int32) { mark(lvUsed, *r) })
+	}
+	regMap, nRegs := denseMap(regUsed)
+	lvMap, nLVs := denseMap(lvUsed)
+	remap := func(m []int32, r *int32) {
+		if *r >= 0 && int(*r) < len(m) {
+			*r = m[*r]
+		}
+	}
+	for i := range f.Code {
+		visitRegs(&f.Code[i],
+			func(r *int32) { remap(regMap, r) },
+			func(r *int32) { remap(lvMap, r) })
+	}
+	f.NumRegs, f.NumLVs = nRegs, nLVs
+}
+
+func denseMap(used []bool) ([]int32, int) {
+	m := make([]int32, len(used))
+	n := int32(0)
+	for r, u := range used {
+		if u {
+			m[r] = n
+			n++
+		} else {
+			m[r] = int32(r) // unused; never consulted after remap
+		}
+	}
+	return m, int(n)
+}
+
+// visitRegs calls reg on every value-register field of in and lv on
+// every lvalue-register field, as pointers so the caller can rewrite
+// them. The classification mirrors the per-op field documentation in
+// code.go exactly: fields holding slots, pc targets, function indices,
+// parameter/kid indices, or small immediates are never visited. Range
+// readers visit each member of A..A+n so a dense monotone renumbering
+// keeps the range contiguous.
+func visitRegs(in *Instr, reg, lv func(*int32)) {
+	switch in.Op {
+	case OpBranchFalse, OpBoolTest, OpBoolFin, OpConst, OpPredef, OpLoadSlot,
+		OpLoadGlobal, OpComma, OpCondFin, OpWorkDim, OpLinearId, OpNewAgg,
+		OpConvertFree, OpBinSlotImm, OpBinSlotImmBr, OpBinSlots, OpIncDecSlot,
+		OpAggLit:
+		reg(&in.Dst)
+	case OpReturn, OpBindArg:
+		reg(&in.A)
+	case OpUnary, OpDeref, OpSwizzle, OpCast, OpConvert, OpIdBuiltin,
+		OpBarrier, OpBinImm, OpBinImmBr:
+		reg(&in.Dst)
+		reg(&in.A)
+	case OpBinary, OpPtrAt, OpCrc64, OpVcrc, OpBinBr, OpLoadIdx:
+		reg(&in.Dst)
+		reg(&in.A)
+		reg(&in.B)
+	case OpBinSlotR:
+		reg(&in.Dst)
+		reg(&in.A)
+	case OpCall:
+		reg(&in.Dst) // may be -1
+	case OpStoreDecl:
+		reg(&in.B)
+	case OpInitField, OpInitUnion:
+		reg(&in.A) // OpInitField.Dst is a kid index, not a register
+		reg(&in.B)
+	case OpInitStructDefect:
+		reg(&in.A)
+	case OpVecLit, OpMath:
+		reg(&in.Dst)
+		for k := int32(0); k < in.B; k++ {
+			r := in.A + k
+			reg(&r)
+		}
+		reg(&in.A)
+	case OpAtomic:
+		reg(&in.Dst)
+		for k := int32(1); k <= in.B; k++ {
+			r := in.A + k
+			reg(&r)
+		}
+		reg(&in.A)
+	case OpIncDec, OpAddrLV:
+		reg(&in.Dst)
+		lv(&in.A)
+	case OpAddrElem:
+		reg(&in.Dst)
+		reg(&in.B)
+		lv(&in.A)
+	case OpLVSlot, OpLVGlobal:
+		lv(&in.Dst)
+	case OpLVDeref, OpLVArrow:
+		lv(&in.Dst)
+		reg(&in.A)
+	case OpLVPtrIndex:
+		lv(&in.Dst)
+		reg(&in.A)
+		reg(&in.B)
+	case OpLVIndex:
+		lv(&in.Dst)
+		lv(&in.A)
+		reg(&in.B)
+	case OpLVMember, OpLVSwizzle:
+		lv(&in.Dst)
+		lv(&in.A)
+	case OpLVLoad, OpLoadCast:
+		reg(&in.Dst)
+		lv(&in.A)
+	case OpStore:
+		reg(&in.Dst) // may be -1
+		reg(&in.B)
+		lv(&in.A)
+	case OpStoreSlot:
+		reg(&in.Dst) // may be -1
+		reg(&in.B)
+	}
+}

@@ -45,4 +45,30 @@
 // output, since the engines agree wherever both run. The
 // FuzzLowerMatchesTree target and the engine-determinism suites pin the
 // equivalence continuously.
+//
+// # The fuel/v2 pass pipeline
+//
+// The one-instruction-per-step discipline above is what makes fuel/v1
+// tree-exact — and what seems to forbid fusing instructions. The
+// fuel/v2 model keeps the totals but batches the charging: each
+// superinstruction charges the summed Cost of the sequence it replaces
+// in a single decrement (deleted instructions fold their charge into
+// the next emitted one, only where fall-through alone reaches it), so
+// fuel totals — and Timeout outcomes — still match fuel/v1 on every
+// path, while dispatch and abort polling drop to once per
+// superinstruction. Two extra passes run over the lowered program when
+// a launch selects the model (device.Kernel memoizes the result):
+//
+//	Lower  →  Fuse (peephole superinstructions, OpStep deletion)
+//	       →  coalesce (dense register renumbering, frame shrink)
+//
+// Fuse replaces the measured hot sequences with the superinstruction
+// opcodes declared in code.go — compare-and-branch, immediate-operand
+// binaries, slot loads feeding binaries, load-through-pointer, slot
+// stores, load-then-cast, and whole constant aggregate literals
+// (OpAggLit/OpAggDecl, which also elide the literals' temporary cell
+// trees and deep copies). Outputs are identical to fuel/v1 except when
+// a timeout interrupts a fused sequence mid-flight (the superinstruction
+// is atomic, so the partial buffer state at death can differ);
+// FuzzFuseMatchesUnfused pins the equivalence continuously.
 package code

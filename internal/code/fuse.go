@@ -1,0 +1,470 @@
+package code
+
+import (
+	"sync/atomic"
+
+	"clfuzz/internal/cltypes"
+)
+
+// Fuse derives the fuel/v2 form of a lowered program: a peephole pass
+// replaces the measured hot instruction sequences with the
+// superinstructions declared in code.go, bookkeeping OpSteps are
+// deleted, and a register coalescing pass renumbers the surviving
+// value/lvalue registers densely to shrink the frame. Fuel charging
+// collapses to one decrement and one abort poll per dispatched
+// superinstruction, but the charge amounts are conserved exactly: each
+// superinstruction charges the summed Cost of the sequence it
+// replaces, and a deleted instruction's charge folds forward into the
+// next emitted instruction (only where fall-through alone reaches it,
+// so totals match on every control path). Fuel totals therefore equal
+// fuel/v1's, and a fuel/v2 timeout fires at the same superinstruction
+// the v1 timeout would have landed inside — same outcome, same bounded
+// real work — the only divergence being the partially-executed
+// sequence's buffer contents at the moment of death. The input program
+// is never mutated: like the lowered program itself, the fused copy is
+// immutable and may be shared by any number of concurrent launches.
+//
+// Soundness leans on two invariants of the lowerer. First, expression
+// temporaries follow a stack discipline: every value-register read is
+// dominated by that register's own write within the same expression, so
+// eliding a fused producer's write is unobservable once its sole
+// consumer is fused with it. Second, jumps only target statement or
+// expression boundaries; the fuser additionally refuses any pattern
+// whose non-first instruction is a jump target, so no control path can
+// enter the middle of a fused sequence.
+//
+// Defect-model hooks are preserved structurally: OpStoreSlot carries
+// the original *StoreInfo verbatim (the store defect and compound
+// operator run exactly as in OpStore), and stores through pointer or
+// arrow lvalues — the shapes whose StoreInfo triggers fire — are never
+// fused because their LHS is not an OpLVSlot.
+func Fuse(p *Program) *Program {
+	fns := make([]*Fn, len(p.Fns))
+	var in, out int64
+	for i, f := range p.Fns {
+		nf := fuseFn(f)
+		coalesceFn(nf)
+		in += int64(len(f.Code))
+		out += int64(len(nf.Code))
+		fns[i] = nf
+	}
+	fusedPrograms.Add(1)
+	fusedInstrsIn.Add(in)
+	fusedInstrsOut.Add(out)
+	return &Program{Fns: fns, Kernel: p.Kernel}
+}
+
+var fusedPrograms, fusedInstrsIn, fusedInstrsOut atomic.Int64
+
+// FuseStats reports process-wide fusion counters: programs fused, and
+// total instructions before and after fusion (the static reduction).
+func FuseStats() (programs, before, after int64) {
+	return fusedPrograms.Load(), fusedInstrsIn.Load(), fusedInstrsOut.Load()
+}
+
+// storeWindow bounds the forward scan from an OpLVSlot to its matching
+// OpStore; stores whose right-hand side lowers to more instructions than
+// this stay unfused.
+const storeWindow = 32
+
+// maxCost caps a single instruction's fuel charge (Cost is a uint8).
+// Fusions and charge folds that would overflow it are refused — the
+// instructions simply stay unfused, which is always sound.
+const maxCost = 255
+
+func fuseFn(f *Fn) *Fn {
+	ins := f.Code
+	jt := jumpTargets(ins)
+	del, storeFuse := planStoreFusion(ins)
+
+	out := make([]Instr, 0, len(ins))
+	pcMap := make([]int32, len(ins)+1)
+	// pending carries the fuel charges of deleted instructions forward
+	// into the next emitted instruction, so the fused program's charge
+	// totals match the unfused program's exactly along every control
+	// path — which is what makes fuel/v2 timeouts bound the same real
+	// work as fuel/v1 timeouts.
+	pending := 0
+	// sumCost totals the charges of a consumed instruction range plus
+	// whatever is pending; a -1 return means the fold would overflow
+	// Cost and the caller must keep the instructions unfused.
+	sumCost := func(lo, hi int) int {
+		c := pending
+		for q := lo; q < hi; q++ {
+			c += int(ins[q].Cost)
+		}
+		if c > maxCost {
+			return -1
+		}
+		return c
+	}
+	// foldable reports whether deleting ins[p] keeps charging exact:
+	// the charge moves forward to the next emitted instruction, so every
+	// v1 path that reaches that instruction must have executed ins[p] —
+	// fall-through only, no jump target strictly after p up to and
+	// including the fold point.
+	foldable := func(p int) bool {
+		q := p + 1
+		for q < len(ins) && (del[q] || ins[q].Op == OpStep) {
+			if jt[q] {
+				return false
+			}
+			q++
+		}
+		return q < len(ins) && !jt[q]
+	}
+	p := 0
+	for p < len(ins) {
+		pcMap[p] = int32(len(out))
+		in := ins[p]
+		if del[p] || in.Op == OpStep {
+			if c := sumCost(p, p+1); c >= 0 && foldable(p) {
+				pending = c
+				p++
+				continue
+			}
+			// Unsafe (or overflowing) fold: keep the instruction as a
+			// charge carrier. A retained OpLVSlot is harmless — the
+			// rewritten OpStoreSlot never reads its register.
+			if c := sumCost(p, p+1); c >= 0 {
+				in.Cost = uint8(c)
+				pending = 0
+			}
+			out = append(out, in)
+			p++
+			continue
+		}
+		if slot, ok := storeFuse[p]; ok {
+			if c := sumCost(p, p+1); c >= 0 {
+				out = append(out, Instr{Op: OpStoreSlot, Cost: uint8(c), Dst: in.Dst, A: slot, B: in.B, Aux: in.Aux})
+				pending = 0
+				p++
+				continue
+			}
+		}
+		if n, fused, ok := matchFusion(ins, p, jt, del); ok {
+			if c := sumCost(p, p+n); c >= 0 {
+				for k := 1; k < n; k++ {
+					pcMap[p+k] = int32(len(out))
+				}
+				fused.Cost = uint8(c)
+				out = append(out, fused)
+				pending = 0
+				p += n
+				continue
+			}
+		}
+		if c := sumCost(p, p+1); c >= 0 {
+			in.Cost = uint8(c)
+			pending = 0
+		}
+		out = append(out, in)
+		p++
+	}
+	pcMap[len(ins)] = int32(len(out))
+
+	// Remap every jump-target field to the new pc space.
+	for i := range out {
+		switch out[i].Op {
+		case OpJump, OpBranchFalse, OpBoolTest:
+			out[i].A = pcMap[out[i].A]
+		case OpBinImmBr, OpBinSlotImmBr:
+			out[i].B = pcMap[out[i].B]
+		case OpBinBr:
+			bb := out[i].Aux.(*BinBrInfo)
+			bb.Target = pcMap[bb.Target] // aux allocated by this pass; safe to fix up
+		}
+	}
+
+	return &Fn{
+		Name: f.Name, Decl: f.Decl, Code: out, Idx: f.Idx,
+		NumRegs: f.NumRegs, NumLVs: f.NumLVs, NumSlots: f.NumSlots,
+	}
+}
+
+// jumpTargets marks every pc some instruction can jump to. Only three
+// lowered ops carry pc targets; the Br superinstructions do not exist
+// before fusion.
+func jumpTargets(ins []Instr) []bool {
+	jt := make([]bool, len(ins)+1)
+	for i := range ins {
+		switch ins[i].Op {
+		case OpJump, OpBranchFalse, OpBoolTest:
+			jt[ins[i].A] = true
+		}
+	}
+	return jt
+}
+
+// planStoreFusion finds OpLVSlot instructions whose captured lvalue is
+// consumed by exactly one OpStore a bounded window later, with nothing
+// in between touching the lvalue register or rebinding the slot's cell.
+// Those OpLVSlots are deleted and the stores rewritten to OpStoreSlot,
+// which re-reads the frame slot at store time — equivalent because a
+// frame slot's cell identity only changes at OpDeclare/OpBindLocal and
+// the window excludes both (for the stored-to slot). Jumps into the
+// window are harmless: the fused store no longer reads the lvalue
+// register, and the deleted OpLVSlot's pc remaps to the next retained
+// instruction.
+func planStoreFusion(ins []Instr) (del []bool, storeFuse map[int]int32) {
+	del = make([]bool, len(ins))
+	storeFuse = make(map[int]int32)
+	for p := range ins {
+		if ins[p].Op != OpLVSlot {
+			continue
+		}
+		lvReg, slot := ins[p].Dst, ins[p].A
+		limit := p + storeWindow
+		if limit > len(ins)-1 {
+			limit = len(ins) - 1
+		}
+		for q := p + 1; q <= limit; q++ {
+			qi := &ins[q]
+			switch qi.Op {
+			case OpDeclare, OpBindLocal:
+				if qi.A == slot {
+					q = limit // cell identity changes; give up
+					continue
+				}
+			case OpReturn, OpReturnVoid, OpReturnEnd:
+				q = limit
+				continue
+			}
+			if !touchesLVReg(qi, lvReg) {
+				continue
+			}
+			if qi.Op == OpStore && qi.A == lvReg {
+				del[p] = true
+				storeFuse[q] = slot
+			}
+			break
+		}
+	}
+	return del, storeFuse
+}
+
+// touchesLVReg reports whether in reads or writes lvalue register lv.
+func touchesLVReg(in *Instr, lv int32) bool {
+	switch in.Op {
+	case OpLVSlot, OpLVGlobal, OpLVDeref, OpLVPtrIndex, OpLVArrow:
+		return in.Dst == lv
+	case OpLVIndex, OpLVMember, OpLVSwizzle:
+		return in.Dst == lv || in.A == lv
+	case OpIncDec, OpAddrLV, OpAddrElem, OpLVLoad, OpStore:
+		return in.A == lv
+	}
+	return false
+}
+
+// maxAggDepth bounds matchAggLit's recursion over nested literals.
+const maxAggDepth = 16
+
+// matchAggLit scans the constant initializer run of the aggregate
+// literal rooted at ins[p] (an OpNewAgg of type typ writing register
+// ra): scalar constants (OpConst [+ OpConvertFree] + OpInitField),
+// OpInitStructDefect hooks on the literal itself, and whole nested
+// constant literals, which are flattened into root-relative cell paths.
+// It returns the instruction count consumed (including the OpNewAgg)
+// and the elided initializer actions in program order; the scan stops —
+// returning the prefix — at the first instruction that is not part of
+// the constant run, is a jump target, or is scheduled for deletion.
+//
+// A nested literal is consumed only when its own run covered every
+// instruction up to the OpInitField that stores it into this literal
+// and the statically derived kid type equals the inner OpNewAgg's type
+// (OpInitField's storeCell requires exact equality; on mismatch the
+// sequence stays unfused so the original error is preserved). ancestors
+// carries the enclosing literals' aggregate registers: any constituent
+// register colliding with a live ancestor would make eliding its write
+// observable, so such runs stay unfused (the lowerer's stack discipline
+// never produces them).
+func matchAggLit(ins []Instr, p int, jt, del []bool, typ cltypes.Type, ra int32, ancestors []int32, depth int) (int, []AggOp) {
+	ok := func(q int) bool { return q < len(ins) && !jt[q] && !del[q] }
+	clash := func(r int32) bool {
+		if r == ra {
+			return true
+		}
+		for _, a := range ancestors {
+			if r == a {
+				return true
+			}
+		}
+		return false
+	}
+	var ops []AggOp
+	q := p + 1
+scan:
+	for ok(q) {
+		switch in := &ins[q]; in.Op {
+		case OpConst:
+			rc := in.Dst
+			cv := in.Aux.(*ConstVal)
+			if clash(rc) || cv.T == nil {
+				break scan
+			}
+			r := q + 1
+			var conv *cltypes.Scalar
+			if ok(r) && ins[r].Op == OpConvertFree && ins[r].Dst == rc {
+				conv = ins[r].Aux.(*cltypes.Scalar)
+				r++
+			}
+			if !ok(r) || ins[r].Op != OpInitField || ins[r].A != ra || ins[r].B != rc {
+				break scan
+			}
+			ops = append(ops, AggOp{Path: []int32{ins[r].Dst}, T: cv.T, V: cv.V, Conv: conv})
+			q = r + 1
+		case OpInitStructDefect:
+			if in.A != ra {
+				break scan
+			}
+			ops = append(ops, AggOp{Defect: true})
+			q++
+		case OpNewAgg:
+			rb := in.Dst
+			bt, isType := in.Aux.(cltypes.Type)
+			if clash(rb) || !isType || depth >= maxAggDepth {
+				break scan
+			}
+			n, kidOps := matchAggLit(ins, q, jt, del, bt, rb, append(ancestors, ra), depth+1)
+			r := q + n
+			if len(kidOps) == 0 || !ok(r) || ins[r].Op != OpInitField || ins[r].A != ra || ins[r].B != rb {
+				break scan
+			}
+			kid := ins[r].Dst
+			if kt := AggKidType(typ, kid); kt == nil || !kt.Equal(bt) {
+				break scan
+			}
+			for i := range kidOps {
+				kidOps[i].Path = append([]int32{kid}, kidOps[i].Path...)
+			}
+			ops = append(ops, kidOps...)
+			q = r + 1
+		default:
+			break scan
+		}
+	}
+	return q - p, ops
+}
+
+// matchFusion tries the adjacency patterns at pc p, longest first, and
+// returns the consumed length and the superinstruction on a match. Every
+// non-first pc of a candidate must not be a jump target (no control path
+// may enter mid-pattern) and must not be scheduled for deletion.
+func matchFusion(ins []Instr, p int, jt, del []bool) (int, Instr, bool) {
+	clear := func(n int) bool {
+		if p+n > len(ins) {
+			return false
+		}
+		for k := 1; k < n; k++ {
+			if jt[p+k] || del[p+k] {
+				return false
+			}
+		}
+		return true
+	}
+	in := &ins[p]
+	switch in.Op {
+	case OpLoadSlot:
+		// LoadSlot + Const + Binary (+ BranchFalse): the `i < N` loop
+		// condition shape — the hottest sequence in the opstats data.
+		if clear(3) && ins[p+1].Op == OpConst && ins[p+2].Op == OpBinary {
+			bin := &ins[p+2]
+			if bin.A == in.Dst && bin.B == ins[p+1].Dst && in.Dst != ins[p+1].Dst {
+				cv := ins[p+1].Aux.(*ConstVal)
+				imm := &ImmInfo{Bin: bin.Aux.(*BinInfo), T: cv.T, V: cv.V}
+				if clear(4) && ins[p+3].Op == OpBranchFalse && ins[p+3].Dst == bin.Dst {
+					return 4, Instr{Op: OpBinSlotImmBr, Dst: bin.Dst, A: in.A, B: ins[p+3].A, Aux: imm}, true
+				}
+				return 3, Instr{Op: OpBinSlotImm, Dst: bin.Dst, A: in.A, Aux: imm}, true
+			}
+		}
+		// LoadSlot + LoadSlot + Binary: var OP var.
+		if clear(3) && ins[p+1].Op == OpLoadSlot && ins[p+2].Op == OpBinary {
+			bin := &ins[p+2]
+			if bin.A == in.Dst && bin.B == ins[p+1].Dst && in.Dst != ins[p+1].Dst {
+				return 3, Instr{Op: OpBinSlots, Dst: bin.Dst, A: in.A, B: ins[p+1].A, Aux: bin.Aux}, true
+			}
+		}
+		// LoadSlot + Binary with the load feeding the right operand:
+		// expr OP var.
+		if clear(2) && ins[p+1].Op == OpBinary {
+			bin := &ins[p+1]
+			if bin.B == in.Dst && bin.A != in.Dst {
+				return 2, Instr{Op: OpBinSlotR, Dst: bin.Dst, A: bin.A, B: in.A, Aux: bin.Aux}, true
+			}
+		}
+	case OpConst:
+		// Const + Binary (+ BranchFalse): expr OP literal.
+		if clear(2) && ins[p+1].Op == OpBinary {
+			bin := &ins[p+1]
+			if bin.B == in.Dst && bin.A != in.Dst {
+				cv := in.Aux.(*ConstVal)
+				imm := &ImmInfo{Bin: bin.Aux.(*BinInfo), T: cv.T, V: cv.V}
+				if clear(3) && ins[p+2].Op == OpBranchFalse && ins[p+2].Dst == bin.Dst {
+					return 3, Instr{Op: OpBinImmBr, Dst: bin.Dst, A: bin.A, B: ins[p+2].A, Aux: imm}, true
+				}
+				return 2, Instr{Op: OpBinImm, Dst: bin.Dst, A: bin.A, Aux: imm}, true
+			}
+		}
+	case OpBinary:
+		// Binary + BranchFalse: compare-and-branch.
+		if clear(2) && ins[p+1].Op == OpBranchFalse && ins[p+1].Dst == in.Dst {
+			return 2, Instr{Op: OpBinBr, Dst: in.Dst, A: in.A, B: in.B,
+				Aux: &BinBrInfo{Bin: in.Aux.(*BinInfo), Target: ins[p+1].A}}, true
+		}
+	case OpDeclare:
+		// Declare + complete constant literal + StoreDecl: the generator's
+		// module-state initializer (`struct S s = {...};`) — the hottest
+		// allocation site in the opstats data. The fused form writes the
+		// constants straight into the cell tree OpDeclare allocates,
+		// eliding the literal's entire temporary tree and the StoreDecl
+		// deep copy. Sound only when the scan consumed the whole literal
+		// (StoreDecl immediately follows) and the declared type equals
+		// the literal's (otherwise StoreDecl's storeCell would have
+		// errored; stay unfused to preserve that).
+		if clear(2) && ins[p+1].Op == OpNewAgg {
+			dt, ok := in.Aux.(cltypes.Type)
+			lt, ok2 := ins[p+1].Aux.(cltypes.Type)
+			if ok && ok2 && dt.Equal(lt) {
+				ra := ins[p+1].Dst
+				n, ops := matchAggLit(ins, p+1, jt, del, lt, ra, nil, 0)
+				r := p + 1 + n
+				if len(ops) > 0 && r < len(ins) && !jt[r] && !del[r] &&
+					ins[r].Op == OpStoreDecl && ins[r].A == in.A && ins[r].B == ra {
+					return r + 1 - p, Instr{Op: OpAggDecl, Dst: -1, A: in.A,
+						Aux: &AggLit{Typ: dt, Ops: ops}}, true
+				}
+			}
+		}
+	case OpNewAgg:
+		// A constant literal run not consumed by the OpDeclare form above:
+		// fuse the prefix into OpAggLit. The scan stops at the first
+		// initializer that is not a compile-time constant (or at a jump
+		// target / deleted pc) and fuses whatever run it found; the
+		// remaining initializer instructions still read the aggregate
+		// register OpAggLit writes.
+		if n, ops := matchAggLit(ins, p, jt, del, in.Aux.(cltypes.Type), in.Dst, nil, 0); len(ops) > 0 {
+			return n, Instr{Op: OpAggLit, Dst: in.Dst,
+				Aux: &AggLit{Typ: in.Aux.(cltypes.Type), Ops: ops}}, true
+		}
+	case OpLVLoad:
+		// LVLoad + Cast over the same register: loads feeding an explicit
+		// cast (the checksum accumulation shape). OpCast converts its Dst
+		// register in place, so the pair only fuses when the cast reads
+		// the register the load just wrote.
+		if clear(2) && ins[p+1].Op == OpCast && ins[p+1].Dst == in.Dst {
+			return 2, Instr{Op: OpLoadCast, Dst: in.Dst, A: in.A, Aux: ins[p+1].Aux}, true
+		}
+	case OpLVPtrIndex:
+		// LVPtrIndex + LVLoad: indexed flat-buffer read.
+		if clear(2) && ins[p+1].Op == OpLVLoad && ins[p+1].A == in.Dst {
+			return 2, Instr{Op: OpLoadIdx, Dst: ins[p+1].Dst, A: in.A, B: in.B}, true
+		}
+	case OpLVSlot:
+		// LVSlot + IncDec: i++ / i-- on a plain variable.
+		if clear(2) && ins[p+1].Op == OpIncDec && ins[p+1].A == in.Dst {
+			return 2, Instr{Op: OpIncDecSlot, Dst: ins[p+1].Dst, A: in.A, B: ins[p+1].B}, true
+		}
+	}
+	return 0, Instr{}, false
+}

@@ -1,0 +1,543 @@
+package code_test
+
+import (
+	"reflect"
+	"testing"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/code"
+	"clfuzz/internal/device"
+	"clfuzz/internal/generator"
+)
+
+func bi(op ast.BinOp) *code.BinInfo { return &code.BinInfo{Op: op, RT: cltypes.TInt} }
+func cv(v uint64) *code.ConstVal    { return &code.ConstVal{T: cltypes.TInt, V: v} }
+
+// fuseOne fuses a single hand-built function and returns the result.
+func fuseOne(t *testing.T, ins []code.Instr, regs, lvs, slots int) *code.Fn {
+	t.Helper()
+	f := &code.Fn{Name: "k", Code: ins, NumRegs: regs, NumLVs: lvs, NumSlots: slots}
+	return code.Fuse(&code.Program{Fns: []*code.Fn{f}}).Fns[0]
+}
+
+// TestFusePatterns drives every peephole pattern through a minimal
+// hand-built program and checks the exact fused output: opcodes, operand
+// fields (post-coalescing), remapped jump targets, and the conserved
+// Cost sums that keep fuel/v2 totals identical to fuel/v1.
+func TestFusePatterns(t *testing.T) {
+	si := &code.StoreInfo{Op: ast.Assign}
+	innerT := &cltypes.StructT{Name: "In", Fields: []cltypes.Field{
+		{Name: "a", Type: cltypes.TInt}, {Name: "b", Type: cltypes.TInt},
+	}}
+	outerT := &cltypes.StructT{Name: "Out", Fields: []cltypes.Field{
+		{Name: "x", Type: cltypes.TInt}, {Name: "s", Type: innerT},
+	}}
+	otherT := &cltypes.StructT{Name: "Other", Fields: []cltypes.Field{
+		{Name: "a", Type: cltypes.TInt},
+	}}
+	cases := []struct {
+		name string
+		in   []code.Instr
+		want []code.Instr
+	}{
+		{
+			// The `i < N` loop-condition shape, plus the back-jump whose
+			// target must remap across the 4→1 collapse.
+			name: "BinSlotImmBr",
+			in: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(10)},
+				{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.LT)},
+				{Op: code.OpBranchFalse, Cost: 1, Dst: 0, A: 5},
+				{Op: code.OpJump, Cost: 1, A: 0},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpBinSlotImmBr, Cost: 4, Dst: 0, A: 0, B: 2,
+					Aux: &code.ImmInfo{Bin: bi(ast.LT), T: cltypes.TInt, V: 10}},
+				{Op: code.OpJump, Cost: 1, A: 0},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			name: "BinSlotImm",
+			in: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(7)},
+				{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.Add)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpBinSlotImm, Cost: 3, Dst: 0, A: 0,
+					Aux: &code.ImmInfo{Bin: bi(ast.Add), T: cltypes.TInt, V: 7}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			name: "BinSlots",
+			in: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 2, A: 1},
+				{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.Add)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpBinSlots, Cost: 3, Dst: 0, A: 0, B: 1, Aux: bi(ast.Add)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// The load feeds the binary's right operand: expr OP var.
+			name: "BinSlotR",
+			in: []code.Instr{
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(3)},
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 2, A: 0},
+				{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.Sub)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(3)},
+				{Op: code.OpBinSlotR, Cost: 2, Dst: 0, A: 1, B: 0, Aux: bi(ast.Sub)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// Left operand from a non-fusable producer, so the Const+Binary
+			// pair fuses to the immediate form.
+			name: "BinImm",
+			in: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(7)},
+				{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.Mul)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpBinImm, Cost: 2, Dst: 0, A: 1,
+					Aux: &code.ImmInfo{Bin: bi(ast.Mul), T: cltypes.TInt, V: 7}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			name: "BinBr",
+			in: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpLVSlot, Cost: 1, Dst: 1, A: 1},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 2, A: 1},
+				{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.EQ)},
+				{Op: code.OpBranchFalse, Cost: 1, Dst: 0, A: 7},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpLVSlot, Cost: 1, Dst: 1, A: 1},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 2, A: 1},
+				{Op: code.OpBinBr, Cost: 2, Dst: 0, A: 1, B: 2,
+					Aux: &code.BinBrInfo{Bin: bi(ast.EQ), Target: 6}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			name: "LoadIdx",
+			in: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 2, A: 1},
+				{Op: code.OpLVPtrIndex, Cost: 1, Dst: 0, A: 1, B: 2},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 2, A: 1},
+				{Op: code.OpLoadIdx, Cost: 2, Dst: 0, A: 1, B: 2},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			name: "IncDecSlot",
+			in: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpIncDec, Cost: 1, Dst: 0, A: 0, B: int32(ast.PostInc)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpIncDecSlot, Cost: 2, Dst: 0, A: 0, B: int32(ast.PostInc)},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// The slot-store window: the captured lvalue is elided and the
+			// store re-reads the frame slot, keeping its StoreInfo verbatim.
+			name: "StoreSlot",
+			in: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(5)},
+				{Op: code.OpStore, Cost: 1, Dst: -1, A: 0, B: 1, Aux: si},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpConst, Cost: 2, Dst: 0, Aux: cv(5)},
+				{Op: code.OpStoreSlot, Cost: 1, Dst: -1, A: 0, B: 0, Aux: si},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// A jump target on the Binary splits the 4-wide candidate: the
+			// prefix stays unfused and only Binary+BranchFalse collapse (a
+			// control path enters at the Binary, which must stay a real pc).
+			name: "JumpTargetSplitsPattern",
+			in: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(10)},
+				{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.LT)},
+				{Op: code.OpBranchFalse, Cost: 1, Dst: 0, A: 2},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(10)},
+				{Op: code.OpBinBr, Cost: 2, Dst: 0, A: 1, B: 2,
+					Aux: &code.BinBrInfo{Bin: bi(ast.LT), Target: 2}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// OpSteps are deleted and jumps over them remap to the next
+			// surviving instruction.
+			name: "StepDeletion",
+			in: []code.Instr{
+				{Op: code.OpStep, Cost: 1},
+				{Op: code.OpJump, Cost: 1, A: 4},
+				{Op: code.OpStep, Cost: 1},
+				{Op: code.OpStep, Cost: 1},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			// The first OpStep folds its charge into the Jump (Cost 2).
+			// The other two sit immediately before the Jump's target: a
+			// path entering at the ReturnVoid never executed them, so
+			// folding forward would over-charge it — they are retained
+			// as charge carriers instead.
+			want: []code.Instr{
+				{Op: code.OpJump, Cost: 2, A: 3},
+				{Op: code.OpStep, Cost: 1},
+				{Op: code.OpStep, Cost: 1},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// Stores through pointer lvalues keep their OpStore (and its
+			// StoreInfo defect hook): only OpLVSlot-rooted stores fuse.
+			name: "DerefStoreNotFused",
+			in: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpLVDeref, Cost: 1, Dst: 0, A: 1},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(9)},
+				{Op: code.OpStore, Cost: 1, Dst: -1, A: 0, B: 2,
+					Aux: &code.StoreInfo{Op: ast.Assign, DerefParam: true}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			// (registers 1,2 coalesce to 0,1: the unused reg 0 gap closes)
+			want: []code.Instr{
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpLVDeref, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(9)},
+				{Op: code.OpStore, Cost: 1, Dst: -1, A: 0, B: 1,
+					Aux: &code.StoreInfo{Op: ast.Assign, DerefParam: true}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// A load feeding an explicit cast over the same register (the
+			// checksum-accumulation shape).
+			name: "LoadCast",
+			in: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpLVLoad, Cost: 1, Dst: 1, A: 0},
+				{Op: code.OpCast, Cost: 1, Dst: 1, A: 1, Aux: cltypes.TULong},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 0},
+				{Op: code.OpLoadCast, Cost: 2, Dst: 0, A: 0, Aux: cltypes.TULong},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// A flat constant struct literal: the whole initializer run
+			// collapses into one OpAggLit, with and without the
+			// ConvertFree on the constant.
+			name: "AggLitFlat",
+			in: []code.Instr{
+				{Op: code.OpNewAgg, Cost: 1, Dst: 0, Aux: innerT},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(7)},
+				{Op: code.OpConvertFree, Cost: 1, Dst: 1, Aux: cltypes.TUChar},
+				{Op: code.OpInitField, Cost: 1, Dst: 0, A: 0, B: 1},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(9)},
+				{Op: code.OpInitField, Cost: 1, Dst: 1, A: 0, B: 1},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpAggLit, Cost: 6, Dst: 0, Aux: &code.AggLit{Typ: innerT, Ops: []code.AggOp{
+					{Path: []int32{0}, T: cltypes.TInt, V: 7, Conv: cltypes.TUChar},
+					{Path: []int32{1}, T: cltypes.TInt, V: 9},
+				}}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// A nested constant literal flattens into root-relative paths,
+			// and the inner literal's defect hook survives at its path.
+			name: "AggLitNested",
+			in: []code.Instr{
+				{Op: code.OpNewAgg, Cost: 1, Dst: 0, Aux: outerT},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(3)},
+				{Op: code.OpInitField, Cost: 1, Dst: 0, A: 0, B: 1},
+				{Op: code.OpNewAgg, Cost: 1, Dst: 1, Aux: innerT},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(4)},
+				{Op: code.OpInitField, Cost: 1, Dst: 0, A: 1, B: 2},
+				{Op: code.OpInitStructDefect, Cost: 1, A: 1},
+				{Op: code.OpInitField, Cost: 1, Dst: 1, A: 0, B: 1},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpAggLit, Cost: 8, Dst: 0, Aux: &code.AggLit{Typ: outerT, Ops: []code.AggOp{
+					{Path: []int32{0}, T: cltypes.TInt, V: 3},
+					{Path: []int32{1, 0}, T: cltypes.TInt, V: 4},
+					{Path: []int32{1}, Defect: true},
+				}}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// Declare + complete literal + StoreDecl elides the temporary
+			// tree and the deep copy entirely: no registers survive.
+			name: "AggDecl",
+			in: []code.Instr{
+				{Op: code.OpDeclare, Cost: 1, Dst: 0, A: 3, Aux: innerT},
+				{Op: code.OpNewAgg, Cost: 1, Dst: 0, Aux: innerT},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(5)},
+				{Op: code.OpInitField, Cost: 1, Dst: 0, A: 0, B: 1},
+				{Op: code.OpStoreDecl, Cost: 1, Dst: 0, A: 3, B: 0},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpAggDecl, Cost: 5, Dst: -1, A: 3, Aux: &code.AggLit{Typ: innerT, Ops: []code.AggOp{
+					{Path: []int32{0}, T: cltypes.TInt, V: 5},
+				}}},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// A non-constant field interrupts the run: the Declare form is
+			// refused (StoreDecl does not directly follow the constant
+			// prefix), the prefix still fuses to OpAggLit, and the
+			// remaining initializers execute against its register.
+			name: "AggDeclPartialKeepsTail",
+			in: []code.Instr{
+				{Op: code.OpDeclare, Cost: 1, Dst: 0, A: 3, Aux: innerT},
+				{Op: code.OpNewAgg, Cost: 1, Dst: 0, Aux: innerT},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(5)},
+				{Op: code.OpInitField, Cost: 1, Dst: 0, A: 0, B: 1},
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 2},
+				{Op: code.OpInitField, Cost: 1, Dst: 1, A: 0, B: 1},
+				{Op: code.OpStoreDecl, Cost: 1, Dst: 0, A: 3, B: 0},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpDeclare, Cost: 1, Dst: 0, A: 3, Aux: innerT},
+				{Op: code.OpAggLit, Cost: 3, Dst: 0, Aux: &code.AggLit{Typ: innerT, Ops: []code.AggOp{
+					{Path: []int32{0}, T: cltypes.TInt, V: 5},
+				}}},
+				{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 2},
+				{Op: code.OpInitField, Cost: 1, Dst: 1, A: 0, B: 1},
+				{Op: code.OpStoreDecl, Cost: 1, Dst: 0, A: 3, B: 0},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+		{
+			// The inner literal's type does not match the statically
+			// derived kid type, so the nested form is refused: the inner
+			// literal fuses on its own and the InitField that stores it —
+			// where the unfused program would error — is retained.
+			name: "AggLitNestedTypeMismatch",
+			in: []code.Instr{
+				{Op: code.OpNewAgg, Cost: 1, Dst: 0, Aux: outerT},
+				{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(3)},
+				{Op: code.OpInitField, Cost: 1, Dst: 0, A: 0, B: 1},
+				{Op: code.OpNewAgg, Cost: 1, Dst: 1, Aux: otherT},
+				{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(4)},
+				{Op: code.OpInitField, Cost: 1, Dst: 0, A: 1, B: 2},
+				{Op: code.OpInitField, Cost: 1, Dst: 1, A: 0, B: 1},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+			want: []code.Instr{
+				{Op: code.OpAggLit, Cost: 3, Dst: 0, Aux: &code.AggLit{Typ: outerT, Ops: []code.AggOp{
+					{Path: []int32{0}, T: cltypes.TInt, V: 3},
+				}}},
+				{Op: code.OpAggLit, Cost: 3, Dst: 1, Aux: &code.AggLit{Typ: otherT, Ops: []code.AggOp{
+					{Path: []int32{0}, T: cltypes.TInt, V: 4},
+				}}},
+				{Op: code.OpInitField, Cost: 1, Dst: 1, A: 0, B: 1},
+				{Op: code.OpReturnVoid, Cost: 1},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := fuseOne(t, tc.in, 16, 16, 16)
+			if !reflect.DeepEqual(got.Code, tc.want) {
+				t.Fatalf("fused code mismatch\ngot:  %v\nwant: %v", got.Code, tc.want)
+			}
+			// Fuel charges are conserved exactly: the fused stream's
+			// total Cost equals the input's, which is what keeps fuel/v2
+			// totals (and Timeout outcomes) identical to fuel/v1.
+			var in, out int
+			for i := range tc.in {
+				in += int(tc.in[i].Cost)
+			}
+			for i := range got.Code {
+				out += int(got.Code[i].Cost)
+			}
+			if in != out {
+				t.Fatalf("fuel charges not conserved: input total %d, fused total %d", in, out)
+			}
+		})
+	}
+}
+
+// TestFuseStoreHookIdentity pins the defect-model contract: fusing an
+// OpLVSlot store into OpStoreSlot must carry the original *StoreInfo
+// through by pointer, so the compound-operator and store-defect paths
+// read exactly the aux the lowerer built.
+func TestFuseStoreHookIdentity(t *testing.T) {
+	si := &code.StoreInfo{Op: ast.AddAssign}
+	ins := []code.Instr{
+		{Op: code.OpLVSlot, Cost: 1, Dst: 0, A: 2},
+		{Op: code.OpConst, Cost: 1, Dst: 1, Aux: cv(5)},
+		{Op: code.OpStore, Cost: 1, Dst: -1, A: 0, B: 1, Aux: si},
+		{Op: code.OpReturnVoid, Cost: 1},
+	}
+	got := fuseOne(t, ins, 4, 4, 4)
+	if got.Code[1].Op != code.OpStoreSlot {
+		t.Fatalf("store did not fuse: %v", got.Code)
+	}
+	if got.Code[1].Aux.(*code.StoreInfo) != si {
+		t.Fatalf("fused store carries a different StoreInfo: %p vs %p", got.Code[1].Aux, si)
+	}
+	if got.Code[1].A != 2 {
+		t.Fatalf("fused store slot = %d, want 2", got.Code[1].A)
+	}
+}
+
+// TestFuseCoalescesRegisters checks the register-coalescing pass:
+// operand elision leaves register-number gaps, and the fused function
+// must renumber the survivors densely (monotone, so relative order is
+// preserved) and shrink the frame counts the VM allocates from.
+func TestFuseCoalescesRegisters(t *testing.T) {
+	ins := []code.Instr{
+		{Op: code.OpLoadSlot, Cost: 1, Dst: 4, A: 0},
+		{Op: code.OpLoadSlot, Cost: 1, Dst: 8, A: 1},
+		{Op: code.OpBinary, Cost: 1, Dst: 6, A: 4, B: 8, Aux: bi(ast.Add)},
+		{Op: code.OpReturn, Cost: 1, A: 6},
+	}
+	got := fuseOne(t, ins, 12, 9, 2)
+	want := []code.Instr{
+		{Op: code.OpBinSlots, Cost: 3, Dst: 0, A: 0, B: 1, Aux: bi(ast.Add)},
+		{Op: code.OpReturn, Cost: 1, A: 0},
+	}
+	if !reflect.DeepEqual(got.Code, want) {
+		t.Fatalf("fused code mismatch\ngot:  %v\nwant: %v", got.Code, want)
+	}
+	if got.NumRegs != 1 {
+		t.Fatalf("NumRegs = %d, want 1", got.NumRegs)
+	}
+	if got.NumLVs != 0 {
+		t.Fatalf("NumLVs = %d, want 0", got.NumLVs)
+	}
+	if got.NumSlots != 2 {
+		t.Fatalf("NumSlots = %d, want 2 (slots must never be renumbered)", got.NumSlots)
+	}
+}
+
+// TestFusedCodeShrinksRealKernels compiles generated kernels and checks
+// the fusion pass pays for itself on real lowered programs: a material
+// static instruction reduction (the dynamic reduction in the hot loops
+// is larger), frame shrinkage from coalescing, memoization of the fused
+// program on the shared back-end artifact, and determinism — fusing the
+// same program twice yields deeply equal code.
+func TestFusedCodeShrinksRealKernels(t *testing.T) {
+	ref := device.Reference()
+	var before, after int
+	for seed := int64(1); seed <= 8; seed++ {
+		k := generator.Generate(generator.Options{
+			Mode: generator.ModeAll, Seed: seed, MaxTotalThreads: 32,
+		})
+		cr := ref.Compile(k.Src, true)
+		if cr.Outcome != device.OK || cr.Kernel.Code == nil {
+			t.Fatalf("seed %d did not compile to bytecode", seed)
+		}
+		fused := cr.Kernel.FusedCode()
+		if fused == nil {
+			t.Fatalf("seed %d: FusedCode returned nil for a lowered kernel", seed)
+		}
+		if cr.Kernel.FusedCode() != fused {
+			t.Fatalf("seed %d: FusedCode is not memoized", seed)
+		}
+		for i, f := range cr.Kernel.Code.Fns {
+			nf := fused.Fns[i]
+			before += len(f.Code)
+			after += len(nf.Code)
+			if nf.NumRegs > f.NumRegs || nf.NumLVs > f.NumLVs {
+				t.Fatalf("seed %d fn %s: coalescing grew the frame (%d/%d regs, %d/%d lvs)",
+					seed, f.Name, nf.NumRegs, f.NumRegs, nf.NumLVs, f.NumLVs)
+			}
+			if nf.NumSlots != f.NumSlots {
+				t.Fatalf("seed %d fn %s: slot count changed", seed, f.Name)
+			}
+		}
+		if !reflect.DeepEqual(code.Fuse(cr.Kernel.Code), fused) {
+			t.Fatalf("seed %d: fusing twice is not deterministic", seed)
+		}
+	}
+	if after >= before {
+		t.Fatalf("fusion did not shrink the programs: %d -> %d instructions", before, after)
+	}
+	if reduction := float64(before-after) / float64(before); reduction < 0.10 {
+		t.Fatalf("static reduction %.1f%% (%d -> %d), want >= 10%%", reduction*100, before, after)
+	} else {
+		t.Logf("static instruction reduction: %.1f%% (%d -> %d)", reduction*100, before, after)
+	}
+}
+
+// TestFuseInputUntouched verifies Fuse never mutates the lowered
+// program it reads: the fused copy is a sibling, and the v1 program the
+// default fuel model keeps running must stay byte-identical.
+func TestFuseInputUntouched(t *testing.T) {
+	ins := []code.Instr{
+		{Op: code.OpLoadSlot, Cost: 1, Dst: 1, A: 0},
+		{Op: code.OpConst, Cost: 1, Dst: 2, Aux: cv(10)},
+		{Op: code.OpBinary, Cost: 1, Dst: 0, A: 1, B: 2, Aux: bi(ast.LT)},
+		{Op: code.OpBranchFalse, Cost: 1, Dst: 0, A: 5},
+		{Op: code.OpJump, Cost: 1, A: 0},
+		{Op: code.OpReturnVoid, Cost: 1},
+	}
+	orig := make([]code.Instr, len(ins))
+	copy(orig, ins)
+	f := &code.Fn{Name: "k", Code: ins, NumRegs: 3, NumLVs: 0, NumSlots: 1}
+	p := &code.Program{Fns: []*code.Fn{f}}
+	fp := code.Fuse(p)
+	if !reflect.DeepEqual(ins, orig) {
+		t.Fatalf("Fuse mutated the input code:\ngot:  %v\nwant: %v", ins, orig)
+	}
+	if f.NumRegs != 3 {
+		t.Fatalf("Fuse mutated the input NumRegs: %d", f.NumRegs)
+	}
+	if fp.Fns[0] == f {
+		t.Fatal("Fuse returned the input Fn instead of a copy")
+	}
+}

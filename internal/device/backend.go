@@ -60,6 +60,21 @@ type backEnd struct {
 	// declined and the kernel runs on the tree-walking engine). Like prog
 	// it is immutable and shared across configurations and launches.
 	code *code.Program
+	// fused lazily memoizes the fuel/v2 superinstruction form of code
+	// (nil exactly when code is nil): the fusion pass runs at most once
+	// per shared artifact, only in processes that actually select
+	// fuel/v2, and the fused program is as immutable and shareable as
+	// code itself.
+	fused func() *code.Program
+}
+
+// fusedOnce wraps a lowered program in a lazy, concurrency-safe memo of
+// its fused fuel/v2 form.
+func fusedOnce(cp *code.Program) func() *code.Program {
+	if cp == nil {
+		return nil
+	}
+	return sync.OnceValue(func() *code.Program { return code.Fuse(cp) })
 }
 
 // checkedKey addresses the sema stage: defects is masked to semaDefects.
@@ -86,9 +101,10 @@ type progKey struct {
 }
 
 type progEntry struct {
-	src  string
-	prog *ast.Program
-	code *code.Program
+	src   string
+	prog  *ast.Program
+	code  *code.Program
+	fused func() *code.Program
 }
 
 // Lowering counters: programs lowered to bytecode vs programs that fell
@@ -220,7 +236,7 @@ func (bc *BackCache) assemble(fe *FrontEnd, lvl Level, effOpt bool) *backEnd {
 		return be
 	}
 	pe := bc.progFor(progKey{hash: fe.Hash, defects: lvl.Defects & foldDefects, optimize: effOpt}, fe, ce.prog)
-	be.prog, be.code = pe.prog, pe.code
+	be.prog, be.code, be.fused = pe.prog, pe.code, pe.fused
 	be.info = ce.info
 	return be
 }
@@ -272,6 +288,7 @@ func (bc *BackCache) progFor(key progKey, fe *FrontEnd, checked *ast.Program) *p
 		prog = opt.Optimize(prog, key.defects)
 	}
 	ne := &progEntry{src: fe.Src, prog: prog, code: lowerProgram(prog)}
+	ne.fused = fusedOnce(ne.code)
 	if !collided {
 		bc.mu.Lock()
 		if _, ok := bc.progs[key]; !ok {
@@ -355,5 +372,6 @@ func compileBackEnd(fe *FrontEnd, lvl Level, optimize bool) *backEnd {
 	}
 	be.prog, be.info = prog, info
 	be.code = lowerProgram(prog)
+	be.fused = fusedOnce(be.code)
 	return be
 }

@@ -79,6 +79,21 @@ type Kernel struct {
 	Code  *code.Program
 	Hash  uint64
 	level Level
+	// fused lazily derives (and memoizes, alongside Code in the shared
+	// back-end artifact) the fuel/v2 superinstruction form of Code. Nil
+	// exactly when Code is nil.
+	fused func() *code.Program
+}
+
+// FusedCode returns the fuel/v2 superinstruction form of the kernel's
+// bytecode, deriving it on first use and sharing the memoized copy with
+// every kernel built from the same back-end artifact. It returns nil
+// when the kernel has no lowered program.
+func (k *Kernel) FusedCode() *code.Program {
+	if k.fused == nil {
+		return nil
+	}
+	return k.fused()
 }
 
 // DefaultEngine is the process-wide engine selection applied when
@@ -97,6 +112,27 @@ func init() {
 		panic("device: bad CLFUZZ_ENGINE: " + err.Error())
 	}
 	DefaultEngine = e
+}
+
+// DefaultFuelModel is the process-wide fuel model applied when
+// RunOptions.FuelModel is FuelAuto: fuel/v1 (tree-exact accounting) by
+// default, so the paper tables and every byte-identity suite are
+// untouched. The CLFUZZ_FUEL environment variable ("v1" or "v2")
+// overrides it at startup — how CI's fuel/v2 determinism job pins the
+// superinstruction model — and the campaign binaries expose it as a
+// -fuel flag.
+var DefaultFuelModel = exec.FuelV1
+
+func init() {
+	fm, err := exec.ParseFuelModel(os.Getenv("CLFUZZ_FUEL"))
+	if err != nil {
+		// Same reasoning as CLFUZZ_ENGINE: a misspelled override must not
+		// silently run the wrong fuel model under a determinism suite.
+		panic("device: bad CLFUZZ_FUEL: " + err.Error())
+	}
+	if fm != exec.FuelAuto {
+		DefaultFuelModel = fm
+	}
 }
 
 // Compile runs the configuration's online compiler on kernel source:
@@ -163,6 +199,7 @@ func (c *Config) compileFE(fe *FrontEnd, optimize bool, bc *BackCache) CompileRe
 			Code:      be.code,
 			Hash:      fe.Hash,
 			level:     lvl,
+			fused:     be.fused,
 		},
 	}
 }
@@ -197,6 +234,16 @@ type RunOptions struct {
 	// zero value) defers to DefaultEngine, under which lowered kernels
 	// run on the register VM. Outputs are byte-identical either way.
 	Engine exec.Engine
+	// FuelModel selects the fuel-accounting model; FuelAuto (the zero
+	// value) defers to DefaultFuelModel. fuel/v1 charges tree-exact
+	// costs; fuel/v2 runs the fused superinstruction program and charges
+	// one unit per dispatch. Outputs are identical across models
+	// whenever neither times out; the Timeout frontier differs, so each
+	// model is only byte-identical to itself. Kernels without lowered
+	// bytecode (and launches forced onto the tree engine) execute the
+	// tree walk with v1 accounting regardless — deterministically, since
+	// the model resolution depends only on options and the kernel.
+	FuelModel exec.FuelModel
 	// Ctx cancels the launch cooperatively at work-group boundaries; a
 	// launch stopped this way reports the Canceled outcome. nil runs to
 	// completion.
@@ -206,6 +253,10 @@ type RunOptions struct {
 	// are byte-identical with coverage on or off. Launches that resolve
 	// to the tree engine record nothing (coverage-off fallback).
 	Cover *exec.CoverMap
+	// OpStats, when non-nil, accumulates dynamic opcode and opcode-pair
+	// dispatch histograms for the launch (clbench -opstats). Observation
+	// only, VM only, like Cover.
+	OpStats *exec.OpStats
 }
 
 // Run executes the kernel over the NDRange. result names the output buffer
@@ -235,13 +286,27 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 	if engine == exec.EngineAuto {
 		engine = DefaultEngine
 	}
+	fm := ro.FuelModel
+	if fm == exec.FuelAuto {
+		fm = DefaultFuelModel
+	}
+	// The fuel model is a property of which program the VM dispatches:
+	// fuel/v2 substitutes the fused superinstruction form, whose
+	// per-instruction costs implement per-dispatch charging through the
+	// unchanged dispatch loop. Tree-engine launches (forced, or lowering
+	// fallback) keep v1 accounting.
+	kcode := k.Code
+	if fm == exec.FuelV2 && kcode != nil && engine != exec.EngineTree {
+		kcode = k.fused()
+	}
 	opts := exec.Options{
 		Defects:    lvl.Defects,
 		Hash:       k.Hash,
 		Fuel:       int64(float64(fuel) * ff),
 		CheckRaces: ro.CheckRaces,
-		Code:       k.Code,
+		Code:       kcode,
 		Engine:     engine,
+		FuelModel:  fm,
 		Ctx:        ro.Ctx,
 		// Barrier-free kernels (the common case for generated tests) take
 		// the executor's goroutine-free sequential fast path.
@@ -253,6 +318,7 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 		Workers:    ro.Workers,
 		HasFwdDecl: k.Info.HasFwdDecl,
 		Cover:      ro.Cover,
+		OpStats:    ro.OpStats,
 	}
 	err := exec.Run(k.Prog, nd, args, opts)
 	switch err.(type) {

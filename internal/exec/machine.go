@@ -106,6 +106,13 @@ type Options struct {
 	// tree walker, EngineVM requests the VM (falling back to the tree
 	// walker when no lowered program was supplied).
 	Engine Engine
+	// FuelModel records the fuel-accounting model of this launch for the
+	// per-model counters. The model itself is a property of the supplied
+	// Code: under fuel/v2 the embedding layer (device.Kernel.Run) passes
+	// the fused program, whose per-instruction costs already implement
+	// per-superinstruction charging — the dispatch loop is model-blind.
+	// FuelAuto/FuelV1 count as fuel/v1.
+	FuelModel FuelModel
 	// Ctx cancels the launch cooperatively: Run consults it at work-group
 	// boundaries (never mid-thread, where fuel already bounds progress)
 	// and returns a *CancelError once it fires. nil runs to completion.
@@ -118,6 +125,10 @@ type Options struct {
 	// or nil — and only the register VM collects it; the tree walker
 	// leaves the map untouched.
 	Cover *CoverMap
+	// OpStats, when non-nil, accumulates dynamic opcode and opcode-pair
+	// dispatch histograms (clbench -opstats). Observation only, VM only,
+	// like Cover.
+	OpStats *OpStats
 }
 
 // Stats reports execution cost measurements, used to calibrate the fuel
@@ -434,6 +445,9 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 	if opts.Code != nil && opts.Engine != EngineTree {
 		m.code = opts.Code
 		vmLaunches.Add(1)
+		if opts.FuelModel == FuelV2 {
+			vmLaunchesV2.Add(1)
+		}
 	} else {
 		treeLaunches.Add(1)
 	}

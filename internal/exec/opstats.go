@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"clfuzz/internal/code"
+)
+
+// OpStats accumulates dynamic opcode and opcode-pair dispatch
+// frequencies for the VM. Like Options.Cover it is strictly opt-in
+// (clbench -opstats): a nil OpStats costs one pointer check per
+// dispatch, and collection never affects outcomes or outputs. The
+// counters are atomic so one OpStats may be shared across the parallel
+// work-group executors of a launch.
+type OpStats struct {
+	ops   [code.NumOps]atomic.Int64
+	pairs [code.NumOps * code.NumOps]atomic.Int64
+}
+
+// note records one dispatch of cur following prev. The first dispatch
+// of each vmLoop invocation pairs with OpInvalid and is dropped from
+// the pair histogram by Pairs below.
+func (s *OpStats) note(prev, cur code.Op) {
+	s.ops[cur].Add(1)
+	s.pairs[int(prev)*code.NumOps+int(cur)].Add(1)
+}
+
+// OpCount is one opcode's dispatch count.
+type OpCount struct {
+	Op    string `json:"op"`
+	Count int64  `json:"count"`
+}
+
+// PairCount is one adjacent opcode pair's dispatch count.
+type PairCount struct {
+	First  string `json:"first"`
+	Second string `json:"second"`
+	Count  int64  `json:"count"`
+}
+
+// Ops returns the opcode histogram sorted by descending count (ties by
+// opcode order, so snapshots are deterministic).
+func (s *OpStats) Ops() []OpCount {
+	var out []OpCount
+	for op := 0; op < code.NumOps; op++ {
+		if n := s.ops[op].Load(); n > 0 {
+			out = append(out, OpCount{Op: code.Op(op).String(), Count: n})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Pairs returns the adjacent-pair histogram sorted by descending count
+// (ties by pair order). Pairs whose first opcode is OpInvalid — the
+// synthetic predecessor of each dispatch loop entry — are omitted.
+func (s *OpStats) Pairs() []PairCount {
+	var out []PairCount
+	for a := 1; a < code.NumOps; a++ {
+		for b := 0; b < code.NumOps; b++ {
+			if n := s.pairs[a*code.NumOps+b].Load(); n > 0 {
+				out = append(out, PairCount{
+					First:  code.Op(a).String(),
+					Second: code.Op(b).String(),
+					Count:  n,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}

@@ -10,6 +10,7 @@ import (
 
 	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
 )
 
 // shardParams are deliberately tiny: the property under test is byte
@@ -17,9 +18,11 @@ import (
 // both engine jobs (the default VM job and the CLFUZZ_ENGINE=tree job),
 // so the shard/merge and result-cache invariants are pinned on both
 // evaluation engines.
+// The Fuel record follows the process default so the CLFUZZ_FUEL=v2 CI
+// job exercises the same byte-identity suite under the fused model.
 var shardParams = []Params{
-	{Table: 4, Scale: 2, Seed: 99, Threads: 24},
-	{Table: 5, Scale: 2, Seed: 99, Threads: 24},
+	{Table: 4, Scale: 2, Seed: 99, Threads: 24, Fuel: DefaultFuelParam()},
+	{Table: 5, Scale: 2, Seed: 99, Threads: 24, Fuel: DefaultFuelParam()},
 }
 
 // freshEngine returns an isolated campaign engine; withResults arms the
@@ -90,11 +93,60 @@ func TestShardMergeDeterminism(t *testing.T) {
 	}
 }
 
+// TestFuelV2CampaignDeterminism pins the fuel/v2 campaign contract:
+// with the process default set to the superinstruction model, a
+// campaign renders byte-identically across reruns and across a
+// shard/merge split, exactly as fuel/v1 does — and shard params that
+// fail to record the model are refused, so a v1 shard file can never
+// be folded into a v2 campaign unnoticed. CI runs this under -race
+// with CLFUZZ_FUEL=v2 set process-wide as well.
+func TestFuelV2CampaignDeterminism(t *testing.T) {
+	armImmutableAssert(t)
+	saved := device.DefaultFuelModel
+	device.DefaultFuelModel = exec.FuelV2
+	t.Cleanup(func() { device.DefaultFuelModel = saved })
+	p := Params{Table: 5, Scale: 2, Seed: 99, Threads: 24, Fuel: "v2"}
+	ref, err := renderCampaign(nil, freshEngine(false), p)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	again, err := renderCampaign(nil, freshEngine(true), p)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if again != ref {
+		t.Fatalf("fuel/v2 rerun differs from the reference:\n%s\n--- vs ---\n%s", again, ref)
+	}
+	files := make([]*ShardFile, 2)
+	for s := range files {
+		sf, err := runShard(nil, freshEngine(true), p, s, 2, ShardRunOptions{})
+		if err != nil {
+			t.Fatalf("shard %d/2: %v", s, err)
+		}
+		files[s] = sf
+	}
+	merged, err := mergeShards(freshEngine(true), files, nil)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged != ref {
+		t.Fatalf("fuel/v2 2-shard merge differs from the unsharded run:\n%s\n--- vs ---\n%s", merged, ref)
+	}
+	// A shard whose params omit the fuel record must be refused while
+	// the process default is v2: its records would have been produced
+	// under a different timeout frontier.
+	v1p := p
+	v1p.Fuel = ""
+	if _, err := runShard(nil, freshEngine(true), v1p, 0, 2, ShardRunOptions{}); err == nil {
+		t.Fatal("shard with v1 params ran under a v2 process default")
+	}
+}
+
 // TestShardMergeRejectsBadSets: incomplete, duplicated or mismatched
 // shard sets must be refused — with errors precise enough to name the
 // offending file and case — not silently merged.
 func TestShardMergeRejectsBadSets(t *testing.T) {
-	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16, Fuel: DefaultFuelParam()}
 	eng := freshEngine(true)
 	s0, err := runShard(nil, eng, p, 0, 2, ShardRunOptions{})
 	if err != nil {
@@ -186,7 +238,7 @@ func TestShardMergeRejectsBadSets(t *testing.T) {
 // TestValidateShardFile: per-file validation catches corruption a merge
 // would otherwise report confusingly (or not at all), naming the file.
 func TestValidateShardFile(t *testing.T) {
-	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16, Fuel: DefaultFuelParam()}
 	eng := freshEngine(true)
 	good, err := runShard(nil, eng, p, 0, 2, ShardRunOptions{})
 	if err != nil {
@@ -248,7 +300,7 @@ func TestLoadShardFile(t *testing.T) {
 		t.Fatal("loaded an absent file")
 	}
 	// Round trip through MergeShardPaths.
-	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16, Fuel: DefaultFuelParam()}
 	eng := freshEngine(true)
 	var paths []string
 	for s := 0; s < 2; s++ {
@@ -282,7 +334,7 @@ func TestLoadShardFile(t *testing.T) {
 // TestShardResume: a partial prior file is reused — only the missing
 // cases execute — and the result is byte-identical to a fresh run.
 func TestShardResume(t *testing.T) {
-	p := Params{Table: 4, Scale: 2, Seed: 99, Threads: 24}
+	p := Params{Table: 4, Scale: 2, Seed: 99, Threads: 24, Fuel: DefaultFuelParam()}
 	full, err := runShard(nil, freshEngine(true), p, 0, 2, ShardRunOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -319,7 +371,7 @@ func TestShardResume(t *testing.T) {
 // TestShardCancellation: a cancelled shard run returns ctx's error plus
 // a valid partial file that resumes to the byte-identical full result.
 func TestShardCancellation(t *testing.T) {
-	p := Params{Table: 4, Scale: 2, Seed: 99, Threads: 24}
+	p := Params{Table: 4, Scale: 2, Seed: 99, Threads: 24, Fuel: DefaultFuelParam()}
 	full, err := runShard(nil, freshEngine(true), p, 0, 1, ShardRunOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -360,7 +412,7 @@ func TestShardCancellation(t *testing.T) {
 // TestQuarantineShard: the synthesized all-crash shard merges with real
 // shards and covers exactly the quarantined slice.
 func TestQuarantineShard(t *testing.T) {
-	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16}
+	p := Params{Table: 4, Scale: 1, Seed: 7, Threads: 16, Fuel: DefaultFuelParam()}
 	real0, err := runShard(nil, freshEngine(true), p, 0, 2, ShardRunOptions{})
 	if err != nil {
 		t.Fatal(err)
