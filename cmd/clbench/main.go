@@ -101,6 +101,17 @@ type snapshot struct {
 	// finished launch results keyed by (source hash, defect model,
 	// argument digest) and reused across cases and campaigns.
 	ResultCache *cacheStats `json:"result_cache,omitempty"`
+	// ResultStore is the disk tier beneath the result cache (-store):
+	// campaign-verified disk hits/misses plus the store's own write and
+	// corruption counters. Absent when no store directory is configured.
+	ResultStore *storeStats `json:"result_store,omitempty"`
+	// CacheSkipNonFlat/Race/CoverMismatch are the campaign engine's
+	// per-reason result-cache skip counters: launches a wired cache could
+	// not serve because of cell-backed buffers, the race checker, or a
+	// result memoized under the opposite coverage population.
+	CacheSkipNonFlat       int64 `json:"cache_skip_non_flat,omitempty"`
+	CacheSkipRace          int64 `json:"cache_skip_race,omitempty"`
+	CacheSkipCoverMismatch int64 `json:"cache_skip_cover_mismatch,omitempty"`
 	// CampaignCases and CampaignLaunches are the campaign engine's
 	// cumulative throughput counters over the run: cases (matrices or
 	// single launches) started, and representative launches actually
@@ -117,6 +128,16 @@ type snapshot struct {
 	// machine-independent facts, not measurements).
 	Fuzz       *fuzzStats         `json:"fuzz,omitempty"`
 	Benchmarks map[string]metrics `json:"benchmarks"`
+}
+
+// storeStats is the -store snapshot section.
+type storeStats struct {
+	Dir       string `json:"dir"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Corrupt   uint64 `json:"corrupt,omitempty"`
+	Writes    uint64 `json:"writes"`
+	WriteErrs uint64 `json:"write_errs,omitempty"`
 }
 
 // opStatsSection is the -opstats snapshot section.
@@ -167,6 +188,8 @@ func main() {
 	engineFlag := flag.String("engine", "auto", "evaluation engine for every launch: vm, tree, or auto")
 	fuelFlag := flag.String("fuel", "auto",
 		"fuel model for every launch: v1 (per-instruction), v2 (per-superinstruction on the fused program), or auto (CLFUZZ_FUEL or v1)")
+	storeDirFlag := flag.String("store", "",
+		"disk-backed result store directory (default $CLFUZZ_STORE; empty disables); the snapshot records its hit/miss/write counters")
 	opStatsFlag := flag.Bool("opstats", false,
 		"collect opcode and opcode-pair dispatch histograms from the Execute benchmarks and record them in the snapshot")
 	flag.Parse()
@@ -183,6 +206,11 @@ func main() {
 	}
 	if fuel != exec.FuelAuto {
 		device.DefaultFuelModel = fuel
+	}
+	diskStore, err := campaign.EnableStore(*storeDirFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	var ops *exec.OpStats
 	if *opStatsFlag {
@@ -320,6 +348,15 @@ func main() {
 	fcHits, fcMisses, fcSize := device.DefaultFrontCache.Stats()
 	bcHits, bcMisses, bcSize := device.DefaultBackCache.Stats()
 	rcHits, rcMisses, rcSize := campaign.Default.Results.Stats()
+	skipNonFlat, skipRace, skipCover := campaign.Default.CacheSkips()
+	var storeSection *storeStats
+	if diskStore != nil {
+		dh, dm := campaign.Default.Results.DiskStats()
+		st := diskStore.Stats()
+		storeSection = &storeStats{Dir: diskStore.Dir(), Hits: dh, Misses: dm,
+			Corrupt: st.Corrupt, Writes: st.Writes, WriteErrs: st.WriteErrs}
+		fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d writes\n", "ResultStore", dh, dm, st.Writes)
+	}
 	cases, launches := campaign.Default.Counters()
 	casesPerSec := 0.0
 	if elapsed > 0 {
@@ -360,33 +397,37 @@ func main() {
 		}
 	}
 	snap := snapshot{
-		Schema:            "clfuzz-bench/v1",
-		Go:                runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		CPUs:              runtime.GOMAXPROCS(0),
-		GroupWorkers:      groupWorkers,
-		Engine:            engine.String(),
-		VMLaunches:        vmRuns,
-		TreeLaunches:      treeRuns,
-		VMInstructions:    vmInstrs,
-		LoweredKernels:    lowered,
-		LowerFallbacks:    fallbacks,
-		FuelModel:         effFuel.String(),
-		FuelV1Launches:    v1Runs,
-		FuelV1Instrs:      v1Instrs,
-		FuelV2Launches:    v2Runs,
-		FuelV2Instrs:      v2Instrs,
-		FusedPrograms:     fusedProgs,
-		FusedInstrsBefore: fusedBefore,
-		FusedInstrsAfter:  fusedAfter,
-		OpStats:           opSection,
-		FrontCache:        &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
-		BackCache:         &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},
-		ResultCache:       &cacheStats{Hits: rcHits, Misses: rcMisses, Size: rcSize},
-		CampaignCases:     cases,
-		CampaignLaunches:  launches,
-		CasesPerSec:       casesPerSec,
-		Fuzz:              fuzz,
-		Benchmarks:        bm,
+		Schema:                 "clfuzz-bench/v1",
+		Go:                     runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPUs:                   runtime.GOMAXPROCS(0),
+		GroupWorkers:           groupWorkers,
+		Engine:                 engine.String(),
+		VMLaunches:             vmRuns,
+		TreeLaunches:           treeRuns,
+		VMInstructions:         vmInstrs,
+		LoweredKernels:         lowered,
+		LowerFallbacks:         fallbacks,
+		FuelModel:              effFuel.String(),
+		FuelV1Launches:         v1Runs,
+		FuelV1Instrs:           v1Instrs,
+		FuelV2Launches:         v2Runs,
+		FuelV2Instrs:           v2Instrs,
+		FusedPrograms:          fusedProgs,
+		FusedInstrsBefore:      fusedBefore,
+		FusedInstrsAfter:       fusedAfter,
+		OpStats:                opSection,
+		FrontCache:             &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
+		BackCache:              &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},
+		ResultCache:            &cacheStats{Hits: rcHits, Misses: rcMisses, Size: rcSize},
+		ResultStore:            storeSection,
+		CacheSkipNonFlat:       skipNonFlat,
+		CacheSkipRace:          skipRace,
+		CacheSkipCoverMismatch: skipCover,
+		CampaignCases:          cases,
+		CampaignLaunches:       launches,
+		CasesPerSec:            casesPerSec,
+		Fuzz:                   fuzz,
+		Benchmarks:             bm,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -43,6 +43,8 @@ func main() {
 		"evaluation engine: vm, tree, or auto (the tree engine collects no coverage, degrading the loop to pure swarm-random generation)")
 	fuelFlag := flag.String("fuel", "auto",
 		"fuel model: v1 (per-instruction), v2 (per-superinstruction on the fused VM program), or auto (CLFUZZ_FUEL or v1)")
+	storeDir := flag.String("store", "",
+		"disk-backed result store directory shared across processes (default $CLFUZZ_STORE; empty disables)")
 	flag.Parse()
 	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
@@ -55,6 +57,9 @@ func main() {
 	}
 	if fuel != exec.FuelAuto {
 		device.DefaultFuelModel = fuel
+	}
+	if _, err := campaign.EnableStore(*storeDir); err != nil {
+		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -36,6 +36,8 @@ func main() {
 		"evaluation engine: vm (register bytecode), tree (reference walker), or auto")
 	fuelFlag := flag.String("fuel", "auto",
 		"fuel model: v1 (per-instruction, tree-exact), v2 (per-superinstruction on the fused VM program), or auto (CLFUZZ_FUEL or v1)")
+	storeDir := flag.String("store", "",
+		"disk-backed result store directory shared across processes (default $CLFUZZ_STORE; empty disables)")
 	cacheStats := flag.Bool("cachestats", false,
 		"print compile-cache hit/miss counters (front-end parses, shared back-end kernels, bytecode lowering) and engine counters after the run")
 	cover := flag.Bool("cover", false,
@@ -63,6 +65,9 @@ func main() {
 	if fuel != exec.FuelAuto {
 		device.DefaultFuelModel = fuel
 	}
+	if _, err := campaign.EnableStore(*storeDir); err != nil {
+		log.Fatal(err)
+	}
 	cfg := device.Reference()
 	if *cfgID != 0 {
 		cfg = device.ByID(*cfgID)
@@ -89,6 +94,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "front cache:  %d hits, %d misses, %d entries\n", fh, fm, fs)
 		fmt.Fprintf(os.Stderr, "back cache:   %d hits, %d misses, %d entries\n", bh, bm, bs)
 		fmt.Fprintf(os.Stderr, "result cache: %d hits, %d misses, %d entries\n", rh, rm, rs)
+		skipNonFlat, skipRace, skipCover := campaign.Default.CacheSkips()
+		fmt.Fprintf(os.Stderr, "cache skips:  %d non-flat buffers, %d race-checked, %d coverage mismatches\n",
+			skipNonFlat, skipRace, skipCover)
+		if disk := campaign.Default.Results.Disk(); disk != nil {
+			dh, dm := campaign.Default.Results.DiskStats()
+			st := disk.Stats()
+			fmt.Fprintf(os.Stderr, "disk store:   %d hits, %d misses (%d corrupt), %d writes (%d failed) at %s\n",
+				dh, dm, st.Corrupt, st.Writes, st.WriteErrs, disk.Dir())
+		}
 		fmt.Fprintf(os.Stderr, "campaign:     %d cases, %d launches executed\n", cases, launches)
 		fmt.Fprintf(os.Stderr, "lowering:     %d programs lowered, %d tree fallbacks\n", lo, lf)
 		fmt.Fprintf(os.Stderr, "engine:       %d vm launches (%d instructions), %d tree launches\n", vmRuns, instrs, treeRuns)

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"clfuzz/internal/benchmarks"
+	"clfuzz/internal/campaign"
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
 	"clfuzz/internal/exhibits"
@@ -91,6 +92,8 @@ func main() {
 		"evaluation engine for every campaign launch: vm, tree, or auto (campaign output is byte-identical either way)")
 	fuelFlag := flag.String("fuel", "auto",
 		"fuel model for every campaign launch: v1 (per-instruction, tree-exact), v2 (per-superinstruction on the fused VM program), or auto (CLFUZZ_FUEL or v1); campaign output is byte-identical unless a kernel times out")
+	storeDir := flag.String("store", "",
+		"disk-backed result store directory shared by shard workers, fleet runs and reruns (default $CLFUZZ_STORE; empty disables); campaign output is byte-identical with or without it")
 	flag.Parse()
 	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
@@ -103,6 +106,18 @@ func main() {
 	}
 	if fuel != exec.FuelAuto {
 		device.DefaultFuelModel = fuel
+	}
+	diskStore, err := campaign.EnableStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if diskStore != nil {
+		defer func() {
+			dh, dm := campaign.Default.Results.DiskStats()
+			st := diskStore.Stats()
+			log.Printf("store summary: dir=%s disk-hits=%d disk-misses=%d corrupt=%d writes=%d write-errs=%d",
+				diskStore.Dir(), dh, dm, st.Corrupt, st.Writes, st.WriteErrs)
+		}()
 	}
 
 	// SIGINT/SIGTERM cancel cooperatively: campaigns stop dispatching,
@@ -157,6 +172,7 @@ func main() {
 			noSpeculate: *noSpeculate,
 			engine:      *engineFlag,
 			fuel:        *fuelFlag,
+			store:       *storeDir,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -273,6 +289,7 @@ type fleetOptions struct {
 	noSpeculate bool
 	engine      string
 	fuel        string
+	store       string
 }
 
 // runFleet is the -fleet mode: supervise the campaign across shard
@@ -303,6 +320,7 @@ func runFleet(ctx context.Context, p harness.Params, o fleetOptions) error {
 			"-fresh="+fmt.Sprint(p.Fresh),
 			"-engine", o.engine,
 			"-fuel", o.fuel,
+			"-store", o.store,
 			"-shard", fmt.Sprintf("%d/%d", shard, of),
 			"-out", outPath)
 		cmd.Stderr = os.Stderr

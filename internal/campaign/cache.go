@@ -3,9 +3,11 @@ package campaign
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"clfuzz/internal/device"
 	"clfuzz/internal/exec"
+	"clfuzz/internal/store"
 )
 
 // resultKey identifies everything a deterministic launch result depends
@@ -70,6 +72,15 @@ type ResultCache struct {
 	fifo    []resultKey
 	hits    uint64
 	misses  uint64
+
+	// disk is the optional persistent tier (AttachStore): memory misses
+	// fall through to it, disk hits are promoted into memory, and every
+	// memory insert is written through. The counters below are the
+	// campaign-level view — a disk "hit" here means the payload also
+	// survived key, semantics-tag and source verification.
+	disk       *store.Store
+	diskHits   atomic.Uint64
+	diskMisses atomic.Uint64
 }
 
 // NewResultCache returns a cache bounded to capacity entries (minimum 1).
@@ -86,28 +97,42 @@ func NewResultCache(capacity int) *ResultCache {
 // the key's cover bit separates the populations).
 func (rc *ResultCache) get(k resultKey, src string) (UnitResult, coverDelta, bool) {
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	e, ok := rc.entries[k]
-	if !ok || e.src != src {
-		rc.misses++
+	if ok && e.src == src {
+		rc.hits++
+		rc.mu.Unlock()
+		r := e.res
+		if r.Output != nil {
+			r.Output = append([]uint64(nil), r.Output...)
+		}
+		r.Cached = true
+		return r, e.cov, true
+	}
+	rc.misses++
+	rc.mu.Unlock()
+	if rc.disk == nil {
 		return UnitResult{}, coverDelta{}, false
 	}
-	rc.hits++
-	r := e.res
+	// Disk probe runs outside the lock: store reads are file I/O, and two
+	// concurrent probes for the same key are benign (identical payloads).
+	r, cov, ok := rc.diskGet(k, src)
+	if !ok {
+		rc.diskMisses.Add(1)
+		return UnitResult{}, coverDelta{}, false
+	}
+	rc.diskHits.Add(1)
+	rc.promote(k, src, r, cov)
 	if r.Output != nil {
 		r.Output = append([]uint64(nil), r.Output...)
 	}
 	r.Cached = true
-	return r, e.cov, true
+	return r, cov, true
 }
 
-// put records a result under the key, detaching the output slice so
-// later caller mutations cannot corrupt the memo.
-func (rc *ResultCache) put(k resultKey, src string, r UnitResult, cov coverDelta) {
+// promote inserts a disk-tier hit into the memory tier without writing
+// it back to disk (it just came from there).
+func (rc *ResultCache) promote(k resultKey, src string, r UnitResult, cov coverDelta) {
 	r.Cached = false
-	if r.Output != nil {
-		r.Output = append([]uint64(nil), r.Output...)
-	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if _, ok := rc.entries[k]; ok {
@@ -122,11 +147,59 @@ func (rc *ResultCache) put(k resultKey, src string, r UnitResult, cov coverDelta
 	rc.fifo = append(rc.fifo, k)
 }
 
+// coverMismatch reports whether the memory tier holds this launch's
+// result under the opposite cover bit — the one skip the key split makes
+// invisible: the work was done, but for the other coverage population.
+func (rc *ResultCache) coverMismatch(k resultKey, src string) bool {
+	twin := k
+	twin.cover = !twin.cover
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	e, ok := rc.entries[twin]
+	return ok && e.src == src
+}
+
+// put records a result under the key, detaching the output slice so
+// later caller mutations cannot corrupt the memo.
+func (rc *ResultCache) put(k resultKey, src string, r UnitResult, cov coverDelta) {
+	r.Cached = false
+	if r.Output != nil {
+		r.Output = append([]uint64(nil), r.Output...)
+	}
+	rc.mu.Lock()
+	if _, ok := rc.entries[k]; ok {
+		rc.mu.Unlock()
+		return
+	}
+	if len(rc.fifo) >= rc.cap {
+		oldest := rc.fifo[0]
+		rc.fifo = rc.fifo[1:]
+		delete(rc.entries, oldest)
+	}
+	rc.entries[k] = resultEntry{src: src, res: r, cov: cov}
+	rc.fifo = append(rc.fifo, k)
+	rc.mu.Unlock()
+	if rc.disk != nil {
+		// Write-through outside the lock: persistence is I/O-bound and
+		// must never block concurrent memory-tier lookups. FIFO eviction
+		// above only trims the memory tier; the disk entry outlives it.
+		rc.diskPut(k, src, r, cov)
+	}
+}
+
 // Stats reports cumulative hit/miss counts and the current entry count.
 func (rc *ResultCache) Stats() (hits, misses uint64, size int) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	return rc.hits, rc.misses, len(rc.entries)
+}
+
+// DiskStats reports the campaign-level disk-tier counters: hits that
+// survived full key/tag/source verification and misses (including
+// entries the store rejected as corrupt). Zero when no store is
+// attached.
+func (rc *ResultCache) DiskStats() (hits, misses uint64) {
+	return rc.diskHits.Load(), rc.diskMisses.Load()
 }
 
 // resultKeyFor builds the cache key for one launch, reporting false when

@@ -137,6 +137,18 @@ type Engine struct {
 
 	cases    atomic.Int64
 	launches atomic.Int64
+
+	// Per-reason result-cache skip counters: launches that had to execute
+	// even though a result cache was wired, broken down by why the cache
+	// could not serve (or record) them. skipNonFlat counts launches with
+	// cell-backed (aggregate/vector-element) buffers the digest cannot
+	// cover; skipRace counts race-checked runs, whose diagnostics depend
+	// on the checker; skipCover counts misses where the same launch was
+	// memoized under the opposite coverage population (the cover bit of
+	// the key splits covered from uncovered entries).
+	skipNonFlat atomic.Int64
+	skipRace    atomic.Int64
+	skipCover   atomic.Int64
 }
 
 // Default is the process-wide campaign engine, wired to the default
@@ -150,6 +162,13 @@ var Default = &Engine{Front: device.DefaultFrontCache, Results: NewResultCache(8
 // not re-executed).
 func (e *Engine) Counters() (cases, launches int64) {
 	return e.cases.Load(), e.launches.Load()
+}
+
+// CacheSkips reports the per-reason result-cache skip counters: launches
+// with non-flat (cell-backed) buffers, race-checked launches, and misses
+// whose result was memoized under the opposite coverage population.
+func (e *Engine) CacheSkips() (nonFlat, race, cover int64) {
+	return e.skipNonFlat.Load(), e.skipRace.Load(), e.skipCover.Load()
 }
 
 // LaunchOptions tunes a single-case run (Engine.RunCase).
@@ -222,10 +241,16 @@ func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd,
 	args, result := buffers()
 	var rk resultKey
 	cacheable := false
+	if e.Results != nil && o.CheckRaces {
+		e.skipRace.Add(1)
+	}
 	if e.Results != nil && !o.CheckRaces {
 		rk, cacheable = resultKeyFor(cfg, optimize, fe, nd, args, result, o, cover != nil)
+		if !cacheable {
+			e.skipNonFlat.Add(1)
+		}
 		if cacheable {
-			if r, delta, ok := e.Results.get(rk, fe.Src); ok {
+			if r, delta, ok := e.Results.get(rk, fe.Canon); ok {
 				r.Key = key
 				if cover != nil {
 					// Replay the memoized launch's coverage delta, so the
@@ -236,6 +261,9 @@ func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd,
 					cover.AddSites(delta.sites)
 				}
 				return r
+			}
+			if e.Results.coverMismatch(rk, fe.Canon) {
+				e.skipCover.Add(1)
 			}
 		}
 	}
@@ -267,7 +295,7 @@ func (e *Engine) runUnit(cfg *device.Config, optimize bool, fe *device.FrontEnd,
 	// result describes the cancellation, not the kernel, so it must never
 	// be memoized.
 	if cacheable && rr.Outcome != device.Canceled {
-		e.Results.put(rk, fe.Src, r, delta)
+		e.Results.put(rk, fe.Canon, r, delta)
 	}
 	return r
 }

@@ -225,7 +225,7 @@ func (bc *BackCache) put(key backKey, be *backEnd) {
 // stage memos. The compile work runs outside the cache lock; duplicated
 // concurrent work for one key is benign (identical immutable results).
 func (bc *BackCache) assemble(fe *FrontEnd, lvl Level, effOpt bool) *backEnd {
-	be := &backEnd{src: fe.Src}
+	be := &backEnd{src: fe.Canon}
 	ce := bc.checkedFor(checkedKey{hash: fe.Hash, defects: lvl.Defects & semaDefects}, fe)
 	if ce.errMsg != "" {
 		be.outcome, be.msg = BuildFailure, ce.errMsg
@@ -247,12 +247,12 @@ func (bc *BackCache) checkedFor(key checkedKey, fe *FrontEnd) *checkedEntry {
 	bc.mu.Lock()
 	e, ok := bc.checked[key]
 	bc.mu.Unlock()
-	if ok && e.src == fe.Src {
+	if ok && e.src == fe.Canon {
 		return e
 	}
 	collided := ok // present but for a different source: never record
 	prog, info, err := sema.Check(fe.Prog, key.defects)
-	ne := &checkedEntry{src: fe.Src, prog: prog, info: info}
+	ne := &checkedEntry{src: fe.Canon, prog: prog, info: info}
 	if err != nil {
 		ne.prog, ne.info, ne.errMsg = nil, nil, err.Error()
 	}
@@ -279,7 +279,7 @@ func (bc *BackCache) progFor(key progKey, fe *FrontEnd, checked *ast.Program) *p
 	bc.mu.Lock()
 	e, ok := bc.progs[key]
 	bc.mu.Unlock()
-	if ok && e.src == fe.Src {
+	if ok && e.src == fe.Canon {
 		return e
 	}
 	collided := ok
@@ -287,7 +287,7 @@ func (bc *BackCache) progFor(key progKey, fe *FrontEnd, checked *ast.Program) *p
 	if key.optimize {
 		prog = opt.Optimize(prog, key.defects)
 	}
-	ne := &progEntry{src: fe.Src, prog: prog, code: lowerProgram(prog)}
+	ne := &progEntry{src: fe.Canon, prog: prog, code: lowerProgram(prog)}
 	ne.fused = fusedOnce(ne.code)
 	if !collided {
 		bc.mu.Lock()
@@ -352,7 +352,7 @@ func compileGates(info *sema.Info, hash uint64, lvl Level) (Outcome, string) {
 // NoOptimizer by the caller). It is the reference path the determinism
 // tests compare the staged cache against.
 func compileBackEnd(fe *FrontEnd, lvl Level, optimize bool) *backEnd {
-	be := &backEnd{src: fe.Src}
+	be := &backEnd{src: fe.Canon}
 	prog, info, err := sema.Check(fe.Prog, lvl.Defects)
 	if err != nil {
 		be.outcome, be.msg = BuildFailure, err.Error()

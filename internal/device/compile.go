@@ -175,7 +175,7 @@ func (c *Config) compileFE(fe *FrontEnd, optimize bool, bc *BackCache) CompileRe
 	var be *backEnd
 	if bc != nil {
 		key := backKey{hash: fe.Hash, defects: lvl.Defects, bfDiv: lvl.BFDiv, slowDiv: lvl.SlowDiv, optimize: effOpt}
-		cached, collided := bc.get(key, fe.Src)
+		cached, collided := bc.get(key, fe.Canon)
 		be = cached
 		if be == nil {
 			be = bc.assemble(fe, lvl, effOpt)
@@ -353,10 +353,11 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 // Figure 1/2 exhibit kernels tune their source text until the gates are
 // clean for every configuration they document, so that the documented
 // deterministic defect — not a coincidental hash-gated crash — is what a
-// run observes.
+// run observes. Gates key on the canonical normal form of the source,
+// exactly as the compile and launch paths do.
 func (c *Config) GatesClean(src string, optimize bool) bool {
 	lvl := c.Level(optimize)
-	h := bugs.Hash(src)
+	h := bugs.Hash(CanonicalSource(src))
 	for _, g := range []struct {
 		salt uint64
 		div  uint64

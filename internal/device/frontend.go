@@ -9,14 +9,24 @@ import (
 )
 
 // FrontEnd is the configuration-independent phase of online compilation:
-// the lexed and parsed program for one kernel source, plus the source hash
-// that seeds every hash-gated defect. The program held here is pristine
-// (no semantic annotations, no folds applied) and the back end never
-// writes to it — sema rebuilds into a fresh annotated program — so one
-// FrontEnd can be shared by any number of concurrent CompileFrontEnd
-// calls.
+// the lexed and parsed program for one kernel source, plus the canonical
+// normal form and its hash, which seeds every hash-gated defect. The
+// program held here is pristine (no semantic annotations, no folds
+// applied) and the back end never writes to it — sema rebuilds into a
+// fresh annotated program — so one FrontEnd can be shared by any number
+// of concurrent CompileFrontEnd calls.
 type FrontEnd struct {
-	Src  string
+	Src string
+	// Canon is the canonical normal form of Src: the parsed program
+	// re-printed by ast.Print. Print-of-parse is a fixpoint (pinned by
+	// TestCanonicalFixpoint), so any two sources that parse to the same
+	// program — a kernel and its re-printed text, an EMI base and its
+	// unpruned variant — share one Canon, one Hash, and therefore every
+	// defect-gate decision and every compile/result cache entry. Equal to
+	// Src when parsing failed.
+	Canon string
+	// Hash is bugs.Hash(Canon): the identity every hash-gated defect and
+	// every cache level keys on.
 	Hash uint64
 	// Prog is the parsed program, nil when Err is non-nil.
 	Prog *ast.Program
@@ -27,9 +37,26 @@ type FrontEnd struct {
 
 // ParseFrontEnd runs the front-end phase without consulting any cache.
 func ParseFrontEnd(src string) *FrontEnd {
-	fe := &FrontEnd{Src: src, Hash: bugs.Hash(src)}
+	fe := &FrontEnd{Src: src}
 	fe.Prog, fe.Err = parser.Parse(src)
+	if fe.Err != nil {
+		fe.Canon = src
+	} else {
+		fe.Canon = ast.Print(fe.Prog)
+	}
+	fe.Hash = bugs.Hash(fe.Canon)
 	return fe
+}
+
+// CanonicalSource returns the canonical normal form of a kernel source:
+// its print-of-parse fixpoint. Sources that do not parse canonicalize to
+// themselves (their identity stays the raw text).
+func CanonicalSource(src string) string {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return src
+	}
+	return ast.Print(prog)
 }
 
 // FrontCache is a bounded, concurrency-safe memo of front-end results

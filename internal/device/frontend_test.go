@@ -7,6 +7,7 @@ import (
 
 	"clfuzz/internal/ast"
 	"clfuzz/internal/bugs"
+	"clfuzz/internal/generator"
 )
 
 func kernelSrc(i int) string {
@@ -16,6 +17,51 @@ kernel void entry(global ulong *out) {
     out[get_linear_global_id()] = v;
 }
 `, i)
+}
+
+// TestCanonicalFixpoint pins the property every cache level and defect
+// gate relies on: ast.Print of a parsed program is a fixpoint, so a
+// source and its canonical re-print share one Canon and one Hash. It
+// checks hand-written kernels (whose spacing and comments differ from
+// printer output) and generated ones across the generator's modes.
+func TestCanonicalFixpoint(t *testing.T) {
+	srcs := []string{
+		kernelSrc(0),
+		kernelSrc(41),
+		"// comment\nkernel void entry(global ulong *out) { out[0] = (ulong)((uint)7); }\n",
+		"constant int gate_tuning_0 = 0;\nkernel void entry(global ulong *out) { out[get_linear_global_id()] = 1UL; }\n",
+	}
+	for _, mode := range generator.Modes {
+		for seed := int64(900); seed < 903; seed++ {
+			k := generator.Generate(generator.Options{Mode: mode, Seed: seed, MaxTotalThreads: 16})
+			srcs = append(srcs, k.Src)
+		}
+	}
+	for i, src := range srcs {
+		canon := CanonicalSource(src)
+		if canon == src && i < 4 {
+			// Hand-written sources are deliberately non-canonical; a
+			// no-op canonicalization here means the test lost its teeth.
+			t.Errorf("source %d: expected canonicalization to change hand-written text", i)
+		}
+		again := CanonicalSource(canon)
+		if again != canon {
+			t.Errorf("source %d: canonical form is not a fixpoint\n--- first ---\n%s\n--- second ---\n%s", i, canon, again)
+		}
+		fe := ParseFrontEnd(src)
+		if fe.Err != nil {
+			t.Fatalf("source %d: parse failed: %v", i, fe.Err)
+		}
+		if fe.Canon != canon || fe.Hash != bugs.Hash(canon) {
+			t.Errorf("source %d: FrontEnd canon/hash disagree with CanonicalSource", i)
+		}
+		// The canonical text and the original must be one identity for
+		// every cache: parsing the canon yields the same canon and hash.
+		fc := ParseFrontEnd(canon)
+		if fc.Canon != fe.Canon || fc.Hash != fe.Hash {
+			t.Errorf("source %d: re-printed text has a different identity", i)
+		}
+	}
 }
 
 func TestFrontCacheHitsAndEviction(t *testing.T) {
@@ -189,7 +235,7 @@ func TestFrontCacheConcurrentEviction(t *testing.T) {
 					t.Errorf("Get returned wrong or broken front end for source %d", i)
 					return
 				}
-				if fe.Hash != bugs.Hash(srcs[i]) {
+				if fe.Hash != bugs.Hash(fe.Canon) || fe.Canon != CanonicalSource(srcs[i]) {
 					t.Errorf("front end hash mismatch for source %d", i)
 					return
 				}

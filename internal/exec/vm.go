@@ -93,6 +93,21 @@ func ParseFuelModel(s string) (FuelModel, error) {
 	return FuelAuto, fmt.Errorf("exec: unknown fuel model %q (want v1, v2, or auto)", s)
 }
 
+// SemanticsTag names the evaluation semantics a persisted launch result
+// depends on: the resolved engine, the resolved fuel model, and a
+// revision prefix bumped whenever either engine's observable behaviour
+// changes. The disk result store stamps every entry with this tag and
+// never serves an entry written under a different one, so semantics
+// changes invalidate stale results by construction instead of by
+// deleting store directories. Auto is a legitimate tag value: launch
+// results are pinned byte-identical across engines, and an Auto fuel
+// model resolves to the embedding layer's default before the key is
+// built — but explicit and Auto selections never alias, which keeps the
+// engine-comparison suites honest across processes.
+func SemanticsTag(e Engine, f FuelModel) string {
+	return "sem1/" + e.String() + "/" + f.String()
+}
+
 // Process-wide engine counters, reported by EngineCounters: which engine
 // executed each launch, and how many bytecode instructions the VM
 // dispatched. Campaign tools snapshot them so cross-machine comparisons

@@ -18,7 +18,7 @@ import (
 func ExampleRunEverywhere() {
 	src := `
 kernel void k(global ulong *out) {
-    ulong acc = 7;
+    ulong acc = 6;
     for (int i = 0; i < 6; i++) { acc = acc * 47UL + 3UL; }
     out[get_linear_global_id()] = acc;
 }
@@ -43,6 +43,6 @@ kernel void k(global ulong *out) {
 	fmt.Printf("%d results, %d ran ok\n", len(results), ok)
 	fmt.Println("flagged wrong:", oracle.WrongCode(results))
 	// Output:
-	// 42 results, 26 ran ok
+	// 42 results, 32 ran ok
 	// flagged wrong: [10- 10+ 11- 11+ 16- 16+]
 }

@@ -1,0 +1,175 @@
+// Package store is the disk-backed tier of the campaign result cache: a
+// content-addressed blob store that any number of processes — fleet
+// workers, CI shards, warm reruns — share through one directory, with no
+// coordination beyond the filesystem's atomic rename.
+//
+// The store maps a 64-bit address (the caller folds its full logical key
+// into it) to an opaque payload. Entries live one per file under a
+// two-level fan-out (dir/ab/<16-hex-digits>) and are framed with a magic
+// string, an explicit length and an FNV-1a checksum, so truncated,
+// interleaved or otherwise damaged files are detected and reported as
+// misses — corruption costs a re-execution, never an error or a wrong
+// result. Writers stage each entry in a process-unique temporary file in
+// the same directory and rename it into place, so readers only ever see
+// complete entries and concurrent writers of the same address harmlessly
+// overwrite each other with identical content.
+//
+// Address collisions are the caller's problem by design: payloads carry
+// the full logical key, and the campaign layer verifies it (plus the
+// canonical source text) on every read, exactly as the in-memory tiers
+// guard their 64-bit hashes.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// magic identifies (and versions) the entry framing. Bump the digit to
+// orphan every existing entry on a framing change.
+const magic = "CLFZSTR1"
+
+// headerLen is magic + 8-byte length + 8-byte checksum.
+const headerLen = len(magic) + 8 + 8
+
+// maxEntry bounds how large an entry the reader will believe. Campaign
+// payloads are a kernel source plus a result vector — a few hundred KB at
+// the extreme — so anything claiming more is framing corruption, not data.
+const maxEntry = 64 << 20
+
+// Stats is a snapshot of the store's cumulative counters.
+type Stats struct {
+	// Hits counts Gets that returned a verified payload.
+	Hits uint64
+	// Misses counts Gets that found no entry file.
+	Misses uint64
+	// Corrupt counts Gets that found an entry file but rejected it
+	// (truncation, bad magic, length or checksum mismatch). Corrupt
+	// entries are misses to the caller.
+	Corrupt uint64
+	// Writes counts entries durably renamed into place.
+	Writes uint64
+	// WriteErrs counts Put attempts that failed (disk full, permissions);
+	// the store stays usable and the entry is simply not persisted.
+	WriteErrs uint64
+}
+
+// Store is a handle on one store directory. All methods are safe for
+// concurrent use by multiple goroutines and multiple processes.
+type Store struct {
+	dir string
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	corrupt   atomic.Uint64
+	writes    atomic.Uint64
+	writeErrs atomic.Uint64
+	seq       atomic.Uint64
+}
+
+// Open creates (if needed) and opens a store directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps an address to its entry file: a 256-way fan-out keyed by the
+// address's top byte, then the full 16-hex-digit address as the name.
+func (s *Store) path(addr uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%02x", byte(addr>>56)), fmt.Sprintf("%016x", addr))
+}
+
+// checksum is FNV-1a over the payload, the same family the campaign's
+// launch digests use.
+func checksum(p []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Get returns the payload stored at addr. A missing entry is (nil,
+// false); a damaged one is (nil, false) plus a corruption count — the
+// caller re-executes and may re-Put, healing the entry.
+func (s *Store) Get(addr uint64) ([]byte, bool) {
+	raw, err := os.ReadFile(s.path(addr))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if len(raw) < headerLen || string(raw[:len(magic)]) != magic {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	n := le64(raw[len(magic):])
+	sum := le64(raw[len(magic)+8:])
+	payload := raw[headerLen:]
+	if n > maxEntry || uint64(len(payload)) != n || checksum(payload) != sum {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put durably records payload at addr via a same-directory temporary
+// file and an atomic rename. Failures are counted and swallowed: a store
+// that cannot write degrades to a cache that cannot persist, never into
+// an error path.
+func (s *Store) Put(addr uint64, payload []byte) {
+	path := s.path(addr)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.writeErrs.Add(1)
+		return
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf, magic)
+	putLE64(buf[len(magic):], uint64(len(payload)))
+	putLE64(buf[len(magic)+8:], checksum(payload))
+	copy(buf[headerLen:], payload)
+	// The temporary name is unique per (process, call), so concurrent
+	// writers — goroutines here, fleet workers elsewhere — never share a
+	// staging file; last rename wins with identical logical content.
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), s.seq.Add(1))
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		s.writeErrs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		s.writeErrs.Add(1)
+		return
+	}
+	s.writes.Add(1)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Writes:    s.writes.Load(),
+		WriteErrs: s.writeErrs.Load(),
+	}
+}

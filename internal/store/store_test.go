@@ -1,0 +1,141 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"result":"forty-two"}`)
+	s.Put(0xdeadbeefcafe0123, payload)
+	got, ok := s.Get(0xdeadbeefcafe0123)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 || st.WriteErrs != 0 {
+		t.Fatalf("stats %+v after one put and one hit", st)
+	}
+}
+
+func TestMissingEntryIsMiss(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, ok := s.Get(7); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats %+v, want one clean miss", st)
+	}
+}
+
+// TestSecondProcessView reopens the directory through a fresh handle —
+// the cross-process sharing contract reduced to one process: entries
+// written by one handle are served, verified, by another.
+func TestSecondProcessView(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(dir)
+	w.Put(99, []byte("written by the first process"))
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get(99)
+	if !ok || string(got) != "written by the first process" {
+		t.Fatalf("fresh handle Get = %q, %v", got, ok)
+	}
+}
+
+// TestCorruptEntryIsMiss damages a stored entry every way the framing
+// can detect — truncation (including into the header), bad magic, a
+// flipped payload byte, an inflated length — and requires each read to
+// be a counted miss, never an error or a wrong payload.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	damage := []struct {
+		name string
+		f    func(raw []byte) []byte
+	}{
+		{"truncated payload", func(raw []byte) []byte { return raw[:len(raw)-3] }},
+		{"truncated header", func(raw []byte) []byte { return raw[:headerLen-2] }},
+		{"empty file", func(raw []byte) []byte { return nil }},
+		{"bad magic", func(raw []byte) []byte { raw[0] ^= 0xff; return raw }},
+		{"flipped payload byte", func(raw []byte) []byte { raw[headerLen] ^= 1; return raw }},
+		{"inflated length", func(raw []byte) []byte { raw[len(magic)] ^= 0x40; return raw }},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			s, _ := Open(t.TempDir())
+			const addr = 0x0102030405060708
+			s.Put(addr, []byte("precious bytes"))
+			path := s.path(addr)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, d.f(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(addr); ok {
+				t.Fatalf("damaged entry served as a hit: %q", got)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("stats %+v, want exactly one corrupt read", st)
+			}
+			// A re-Put heals the entry.
+			s.Put(addr, []byte("healed"))
+			if got, ok := s.Get(addr); !ok || string(got) != "healed" {
+				t.Fatalf("healed Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestConcurrentPutGet hammers one store from many goroutines writing
+// and reading overlapping addresses: every Get must return either a
+// miss or the exact payload for its address (all writers of an address
+// write identical bytes, mirroring content addressing).
+func TestConcurrentPutGet(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	const addrs = 17
+	payload := func(a uint64) []byte { return []byte(fmt.Sprintf("payload-for-%d", a)) }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				a := uint64((g*31 + i) % addrs)
+				if i%2 == 0 {
+					s.Put(a, payload(a))
+				} else if got, ok := s.Get(a); ok && !bytes.Equal(got, payload(a)) {
+					t.Errorf("addr %d: wrong payload %q", a, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.WriteErrs != 0 || st.Corrupt != 0 {
+		t.Fatalf("stats %+v, want no write errors or corruption", st)
+	}
+	// No staging litter: every temporary file was renamed or removed.
+	litter, _ := filepath.Glob(filepath.Join(s.Dir(), "*", "*.tmp.*"))
+	if len(litter) != 0 {
+		t.Fatalf("staging files left behind: %v", litter)
+	}
+}
+
+func TestAddressFanOut(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Put(0xab00000000000001, []byte("x"))
+	want := filepath.Join(s.Dir(), "ab", "ab00000000000001")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at %s: %v", want, err)
+	}
+}
