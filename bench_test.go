@@ -227,6 +227,61 @@ func BenchmarkExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteSteadyState measures the campaign's hot path: the
+// same launch as BenchmarkExecute after one warm-up run has stocked the
+// launch-state pool, so every measured iteration recycles its machine,
+// group executors, threads and VM stacks instead of allocating them.
+// The allocs/op delta against BenchmarkExecute is the pool's yield;
+// TestSteadyStateAllocs pins it against regression.
+func BenchmarkExecuteSteadyState(b *testing.B) {
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	ref := device.Reference()
+	cr := ref.Compile(k.Src, true)
+	if cr.Outcome != device.OK {
+		b.Fatal(cr.Msg)
+	}
+	args, result := k.Buffers()
+	if rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{}); rr.Outcome != device.OK {
+		b.Fatal(rr.Msg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args, result := k.Buffers()
+		rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{})
+		if rr.Outcome != device.OK {
+			b.Fatal(rr.Msg)
+		}
+	}
+}
+
+// TestSteadyStateAllocs pins the launch-state pool's yield: a warm
+// launch of the BenchmarkExecute kernel (argument buffers included)
+// must stay under a fixed allocation ceiling. The pre-pool executor
+// allocated ~1100 objects per launch; the pooled steady state measures
+// ~210, and the ceiling of 220 keeps the full 5x reduction locked in.
+func TestSteadyStateAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation skews allocation counts")
+	}
+	k := generator.Generate(generator.Options{Mode: generator.ModeAll, Seed: 5, MaxTotalThreads: 64})
+	ref := device.Reference()
+	cr := ref.Compile(k.Src, true)
+	if cr.Outcome != device.OK {
+		t.Fatal(cr.Msg)
+	}
+	launch := func() {
+		args, result := k.Buffers()
+		if rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{}); rr.Outcome != device.OK {
+			t.Fatal(rr.Msg)
+		}
+	}
+	launch() // warm the pool: the first launch pays the misses
+	const ceiling = 220
+	if avg := testing.AllocsPerRun(10, launch); avg > ceiling {
+		t.Fatalf("steady-state launch allocates %.0f objects, ceiling %d", avg, ceiling)
+	}
+}
+
 // BenchmarkExecuteParallel measures the same launch with the work-group
 // fan-out budget set to the whole machine (RunOptions.Workers), the
 // configuration the single-shot hosts (clrun, cldiff, the reducer) use.

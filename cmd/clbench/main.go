@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -87,6 +88,26 @@ type snapshot struct {
 	FusedPrograms     int64  `json:"fused_programs,omitempty"`
 	FusedInstrsBefore int64  `json:"fused_instrs_before,omitempty"`
 	FusedInstrsAfter  int64  `json:"fused_instrs_after,omitempty"`
+	// Dispatch is the VM dispatch mode launches resolved to (switch =
+	// the vmLoop switch, threaded = pre-resolved handler closures), with
+	// per-mode launch counters. Outputs are byte-identical across modes,
+	// so unlike Engine/FuelModel a mismatch here only affects speed.
+	Dispatch         string `json:"dispatch,omitempty"`
+	SwitchLaunches   int64  `json:"switch_launches,omitempty"`
+	ThreadedLaunches int64  `json:"threaded_launches,omitempty"`
+	// PoolHits and PoolMisses are the executor's launch-state pool
+	// counters over the run: acquisitions served from the freelist vs by
+	// constructing a fresh state. A steady-state run is almost all hits.
+	PoolHits   uint64 `json:"pool_hits,omitempty"`
+	PoolMisses uint64 `json:"pool_misses,omitempty"`
+	// GC/allocator telemetry over the whole run (runtime.ReadMemStats):
+	// cumulative allocated bytes and object count, completed GC cycles,
+	// and total stop-the-world pause. The launch-state pool's effect
+	// shows up here as a lower mallocs/NumGC slope at equal work.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes,omitempty"`
+	Mallocs         uint64 `json:"mallocs,omitempty"`
+	NumGC           uint32 `json:"num_gc,omitempty"`
+	GCPauseTotalNs  uint64 `json:"gc_pause_total_ns,omitempty"`
 	// OpStats is the -opstats section: opcode and adjacent-opcode-pair
 	// dispatch histograms collected from the Execute benchmarks, sorted
 	// by descending count (capped to the top entries). The pair table is
@@ -191,7 +212,11 @@ func main() {
 	storeDirFlag := flag.String("store", "",
 		"disk-backed result store directory (default $CLFUZZ_STORE; empty disables); the snapshot records its hit/miss/write counters")
 	opStatsFlag := flag.Bool("opstats", false,
-		"collect opcode and opcode-pair dispatch histograms from the Execute benchmarks and record them in the snapshot")
+		"collect opcode and opcode-pair dispatch histograms from the Execute benchmarks and record them in the snapshot (forces the switch dispatch loop)")
+	dispatchFlag := flag.String("dispatch", "auto",
+		"VM dispatch mode for every launch: switch, threaded (pre-resolved handler closures), or auto (CLFUZZ_DISPATCH or switch); outputs are byte-identical either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
@@ -207,10 +232,45 @@ func main() {
 	if fuel != exec.FuelAuto {
 		device.DefaultFuelModel = fuel
 	}
+	dispatch, err := exec.ParseDispatch(*dispatchFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if dispatch != exec.DispatchAuto {
+		device.DefaultDispatch = dispatch
+	}
 	diskStore, err := campaign.EnableStore(*storeDirFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 	var ops *exec.OpStats
 	if *opStatsFlag {
@@ -253,6 +313,29 @@ func main() {
 		cr := ref.Compile(k.Src, true)
 		if cr.Outcome != device.OK {
 			b.Fatal(cr.Msg)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args, result := k.Buffers()
+			rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{OpStats: ops})
+			if rr.Outcome != device.OK {
+				b.Fatal(rr.Msg)
+			}
+		}
+	})
+	measure("BenchmarkExecuteSteadyState", bm, func(b *testing.B) {
+		// Steady state: the launch-state pool is warmed before the timer
+		// starts, so every measured iteration recycles a pooled state —
+		// the regime a long campaign runs in. Compare against
+		// BenchmarkExecute (which includes pool warm-up in its first
+		// iteration) to see the recycling win in isolation.
+		cr := ref.Compile(k.Src, true)
+		if cr.Outcome != device.OK {
+			b.Fatal(cr.Msg)
+		}
+		args, result := k.Buffers()
+		if rr := cr.Kernel.Run(k.ND, args, result, device.RunOptions{OpStats: ops}); rr.Outcome != device.OK {
+			b.Fatal(rr.Msg)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -366,9 +449,17 @@ func main() {
 	vmRuns, treeRuns, vmInstrs := exec.EngineCounters()
 	v1Runs, v1Instrs, v2Runs, v2Instrs := exec.FuelCounters()
 	fusedProgs, fusedBefore, fusedAfter := code.FuseStats()
+	swRuns, thRuns := exec.DispatchCounters()
+	poolHits, poolMisses := exec.DefaultPool().Counters()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	effFuel := fuel
 	if effFuel == exec.FuelAuto {
 		effFuel = device.DefaultFuelModel
+	}
+	effDispatch := dispatch
+	if effDispatch == exec.DispatchAuto {
+		effDispatch = device.DefaultDispatch
 	}
 	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "FrontCache", fcHits, fcMisses, fcSize)
 	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses %10d entries\n", "BackCache", bcHits, bcMisses, bcSize)
@@ -378,6 +469,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%-28s %14d vm %12d tree %10d vm-instrs\n", "Engine", vmRuns, treeRuns, vmInstrs)
 	fmt.Fprintf(os.Stderr, "%-28s %14d v1-runs %12d v2-runs %10d v2-instrs\n", "Fuel", v1Runs, v2Runs, v2Instrs)
 	fmt.Fprintf(os.Stderr, "%-28s %14d fused %12d before %10d after\n", "Fusion", fusedProgs, fusedBefore, fusedAfter)
+	fmt.Fprintf(os.Stderr, "%-28s %14d switch %12d threaded\n", "Dispatch", swRuns, thRuns)
+	fmt.Fprintf(os.Stderr, "%-28s %14d hits %12d misses\n", "LaunchPool", poolHits, poolMisses)
+	fmt.Fprintf(os.Stderr, "%-28s %14d mallocs %12d gc-cycles %10d pause-ns\n", "GC", ms.Mallocs, ms.NumGC, ms.PauseTotalNs)
 	var opSection *opStatsSection
 	if ops != nil {
 		const topN = 32
@@ -415,6 +509,15 @@ func main() {
 		FusedPrograms:          fusedProgs,
 		FusedInstrsBefore:      fusedBefore,
 		FusedInstrsAfter:       fusedAfter,
+		Dispatch:               effDispatch.String(),
+		SwitchLaunches:         swRuns,
+		ThreadedLaunches:       thRuns,
+		PoolHits:               poolHits,
+		PoolMisses:             poolMisses,
+		TotalAllocBytes:        ms.TotalAlloc,
+		Mallocs:                ms.Mallocs,
+		NumGC:                  ms.NumGC,
+		GCPauseTotalNs:         ms.PauseTotalNs,
 		OpStats:                opSection,
 		FrontCache:             &cacheStats{Hits: fcHits, Misses: fcMisses, Size: fcSize},
 		BackCache:              &cacheStats{Hits: bcHits, Misses: bcMisses, Size: bcSize},

@@ -46,6 +46,8 @@ import (
 	"os"
 	osexec "os/exec"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -92,8 +94,12 @@ func main() {
 		"evaluation engine for every campaign launch: vm, tree, or auto (campaign output is byte-identical either way)")
 	fuelFlag := flag.String("fuel", "auto",
 		"fuel model for every campaign launch: v1 (per-instruction, tree-exact), v2 (per-superinstruction on the fused VM program), or auto (CLFUZZ_FUEL or v1); campaign output is byte-identical unless a kernel times out")
+	dispatchFlag := flag.String("dispatch", "auto",
+		"VM dispatch mode for every campaign launch: switch, threaded (pre-resolved handler closures), or auto (CLFUZZ_DISPATCH or switch); campaign output is byte-identical either way")
 	storeDir := flag.String("store", "",
 		"disk-backed result store directory shared by shard workers, fleet runs and reruns (default $CLFUZZ_STORE; empty disables); campaign output is byte-identical with or without it")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	engine, err := exec.ParseEngine(*engineFlag)
 	if err != nil {
@@ -106,6 +112,38 @@ func main() {
 	}
 	if fuel != exec.FuelAuto {
 		device.DefaultFuelModel = fuel
+	}
+	dispatch, err := exec.ParseDispatch(*dispatchFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dispatch != exec.DispatchAuto {
+		device.DefaultDispatch = dispatch
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
 	}
 	diskStore, err := campaign.EnableStore(*storeDir)
 	if err != nil {
@@ -172,6 +210,7 @@ func main() {
 			noSpeculate: *noSpeculate,
 			engine:      *engineFlag,
 			fuel:        *fuelFlag,
+			dispatch:    *dispatchFlag,
 			store:       *storeDir,
 		}); err != nil {
 			log.Fatal(err)
@@ -289,6 +328,7 @@ type fleetOptions struct {
 	noSpeculate bool
 	engine      string
 	fuel        string
+	dispatch    string
 	store       string
 }
 
@@ -320,6 +360,7 @@ func runFleet(ctx context.Context, p harness.Params, o fleetOptions) error {
 			"-fresh="+fmt.Sprint(p.Fresh),
 			"-engine", o.engine,
 			"-fuel", o.fuel,
+			"-dispatch", o.dispatch,
 			"-store", o.store,
 			"-shard", fmt.Sprintf("%d/%d", shard, of),
 			"-out", outPath)

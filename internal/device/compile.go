@@ -83,6 +83,11 @@ type Kernel struct {
 	// back-end artifact) the fuel/v2 superinstruction form of Code. Nil
 	// exactly when Code is nil.
 	fused func() *code.Program
+	// threaded and threadedFused lazily derive the direct-threaded handler
+	// forms of Code and of the fused program, memoized in the shared
+	// back-end artifact like fused. Nil exactly when Code is nil.
+	threaded      func() *exec.ThreadedProgram
+	threadedFused func() *exec.ThreadedProgram
 }
 
 // FusedCode returns the fuel/v2 superinstruction form of the kernel's
@@ -132,6 +137,28 @@ func init() {
 	}
 	if fm != exec.FuelAuto {
 		DefaultFuelModel = fm
+	}
+}
+
+// DefaultDispatch is the process-wide VM dispatch mode applied when
+// RunOptions.Dispatch is DispatchAuto: the switch loop by default, so
+// every existing suite and table is untouched. The CLFUZZ_DISPATCH
+// environment variable ("switch" or "threaded") overrides it at startup
+// — how CI's threaded-dispatch determinism job pins the handler loop —
+// and the campaign binaries expose it as a -dispatch flag. Dispatch is
+// observation-free: outputs, fuel totals and outcomes are byte-identical
+// across modes.
+var DefaultDispatch = exec.DispatchAuto
+
+func init() {
+	d, err := exec.ParseDispatch(os.Getenv("CLFUZZ_DISPATCH"))
+	if err != nil {
+		// Same reasoning as CLFUZZ_ENGINE: a misspelled override must not
+		// silently run the wrong dispatch mode under a determinism suite.
+		panic("device: bad CLFUZZ_DISPATCH: " + err.Error())
+	}
+	if d != exec.DispatchAuto {
+		DefaultDispatch = d
 	}
 }
 
@@ -192,14 +219,16 @@ func (c *Config) compileFE(fe *FrontEnd, optimize bool, bc *BackCache) CompileRe
 	return CompileResult{
 		Outcome: OK,
 		Kernel: &Kernel{
-			Config:    c,
-			Optimized: optimize,
-			Prog:      be.prog,
-			Info:      be.info,
-			Code:      be.code,
-			Hash:      fe.Hash,
-			level:     lvl,
-			fused:     be.fused,
+			Config:        c,
+			Optimized:     optimize,
+			Prog:          be.prog,
+			Info:          be.info,
+			Code:          be.code,
+			Hash:          fe.Hash,
+			level:         lvl,
+			fused:         be.fused,
+			threaded:      be.threaded,
+			threadedFused: be.threadedFused,
 		},
 	}
 }
@@ -257,6 +286,17 @@ type RunOptions struct {
 	// dispatch histograms for the launch (clbench -opstats). Observation
 	// only, VM only, like Cover.
 	OpStats *exec.OpStats
+	// Dispatch selects the VM dispatch mode; DispatchAuto (the zero
+	// value) defers to DefaultDispatch. Under DispatchThreaded, launches
+	// of lowered kernels run the direct-threaded handler loop with the
+	// memoized handler program matching the selected fuel model's code;
+	// outputs, fuel totals and outcomes are byte-identical to the switch
+	// loop.
+	Dispatch exec.Dispatch
+	// Pool selects the executor launch-state pool this run recycles its
+	// working set through; nil uses the executor's process-wide pool.
+	// Pooling is observation-free.
+	Pool *exec.LaunchPool
 }
 
 // Run executes the kernel over the NDRange. result names the output buffer
@@ -296,8 +336,24 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 	// unchanged dispatch loop. Tree-engine launches (forced, or lowering
 	// fallback) keep v1 accounting.
 	kcode := k.Code
-	if fm == exec.FuelV2 && kcode != nil && engine != exec.EngineTree {
+	fused := fm == exec.FuelV2 && kcode != nil && engine != exec.EngineTree
+	if fused {
 		kcode = k.fused()
+	}
+	dispatch := ro.Dispatch
+	if dispatch == exec.DispatchAuto {
+		dispatch = DefaultDispatch
+	}
+	// Threaded dispatch hands the executor the memoized handler program
+	// built from the exact instruction stream it will run — the fused
+	// form under fuel/v2, the raw lowering otherwise.
+	var threaded *exec.ThreadedProgram
+	if dispatch == exec.DispatchThreaded && kcode != nil {
+		if fused {
+			threaded = k.threadedFused()
+		} else {
+			threaded = k.threaded()
+		}
 	}
 	opts := exec.Options{
 		Defects:    lvl.Defects,
@@ -319,6 +375,9 @@ func (k *Kernel) Run(nd exec.NDRange, args exec.Args, result *exec.Buffer, ro Ru
 		HasFwdDecl: k.Info.HasFwdDecl,
 		Cover:      ro.Cover,
 		OpStats:    ro.OpStats,
+		Dispatch:   dispatch,
+		Threaded:   threaded,
+		Pool:       ro.Pool,
 	}
 	err := exec.Run(k.Prog, nd, args, opts)
 	switch err.(type) {

@@ -32,7 +32,20 @@ type barrierToken struct {
 }
 
 func newBarrier(n int, g *groupCtx) *barrier {
-	return &barrier{group: g, participants: n, release: make(chan struct{})}
+	return &barrier{group: g, participants: n}
+}
+
+// reset rearms a pooled barrier for a fresh group. The release channel is
+// allocated lazily by the first parker, so single-thread groups — the
+// common sequential shape — never allocate one at all.
+func (b *barrier) reset(n int, g *groupCtx) {
+	b.group = g
+	b.participants = n
+	b.arrived = 0
+	b.release = nil
+	b.token = barrierToken{}
+	b.haveToken = false
+	b.fence = 0
 }
 
 // await blocks until every live participant arrives. It returns a
@@ -59,19 +72,26 @@ func (b *barrier) await(tok barrierToken, fence uint64, self int) error {
 		b.arrived = 0
 		b.haveToken = false
 		rel := b.release
-		b.release = make(chan struct{})
+		b.release = nil
 		b.mu.Unlock()
 		if ls := b.group.ls; ls != nil {
 			// Mark the parked threads runnable, wake them, and restart
 			// the round from the lowest-numbered thread (not from this
 			// arrival order's tail).
 			ls.readyAll()
-			close(rel)
+			if rel != nil {
+				close(rel)
+			}
 			ls.yield(self, b.group.dom.abort)
-		} else {
+		} else if rel != nil {
 			close(rel)
 		}
 		return nil
+	}
+	// The release channel is lazy: the first parker of a round allocates
+	// it, and a round with no parkers (single participant) never does.
+	if b.release == nil {
+		b.release = make(chan struct{})
 	}
 	rel := b.release
 	b.mu.Unlock()
@@ -110,13 +130,15 @@ func (b *barrier) quit() error {
 		b.arrived = 0
 		b.haveToken = false
 		rel := b.release
-		b.release = make(chan struct{})
+		b.release = nil
 		if ls := b.group.ls; ls != nil {
 			// The released stragglers become runnable; the baton reaches
 			// them when the quitting thread finishes.
 			ls.readyAll()
 		}
-		close(rel)
+		if rel != nil {
+			close(rel)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,357 @@
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/code"
+	"clfuzz/internal/device"
+	"clfuzz/internal/exec"
+	"clfuzz/internal/generator"
+	"clfuzz/internal/parser"
+	"clfuzz/internal/sema"
+)
+
+// TestParseDispatch pins the flag/env surface of the dispatch selector.
+func TestParseDispatch(t *testing.T) {
+	cases := []struct {
+		in   string
+		want exec.Dispatch
+	}{
+		{"", exec.DispatchAuto},
+		{"auto", exec.DispatchAuto},
+		{"switch", exec.DispatchSwitch},
+		{"threaded", exec.DispatchThreaded},
+	}
+	for _, tc := range cases {
+		got, err := exec.ParseDispatch(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseDispatch(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := exec.ParseDispatch("goto"); err == nil {
+		t.Fatal("ParseDispatch accepted an unknown mode")
+	}
+	for _, d := range []exec.Dispatch{exec.DispatchAuto, exec.DispatchSwitch, exec.DispatchThreaded} {
+		rt, err := exec.ParseDispatch(d.String())
+		if err != nil || rt != d {
+			t.Fatalf("String/Parse round-trip broke on %v: got %v, %v", d, rt, err)
+		}
+	}
+}
+
+// compileLowered front-ends src and lowers it once, so a comparison's
+// launches share one *code.Program exactly as device.Kernel shares it
+// across launches.
+func compileLowered(t *testing.T, src string) (*ast.Program, *sema.Info, *code.Program) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, info, err := sema.Check(prog, 0)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	lowered, err := code.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog, info, lowered
+}
+
+// dispatchRun is one launch observed every way the executor can be
+// observed: buffer contents, run error, fuel high-water mark and the
+// coverage edge set.
+type dispatchRun struct {
+	out   []uint64
+	err   error
+	steps int64
+	edges []uint32
+}
+
+// launchDispatch executes an already-lowered program under one dispatch
+// mode with every observation hook armed.
+func launchDispatch(t *testing.T, prog *ast.Program, info *sema.Info, cp *code.Program,
+	tp *exec.ThreadedProgram, nd exec.NDRange, fuel int64, fm exec.FuelModel, d exec.Dispatch) dispatchRun {
+	t.Helper()
+	out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+	args := exec.Args{"out": {Buf: out}}
+	var st exec.Stats
+	cov := &exec.CoverMap{}
+	runErr := exec.Run(prog, nd, args, exec.Options{
+		NoBarrier:  !info.HasBarrier,
+		NoAtomics:  !info.HasAtomic,
+		HasFwdDecl: info.HasFwdDecl,
+		Workers:    1,
+		Fuel:       fuel,
+		Code:       cp,
+		FuelModel:  fm,
+		Stats:      &st,
+		Cover:      cov,
+		Dispatch:   d,
+		Threaded:   tp,
+	})
+	return dispatchRun{out: out.Scalars(), err: runErr, steps: st.MaxThreadSteps, edges: cov.Edges()}
+}
+
+func requireSameRun(t *testing.T, label string, got, want dispatchRun) {
+	t.Helper()
+	if (got.err == nil) != (want.err == nil) {
+		t.Fatalf("%s: threaded err %v, switch err %v", label, got.err, want.err)
+	}
+	if got.err != nil && got.err.Error() != want.err.Error() {
+		t.Fatalf("%s: threaded err %q, switch err %q", label, got.err, want.err)
+	}
+	if got.steps != want.steps {
+		t.Fatalf("%s: threaded charged %d steps, switch charged %d", label, got.steps, want.steps)
+	}
+	if len(got.edges) != len(want.edges) {
+		t.Fatalf("%s: threaded hit %d edges, switch hit %d", label, len(got.edges), len(want.edges))
+	}
+	for i := range want.edges {
+		if got.edges[i] != want.edges[i] {
+			t.Fatalf("%s: edge[%d] = %#x, want %#x", label, i, got.edges[i], want.edges[i])
+		}
+	}
+	if want.err == nil {
+		for i := range want.out {
+			if got.out[i] != want.out[i] {
+				t.Fatalf("%s: out[%d] = %d, want %d", label, i, got.out[i], want.out[i])
+			}
+		}
+	}
+}
+
+// TestThreadedMatchesSwitch pins the dispatch contract at the exec
+// level: on every kernel shape, NDRange, fuel budget and fuel model, the
+// direct-threaded loop produces byte-identical buffer contents,
+// identical errors (including the fuel-exhaustion frontier — the two
+// loops charge the same instruction stream), identical Stats fuel
+// high-water marks and identical coverage edge sets to the switch loop.
+func TestThreadedMatchesSwitch(t *testing.T) {
+	exec.SetDebugImmutable(true)
+	t.Cleanup(func() { exec.SetDebugImmutable(false) })
+	nds := []exec.NDRange{
+		{Global: [3]int{16, 1, 1}, Local: [3]int{4, 1, 1}},
+		{Global: [3]int{8, 2, 1}, Local: [3]int{2, 2, 1}},
+	}
+	_, thBefore := exec.DispatchCounters()
+	threadedRuns := 0
+	all := append(append([]struct{ name, src string }{}, parallelKernels...), engineKernels...)
+	for _, k := range all {
+		prog, info, lowered := compileLowered(t, k.src)
+		fused := code.Fuse(lowered)
+		models := []struct {
+			fm exec.FuelModel
+			cp *code.Program
+			tp *exec.ThreadedProgram
+		}{
+			{exec.FuelV1, lowered, exec.Thread(lowered)},
+			{exec.FuelV2, fused, exec.Thread(fused)},
+		}
+		for _, m := range models {
+			for _, nd := range nds {
+				for _, fuel := range []int64{0, 700} {
+					want := launchDispatch(t, prog, info, m.cp, nil, nd, fuel, m.fm, exec.DispatchSwitch)
+					got := launchDispatch(t, prog, info, m.cp, m.tp, nd, fuel, m.fm, exec.DispatchThreaded)
+					threadedRuns++
+					label := fmt.Sprintf("%s fuel=%v nd=%v budget=%d", k.name, m.fm, nd.Global, fuel)
+					requireSameRun(t, label, got, want)
+				}
+			}
+		}
+	}
+	// The threaded runs must actually have taken the threaded loop: a
+	// silent fallback to the switch loop would pass every comparison
+	// above while testing nothing.
+	if _, thAfter := exec.DispatchCounters(); thAfter-thBefore < int64(threadedRuns) {
+		t.Fatalf("only %d of %d DispatchThreaded launches ran the threaded loop", thAfter-thBefore, threadedRuns)
+	}
+}
+
+// TestThreadedFallsBackToSwitch pins the safety valve: a ThreadedProgram
+// that does not wrap the launch's exact *code.Program, or a launch that
+// collects opcode histograms (switch-loop-only instrumentation), must
+// run the switch loop — and still produce the right answer — rather than
+// dispatch handlers against the wrong instruction stream.
+func TestThreadedFallsBackToSwitch(t *testing.T) {
+	prog, info, lowered := compileLowered(t, engineKernels[0].src)
+	nd := exec.NDRange{Global: [3]int{8, 1, 1}, Local: [3]int{4, 1, 1}}
+	want := launchDispatch(t, prog, info, lowered, nil, nd, 0, exec.FuelV1, exec.DispatchSwitch)
+
+	run := func(opts exec.Options) []uint64 {
+		out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+		opts.NoBarrier = !info.HasBarrier
+		opts.NoAtomics = !info.HasAtomic
+		opts.HasFwdDecl = info.HasFwdDecl
+		opts.Workers = 1
+		opts.Code = lowered
+		if err := exec.Run(prog, nd, exec.Args{"out": {Buf: out}}, opts); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.Scalars()
+	}
+	requireOut := func(label string, got []uint64) {
+		t.Helper()
+		for i := range want.out {
+			if got[i] != want.out[i] {
+				t.Fatalf("%s: out[%d] = %d, want %d", label, i, got[i], want.out[i])
+			}
+		}
+	}
+
+	// A threaded form of a *different* program must be refused.
+	other := code.Fuse(lowered)
+	_, thBefore := exec.DispatchCounters()
+	got := run(exec.Options{Dispatch: exec.DispatchThreaded, Threaded: exec.Thread(other)})
+	if _, th := exec.DispatchCounters(); th != thBefore {
+		t.Fatal("mismatched ThreadedProgram still ran the threaded loop")
+	}
+	requireOut("mismatched-threaded fallback", got)
+
+	// An OpStats collection request pins the switch loop even with a
+	// matching ThreadedProgram.
+	ops := &exec.OpStats{}
+	got = run(exec.Options{Dispatch: exec.DispatchThreaded, Threaded: exec.Thread(lowered), OpStats: ops})
+	if _, th := exec.DispatchCounters(); th != thBefore {
+		t.Fatal("OpStats launch still ran the threaded loop")
+	}
+	requireOut("opstats fallback", got)
+	if len(ops.Ops()) == 0 {
+		t.Fatal("fallback switch run collected no opcode histogram")
+	}
+
+	// And a matching pair does run the threaded loop.
+	got = run(exec.Options{Dispatch: exec.DispatchThreaded, Threaded: exec.Thread(lowered)})
+	if _, th := exec.DispatchCounters(); th != thBefore+1 {
+		t.Fatal("matching ThreadedProgram did not run the threaded loop")
+	}
+	requireOut("threaded", got)
+}
+
+// TestPooledReuseAcrossDispatchModes is the reuse-poisoning gauntlet for
+// the tentpole pair: with pool poisoning scribbling sentinel garbage
+// over every recycled structure between launches and the immutable
+// assertion armed, the two dispatch loops alternate on one private pool
+// — threaded handlers re-windowing frames the switch loop (and the
+// poisoner) just used — and every launch must still match the fresh-pool
+// reference byte for byte.
+func TestPooledReuseAcrossDispatchModes(t *testing.T) {
+	exec.SetDebugImmutable(true)
+	exec.SetDebugPoisonPool(true)
+	t.Cleanup(func() {
+		exec.SetDebugImmutable(false)
+		exec.SetDebugPoisonPool(false)
+	})
+	nd := exec.NDRange{Global: [3]int{16, 1, 1}, Local: [3]int{4, 1, 1}}
+	pool := exec.NewLaunchPool()
+	all := append(append([]struct{ name, src string }{}, parallelKernels...), engineKernels...)
+	for _, k := range all {
+		prog, info, lowered := compileLowered(t, k.src)
+		tp := exec.Thread(lowered)
+		run := func(p *exec.LaunchPool, d exec.Dispatch) ([]uint64, error) {
+			out := exec.NewBuffer(cltypes.TULong, nd.GlobalLinear())
+			runErr := exec.Run(prog, nd, exec.Args{"out": {Buf: out}}, exec.Options{
+				NoBarrier:  !info.HasBarrier,
+				NoAtomics:  !info.HasAtomic,
+				HasFwdDecl: info.HasFwdDecl,
+				Workers:    1,
+				Code:       lowered,
+				Dispatch:   d,
+				Threaded:   tp,
+				Pool:       p,
+			})
+			return out.Scalars(), runErr
+		}
+		// Fresh pool per reference launch: no state can carry over.
+		// Kernels that error (on every engine) stay in the gauntlet:
+		// the error path must also be reproducible from a poisoned pool.
+		want, wantErr := run(exec.NewLaunchPool(), exec.DispatchSwitch)
+		for round := 0; round < 3; round++ {
+			for _, d := range []exec.Dispatch{exec.DispatchSwitch, exec.DispatchThreaded} {
+				got, gotErr := run(pool, d)
+				if (gotErr == nil) != (wantErr == nil) || (gotErr != nil && gotErr.Error() != wantErr.Error()) {
+					t.Fatalf("%s round %d %s: err %v, want %v (poisoned pool state leaked)",
+						k.name, round, d, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s round %d %s: out[%d] = %d, want %d (poisoned pool state leaked)",
+							k.name, round, d, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	if hits, _ := pool.Counters(); hits == 0 {
+		t.Fatal("the shared pool was never hit: the gauntlet recycled nothing")
+	}
+}
+
+// FuzzThreadedMatchesSwitch is the dispatch-equivalence fuzz target:
+// generate a random kernel, compile it on a random configuration
+// (arming that configuration's defect models and optimization
+// pipeline), and run the VM under both dispatch modes. Unlike the
+// fuel-model target there is no sanctioned divergence: the threaded
+// loop charges the exact instruction stream the switch loop charges, so
+// outcome (including Timeout), diagnostic and buffer contents must
+// agree byte for byte under both fuel models. CI runs it as a short
+// -fuzztime smoke step beside FuzzLowerMatchesTree.
+func FuzzThreadedMatchesSwitch(f *testing.F) {
+	f.Add(uint8(0), uint32(42), uint8(0), false, uint8(0))
+	f.Add(uint8(1), uint32(7), uint8(3), true, uint8(1))
+	f.Add(uint8(2), uint32(11), uint8(12), true, uint8(0))
+	f.Add(uint8(3), uint32(5), uint8(17), false, uint8(1))
+	f.Add(uint8(3), uint32(1000), uint8(7), true, uint8(0))
+	modes := []generator.Mode{
+		generator.ModeBasic, generator.ModeVector, generator.ModeBarrier, generator.ModeAll,
+	}
+	cfgs := device.All()
+	f.Fuzz(func(t *testing.T, mode uint8, seed uint32, cfgID uint8, optimize bool, fmSel uint8) {
+		k := generator.Generate(generator.Options{
+			Mode:            modes[int(mode)%len(modes)],
+			Seed:            int64(seed),
+			MaxTotalThreads: 32,
+		})
+		cfg := cfgs[int(cfgID)%len(cfgs)]
+		cr := cfg.Compile(k.Src, optimize)
+		if cr.Outcome != device.OK {
+			return
+		}
+		if cr.Kernel.Code == nil {
+			t.Fatalf("kernel did not lower (mode %d seed %d)", mode, seed)
+		}
+		fm := exec.FuelV1
+		if fmSel%2 == 1 {
+			fm = exec.FuelV2
+		}
+		run := func(d exec.Dispatch) device.RunResult {
+			args, result := k.Buffers()
+			return cr.Kernel.Run(k.ND, args, result, device.RunOptions{
+				Engine: exec.EngineVM, FuelModel: fm, Dispatch: d,
+			})
+		}
+		want := run(exec.DispatchSwitch)
+		got := run(exec.DispatchThreaded)
+		if got.Outcome != want.Outcome {
+			t.Fatalf("outcome: threaded %v, switch %v (msg %q vs %q)\n%s", got.Outcome, want.Outcome, got.Msg, want.Msg, k.Src)
+		}
+		if got.Msg != want.Msg {
+			t.Fatalf("msg: threaded %q, switch %q\n%s", got.Msg, want.Msg, k.Src)
+		}
+		if len(got.Output) != len(want.Output) {
+			t.Fatalf("output length: threaded %d, switch %d\n%s", len(got.Output), len(want.Output), k.Src)
+		}
+		for i := range want.Output {
+			if got.Output[i] != want.Output[i] {
+				t.Fatalf("out[%d]: threaded %#x, switch %#x\n%s", i, got.Output[i], want.Output[i], k.Src)
+			}
+		}
+	})
+}

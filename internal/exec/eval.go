@@ -49,12 +49,12 @@ type thread struct {
 	// that a map allocation per iteration. Scopes are small, so linear
 	// scans over a slice beat map hashing as well.
 	envPool []*env
-	// cellChunk is the arena for private cells (declarations, parameters,
+	// cells is the arena for private cells (declarations, parameters,
 	// initializer temporaries). Cells are handed out by pointer and stay
-	// alive as long as something references them; the arena only batches
-	// their allocation.
-	cellChunk []Cell
-	cellUsed  int
+	// alive as long as something references them; the arena batches their
+	// allocation and — because threads are pooled across launches —
+	// retains its chunks, re-zeroing the used region between uses.
+	cells arena[Cell]
 
 	// vm holds the register VM's stacks when the launch runs lowered
 	// bytecode; the sequential per-group path shares one vmState across
@@ -62,41 +62,21 @@ type thread struct {
 	// folded into the process-wide counter when the thread finishes.
 	vm       *vmState
 	vmInstrs int64
-	// kidChunk and wordChunk batch the Kids and Vec backing slices of
-	// arena cells the same way: aggregate declarations request many small
-	// slices whose lifetimes all end with the cells they belong to. Spans
-	// are handed out disjoint and never grown, so no two cells alias.
-	kidChunk  []*Cell
-	wordChunk []uint64
+	// kids, words and bytes batch the Kids, Vec and Bytes backing slices
+	// of arena cells the same way: aggregate declarations request many
+	// small slices whose lifetimes all end with the cells they belong to.
+	// Spans are handed out disjoint and never grown, so no two cells
+	// alias.
+	kids  arena[*Cell]
+	words arena[uint64]
+	bytes arena[byte]
 }
 
-// grabKids hands out a zeroed *Cell span of length n from the chunk.
-func (t *thread) grabKids(n int) []*Cell {
-	if len(t.kidChunk) < n {
-		c := 128
-		if c < n {
-			c = n
-		}
-		t.kidChunk = make([]*Cell, c)
-	}
-	s := t.kidChunk[:n:n]
-	t.kidChunk = t.kidChunk[n:]
-	return s
-}
+// grabKids hands out a zeroed *Cell span of length n from the arena.
+func (t *thread) grabKids(n int) []*Cell { return t.kids.grab(n) }
 
-// grabWords hands out a zeroed uint64 span of length n from the chunk.
-func (t *thread) grabWords(n int) []uint64 {
-	if len(t.wordChunk) < n {
-		c := 128
-		if c < n {
-			c = n
-		}
-		t.wordChunk = make([]uint64, c)
-	}
-	s := t.wordChunk[:n:n]
-	t.wordChunk = t.wordChunk[n:]
-	return s
-}
+// grabWords hands out a zeroed uint64 span of length n from the arena.
+func (t *thread) grabWords(n int) []uint64 { return t.words.grab(n) }
 
 // binding is one declared name in a scope.
 type binding struct {
@@ -221,15 +201,11 @@ func (t *thread) isParam(name string) bool {
 	return false
 }
 
-// arenaCell hands out one zeroed private cell from the thread's chunk.
-// Chunks are never reused, so every slot starts zero-initialized.
+// arenaCell hands out one zeroed private cell from the thread's arena.
+// The arena's reset discipline re-zeroes the used region before reuse, so
+// every slot handed out starts zero-initialized.
 func (t *thread) arenaCell(typ cltypes.Type) *Cell {
-	if t.cellUsed == len(t.cellChunk) {
-		t.cellChunk = make([]Cell, 128)
-		t.cellUsed = 0
-	}
-	c := &t.cellChunk[t.cellUsed]
-	t.cellUsed++
+	c := t.cells.one()
 	c.Typ = typ
 	c.Space = cltypes.Private
 	return c
@@ -251,7 +227,7 @@ func (t *thread) newPrivCell(typ cltypes.Type) *Cell {
 	case *cltypes.StructT:
 		c := t.arenaCell(typ)
 		if tt.IsUnion {
-			c.Bytes = make([]byte, tt.Size())
+			c.Bytes = t.bytes.grab(tt.Size())
 			return c
 		}
 		c.Kids = t.grabKids(len(tt.Fields))

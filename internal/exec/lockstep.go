@@ -40,6 +40,31 @@ func newLockstep(n int) *lockstep {
 	return ls
 }
 
+// reset rearms a pooled scheduler for a fresh n-thread group: every
+// thread starts ready, and any token left buffered by an aborted round
+// is drained so a stale grant cannot leak into the new group.
+func (ls *lockstep) reset(n int) {
+	if cap(ls.state) < n {
+		ls.state = make([]lsState, n)
+		old := ls.turn
+		ls.turn = make([]chan struct{}, n)
+		copy(ls.turn, old)
+	}
+	ls.state = ls.state[:n]
+	clear(ls.state)
+	ls.turn = ls.turn[:n]
+	for i, ch := range ls.turn {
+		if ch == nil {
+			ls.turn[i] = make(chan struct{}, 1)
+			continue
+		}
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}
+
 // grantLocked passes the baton to the lowest-numbered ready thread.
 // Callers hold mu. With no ready thread it does nothing: either every
 // thread is done (group over) or all non-done threads are parked at a

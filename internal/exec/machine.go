@@ -129,6 +129,24 @@ type Options struct {
 	// dispatch histograms (clbench -opstats). Observation only, VM only,
 	// like Cover.
 	OpStats *OpStats
+	// Pool selects the launch-state pool this execution recycles its
+	// working set through (see pool.go). nil uses a process-wide shared
+	// pool; embedders that want memory isolation pass their own. Pooling
+	// is observation-free: outputs are byte-identical with any pool.
+	Pool *LaunchPool
+	// Dispatch selects the VM dispatch mode. DispatchThreaded runs the
+	// direct-threaded loop (see vmthread.go) when Threaded matches Code;
+	// anything else — including a missing or mismatched Threaded, or an
+	// OpStats collection request, which only the switch loop implements —
+	// runs the switch loop. Dispatch is observation-free: outputs, fuel
+	// and verdicts are byte-identical across modes.
+	Dispatch Dispatch
+	// Threaded is the direct-threaded form of Code (built by Thread,
+	// memoized by the embedding layer beside the program). It is only
+	// consulted under DispatchThreaded and must wrap the exact Program in
+	// Code; a mismatch falls back to the switch loop rather than running
+	// handlers against the wrong instruction stream.
+	Threaded *ThreadedProgram
 }
 
 // Stats reports execution cost measurements, used to calibrate the fuel
@@ -297,6 +315,10 @@ type Machine struct {
 	// a serial launch (all groups run on the calling goroutine), so the
 	// VM stacks amortize across the whole launch.
 	vmSerial *vmState
+	// threaded is the direct-threaded form of code when this launch
+	// dispatches through pre-resolved handlers (nil for the switch loop;
+	// see vmthread.go).
+	threaded *ThreadedProgram
 
 	// sequential marks the per-group goroutine-free fast path: barrier-free
 	// kernels (or single-thread work-groups) with race checking off run
@@ -318,6 +340,10 @@ type Machine struct {
 
 	raceMu     sync.Mutex
 	interGroup map[memKey]*accessRec // global-memory access record, per kernel run
+
+	// state is the pooled container this Machine is embedded in; it owns
+	// the group executors, pooled threads and arenas (see pool.go).
+	state *launchState
 }
 
 // debugImmutable arms the read-only-AST assertion in Run: the program is
@@ -409,9 +435,19 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 	// initialization, the serial and sequential execution paths).
 	// Installed after the immutability defer so the assertion still
 	// panics outward; launch goroutines carry their own containPanic.
+	// The same defer returns the pooled state on a normal exit; a panic
+	// may leave the state half-unwound, so it is dropped instead.
+	var (
+		pool  *LaunchPool
+		state *launchState
+	)
 	defer func() {
 		if r := recover(); r != nil {
 			err = &CrashError{Msg: fmt.Sprintf("evaluator panic: %v", r)}
+			return
+		}
+		if state != nil {
+			pool.put(state)
 		}
 	}()
 	if err := nd.Validate(); err != nil {
@@ -424,26 +460,47 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 	if opts.Fuel <= 0 {
 		opts.Fuel = 1 << 22
 	}
-	m := &Machine{
-		prog:    prog,
-		kernel:  kernel,
-		nd:      nd,
-		args:    args,
-		opts:    opts,
-		globals: map[string]*Cell{},
-		funcs:   map[string]*ast.FuncDecl{},
-		dom:     newFailDomain(),
-	}
 	numGroups := nd.GlobalLinear() / nd.GroupLinear()
 	workers := opts.Workers
 	if workers > numGroups {
 		workers = numGroups
 	}
-	m.sequential = !opts.CheckRaces && (opts.NoBarrier || nd.GroupLinear() == 1)
-	m.parallelGroups = workers > 1 && !opts.CheckRaces && opts.NoAtomics
-	m.unshared = m.sequential && !m.parallelGroups
+	sequential := !opts.CheckRaces && (opts.NoBarrier || nd.GroupLinear() == 1)
+	parallelGroups := workers > 1 && !opts.CheckRaces && opts.NoAtomics
+	pool = opts.Pool
+	if pool == nil {
+		pool = sharedPool
+	}
+	key := poolSerial
+	switch {
+	case parallelGroups:
+		key = poolParallel
+	case !sequential:
+		key = poolLockstep
+	}
+	state = pool.get(key)
+	state.reset()
+	m := &state.m
+	m.prog = prog
+	m.kernel = kernel
+	m.nd = nd
+	m.args = args
+	m.opts = opts
+	m.sequential = sequential
+	m.parallelGroups = parallelGroups
+	m.unshared = sequential && !parallelGroups
+	m.dom = state.freshDom()
 	if opts.Code != nil && opts.Engine != EngineTree {
 		m.code = opts.Code
+		m.vmSerial = &state.serialVM
+		// Direct-threaded dispatch needs a handler program built from this
+		// exact instruction stream; opcode histograms are a switch-loop-only
+		// observation, so an OpStats request also pins the switch loop.
+		if opts.Dispatch == DispatchThreaded && opts.Threaded != nil &&
+			opts.Threaded.p == opts.Code && opts.OpStats == nil {
+			m.threaded = opts.Threaded
+			threadedLaunches.Add(1)
+		}
 		vmLaunches.Add(1)
 		if opts.FuelModel == FuelV2 {
 			vmLaunchesV2.Add(1)
@@ -463,11 +520,11 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 	// Initializers always run on the tree walker (host-side, once per
 	// launch); globalCells records the cells in declaration order so the
 	// VM's pre-resolved global operands index them directly.
-	m.globalCells = make([]*Cell, len(prog.Globals))
-	for i, g := range prog.Globals {
+	for _, g := range prog.Globals {
 		c := NewCell(g.Type, cltypes.Constant)
 		if g.Init != nil {
-			th := &thread{m: m, dom: m.dom, fuel: opts.Fuel}
+			th := &state.initThread
+			th.resetState(m, nil, [3]int{}, [3]int{}, opts.Fuel)
 			var v Value
 			if err := th.evalInit(g.Type, g.Init, &v); err != nil {
 				return err
@@ -477,7 +534,7 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 			}
 		}
 		m.globals[g.Name] = c
-		m.globalCells[i] = c
+		m.globalCells = append(m.globalCells, c)
 	}
 	// Check arguments against kernel parameters.
 	for _, p := range kernel.Params {
@@ -488,6 +545,7 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 	if m.parallelGroups {
 		return m.runGroupsParallel(numGroups, workers)
 	}
+	gs := state.group(0)
 	ng := m.nd.NumGroups()
 	for gz := 0; gz < ng[2]; gz++ {
 		for gy := 0; gy < ng[1]; gy++ {
@@ -495,7 +553,7 @@ func Run(prog *ast.Program, nd NDRange, args Args, opts Options) (err error) {
 				if cerr := m.ctxErr(); cerr != nil {
 					return cerr
 				}
-				m.runGroup([3]int{gx, gy, gz}, m.dom)
+				m.runGroup(gs, [3]int{gx, gy, gz}, m.dom)
 				if m.dom.dead.Load() {
 					return m.dom.err
 				}
@@ -520,11 +578,17 @@ func (n NDRange) groupAt(i int) [3]int {
 // verdict is the error of the lowest-numbered failing group, exactly the
 // error the serial schedule would have returned.
 func (m *Machine) runGroupsParallel(numGroups, workers int) error {
-	errs := make([]error, numGroups)
+	st := m.state
+	for len(st.errs) < numGroups {
+		st.errs = append(st.errs, nil)
+	}
+	errs := st.errs[:numGroups]
+	clear(errs)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		gs := st.group(w)
 		go func() {
 			defer wg.Done()
 			for {
@@ -532,7 +596,7 @@ func (m *Machine) runGroupsParallel(numGroups, workers int) error {
 				if i >= numGroups {
 					return
 				}
-				dom := newFailDomain()
+				dom := gs.freshDom()
 				if cerr := m.ctxErr(); cerr != nil {
 					dom.fail(cerr)
 				} else {
@@ -541,7 +605,7 @@ func (m *Machine) runGroupsParallel(numGroups, workers int) error {
 					// remaining groups still execute.
 					func() {
 						defer containPanic(dom)
-						m.runGroup(m.nd.groupAt(i), dom)
+						m.runGroup(gs, m.nd.groupAt(i), dom)
 					}()
 				}
 				errs[i] = dom.err
@@ -575,22 +639,15 @@ type groupCtx struct {
 	races map[memKey]*accessRec  // intra-group access record, cleared at barriers
 }
 
-func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
-	g := &groupCtx{
-		m:     m,
-		id:    gid,
-		dom:   dom,
-		local: map[*ast.VarDecl]*Cell{},
-	}
-	if m.opts.CheckRaces {
-		g.races = map[memKey]*accessRec{}
-	}
+func (m *Machine) runGroup(gs *groupState, gid [3]int, dom *failDomain) {
+	g := gs.resetGroup(m, gid, dom)
 	n := m.nd.GroupLinear()
 	if m.sequential {
-		m.runGroupSequential(g, n)
+		m.runGroupSequential(gs, n)
 		return
 	}
-	g.bar = newBarrier(n, g)
+	gs.bar.reset(n, g)
+	g.bar = &gs.bar
 	// The lockstep scheduler serializes the group's goroutines into one
 	// deterministic interleaving: the baton visits threads in work-item
 	// order at every scheduling point, so atomic operations and shared
@@ -598,24 +655,32 @@ func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 	// scheduling would make atomic-using kernels nondeterministic, which
 	// would break the differential oracle, the campaign result cache and
 	// shard/merge byte-identity alike.
-	g.ls = newLockstep(n)
+	gs.ls.reset(n)
+	g.ls = &gs.ls
 	// Per-thread barrier-round counts, compared after the group finishes:
 	// the wait-based divergence check in barrier.quit only fires when some
 	// thread is still blocked, which depends on arrival order; the count
 	// comparison catches the early-exit divergence regardless.
 	var barCounts []int
 	if m.opts.CheckRaces {
-		barCounts = make([]int, n)
+		for len(gs.barCounts) < n {
+			gs.barCounts = append(gs.barCounts, 0)
+		}
+		barCounts = gs.barCounts[:n]
+		clear(barCounts)
 	}
 	var wg sync.WaitGroup
+	idx := 0
 	for lz := 0; lz < m.nd.Local[2]; lz++ {
 		for ly := 0; ly < m.nd.Local[1]; ly++ {
 			for lx := 0; lx < m.nd.Local[0]; lx++ {
 				lid := [3]int{lx, ly, lz}
+				th := gs.thread(idx)
+				idx++
+				th.resetState(m, g, m.gidOf(g, lid), lid, m.opts.Fuel)
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					th := m.newThread(g, lid)
 					// Containment for a panic on this thread goroutine: the
 					// group gets a crash verdict and the thread retires from
 					// the barrier and the lockstep schedule exactly as the
@@ -678,11 +743,13 @@ func (m *Machine) runGroup(gid [3]int, dom *failDomain) {
 // reports depend on interleaving — is off. No goroutines are spawned, no
 // WaitGroup is touched, and the barrier object is allocated only when the
 // program can actually reach a barrier call.
-func (m *Machine) runGroupSequential(g *groupCtx, n int) {
+func (m *Machine) runGroupSequential(gs *groupState, n int) {
+	g := &gs.g
 	if !m.opts.NoBarrier {
 		// Single-thread group of a barrier-using kernel: every await
 		// releases immediately, but the builtin still needs the object.
-		g.bar = newBarrier(n, g)
+		gs.bar.reset(n, g)
+		g.bar = &gs.bar
 	}
 	// One VM register state serves every thread of the group: they run
 	// back-to-back on this goroutine, so the stacks amortize across
@@ -691,18 +758,21 @@ func (m *Machine) runGroupSequential(g *groupCtx, n int) {
 	var sharedVM *vmState
 	if m.code != nil {
 		if m.parallelGroups {
-			sharedVM = &vmState{}
+			sharedVM = &gs.vm
 		} else {
-			if m.vmSerial == nil {
-				m.vmSerial = &vmState{}
-			}
 			sharedVM = m.vmSerial
 		}
 	}
+	// One pooled thread serves every work-item of the group, reset (and
+	// its arenas re-zeroed) between items, so the per-item state costs a
+	// memclr of what the previous item actually used instead of fresh
+	// allocations.
+	th := &gs.seq
 	for lz := 0; lz < m.nd.Local[2]; lz++ {
 		for ly := 0; ly < m.nd.Local[1]; ly++ {
 			for lx := 0; lx < m.nd.Local[0]; lx++ {
-				th := m.newThread(g, [3]int{lx, ly, lz})
+				lid := [3]int{lx, ly, lz}
+				th.resetState(m, g, m.gidOf(g, lid), lid, m.opts.Fuel)
 				th.vm = sharedVM
 				err := th.run()
 				if st := m.opts.Stats; st != nil {
@@ -726,19 +796,12 @@ func (m *Machine) runGroupSequential(g *groupCtx, n int) {
 	}
 }
 
-func (m *Machine) newThread(g *groupCtx, lid [3]int) *thread {
-	gid := [3]int{
+// gidOf maps a local id within group g to the global work-item id.
+func (m *Machine) gidOf(g *groupCtx, lid [3]int) [3]int {
+	return [3]int{
 		g.id[0]*m.nd.Local[0] + lid[0],
 		g.id[1]*m.nd.Local[1] + lid[1],
 		g.id[2]*m.nd.Local[2] + lid[2],
-	}
-	return &thread{
-		m:     m,
-		group: g,
-		dom:   g.dom,
-		gid:   gid,
-		lid:   lid,
-		fuel:  m.opts.Fuel,
 	}
 }
 

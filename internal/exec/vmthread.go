@@ -1,0 +1,1094 @@
+package exec
+
+// Direct-threaded dispatch. The switch loop in vm.go pays, per dispatched
+// instruction, a program-counter increment with a bounds-checked fetch,
+// operand widening, a 60-way switch, and a type assertion on every Aux
+// payload. This file pre-resolves each lowered instruction to a Go
+// closure once per program: operands, Aux payloads, branch targets and
+// the continuation are captured as build-time constants, and the driver
+// loop charges fuel from a per-entry cost table and makes a single
+// indirect call per instruction. Semantics — fuel charges, abort-poll
+// cadence, race notes, defect models, coverage edges, error messages —
+// mirror vmLoop arm for arm; the dispatch and fuse test suites plus
+// FuzzThreadedMatchesSwitch pin byte-identity.
+//
+// Handlers return the next entry (nil stops the driver, with the
+// verdict in vmTState.err). Calls push a frame carrying the caller's
+// continuation entry (vmFrame.retH) and jump to the callee's entry
+// slot; returns pop and resume it.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"clfuzz/internal/ast"
+	"clfuzz/internal/bugs"
+	"clfuzz/internal/cltypes"
+	"clfuzz/internal/code"
+)
+
+// threadedLaunches counts VM launches that dispatched through the
+// direct-threaded loop (vmLaunches minus this is the switch-loop count).
+var threadedLaunches atomic.Int64
+
+// DispatchCounters splits the VM launch counter by dispatch mode.
+func DispatchCounters() (switchRuns, threadedRuns int64) {
+	tr := threadedLaunches.Load()
+	return vmLaunches.Load() - tr, tr
+}
+
+// Dispatch selects the VM dispatch mode.
+type Dispatch uint8
+
+const (
+	// DispatchAuto is the default: the switch loop (identical to
+	// DispatchSwitch; the name records that the choice was not forced).
+	DispatchAuto Dispatch = iota
+	// DispatchSwitch forces the switch dispatch loop.
+	DispatchSwitch
+	// DispatchThreaded requests direct-threaded dispatch, used whenever a
+	// ThreadedProgram matching the lowered code is supplied (and the
+	// launch does not collect opcode histograms, which only the switch
+	// loop implements); otherwise the switch loop runs.
+	DispatchThreaded
+)
+
+// ParseDispatch parses a dispatch-mode name: "auto" (or empty),
+// "switch", "threaded".
+func ParseDispatch(s string) (Dispatch, error) {
+	switch s {
+	case "", "auto":
+		return DispatchAuto, nil
+	case "switch":
+		return DispatchSwitch, nil
+	case "threaded":
+		return DispatchThreaded, nil
+	}
+	return DispatchAuto, fmt.Errorf("exec: unknown dispatch mode %q (want auto, switch or threaded)", s)
+}
+
+// String names the dispatch mode.
+func (d Dispatch) String() string {
+	switch d {
+	case DispatchSwitch:
+		return "switch"
+	case DispatchThreaded:
+		return "threaded"
+	}
+	return "auto"
+}
+
+// vmHandler executes one pre-resolved instruction and returns the next
+// entry, or nil to stop the driver (kernel return or error).
+type vmHandler func(t *thread, s *vmTState) *vmEntry
+
+// vmEntry pairs an instruction's handler with its fuel cost. The driver
+// loop charges the cost before invoking the handler, so the per-
+// instruction accounting is one inline branch instead of a second
+// indirect call from inside each closure.
+type vmEntry struct {
+	h    vmHandler
+	cost int64
+}
+
+// vmTState is the mutable state the handlers share: the current frame's
+// register windows (re-sliced on call and return) and the per-launch
+// observation hooks. It lives inside the pooled vmState.
+type vmTState struct {
+	vm         *vmState
+	tp         *ThreadedProgram
+	fr         *vmFrame
+	regs       []Value
+	lvs        []lval
+	unshared   bool
+	checkRaces bool
+	cov        *CoverMap
+	err        error
+}
+
+// ThreadedProgram is a lowered program with every instruction resolved
+// to its handler closure, built once by Thread and cached beside the
+// program (device.Kernel memoizes one per code.Program, like the fused
+// form). It is immutable and safe to share across concurrent launches.
+type ThreadedProgram struct {
+	p   *code.Program
+	fns [][]vmEntry
+}
+
+// Thread builds the direct-threaded form of p.
+func Thread(p *code.Program) *ThreadedProgram {
+	tp := &ThreadedProgram{p: p, fns: make([][]vmEntry, len(p.Fns))}
+	for i, fn := range p.Fns {
+		tp.fns[i] = tp.buildFn(fn)
+	}
+	return tp
+}
+
+// vmThreadedLoop drives the handler chain for the already-pushed kernel
+// frame, mirroring vmLoop's setup.
+func (t *thread) vmThreadedLoop(vm *vmState) error {
+	s := &vm.ts
+	s.vm = vm
+	s.tp = t.m.threaded
+	fr := &vm.frames[len(vm.frames)-1]
+	s.fr = fr
+	s.regs = vm.regs[fr.regBase:]
+	s.lvs = vm.lvs[fr.lvBase:]
+	s.unshared = t.m.unshared
+	s.checkRaces = t.m.opts.CheckRaces
+	s.cov = t.m.opts.Cover
+	s.err = nil
+	e := &s.tp.fns[s.tp.p.Kernel][0]
+	for e != nil {
+		t.vmInstrs++
+		if e.cost != 0 {
+			t.fuel -= e.cost
+			if t.fuel <= 0 {
+				s.err = &TimeoutError{Where: "kernel execution"}
+				break
+			}
+			if t.fuel&255 == 0 && t.dom.dead.Load() {
+				if err := t.dom.err; err != nil {
+					s.err = err
+				} else {
+					s.err = errAborted
+				}
+				break
+			}
+		}
+		e = e.h(t, s)
+	}
+	err := s.err
+	// Drop the per-launch references so a pooled vmState does not pin
+	// them while idle.
+	*s = vmTState{}
+	return err
+}
+
+// vmtReturn pops the current frame, writes the (already converted)
+// return value into the caller's destination register, re-installs the
+// caller's windows and resumes its continuation. The kernel frame stops
+// the driver.
+func (t *thread) vmtReturn(s *vmTState, rv Value) *vmEntry {
+	vm := s.vm
+	f := s.fr
+	t.iterStack = t.iterStack[:f.iterBase]
+	vm.slotStack = vm.slotStack[:f.slotBase]
+	retH, retDst := f.retH, f.retDst
+	vm.frames = vm.frames[:len(vm.frames)-1]
+	if len(vm.frames) == 0 {
+		s.err = nil
+		return nil
+	}
+	t.depth--
+	cf := &vm.frames[len(vm.frames)-1]
+	if retDst >= 0 {
+		vm.regs[cf.regBase+int(retDst)] = rv
+	}
+	s.fr = cf
+	s.regs = vm.regs[cf.regBase:]
+	s.lvs = vm.lvs[cf.lvBase:]
+	return retH
+}
+
+// buildFn resolves one function's instructions to entries. The slice is
+// allocated first so branch and fall-through continuations can capture
+// stable element addresses (the entry's handler field is read at run
+// time, after every slot is populated); index len(code) holds a
+// fall-off trap mirroring the switch loop's out-of-range fetch panic.
+func (tp *ThreadedProgram) buildFn(fn *code.Fn) []vmEntry {
+	hs := make([]vmEntry, len(fn.Code)+1)
+	hs[len(fn.Code)].h = func(t *thread, s *vmTState) *vmEntry {
+		panic(fmt.Sprintf("exec: pc out of range in %s", fn.Name))
+	}
+	for pc := range fn.Code {
+		hs[pc] = vmEntry{h: tp.buildInstr(fn, hs, pc), cost: int64(fn.Code[pc].Cost)}
+	}
+	return hs
+}
+
+// buildInstr resolves fn.Code[pc] to its handler.
+func (tp *ThreadedProgram) buildInstr(fn *code.Fn, hs []vmEntry, pc int) vmHandler {
+	in := &fn.Code[pc]
+	var (
+		dst   = int(in.Dst)
+		a     = int(in.A)
+		b     = int(in.B)
+		next  = &hs[pc+1]
+		fnIdx = fn.Idx
+		pcI   = int32(pc)
+	)
+	// branch returns the captured-target continuation for branching ops,
+	// recording the coverage edge exactly like the switch arms.
+	branch := func(target int32) func(s *vmTState) *vmEntry {
+		tgt := &hs[int(target)]
+		return func(s *vmTState) *vmEntry {
+			if s.cov != nil {
+				s.cov.hitEdge(fnIdx, pcI, target)
+			}
+			return tgt
+		}
+	}
+	// fail stops the driver with err.
+	fail := func(s *vmTState, err error) *vmEntry {
+		s.err = err
+		return nil
+	}
+
+	switch in.Op {
+	case code.OpStep:
+		return func(t *thread, s *vmTState) *vmEntry {
+			return next
+		}
+
+	case code.OpJump:
+		tgt := &hs[a]
+		return func(t *thread, s *vmTState) *vmEntry {
+			return tgt
+		}
+
+	case code.OpBranchFalse:
+		br := branch(in.A)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if !s.regs[dst].isTrue() {
+				return br(s)
+			}
+			return next
+		}
+
+	case code.OpBoolTest:
+		br := branch(in.A)
+		and := b == 0
+		return func(t *thread, s *vmTState) *vmEntry {
+			v := &s.regs[dst]
+			if and {
+				if !v.isTrue() {
+					*v = boolValue(false)
+					return br(s)
+				}
+			} else if v.isTrue() {
+				*v = boolValue(true)
+				return br(s)
+			}
+			return next
+		}
+
+	case code.OpBoolFin:
+		return func(t *thread, s *vmTState) *vmEntry {
+			s.regs[dst] = boolValue(s.regs[dst].isTrue())
+			return next
+		}
+
+	case code.OpLoopEnter:
+		return func(t *thread, s *vmTState) *vmEntry {
+			t.iterStack = append(t.iterStack, 0)
+			return next
+		}
+
+	case code.OpLoopIter:
+		return func(t *thread, s *vmTState) *vmEntry {
+			t.iterStack[len(t.iterStack)-1]++
+			return next
+		}
+
+	case code.OpLoopExit:
+		le, _ := in.Aux.(*code.LoopExit)
+		return func(t *thread, s *vmTState) *vmEntry {
+			n := len(t.iterStack)
+			iters := t.iterStack[n-1]
+			t.iterStack = t.iterStack[:n-1]
+			if le != nil && iters == 0 {
+				if s.cov != nil {
+					s.cov.hitSite(CoverSiteDeadLoop)
+				}
+				if t.m.opts.Defects.Has(bugs.WCDeadLoopBarrier) && t.lidLinear() != 0 {
+					t.vmDeadLoopDefect(le, s.fr)
+				}
+			}
+			return next
+		}
+
+	case code.OpReturn:
+		rt, retScalar := fn.Decl.Ret.(*cltypes.Scalar)
+		return func(t *thread, s *vmTState) *vmEntry {
+			rv := s.regs[a]
+			if retScalar {
+				if _, isS := rv.T.(*cltypes.Scalar); isS {
+					rv = convertScalar(&rv, rt)
+				}
+			}
+			return t.vmtReturn(s, rv)
+		}
+
+	case code.OpReturnVoid:
+		return func(t *thread, s *vmTState) *vmEntry {
+			return t.vmtReturn(s, Value{T: cltypes.TVoid})
+		}
+
+	case code.OpReturnEnd:
+		f := fn.Decl
+		var rv Value
+		fellOff := false
+		if f.Ret.Equal(cltypes.TVoid) {
+			rv = Value{T: cltypes.TVoid}
+		} else if rt, ok := f.Ret.(*cltypes.Scalar); ok {
+			rv = scalarValue(0, rt)
+		} else {
+			fellOff = true
+		}
+		return func(t *thread, s *vmTState) *vmEntry {
+			if fellOff {
+				return fail(s, fmt.Errorf("exec: function %s fell off the end", f.Name))
+			}
+			return t.vmtReturn(s, rv)
+		}
+
+	case code.OpConst:
+		cv := in.Aux.(*code.ConstVal)
+		val := Value{T: cv.T, Scalar: cv.V}
+		return func(t *thread, s *vmTState) *vmEntry {
+			s.regs[dst] = val
+			return next
+		}
+
+	case code.OpPredef:
+		val := scalarValue(uint64(in.A), cltypes.TUInt)
+		return func(t *thread, s *vmTState) *vmEntry {
+			s.regs[dst] = val
+			return next
+		}
+
+	case code.OpLoadSlot, code.OpLoadGlobal:
+		global := in.Op == code.OpLoadGlobal
+		return func(t *thread, s *vmTState) *vmEntry {
+			var c *Cell
+			if global {
+				c = t.m.globalCells[a]
+			} else {
+				c = s.fr.slots[a]
+			}
+			if s.checkRaces {
+				if err := t.noteAccess(c, false, false); err != nil {
+					return fail(s, err)
+				}
+			}
+			if sc, ok := c.Typ.(*cltypes.Scalar); ok && (s.unshared || !c.Shared) {
+				s.regs[dst] = Value{T: sc, Scalar: c.Val}
+			} else if err := loadCell(c, s.unshared, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpUnary:
+		op := ast.UnOp(in.B)
+		rt := auxType(in.Aux)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := t.vmUnary(op, rt, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpDeref:
+		return func(t *thread, s *vmTState) *vmEntry {
+			lv, err := t.ptrLV(s.regs[a].Ptr, "null or dangling pointer dereference")
+			if err != nil {
+				return fail(s, err)
+			}
+			if s.checkRaces {
+				if err := t.noteLVAccess(lv, false); err != nil {
+					return fail(s, err)
+				}
+			}
+			if err := lv.load(&s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpIncDec:
+		op := ast.UnOp(in.B)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := t.vmIncDec(s.lvs[a], op, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpAddrLV:
+		rt := auxType(in.Aux)
+		return func(t *thread, s *vmTState) *vmEntry {
+			lv := s.lvs[a]
+			if lv.uField != nil || lv.vecIdx >= 0 {
+				return fail(s, fmt.Errorf("exec: cannot take the address of a union field or vector component"))
+			}
+			var p Ptr
+			if lv.flat != nil {
+				p = Ptr{Flat: lv.flat, Idx: lv.wIdx}
+			} else if _, isArr := lv.c.Typ.(*cltypes.Array); isArr {
+				p = Ptr{Slice: lv.c.Kids, Idx: 0}
+			} else {
+				p = Ptr{Cell: lv.c}
+			}
+			s.regs[dst] = Value{T: rt, Ptr: p}
+			return next
+		}
+
+	case code.OpAddrElem:
+		rt := auxType(in.Aux)
+		return func(t *thread, s *vmTState) *vmEntry {
+			blv := s.lvs[a]
+			iv := &s.regs[b]
+			is := iv.T.(*cltypes.Scalar)
+			idx := int(cltypes.AsInt64(iv.Scalar, is))
+			if blv.c != nil && blv.uField == nil && blv.vecIdx < 0 {
+				if idx < 0 || idx >= len(blv.c.Kids) {
+					return fail(s, &CrashError{Msg: "address of out-of-bounds element"})
+				}
+				s.regs[dst] = Value{T: rt, Ptr: Ptr{Slice: blv.c.Kids, Idx: idx}}
+			} else {
+				return fail(s, fmt.Errorf("exec: cannot take element address of view lvalue"))
+			}
+			return next
+		}
+
+	case code.OpPtrAt:
+		rt := auxType(in.Aux)
+		return func(t *thread, s *vmTState) *vmEntry {
+			iv := &s.regs[b]
+			is := iv.T.(*cltypes.Scalar)
+			idx := int(cltypes.AsInt64(iv.Scalar, is))
+			s.regs[dst] = Value{T: rt, Ptr: s.regs[a].Ptr.At(idx)}
+			return next
+		}
+
+	case code.OpBinary:
+		bi := in.Aux.(*code.BinInfo)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := t.vmBinaryOp(bi, &s.regs[a], &s.regs[b], &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpComma:
+		return func(t *thread, s *vmTState) *vmEntry {
+			if t.m.opts.Defects.Has(bugs.WCComma) {
+				if rt, ok := s.regs[dst].T.(*cltypes.Scalar); ok {
+					s.regs[dst] = scalarValue(0, rt)
+				}
+			}
+			return next
+		}
+
+	case code.OpCondFin:
+		rt, isScalar := auxType(in.Aux).(*cltypes.Scalar)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if isScalar {
+				if _, isS := s.regs[dst].T.(*cltypes.Scalar); isS {
+					s.regs[dst] = convertScalar(&s.regs[dst], rt)
+				}
+			}
+			return next
+		}
+
+	case code.OpSwizzle:
+		idx := in.Aux.([]int)
+		return func(t *thread, s *vmTState) *vmEntry {
+			v := &s.regs[a]
+			vt, ok := v.T.(*cltypes.Vector)
+			if !ok {
+				return fail(s, fmt.Errorf("exec: swizzle of non-vector %s", v.T))
+			}
+			if len(idx) == 1 {
+				s.regs[dst] = scalarValue(v.Vec[idx[0]], vt.Elem)
+			} else {
+				sw := make([]uint64, len(idx))
+				for i, j := range idx {
+					sw[i] = v.Vec[j]
+				}
+				s.regs[dst] = Value{T: cltypes.VecOf(vt.Elem, len(idx)), Vec: sw}
+			}
+			return next
+		}
+
+	case code.OpVecLit:
+		vt := in.Aux.(*cltypes.Vector)
+		return func(t *thread, s *vmTState) *vmEntry {
+			var comps []uint64
+			for i := 0; i < b; i++ {
+				el := &s.regs[a+i]
+				switch et := el.T.(type) {
+				case *cltypes.Scalar:
+					comps = append(comps, cltypes.Convert(el.Scalar, et, vt.Elem))
+				case *cltypes.Vector:
+					comps = append(comps, el.Vec...)
+				default:
+					return fail(s, fmt.Errorf("exec: bad vector literal element %s", el.T))
+				}
+			}
+			if len(comps) == 1 && vt.Len > 1 {
+				splat := make([]uint64, vt.Len)
+				for i := range splat {
+					splat[i] = comps[0]
+				}
+				comps = splat
+			}
+			if len(comps) != vt.Len {
+				return fail(s, fmt.Errorf("exec: vector literal arity mismatch"))
+			}
+			s.regs[dst] = Value{T: vt, Vec: comps}
+			return next
+		}
+
+	case code.OpCast:
+		toT := auxType(in.Aux)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := vmCast(&s.regs[dst], toT); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpConvert:
+		toT := auxType(in.Aux)
+		return func(t *thread, s *vmTState) *vmEntry {
+			out := &s.regs[dst]
+			switch to := toT.(type) {
+			case *cltypes.Scalar:
+				*out = convertScalar(out, to)
+			case *cltypes.Vector:
+				src := out.T.(*cltypes.Vector)
+				vec := make([]uint64, to.Len)
+				for i, c := range out.Vec {
+					vec[i] = cltypes.Convert(c, src.Elem, to.Elem)
+				}
+				*out = Value{T: to, Vec: vec}
+			default:
+				return fail(s, fmt.Errorf("exec: bad convert result type"))
+			}
+			return next
+		}
+
+	case code.OpConvertFree:
+		to := in.Aux.(*cltypes.Scalar)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if _, ok := s.regs[dst].T.(*cltypes.Scalar); ok {
+				s.regs[dst] = convertScalar(&s.regs[dst], to)
+			}
+			return next
+		}
+
+	case code.OpIdBuiltin:
+		name := in.Aux.(string)
+		return func(t *thread, s *vmTState) *vmEntry {
+			dim := int(s.regs[a].Scalar)
+			s.regs[dst] = scalarValue(t.idBuiltin(name, dim), cltypes.TSizeT)
+			return next
+		}
+
+	case code.OpWorkDim:
+		val := scalarValue(3, cltypes.TUInt)
+		return func(t *thread, s *vmTState) *vmEntry {
+			s.regs[dst] = val
+			return next
+		}
+
+	case code.OpLinearId:
+		return func(t *thread, s *vmTState) *vmEntry {
+			var v uint64
+			switch b {
+			case 0:
+				v = uint64(t.gidLinear())
+			case 1:
+				v = uint64(t.lidLinear())
+			default:
+				v = uint64(t.groupLinear())
+			}
+			s.regs[dst] = scalarValue(v, cltypes.TSizeT)
+			return next
+		}
+
+	case code.OpBarrier:
+		node := in.Aux.(ast.Node)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if t.group == nil {
+				return fail(s, fmt.Errorf("exec: barrier outside kernel execution"))
+			}
+			if t.group.bar == nil {
+				return fail(s, &CrashError{Msg: "barrier reached in barrier-free sequential execution"})
+			}
+			tok := barrierToken{node: node, iters: t.iterDigest()}
+			if err := t.group.bar.await(tok, s.regs[a].Scalar, t.lidLinear()); err != nil {
+				return fail(s, err)
+			}
+			t.barrierSeen = true
+			t.barrierCount++
+			s.regs[dst] = Value{T: cltypes.TVoid}
+			return next
+		}
+
+	case code.OpCrc64:
+		return func(t *thread, s *vmTState) *vmEntry {
+			c, v := &s.regs[a], &s.regs[b]
+			vs := v.T.(*cltypes.Scalar)
+			s.regs[dst] = scalarValue(crcMix(c.Scalar, cltypes.SExt(v.Scalar, vs)), cltypes.TULong)
+			return next
+		}
+
+	case code.OpVcrc:
+		return func(t *thread, s *vmTState) *vmEntry {
+			c, v := &s.regs[a], &s.regs[b]
+			h := c.Scalar
+			for _, comp := range v.Vec {
+				h = crcMix(h, comp)
+			}
+			s.regs[dst] = scalarValue(h, cltypes.TULong)
+			return next
+		}
+
+	case code.OpAtomic, code.OpMath, code.OpStore, code.OpStoreSlot:
+		// These helpers take the original *code.Instr (operand block
+		// addressing for atomics/math, the *StoreInfo and value/reload
+		// registers for stores), so the handler passes it through. The
+		// store forms additionally rebuild their lvalue per dispatch.
+		atomic := in.Op == code.OpAtomic
+		math := in.Op == code.OpMath
+		slotStore := in.Op == code.OpStoreSlot
+		return func(t *thread, s *vmTState) *vmEntry {
+			var err error
+			switch {
+			case atomic:
+				err = t.vmAtomic(in, s.regs)
+			case math:
+				err = t.vmMath(in, s.regs)
+			case slotStore:
+				err = t.vmStore(in, directLV(s.fr.slots[a], s.unshared), s.regs)
+			default:
+				err = t.vmStore(in, s.lvs[a], s.regs)
+			}
+			if err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpCallPrep:
+		callee := tp.p.Fns[a]
+		return func(t *thread, s *vmTState) *vmEntry {
+			if t.depth >= 64 {
+				return fail(s, &CrashError{Msg: "call stack overflow"})
+			}
+			slots, base := s.vm.grabSlots(callee.NumSlots)
+			s.vm.pending = append(s.vm.pending, vmPending{fn: callee, slots: slots, slotBase: base})
+			return next
+		}
+
+	case code.OpBindArg:
+		pt := in.Aux.(cltypes.Type)
+		return func(t *thread, s *vmTState) *vmEntry {
+			p := &s.vm.pending[len(s.vm.pending)-1]
+			c := t.newPrivCell(pt)
+			if err := storeCell(c, &s.regs[a], s.unshared); err != nil {
+				return fail(s, err)
+			}
+			p.slots[b] = c
+			return next
+		}
+
+	case code.OpCall:
+		retDst := in.Dst
+		retPC := pc + 1
+		return func(t *thread, s *vmTState) *vmEntry {
+			vm := s.vm
+			p := vm.pending[len(vm.pending)-1]
+			vm.pending = vm.pending[:len(vm.pending)-1]
+			fr := s.fr
+			regBase := fr.regBase + fr.fn.NumRegs
+			lvBase := fr.lvBase + fr.fn.NumLVs
+			vm.ensureRegs(regBase + p.fn.NumRegs)
+			vm.ensureLVs(lvBase + p.fn.NumLVs)
+			vm.frames = append(vm.frames, vmFrame{
+				fn: p.fn, slots: p.slots, slotBase: p.slotBase,
+				regBase: regBase, lvBase: lvBase,
+				retPC: retPC, retDst: retDst, iterBase: len(t.iterStack),
+				retH: next,
+			})
+			t.depth++
+			s.fr = &vm.frames[len(vm.frames)-1]
+			s.regs = vm.regs[regBase:]
+			s.lvs = vm.lvs[lvBase:]
+			return &s.tp.fns[p.fn.Idx][0]
+		}
+
+	case code.OpLVSlot, code.OpLVGlobal:
+		global := in.Op == code.OpLVGlobal
+		return func(t *thread, s *vmTState) *vmEntry {
+			if global {
+				s.lvs[dst] = directLV(t.m.globalCells[a], s.unshared)
+			} else {
+				s.lvs[dst] = directLV(s.fr.slots[a], s.unshared)
+			}
+			return next
+		}
+
+	case code.OpLVDeref:
+		return func(t *thread, s *vmTState) *vmEntry {
+			lv, err := t.ptrLV(s.regs[a].Ptr, "null or dangling pointer dereference")
+			if err != nil {
+				return fail(s, err)
+			}
+			s.lvs[dst] = lv
+			return next
+		}
+
+	case code.OpLVPtrIndex:
+		return func(t *thread, s *vmTState) *vmEntry {
+			iv := &s.regs[b]
+			is, ok := iv.T.(*cltypes.Scalar)
+			if !ok {
+				return fail(s, fmt.Errorf("exec: non-scalar index"))
+			}
+			idx := int(cltypes.AsInt64(iv.Scalar, is))
+			lv, err := t.ptrLV(s.regs[a].Ptr.At(idx), "out-of-bounds buffer access")
+			if err != nil {
+				return fail(s, err)
+			}
+			s.lvs[dst] = lv
+			return next
+		}
+
+	case code.OpLVIndex:
+		return func(t *thread, s *vmTState) *vmEntry {
+			iv := &s.regs[b]
+			is, ok := iv.T.(*cltypes.Scalar)
+			if !ok {
+				return fail(s, fmt.Errorf("exec: non-scalar index"))
+			}
+			idx := int(cltypes.AsInt64(iv.Scalar, is))
+			blv := s.lvs[a]
+			if blv.uField != nil || blv.vecIdx >= 0 || blv.flat != nil {
+				return fail(s, fmt.Errorf("exec: cannot index a view lvalue"))
+			}
+			if idx < 0 || idx >= len(blv.c.Kids) {
+				return fail(s, &CrashError{Msg: fmt.Sprintf("array index %d out of bounds [0,%d)", idx, len(blv.c.Kids))})
+			}
+			s.lvs[dst] = directLV(blv.c.Kids[idx], s.unshared)
+			return next
+		}
+
+	case code.OpLVArrow, code.OpLVMember:
+		arrow := in.Op == code.OpLVArrow
+		mi := in.Aux.(*code.MemberInfo)
+		return func(t *thread, s *vmTState) *vmEntry {
+			var base *Cell
+			if arrow {
+				base = s.regs[a].Ptr.Target()
+				if base == nil {
+					return fail(s, &CrashError{Msg: "null pointer member access"})
+				}
+			} else {
+				blv := s.lvs[a]
+				if blv.uField != nil {
+					return fail(s, fmt.Errorf("exec: nested union member views unsupported"))
+				}
+				if blv.c == nil {
+					return fail(s, fmt.Errorf("exec: member access on a non-aggregate lvalue"))
+				}
+				base = blv.c
+			}
+			st, ok := base.Typ.(*cltypes.StructT)
+			if !ok {
+				return fail(s, fmt.Errorf("exec: member access on %s", base.Typ))
+			}
+			i := int(mi.Idx)
+			if i < 0 {
+				i = st.FieldIndex(mi.Name)
+			}
+			if i < 0 || i >= len(st.Fields) {
+				return fail(s, fmt.Errorf("exec: no field %q in %s", mi.Name, st))
+			}
+			if st.IsUnion {
+				s.lvs[dst] = lval{c: base, uField: st.Fields[i].Type, vecIdx: -1, unshared: s.unshared}
+			} else {
+				s.lvs[dst] = directLV(base.Kids[i], s.unshared)
+			}
+			return next
+		}
+
+	case code.OpLVSwizzle:
+		return func(t *thread, s *vmTState) *vmEntry {
+			blv := s.lvs[a]
+			if blv.uField != nil || blv.vecIdx >= 0 || blv.flat != nil {
+				return fail(s, fmt.Errorf("exec: cannot swizzle a view lvalue"))
+			}
+			s.lvs[dst] = lval{c: blv.c, vecIdx: b, unshared: s.unshared}
+			return next
+		}
+
+	case code.OpLVLoad:
+		return func(t *thread, s *vmTState) *vmEntry {
+			lv := s.lvs[a]
+			if s.checkRaces {
+				if err := t.noteLVAccess(lv, false); err != nil {
+					return fail(s, err)
+				}
+			}
+			if err := lv.load(&s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpDeclare:
+		pt := in.Aux.(cltypes.Type)
+		return func(t *thread, s *vmTState) *vmEntry {
+			s.fr.slots[a] = t.newPrivCell(pt)
+			return next
+		}
+
+	case code.OpStoreDecl:
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := storeCell(s.fr.slots[a], &s.regs[b], s.unshared); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpBindLocal:
+		d := in.Aux.(*ast.VarDecl)
+		return func(t *thread, s *vmTState) *vmEntry {
+			g := t.group
+			g.mu.Lock()
+			c, ok := g.local[d]
+			if !ok {
+				c = NewCell(d.Type, cltypes.Local)
+				g.local[d] = c
+			}
+			g.mu.Unlock()
+			s.fr.slots[a] = c
+			return next
+		}
+
+	case code.OpNewAgg:
+		typ := in.Aux.(cltypes.Type)
+		return func(t *thread, s *vmTState) *vmEntry {
+			s.regs[dst] = Value{T: typ, Agg: t.newPrivCell(typ)}
+			return next
+		}
+
+	case code.OpInitField:
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := storeCell(s.regs[a].Agg.Kids[dst], &s.regs[b], s.unshared); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpInitUnion:
+		return func(t *thread, s *vmTState) *vmEntry {
+			c := s.regs[a].Agg
+			tt := c.Typ.(*cltypes.StructT)
+			fv := s.regs[b]
+			if fs, ok := tt.Fields[0].Type.(*cltypes.Scalar); ok {
+				if vs, vok := fv.T.(*cltypes.Scalar); vok {
+					fv = convertScalar(&Value{T: vs, Scalar: fv.Scalar}, fs)
+				}
+			}
+			if err := encodeValue(c.Bytes, &fv, tt.Fields[0].Type); err != nil {
+				return fail(s, err)
+			}
+			if t.m.opts.Defects.Has(bugs.WCUnionInit) && unionHasSmallLeadStruct(tt) {
+				for i := 2; i < len(c.Bytes) && i < tt.Fields[0].Type.Size(); i++ {
+					c.Bytes[i] = 0xff
+				}
+			}
+			return next
+		}
+
+	case code.OpInitStructDefect:
+		return func(t *thread, s *vmTState) *vmEntry {
+			if t.m.opts.Defects.Has(bugs.WCStructCharFirst) {
+				c := s.regs[a].Agg
+				for _, fi := range charFirstLargerFields(c.Typ.(*cltypes.StructT)) {
+					c.Kids[fi].Val = 0
+				}
+			}
+			return next
+		}
+
+	case code.OpBinImm, code.OpBinImmBr:
+		ii := in.Aux.(*code.ImmInfo)
+		branching := in.Op == code.OpBinImmBr
+		var br func(s *vmTState) *vmEntry
+		if branching {
+			br = branch(in.B)
+		}
+		return func(t *thread, s *vmTState) *vmEntry {
+			rv := Value{T: ii.T, Scalar: ii.V}
+			if err := t.vmBinaryOp(ii.Bin, &s.regs[a], &rv, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			if branching && !s.regs[dst].isTrue() {
+				return br(s)
+			}
+			return next
+		}
+
+	case code.OpBinSlotImm, code.OpBinSlotImmBr:
+		ii := in.Aux.(*code.ImmInfo)
+		branching := in.Op == code.OpBinSlotImmBr
+		var br func(s *vmTState) *vmEntry
+		if branching {
+			br = branch(in.B)
+		}
+		return func(t *thread, s *vmTState) *vmEntry {
+			var lv Value
+			if err := t.vmSlotVal(s.fr.slots[a], &lv); err != nil {
+				return fail(s, err)
+			}
+			rv := Value{T: ii.T, Scalar: ii.V}
+			if err := t.vmBinaryOp(ii.Bin, &lv, &rv, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			if branching && !s.regs[dst].isTrue() {
+				return br(s)
+			}
+			return next
+		}
+
+	case code.OpBinSlots:
+		bi := in.Aux.(*code.BinInfo)
+		return func(t *thread, s *vmTState) *vmEntry {
+			var lv, rv Value
+			if err := t.vmSlotVal(s.fr.slots[a], &lv); err != nil {
+				return fail(s, err)
+			}
+			if err := t.vmSlotVal(s.fr.slots[b], &rv); err != nil {
+				return fail(s, err)
+			}
+			if err := t.vmBinaryOp(bi, &lv, &rv, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpBinSlotR:
+		bi := in.Aux.(*code.BinInfo)
+		return func(t *thread, s *vmTState) *vmEntry {
+			var rv Value
+			if err := t.vmSlotVal(s.fr.slots[b], &rv); err != nil {
+				return fail(s, err)
+			}
+			if err := t.vmBinaryOp(bi, &s.regs[a], &rv, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpBinBr:
+		bb := in.Aux.(*code.BinBrInfo)
+		br := branch(bb.Target)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := t.vmBinaryOp(bb.Bin, &s.regs[a], &s.regs[b], &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			if !s.regs[dst].isTrue() {
+				return br(s)
+			}
+			return next
+		}
+
+	case code.OpLoadIdx:
+		return func(t *thread, s *vmTState) *vmEntry {
+			iv := &s.regs[b]
+			is, ok := iv.T.(*cltypes.Scalar)
+			if !ok {
+				return fail(s, fmt.Errorf("exec: non-scalar index"))
+			}
+			idx := int(cltypes.AsInt64(iv.Scalar, is))
+			lv, err := t.ptrLV(s.regs[a].Ptr.At(idx), "out-of-bounds buffer access")
+			if err != nil {
+				return fail(s, err)
+			}
+			if s.checkRaces {
+				if err := t.noteLVAccess(lv, false); err != nil {
+					return fail(s, err)
+				}
+			}
+			if err := lv.load(&s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpIncDecSlot:
+		op := ast.UnOp(in.B)
+		return func(t *thread, s *vmTState) *vmEntry {
+			if err := t.vmIncDec(directLV(s.fr.slots[a], s.unshared), op, &s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+
+	case code.OpAggLit, code.OpAggDecl:
+		al := in.Aux.(*code.AggLit)
+		toReg := in.Op == code.OpAggLit
+		return func(t *thread, s *vmTState) *vmEntry {
+			c := t.newPrivCell(al.Typ)
+			if toReg {
+				s.regs[dst] = Value{T: al.Typ, Agg: c}
+			} else {
+				s.fr.slots[a] = c
+			}
+			for i := range al.Ops {
+				op := &al.Ops[i]
+				cell := c
+				for _, k := range op.Path {
+					cell = cell.Kids[k]
+				}
+				if op.Defect {
+					if t.m.opts.Defects.Has(bugs.WCStructCharFirst) {
+						for _, fi := range charFirstLargerFields(cell.Typ.(*cltypes.StructT)) {
+							cell.Kids[fi].Val = 0
+						}
+					}
+					continue
+				}
+				v := Value{T: op.T, Scalar: op.V}
+				if op.Conv != nil {
+					v = convertScalar(&v, op.Conv)
+				}
+				if err := storeCell(cell, &v, s.unshared); err != nil {
+					return fail(s, err)
+				}
+			}
+			return next
+		}
+
+	case code.OpLoadCast:
+		toT := auxType(in.Aux)
+		return func(t *thread, s *vmTState) *vmEntry {
+			lv := s.lvs[a]
+			if s.checkRaces {
+				if err := t.noteLVAccess(lv, false); err != nil {
+					return fail(s, err)
+				}
+			}
+			if err := lv.load(&s.regs[dst]); err != nil {
+				return fail(s, err)
+			}
+			if err := vmCast(&s.regs[dst], toT); err != nil {
+				return fail(s, err)
+			}
+			return next
+		}
+	}
+
+	op := in.Op
+	return func(t *thread, s *vmTState) *vmEntry {
+		s.err = fmt.Errorf("exec: unknown opcode %d", op)
+		return nil
+	}
+}
